@@ -1,0 +1,166 @@
+//! Criterion microbenchmarks for the hot-path primitives.
+//!
+//! These are *host* benchmarks (they measure this machine, not the
+//! paper's Xeon); their role is relative: confirming that the costs the
+//! cycle model charges are ordered sensibly (Toeplitz < parse < spray
+//! classify ≈ flow-table op ≪ a 10k-cycle NF body) and catching
+//! regressions in the simulator's own throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sprayer::api::FlowStateApi;
+use sprayer::config::{DispatchMode, MiddleboxConfig};
+use sprayer::coremap::CoreMap;
+use sprayer::runtime_sim::MiddleboxSim;
+use sprayer::tables::LocalTables;
+use sprayer_net::flow::splitmix64;
+use sprayer_net::{internet_checksum, FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_nic::toeplitz::{hash_v4_tuple, MICROSOFT_KEY, SYMMETRIC_KEY};
+use sprayer_nic::{Nic, NicConfig};
+use sprayer_nf::dpi::Automaton;
+use sprayer_nf::SyntheticNf;
+use sprayer_sim::Time;
+
+fn tuple(i: u64) -> FiveTuple {
+    let r = splitmix64(i);
+    FiveTuple::tcp((r >> 32) as u32, (r >> 16) as u16, r as u32, 443)
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let t = tuple(1);
+    g.bench_function("toeplitz_microsoft", |b| {
+        b.iter(|| hash_v4_tuple(black_box(&MICROSOFT_KEY), black_box(&t)))
+    });
+    g.bench_function("toeplitz_symmetric", |b| {
+        b.iter(|| hash_v4_tuple(black_box(&SYMMETRIC_KEY), black_box(&t)))
+    });
+    g.bench_function("flowkey_stable_hash", |b| {
+        b.iter(|| black_box(&t).key().stable_hash())
+    });
+    g.finish();
+}
+
+fn bench_packet_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let built = PacketBuilder::new().tcp(tuple(2), 1, 2, TcpFlags::ACK, &[0u8; 10]);
+    let bytes = built.bytes().to_vec();
+    g.bench_function("build_64B_tcp", |b| {
+        b.iter(|| PacketBuilder::new().tcp(black_box(tuple(2)), 1, 2, TcpFlags::ACK, &[0u8; 10]))
+    });
+    g.bench_function("parse_64B_tcp", |b| {
+        b.iter(|| Packet::parse(black_box(bytes.clone())).unwrap())
+    });
+    g.bench_function("checksum_1460B", |b| {
+        let payload = vec![0xabu8; 1460];
+        b.iter(|| internet_checksum(black_box(&payload)))
+    });
+    let mut nat_pkt = built.clone();
+    g.bench_function("nat_rewrite_incremental", |b| {
+        b.iter(|| nat_pkt.rewrite_src(black_box(0xc6336401), black_box(10_000)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_nic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nic");
+    let pkts: Vec<Packet> = (0..256)
+        .map(|i| {
+            PacketBuilder::new().tcp(tuple(3), i, 0, TcpFlags::ACK, &splitmix64(u64::from(i)).to_be_bytes())
+        })
+        .collect();
+    let mut rss = Nic::new(NicConfig::rss(8));
+    g.bench_function("steer_rss", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            rss.steer(black_box(&pkts[i]))
+        })
+    });
+    let mut spray = Nic::new(NicConfig::sprayer(8));
+    g.bench_function("steer_spray", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            spray.steer(black_box(&pkts[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table");
+    let map = CoreMap::new(DispatchMode::Sprayer, 8);
+    let mut tables: LocalTables<u64> = LocalTables::new(map.clone(), 1 << 16);
+    let keys: Vec<_> = (0..1024u64).map(|i| tuple(i).key()).collect();
+    for k in &keys {
+        let d = map.designated_for_key(k);
+        tables.ctx(d).insert_local_flow(*k, 1);
+    }
+    g.bench_function("get_flow_foreign", |b| {
+        let ctx = tables.ctx(0);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            ctx.get_flow(black_box(&keys[i]))
+        })
+    });
+    g.bench_function("insert_remove_local", |b| {
+        let mut ctx = tables.ctx(3);
+        let k = tuple(999_999).key();
+        b.iter(|| {
+            ctx.insert_local_flow(black_box(k), 9);
+            ctx.remove_local_flow(black_box(&k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpi");
+    let ac = Automaton::compile(&["attack", "malware", "exploit", "GET /admin", "0day"]);
+    let payload: Vec<u8> = (0..1460u32).map(|i| (splitmix64(u64::from(i)) & 0x7f) as u8).collect();
+    g.bench_function("aho_corasick_1460B", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            ac.scan(0, black_box(&payload), &mut |_| n += 1);
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    // End-to-end simulator throughput: packets simulated per wall second.
+    g.bench_function("middlebox_10k_packets_spray", |b| {
+        b.iter(|| {
+            let config = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Sprayer, 1_000);
+            let mut mb = MiddleboxSim::new(config, SyntheticNf::for_simulator());
+            let t = tuple(4);
+            let mut now = Time::ZERO;
+            mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+            for i in 0..10_000u32 {
+                now += Time::from_ns(700);
+                mb.ingress(
+                    now,
+                    PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &splitmix64(u64::from(i)).to_be_bytes()),
+                );
+            }
+            mb.run_until(now + Time::from_ms(100));
+            black_box(mb.stats().forwarded)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_packet_path,
+    bench_nic,
+    bench_flow_table,
+    bench_dpi,
+    bench_simulator
+);
+criterion_main!(benches);

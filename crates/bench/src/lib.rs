@@ -1,0 +1,23 @@
+//! # sprayer-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index), built on reusable scenarios:
+//!
+//! * [`scenarios::rate`] — open-loop processing-rate measurement
+//!   (Figs. 6a, 7a): MoonGen-style 64 B packets at line rate into the
+//!   simulated middlebox;
+//! * [`scenarios::tcp`] — closed-loop TCP goodput through the middlebox
+//!   (Figs. 6b, 7b, 9): CUBIC senders/receivers co-simulated with the
+//!   middlebox in one event loop;
+//! * [`scenarios::latency`] — open-loop Poisson load for p99 RTT
+//!   (Fig. 8);
+//! * [`report`] — aligned table / CSV output.
+//!
+//! Run `cargo run -p sprayer-bench --release --bin <experiment>`;
+//! binaries print the paper's series plus the values measured here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenarios;

@@ -1,0 +1,5 @@
+//! Reusable experiment scenarios.
+
+pub mod latency;
+pub mod rate;
+pub mod tcp;

@@ -1,0 +1,130 @@
+//! Designated-core mapping.
+//!
+//! "We say that every flow has a designated core. We determine the
+//! designated core for a given flow calculating a hash of its five-tuple.
+//! By default, we use a hash function that maps upstream and downstream
+//! flows from the same TCP connection to the same designated core" (§3.2).
+//!
+//! The mapping must agree with where flow state actually lives, which
+//! depends on the dispatch mode:
+//!
+//! * **Sprayer** — state lives where `connection_packets` ran, i.e. the
+//!   core chosen by the designated-core hash itself. We hash the
+//!   direction-insensitive [`FlowKey`] (symmetric by construction).
+//! * **RSS baseline** — every packet of a flow lands on its RSS queue, so
+//!   that queue's core is where state lives; the "designated core" *is*
+//!   the RSS mapping (symmetric because the paper uses the symmetric RSS
+//!   key).
+
+use crate::config::DispatchMode;
+use sprayer_net::{FiveTuple, FlowKey};
+use sprayer_nic::RssConfig;
+
+/// Mode-aware flow→core mapping shared by dispatchers and flow tables.
+#[derive(Debug, Clone)]
+pub struct CoreMap {
+    mode: DispatchMode,
+    num_cores: usize,
+    rss: RssConfig,
+}
+
+impl CoreMap {
+    /// A core map for `num_cores` cores under `mode`.
+    pub fn new(mode: DispatchMode, num_cores: usize) -> Self {
+        assert!(num_cores >= 1);
+        CoreMap { mode, num_cores, rss: RssConfig::symmetric(num_cores) }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Dispatch mode.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// The designated core for a canonical flow key.
+    pub fn designated_for_key(&self, key: &FlowKey) -> usize {
+        match self.mode {
+            DispatchMode::Sprayer => (key.stable_hash() % self.num_cores as u64) as usize,
+            // Under RSS, state lives wherever RSS puts the flow's packets.
+            // The key is canonical; reconstruct a representative tuple:
+            // the symmetric RSS key hashes both directions identically, so
+            // either representative gives the same queue.
+            DispatchMode::Rss => {
+                let t = FiveTuple {
+                    src_addr: key.lo.0,
+                    dst_addr: key.hi.0,
+                    src_port: key.lo.1,
+                    dst_port: key.hi.1,
+                    protocol: key.protocol,
+                };
+                usize::from(self.rss.queue_for(&t))
+            }
+        }
+    }
+
+    /// The designated core for a directed tuple.
+    pub fn designated_for_tuple(&self, tuple: &FiveTuple) -> usize {
+        match self.mode {
+            DispatchMode::Sprayer => self.designated_for_key(&tuple.key()),
+            DispatchMode::Rss => usize::from(self.rss.queue_for(tuple)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprayer_mapping_is_symmetric() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        for i in 0..100u32 {
+            let t = FiveTuple::tcp(0x0a000000 + i, 40000, 0xc0a80001, 443);
+            assert_eq!(map.designated_for_tuple(&t), map.designated_for_tuple(&t.reversed()));
+            assert_eq!(map.designated_for_tuple(&t), map.designated_for_key(&t.key()));
+        }
+    }
+
+    #[test]
+    fn rss_mapping_matches_rss_queue_and_is_symmetric() {
+        let map = CoreMap::new(DispatchMode::Rss, 8);
+        let rss = RssConfig::symmetric(8);
+        for i in 0..100u32 {
+            let t = FiveTuple::tcp(0x0a000000 + i, 40000, 0xc0a80001, 443);
+            assert_eq!(map.designated_for_tuple(&t), usize::from(rss.queue_for(&t)));
+            assert_eq!(map.designated_for_tuple(&t), map.designated_for_tuple(&t.reversed()));
+            // Tuple-based and key-based lookups must agree, both ways.
+            assert_eq!(map.designated_for_tuple(&t), map.designated_for_key(&t.key()));
+            assert_eq!(
+                map.designated_for_tuple(&t.reversed()),
+                map.designated_for_key(&t.reversed().key())
+            );
+        }
+    }
+
+    #[test]
+    fn designated_core_is_in_range() {
+        for n in [1usize, 2, 3, 7, 8, 16] {
+            let map = CoreMap::new(DispatchMode::Sprayer, n);
+            for i in 0..50u32 {
+                let t = FiveTuple::tcp(i, 1, !i, 2);
+                assert!(map.designated_for_tuple(&t) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn sprayer_mapping_spreads_flows() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u32 {
+            let t = FiveTuple::tcp(i, 1000, 0xc0a80001, 443);
+            seen.insert(map.designated_for_tuple(&t));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

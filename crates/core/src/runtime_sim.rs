@@ -1,0 +1,654 @@
+//! The deterministic discrete-event middlebox runtime.
+//!
+//! Models the paper's middlebox server end to end: NIC classification
+//! (RSS or checksum spraying), per-core receive queues, the Sprayer
+//! architecture of §3.3 — connection-packet detection, descriptor rings
+//! to designated cores, local processing of regular packets — and a
+//! cycle-accurate cost model for the NF body.
+//!
+//! [`MiddleboxSim`] owns a private event heap so it can run standalone
+//! ([`MiddleboxSim::run_until`]) or be co-simulated with other models
+//! (e.g. TCP endpoints): call [`MiddleboxSim::ingress`] as packets
+//! arrive, [`MiddleboxSim::advance_until`] to process internal events up
+//! to a time, [`MiddleboxSim::next_event_time`] to interleave with an
+//! outer event loop, and [`MiddleboxSim::take_egress`] to collect
+//! forwarded packets with their departure times.
+
+use crate::api::{NetworkFunction, NfConfig, Verdict};
+use crate::config::{DispatchMode, MiddleboxConfig};
+use crate::coremap::CoreMap;
+use crate::stats::MiddleboxStats;
+use crate::tables::LocalTables;
+use sprayer_net::Packet;
+use sprayer_nic::{Nic, NicConfig, RxSteering};
+use sprayer_sim::{BoundedFifo, Reservoir, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One unit of work queued at a core.
+#[derive(Debug)]
+struct Job {
+    pkt: Packet,
+    /// Wire arrival time (latency measurements are end-to-end).
+    arrival: Time,
+    /// Whether this job came in through the inter-core ring.
+    via_ring: bool,
+}
+
+/// What the core will do when its current service completes.
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    /// Run the NF and emit the packet.
+    Process,
+    /// Transfer the descriptor to the designated core's ring.
+    Redirect(usize),
+}
+
+#[derive(Debug)]
+struct CoreSim {
+    rx: BoundedFifo<Job>,
+    ring: BoundedFifo<Job>,
+    current: Option<(Job, Effect)>,
+}
+
+/// The simulated middlebox.
+pub struct MiddleboxSim<NF: NetworkFunction> {
+    config: MiddleboxConfig,
+    nic: Nic,
+    coremap: CoreMap,
+    tables: LocalTables<NF::Flow>,
+    nf: NF,
+    nf_config: NfConfig,
+    cores: Vec<CoreSim>,
+    heap: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    seq: u64,
+    now: Time,
+    /// Earliest time the Flow Director path can admit the next packet.
+    nic_admit_free: Time,
+    stats: MiddleboxStats,
+    egress: Vec<(Time, Packet)>,
+    latency_us: Reservoir,
+}
+
+impl<NF: NetworkFunction> MiddleboxSim<NF> {
+    /// Build the middlebox from a model configuration and an NF.
+    pub fn new(config: MiddleboxConfig, nf: NF) -> Self {
+        let nf_config = nf.config();
+        let nic_config = match config.mode {
+            DispatchMode::Rss => NicConfig::rss(config.num_cores),
+            DispatchMode::Sprayer => NicConfig {
+                fdir_rate_cap_pps: config.fdir_cap_pps,
+                spray_subset_k: config.spray_subset_k,
+                ..NicConfig::sprayer(config.num_cores)
+            },
+        };
+        // Under subset spraying, a flow's packets only visit the k queues
+        // anchored at its RSS queue — so its state must live there too:
+        // the designated core follows the RSS map (the subset anchor)
+        // instead of the full-spray hash.
+        let designated_mode = if config.mode == DispatchMode::Sprayer
+            && config.spray_subset_k.is_some()
+        {
+            DispatchMode::Rss
+        } else {
+            config.mode
+        };
+        let coremap = CoreMap::new(designated_mode, config.num_cores);
+        let tables = LocalTables::new(coremap.clone(), nf_config.flow_table_capacity);
+        let cores = (0..config.num_cores)
+            .map(|_| CoreSim {
+                rx: BoundedFifo::new(config.queue_capacity),
+                ring: BoundedFifo::new(config.ring_capacity),
+                current: None,
+            })
+            .collect();
+        let stats = MiddleboxStats::new(config.num_cores);
+        MiddleboxSim {
+            nic: Nic::new(nic_config),
+            coremap,
+            tables,
+            nf,
+            nf_config,
+            cores,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            nic_admit_free: Time::ZERO,
+            stats,
+            egress: Vec::new(),
+            latency_us: Reservoir::new(200_000),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MiddleboxConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &MiddleboxStats {
+        &self.stats
+    }
+
+    /// End-to-end latency samples (arrival → NF completion), microseconds.
+    pub fn latency_us(&self) -> &Reservoir {
+        &self.latency_us
+    }
+
+    /// The flow tables (for assertions about state placement).
+    pub fn tables(&self) -> &LocalTables<NF::Flow> {
+        &self.tables
+    }
+
+    /// The NF instance.
+    pub fn nf(&self) -> &NF {
+        &self.nf
+    }
+
+    /// Forwarded packets with their departure times, draining the buffer.
+    pub fn take_egress(&mut self) -> Vec<(Time, Packet)> {
+        std::mem::take(&mut self.egress)
+    }
+
+    /// Time of the earliest pending internal event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Current internal clock (the last event processed or ingress seen).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    fn schedule(&mut self, at: Time, core: usize) {
+        self.heap.push(Reverse((at, self.seq, core)));
+        self.seq += 1;
+    }
+
+    /// A packet arrives from the wire at `now`.
+    ///
+    /// Internally processes any events up to `now` first, so callers may
+    /// interleave `ingress` and `advance_until` freely as long as `now`
+    /// is monotone.
+    pub fn ingress(&mut self, now: Time, pkt: Packet) {
+        self.advance_until(now);
+        self.now = self.now.max(now);
+        self.stats.offered += 1;
+
+        let (queue, steering) = self.nic.steer(&pkt);
+
+        // The 82599's Flow Director rate limitation (§5): packets on the
+        // perfect-filter path are admitted at no more than the cap;
+        // excess packets are lost in the NIC.
+        if steering == RxSteering::FlowDirector {
+            if let Some(cap) = self.config.fdir_cap_pps {
+                let interval = Time::from_ps((1e12 / cap) as u64);
+                if now < self.nic_admit_free {
+                    self.stats.nic_cap_drops += 1;
+                    return;
+                }
+                // Work-conserving limiter with one interval of credit:
+                // long-run admission rate equals the cap even when
+                // arrivals don't align with admission slots.
+                self.nic_admit_free =
+                    self.nic_admit_free.max(now.saturating_sub(interval)) + interval;
+            }
+        }
+
+        let core = usize::from(queue);
+        let job = Job { pkt, arrival: now, via_ring: false };
+        if self.cores[core].rx.push(job).is_err() {
+            self.stats.queue_drops += 1;
+            return;
+        }
+        self.kick(core, now);
+    }
+
+    /// Process all internal events at or before `deadline`.
+    pub fn advance_until(&mut self, deadline: Time) {
+        while let Some(Reverse((t, _, _))) = self.heap.peek() {
+            if *t > deadline {
+                break;
+            }
+            let Reverse((t, _, core)) = self.heap.pop().expect("peeked");
+            self.now = self.now.max(t);
+            self.complete(core, t);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run standalone until the internal queue empties or `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.advance_until(deadline);
+    }
+
+    /// True when no core is busy and no work is queued.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+            && self
+                .cores
+                .iter()
+                .all(|c| c.current.is_none() && c.rx.is_empty() && c.ring.is_empty())
+    }
+
+    /// Start the next job on `core` if it is idle and work is available.
+    fn kick(&mut self, core: usize, now: Time) {
+        if self.cores[core].current.is_some() {
+            return;
+        }
+        // Ring (connection) work first: §3.3 batches local and foreign
+        // connection packets into the connection handler.
+        let (job, service_cycles) = if let Some(job) = self.cores[core].ring.pop() {
+            let cycles =
+                self.config.ring_dequeue_cycles + self.config.service_cycles_for(&job.pkt);
+            (job, cycles)
+        } else if let Some(job) = self.cores[core].rx.pop() {
+            // Decide at pick-up time whether this is a redirect.
+            let redirect = self.redirect_target(&job, core);
+            if let Some(target) = redirect {
+                let cycles = self.config.overhead_cycles + self.config.ring_enqueue_cycles;
+                let done = now + self.config.clock.cycles_to_time(cycles);
+                self.stats.per_core[core].busy_cycles += cycles;
+                self.cores[core].current = Some((job, Effect::Redirect(target)));
+                self.schedule(done, core);
+                return;
+            }
+            let cycles = self.config.service_cycles_for(&job.pkt);
+            (job, cycles)
+        } else {
+            return;
+        };
+        let done = now + self.config.clock.cycles_to_time(service_cycles);
+        self.stats.per_core[core].busy_cycles += service_cycles;
+        self.cores[core].current = Some((job, Effect::Process));
+        self.schedule(done, core);
+    }
+
+    /// Should this freshly received packet be redirected, and to where?
+    fn redirect_target(&self, job: &Job, core: usize) -> Option<usize> {
+        if self.config.mode != DispatchMode::Sprayer || self.nf_config.stateless {
+            return None;
+        }
+        if !job.pkt.is_connection_packet() {
+            return None;
+        }
+        let tuple = job.pkt.tuple()?;
+        let designated = self.coremap.designated_for_tuple(&tuple);
+        (designated != core).then_some(designated)
+    }
+
+    /// A core's current service completed at `now`.
+    fn complete(&mut self, core: usize, now: Time) {
+        let (job, effect) = self.cores[core]
+            .current
+            .take()
+            .expect("completion event without a current job");
+        match effect {
+            Effect::Redirect(target) => {
+                self.stats.per_core[core].redirected_out += 1;
+                let job = Job { via_ring: true, ..job };
+                if self.cores[target].ring.push(job).is_err() {
+                    self.stats.ring_drops += 1;
+                } else {
+                    self.kick(target, now);
+                }
+            }
+            Effect::Process => {
+                let Job { mut pkt, arrival, via_ring } = job;
+                let is_conn = pkt.is_connection_packet();
+                let mut ctx = self.tables.ctx(core);
+                let verdict = if is_conn {
+                    self.nf.connection_packets(&mut pkt, &mut ctx)
+                } else {
+                    self.nf.regular_packets(&mut pkt, &mut ctx)
+                };
+                let cs = &mut self.stats.per_core[core];
+                cs.processed += 1;
+                if is_conn {
+                    cs.connection_packets += 1;
+                }
+                if via_ring {
+                    cs.redirected_in += 1;
+                }
+                self.latency_us.add((now.saturating_sub(arrival)).as_us_f64());
+                match verdict {
+                    Verdict::Forward => {
+                        self.stats.forwarded += 1;
+                        self.egress.push((now, pkt));
+                    }
+                    Verdict::Drop => self.stats.nf_drops += 1,
+                }
+            }
+        }
+        self.kick(core, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FlowStateApi, NfDescriptor};
+    use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
+    use sprayer_sim::time::LinkSpeed;
+
+    /// Test NF: stores the SYN arrival core in flow state; regular
+    /// packets verify they can read it from anywhere.
+    struct TrackerNf;
+    impl NetworkFunction for TrackerNf {
+        type Flow = usize;
+        fn descriptor(&self) -> NfDescriptor {
+            NfDescriptor::named("tracker")
+        }
+        fn connection_packets(
+            &self,
+            pkt: &mut Packet,
+            ctx: &mut dyn FlowStateApi<usize>,
+        ) -> Verdict {
+            if let Some(t) = pkt.tuple() {
+                let core = ctx.core_id();
+                ctx.insert_local_flow(t.key(), core);
+            }
+            Verdict::Forward
+        }
+        fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<usize>) -> Verdict {
+            match pkt.tuple().and_then(|t| ctx.get_flow(&t.key())) {
+                Some(_) => Verdict::Forward,
+                None => Verdict::Drop,
+            }
+        }
+    }
+
+    fn flow(i: u32) -> FiveTuple {
+        FiveTuple::tcp(0x0a00_0000 + i, 40_000, 0xc0a8_0001, 443)
+    }
+
+    /// Random-looking payload for packet `i` — MoonGen generates packets
+    /// "with variable payload content, and therefore variable checksum"
+    /// (§5); a linear counter would alias the checksum's low bits.
+    fn payload(i: u32) -> [u8; 8] {
+        sprayer_net::flow::splitmix64(u64::from(i)).to_be_bytes()
+    }
+
+    fn cfg(mode: DispatchMode, cycles: u64) -> MiddleboxConfig {
+        MiddleboxConfig::paper_testbed_with_cycles(mode, cycles)
+    }
+
+    #[test]
+    fn syn_state_lands_on_designated_core_under_spraying() {
+        let config = cfg(DispatchMode::Sprayer, 0);
+        let map = CoreMap::new(DispatchMode::Sprayer, config.num_cores);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+
+        for i in 0..32 {
+            let t = flow(i);
+            let syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+            mb.ingress(Time::from_us(u64::from(i) * 10), syn);
+        }
+        mb.run_until(Time::from_ms(10));
+        assert!(mb.is_idle());
+
+        for i in 0..32 {
+            let t = flow(i);
+            let designated = map.designated_for_tuple(&t);
+            assert_eq!(
+                mb.tables().peek(designated, &t.key()),
+                Some(&designated),
+                "flow {i}: state must live on (and record) its designated core"
+            );
+        }
+        assert_eq!(mb.stats().forwarded, 32);
+    }
+
+    #[test]
+    fn regular_packets_find_state_from_any_core() {
+        let config = cfg(DispatchMode::Sprayer, 0);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(7);
+
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        // 256 regular packets with varying checksums → all 8 cores.
+        for i in 0u32..256 {
+            now += Time::from_us(1);
+            let p = PacketBuilder::new().tcp(t, u32::from(i), 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_ms(10));
+
+        let s = mb.stats();
+        assert_eq!(s.forwarded, 257, "every regular packet must find the flow state");
+        assert_eq!(s.nf_drops, 0);
+        // Spraying must actually have used many cores.
+        let active = s.per_core.iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 8);
+    }
+
+    #[test]
+    fn rss_keeps_single_flow_on_one_core() {
+        let config = cfg(DispatchMode::Rss, 0);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(3);
+
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..100 {
+            now += Time::from_us(1);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_ms(10));
+
+        let s = mb.stats();
+        assert_eq!(s.forwarded, 101);
+        let active = s.per_core.iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 1, "RSS must keep the flow on one core");
+        let redirects: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
+        assert_eq!(redirects, 0, "RSS mode has no rings");
+    }
+
+    #[test]
+    fn connection_packets_are_redirected_not_processed_in_place() {
+        let config = cfg(DispatchMode::Sprayer, 0);
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+
+        // Send SYNs from many flows; statistically most will land on a
+        // non-designated queue and must be redirected.
+        let mut now = Time::ZERO;
+        let n = 64u32;
+        for i in 0..n {
+            now += Time::from_us(5);
+            let t = flow(i);
+            mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        }
+        mb.run_until(now + Time::from_ms(10));
+
+        let s = mb.stats();
+        let out: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
+        let inn: u64 = s.per_core.iter().map(|c| c.redirected_in).sum();
+        assert_eq!(out, inn, "every redirect must be consumed");
+        assert!(out > u64::from(n) / 2, "most SYNs land on foreign cores: {out}");
+        assert_eq!(s.forwarded, u64::from(n));
+        // And despite redirection, state sits on designated cores.
+        for i in 0..n {
+            let t = flow(i);
+            let d = map.designated_for_tuple(&t);
+            assert!(mb.tables().peek(d, &t.key()).is_some());
+        }
+    }
+
+    #[test]
+    fn rss_single_flow_rate_is_one_core_rate() {
+        // Fig. 6(a) mechanism: at 10k cycles/packet, one core processes
+        // ~198 kpps; offering line rate to a single RSS flow must yield
+        // exactly the single-core rate.
+        let config = cfg(DispatchMode::Rss, 10_000);
+        let single_core_pps = config.single_core_pps();
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+
+        // Offer 64B packets at line rate (14.88 Mpps) for 20 ms.
+        let gap = LinkSpeed::TEN_GBE.frame_time(60);
+        let horizon = Time::from_ms(20);
+        let mut now = Time::ZERO;
+        let mut i = 0u32;
+        while now < horizon {
+            now += gap;
+            i += 1;
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.advance_until(horizon);
+
+        let processed = mb.stats().processed();
+        let rate = processed as f64 / horizon.as_secs_f64();
+        let rel = (rate - single_core_pps).abs() / single_core_pps;
+        assert!(rel < 0.02, "measured {rate:.0} pps vs single-core {single_core_pps:.0}");
+        assert!(mb.stats().queue_drops > 0, "overload must tail-drop");
+    }
+
+    #[test]
+    fn sprayer_single_flow_rate_uses_all_cores() {
+        let config = cfg(DispatchMode::Sprayer, 10_000);
+        let expect = config.all_cores_pps();
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+
+        let gap = LinkSpeed::TEN_GBE.frame_time(60);
+        let horizon = Time::from_ms(20);
+        let mut now = Time::ZERO;
+        let mut i = 0u32;
+        while now < horizon {
+            now += gap;
+            i += 1;
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.advance_until(horizon);
+
+        let rate = mb.stats().processed() as f64 / horizon.as_secs_f64();
+        let rel = (rate - expect).abs() / expect;
+        assert!(rel < 0.05, "measured {rate:.0} pps vs 8-core {expect:.0}");
+    }
+
+    #[test]
+    fn fdir_cap_limits_spray_rate_at_trivial_nf() {
+        // Fig. 6(a)'s surprising plateau: with a 0-cycle NF, Sprayer is
+        // limited to ~10 Mpps by the NIC, below 14.88 Mpps line rate.
+        let config = cfg(DispatchMode::Sprayer, 0);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+
+        let gap = LinkSpeed::TEN_GBE.frame_time(60);
+        let horizon = Time::from_ms(20);
+        let mut now = Time::ZERO;
+        let mut i = 0u32;
+        while now < horizon {
+            now += gap;
+            i += 1;
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.advance_until(horizon);
+
+        let rate = mb.stats().processed() as f64 / horizon.as_secs_f64();
+        assert!((rate / 1e6 - 10.0).abs() < 0.3, "rate {:.2} Mpps should be ~10", rate / 1e6);
+        assert!(mb.stats().nic_cap_drops > 0);
+    }
+
+    #[test]
+    fn packet_accounting_is_conservative() {
+        let config = cfg(DispatchMode::Sprayer, 5_000);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..5_000 {
+            now += Time::from_ns(100);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "all packets accounted once drained: {s:?}");
+        assert_eq!(s.offered, 5_001);
+    }
+
+    #[test]
+    fn latency_at_low_load_is_service_time() {
+        let config = cfg(DispatchMode::Rss, 2_000);
+        // Service = (120 + 2000) cycles at 2 GHz = 1.06 us.
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..100 {
+            now += Time::from_us(100); // far apart: no queueing
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_ms(1));
+        let p50 = mb.latency_us().median().unwrap();
+        assert!((p50 - 1.06).abs() < 0.02, "p50 {p50} should equal the service time");
+    }
+
+    #[test]
+    fn egress_packets_carry_departure_times() {
+        let config = cfg(DispatchMode::Rss, 1_000);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(2);
+        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.run_until(Time::from_ms(1));
+        let egress = mb.take_egress();
+        assert_eq!(egress.len(), 1);
+        assert!(egress[0].0 > Time::ZERO);
+        assert_eq!(egress[0].1.tuple(), Some(t));
+        assert!(mb.take_egress().is_empty(), "take_egress drains");
+    }
+
+    #[test]
+    fn stateless_nf_disables_redirection() {
+        struct StatelessNf;
+        impl NetworkFunction for StatelessNf {
+            type Flow = ();
+            fn descriptor(&self) -> NfDescriptor {
+                NfDescriptor::named("stateless")
+            }
+            fn config(&self) -> NfConfig {
+                NfConfig { stateless: true, ..NfConfig::default() }
+            }
+            fn connection_packets(
+                &self,
+                _pkt: &mut Packet,
+                _ctx: &mut dyn FlowStateApi<()>,
+            ) -> Verdict {
+                Verdict::Forward
+            }
+            fn regular_packets(
+                &self,
+                _pkt: &mut Packet,
+                _ctx: &mut dyn FlowStateApi<()>,
+            ) -> Verdict {
+                Verdict::Forward
+            }
+        }
+
+        let config = cfg(DispatchMode::Sprayer, 0);
+        let mut mb = MiddleboxSim::new(config, StatelessNf);
+        let mut now = Time::ZERO;
+        for i in 0..64 {
+            now += Time::from_us(1);
+            let t = flow(i);
+            mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        }
+        mb.run_until(now + Time::from_ms(10));
+        let redirects: u64 = mb.stats().per_core.iter().map(|c| c.redirected_out).sum();
+        assert_eq!(redirects, 0, "stateless flag must disable connection-packet redirection");
+        assert_eq!(mb.stats().forwarded, 64);
+    }
+}

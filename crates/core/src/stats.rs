@@ -1,0 +1,94 @@
+//! Runtime statistics shared by both runtimes.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Packets fully processed on this core (NF executed here).
+    pub processed: u64,
+    /// Of those, connection packets.
+    pub connection_packets: u64,
+    /// Connection packets this core redirected to another core's ring.
+    pub redirected_out: u64,
+    /// Connection packets this core received via its ring.
+    pub redirected_in: u64,
+    /// Busy cycles accumulated.
+    pub busy_cycles: u64,
+}
+
+/// Aggregate middlebox statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MiddleboxStats {
+    /// Packets offered by the traffic source.
+    pub offered: u64,
+    /// Packets dropped because the NIC's Flow Director rate cap was
+    /// exceeded (spray mode on the 82599).
+    pub nic_cap_drops: u64,
+    /// Packets dropped on receive-queue overflow.
+    pub queue_drops: u64,
+    /// Descriptors dropped on inter-core ring overflow.
+    pub ring_drops: u64,
+    /// Packets forwarded (NF verdict Forward).
+    pub forwarded: u64,
+    /// Packets dropped by NF verdict.
+    pub nf_drops: u64,
+    /// Per-core breakdown.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl MiddleboxStats {
+    /// Fresh counters for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        MiddleboxStats { per_core: vec![CoreStats::default(); num_cores], ..Default::default() }
+    }
+
+    /// Total packets the NF processed (forwarded + NF-dropped).
+    pub fn processed(&self) -> u64 {
+        self.forwarded + self.nf_drops
+    }
+
+    /// Total packets lost before reaching the NF.
+    pub fn pre_nf_drops(&self) -> u64 {
+        self.nic_cap_drops + self.queue_drops + self.ring_drops
+    }
+
+    /// Per-core processed counts, for fairness / imbalance analysis.
+    pub fn per_core_processed(&self) -> Vec<u64> {
+        self.per_core.iter().map(|c| c.processed).collect()
+    }
+
+    /// Conservation check: every offered packet is accounted exactly once
+    /// among forwarded, NF drops, and pre-NF drops — plus those still
+    /// in flight (returned as the remainder).
+    pub fn unaccounted(&self) -> u64 {
+        self.offered
+            .saturating_sub(self.forwarded + self.nf_drops + self.pre_nf_drops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identities() {
+        let mut s = MiddleboxStats::new(2);
+        s.offered = 100;
+        s.forwarded = 80;
+        s.nf_drops = 5;
+        s.queue_drops = 10;
+        s.nic_cap_drops = 3;
+        assert_eq!(s.processed(), 85);
+        assert_eq!(s.pre_nf_drops(), 13);
+        assert_eq!(s.unaccounted(), 2); // still in flight
+    }
+
+    #[test]
+    fn per_core_processed_extracts_counts() {
+        let mut s = MiddleboxStats::new(3);
+        s.per_core[0].processed = 5;
+        s.per_core[2].processed = 7;
+        assert_eq!(s.per_core_processed(), vec![5, 0, 7]);
+    }
+}

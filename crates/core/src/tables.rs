@@ -1,0 +1,385 @@
+//! Flow-table backends enforcing the write partition.
+//!
+//! "All cores run identical threads and have their own flow tables.
+//! Moreover, cores can only write to their local flow tables, but can
+//! read from any" (§3.3).
+//!
+//! Two backends share the [`crate::api::FlowStateApi`] surface:
+//!
+//! * [`LocalTables`] — plain per-core `HashMap`s for the deterministic
+//!   simulator (single-threaded; the cycle model charges for accesses);
+//! * [`SharedTables`] — per-core `RwLock<HashMap>`s for the real-thread
+//!   runtime. The lock is a Rust-safety artifact, not part of the design
+//!   being modeled: the write partition means there is exactly one writer
+//!   per table, so the write lock is never contended by another writer,
+//!   and foreign cores only ever take the read side. (The paper's C
+//!   implementation relies on the same single-writer discipline without
+//!   any lock; in `#![forbid(unsafe_code)]` Rust the RwLock is the
+//!   cheapest sound encoding of that discipline.)
+
+use crate::api::{FlowStateApi, InsertOutcome};
+use crate::coremap::CoreMap;
+use parking_lot::RwLock;
+use sprayer_net::FlowKey;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Single-threaded backend (simulator).
+// ---------------------------------------------------------------------
+
+/// All cores' flow tables, owned by the single-threaded simulator.
+#[derive(Debug)]
+pub struct LocalTables<S> {
+    tables: Vec<HashMap<FlowKey, S>>,
+    capacity: usize,
+    map: CoreMap,
+}
+
+impl<S: Clone> LocalTables<S> {
+    /// Tables for every core under the given mapping.
+    pub fn new(map: CoreMap, capacity: usize) -> Self {
+        let tables = (0..map.num_cores()).map(|_| HashMap::new()).collect();
+        LocalTables { tables, capacity, map }
+    }
+
+    /// A handler context bound to `core`.
+    pub fn ctx(&mut self, core: usize) -> LocalCtx<'_, S> {
+        assert!(core < self.tables.len());
+        LocalCtx { tables: self, core }
+    }
+
+    /// Entries across all tables.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+
+    /// Entries in one core's table.
+    pub fn entries_on(&self, core: usize) -> usize {
+        self.tables[core].len()
+    }
+
+    /// Direct read access for assertions in tests/probes.
+    pub fn peek(&self, core: usize, key: &FlowKey) -> Option<&S> {
+        self.tables[core].get(key)
+    }
+}
+
+/// [`FlowStateApi`] view for one core over [`LocalTables`].
+#[derive(Debug)]
+pub struct LocalCtx<'a, S> {
+    tables: &'a mut LocalTables<S>,
+    core: usize,
+}
+
+impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
+    fn core_id(&self) -> usize {
+        self.core
+    }
+
+    fn num_cores(&self) -> usize {
+        self.tables.map.num_cores()
+    }
+
+    fn designated_core(&self, key: &FlowKey) -> usize {
+        self.tables.map.designated_for_key(key)
+    }
+
+    fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
+        let table = &mut self.tables.tables[self.core];
+        if table.contains_key(&key) {
+            table.insert(key, state);
+            InsertOutcome::Replaced
+        } else if table.len() >= self.tables.capacity {
+            InsertOutcome::TableFull
+        } else {
+            table.insert(key, state);
+            InsertOutcome::Inserted
+        }
+    }
+
+    fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
+        self.tables.tables[self.core].remove(key)
+    }
+
+    fn modify_local_flow(&mut self, key: &FlowKey, f: &mut dyn FnMut(&mut S)) -> bool {
+        match self.tables.tables[self.core].get_mut(key) {
+            Some(state) => {
+                f(state);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn get_local_flow(&self, key: &FlowKey) -> Option<S> {
+        self.tables.tables[self.core].get(key).cloned()
+    }
+
+    fn get_flow(&self, key: &FlowKey) -> Option<S> {
+        let designated = self.tables.map.designated_for_key(key);
+        self.tables.tables[designated].get(key).cloned()
+    }
+
+    fn local_len(&self) -> usize {
+        self.tables.tables[self.core].len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-shared backend.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SharedInner<S> {
+    tables: Vec<RwLock<HashMap<FlowKey, S>>>,
+    capacity: usize,
+    map: CoreMap,
+}
+
+/// Thread-shared flow tables; clone handles freely across workers.
+#[derive(Debug)]
+pub struct SharedTables<S> {
+    inner: Arc<SharedInner<S>>,
+}
+
+impl<S> Clone for SharedTables<S> {
+    fn clone(&self) -> Self {
+        SharedTables { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: Clone + Send + Sync> SharedTables<S> {
+    /// Tables for every core under the given mapping.
+    pub fn new(map: CoreMap, capacity: usize) -> Self {
+        let tables = (0..map.num_cores()).map(|_| RwLock::new(HashMap::new())).collect();
+        SharedTables { inner: Arc::new(SharedInner { tables, capacity, map }) }
+    }
+
+    /// A handler context bound to `core` (one per worker thread).
+    pub fn ctx(&self, core: usize) -> SharedCtx<S> {
+        assert!(core < self.inner.tables.len());
+        SharedCtx { tables: self.clone(), core }
+    }
+
+    /// Entries across all tables.
+    pub fn total_entries(&self) -> usize {
+        self.inner.tables.iter().map(|t| t.read().len()).sum()
+    }
+
+    /// Entries in one core's table.
+    pub fn entries_on(&self, core: usize) -> usize {
+        self.inner.tables[core].read().len()
+    }
+}
+
+/// [`FlowStateApi`] view for one worker thread over [`SharedTables`].
+#[derive(Debug)]
+pub struct SharedCtx<S> {
+    tables: SharedTables<S>,
+    core: usize,
+}
+
+impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
+    fn core_id(&self) -> usize {
+        self.core
+    }
+
+    fn num_cores(&self) -> usize {
+        self.tables.inner.map.num_cores()
+    }
+
+    fn designated_core(&self, key: &FlowKey) -> usize {
+        self.tables.inner.map.designated_for_key(key)
+    }
+
+    fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
+        let mut table = self.tables.inner.tables[self.core].write();
+        if table.contains_key(&key) {
+            table.insert(key, state);
+            InsertOutcome::Replaced
+        } else if table.len() >= self.tables.inner.capacity {
+            InsertOutcome::TableFull
+        } else {
+            table.insert(key, state);
+            InsertOutcome::Inserted
+        }
+    }
+
+    fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
+        self.tables.inner.tables[self.core].write().remove(key)
+    }
+
+    fn modify_local_flow(&mut self, key: &FlowKey, f: &mut dyn FnMut(&mut S)) -> bool {
+        match self.tables.inner.tables[self.core].write().get_mut(key) {
+            Some(state) => {
+                f(state);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn get_local_flow(&self, key: &FlowKey) -> Option<S> {
+        self.tables.inner.tables[self.core].read().get(key).cloned()
+    }
+
+    fn get_flow(&self, key: &FlowKey) -> Option<S> {
+        let designated = self.tables.inner.map.designated_for_key(key);
+        self.tables.inner.tables[designated].read().get(key).cloned()
+    }
+
+    fn local_len(&self) -> usize {
+        self.tables.inner.tables[self.core].read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DispatchMode;
+    use sprayer_net::FiveTuple;
+
+    fn key(i: u32) -> FlowKey {
+        FiveTuple::tcp(0x0a000000 + i, 1000, 0xc0a80001, 443).key()
+    }
+
+    #[test]
+    fn local_insert_then_foreign_read() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 16);
+        let k = key(1);
+        let designated = map.designated_for_key(&k);
+
+        tables.ctx(designated).insert_local_flow(k, 42);
+        // Every other core can read it via get_flow.
+        for core in 0..4 {
+            let ctx = tables.ctx(core);
+            assert_eq!(ctx.get_flow(&k), Some(42), "core {core}");
+            if core != designated {
+                assert_eq!(ctx.get_local_flow(&k), None, "state must not leak to core {core}");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_cores_cannot_observe_unwritten_state() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 16);
+        let k = key(2);
+        let wrong_core = (map.designated_for_key(&k) + 1) % 4;
+        // Inserting on the wrong core is *possible* (the paper's C API
+        // cannot prevent it either) but get_flow then misses, surfacing
+        // the bug immediately.
+        tables.ctx(wrong_core).insert_local_flow(k, 7);
+        assert_eq!(tables.ctx(0).get_flow(&k), None);
+        assert_eq!(tables.ctx(wrong_core).get_local_flow(&k), Some(7));
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_core() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 2);
+        let mut ctx = tables.ctx(0);
+        assert_eq!(ctx.insert_local_flow(key(1), 1), InsertOutcome::Inserted);
+        assert_eq!(ctx.insert_local_flow(key(2), 2), InsertOutcome::Inserted);
+        assert_eq!(ctx.insert_local_flow(key(3), 3), InsertOutcome::TableFull);
+        // Replacing an existing key succeeds even at capacity.
+        assert_eq!(ctx.insert_local_flow(key(1), 9), InsertOutcome::Replaced);
+        assert_eq!(ctx.get_local_flow(&key(1)), Some(9));
+    }
+
+    #[test]
+    fn modify_and_remove_roundtrip() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 8);
+        let mut ctx = tables.ctx(1);
+        let k = key(5);
+        ctx.insert_local_flow(k, 10);
+        assert!(ctx.modify_local_flow(&k, &mut |v| *v += 5));
+        assert_eq!(ctx.get_local_flow(&k), Some(15));
+        assert_eq!(ctx.remove_local_flow(&k), Some(15));
+        assert_eq!(ctx.remove_local_flow(&k), None);
+        assert!(!ctx.modify_local_flow(&k, &mut |_| {}));
+    }
+
+    #[test]
+    fn batch_get_flows_matches_singles() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 64);
+        let keys: Vec<FlowKey> = (0..10).map(key).collect();
+        for (i, k) in keys.iter().enumerate() {
+            let d = map.designated_for_key(k);
+            tables.ctx(d).insert_local_flow(*k, i as u32);
+        }
+        let ctx = tables.ctx(0);
+        let mut batch = Vec::new();
+        ctx.get_flows(&keys, &mut batch);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(batch[i], ctx.get_flow(k), "key {i}");
+            assert_eq!(batch[i], Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn shared_tables_agree_with_local_semantics() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let shared: SharedTables<u32> = SharedTables::new(map.clone(), 16);
+        let k = key(8);
+        let d = map.designated_for_key(&k);
+        let mut writer = shared.ctx(d);
+        assert_eq!(writer.insert_local_flow(k, 99), InsertOutcome::Inserted);
+        for core in 0..4 {
+            assert_eq!(shared.ctx(core).get_flow(&k), Some(99));
+        }
+        assert_eq!(writer.remove_local_flow(&k), Some(99));
+        assert_eq!(shared.ctx(0).get_flow(&k), None);
+        assert_eq!(shared.total_entries(), 0);
+    }
+
+    #[test]
+    fn shared_tables_concurrent_read_write() {
+        // One writer (the designated core) and many readers hammering the
+        // same flow: readers must always see either absence or a fully
+        // written value, never a torn one.
+        let map = CoreMap::new(DispatchMode::Sprayer, 2);
+        let shared: SharedTables<(u64, u64)> = SharedTables::new(map.clone(), 1024);
+        let k = key(3);
+        let d = map.designated_for_key(&k);
+
+        std::thread::scope(|s| {
+            let writer_tables = shared.clone();
+            s.spawn(move || {
+                let mut ctx = writer_tables.ctx(d);
+                for i in 0..10_000u64 {
+                    ctx.insert_local_flow(k, (i, i.wrapping_mul(3)));
+                }
+            });
+            for _ in 0..3 {
+                let reader_tables = shared.clone();
+                s.spawn(move || {
+                    let ctx = reader_tables.ctx((d + 1) % 2);
+                    for _ in 0..10_000 {
+                        if let Some((a, b)) = ctx.get_flow(&k) {
+                            assert_eq!(b, a.wrapping_mul(3), "torn read");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn rss_mode_designation_allows_local_inserts_from_rss_core() {
+        // Under RSS mode, the designated core is the RSS queue; an NF
+        // running there inserts locally and finds its state locally.
+        let map = CoreMap::new(DispatchMode::Rss, 8);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 16);
+        let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+        let core = map.designated_for_tuple(&t);
+        let mut ctx = tables.ctx(core);
+        ctx.insert_local_flow(t.key(), 1);
+        assert_eq!(ctx.get_local_flow(&t.key()), Some(1));
+        assert_eq!(ctx.get_flow(&t.key()), Some(1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the Sprayer framework's invariants.
+
+use proptest::prelude::*;
+use sprayer::api::{FlowStateApi, InsertOutcome};
+use sprayer::config::DispatchMode;
+use sprayer::coremap::CoreMap;
+use sprayer::tables::{LocalTables, SharedTables};
+use sprayer_net::FiveTuple;
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
+        .prop_map(|(sa, sp, da, dp)| FiveTuple::tcp(sa, sp, da, dp))
+}
+
+proptest! {
+    /// The designated core is symmetric and in range for every tuple,
+    /// core count, and dispatch mode.
+    #[test]
+    fn designated_core_symmetry(t in arb_tuple(), cores in 1usize..=32, spray in any::<bool>()) {
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let map = CoreMap::new(mode, cores);
+        let d = map.designated_for_tuple(&t);
+        prop_assert!(d < cores);
+        prop_assert_eq!(d, map.designated_for_tuple(&t.reversed()));
+        prop_assert_eq!(d, map.designated_for_key(&t.key()));
+    }
+
+    /// Flow-table sequence invariant: after any sequence of operations on
+    /// the designated core, `get_flow` from every core agrees with a
+    /// model HashMap.
+    #[test]
+    fn local_tables_match_model(
+        ops in proptest::collection::vec((0u8..4, 0u32..24, any::<u32>()), 1..200),
+        cores in 1usize..=8,
+    ) {
+        let map = CoreMap::new(DispatchMode::Sprayer, cores);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 1 << 12);
+        let mut model = std::collections::HashMap::new();
+
+        for (op, flow_id, value) in ops {
+            let t = FiveTuple::tcp(flow_id, 1000, 0xc0a8_0001, 443);
+            let key = t.key();
+            let d = map.designated_for_key(&key);
+            let mut ctx = tables.ctx(d);
+            match op {
+                0 => {
+                    ctx.insert_local_flow(key, value);
+                    model.insert(key, value);
+                }
+                1 => {
+                    let got = ctx.remove_local_flow(&key);
+                    prop_assert_eq!(got, model.remove(&key));
+                }
+                2 => {
+                    let changed = ctx.modify_local_flow(&key, &mut |v| *v = value);
+                    if changed {
+                        model.insert(key, value);
+                    }
+                    prop_assert_eq!(changed, model.contains_key(&key));
+                }
+                _ => {
+                    // Read from a non-designated core.
+                    let reader = (d + 1) % cores;
+                    let got = tables.ctx(reader).get_flow(&key);
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+            }
+        }
+        // Final coherence from every core.
+        for (key, value) in &model {
+            for core in 0..cores {
+                prop_assert_eq!(tables.ctx(core).get_flow(key), Some(*value));
+            }
+        }
+        prop_assert_eq!(tables.total_entries(), model.len());
+    }
+
+    /// Shared (thread-safe) tables behave identically to local tables for
+    /// single-threaded operation sequences.
+    #[test]
+    fn shared_tables_match_local(
+        ops in proptest::collection::vec((0u8..3, 0u32..16, any::<u32>()), 1..100),
+    ) {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let mut local: LocalTables<u32> = LocalTables::new(map.clone(), 256);
+        let shared: SharedTables<u32> = SharedTables::new(map.clone(), 256);
+
+        for (op, flow_id, value) in ops {
+            let t = FiveTuple::tcp(flow_id, 1, 2, 3);
+            let key = t.key();
+            let d = map.designated_for_key(&key);
+            let mut lctx = local.ctx(d);
+            let mut sctx = shared.ctx(d);
+            match op {
+                0 => {
+                    let a = lctx.insert_local_flow(key, value);
+                    let b = sctx.insert_local_flow(key, value);
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    prop_assert_eq!(lctx.remove_local_flow(&key), sctx.remove_local_flow(&key));
+                }
+                _ => {
+                    prop_assert_eq!(lctx.get_flow(&key), sctx.get_flow(&key));
+                }
+            }
+        }
+        prop_assert_eq!(local.total_entries(), shared.total_entries());
+    }
+
+    /// Capacity: a table never exceeds its configured entry limit, and
+    /// inserts report TableFull exactly at the boundary.
+    #[test]
+    fn capacity_is_never_exceeded(capacity in 1usize..16, n in 1u32..64) {
+        let map = CoreMap::new(DispatchMode::Sprayer, 1); // one core: all local
+        let mut tables: LocalTables<u32> = LocalTables::new(map, capacity);
+        let mut ctx = tables.ctx(0);
+        let mut stored = 0usize;
+        for i in 0..n {
+            let t = FiveTuple::tcp(i, 7, 8, 9);
+            match ctx.insert_local_flow(t.key(), i) {
+                InsertOutcome::Inserted => stored += 1,
+                InsertOutcome::TableFull => prop_assert!(stored == capacity),
+                InsertOutcome::Replaced => unreachable!("distinct keys"),
+            }
+            prop_assert!(ctx.local_len() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//!
+//! Sprayer's NIC trick sprays packets by the low bits of the *TCP checksum*
+//! field, so the checksum computed here is what ultimately decides which
+//! core a simulated packet lands on. The NAT network function uses the
+//! incremental form to rewrite addresses/ports without re-summing payloads.
+
+/// Streaming one's-complement sum accumulator.
+///
+/// Feed it byte slices (and 16-bit words) in any order — the Internet
+/// checksum is commutative over 16-bit words — then call
+/// [`Checksum::finish`] to fold and complement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u64,
+    /// A pending odd byte from a previous `add_bytes` call, if any.
+    ///
+    /// RFC 1071 treats the data as a sequence of 16-bit big-endian words;
+    /// when slices arrive with odd lengths we must pair the trailing byte
+    /// with the first byte of the next slice.
+    pending: Option<u8>,
+}
+
+impl Checksum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a big-endian 16-bit word.
+    #[inline]
+    pub fn add_u16(&mut self, word: u16) {
+        debug_assert!(self.pending.is_none(), "add_u16 after an odd-length slice");
+        self.sum += u64::from(word);
+    }
+
+    /// Add a 32-bit value as two 16-bit words (for pseudo-header addresses).
+    #[inline]
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16((value & 0xffff) as u16);
+    }
+
+    /// Add a byte slice, pairing bytes into big-endian 16-bit words across
+    /// call boundaries.
+    pub fn add_bytes(&mut self, mut bytes: &[u8]) {
+        if let Some(hi) = self.pending.take() {
+            if let Some((&lo, rest)) = bytes.split_first() {
+                self.sum += u64::from(u16::from_be_bytes([hi, lo]));
+                bytes = rest;
+            } else {
+                self.pending = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(2);
+        for pair in &mut chunks {
+            self.sum += u64::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    /// Fold the accumulator and return the one's-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.pending.take() {
+            // Trailing odd byte is padded with a zero byte (RFC 1071).
+            self.sum += u64::from(u16::from_be_bytes([hi, 0]));
+        }
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot Internet checksum over a byte slice.
+pub fn internet_checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// Verify a region whose checksum field is already filled in: the folded
+/// sum over the whole region must be zero.
+pub fn verify(bytes: &[u8]) -> bool {
+    internet_checksum(bytes) == 0
+}
+
+/// RFC 1624 incremental checksum update for a 16-bit field change.
+///
+/// Given the old checksum value and one 16-bit word changing from `old`
+/// to `new`, returns the new checksum. This is how real NATs (and ours,
+/// in `sprayer-nf`) rewrite ports and addresses in O(1).
+///
+/// Uses the `~(~HC + ~m + m')` formulation (RFC 1624 eqn. 3), which is
+/// correct in all cases including the `0xffff` corner that broke RFC 1071's
+/// eqn. 4.
+pub fn incremental_update16(checksum: u16, old: u16, new: u16) -> u16 {
+    let mut sum = u64::from(!checksum) + u64::from(!old) + u64::from(new);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Incremental update for a 32-bit field (e.g. an IPv4 address): applies
+/// [`incremental_update16`] to both halves.
+pub fn incremental_update32(checksum: u16, old: u32, new: u32) -> u16 {
+    let c = incremental_update16(checksum, (old >> 16) as u16, (new >> 16) as u16);
+    incremental_update16(c, (old & 0xffff) as u16, (new & 0xffff) as u16)
+}
+
+/// The pseudo-header sum for IPv4 TCP/UDP checksums.
+///
+/// `proto` is the IP protocol number, `len` the transport segment length
+/// (header + payload).
+pub fn pseudo_header_v4(src: u32, dst: u32, proto: u8, len: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_u32(src);
+    c.add_u32(dst);
+    c.add_u16(u16::from(proto));
+    c.add_u16(len);
+    c
+}
+
+/// The pseudo-header sum for IPv6 TCP/UDP checksums.
+pub fn pseudo_header_v6(src: &[u8; 16], dst: &[u8; 16], proto: u8, len: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(src);
+    c.add_bytes(dst);
+    c.add_u32(len);
+    c.add_u32(u32::from(proto));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worked example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_worked_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // RFC 1071 gives the folded (uncomplemented) sum 0xddf2.
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_slice_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn split_slices_equal_contiguous() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let whole = internet_checksum(&data);
+        for split in [1usize, 3, 7, 100, 255] {
+            let mut c = Checksum::new();
+            c.add_bytes(&data[..split]);
+            c.add_bytes(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn odd_odd_slices_pair_across_boundary() {
+        // Two odd-length slices must behave like their concatenation, not
+        // like two zero-padded fragments.
+        let a = [0x12u8, 0x34, 0x56];
+        let b = [0x78u8];
+        let mut c = Checksum::new();
+        c.add_bytes(&a);
+        c.add_bytes(&b);
+        assert_eq!(c.finish(), internet_checksum(&[0x12, 0x34, 0x56, 0x78]));
+    }
+
+    #[test]
+    fn verify_detects_single_bit_corruption() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 0, 0];
+        let sum = internet_checksum(&data);
+        data[6..8].copy_from_slice(&sum.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x40;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0u8; 20];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        // Checksum field at offset 10 (like IPv4).
+        data[10] = 0;
+        data[11] = 0;
+        let sum = internet_checksum(&data);
+        data[10..12].copy_from_slice(&sum.to_be_bytes());
+
+        // Change the word at offset 4.
+        let old = u16::from_be_bytes([data[4], data[5]]);
+        let new: u16 = 0xbeef;
+        data[4..6].copy_from_slice(&new.to_be_bytes());
+        let updated = incremental_update16(sum, old, new);
+
+        data[10] = 0;
+        data[11] = 0;
+        assert_eq!(updated, internet_checksum(&data));
+    }
+
+    #[test]
+    fn incremental_update_rfc1624_corner_case() {
+        // RFC 1624 §4: header checksum 0xdd2f, word changes 0x5555 ->
+        // 0x3285; the correct new checksum is 0x0000 (not 0xffff).
+        assert_eq!(incremental_update16(0xdd2f, 0x5555, 0x3285), 0x0000);
+    }
+
+    #[test]
+    fn incremental_update32_matches_two_16bit_updates() {
+        let c0 = 0x1234u16;
+        let by32 = incremental_update32(c0, 0xc0a8_0001, 0x0a00_0001);
+        let by16 = incremental_update16(
+            incremental_update16(c0, 0xc0a8, 0x0a00),
+            0x0001,
+            0x0001,
+        );
+        assert_eq!(by32, by16);
+    }
+}

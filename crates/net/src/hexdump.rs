@@ -1,0 +1,55 @@
+//! Human-readable hexdumps for debugging packet contents.
+
+use core::fmt::Write as _;
+
+/// Render `bytes` as a classic 16-bytes-per-line hexdump with an ASCII
+/// gutter, e.g. for example binaries' `--dump` flags.
+pub fn hexdump(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 4);
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let _ = write!(out, "{:08x}  ", i * 16);
+        for j in 0..16 {
+            match chunk.get(j) {
+                Some(b) => {
+                    let _ = write!(out, "{b:02x} ");
+                }
+                None => out.push_str("   "),
+            }
+            if j == 7 {
+                out.push(' ');
+            }
+        }
+        out.push(' ');
+        for &b in chunk {
+            out.push(if (0x20..0x7f).contains(&b) { b as char } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_sixteen_bytes_per_line() {
+        let data: Vec<u8> = (0..32).collect();
+        let dump = hexdump(&data);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("00000000  00 01 02 03"));
+        assert!(lines[1].starts_with("00000010  10 11 12 13"));
+    }
+
+    #[test]
+    fn ascii_gutter_shows_printables() {
+        let dump = hexdump(b"Hi\x00!");
+        assert!(dump.contains("Hi.!"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert_eq!(hexdump(&[]), "");
+    }
+}

@@ -1,0 +1,271 @@
+//! IPv4 header parsing and emission.
+
+use crate::checksum::{internet_checksum, Checksum};
+use crate::{be16, be32, check_len, put16, put32, NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used by this stack.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+}
+
+/// A parsed IPv4 header (options preserved as raw bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services + ECN byte.
+    pub dscp_ecn: u8,
+    /// Total length of the datagram (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field (fragmentation).
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units.
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number (see [`proto`]).
+    pub protocol: u8,
+    /// Header checksum as found on the wire (recomputed by `emit`).
+    pub checksum: u16,
+    /// Source address (big-endian `u32`, so `192.0.2.1` is `0xc0000201`).
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Raw option bytes (length must be a multiple of 4, at most 40).
+    pub options: Vec<u8>,
+}
+
+impl Ipv4Header {
+    /// A minimal TCP/UDP-carrying header with common defaults.
+    pub fn simple(src: u32, dst: u32, protocol: u8, payload_len: u16) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: IPV4_HEADER_LEN as u16 + payload_len,
+            identification: 0,
+            dont_fragment: true,
+            more_fragments: false,
+            fragment_offset: 0,
+            ttl: 64,
+            protocol,
+            checksum: 0,
+            src,
+            dst,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes including options.
+    pub fn header_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.options.len()
+    }
+
+    /// Payload length implied by `total_len`.
+    pub fn payload_len(&self) -> usize {
+        usize::from(self.total_len).saturating_sub(self.header_len())
+    }
+
+    /// Parse a header from the start of `buf`, verifying the checksum.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        check_len(buf, IPV4_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(NetError::BadVersion(version));
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if !(IPV4_HEADER_LEN..=60).contains(&ihl) {
+            return Err(NetError::BadLength);
+        }
+        check_len(buf, ihl)?;
+        if internet_checksum(&buf[..ihl]) != 0 {
+            return Err(NetError::BadChecksum);
+        }
+        let total_len = be16(buf, 2);
+        if usize::from(total_len) < ihl {
+            return Err(NetError::BadLength);
+        }
+        let flags_frag = be16(buf, 6);
+        Ok(Ipv4Header {
+            dscp_ecn: buf[1],
+            total_len,
+            identification: be16(buf, 4),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            more_fragments: flags_frag & 0x2000 != 0,
+            fragment_offset: flags_frag & 0x1fff,
+            ttl: buf[8],
+            protocol: buf[9],
+            checksum: be16(buf, 10),
+            src: be32(buf, 12),
+            dst: be32(buf, 16),
+            options: buf[IPV4_HEADER_LEN..ihl].to_vec(),
+        })
+    }
+
+    /// Serialize into `buf`, computing and writing the header checksum.
+    ///
+    /// Returns the number of header bytes written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let hlen = self.header_len();
+        if hlen > 60 || self.options.len() % 4 != 0 {
+            return Err(NetError::Unsupported);
+        }
+        check_len(buf, hlen)?;
+        buf[0] = 0x40 | ((hlen / 4) as u8);
+        buf[1] = self.dscp_ecn;
+        put16(buf, 2, self.total_len);
+        put16(buf, 4, self.identification);
+        let mut flags_frag = self.fragment_offset & 0x1fff;
+        if self.dont_fragment {
+            flags_frag |= 0x4000;
+        }
+        if self.more_fragments {
+            flags_frag |= 0x2000;
+        }
+        put16(buf, 6, flags_frag);
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        put16(buf, 10, 0);
+        put32(buf, 12, self.src);
+        put32(buf, 16, self.dst);
+        buf[IPV4_HEADER_LEN..hlen].copy_from_slice(&self.options);
+        let sum = internet_checksum(&buf[..hlen]);
+        put16(buf, 10, sum);
+        Ok(hlen)
+    }
+
+    /// The pseudo-header checksum seed for this header's transport payload.
+    pub fn pseudo_header(&self) -> Checksum {
+        crate::checksum::pseudo_header_v4(
+            self.src,
+            self.dst,
+            self.protocol,
+            self.total_len - self.header_len() as u16,
+        )
+    }
+}
+
+/// Format a big-endian `u32` as dotted-quad for diagnostics.
+pub fn fmt_addr(addr: u32) -> String {
+    let b = addr.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Parse `a.b.c.d` into a big-endian `u32`. Returns `None` on malformed
+/// input; intended for example/CLI code, not the data path.
+pub fn parse_addr(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut addr = 0u32;
+    for _ in 0..4 {
+        let octet: u32 = parts.next()?.parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        addr = (addr << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        let mut h = Ipv4Header::simple(0xc0a8_0001, 0x0a00_002a, proto::TCP, 100);
+        h.identification = 0x1234;
+        h.ttl = 57;
+        h
+    }
+
+    #[test]
+    fn round_trip_no_options() {
+        let hdr = sample();
+        let mut buf = vec![0u8; 64];
+        let n = hdr.emit(&mut buf).unwrap();
+        assert_eq!(n, IPV4_HEADER_LEN);
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.src, hdr.src);
+        assert_eq!(parsed.dst, hdr.dst);
+        assert_eq!(parsed.total_len, hdr.total_len);
+        assert_eq!(parsed.ttl, hdr.ttl);
+        assert_eq!(parsed.identification, hdr.identification);
+        assert!(parsed.dont_fragment);
+        // Emitted checksum must self-verify.
+        assert_eq!(internet_checksum(&buf[..n]), 0);
+    }
+
+    #[test]
+    fn round_trip_with_options() {
+        let mut hdr = sample();
+        hdr.options = vec![0x01, 0x01, 0x01, 0x01]; // four NOPs
+        hdr.total_len += 4;
+        let mut buf = vec![0u8; 64];
+        let n = hdr.emit(&mut buf).unwrap();
+        assert_eq!(n, 24);
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.options, hdr.options);
+        assert_eq!(parsed.header_len(), 24);
+    }
+
+    #[test]
+    fn parse_rejects_bad_checksum() {
+        let mut buf = vec![0u8; 64];
+        sample().emit(&mut buf).unwrap();
+        buf[15] ^= 1; // corrupt source address
+        assert_eq!(Ipv4Header::parse(&buf), Err(NetError::BadChecksum));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut buf = vec![0u8; 64];
+        sample().emit(&mut buf).unwrap();
+        buf[0] = 0x65; // version 6 — but re-fix checksum so version check fires first
+        assert!(matches!(Ipv4Header::parse(&buf), Err(NetError::BadVersion(6))));
+    }
+
+    #[test]
+    fn parse_rejects_ihl_below_minimum() {
+        let mut buf = vec![0u8; 64];
+        sample().emit(&mut buf).unwrap();
+        buf[0] = 0x44; // IHL = 4 words = 16 bytes < 20
+        assert_eq!(Ipv4Header::parse(&buf), Err(NetError::BadLength));
+    }
+
+    #[test]
+    fn emit_rejects_unaligned_options() {
+        let mut hdr = sample();
+        hdr.options = vec![1, 2, 3];
+        let mut buf = vec![0u8; 64];
+        assert_eq!(hdr.emit(&mut buf), Err(NetError::Unsupported));
+    }
+
+    #[test]
+    fn addr_formatting_round_trips() {
+        assert_eq!(fmt_addr(0xc0a8_0001), "192.168.0.1");
+        assert_eq!(parse_addr("192.168.0.1"), Some(0xc0a8_0001));
+        assert_eq!(parse_addr("10.0.0.300"), None);
+        assert_eq!(parse_addr("1.2.3"), None);
+        assert_eq!(parse_addr("1.2.3.4.5"), None);
+    }
+
+    #[test]
+    fn payload_len_accounts_for_options() {
+        let mut hdr = sample();
+        assert_eq!(hdr.payload_len(), 100);
+        hdr.options = vec![0; 8];
+        hdr.total_len += 8;
+        assert_eq!(hdr.payload_len(), 100);
+    }
+}

@@ -1,0 +1,155 @@
+//! IPv6 header parsing and emission (no extension headers).
+//!
+//! Sprayer's evaluation is IPv4, but the paper's Table 1 includes an
+//! "IPv4 to IPv6" translator NF, so the stack carries enough IPv6 to
+//! build and parse translated packets.
+
+use crate::checksum::Checksum;
+use crate::{be16, be32, check_len, put16, put32, NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of the fixed IPv6 header.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A parsed fixed IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after this header).
+    pub payload_len: u16,
+    /// Next header (protocol) number.
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: [u8; 16],
+    /// Destination address.
+    pub dst: [u8; 16],
+}
+
+impl Ipv6Header {
+    /// A minimal header with common defaults.
+    pub fn simple(src: [u8; 16], dst: [u8; 16], next_header: u8, payload_len: u16) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// An IPv4-mapped IPv6 address (`::ffff:a.b.c.d`), used by the
+    /// IPv4→IPv6 translator NF.
+    pub fn mapped_v4(addr: u32) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[10] = 0xff;
+        out[11] = 0xff;
+        out[12..16].copy_from_slice(&addr.to_be_bytes());
+        out
+    }
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        check_len(buf, IPV6_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 6 {
+            return Err(NetError::BadVersion(version));
+        }
+        let first = be32(buf, 0);
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class: ((first >> 20) & 0xff) as u8,
+            flow_label: first & 0x000f_ffff,
+            payload_len: be16(buf, 4),
+            next_header: buf[6],
+            hop_limit: buf[7],
+            src,
+            dst,
+        })
+    }
+
+    /// Serialize into the first [`IPV6_HEADER_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        check_len(buf, IPV6_HEADER_LEN)?;
+        let first = (6u32 << 28)
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        put32(buf, 0, first);
+        put16(buf, 4, self.payload_len);
+        buf[6] = self.next_header;
+        buf[7] = self.hop_limit;
+        buf[8..24].copy_from_slice(&self.src);
+        buf[24..40].copy_from_slice(&self.dst);
+        Ok(IPV6_HEADER_LEN)
+    }
+
+    /// The pseudo-header checksum seed for this header's transport payload.
+    pub fn pseudo_header(&self) -> Checksum {
+        crate::checksum::pseudo_header_v6(
+            &self.src,
+            &self.dst,
+            self.next_header,
+            u32::from(self.payload_len),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        let mut h = Ipv6Header::simple(
+            Ipv6Header::mapped_v4(0xc0a8_0001),
+            Ipv6Header::mapped_v4(0x0a00_002a),
+            6,
+            512,
+        );
+        h.flow_label = 0xabcde;
+        h.traffic_class = 0x1c;
+        h.hop_limit = 3;
+        h
+    }
+
+    #[test]
+    fn round_trip() {
+        let hdr = sample();
+        let mut buf = [0u8; IPV6_HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        assert_eq!(Ipv6Header::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut buf = [0u8; IPV6_HEADER_LEN];
+        sample().emit(&mut buf).unwrap();
+        buf[0] = 0x45;
+        assert!(matches!(Ipv6Header::parse(&buf), Err(NetError::BadVersion(4))));
+    }
+
+    #[test]
+    fn flow_label_is_masked_to_20_bits() {
+        let mut hdr = sample();
+        hdr.flow_label = 0xfff_ffff; // wider than 20 bits
+        let mut buf = [0u8; IPV6_HEADER_LEN];
+        hdr.emit(&mut buf).unwrap();
+        assert_eq!(Ipv6Header::parse(&buf).unwrap().flow_label, 0xf_ffff);
+    }
+
+    #[test]
+    fn mapped_v4_has_ffff_prefix() {
+        let mapped = Ipv6Header::mapped_v4(0x0102_0304);
+        assert_eq!(&mapped[..10], &[0u8; 10]);
+        assert_eq!(&mapped[10..12], &[0xff, 0xff]);
+        assert_eq!(&mapped[12..], &[1, 2, 3, 4]);
+    }
+}

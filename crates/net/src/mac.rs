@@ -1,0 +1,88 @@
+//! Ethernet MAC addresses.
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as a placeholder by packet builders.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from the six octets in transmission order.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// True if the group bit (LSB of the first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for `ff:ff:ff:ff:ff:ff`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// A deterministic locally-administered unicast address derived from an
+    /// index; used by traffic generators to label simulated hosts.
+    pub fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = &self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", m[0], m[1], m[2], m[3], m[4], m[5])
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_colon_separated_hex() {
+        let mac = MacAddr::new(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+        assert_eq!(mac.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn broadcast_is_multicast_and_broadcast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn from_index_is_local_unicast_and_unique() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(a.is_local());
+        assert!(!a.is_multicast());
+    }
+
+    #[test]
+    fn zero_is_not_multicast() {
+        assert!(!MacAddr::ZERO.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+}

@@ -1,0 +1,122 @@
+//! UDP header parsing and emission.
+//!
+//! In Sprayer, non-TCP packets fall back to RSS (§4), so UDP traffic
+//! exercises the RSS path of the NIC model.
+
+use crate::checksum::Checksum;
+use crate::{be16, check_len, put16, NetError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload.
+    pub length: u16,
+    /// Checksum as found on the wire (`0` means "not computed" in IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// A header for the given endpoints and payload length.
+    pub fn simple(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: UDP_HEADER_LEN as u16 + payload_len,
+            checksum: 0,
+        }
+    }
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        check_len(buf, UDP_HEADER_LEN)?;
+        let length = be16(buf, 4);
+        if usize::from(length) < UDP_HEADER_LEN {
+            return Err(NetError::BadLength);
+        }
+        Ok(UdpHeader {
+            src_port: be16(buf, 0),
+            dst_port: be16(buf, 2),
+            length,
+            checksum: be16(buf, 6),
+        })
+    }
+
+    /// Serialize into `buf`, computing the checksum over the pseudo-header
+    /// and `payload`. A computed checksum of 0 is transmitted as `0xffff`
+    /// per RFC 768.
+    pub fn emit(&self, buf: &mut [u8], pseudo: Checksum, payload: &[u8]) -> Result<usize> {
+        check_len(buf, UDP_HEADER_LEN)?;
+        put16(buf, 0, self.src_port);
+        put16(buf, 2, self.dst_port);
+        put16(buf, 4, self.length);
+        put16(buf, 6, 0);
+        let mut sum = pseudo;
+        sum.add_bytes(&buf[..UDP_HEADER_LEN]);
+        sum.add_bytes(payload);
+        let checksum = match sum.finish() {
+            0 => 0xffff,
+            c => c,
+        };
+        put16(buf, 6, checksum);
+        Ok(UDP_HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::pseudo_header_v4;
+    use crate::ipv4::proto;
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let payload = b"dns query";
+        let hdr = UdpHeader::simple(5353, 53, payload.len() as u16);
+        let pseudo = pseudo_header_v4(0x0a000001, 0x0a000002, proto::UDP, hdr.length);
+        let mut buf = vec![0u8; 64];
+        hdr.emit(&mut buf, pseudo, payload).unwrap();
+        buf.truncate(UDP_HEADER_LEN);
+        buf.extend_from_slice(payload);
+
+        let parsed = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.src_port, 5353);
+        assert_eq!(parsed.dst_port, 53);
+        assert_eq!(parsed.length, hdr.length);
+        assert_ne!(parsed.checksum, 0);
+
+        // Whole segment (checksum filled) must fold to zero.
+        let mut sum = pseudo_header_v4(0x0a000001, 0x0a000002, proto::UDP, hdr.length);
+        sum.add_bytes(&buf);
+        assert_eq!(sum.finish(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_length_below_header() {
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        buf[5] = 7; // length 7 < 8
+        assert_eq!(UdpHeader::parse(&buf), Err(NetError::BadLength));
+    }
+
+    #[test]
+    fn zero_checksum_is_remapped_to_ffff() {
+        // Construct a payload that makes the checksum come out to zero:
+        // easiest is to search a one-byte payload space.
+        for b in 0u8..=255 {
+            let payload = [b];
+            let hdr = UdpHeader::simple(0, 0, 1);
+            let pseudo = pseudo_header_v4(0, 0, proto::UDP, hdr.length);
+            let mut buf = vec![0u8; 16];
+            hdr.emit(&mut buf, pseudo, &payload).unwrap();
+            let parsed = UdpHeader::parse(&buf).unwrap();
+            assert_ne!(parsed.checksum, 0, "emitted UDP checksum must never be 0");
+        }
+    }
+}

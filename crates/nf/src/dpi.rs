@@ -1,0 +1,378 @@
+//! Deep packet inspection with cross-packet pattern matching.
+//!
+//! Table 1 row "DPI": **automata** — per-flow state that is read *and
+//! written on every packet*. That per-packet write is exactly what
+//! Sprayer's write partition cannot accommodate (§7: DPI "would require
+//! that cores share their state machines"), so this NF is flagged
+//! [`sprayer::api::NfDescriptor::incompatible`] and is meant to run under
+//! RSS dispatch. Running it under spraying is *detected*, not silently
+//! wrong: the per-flow automaton state can only be updated on the
+//! designated core, so regular packets landing elsewhere count as
+//! `unscanned` — making the coverage loss measurable (see tests and the
+//! ablation bench).
+//!
+//! The matcher is a from-scratch Aho–Corasick automaton (goto/fail links
+//! over a byte trie), carrying match state across packet boundaries so
+//! patterns split between segments are still found — the property that
+//! requires the per-packet state write.
+
+use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
+use sprayer_net::{Packet, TcpFlags};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A compiled Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    /// goto[state][byte] → state (dense; fine for rule sets of hundreds).
+    goto: Vec<[u32; 256]>,
+    /// Pattern indices ending at each state.
+    output: Vec<Vec<u32>>,
+    patterns: Vec<Vec<u8>>,
+}
+
+impl Automaton {
+    /// Compile `patterns` (empty patterns are ignored).
+    pub fn compile<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let patterns: Vec<Vec<u8>> =
+            patterns.iter().map(|p| p.as_ref().to_vec()).filter(|p| !p.is_empty()).collect();
+
+        // Build the trie with a sentinel "no edge" marker.
+        const NONE: u32 = u32::MAX;
+        let mut trie: Vec<[u32; 256]> = vec![[NONE; 256]];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        for (idx, pat) in patterns.iter().enumerate() {
+            let mut s = 0usize;
+            for &b in pat {
+                let next = trie[s][usize::from(b)];
+                s = if next == NONE {
+                    trie.push([NONE; 256]);
+                    output.push(Vec::new());
+                    let new = (trie.len() - 1) as u32;
+                    trie[s][usize::from(b)] = new;
+                    new as usize
+                } else {
+                    next as usize
+                };
+            }
+            output[s].push(idx as u32);
+        }
+
+        // BFS to compute failure links and convert to a dense goto.
+        let mut fail = vec![0u32; trie.len()];
+        let mut queue = VecDeque::new();
+        let mut goto: Vec<[u32; 256]> = vec![[0; 256]; trie.len()];
+        for b in 0..256 {
+            let next = trie[0][b];
+            if next == NONE {
+                goto[0][b] = 0;
+            } else {
+                goto[0][b] = next;
+                fail[next as usize] = 0;
+                queue.push_back(next as usize);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s] as usize;
+            // Merge output of the failure state (suffix matches).
+            let inherited = output[f].clone();
+            output[s].extend(inherited);
+            for b in 0..256 {
+                let next = trie[s][b];
+                if next == NONE {
+                    goto[s][b] = goto[f][b];
+                } else {
+                    fail[next as usize] = goto[f][b];
+                    goto[s][b] = next;
+                    queue.push_back(next as usize);
+                }
+            }
+        }
+        Automaton { goto, output, patterns }
+    }
+
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.goto.len()
+    }
+
+    /// The compiled patterns.
+    pub fn patterns(&self) -> &[Vec<u8>] {
+        &self.patterns
+    }
+
+    /// Advance `state` over `bytes`, invoking `on_match(pattern_idx)` for
+    /// every occurrence. Returns the final state — the cross-packet
+    /// carry-over.
+    pub fn scan(&self, mut state: u32, bytes: &[u8], on_match: &mut dyn FnMut(u32)) -> u32 {
+        for &b in bytes {
+            state = self.goto[state as usize][usize::from(b)];
+            for &p in &self.output[state as usize] {
+                on_match(p);
+            }
+        }
+        state
+    }
+}
+
+/// Per-flow DPI state: one automaton cursor per direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpiFlow {
+    /// Automaton state for packets in canonical (lo→hi) direction.
+    pub state_fwd: u32,
+    /// Automaton state for the other direction.
+    pub state_rev: u32,
+}
+
+/// The DPI NF.
+pub struct DpiNf {
+    automaton: Automaton,
+    /// Pattern occurrences found.
+    pub matches: AtomicU64,
+    /// Payload bytes scanned.
+    pub scanned_bytes: AtomicU64,
+    /// Payload bytes that could NOT be scanned because the packet was
+    /// processed away from the flow's designated core (spray mode).
+    pub unscanned_bytes: AtomicU64,
+    /// Drop flows on match (IPS mode) instead of just counting (IDS mode).
+    pub drop_on_match: bool,
+}
+
+impl DpiNf {
+    /// An IDS-style DPI over `patterns`.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        DpiNf {
+            automaton: Automaton::compile(patterns),
+            matches: AtomicU64::new(0),
+            scanned_bytes: AtomicU64::new(0),
+            unscanned_bytes: AtomicU64::new(0),
+            drop_on_match: false,
+        }
+    }
+
+    /// The compiled automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    fn scan_payload(
+        &self,
+        pkt: &Packet,
+        ctx: &mut dyn FlowStateApi<DpiFlow>,
+    ) -> (bool, Verdict) {
+        let Some(tuple) = pkt.tuple() else {
+            return (false, Verdict::Forward);
+        };
+        let Some(payload) = pkt.payload() else {
+            return (false, Verdict::Forward);
+        };
+        if payload.is_empty() {
+            return (false, Verdict::Forward);
+        }
+        let key = tuple.key();
+        // The automaton state is per-flow and updated per packet: it can
+        // only be written on the designated core.
+        if ctx.designated_core(&key) != ctx.core_id() {
+            self.unscanned_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+            return (false, Verdict::Forward);
+        }
+        let canonical_dir = (tuple.src_addr, tuple.src_port) <= (tuple.dst_addr, tuple.dst_port);
+        let mut hits = 0u64;
+        let updated = ctx.modify_local_flow(&key, &mut |f| {
+            let cursor = if canonical_dir { &mut f.state_fwd } else { &mut f.state_rev };
+            *cursor = self.automaton.scan(*cursor, payload, &mut |_| hits += 1);
+        });
+        if !updated {
+            // Unknown flow (no SYN seen): scan statelessly from state 0.
+            self.automaton.scan(0, payload, &mut |_| hits += 1);
+        }
+        self.scanned_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if hits > 0 {
+            self.matches.fetch_add(hits, Ordering::Relaxed);
+            if self.drop_on_match {
+                return (true, Verdict::Drop);
+            }
+        }
+        (hits > 0, Verdict::Forward)
+    }
+}
+
+impl NetworkFunction for DpiNf {
+    type Flow = DpiFlow;
+
+    fn descriptor(&self) -> NfDescriptor {
+        NfDescriptor::named("DPI")
+            .with_state("Automata", Scope::PerFlow, Access::ReadWrite, Access::None)
+            .incompatible()
+    }
+
+    fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> Verdict {
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Forward;
+        };
+        let flags = pkt.meta().tcp_flags.unwrap_or_default();
+        let key = tuple.key();
+        if flags.contains(TcpFlags::SYN) {
+            if ctx.get_local_flow(&key).is_none() {
+                ctx.insert_local_flow(key, DpiFlow::default());
+            }
+        } else if flags.intersects(TcpFlags::FIN | TcpFlags::RST) {
+            // Scan any final payload, then drop the cursors.
+            let (_, verdict) = self.scan_payload(pkt, ctx);
+            if flags.contains(TcpFlags::RST) || flags.contains(TcpFlags::FIN) {
+                ctx.remove_local_flow(&key);
+            }
+            return verdict;
+        }
+        Verdict::Forward
+    }
+
+    fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> Verdict {
+        self.scan_payload(pkt, ctx).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer::config::DispatchMode;
+    use sprayer::coremap::CoreMap;
+    use sprayer::tables::LocalTables;
+    use sprayer_net::{FiveTuple, PacketBuilder};
+
+    #[test]
+    fn automaton_finds_all_overlapping_matches() {
+        let ac = Automaton::compile(&["he", "she", "his", "hers"]);
+        let mut found = Vec::new();
+        ac.scan(0, b"ushers", &mut |p| found.push(p));
+        // "she" (1), "he" (0), "hers" (3).
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn automaton_state_carries_across_chunks() {
+        let ac = Automaton::compile(&["malware"]);
+        let mut found = 0;
+        let s = ac.scan(0, b"...malw", &mut |_| found += 1);
+        assert_eq!(found, 0, "split pattern not yet complete");
+        ac.scan(s, b"are!...", &mut |_| found += 1);
+        assert_eq!(found, 1, "cross-chunk match must be found");
+        // Without carrying state it is missed:
+        let mut missed = 0;
+        ac.scan(0, b"are!...", &mut |_| missed += 1);
+        assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn automaton_repeated_pattern_counts_each() {
+        let ac = Automaton::compile(&["ab"]);
+        let mut n = 0;
+        ac.scan(0, b"ababab", &mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    fn rss_harness() -> (DpiNf, LocalTables<DpiFlow>, CoreMap) {
+        let map = CoreMap::new(DispatchMode::Rss, 4);
+        (DpiNf::new(&["attack"]), LocalTables::new(map.clone(), 64), map)
+    }
+
+    #[test]
+    fn under_rss_split_payload_is_detected() {
+        let (dpi, mut tables, map) = rss_harness();
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        dpi.connection_packets(&mut syn, &mut tables.ctx(core));
+
+        let mut p1 = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"..att");
+        dpi.regular_packets(&mut p1, &mut tables.ctx(core));
+        assert_eq!(dpi.matches.load(Ordering::Relaxed), 0);
+
+        let mut p2 = PacketBuilder::new().tcp(t, 6, 0, TcpFlags::ACK, b"ack..");
+        dpi.regular_packets(&mut p2, &mut tables.ctx(core));
+        assert_eq!(dpi.matches.load(Ordering::Relaxed), 1, "cross-packet pattern found");
+    }
+
+    #[test]
+    fn directions_have_independent_cursors() {
+        let (dpi, mut tables, map) = rss_harness();
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        dpi.connection_packets(&mut syn, &mut tables.ctx(core));
+
+        // First half in one direction, second half in the other: no match.
+        let mut p1 = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"att");
+        dpi.regular_packets(&mut p1, &mut tables.ctx(core));
+        let mut p2 = PacketBuilder::new().tcp(t.reversed(), 1, 0, TcpFlags::ACK, b"ack");
+        dpi.regular_packets(&mut p2, &mut tables.ctx(core));
+        assert_eq!(
+            dpi.matches.load(Ordering::Relaxed),
+            0,
+            "directions must not share a cursor"
+        );
+    }
+
+    #[test]
+    fn spray_mode_counts_unscanned_bytes() {
+        // Under spraying, packets on non-designated cores cannot update
+        // the automaton: the NF must surface the coverage loss.
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        let dpi = DpiNf::new(&["attack"]);
+        let mut tables: LocalTables<DpiFlow> = LocalTables::new(map.clone(), 64);
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let designated = map.designated_for_tuple(&t);
+        let other = (designated + 1) % 4;
+
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        dpi.connection_packets(&mut syn, &mut tables.ctx(designated));
+
+        let mut p = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"attack");
+        assert_eq!(dpi.regular_packets(&mut p, &mut tables.ctx(other)), Verdict::Forward);
+        assert_eq!(dpi.matches.load(Ordering::Relaxed), 0);
+        assert_eq!(dpi.unscanned_bytes.load(Ordering::Relaxed), 6);
+
+        let mut p2 = PacketBuilder::new().tcp(t, 7, 0, TcpFlags::ACK, b"attack");
+        dpi.regular_packets(&mut p2, &mut tables.ctx(designated));
+        assert_eq!(dpi.matches.load(Ordering::Relaxed), 1);
+        assert_eq!(dpi.scanned_bytes.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn ips_mode_drops_matching_packets() {
+        let (mut dpi, mut tables, map) = {
+            let (d, t, m) = rss_harness();
+            (d, t, m)
+        };
+        dpi.drop_on_match = true;
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        dpi.connection_packets(&mut syn, &mut tables.ctx(core));
+        let mut evil = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"attack!");
+        assert_eq!(dpi.regular_packets(&mut evil, &mut tables.ctx(core)), Verdict::Drop);
+        let mut benign = PacketBuilder::new().tcp(t, 8, 0, TcpFlags::ACK, b"hello");
+        assert_eq!(dpi.regular_packets(&mut benign, &mut tables.ctx(core)), Verdict::Forward);
+    }
+
+    #[test]
+    fn descriptor_is_flagged_incompatible() {
+        let dpi = DpiNf::new(&["x"]);
+        let d = dpi.descriptor();
+        assert!(!d.sprayer_compatible);
+        assert!(d.writes_flow_state_per_packet());
+    }
+
+    #[test]
+    fn unknown_flow_falls_back_to_stateless_scan() {
+        let (dpi, mut tables, map) = rss_harness();
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+        // No SYN: pattern within a single packet is still caught.
+        let mut p = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"..attack..");
+        dpi.regular_packets(&mut p, &mut tables.ctx(core));
+        assert_eq!(dpi.matches.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! A stateful firewall.
+//!
+//! Table 1 row "Firewall": connection context — per-flow, read on every
+//! packet, written at flow start/end. The ACL itself is static
+//! configuration, consulted only when connections open (a real firewall
+//! does one ACL walk per connection, then fast-paths established flows —
+//! exactly the pattern that makes it Sprayer-friendly).
+
+use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
+use sprayer_net::{FiveTuple, Packet, Protocol, TcpFlags};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Action of an ACL rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Admit the connection.
+    Allow,
+    /// Reject the connection.
+    Deny,
+}
+
+/// One ACL rule; `None` fields are wildcards. First match wins.
+#[derive(Debug, Clone, Copy)]
+pub struct AclRule {
+    /// Source prefix as (address, prefix length).
+    pub src: Option<(u32, u8)>,
+    /// Destination prefix.
+    pub dst: Option<(u32, u8)>,
+    /// Destination port.
+    pub dst_port: Option<u16>,
+    /// Protocol.
+    pub protocol: Option<Protocol>,
+    /// Verdict when matched.
+    pub action: Action,
+}
+
+impl AclRule {
+    /// Wildcard rule with the given action (use as the final default).
+    pub fn default_action(action: Action) -> Self {
+        AclRule { src: None, dst: None, dst_port: None, protocol: None, action }
+    }
+
+    /// Allow traffic to a destination port.
+    pub fn allow_dst_port(port: u16) -> Self {
+        AclRule { dst_port: Some(port), ..Self::default_action(Action::Allow) }
+    }
+
+    fn prefix_match(prefix: (u32, u8), addr: u32) -> bool {
+        let (net, len) = prefix;
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(len.min(32)));
+        addr & mask == net & mask
+    }
+
+    fn matches(&self, t: &FiveTuple) -> bool {
+        self.src.is_none_or(|p| Self::prefix_match(p, t.src_addr))
+            && self.dst.is_none_or(|p| Self::prefix_match(p, t.dst_addr))
+            && self.dst_port.is_none_or(|p| p == t.dst_port)
+            && self.protocol.is_none_or(|p| p == t.protocol)
+    }
+}
+
+/// Per-flow connection context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnContext {
+    /// The connection passed the ACL at SYN time.
+    pub allowed: bool,
+    /// FINs observed (context removed at 2 or on RST).
+    pub fins: u8,
+}
+
+/// The firewall NF.
+pub struct FirewallNf {
+    acl: Vec<AclRule>,
+    /// Connections admitted.
+    pub admitted: AtomicU64,
+    /// Connections rejected by the ACL.
+    pub rejected: AtomicU64,
+    /// Packets dropped for lacking an admitted context.
+    pub stray_drops: AtomicU64,
+}
+
+impl FirewallNf {
+    /// A firewall with the given ACL (first match wins; unmatched
+    /// connections are denied).
+    pub fn new(acl: Vec<AclRule>) -> Self {
+        FirewallNf {
+            acl,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            stray_drops: AtomicU64::new(0),
+        }
+    }
+
+    fn acl_verdict(&self, t: &FiveTuple) -> Action {
+        for rule in &self.acl {
+            if rule.matches(t) {
+                return rule.action;
+            }
+        }
+        Action::Deny
+    }
+}
+
+impl NetworkFunction for FirewallNf {
+    type Flow = ConnContext;
+
+    fn descriptor(&self) -> NfDescriptor {
+        NfDescriptor::named("Firewall").with_state(
+            "Connection context",
+            Scope::PerFlow,
+            Access::Read,
+            Access::ReadWrite,
+        )
+    }
+
+    fn connection_packets(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<ConnContext>,
+    ) -> Verdict {
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Drop; // default-deny non-classifiable traffic
+        };
+        let flags = pkt.meta().tcp_flags.unwrap_or_default();
+        let key = tuple.key();
+
+        if flags.contains(TcpFlags::RST) {
+            if ctx.remove_local_flow(&key).is_some() {
+                return Verdict::Forward; // propagate the reset
+            }
+            return Verdict::Drop;
+        }
+        if flags.contains(TcpFlags::FIN) {
+            let mut fins = 0;
+            let known = ctx.modify_local_flow(&key, &mut |c| {
+                c.fins += 1;
+                fins = c.fins;
+            });
+            if !known {
+                self.stray_drops.fetch_add(1, Ordering::Relaxed);
+                return Verdict::Drop;
+            }
+            if fins >= 2 {
+                ctx.remove_local_flow(&key);
+            }
+            return Verdict::Forward;
+        }
+        // SYN (or SYN-ACK: the reverse direction shares the context).
+        if let Some(c) = ctx.get_local_flow(&key) {
+            return if c.allowed { Verdict::Forward } else { Verdict::Drop };
+        }
+        match self.acl_verdict(&tuple) {
+            Action::Allow => {
+                ctx.insert_local_flow(key, ConnContext { allowed: true, fins: 0 });
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Verdict::Forward
+            }
+            Action::Deny => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Verdict::Drop
+            }
+        }
+    }
+
+    fn regular_packets(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<ConnContext>,
+    ) -> Verdict {
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Drop;
+        };
+        match ctx.get_flow(&tuple.key()) {
+            Some(c) if c.allowed => Verdict::Forward,
+            _ => {
+                self.stray_drops.fetch_add(1, Ordering::Relaxed);
+                Verdict::Drop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer::config::DispatchMode;
+    use sprayer::coremap::CoreMap;
+    use sprayer::tables::LocalTables;
+    use sprayer_net::PacketBuilder;
+
+    fn harness() -> (FirewallNf, LocalTables<ConnContext>, CoreMap) {
+        let acl = vec![
+            AclRule::allow_dst_port(443),
+            AclRule {
+                src: Some((0x0a00_0000, 8)), // allow 10.0.0.0/8 anywhere
+                ..AclRule::default_action(Action::Allow)
+            },
+            AclRule::default_action(Action::Deny),
+        ];
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        (FirewallNf::new(acl), LocalTables::new(map.clone(), 1024), map)
+    }
+
+    fn open(
+        fw: &FirewallNf,
+        tables: &mut LocalTables<ConnContext>,
+        map: &CoreMap,
+        t: FiveTuple,
+    ) -> Verdict {
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        let core = map.designated_for_tuple(&t);
+        fw.connection_packets(&mut syn, &mut tables.ctx(core))
+    }
+
+    #[test]
+    fn allowed_port_admits_connection_and_data() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
+        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Forward);
+
+        // Data from a *different* core still passes (foreign read).
+        let mut data = PacketBuilder::new().tcp(t, 1, 1, TcpFlags::ACK, b"x");
+        let core = (map.designated_for_tuple(&t) + 1) % 8;
+        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(core)), Verdict::Forward);
+        // Reverse direction too.
+        let mut rev = PacketBuilder::new().tcp(t.reversed(), 2, 2, TcpFlags::ACK, b"y");
+        assert_eq!(fw.regular_packets(&mut rev, &mut tables.ctx(core)), Verdict::Forward);
+    }
+
+    #[test]
+    fn denied_connection_and_its_data_drop() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 22);
+        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Drop);
+        assert_eq!(fw.rejected.load(Ordering::Relaxed), 1);
+
+        let mut data = PacketBuilder::new().tcp(t, 1, 1, TcpFlags::ACK, b"x");
+        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(fw.stray_drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn source_prefix_rule_matches() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0x0a01_0203, 1234, 0x5db8_d822, 9999);
+        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Forward, "10/8 allowed");
+        let t2 = FiveTuple::tcp(0x0b01_0203, 1234, 0x5db8_d822, 9999);
+        assert_eq!(open(&fw, &mut tables, &map, t2), Verdict::Drop, "11/8 denied");
+    }
+
+    #[test]
+    fn rst_removes_context() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
+        open(&fw, &mut tables, &map, t);
+        let core = map.designated_for_tuple(&t);
+        let mut rst = PacketBuilder::new().tcp(t, 3, 0, TcpFlags::RST, b"");
+        assert_eq!(fw.connection_packets(&mut rst, &mut tables.ctx(core)), Verdict::Forward);
+        let mut data = PacketBuilder::new().tcp(t, 4, 0, TcpFlags::ACK, b"");
+        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Drop);
+    }
+
+    #[test]
+    fn fin_pair_closes_connection() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
+        open(&fw, &mut tables, &map, t);
+        let core = map.designated_for_tuple(&t);
+
+        let mut fin1 = PacketBuilder::new().tcp(t, 5, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+        assert_eq!(fw.connection_packets(&mut fin1, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(tables.entries_on(core), 1, "context survives the first FIN");
+
+        let mut fin2 =
+            PacketBuilder::new().tcp(t.reversed(), 6, 6, TcpFlags::FIN | TcpFlags::ACK, b"");
+        assert_eq!(fw.connection_packets(&mut fin2, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(tables.entries_on(core), 0, "second FIN removes the context");
+    }
+
+    #[test]
+    fn first_match_wins_ordering() {
+        let acl = vec![
+            AclRule { dst_port: Some(80), ..AclRule::default_action(Action::Deny) },
+            AclRule::allow_dst_port(80),
+        ];
+        let fw = FirewallNf::new(acl);
+        let t = FiveTuple::tcp(1, 2, 3, 80);
+        assert_eq!(fw.acl_verdict(&t), Action::Deny);
+    }
+
+    #[test]
+    fn prefix_matching_edges() {
+        assert!(AclRule::prefix_match((0x0a000000, 8), 0x0aff_ffff));
+        assert!(!AclRule::prefix_match((0x0a000000, 8), 0x0b00_0000));
+        assert!(AclRule::prefix_match((0, 0), 0xdead_beef), "len 0 matches all");
+        assert!(AclRule::prefix_match((0x0a000001, 32), 0x0a000001));
+        assert!(!AclRule::prefix_match((0x0a000001, 32), 0x0a000002));
+    }
+}

@@ -1,0 +1,49 @@
+//! # sprayer-nf — network functions on the Sprayer API
+//!
+//! Implementations of the stateful NFs surveyed in the paper's Table 1,
+//! written against [`sprayer::api::NetworkFunction`]:
+//!
+//! | NF | module | state (scope / access) |
+//! |---|---|---|
+//! | NAT | [`nat`] | flow map (per-flow, R/pkt, RW/flow); pool of IPs/ports (global, RW/flow) |
+//! | IPv4→IPv6 | [`nat64`] | same row as NAT in Table 1 |
+//! | Firewall | [`firewall`] | connection context (per-flow, R/pkt, RW/flow) |
+//! | Load balancer | [`load_balancer`] | flow–server map (per-flow); pool of servers + statistics (global) |
+//! | Traffic monitor | [`monitor`] | connection context (per-flow, RW/flow); statistics (global, RW/pkt, loose) |
+//! | Redundancy elimination | [`redundancy`] | packet cache (global, RW/pkt) |
+//! | DPI | [`dpi`] | automata (per-flow, RW/pkt) — **incompatible** with spraying (§7) |
+//! | Synthetic | [`synthetic`] | the evaluation NF of §5: flow lookup + header update + busy loop |
+//!
+//! [`audit`] regenerates Table 1 from the NFs' own descriptors.
+//!
+//! Design note (NAT and the symmetric designated core): the paper relies
+//! on both sides of a connection sharing a designated core. For a NAT the
+//! *inbound* direction addresses the NAT's external endpoint, so its
+//! five-tuple hash differs from the original connection's. We close the
+//! gap the way the paper's port pool permits: `select_port` picks an
+//! external port whose (translated) connection hashes to the *same*
+//! designated core, so connection packets from either side always arrive
+//! where the state lives (see [`nat`] for details and tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod dpi;
+pub mod firewall;
+pub mod load_balancer;
+pub mod monitor;
+pub mod nat;
+pub mod nat64;
+pub mod redundancy;
+pub mod synthetic;
+
+pub use audit::render_table1;
+pub use dpi::DpiNf;
+pub use firewall::FirewallNf;
+pub use load_balancer::LoadBalancerNf;
+pub use monitor::MonitorNf;
+pub use nat::NatNf;
+pub use nat64::Nat64Nf;
+pub use redundancy::RedundancyNf;
+pub use synthetic::SyntheticNf;

@@ -1,0 +1,273 @@
+//! An L4 load balancer (VIP → backend pool).
+//!
+//! Table 1 row "Load Balancer":
+//! * **flow–server map** — per-flow, read per packet, written per flow;
+//! * **pool of servers** — global, written per flow (health/occupancy);
+//! * **statistics** — global, written per packet (loose consistency is
+//!   acceptable, so counters are per-core-ish relaxed atomics).
+//!
+//! Deployment model: clients address a virtual IP (VIP); the balancer
+//! rewrites the destination to a backend and forwards. Return traffic
+//! uses direct server return (DSR) and does not traverse the balancer —
+//! the common high-performance configuration, and the one that keeps the
+//! flow keyed by the (client ↔ VIP) connection only.
+
+use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
+use sprayer_net::{Packet, TcpFlags};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A backend server endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// Backend address.
+    pub addr: u32,
+    /// Backend port.
+    pub port: u16,
+}
+
+/// Per-flow state: the backend assigned at SYN time.
+pub type FlowServer = Backend;
+
+/// The load balancer NF.
+pub struct LoadBalancerNf {
+    vip: (u32, u16),
+    backends: Vec<Backend>,
+    /// Round-robin cursor (global pool state).
+    next: AtomicUsize,
+    /// Per-backend active-connection gauges (global pool state).
+    active: Vec<AtomicU64>,
+    /// Packets forwarded (global statistics, RW per packet, loose).
+    pub packets: AtomicU64,
+    /// Connections balanced.
+    pub connections: AtomicU64,
+    /// Packets without an assigned backend.
+    pub stray_drops: AtomicU64,
+}
+
+impl LoadBalancerNf {
+    /// A balancer for `vip` over `backends` (must be non-empty).
+    pub fn new(vip: (u32, u16), backends: Vec<Backend>) -> Self {
+        assert!(!backends.is_empty(), "a load balancer needs at least one backend");
+        let active = backends.iter().map(|_| AtomicU64::new(0)).collect();
+        LoadBalancerNf {
+            vip,
+            backends,
+            next: AtomicUsize::new(0),
+            active,
+            packets: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            stray_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Current per-backend active-connection counts.
+    pub fn active_connections(&self) -> Vec<u64> {
+        self.active.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+
+    fn pick_backend(&self) -> (usize, Backend) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.backends.len();
+        (idx, self.backends[idx])
+    }
+
+    fn backend_index(&self, b: &Backend) -> Option<usize> {
+        self.backends.iter().position(|x| x == b)
+    }
+}
+
+impl NetworkFunction for LoadBalancerNf {
+    type Flow = FlowServer;
+
+    fn descriptor(&self) -> NfDescriptor {
+        NfDescriptor::named("Load Balancer")
+            .with_state("Flow-server map", Scope::PerFlow, Access::Read, Access::ReadWrite)
+            .with_state("Pool of servers", Scope::Global, Access::None, Access::ReadWrite)
+            .with_state("Statistics", Scope::Global, Access::ReadWrite, Access::None)
+    }
+
+    fn connection_packets(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<FlowServer>,
+    ) -> Verdict {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Drop;
+        };
+        if (tuple.dst_addr, tuple.dst_port) != self.vip {
+            // Not VIP traffic; pass through untouched.
+            return Verdict::Forward;
+        }
+        let flags = pkt.meta().tcp_flags.unwrap_or_default();
+        let key = tuple.key();
+
+        if flags.intersects(TcpFlags::RST | TcpFlags::FIN) {
+            if let Some(backend) = ctx.get_local_flow(&key) {
+                pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+                // Connection ends: release the slot. (A FIN-pair refinement
+                // as in the NAT would also work; LBs typically time out.)
+                if flags.contains(TcpFlags::RST) || flags.contains(TcpFlags::FIN) {
+                    ctx.remove_local_flow(&key);
+                    if let Some(i) = self.backend_index(&backend) {
+                        let _ = self.active[i].fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |v| v.checked_sub(1),
+                        );
+                    }
+                }
+                return Verdict::Forward;
+            }
+            self.stray_drops.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Drop;
+        }
+
+        // First SYN assigns a backend; retransmitted SYNs reuse it.
+        let backend = match ctx.get_local_flow(&key) {
+            Some(b) => b,
+            None => {
+                let (idx, b) = self.pick_backend();
+                ctx.insert_local_flow(key, b);
+                self.active[idx].fetch_add(1, Ordering::Relaxed);
+                self.connections.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+        };
+        pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+        Verdict::Forward
+    }
+
+    fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<FlowServer>) -> Verdict {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Drop;
+        };
+        if (tuple.dst_addr, tuple.dst_port) != self.vip {
+            return Verdict::Forward;
+        }
+        match ctx.get_flow(&tuple.key()) {
+            Some(backend) => {
+                pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+                Verdict::Forward
+            }
+            None => {
+                self.stray_drops.fetch_add(1, Ordering::Relaxed);
+                Verdict::Drop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer::config::DispatchMode;
+    use sprayer::coremap::CoreMap;
+    use sprayer::tables::LocalTables;
+    use sprayer_net::{FiveTuple, PacketBuilder};
+
+    const VIP: (u32, u16) = (0xc633_6401, 80);
+
+    fn backends() -> Vec<Backend> {
+        vec![
+            Backend { addr: 0x0a00_0101, port: 8080 },
+            Backend { addr: 0x0a00_0102, port: 8080 },
+            Backend { addr: 0x0a00_0103, port: 8080 },
+        ]
+    }
+
+    fn harness() -> (LoadBalancerNf, LocalTables<FlowServer>, CoreMap) {
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        (LoadBalancerNf::new(VIP, backends()), LocalTables::new(map.clone(), 1024), map)
+    }
+
+    fn client(i: u32) -> FiveTuple {
+        FiveTuple::tcp(0x0a01_0000 + i, 40_000, VIP.0, VIP.1)
+    }
+
+    #[test]
+    fn syn_assigns_backend_round_robin() {
+        let (lb, mut tables, map) = harness();
+        let mut seen = Vec::new();
+        for i in 0..6 {
+            let t = client(i);
+            let core = map.designated_for_tuple(&t);
+            let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+            assert_eq!(lb.connection_packets(&mut syn, &mut tables.ctx(core)), Verdict::Forward);
+            seen.push(syn.tuple().unwrap().dst_addr);
+        }
+        // Round-robin: 3 backends used twice each.
+        for b in backends() {
+            assert_eq!(seen.iter().filter(|&&a| a == b.addr).count(), 2);
+        }
+        assert_eq!(lb.active_connections(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn data_follows_the_assigned_backend_from_any_core() {
+        let (lb, mut tables, map) = harness();
+        let t = client(9);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        lb.connection_packets(&mut syn, &mut tables.ctx(core));
+        let assigned = syn.tuple().unwrap().dst_addr;
+
+        for spray_core in 0..8 {
+            let mut data = PacketBuilder::new().tcp(t, 1, 1, TcpFlags::ACK, b"req");
+            assert_eq!(
+                lb.regular_packets(&mut data, &mut tables.ctx(spray_core)),
+                Verdict::Forward
+            );
+            assert_eq!(data.tuple().unwrap().dst_addr, assigned, "core {spray_core}");
+        }
+    }
+
+    #[test]
+    fn retransmitted_syn_keeps_backend() {
+        let (lb, mut tables, map) = harness();
+        let t = client(1);
+        let core = map.designated_for_tuple(&t);
+        let mut syn1 = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        lb.connection_packets(&mut syn1, &mut tables.ctx(core));
+        let mut syn2 = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        lb.connection_packets(&mut syn2, &mut tables.ctx(core));
+        assert_eq!(syn1.tuple().unwrap().dst_addr, syn2.tuple().unwrap().dst_addr);
+        assert_eq!(lb.connections.load(Ordering::Relaxed), 1, "one logical connection");
+    }
+
+    #[test]
+    fn fin_releases_backend_slot() {
+        let (lb, mut tables, map) = harness();
+        let t = client(2);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        lb.connection_packets(&mut syn, &mut tables.ctx(core));
+        assert_eq!(lb.active_connections().iter().sum::<u64>(), 1);
+        let mut fin = PacketBuilder::new().tcp(t, 5, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+        assert_eq!(lb.connection_packets(&mut fin, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(lb.active_connections().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn non_vip_traffic_passes_through() {
+        let (lb, mut tables, _) = harness();
+        let t = FiveTuple::tcp(1, 2, 3, 4);
+        let mut p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, b"");
+        assert_eq!(lb.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(p.tuple().unwrap(), t, "untouched");
+    }
+
+    #[test]
+    fn stray_vip_data_is_dropped() {
+        let (lb, mut tables, _) = harness();
+        let mut p = PacketBuilder::new().tcp(client(7), 1, 1, TcpFlags::ACK, b"");
+        assert_eq!(lb.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(lb.stray_drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_backend_pool_rejected() {
+        let _ = LoadBalancerNf::new(VIP, Vec::new());
+    }
+}

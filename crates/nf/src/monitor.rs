@@ -1,0 +1,236 @@
+//! A traffic monitor.
+//!
+//! Table 1 row "Traffic Monitor":
+//! * **connection context** — per-flow, written at flow start/end only;
+//! * **statistics** — global, written on every packet.
+//!
+//! The per-packet global statistics are exactly the case where the paper
+//! appeals to *looser consistency* (§3.4): "These NFs can keep statistics
+//! for all flows in every core and periodically aggregate them in their
+//! designated cores — similar to the logging mechanism of existing
+//! systems (e.g., Bro Cluster)." We implement that pattern literally:
+//! per-core shards updated without synchronization beyond a relaxed
+//! atomic, and an `aggregate()` that folds the shards on demand.
+
+use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
+use sprayer_net::{Packet, TcpFlags};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-flow connection context recorded at SYN time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnRecord {
+    /// Canonical initiator endpoint.
+    pub initiator: (u32, u16),
+    /// FINs seen.
+    pub fins: u8,
+}
+
+/// One core's statistics shard (cache-line padded in spirit; Rust lacks
+/// a stable `#[repr(align)]` story for arrays of atomics without unsafe,
+/// and false sharing does not affect correctness).
+#[derive(Debug, Default)]
+pub struct StatShard {
+    /// Packets seen by this core.
+    pub packets: AtomicU64,
+    /// Bytes seen by this core.
+    pub bytes: AtomicU64,
+    /// Connection packets seen by this core.
+    pub connection_packets: AtomicU64,
+}
+
+/// Aggregated view of the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorTotals {
+    /// Total packets.
+    pub packets: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Total connection packets.
+    pub connection_packets: u64,
+    /// Connections opened (SYN observed, deduplicated by flow table).
+    pub connections_opened: u64,
+    /// Connections closed (RST or FIN pair).
+    pub connections_closed: u64,
+}
+
+/// The traffic monitor NF.
+pub struct MonitorNf {
+    shards: Vec<StatShard>,
+    opened: AtomicU64,
+    closed: AtomicU64,
+}
+
+impl MonitorNf {
+    /// A monitor with one statistics shard per core.
+    pub fn new(num_cores: usize) -> Self {
+        MonitorNf {
+            shards: (0..num_cores.max(1)).map(|_| StatShard::default()).collect(),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold all shards into totals — the "periodic aggregation at the
+    /// designated core" of §3.4, callable from anywhere at any time
+    /// (loose consistency by design).
+    pub fn aggregate(&self) -> MonitorTotals {
+        let mut t = MonitorTotals {
+            connections_opened: self.opened.load(Ordering::Relaxed),
+            connections_closed: self.closed.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for s in &self.shards {
+            t.packets += s.packets.load(Ordering::Relaxed);
+            t.bytes += s.bytes.load(Ordering::Relaxed);
+            t.connection_packets += s.connection_packets.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    fn shard(&self, core: usize) -> &StatShard {
+        &self.shards[core % self.shards.len()]
+    }
+
+    fn count(&self, pkt: &Packet, core: usize, conn: bool) {
+        let s = self.shard(core);
+        s.packets.fetch_add(1, Ordering::Relaxed);
+        s.bytes.fetch_add(pkt.len() as u64, Ordering::Relaxed);
+        if conn {
+            s.connection_packets.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl NetworkFunction for MonitorNf {
+    type Flow = ConnRecord;
+
+    fn descriptor(&self) -> NfDescriptor {
+        NfDescriptor::named("Traffic Monitor")
+            .with_state("Connection context", Scope::PerFlow, Access::None, Access::ReadWrite)
+            .with_state("Statistics", Scope::Global, Access::ReadWrite, Access::None)
+    }
+
+    fn connection_packets(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<ConnRecord>,
+    ) -> Verdict {
+        self.count(pkt, ctx.core_id(), true);
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Forward;
+        };
+        let flags = pkt.meta().tcp_flags.unwrap_or_default();
+        let key = tuple.key();
+
+        if flags.contains(TcpFlags::RST) {
+            if ctx.remove_local_flow(&key).is_some() {
+                self.closed.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if flags.contains(TcpFlags::FIN) {
+            let mut fins = 0;
+            ctx.modify_local_flow(&key, &mut |r| {
+                r.fins += 1;
+                fins = r.fins;
+            });
+            if fins >= 2 && ctx.remove_local_flow(&key).is_some() {
+                self.closed.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if flags.contains(TcpFlags::SYN) && ctx.get_local_flow(&key).is_none() {
+            ctx.insert_local_flow(
+                key,
+                ConnRecord { initiator: (tuple.src_addr, tuple.src_port), fins: 0 },
+            );
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+        Verdict::Forward
+    }
+
+    fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<ConnRecord>) -> Verdict {
+        // Monitors never write per-flow state here — only the sharded
+        // global counters. Forward unconditionally (passive NF).
+        self.count(pkt, ctx.core_id(), false);
+        Verdict::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer::config::DispatchMode;
+    use sprayer::coremap::CoreMap;
+    use sprayer::tables::LocalTables;
+    use sprayer_net::{FiveTuple, PacketBuilder};
+
+    fn harness() -> (MonitorNf, LocalTables<ConnRecord>, CoreMap) {
+        let map = CoreMap::new(DispatchMode::Sprayer, 4);
+        (MonitorNf::new(4), LocalTables::new(map.clone(), 1024), map)
+    }
+
+    #[test]
+    fn counts_packets_and_bytes_across_cores() {
+        let (mon, mut tables, _) = harness();
+        let t = FiveTuple::tcp(1, 2, 3, 4);
+        let mut total_bytes = 0;
+        for core in 0..4 {
+            let mut p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, b"abcdef");
+            total_bytes += p.len() as u64;
+            mon.regular_packets(&mut p, &mut tables.ctx(core));
+        }
+        let agg = mon.aggregate();
+        assert_eq!(agg.packets, 4);
+        assert_eq!(agg.bytes, total_bytes);
+        assert_eq!(agg.connection_packets, 0);
+        // Each shard took exactly one packet.
+        for s in &mon.shards {
+            assert_eq!(s.packets.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn connection_lifecycle_tracked() {
+        let (mon, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0x0a000001, 40_000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        mon.connection_packets(&mut syn, &mut tables.ctx(core));
+        assert_eq!(mon.aggregate().connections_opened, 1);
+
+        // Retransmitted SYN doesn't double-count (flow table dedupes).
+        let mut syn2 = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        mon.connection_packets(&mut syn2, &mut tables.ctx(core));
+        assert_eq!(mon.aggregate().connections_opened, 1);
+
+        let mut fin1 = PacketBuilder::new().tcp(t, 9, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+        mon.connection_packets(&mut fin1, &mut tables.ctx(core));
+        assert_eq!(mon.aggregate().connections_closed, 0);
+        let mut fin2 =
+            PacketBuilder::new().tcp(t.reversed(), 9, 10, TcpFlags::FIN | TcpFlags::ACK, b"");
+        mon.connection_packets(&mut fin2, &mut tables.ctx(core));
+        assert_eq!(mon.aggregate().connections_closed, 1);
+    }
+
+    #[test]
+    fn rst_closes_once() {
+        let (mon, mut tables, map) = harness();
+        let t = FiveTuple::tcp(5, 6, 7, 8);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        mon.connection_packets(&mut syn, &mut tables.ctx(core));
+        for _ in 0..2 {
+            let mut rst = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::RST, b"");
+            mon.connection_packets(&mut rst, &mut tables.ctx(core));
+        }
+        assert_eq!(mon.aggregate().connections_closed, 1, "duplicate RST is idempotent");
+    }
+
+    #[test]
+    fn monitor_never_drops() {
+        let (mon, mut tables, _) = harness();
+        let t = FiveTuple::tcp(1, 1, 1, 1);
+        let mut p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, b"");
+        assert_eq!(mon.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Forward);
+        let mut r = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::RST, b"");
+        assert_eq!(mon.connection_packets(&mut r, &mut tables.ctx(0)), Verdict::Forward);
+    }
+}

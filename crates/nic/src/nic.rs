@@ -1,0 +1,323 @@
+//! The assembled NIC receive path.
+//!
+//! Mirrors the 82599 pipeline order: Flow Director perfect filters are
+//! consulted first; packets that match no rule fall back to RSS. The
+//! [`Nic`] here is a *classifier with counters* — queue storage and
+//! timing live in the runtime (deterministic simulator or real threads),
+//! which also enforces the Flow Director rate limitation surfaced in
+//! [`NicConfig::fdir_rate_cap_pps`].
+
+use crate::flowdirector::FlowDirector;
+use crate::rss::RssConfig;
+use serde::{Deserialize, Serialize};
+use sprayer_net::Packet;
+
+/// A receive-queue index.
+pub type QueueId = u8;
+
+/// How a packet was steered to its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RxSteering {
+    /// Matched a Flow Director perfect filter.
+    FlowDirector,
+    /// Fell back to RSS hashing.
+    Rss,
+    /// Non-IP frame: delivered to queue 0 (the default queue).
+    DefaultQueue,
+}
+
+/// Static NIC configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Number of receive queues (== number of middlebox cores).
+    pub num_queues: usize,
+    /// Spray TCP packets by checksum via Flow Director (Sprayer mode)
+    /// instead of classifying every packet with RSS (baseline mode).
+    pub spray_tcp: bool,
+    /// Packets-per-second ceiling observed on the 82599 when Flow
+    /// Director perfect filters are active (§5: "Sprayer's processing
+    /// rate is limited to about 10 Mpps ... a limitation of the 82599 NIC
+    /// when using Flow Director"). `None` disables the cap (the paper
+    /// calls the limit "not fundamental").
+    pub fdir_rate_cap_pps: Option<f64>,
+    /// Spray each flow over only `k` of the queues (§7: "it may be wise
+    /// to only spray packets from a particular flow to a limited subset
+    /// of cores"). The subset is the `k` queues starting at the flow's
+    /// RSS queue; the checksum bits pick within it. `None` (the paper's
+    /// implementation) sprays over all queues. Subset spraying needs a
+    /// programmable NIC, so no rate cap is implied by it.
+    pub spray_subset_k: Option<usize>,
+}
+
+impl NicConfig {
+    /// Baseline configuration: RSS with the symmetric key, as the paper's
+    /// RSS experiments are configured.
+    pub fn rss(num_queues: usize) -> Self {
+        NicConfig { num_queues, spray_tcp: false, fdir_rate_cap_pps: None, spray_subset_k: None }
+    }
+
+    /// Sprayer configuration: checksum spraying with the 82599's observed
+    /// 10 Mpps Flow Director ceiling.
+    pub fn sprayer(num_queues: usize) -> Self {
+        NicConfig {
+            num_queues,
+            spray_tcp: true,
+            fdir_rate_cap_pps: Some(10.0e6),
+            spray_subset_k: None,
+        }
+    }
+
+    /// Sprayer configuration without the hardware rate cap (models the
+    /// "not fundamental" case / a better NIC).
+    pub fn sprayer_uncapped(num_queues: usize) -> Self {
+        NicConfig { num_queues, spray_tcp: true, fdir_rate_cap_pps: None, spray_subset_k: None }
+    }
+
+    /// Subset spraying on a programmable NIC (§7): spray each flow over
+    /// `k` queues starting at its RSS queue.
+    pub fn sprayer_subset(num_queues: usize, k: usize) -> Self {
+        assert!((1..=num_queues).contains(&k));
+        NicConfig {
+            num_queues,
+            spray_tcp: true,
+            fdir_rate_cap_pps: None,
+            spray_subset_k: Some(k),
+        }
+    }
+}
+
+/// Per-queue receive counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Packets steered to this queue.
+    pub packets: u64,
+    /// Bytes steered to this queue.
+    pub bytes: u64,
+}
+
+/// The modeled NIC: classifier state plus counters.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    config: NicConfig,
+    rss: RssConfig,
+    fdir: FlowDirector,
+    queue_counters: Vec<QueueCounters>,
+}
+
+impl Nic {
+    /// Build a NIC per `config`. In spray mode this installs the
+    /// checksum-spray rules exactly as `sprayer`'s modified ixgbe driver
+    /// would at startup.
+    pub fn new(config: NicConfig) -> Self {
+        assert!((1..=128).contains(&config.num_queues));
+        let rss = RssConfig::symmetric(config.num_queues);
+        let mut fdir = FlowDirector::new();
+        if config.spray_tcp {
+            fdir.install_checksum_spray(config.num_queues)
+                .expect("spray rules always fit an empty 8K table");
+        }
+        let queue_counters = vec![QueueCounters::default(); config.num_queues];
+        Nic { config, rss, fdir, queue_counters }
+    }
+
+    /// The configuration this NIC was built with.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// Number of receive queues.
+    pub fn num_queues(&self) -> usize {
+        self.config.num_queues
+    }
+
+    /// Classify a received packet: returns the queue it is steered to and
+    /// which pipeline stage made the decision. Updates counters.
+    pub fn steer(&mut self, packet: &Packet) -> (QueueId, RxSteering) {
+        let (queue, how) = self.classify(packet);
+        let c = &mut self.queue_counters[usize::from(queue)];
+        c.packets += 1;
+        c.bytes += packet.len() as u64;
+        (queue, how)
+    }
+
+    /// Classification without counter updates (for tests / what-if).
+    pub fn classify(&mut self, packet: &Packet) -> (QueueId, RxSteering) {
+        if let Some(q) = self.fdir.lookup(packet) {
+            if let Some(k) = self.config.spray_subset_k {
+                // Programmable-NIC subset spraying: the checksum picks one
+                // of k queues anchored at the flow's RSS queue, so a flow
+                // touches at most k cores (reduced reordering, §7).
+                let tuple = packet.tuple().expect("fdir only matches classified TCP");
+                let base = usize::from(self.rss.queue_for(&tuple));
+                let queue = (base + usize::from(q) % k) % self.config.num_queues;
+                return (queue as QueueId, RxSteering::FlowDirector);
+            }
+            return (q, RxSteering::FlowDirector);
+        }
+        match packet.tuple() {
+            Some(tuple) => (self.rss.queue_for(&tuple), RxSteering::Rss),
+            None => (0, RxSteering::DefaultQueue),
+        }
+    }
+
+    /// Per-queue counters.
+    pub fn queue_counters(&self) -> &[QueueCounters] {
+        &self.queue_counters
+    }
+
+    /// Reset per-queue counters (between experiment phases).
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.queue_counters {
+            *c = QueueCounters::default();
+        }
+    }
+
+    /// The RSS configuration (for tests and the fairness experiment).
+    pub fn rss(&self) -> &RssConfig {
+        &self.rss
+    }
+
+    /// The Flow Director table (for diagnostics).
+    pub fn flow_director(&self) -> &FlowDirector {
+        &self.fdir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer_net::{FiveTuple, MacAddr, PacketBuilder, TcpFlags};
+
+    fn tcp_pkt(tuple: FiveTuple, payload: &[u8]) -> Packet {
+        PacketBuilder::new().tcp(tuple, 0, 0, TcpFlags::ACK, payload)
+    }
+
+    #[test]
+    fn rss_mode_keeps_flows_on_one_queue() {
+        let mut nic = Nic::new(NicConfig::rss(8));
+        let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+        let mut queues = std::collections::HashSet::new();
+        for i in 0..100u32 {
+            let (q, how) = nic.steer(&tcp_pkt(t, &i.to_be_bytes()));
+            assert_eq!(how, RxSteering::Rss);
+            queues.insert(q);
+        }
+        assert_eq!(queues.len(), 1, "RSS must pin a flow to a single queue");
+    }
+
+    #[test]
+    fn spray_mode_spreads_single_flow_across_all_queues() {
+        let mut nic = Nic::new(NicConfig::sprayer(8));
+        let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+        let mut queues = std::collections::HashSet::new();
+        for i in 0..512u32 {
+            let (q, how) = nic.steer(&tcp_pkt(t, &i.to_be_bytes()));
+            assert_eq!(how, RxSteering::FlowDirector);
+            queues.insert(q);
+        }
+        assert_eq!(queues.len(), 8, "spraying must reach every queue from one flow");
+    }
+
+    #[test]
+    fn spray_mode_sends_udp_through_rss() {
+        let mut nic = Nic::new(NicConfig::sprayer(8));
+        let t = FiveTuple::udp(0x0a000001, 5000, 0x0a000002, 53);
+        let mut queues = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let p = PacketBuilder::new().udp(t, &i.to_be_bytes());
+            let (q, how) = nic.steer(&p);
+            assert_eq!(how, RxSteering::Rss, "non-TCP falls back to RSS (§4)");
+            queues.insert(q);
+        }
+        assert_eq!(queues.len(), 1, "a UDP flow stays on its RSS queue");
+    }
+
+    #[test]
+    fn spray_distribution_is_roughly_uniform() {
+        let mut nic = Nic::new(NicConfig::sprayer(8));
+        let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+        let n = 16_000u32;
+        for i in 0..n {
+            // Vary payload so checksums vary (MoonGen does the same).
+            nic.steer(&tcp_pkt(t, &i.to_be_bytes()));
+        }
+        let expected = f64::from(n) / 8.0;
+        for (q, c) in nic.queue_counters().iter().enumerate() {
+            let dev = (c.packets as f64 - expected).abs() / expected;
+            assert!(dev < 0.10, "queue {q}: {} packets, deviation {dev:.3}", c.packets);
+        }
+    }
+
+    #[test]
+    fn non_ip_frames_hit_default_queue() {
+        let mut nic = Nic::new(NicConfig::sprayer(8));
+        let mut data = vec![0u8; 60];
+        sprayer_net::EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_index(3),
+            ethertype: sprayer_net::EtherType::Arp,
+        }
+        .emit(&mut data)
+        .unwrap();
+        let p = Packet::parse(data).unwrap();
+        assert_eq!(nic.steer(&p), (0, RxSteering::DefaultQueue));
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut nic = Nic::new(NicConfig::rss(4));
+        let t = FiveTuple::tcp(1, 2, 3, 4);
+        let p = tcp_pkt(t, b"abc");
+        let (q, _) = nic.steer(&p);
+        nic.steer(&p);
+        let c = nic.queue_counters()[usize::from(q)];
+        assert_eq!(c.packets, 2);
+        assert_eq!(c.bytes, 2 * p.len() as u64);
+        nic.reset_counters();
+        assert_eq!(nic.queue_counters()[usize::from(q)].packets, 0);
+    }
+
+    #[test]
+    fn subset_spraying_confines_a_flow_to_k_queues() {
+        for k in [1usize, 2, 4, 8] {
+            let mut nic = Nic::new(NicConfig::sprayer_subset(8, k));
+            let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+            let mut queues = std::collections::HashSet::new();
+            for i in 0..1024u32 {
+                let r = sprayer_net::flow::splitmix64(u64::from(i)).to_be_bytes();
+                let (q, how) = nic.steer(&tcp_pkt(t, &r));
+                assert_eq!(how, RxSteering::FlowDirector);
+                queues.insert(q);
+            }
+            assert_eq!(queues.len(), k, "k={k} must touch exactly k queues");
+        }
+    }
+
+    #[test]
+    fn subset_spraying_still_separates_flows() {
+        // Different flows get different subsets (anchored at their RSS
+        // queue), so aggregate load still covers all queues.
+        let mut nic = Nic::new(NicConfig::sprayer_subset(8, 2));
+        let mut queues = std::collections::HashSet::new();
+        for f in 0..64u32 {
+            let t = FiveTuple::tcp(0x0a000000 + f, 40000, 0x0a000002, 443);
+            for i in 0..16u32 {
+                let r = sprayer_net::flow::splitmix64(u64::from(f * 100 + i)).to_be_bytes();
+                let (q, _) = nic.steer(&tcp_pkt(t, &r));
+                queues.insert(q);
+            }
+        }
+        assert_eq!(queues.len(), 8, "many flows' subsets must cover all queues");
+    }
+
+    #[test]
+    fn both_directions_same_queue_in_rss_mode() {
+        // The paper explicitly configures RSS so upstream and downstream
+        // of one connection share a core (§5).
+        let mut nic = Nic::new(NicConfig::rss(8));
+        let t = FiveTuple::tcp(0x0a000001, 40000, 0x0a000002, 443);
+        let (q1, _) = nic.steer(&tcp_pkt(t, b""));
+        let (q2, _) = nic.steer(&tcp_pkt(t.reversed(), b""));
+        assert_eq!(q1, q2);
+    }
+}

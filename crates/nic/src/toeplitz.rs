@@ -1,0 +1,186 @@
+//! The Toeplitz hash used by Receive-Side Scaling.
+//!
+//! RSS computes a 32-bit hash over the five-tuple fields; the hash's low
+//! bits index an indirection table that picks the receive queue. The hash
+//! is defined by a 40-byte secret key: for each set bit *i* of the input,
+//! the result XORs in the 32-bit window of the key starting at bit *i*.
+//!
+//! Two keys matter for this reproduction:
+//!
+//! * [`MICROSOFT_KEY`] — the de-facto standard default key, for which the
+//!   RSS specification publishes verification vectors (tested below);
+//! * [`SYMMETRIC_KEY`] — `0x6d5a` repeated. Because the key is periodic
+//!   with the period of the port fields (16 bits) and address fields
+//!   (32 bits), swapping (src ↔ dst) leaves the hash unchanged, so both
+//!   directions of a connection reach the same core. The paper's RSS
+//!   baseline is configured this way (§5, citing Woo et al. [44]).
+
+use sprayer_net::FiveTuple;
+
+/// A 40-byte RSS hash key (enough for IPv6 four-tuples: 36 bytes of input
+/// plus the 32-bit window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssKey(pub [u8; 40]);
+
+/// The default key from the Microsoft RSS verification suite.
+pub const MICROSOFT_KEY: RssKey = RssKey([
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+]);
+
+/// The symmetric key of Woo & Park: `0x6d5a` repeated 20 times. Maps both
+/// directions of a connection to the same hash value.
+pub const SYMMETRIC_KEY: RssKey = RssKey([
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d,
+    0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+]);
+
+/// Compute the Toeplitz hash of `data` under `key`.
+///
+/// Bit-serial reference implementation: clear, obviously correct, and
+/// fast enough for a simulator (the real NIC does this in silicon).
+pub fn toeplitz_hash(key: &RssKey, data: &[u8]) -> u32 {
+    assert!(
+        data.len() + 4 <= key.0.len(),
+        "input of {} bytes needs a key of at least {} bytes",
+        data.len(),
+        data.len() + 4
+    );
+    let mut result = 0u32;
+    // The 32-bit key window starting at bit 0.
+    let mut window = u32::from_be_bytes([key.0[0], key.0[1], key.0[2], key.0[3]]);
+    let mut next_key_bit = 32usize;
+    for &byte in data {
+        for bit in 0..8 {
+            if byte & (0x80 >> bit) != 0 {
+                result ^= window;
+            }
+            // Slide the window one bit left, pulling in the next key bit.
+            let incoming = (key.0[next_key_bit / 8] >> (7 - next_key_bit % 8)) & 1;
+            window = (window << 1) | u32::from(incoming);
+            next_key_bit += 1;
+        }
+    }
+    result
+}
+
+/// Hash an IPv4 four-tuple (src addr, dst addr, src port, dst port) —
+/// the input layout mandated by the RSS specification.
+pub fn hash_v4_tuple(key: &RssKey, tuple: &FiveTuple) -> u32 {
+    let mut input = [0u8; 12];
+    input[0..4].copy_from_slice(&tuple.src_addr.to_be_bytes());
+    input[4..8].copy_from_slice(&tuple.dst_addr.to_be_bytes());
+    input[8..10].copy_from_slice(&tuple.src_port.to_be_bytes());
+    input[10..12].copy_from_slice(&tuple.dst_port.to_be_bytes());
+    toeplitz_hash(key, &input)
+}
+
+/// Hash only the IPv4 address pair (the RSS "IPv4" hash type, used for
+/// fragments and non-TCP/UDP IP packets).
+pub fn hash_v4_addrs(key: &RssKey, src: u32, dst: u32) -> u32 {
+    let mut input = [0u8; 8];
+    input[0..4].copy_from_slice(&src.to_be_bytes());
+    input[4..8].copy_from_slice(&dst.to_be_bytes());
+    toeplitz_hash(key, &input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Microsoft RSS verification suite, IPv4 with ports.
+    /// (dst addr:port, src addr:port, expected 4-tuple hash)
+    const MSFT_VECTORS_4TUPLE: &[((u32, u16), (u32, u16), u32)] = &[
+        // 161.142.100.80:1766  <- 66.9.149.187:2794
+        (((161 << 24) | (142 << 16) | (100 << 8) | 80, 1766), ((66 << 24) | (9 << 16) | (149 << 8) | 187, 2794), 0x51ccc178),
+        // 65.69.140.83:4739 <- 199.92.111.2:14230
+        (((65 << 24) | (69 << 16) | (140 << 8) | 83, 4739), ((199 << 24) | (92 << 16) | (111 << 8) | 2, 14230), 0xc626b0ea),
+        // 12.22.207.184:38024 <- 24.19.198.95:12898
+        (((12 << 24) | (22 << 16) | (207 << 8) | 184, 38024), ((24 << 24) | (19 << 16) | (198 << 8) | 95, 12898), 0x5c2b394a),
+        // 209.142.163.6:2217 <- 38.27.205.30:48228
+        (((209 << 24) | (142 << 16) | (163 << 8) | 6, 2217), ((38 << 24) | (27 << 16) | (205 << 8) | 30, 48228), 0xafc7327f),
+        // 202.188.127.2:1303 <- 153.39.163.191:44251
+        (((202 << 24) | (188 << 16) | (127 << 8) | 2, 1303), ((153 << 24) | (39 << 16) | (163 << 8) | 191, 44251), 0x10e828a2),
+    ];
+
+    /// Same suite, 2-tuple (addresses only) hashes.
+    const MSFT_VECTORS_2TUPLE: &[(u32, u32, u32)] = &[
+        ((161 << 24) | (142 << 16) | (100 << 8) | 80, (66 << 24) | (9 << 16) | (149 << 8) | 187, 0x323e8fc2),
+        ((65 << 24) | (69 << 16) | (140 << 8) | 83, (199 << 24) | (92 << 16) | (111 << 8) | 2, 0xd718262a),
+        ((12 << 24) | (22 << 16) | (207 << 8) | 184, (24 << 24) | (19 << 16) | (198 << 8) | 95, 0xd2d0a5de),
+        ((209 << 24) | (142 << 16) | (163 << 8) | 6, (38 << 24) | (27 << 16) | (205 << 8) | 30, 0x82989176),
+        ((202 << 24) | (188 << 16) | (127 << 8) | 2, (153 << 24) | (39 << 16) | (163 << 8) | 191, 0x5d1809c5),
+    ];
+
+    #[test]
+    fn microsoft_4tuple_vectors() {
+        for &((dst, dport), (src, sport), expected) in MSFT_VECTORS_4TUPLE {
+            let tuple = FiveTuple::tcp(src, sport, dst, dport);
+            assert_eq!(
+                hash_v4_tuple(&MICROSOFT_KEY, &tuple),
+                expected,
+                "vector {src:#x}:{sport} -> {dst:#x}:{dport}"
+            );
+        }
+    }
+
+    #[test]
+    fn microsoft_2tuple_vectors() {
+        for &(dst, src, expected) in MSFT_VECTORS_2TUPLE {
+            assert_eq!(hash_v4_addrs(&MICROSOFT_KEY, src, dst), expected);
+        }
+    }
+
+    #[test]
+    fn symmetric_key_is_direction_insensitive() {
+        let tuples = [
+            FiveTuple::tcp(0xc0a8_0001, 40000, 0x0a00_002a, 443),
+            FiveTuple::tcp(0x0102_0304, 1, 0x0506_0708, 65535),
+            FiveTuple::udp(0xdead_beef, 53, 0xcafe_babe, 5353),
+        ];
+        for t in tuples {
+            assert_eq!(
+                hash_v4_tuple(&SYMMETRIC_KEY, &t),
+                hash_v4_tuple(&SYMMETRIC_KEY, &t.reversed()),
+                "symmetric key must hash both directions identically: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn microsoft_key_is_not_symmetric() {
+        // Sanity check: the standard key does NOT have the symmetric
+        // property; this is exactly why the paper swaps keys.
+        let t = FiveTuple::tcp(0xc0a8_0001, 40000, 0x0a00_002a, 443);
+        assert_ne!(
+            hash_v4_tuple(&MICROSOFT_KEY, &t),
+            hash_v4_tuple(&MICROSOFT_KEY, &t.reversed())
+        );
+    }
+
+    #[test]
+    fn zero_input_hashes_to_zero() {
+        assert_eq!(toeplitz_hash(&MICROSOFT_KEY, &[0u8; 12]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a key")]
+    fn oversized_input_panics() {
+        let _ = toeplitz_hash(&MICROSOFT_KEY, &[0u8; 37]);
+    }
+
+    #[test]
+    fn single_bit_inputs_select_key_windows() {
+        // Input with only the top bit set hashes to the first 32 key bits.
+        let mut input = [0u8; 12];
+        input[0] = 0x80;
+        assert_eq!(toeplitz_hash(&MICROSOFT_KEY, &input), 0x6d5a56da);
+        // Only the second bit: window starting at bit 1 is the key
+        // shifted left one bit, pulling in bit 32 of the key (0x25's MSB,
+        // which is 0): 0x6d5a56da << 1 = 0xdab4adb4.
+        input[0] = 0x40;
+        assert_eq!(toeplitz_hash(&MICROSOFT_KEY, &input), 0xdab4adb4);
+    }
+}

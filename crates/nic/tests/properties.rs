@@ -1,0 +1,57 @@
+//! Property-based tests for the NIC model.
+
+use proptest::prelude::*;
+use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
+use sprayer_nic::toeplitz::{hash_v4_tuple, SYMMETRIC_KEY};
+use sprayer_nic::{Nic, NicConfig, RssConfig, RxSteering};
+
+fn arb_tcp_tuple() -> impl Strategy<Value = FiveTuple> {
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
+        .prop_map(|(sa, sp, da, dp)| FiveTuple::tcp(sa, sp, da, dp))
+}
+
+proptest! {
+    /// The symmetric key is symmetric for every tuple, not just samples.
+    #[test]
+    fn symmetric_key_symmetry(t in arb_tcp_tuple()) {
+        prop_assert_eq!(
+            hash_v4_tuple(&SYMMETRIC_KEY, &t),
+            hash_v4_tuple(&SYMMETRIC_KEY, &t.reversed())
+        );
+    }
+
+    /// RSS never emits a queue index out of range, for any queue count.
+    #[test]
+    fn rss_queue_in_range(t in arb_tcp_tuple(), queues in 1usize..=32) {
+        let rss = RssConfig::symmetric(queues);
+        prop_assert!(usize::from(rss.queue_for(&t)) < queues);
+    }
+
+    /// In spray mode every TCP packet is steered by Flow Director, to the
+    /// queue given by the checksum's low bits mod queue count.
+    #[test]
+    fn spray_covers_all_tcp(
+        t in arb_tcp_tuple(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        queues in 1usize..=16,
+    ) {
+        let mut nic = Nic::new(NicConfig::sprayer(queues));
+        let p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, &payload);
+        let (q, how) = nic.steer(&p);
+        prop_assert_eq!(how, RxSteering::FlowDirector);
+        let k = usize::BITS - (queues - 1).leading_zeros();
+        let mask = ((1usize << k) - 1) as u16;
+        let expect = (p.meta().tcp_checksum.unwrap() & mask) as usize % queues;
+        prop_assert_eq!(usize::from(q), expect);
+    }
+
+    /// RSS steering is deterministic: same packet, same queue, always.
+    #[test]
+    fn steering_is_deterministic(t in arb_tcp_tuple(), spray in any::<bool>()) {
+        let config = if spray { NicConfig::sprayer(8) } else { NicConfig::rss(8) };
+        let mut a = Nic::new(config.clone());
+        let mut b = Nic::new(config);
+        let p = PacketBuilder::new().tcp(t, 9, 9, TcpFlags::ACK, b"same");
+        prop_assert_eq!(a.steer(&p), b.steer(&p));
+    }
+}

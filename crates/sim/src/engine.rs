@@ -1,0 +1,289 @@
+//! The generic discrete-event loop.
+//!
+//! A simulation is a [`Model`] — a state machine with an event type — run
+//! by [`Simulation`]. Handlers schedule future events through a
+//! [`Scheduler`]; the engine orders them by time, breaking ties by
+//! insertion order so runs are fully deterministic.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A user-defined simulation model.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle `event` occurring at `now`; schedule follow-ups on `sched`.
+    fn handle(&mut self, now: Time, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handed to event handlers for scheduling future events.
+pub struct Scheduler<E> {
+    pending: Vec<(Time, E)>,
+    now: Time,
+    stop: bool,
+}
+
+impl<E> Scheduler<E> {
+    /// Schedule `event` at absolute time `at` (must not be in the past).
+    pub fn at(&mut self, at: Time, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        self.pending.push((at, event));
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn after(&mut self, delay: Time, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` immediately (still after the current handler
+    /// returns, and after previously scheduled same-time events).
+    pub fn now(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+
+    /// The current simulated time.
+    pub fn time(&self) -> Time {
+        self.now
+    }
+
+    /// Request that the simulation stop once the current handler returns.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+struct HeapEntry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event loop driving a [`Model`].
+pub struct Simulation<M: Model> {
+    model: M,
+    heap: BinaryHeap<Reverse<HeapEntry<M::Event>>>,
+    now: Time,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Wrap `model` with an empty event queue at time zero.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Schedule an initial event before running.
+    pub fn schedule(&mut self, at: Time, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Reverse(HeapEntry { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Access the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for wiring up probes between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Process a single event. Returns `false` if the queue was empty or a
+    /// handler requested a stop.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event heap yielded a past event");
+        self.now = entry.at;
+        let mut sched = Scheduler { pending: Vec::new(), now: self.now, stop: false };
+        self.model.handle(self.now, entry.event, &mut sched);
+        self.events_processed += 1;
+        let stop = sched.stop;
+        for (at, event) in sched.pending {
+            self.heap.push(Reverse(HeapEntry { at, seq: self.seq, event }));
+            self.seq += 1;
+        }
+        !stop
+    }
+
+    /// Run until the queue is empty or a handler stops the simulation.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time would exceed `deadline` (events at exactly
+    /// `deadline` are processed), the queue empties, or a handler stops.
+    pub fn run_until(&mut self, deadline: Time) {
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {
+                    if !self.step() {
+                        return;
+                    }
+                }
+                _ => {
+                    // Advance the clock to the deadline so throughput
+                    // denominators are well-defined even if the system
+                    // went idle early.
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records (time, id) of every event it sees and can
+    /// chain follow-up events.
+    struct Recorder {
+        seen: Vec<(Time, u32)>,
+        chain: u32,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Chain(u32),
+        Stop,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Mark(id) => self.seen.push((now, id)),
+                Ev::Chain(n) => {
+                    self.seen.push((now, n));
+                    if n < self.chain {
+                        sched.after(Time::from_ns(10), Ev::Chain(n + 1));
+                    }
+                }
+                Ev::Stop => sched.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(30), Ev::Mark(3));
+        sim.schedule(Time::from_ns(10), Ev::Mark(1));
+        sim.schedule(Time::from_ns(20), Ev::Mark(2));
+        sim.run();
+        assert_eq!(
+            sim.model().seen,
+            vec![
+                (Time::from_ns(10), 1),
+                (Time::from_ns(20), 2),
+                (Time::from_ns(30), 3),
+            ]
+        );
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        for id in 0..50 {
+            sim.schedule(Time::from_ns(5), Ev::Mark(id));
+        }
+        sim.run();
+        let ids: Vec<u32> = sim.model().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 5 });
+        sim.schedule(Time::ZERO, Ev::Chain(0));
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 6);
+        assert_eq!(sim.now(), Time::from_ns(50));
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(1), Ev::Stop);
+        sim.schedule(Time::from_ns(2), Ev::Mark(9));
+        sim.run();
+        assert!(sim.model().seen.is_empty());
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(10), Ev::Mark(1));
+        sim.schedule(Time::from_ns(100), Ev::Mark(2));
+        sim.run_until(Time::from_ns(50));
+        assert_eq!(sim.model().seen, vec![(Time::from_ns(10), 1)]);
+        assert_eq!(sim.now(), Time::from_ns(50));
+        // The later event is still queued.
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: Time, _: (), sched: &mut Scheduler<()>) {
+                sched.at(now.saturating_sub(Time::from_ns(1)), ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule(Time::from_ns(5), ());
+        sim.run();
+    }
+}

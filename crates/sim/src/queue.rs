@@ -1,0 +1,164 @@
+//! Bounded FIFO queues with drop accounting.
+//!
+//! Models NIC receive queues and the inter-core descriptor rings Sprayer
+//! uses to redirect connection packets (§3.3). Overflow behaviour matches
+//! hardware: the *newly arriving* item is dropped (tail drop) and counted.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with tail-drop semantics and occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedFifo<T> {
+    /// A queue holding at most `capacity` items (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Try to enqueue; on overflow the item is dropped, counted, and
+    /// returned to the caller as `Err`.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.enqueued += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Dequeue up to `max` items into a batch — Sprayer processes packets
+    /// in batches wherever possible (§3.3).
+    pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
+        let n = self.items.len().min(max);
+        self.items.drain(..n).collect()
+    }
+
+    /// Peek at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items successfully enqueued over the queue's lifetime.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Items dropped on overflow over the queue's lifetime.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Drop all queued items (counts them as neither enqueued nor dropped;
+    /// used when tearing down a run).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = BoundedFifo::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_tail_drops_and_counts() {
+        let mut q = BoundedFifo::new(2);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.total_dropped(), 1);
+        assert_eq!(q.total_enqueued(), 2);
+        // The earlier items survive (tail drop, not head drop).
+        assert_eq!(q.pop(), Some('a'));
+    }
+
+    #[test]
+    fn batch_dequeue_respects_order_and_max() {
+        let mut q = BoundedFifo::new(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_batch(100), vec![4, 5, 6, 7, 8, 9]);
+        assert!(q.pop_batch(4).is_empty());
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut q = BoundedFifo::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.high_watermark(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn full_and_empty_flags() {
+        let mut q = BoundedFifo::new(1);
+        assert!(q.is_empty() && !q.is_full());
+        q.push(0).unwrap();
+        assert!(!q.is_empty() && q.is_full());
+    }
+}

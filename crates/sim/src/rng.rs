@@ -1,0 +1,197 @@
+//! A small, pinned pseudo-random number generator.
+//!
+//! Experiments must reproduce bit-for-bit across machines and across
+//! dependency upgrades, so the simulator carries its own generator — a
+//! SplitMix64-seeded xoshiro256++ — rather than depending on `rand`'s
+//! evolving defaults. (Workload generation in `sprayer-trafficgen` uses
+//! `rand` where statistical quality matters more than pinning.)
+
+/// xoshiro256++ with SplitMix64 seeding. Deterministic and fast.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed deterministically from a single `u64`.
+    pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SimRng { s }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's method (unbiased).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: retry to avoid modulo bias.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// arrival processes).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        // Avoid ln(0); 1 - U is in (0, 1].
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_bounds_and_covers() {
+        let mut rng = SimRng::seed_from(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!((sample_mean - mean).abs() < 0.05 * mean, "sample mean {sample_mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "overwhelmingly unlikely to be identity");
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        // Chi-square-ish sanity check on 16 buckets.
+        let mut rng = SimRng::seed_from(1234);
+        let n = 160_000;
+        let mut buckets = [0u32; 16];
+        for _ in 0..n {
+            buckets[(rng.next_u64() >> 60) as usize] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        for (i, &c) in buckets.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

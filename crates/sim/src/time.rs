@@ -1,0 +1,258 @@
+//! Simulated time with picosecond resolution.
+//!
+//! Picoseconds in a `u64` cover ~213 days of simulated time, far beyond
+//! any experiment here, while representing a single 2.0 GHz CPU cycle
+//! (500 ps) and a 64-byte slot on 10 GbE (67.2 ns) exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// An instant (or span) of simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000_000)
+    }
+
+    /// Picoseconds since time zero.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction (spans never go negative).
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale a span by a float factor (rounds to nearest picosecond).
+    pub fn mul_f64(self, factor: f64) -> Time {
+        assert!(factor >= 0.0, "time cannot be scaled by a negative factor");
+        Time((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl core::ops::Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl core::ops::AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::ops::Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
+    }
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+/// A CPU clock frequency, for converting cycle counts to simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockFreq {
+    /// Frequency in kilohertz (kHz keeps cycle→ps conversions exact for
+    /// common clocks: 2.0 GHz → 500 ps/cycle).
+    pub khz: u64,
+}
+
+impl ClockFreq {
+    /// The paper's middlebox clock: 2.0 GHz Xeon E5-2650.
+    pub const PAPER_2GHZ: ClockFreq = ClockFreq::from_mhz(2_000);
+
+    /// Construct from megahertz.
+    pub const fn from_mhz(mhz: u64) -> ClockFreq {
+        ClockFreq { khz: mhz * 1_000 }
+    }
+
+    /// Construct from gigahertz.
+    pub const fn from_ghz(ghz: u64) -> ClockFreq {
+        ClockFreq { khz: ghz * 1_000_000 }
+    }
+
+    /// Frequency in hertz.
+    pub fn hz(self) -> u64 {
+        self.khz * 1_000
+    }
+
+    /// The simulated duration of `cycles` CPU cycles.
+    ///
+    /// Exact when `10^9` is divisible by `khz` (e.g. 2.0 GHz → 500 ps);
+    /// otherwise rounds *up* to the next picosecond, which keeps
+    /// [`ClockFreq::time_to_cycles`] a left inverse for any clock.
+    pub fn cycles_to_time(self, cycles: u64) -> Time {
+        // ps = cycles * 1e12 / hz = cycles * 1e9 / khz, rounded up.
+        let num = u128::from(cycles) * 1_000_000_000u128;
+        Time(((num + u128::from(self.khz) - 1) / u128::from(self.khz)) as u64)
+    }
+
+    /// How many whole cycles fit in `span`.
+    pub fn time_to_cycles(self, span: Time) -> u64 {
+        // cycles = ps * khz / 1e9; compute in u128 to avoid overflow.
+        ((u128::from(span.0) * u128::from(self.khz)) / 1_000_000_000) as u64
+    }
+}
+
+/// Link speeds, for serialization-time computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpeed {
+    /// Bits per second.
+    pub bps: u64,
+}
+
+impl LinkSpeed {
+    /// 10 Gigabit Ethernet, as in the paper's testbed.
+    pub const TEN_GBE: LinkSpeed = LinkSpeed { bps: 10_000_000_000 };
+    /// 1 Gigabit Ethernet (the MAWI backbone link of §2).
+    pub const ONE_GBE: LinkSpeed = LinkSpeed { bps: 1_000_000_000 };
+
+    /// Wire time for a frame of `frame_bytes`, including Ethernet preamble
+    /// (8 B), FCS (4 B) and inter-frame gap (12 B) — 24 bytes of overhead,
+    /// so a 60-byte frame occupies 84 byte-times — minus nothing else.
+    pub fn frame_time(self, frame_bytes: usize) -> Time {
+        let wire_bytes = frame_bytes as u64 + 24;
+        // ps = bits * 1e12 / bps
+        Time((u128::from(wire_bytes * 8) * 1_000_000_000_000u128 / u128::from(self.bps)) as u64)
+    }
+
+    /// Maximum frame rate for a given frame size (e.g. 64-byte frames on
+    /// 10 GbE → 14.88 Mpps).
+    pub fn max_pps(self, frame_bytes: usize) -> f64 {
+        let wire_bits = (frame_bytes as f64 + 24.0) * 8.0;
+        self.bps as f64 / wire_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn cycle_conversion_is_exact_at_2ghz() {
+        let clk = ClockFreq::PAPER_2GHZ;
+        assert_eq!(clk.cycles_to_time(1), Time::from_ps(500));
+        assert_eq!(clk.cycles_to_time(10_000), Time::from_us(5));
+        assert_eq!(clk.time_to_cycles(Time::from_us(5)), 10_000);
+    }
+
+    #[test]
+    fn cycle_conversion_round_trips() {
+        let clk = ClockFreq::from_mhz(2_400);
+        for cycles in [0u64, 1, 7, 1_000, 123_456_789] {
+            assert_eq!(clk.time_to_cycles(clk.cycles_to_time(cycles)), cycles);
+        }
+    }
+
+    #[test]
+    fn ten_gbe_64b_is_14_88_mpps() {
+        let pps = LinkSpeed::TEN_GBE.max_pps(60);
+        // 64 B on the wire is a 60 B frame (no FCS in our buffers) + 4 B FCS
+        // + 20 B preamble/IFG = 84 B => 14.88 Mpps.
+        assert!((pps / 1e6 - 14.88).abs() < 0.01, "got {pps}");
+    }
+
+    #[test]
+    fn frame_time_matches_rate() {
+        let t = LinkSpeed::TEN_GBE.frame_time(60);
+        assert_eq!(t, Time::from_ps(67_200)); // 84 B * 8 / 10 Gbps = 67.2 ns
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Time::from_ns(5);
+        let b = Time::from_ns(3);
+        assert_eq!(a + b, Time::from_ns(8));
+        assert_eq!(a - b, Time::from_ns(2));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert!(b < a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Time::from_ns(1) - Time::from_ns(2);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Time::from_ps(5).to_string(), "5ps");
+        assert_eq!(Time::from_ns(1500).to_string(), "1.500us");
+        assert_eq!(Time::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(Time::from_ns(100).mul_f64(0.7), Time::from_ns(70));
+        assert_eq!(Time::from_ns(1).mul_f64(0.0), Time::ZERO);
+    }
+}

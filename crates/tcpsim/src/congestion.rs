@@ -1,0 +1,410 @@
+//! Congestion-control algorithms: CUBIC (RFC 8312) and Reno.
+//!
+//! The paper's results "use the standard Linux TCP implementation
+//! (CUBIC), without any kind of tuning" (§5), so [`Cubic`] is the default
+//! everywhere; [`Reno`] exists for comparison and for the §5 summary
+//! question "how well Sprayer interacts with other TCP implementations".
+//!
+//! Windows are tracked in fractional MSS units internally and exposed in
+//! bytes, which is what the sender's flight-size arithmetic uses.
+
+use sprayer_sim::Time;
+
+/// A pluggable congestion controller owned by a [`crate::Sender`].
+pub trait CongestionControl: core::fmt::Debug + Send {
+    /// Current congestion window in bytes.
+    fn cwnd_bytes(&self) -> u64;
+
+    /// Current slow-start threshold in bytes.
+    fn ssthresh_bytes(&self) -> u64;
+
+    /// True while in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd_bytes() < self.ssthresh_bytes()
+    }
+
+    /// New data was cumulatively acknowledged.
+    fn on_ack(&mut self, now: Time, newly_acked: u64, srtt: Option<Time>);
+
+    /// Three duplicate ACKs: multiplicative decrease, enter recovery.
+    fn on_fast_retransmit(&mut self, now: Time);
+
+    /// Recovery completed: deflate to ssthresh.
+    fn on_exit_recovery(&mut self);
+
+    /// Retransmission timeout: collapse to one MSS.
+    fn on_rto(&mut self, now: Time);
+
+    /// The last window reduction was spurious (DSACK proved the
+    /// "lost" segment had arrived): restore the pre-reduction state
+    /// (Linux's DSACK undo).
+    fn on_spurious_recovery(&mut self);
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Classic Reno/NewReno window arithmetic.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: f64,
+    cwnd: f64,     // bytes
+    ssthresh: f64, // bytes
+    prior: Option<(f64, f64)>,
+}
+
+impl Reno {
+    /// Initial window of `init_segments` MSS (RFC 6928 uses 10).
+    pub fn new(mss: u32, init_segments: u32) -> Self {
+        let mss = f64::from(mss);
+        Reno { mss, cwnd: mss * f64::from(init_segments), ssthresh: f64::INFINITY, prior: None }
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd.max(self.mss) as u64
+    }
+
+    fn ssthresh_bytes(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn on_ack(&mut self, _now: Time, newly_acked: u64, _srtt: Option<Time>) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: one MSS per MSS acknowledged.
+            self.cwnd += newly_acked as f64;
+        } else {
+            // Congestion avoidance: one MSS per RTT.
+            self.cwnd += self.mss * self.mss / self.cwnd;
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now: Time) {
+        self.prior = Some((self.cwnd, self.ssthresh));
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh + 3.0 * self.mss;
+    }
+
+    fn on_exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: Time) {
+        self.prior = None; // timeouts are not undoable here
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+    }
+
+    fn on_spurious_recovery(&mut self) {
+        if let Some((cwnd, ssthresh)) = self.prior.take() {
+            self.cwnd = cwnd.max(self.cwnd);
+            self.ssthresh = ssthresh;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+/// CUBIC per RFC 8312 with fast convergence and the TCP-friendly region.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    mss: f64,
+    cwnd: f64,     // bytes
+    ssthresh: f64, // bytes
+    /// Window size (bytes) just before the last reduction.
+    w_max: f64,
+    /// Epoch start (first ACK after a reduction).
+    epoch_start: Option<Time>,
+    /// Time (seconds) at which W_cubic regains w_max.
+    k: f64,
+    /// TCP-friendly (AIMD-equivalent) window estimate in bytes.
+    w_est: f64,
+    /// Snapshot for DSACK undo: (cwnd, ssthresh, w_max, k, epoch, w_est).
+    prior: Option<(f64, f64, f64, f64, Option<Time>, f64)>,
+    /// HyStart: lowest smoothed RTT observed (the uncongested baseline).
+    min_rtt: Option<Time>,
+}
+
+/// RFC 8312 constants.
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// Initial window of `init_segments` MSS.
+    pub fn new(mss: u32, init_segments: u32) -> Self {
+        let mss = f64::from(mss);
+        Cubic {
+            mss,
+            cwnd: mss * f64::from(init_segments),
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            prior: None,
+            min_rtt: None,
+        }
+    }
+
+    fn begin_epoch(&mut self, now: Time) {
+        self.epoch_start = Some(now);
+        if self.cwnd < self.w_max {
+            // Time to climb back to w_max (RFC 8312 eq. 2), in seconds,
+            // with windows in MSS units.
+            let dw = (self.w_max - self.cwnd) / self.mss;
+            self.k = (dw / CUBIC_C).cbrt();
+        } else {
+            self.k = 0.0;
+            self.w_max = self.cwnd;
+        }
+        self.w_est = self.cwnd;
+    }
+
+    fn w_cubic(&self, t: f64) -> f64 {
+        // In bytes: C (MSS/s^3) scaled by mss.
+        let d = t - self.k;
+        CUBIC_C * d * d * d * self.mss + self.w_max
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd.max(self.mss) as u64
+    }
+
+    fn ssthresh_bytes(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn on_ack(&mut self, now: Time, newly_acked: u64, srtt: Option<Time>) {
+        if let Some(rtt) = srtt {
+            self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += newly_acked as f64;
+            // HyStart (on by default in Linux CUBIC): leave slow start as
+            // soon as the RTT rises measurably above its floor — i.e.
+            // when the bottleneck queue starts to build — instead of
+            // ramming the queue until it overflows.
+            if let (Some(rtt), Some(min)) = (srtt, self.min_rtt) {
+                let threshold = Time(min.0 + (min.0 / 4).max(Time::from_us(200).0));
+                if rtt > threshold {
+                    self.ssthresh = self.cwnd;
+                }
+            }
+            return;
+        }
+        let rtt = srtt.map_or(0.1e-3, |t| t.as_secs_f64());
+        if self.epoch_start.is_none() {
+            self.begin_epoch(now);
+        }
+        let t = (now - self.epoch_start.expect("set above")).as_secs_f64();
+
+        // TCP-friendly region (RFC 8312 eq. 4), incremental form: W_est
+        // grows by 3(1-β)/(1+β) MSS per RTT worth of ACKs.
+        let alpha = 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA);
+        self.w_est += alpha * (newly_acked as f64 / self.cwnd) * self.mss;
+
+        let target = self.w_cubic(t + rtt);
+        let next = if self.w_est > target { self.w_est } else { target };
+        if next > self.cwnd {
+            // Spread the climb over the window's worth of ACKs.
+            self.cwnd += ((next - self.cwnd) / self.cwnd) * newly_acked as f64;
+        } else {
+            // Max-probing plateau: tiny growth (1% of an MSS per MSS).
+            self.cwnd += 0.01 * self.mss * (newly_acked as f64 / self.cwnd);
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now: Time) {
+        self.prior =
+            Some((self.cwnd, self.ssthresh, self.w_max, self.k, self.epoch_start, self.w_est));
+        // Fast convergence (RFC 8312 §4.6).
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + CUBIC_BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh + 3.0 * self.mss;
+        self.epoch_start = None;
+    }
+
+    fn on_exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: Time) {
+        self.prior = None;
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + CUBIC_BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+    }
+
+    fn on_spurious_recovery(&mut self) {
+        if let Some((cwnd, ssthresh, w_max, k, epoch, w_est)) = self.prior.take() {
+            self.cwnd = cwnd.max(self.cwnd);
+            self.ssthresh = ssthresh;
+            self.w_max = w_max;
+            self.k = k;
+            self.epoch_start = epoch;
+            self.w_est = w_est;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new(MSS, 10);
+        let w0 = cc.cwnd_bytes();
+        // Ack a full window: cwnd should double.
+        cc.on_ack(Time::ZERO, w0, None);
+        assert_eq!(cc.cwnd_bytes(), 2 * w0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_adds_one_mss_per_window() {
+        let mut cc = Reno::new(MSS, 10);
+        cc.on_fast_retransmit(Time::ZERO);
+        cc.on_exit_recovery();
+        assert!(!cc.in_slow_start());
+        let w = cc.cwnd_bytes();
+        // Ack one window's worth in MSS chunks.
+        let acks = w / u64::from(MSS);
+        for _ in 0..acks {
+            cc.on_ack(Time::ZERO, u64::from(MSS), None);
+        }
+        let grown = cc.cwnd_bytes() - w;
+        assert!(
+            (grown as i64 - i64::from(MSS)).unsigned_abs() < u64::from(MSS) / 4,
+            "grew {grown} (expected ~{MSS})"
+        );
+    }
+
+    #[test]
+    fn reno_fast_retransmit_halves() {
+        let mut cc = Reno::new(MSS, 100);
+        let before = cc.cwnd_bytes();
+        cc.on_fast_retransmit(Time::ZERO);
+        cc.on_exit_recovery();
+        let after = cc.cwnd_bytes();
+        assert!((after as f64 / before as f64 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn cubic_fast_retransmit_multiplies_by_beta() {
+        let mut cc = Cubic::new(MSS, 100);
+        let before = cc.cwnd_bytes();
+        cc.on_fast_retransmit(Time::ZERO);
+        cc.on_exit_recovery();
+        let after = cc.cwnd_bytes();
+        assert!(
+            (after as f64 / before as f64 - CUBIC_BETA).abs() < 0.05,
+            "before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max_in_k_seconds() {
+        let mut cc = Cubic::new(MSS, 100);
+        cc.ssthresh = f64::from(MSS); // force congestion avoidance
+        cc.on_fast_retransmit(Time::ZERO);
+        cc.on_exit_recovery();
+        let w_after_loss = cc.cwnd_bytes();
+        let w_max = (100.0 * f64::from(MSS)) as u64;
+        assert!(w_after_loss < w_max);
+
+        // K = cbrt((w_max - cwnd)/(MSS*C)) = cbrt(30/0.4) ≈ 4.2 s; feed
+        // steady ACKs for 6 simulated seconds at RTT = 10 ms and the
+        // window must climb back to (and slightly past) w_max.
+        let rtt = Time::from_ms(10);
+        let mut now = Time::from_ms(1);
+        for _ in 0..12_000 {
+            cc.on_ack(now, u64::from(MSS), Some(rtt));
+            now += Time::from_us(500);
+        }
+        let w_end = cc.cwnd_bytes();
+        assert!(
+            w_end as f64 > 0.97 * w_max as f64,
+            "w_end {w_end} should reach w_max {w_max} after K has elapsed"
+        );
+    }
+
+    #[test]
+    fn cubic_rto_collapses_to_one_mss() {
+        let mut cc = Cubic::new(MSS, 64);
+        cc.on_rto(Time::ZERO);
+        assert_eq!(cc.cwnd_bytes(), u64::from(MSS));
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn cubic_growth_is_slower_near_w_max() {
+        // The defining cubic shape: steep right after the reduction, flat
+        // in the plateau around t = K (here K = cbrt(60/0.4) ≈ 5.3 s).
+        let mut cc = Cubic::new(MSS, 200);
+        cc.ssthresh = f64::from(MSS); // force CA
+        cc.on_fast_retransmit(Time::ZERO);
+        cc.on_exit_recovery();
+        let rtt = Time::from_ms(10);
+
+        // 2000 ACKs per simulated second for six seconds; record the
+        // per-second window growth.
+        let mut deltas = Vec::new();
+        let mut now = Time::from_ms(1);
+        let mut prev = cc.cwnd_bytes();
+        for _ in 0..6 {
+            for _ in 0..2_000 {
+                cc.on_ack(now, u64::from(MSS), Some(rtt));
+                now += Time::from_us(500);
+            }
+            let cur = cc.cwnd_bytes();
+            deltas.push(cur.saturating_sub(prev));
+            prev = cur;
+        }
+        // Growth in the first second (far below w_max) dwarfs growth in
+        // the plateau second around K.
+        assert!(
+            deltas[0] > 4 * deltas[4],
+            "first-second growth {} should dwarf plateau growth {} (deltas {deltas:?})",
+            deltas[0],
+            deltas[4],
+        );
+    }
+
+    #[test]
+    fn cwnd_never_below_one_mss() {
+        let mut cc = Reno::new(MSS, 1);
+        for _ in 0..5 {
+            cc.on_rto(Time::ZERO);
+        }
+        assert!(cc.cwnd_bytes() >= u64::from(MSS));
+    }
+}

@@ -1,0 +1,127 @@
+//! RFC 6298 round-trip-time estimation.
+
+use sprayer_sim::Time;
+
+/// Smoothed RTT estimator with RTO computation.
+///
+/// `RTO = SRTT + max(G, 4·RTTVAR)` clamped to `[min_rto, max_rto]`, with
+/// the standard first-sample initialization and exponential backoff on
+/// timeouts (managed by the sender).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Time>,
+    rttvar: Time,
+    min_rto: Time,
+    max_rto: Time,
+    /// Clock granularity G; sub-microsecond in simulation.
+    granularity: Time,
+}
+
+impl RttEstimator {
+    /// An estimator with Linux-like clamps: RTO in `[min_rto, 60 s]`.
+    ///
+    /// Linux uses a 200 ms minimum RTO; with the paper's ~10 µs RTTs the
+    /// RTO then only fires on catastrophic loss, which is the realistic
+    /// behaviour and the default here.
+    pub fn new(min_rto: Time) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Time::ZERO,
+            min_rto,
+            max_rto: Time::from_secs(60),
+            granularity: Time::from_us(1),
+        }
+    }
+
+    /// Linux default: 200 ms minimum RTO.
+    pub fn linux_default() -> Self {
+        Self::new(Time::from_ms(200))
+    }
+
+    /// Feed one RTT sample (from a never-retransmitted segment — Karn).
+    pub fn sample(&mut self, rtt: Time) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Time(rtt.0 / 2);
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Time((3 * self.rttvar.0 + err.0) / 4);
+                // SRTT = 7/8 SRTT + 1/8 R'
+                self.srtt = Some(Time((7 * srtt.0 + rtt.0) / 8));
+            }
+        }
+    }
+
+    /// Current smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Time> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout (before backoff).
+    pub fn rto(&self) -> Time {
+        let base = match self.srtt {
+            None => Time::from_secs(1), // RFC 6298 initial RTO
+            Some(srtt) => {
+                let var = Time(self.rttvar.0.max(self.granularity.0 / 4) * 4);
+                srtt + var
+            }
+        };
+        Time(base.0.clamp(self.min_rto.0, self.max_rto.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::new(Time::from_ms(1));
+        assert_eq!(est.rto(), Time::from_secs(1));
+        assert_eq!(est.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt_and_var() {
+        let mut est = RttEstimator::new(Time::from_us(1));
+        est.sample(Time::from_us(100));
+        assert_eq!(est.srtt(), Some(Time::from_us(100)));
+        // RTO = 100us + 4 * 50us = 300us.
+        assert_eq!(est.rto(), Time::from_us(300));
+    }
+
+    #[test]
+    fn steady_samples_converge() {
+        let mut est = RttEstimator::new(Time::from_us(1));
+        for _ in 0..100 {
+            est.sample(Time::from_us(50));
+        }
+        let srtt = est.srtt().unwrap();
+        assert!((srtt.as_us_f64() - 50.0).abs() < 1.0, "srtt {srtt}");
+        // Variance decays toward zero; RTO approaches srtt + 4*G/4.
+        assert!(est.rto() < Time::from_us(60));
+    }
+
+    #[test]
+    fn min_rto_clamp_applies() {
+        let mut est = RttEstimator::linux_default();
+        for _ in 0..50 {
+            est.sample(Time::from_us(10));
+        }
+        assert_eq!(est.rto(), Time::from_ms(200), "Linux min RTO clamps tiny RTTs");
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut stable = RttEstimator::new(Time::from_us(1));
+        let mut jittery = RttEstimator::new(Time::from_us(1));
+        for i in 0..100 {
+            stable.sample(Time::from_us(100));
+            jittery.sample(Time::from_us(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+}

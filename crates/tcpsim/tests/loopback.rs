@@ -1,0 +1,246 @@
+//! End-to-end transfers over a simulated pipe: sender → (delay, loss,
+//! reordering) → receiver → (delay) → sender.
+//!
+//! These tests exercise the full protocol loop the Fig. 6(b)/7(b)
+//! experiments rely on, in isolation from the middlebox model.
+
+use sprayer_sim::{Model, Scheduler, SimRng, Simulation, Time};
+use sprayer_tcp::{AckAction, AckInfo, Cubic, Receiver, Reno, Sender, SenderConfig};
+
+const MSS: u32 = 1460;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Sender may transmit (poll it).
+    SenderPoll,
+    /// A data segment reaches the receiver.
+    Deliver { seq: u64, len: u32 },
+    /// An ACK reaches the sender.
+    Ack { info: AckInfo },
+    /// Retransmission timer check.
+    RtoCheck,
+}
+
+struct Pipe {
+    sender: Sender,
+    receiver: Receiver,
+    /// One-way propagation delay.
+    delay: Time,
+    /// Extra per-segment jitter bound (uniform, models reordering).
+    jitter: Time,
+    /// Probability a data segment is dropped.
+    loss: f64,
+    /// Serialization time of one full segment on the link (1500 B at
+    /// 10 GbE ≈ 1.2 µs); spaces out window bursts like a real NIC.
+    seg_time: Time,
+    /// Link busy-until time.
+    tx_free: Time,
+    rng: SimRng,
+    finished_at: Option<Time>,
+}
+
+impl Pipe {
+    fn new(total: u64, delay: Time, jitter: Time, loss: f64, cubic: bool, seed: u64) -> Self {
+        let cfg = SenderConfig { total_bytes: Some(total), ..SenderConfig::default() };
+        let cc: Box<dyn sprayer_tcp::CongestionControl> = if cubic {
+            Box::new(Cubic::new(cfg.mss, cfg.init_cwnd_segments))
+        } else {
+            Box::new(Reno::new(cfg.mss, cfg.init_cwnd_segments))
+        };
+        Pipe {
+            sender: Sender::new(cfg, cc),
+            receiver: Receiver::new(0),
+            delay,
+            jitter,
+            loss,
+            seg_time: Time::from_ns(1200),
+            tx_free: Time::ZERO,
+            rng: SimRng::seed_from(seed),
+            finished_at: None,
+        }
+    }
+
+    fn pump_sender(&mut self, now: Time, sched: &mut Scheduler<Ev>) {
+        while let Some(seg) = self.sender.poll_segment(now) {
+            // Serialize onto the link: bursts leave back-to-back, not
+            // simultaneously.
+            let depart = self.tx_free.max(now);
+            self.tx_free = depart + self.seg_time;
+            if !self.rng.chance(self.loss) {
+                let jitter = if self.jitter == Time::ZERO {
+                    Time::ZERO
+                } else {
+                    Time(self.rng.below(self.jitter.0))
+                };
+                let arrival = depart + self.delay + jitter;
+                sched.at(arrival.max(now), Ev::Deliver { seq: seg.seq, len: seg.len });
+            }
+        }
+        if let Some(deadline) = self.sender.rto_deadline() {
+            sched.at(deadline.max(now), Ev::RtoCheck);
+        }
+    }
+}
+
+impl Model for Pipe {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::SenderPoll => self.pump_sender(now, sched),
+            Ev::Deliver { seq, len } => {
+                match self.receiver.on_segment(seq, u64::from(len)) {
+                    AckAction::Immediate(info) => {
+                        sched.after(self.delay, Ev::Ack { info });
+                    }
+                    AckAction::Delayed => {
+                        // Model the 40 ms delayed-ACK timer compressed to
+                        // one segment-time; bulk flows rarely hit it.
+                        if let Some(ack) = self.receiver.flush_delayed() {
+                            sched.after(
+                                self.delay + Time::from_us(5),
+                                Ev::Ack { info: AckInfo { ack, sack: None, dsack: None } },
+                            );
+                        }
+                    }
+                    AckAction::None => {}
+                }
+            }
+            Ev::Ack { info } => {
+                self.sender.on_ack(now, info);
+                if self.sender.finished() {
+                    self.finished_at.get_or_insert(now);
+                    sched.stop();
+                    return;
+                }
+                self.pump_sender(now, sched);
+            }
+            Ev::RtoCheck => {
+                if let Some(deadline) = self.sender.rto_deadline() {
+                    if now >= deadline {
+                        self.sender.on_rto(now);
+                    }
+                    self.pump_sender(now, sched);
+                    if let Some(next) = self.sender.rto_deadline() {
+                        sched.at(next.max(now), Ev::RtoCheck);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run(pipe: Pipe, horizon: Time) -> Pipe {
+    let mut sim = Simulation::new(pipe);
+    sim.schedule(Time::ZERO, Ev::SenderPoll);
+    sim.run_until(horizon);
+    sim.into_model()
+}
+
+#[test]
+fn clean_path_transfers_everything_without_retransmits() {
+    let total = 2_000 * u64::from(MSS);
+    let pipe = run(
+        Pipe::new(total, Time::from_us(50), Time::ZERO, 0.0, true, 1),
+        Time::from_secs(10),
+    );
+    assert!(pipe.finished_at.is_some(), "transfer must complete");
+    assert_eq!(pipe.sender.delivered(), total);
+    assert_eq!(pipe.receiver.delivered(), total);
+    assert_eq!(pipe.sender.stats().retransmits, 0);
+    assert_eq!(pipe.receiver.dup_acks_sent(), 0);
+}
+
+#[test]
+fn lossy_path_still_completes() {
+    let total = 500 * u64::from(MSS);
+    let pipe = run(
+        Pipe::new(total, Time::from_us(50), Time::ZERO, 0.02, true, 7),
+        Time::from_secs(120),
+    );
+    assert!(pipe.finished_at.is_some(), "transfer must survive 2% loss");
+    assert_eq!(pipe.receiver.delivered(), total);
+    assert!(pipe.sender.stats().retransmits > 0);
+}
+
+#[test]
+fn reordering_causes_dup_acks_and_can_cause_spurious_retransmits() {
+    let total = 2_000 * u64::from(MSS);
+    // Jitter of several segment times with zero loss: any retransmission
+    // is spurious, caused purely by reordering.
+    let pipe = run(
+        Pipe::new(total, Time::from_us(50), Time::from_us(200), 0.0, true, 3),
+        Time::from_secs(30),
+    );
+    assert!(pipe.finished_at.is_some());
+    assert_eq!(pipe.receiver.delivered(), total, "no bytes may be lost to reordering");
+    assert!(pipe.receiver.ooo_arrivals() > 0, "jitter must reorder something");
+    assert!(pipe.receiver.dup_acks_sent() > 0);
+}
+
+#[test]
+fn mild_reordering_is_absorbed_without_retransmission() {
+    let total = 1_000 * u64::from(MSS);
+    // Jitter far below one segment spacing: dup-ack bursts stay below 3.
+    let pipe = run(
+        Pipe::new(total, Time::from_us(50), Time::from_ns(500), 0.0, true, 9),
+        Time::from_secs(30),
+    );
+    assert!(pipe.finished_at.is_some());
+    assert_eq!(
+        pipe.sender.stats().fast_retransmits,
+        0,
+        "sub-threshold reordering must not trigger fast retransmit"
+    );
+}
+
+#[test]
+fn reno_transfers_too() {
+    let total = 500 * u64::from(MSS);
+    let pipe = run(
+        Pipe::new(total, Time::from_us(50), Time::ZERO, 0.01, false, 11),
+        Time::from_secs(120),
+    );
+    assert!(pipe.finished_at.is_some());
+    assert_eq!(pipe.receiver.delivered(), total);
+}
+
+#[test]
+fn conservation_bytes_delivered_never_exceed_bytes_sent() {
+    for seed in 0..10 {
+        let total = 300 * u64::from(MSS);
+        let pipe = run(
+            Pipe::new(total, Time::from_us(20), Time::from_us(100), 0.05, true, seed),
+            Time::from_secs(120),
+        );
+        let sent_bytes = pipe.sender.stats().segments_sent * u64::from(MSS);
+        assert!(
+            pipe.receiver.delivered() <= sent_bytes,
+            "seed {seed}: delivered {} > sent {}",
+            pipe.receiver.delivered(),
+            sent_bytes
+        );
+        assert!(pipe.finished_at.is_some(), "seed {seed} did not finish");
+    }
+}
+
+#[test]
+fn higher_loss_lowers_throughput() {
+    let total = 1_000 * u64::from(MSS);
+    let t_clean = run(
+        Pipe::new(total, Time::from_us(50), Time::ZERO, 0.0, true, 5),
+        Time::from_secs(120),
+    )
+    .finished_at
+    .unwrap();
+    let t_lossy = run(
+        Pipe::new(total, Time::from_us(50), Time::ZERO, 0.03, true, 5),
+        Time::from_secs(120),
+    )
+    .finished_at
+    .unwrap();
+    assert!(
+        t_lossy > t_clean,
+        "loss must slow the transfer: clean {t_clean}, lossy {t_lossy}"
+    );
+}

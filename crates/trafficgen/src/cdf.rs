@@ -1,0 +1,145 @@
+//! Empirical CDFs for figure generation.
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs rejected by assertion).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "CDF over NaN samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Weighted variant: each sample carries a mass (e.g. bytes per flow
+    /// for the "distribution of bytes across flow sizes" curve of Fig. 1).
+    pub fn from_weighted(mut pairs: Vec<(f64, f64)>) -> WeightedCdf {
+        assert!(pairs.iter().all(|(x, w)| !x.is_nan() && *w >= 0.0));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+        let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+        WeightedCdf { pairs, total }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= x).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0..=1).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let pos = (q * (self.sorted.len() - 1) as f64).floor() as usize;
+        Some(self.sorted[pos])
+    }
+
+    /// (x, P(X<=x)) pairs at `points` log- or linearly spaced positions,
+    /// for printing a figure series.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        (0..points)
+            .map(|i| {
+                let idx = (i * (n - 1)) / (points - 1).max(1);
+                (self.sorted[idx], (idx + 1) as f64 / n as f64)
+            })
+            .collect()
+    }
+}
+
+/// CDF of mass (weights) by sample value.
+#[derive(Debug, Clone)]
+pub struct WeightedCdf {
+    pairs: Vec<(f64, f64)>,
+    total: f64,
+}
+
+impl WeightedCdf {
+    /// Fraction of total mass at values <= x.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for &(v, w) in &self.pairs {
+            if v > x {
+                break;
+            }
+            acc += w;
+        }
+        acc / self.total
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_quantiles() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(cdf.fraction_at(50.0), 0.5);
+        assert_eq!(cdf.fraction_at(0.5), 0.0);
+        assert_eq!(cdf.fraction_at(1000.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert_eq!(cdf.quantile(0.5), Some(50.0));
+    }
+
+    #[test]
+    fn weighted_mass_fractions() {
+        // One elephant (90 mass at size 100), nine mice (1 mass at size 1).
+        let mut pairs = vec![(100.0, 90.0)];
+        pairs.extend(std::iter::repeat_n((1.0, 1.0), 9));
+        let w = Cdf::from_weighted(pairs);
+        assert!((w.fraction_at(1.0) - 9.0 / 99.0).abs() < 1e-12);
+        assert_eq!(w.fraction_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = Cdf::from_samples((0..1000).map(|i| f64::from(i % 37)).collect());
+        let series = cdf.series(20);
+        assert_eq!(series.len(), 20);
+        for pair in series.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::from_samples(Vec::new());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.series(5).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # sprayer-trafficgen — workload generation
+//!
+//! The traffic sources the paper's evaluation and motivation sections
+//! require:
+//!
+//! * [`moongen`] — a MoonGen-like constant/Poisson rate source of 64-byte
+//!   TCP packets "with variable payload content, and therefore variable
+//!   checksum" (§5), over a configurable number of flows whose endpoints
+//!   "change randomly at every execution";
+//! * [`trace`] — a synthetic backbone-trace generator calibrated to the
+//!   statistics the paper extracts from the MAWI samplepoint-F trace
+//!   (§2): heavy-tailed flow sizes ("elephants and mice", >75 % of bytes
+//!   in >10 MB flows) and low short-timescale concurrency;
+//! * [`concurrency`] — the §2 analysis: distinct flows per 150 µs window,
+//!   over all flows or only large ones;
+//! * [`cdf`] — empirical CDF helper used by the figure generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod concurrency;
+pub mod moongen;
+pub mod trace;
+
+pub use cdf::Cdf;
+pub use concurrency::{concurrent_flows, ConcurrencyStats};
+pub use moongen::MoonGen;
+pub use trace::{SyntheticTrace, TraceConfig};

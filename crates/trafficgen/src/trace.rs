@@ -1,0 +1,307 @@
+//! Synthetic backbone-trace generation.
+//!
+//! The paper motivates spraying with a 48-hour MAWI samplepoint-F capture
+//! (§2): flow sizes follow the classic "elephants and mice" pattern
+//! (>10 MB flows carry more than 75 % of the bytes) while the number of
+//! flows concurrently active within a 150 µs window is tiny (median 4,
+//! p99 14; large flows: median 1, p99 6). The real trace is not
+//! redistributable at packet granularity, so this module generates a
+//! synthetic trace calibrated to those published statistics:
+//!
+//! * flows arrive as a Poisson process, split into *mice* (log-normal
+//!   sizes, low rates — web objects, DNS-over-TCP, short RPCs) and
+//!   *elephants* (bounded-Pareto sizes ≥ 10 MB, high rates — bulk
+//!   transfers);
+//! * an active flow emits 1500-byte packets at its rate until its size
+//!   is exhausted;
+//! * packet timestamps are what the §2 analysis consumes.
+
+use crate::cdf::Cdf;
+use serde::{Deserialize, Serialize};
+use sprayer_sim::{SimRng, Time};
+
+/// The paper's large-flow threshold: 10 MB.
+pub const LARGE_FLOW_BYTES: u64 = 10 * 1000 * 1000;
+
+/// Trace generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Capture duration.
+    pub duration: Time,
+    /// Mouse flow arrivals per second.
+    pub mice_per_sec: f64,
+    /// Median mouse size in bytes (log-normal).
+    pub mouse_median_bytes: f64,
+    /// Log-normal sigma of mouse sizes (natural log units).
+    pub mouse_sigma: f64,
+    /// Median mouse transmission rate, bits/s (log-normal, sigma 0.8).
+    pub mouse_rate_bps: f64,
+    /// Elephant flow arrivals per second.
+    pub elephants_per_sec: f64,
+    /// Pareto shape for elephant sizes.
+    pub elephant_alpha: f64,
+    /// Pareto scale = the 10 MB large-flow threshold.
+    pub elephant_min_bytes: f64,
+    /// Elephant size cap (keeps single flows from dominating a short
+    /// synthetic capture the way they can't dominate a 48 h one).
+    pub elephant_cap_bytes: f64,
+    /// Median elephant transmission rate, bits/s (log-normal, sigma 0.5).
+    pub elephant_rate_bps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// Defaults calibrated against the paper's §2 statistics for the
+    /// MAWI backbone link (see `fig1`/`fig2` experiment output).
+    pub fn mawi_like(seed: u64) -> Self {
+        TraceConfig {
+            duration: Time::from_secs(30),
+            mice_per_sec: 3_000.0,
+            mouse_median_bytes: 1_000.0,
+            mouse_sigma: 1.8,
+            mouse_rate_bps: 1.5e6,
+            elephants_per_sec: 2.0,
+            elephant_alpha: 1.2,
+            elephant_min_bytes: LARGE_FLOW_BYTES as f64,
+            elephant_cap_bytes: 600e6,
+            elephant_rate_bps: 250e6,
+            seed,
+        }
+    }
+}
+
+/// One synthesized flow.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow index (stable identifier).
+    pub id: u32,
+    /// First-packet time.
+    pub start: Time,
+    /// Total bytes carried.
+    pub bytes: u64,
+    /// Transmission rate in bits/s while active.
+    pub rate_bps: f64,
+}
+
+impl FlowRecord {
+    /// Number of 1500-byte packets (at least one).
+    pub fn packets(&self) -> u64 {
+        self.bytes.div_ceil(1500).max(1)
+    }
+
+    /// Active duration.
+    pub fn duration(&self) -> Time {
+        Time::from_ps((self.bytes as f64 * 8.0 / self.rate_bps * 1e12) as u64)
+    }
+
+    /// Is this a large flow in the paper's sense (> 10 MB)?
+    pub fn is_large(&self) -> bool {
+        self.bytes > LARGE_FLOW_BYTES
+    }
+}
+
+/// A generated trace: flow records plus derived packet events.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    /// All flows.
+    pub flows: Vec<FlowRecord>,
+    /// Capture duration.
+    pub duration: Time,
+}
+
+fn lognormal(rng: &mut SimRng, median: f64, sigma: f64) -> f64 {
+    // Box–Muller from two uniforms.
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+fn pareto(rng: &mut SimRng, xm: f64, alpha: f64, cap: f64) -> f64 {
+    let u = 1.0 - rng.next_f64();
+    (xm / u.powf(1.0 / alpha)).min(cap)
+}
+
+impl SyntheticTrace {
+    /// Generate a trace from `config`.
+    pub fn generate(config: &TraceConfig) -> Self {
+        let mut rng = SimRng::seed_from(config.seed);
+        let mut flows = Vec::new();
+        let mut id = 0u32;
+
+        // Mice and elephants are independent Poisson processes.
+        let spawn = |rate_per_sec: f64,
+                         rng: &mut SimRng,
+                         mut size_rate: Box<dyn FnMut(&mut SimRng) -> (f64, f64)>,
+                         flows: &mut Vec<FlowRecord>,
+                         id: &mut u32| {
+            let mut t = 0.0f64;
+            let horizon = config.duration.as_secs_f64();
+            loop {
+                t += rng.exponential(1.0 / rate_per_sec);
+                if t >= horizon {
+                    break;
+                }
+                let (bytes, rate_bps) = size_rate(rng);
+                flows.push(FlowRecord {
+                    id: *id,
+                    start: Time::from_ps((t * 1e12) as u64),
+                    bytes: bytes.max(64.0) as u64,
+                    rate_bps,
+                });
+                *id += 1;
+            }
+        };
+
+        let c = config.clone();
+        spawn(
+            config.mice_per_sec,
+            &mut rng,
+            Box::new(move |rng| {
+                let bytes = lognormal(rng, c.mouse_median_bytes, c.mouse_sigma);
+                let rate = lognormal(rng, c.mouse_rate_bps, 0.8);
+                (bytes, rate)
+            }),
+            &mut flows,
+            &mut id,
+        );
+        let c = config.clone();
+        spawn(
+            config.elephants_per_sec,
+            &mut rng,
+            Box::new(move |rng| {
+                let bytes = pareto(rng, c.elephant_min_bytes, c.elephant_alpha, c.elephant_cap_bytes);
+                let rate = lognormal(rng, c.elephant_rate_bps, 0.5);
+                (bytes, rate)
+            }),
+            &mut flows,
+            &mut id,
+        );
+        flows.sort_by_key(|f| f.start);
+        SyntheticTrace { flows, duration: config.duration }
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Fraction of bytes carried by flows larger than `threshold` bytes.
+    pub fn byte_share_above(&self, threshold: u64) -> f64 {
+        let total = self.total_bytes() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let large: u64 =
+            self.flows.iter().filter(|f| f.bytes > threshold).map(|f| f.bytes).sum();
+        large as f64 / total
+    }
+
+    /// CDF of flow sizes (Fig. 1 "Flows" series).
+    pub fn flow_size_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.flows.iter().map(|f| f.bytes as f64).collect())
+    }
+
+    /// Weighted CDF of bytes by flow size (Fig. 1 "Bytes" series).
+    pub fn bytes_by_size_cdf(&self) -> crate::cdf::WeightedCdf {
+        Cdf::from_weighted(
+            self.flows.iter().map(|f| (f.bytes as f64, f.bytes as f64)).collect(),
+        )
+    }
+
+    /// Packet events (time, flow id), time-sorted, truncated at the
+    /// capture end. Each flow emits its packets evenly at its rate.
+    pub fn packet_events(&self) -> Vec<(Time, u32)> {
+        let mut events = Vec::new();
+        for f in &self.flows {
+            let packets = f.packets();
+            let gap = Time::from_ps(((1500.0 * 8.0 / f.rate_bps) * 1e12) as u64);
+            let mut t = f.start;
+            for _ in 0..packets {
+                if t >= self.duration {
+                    break;
+                }
+                events.push((t, f.id));
+                t += gap;
+            }
+        }
+        events.sort_by_key(|&(t, id)| (t, id));
+        events
+    }
+
+    /// IDs of large flows (for the Fig. 2 "> 10 MB" series).
+    pub fn large_flow_ids(&self) -> std::collections::HashSet<u32> {
+        self.flows.iter().filter(|f| f.is_large()).map(|f| f.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SyntheticTrace {
+        SyntheticTrace::generate(&TraceConfig::mawi_like(42))
+    }
+
+    #[test]
+    fn elephants_dominate_bytes() {
+        let t = trace();
+        let share = t.byte_share_above(LARGE_FLOW_BYTES);
+        assert!(
+            (0.6..=0.95).contains(&share),
+            "large flows should carry most bytes (paper: >75%), got {share:.2}"
+        );
+    }
+
+    #[test]
+    fn most_flows_are_small() {
+        let t = trace();
+        let cdf = t.flow_size_cdf();
+        let median = cdf.quantile(0.5).unwrap();
+        assert!(median < 100_000.0, "median flow should be small, got {median}");
+        // And yet the byte-weighted CDF is dominated by the tail.
+        let bytes = t.bytes_by_size_cdf();
+        assert!(bytes.fraction_at(median) < 0.1);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SyntheticTrace::generate(&TraceConfig::mawi_like(7));
+        let b = SyntheticTrace::generate(&TraceConfig::mawi_like(7));
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        let c = SyntheticTrace::generate(&TraceConfig::mawi_like(8));
+        assert_ne!(a.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn packet_events_are_sorted_and_bounded() {
+        let t = trace();
+        let events = t.packet_events();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        assert!(events.iter().all(|&(time, _)| time < t.duration));
+    }
+
+    #[test]
+    fn flow_record_helpers() {
+        let f = FlowRecord { id: 0, start: Time::ZERO, bytes: 15_000, rate_bps: 12_000.0 };
+        assert_eq!(f.packets(), 10);
+        assert_eq!(f.duration(), Time::from_secs(10));
+        assert!(!f.is_large());
+        let big = FlowRecord { id: 1, start: Time::ZERO, bytes: LARGE_FLOW_BYTES + 1, rate_bps: 1.0 };
+        assert!(big.is_large());
+    }
+
+    #[test]
+    fn large_flow_ids_match_records() {
+        let t = trace();
+        let ids = t.large_flow_ids();
+        let count = t.flows.iter().filter(|f| f.is_large()).count();
+        assert_eq!(ids.len(), count);
+        assert!(count >= 1, "a 10s capture should contain elephants");
+    }
+}

@@ -1,0 +1,21 @@
+//! # sprayer-suite — umbrella crate
+//!
+//! Re-exports the whole Sprayer reproduction so the repo-level examples
+//! and integration tests have a single dependency. See the individual
+//! crates for documentation:
+//!
+//! * [`sprayer`] — the framework (the paper's contribution),
+//! * [`sprayer_net`] — wire formats,
+//! * [`sprayer_nic`] — the multi-queue NIC model (RSS + Flow Director),
+//! * [`sprayer_sim`] — the discrete-event engine,
+//! * [`sprayer_tcp`] — TCP endpoints (CUBIC/Reno, RACK, SACK, TLP),
+//! * [`sprayer_nf`] — network functions written on the Sprayer API,
+//! * [`sprayer_trafficgen`] — workload generation.
+
+pub use sprayer;
+pub use sprayer_net;
+pub use sprayer_nf;
+pub use sprayer_nic;
+pub use sprayer_sim;
+pub use sprayer_tcp;
+pub use sprayer_trafficgen;
