@@ -14,10 +14,10 @@ use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::tables::LocalTables;
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{internet_checksum, FiveTuple, Packet, PacketBuilder, TcpFlags};
-use sprayer_nic::toeplitz::{hash_v4_tuple, MICROSOFT_KEY, SYMMETRIC_KEY};
-use sprayer_nic::{Nic, NicConfig};
 use sprayer_nf::dpi::Automaton;
 use sprayer_nf::SyntheticNf;
+use sprayer_nic::toeplitz::{hash_v4_tuple, MICROSOFT_KEY, SYMMETRIC_KEY};
+use sprayer_nic::{Nic, NicConfig};
 use sprayer_sim::Time;
 
 fn tuple(i: u64) -> FiveTuple {
@@ -56,7 +56,11 @@ fn bench_packet_path(c: &mut Criterion) {
     });
     let mut nat_pkt = built.clone();
     g.bench_function("nat_rewrite_incremental", |b| {
-        b.iter(|| nat_pkt.rewrite_src(black_box(0xc6336401), black_box(10_000)).unwrap())
+        b.iter(|| {
+            nat_pkt
+                .rewrite_src(black_box(0xc6336401), black_box(10_000))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -65,7 +69,13 @@ fn bench_nic(c: &mut Criterion) {
     let mut g = c.benchmark_group("nic");
     let pkts: Vec<Packet> = (0..256)
         .map(|i| {
-            PacketBuilder::new().tcp(tuple(3), i, 0, TcpFlags::ACK, &splitmix64(u64::from(i)).to_be_bytes())
+            PacketBuilder::new().tcp(
+                tuple(3),
+                i,
+                0,
+                TcpFlags::ACK,
+                &splitmix64(u64::from(i)).to_be_bytes(),
+            )
         })
         .collect();
     let mut rss = Nic::new(NicConfig::rss(8));
@@ -118,7 +128,9 @@ fn bench_flow_table(c: &mut Criterion) {
 fn bench_dpi(c: &mut Criterion) {
     let mut g = c.benchmark_group("dpi");
     let ac = Automaton::compile(&["attack", "malware", "exploit", "GET /admin", "0day"]);
-    let payload: Vec<u8> = (0..1460u32).map(|i| (splitmix64(u64::from(i)) & 0x7f) as u8).collect();
+    let payload: Vec<u8> = (0..1460u32)
+        .map(|i| (splitmix64(u64::from(i)) & 0x7f) as u8)
+        .collect();
     g.bench_function("aho_corasick_1460B", |b| {
         b.iter(|| {
             let mut n = 0u32;
@@ -144,7 +156,13 @@ fn bench_simulator(c: &mut Criterion) {
                 now += Time::from_ns(700);
                 mb.ingress(
                     now,
-                    PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &splitmix64(u64::from(i)).to_be_bytes()),
+                    PacketBuilder::new().tcp(
+                        t,
+                        i,
+                        0,
+                        TcpFlags::ACK,
+                        &splitmix64(u64::from(i)).to_be_bytes(),
+                    ),
                 );
             }
             mb.run_until(now + Time::from_ms(100));

@@ -33,7 +33,8 @@ fn main() {
     println!("== Ablation: low-checksum-bit uniformity by payload model ({n} packets) ==\n");
     let mut table = Table::new(vec!["payload model", "max residue deviation", "verdict"]);
 
-    let cases: Vec<(&str, Box<dyn Iterator<Item = Vec<u8>>>)> = vec![
+    type PayloadCase = (&'static str, Box<dyn Iterator<Item = Vec<u8>>>);
+    let cases: Vec<PayloadCase> = vec![
         (
             "random bytes (MoonGen, real payloads)",
             Box::new((0..n).map(|i| splitmix64(i as u64).to_be_bytes().to_vec())),
@@ -42,7 +43,9 @@ fn main() {
             "mixed realistic lengths, random bytes",
             Box::new((0..n).map(|i| {
                 let len = [0usize, 10, 100, 512, 1000][i % 5];
-                (0..len).map(|j| (splitmix64((i * 1000 + j) as u64) & 0xff) as u8).collect()
+                (0..len)
+                    .map(|j| (splitmix64((i * 1000 + j) as u64) & 0xff) as u8)
+                    .collect()
             })),
         ),
         (

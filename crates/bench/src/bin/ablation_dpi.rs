@@ -34,12 +34,21 @@ fn run_case(mb_config: MiddleboxConfig) -> (f64, f64) {
         for j in 0..20u32 {
             now += Time::from_us(2);
             let benign = splitmix64(u64::from(f * 100 + j)).to_be_bytes();
-            mb.ingress(now, PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &benign));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &benign),
+            );
         }
         now += Time::from_us(2);
-        mb.ingress(now, PacketBuilder::new().tcp(t, 100, 0, TcpFlags::ACK, b"...att"));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(t, 100, 0, TcpFlags::ACK, b"...att"),
+        );
         now += Time::from_us(2);
-        mb.ingress(now, PacketBuilder::new().tcp(t, 106, 0, TcpFlags::ACK, b"ack..."));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(t, 106, 0, TcpFlags::ACK, b"ack..."),
+        );
     }
     mb.run_until(now + Time::from_ms(20));
 
@@ -57,7 +66,10 @@ fn main() {
     let mut table = Table::new(vec!["dispatch", "bytes scanned", "cross-packet recall"]);
 
     let cases: Vec<(&str, MiddleboxConfig)> = vec![
-        ("RSS (per-flow)", MiddleboxConfig::paper_testbed(DispatchMode::Rss)),
+        (
+            "RSS (per-flow)",
+            MiddleboxConfig::paper_testbed(DispatchMode::Rss),
+        ),
         ("Sprayer k=2 subset", {
             let mut c = MiddleboxConfig::paper_testbed(DispatchMode::Sprayer);
             c.spray_subset_k = Some(2);
@@ -70,7 +82,10 @@ fn main() {
             c.fdir_cap_pps = None;
             c
         }),
-        ("Sprayer (full spray)", MiddleboxConfig::paper_testbed(DispatchMode::Sprayer)),
+        (
+            "Sprayer (full spray)",
+            MiddleboxConfig::paper_testbed(DispatchMode::Sprayer),
+        ),
     ];
     for (name, config) in cases {
         let (coverage, recall) = run_case(config);

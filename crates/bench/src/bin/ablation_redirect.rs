@@ -29,7 +29,10 @@ fn churn_rate(config: MiddleboxConfig, flows: u32, data_per_flow: u32) -> (f64, 
         for j in 0..data_per_flow {
             now += gap;
             let payload = splitmix64(u64::from(f) << 32 | u64::from(j)).to_be_bytes();
-            mb.ingress(now, PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &payload));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &payload),
+            );
         }
         now += gap;
         mb.ingress(
@@ -38,11 +41,7 @@ fn churn_rate(config: MiddleboxConfig, flows: u32, data_per_flow: u32) -> (f64, 
         );
     }
     mb.run_until(now + Time::from_secs(2));
-    let finished_at = mb
-        .take_egress()
-        .last()
-        .map(|&(t, _)| t)
-        .unwrap_or(now);
+    let finished_at = mb.take_egress().last().map(|&(t, _)| t).unwrap_or(now);
     let s = mb.stats();
     let redirects: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
     // Completion-bound rate: processed packets over the makespan.
@@ -53,7 +52,12 @@ fn churn_rate(config: MiddleboxConfig, flows: u32, data_per_flow: u32) -> (f64, 
 fn main() {
     println!("== Ablation: connection-packet redirection cost (short-flow churn) ==\n");
     println!("workload: 20k flows x (SYN + 8 data + FIN), 2500-cycle NF, spray mode\n");
-    let mut table = Table::new(vec!["ring cost model", "enq/deq cycles", "Mpps", "redirects"]);
+    let mut table = Table::new(vec![
+        "ring cost model",
+        "enq/deq cycles",
+        "Mpps",
+        "redirects",
+    ]);
     let base = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Sprayer, 2_500);
     let cases = [
         ("free (programmable NIC, §7)", 0u64, 0u64),

@@ -18,7 +18,13 @@ use sprayer_sim::Time;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("== Ablation: subset spraying (single CUBIC flow, 10k cycles) ==\n");
-    let mut table = Table::new(vec!["k (cores/flow)", "Gbps", "ooo arrivals", "fast rtx", "dup acks"]);
+    let mut table = Table::new(vec![
+        "k (cores/flow)",
+        "Gbps",
+        "ooo arrivals",
+        "fast rtx",
+        "dup acks",
+    ]);
     for k in [1usize, 2, 4, 8] {
         let mut cfg = TcpConfig::paper(DispatchMode::Sprayer, 10_000, 1, 1);
         if quick {

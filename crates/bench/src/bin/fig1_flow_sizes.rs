@@ -9,7 +9,10 @@ use sprayer_bench::report::{fmt_f, Table};
 use sprayer_trafficgen::trace::{SyntheticTrace, TraceConfig, LARGE_FLOW_BYTES};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
     let trace = SyntheticTrace::generate(&TraceConfig::mawi_like(seed));
 
     println!("== Figure 1: flow-size CDF and byte distribution ==");
@@ -36,7 +39,10 @@ fn main() {
     table.save_csv("fig1_flow_sizes");
 
     let share = trace.byte_share_above(LARGE_FLOW_BYTES);
-    println!("bytes in flows > 10 MB: {:.1}% (paper: >75%)", share * 100.0);
+    println!(
+        "bytes in flows > 10 MB: {:.1}% (paper: >75%)",
+        share * 100.0
+    );
     println!(
         "median flow size: {:.0} B; p99: {:.0} B",
         flows.quantile(0.5).unwrap_or(0.0),

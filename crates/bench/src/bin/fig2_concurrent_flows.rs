@@ -12,11 +12,18 @@ use sprayer_trafficgen::concurrency::{concurrent_flows, ConcurrencyStats, PAPER_
 use sprayer_trafficgen::trace::{SyntheticTrace, TraceConfig};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
     let trace = SyntheticTrace::generate(&TraceConfig::mawi_like(seed));
     let events = trace.packet_events();
     println!("== Figure 2: concurrent flows per 150 µs window ==");
-    println!("trace: {} packets over {:.0}s (seed {seed})\n", events.len(), trace.duration.as_secs_f64());
+    println!(
+        "trace: {} packets over {:.0}s (seed {seed})\n",
+        events.len(),
+        trace.duration.as_secs_f64()
+    );
 
     let all = concurrent_flows(&events, trace.duration, PAPER_WINDOW, None);
     let large_ids = trace.large_flow_ids();
@@ -38,6 +45,12 @@ fn main() {
 
     let s_all = ConcurrencyStats::from_counts(&all);
     let s_large = ConcurrencyStats::from_counts(&large);
-    println!("all flows : median {:.0}, p99 {:.0}, max {} (paper: median 4, p99 14)", s_all.median, s_all.p99, s_all.max);
-    println!(">10MB only: median {:.0}, p99 {:.0}, max {} (paper: median 1, p99 6)", s_large.median, s_large.p99, s_large.max);
+    println!(
+        "all flows : median {:.0}, p99 {:.0}, max {} (paper: median 4, p99 14)",
+        s_all.median, s_all.p99, s_all.max
+    );
+    println!(
+        ">10MB only: median {:.0}, p99 {:.0}, max {} (paper: median 1, p99 6)",
+        s_large.median, s_large.p99, s_large.max
+    );
 }

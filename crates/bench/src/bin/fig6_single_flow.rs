@@ -10,21 +10,47 @@
 //! 10 000 cycles while Sprayer stays ≈9.4 Gbps.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
 use sprayer_sim::Time;
 
+fn mode_name(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Rss => "rss",
+        DispatchMode::Sprayer => "sprayer",
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cycle_points: &[u64] =
-        if quick { &[0, 2_500, 10_000] } else { &[0, 1_000, 2_500, 5_000, 7_500, 10_000] };
+    let cycle_points: &[u64] = if quick {
+        &[0, 2_500, 10_000]
+    } else {
+        &[0, 1_000, 2_500, 5_000, 7_500, 10_000]
+    };
+    let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 6(a): processing rate vs cycles/packet (single flow, 64 B) ==\n");
     let mut t6a = Table::new(vec!["cycles", "RSS Mpps", "Sprayer Mpps"]);
     for &cycles in cycle_points {
-        let rss = rate::run(&rate::RateConfig::paper(DispatchMode::Rss, cycles, 1, 1));
-        let spray = rate::run(&rate::RateConfig::paper(DispatchMode::Sprayer, cycles, 1, 1));
-        t6a.row(vec![cycles.to_string(), fmt_f(rss.mpps(), 3), fmt_f(spray.mpps(), 3)]);
+        let mut mk = |mode| {
+            let r = rate::run(&rate::RateConfig::paper(mode, cycles, 1, 1));
+            telemetry.push(format!(
+                "{{\"figure\":\"6a\",\"mode\":\"{}\",\"cycles\":{cycles},\
+                 \"mpps\":{:.4},\"telemetry\":{}}}",
+                mode_name(mode),
+                r.mpps(),
+                r.stats.to_json()
+            ));
+            r
+        };
+        let rss = mk(DispatchMode::Rss);
+        let spray = mk(DispatchMode::Sprayer);
+        t6a.row(vec![
+            cycles.to_string(),
+            fmt_f(rss.mpps(), 3),
+            fmt_f(spray.mpps(), 3),
+        ]);
     }
     println!("{}", t6a.render());
     t6a.save_csv("fig6a_processing_rate");
@@ -32,20 +58,33 @@ fn main() {
     println!("\n== Figure 6(b): TCP throughput vs cycles/packet (single CUBIC flow) ==\n");
     let mut t6b = Table::new(vec!["cycles", "RSS Gbps", "Sprayer Gbps"]);
     for &cycles in cycle_points {
-        let mk = |mode| {
+        let mut mk = |mode| {
             let mut cfg = tcp::TcpConfig::paper(mode, cycles, 1, 1);
             if quick {
                 cfg.warmup = Time::from_ms(30);
                 cfg.duration = Time::from_ms(120);
             }
-            tcp::run(&cfg)
+            let r = tcp::run(&cfg);
+            telemetry.push(format!(
+                "{{\"figure\":\"6b\",\"mode\":\"{}\",\"cycles\":{cycles},\
+                 \"gbps\":{:.4},\"telemetry\":{}}}",
+                mode_name(mode),
+                r.gbps(),
+                r.stats.to_json()
+            ));
+            r
         };
         let rss = mk(DispatchMode::Rss);
         let spray = mk(DispatchMode::Sprayer);
-        t6b.row(vec![cycles.to_string(), fmt_f(rss.gbps(), 2), fmt_f(spray.gbps(), 2)]);
+        t6b.row(vec![
+            cycles.to_string(),
+            fmt_f(rss.gbps(), 2),
+            fmt_f(spray.gbps(), 2),
+        ]);
     }
     println!("{}", t6b.render());
     t6b.save_csv("fig6b_tcp_throughput");
+    save_json("fig6_telemetry", &json_array(&telemetry));
     println!(
         "paper shape: (a) Sprayer plateaus ~10 Mpps at 0 cycles (NIC cap) then wins up to ~8x;\n\
          (b) RSS decays to ~2.5 Gbps at 10k cycles, Sprayer stays near line rate."

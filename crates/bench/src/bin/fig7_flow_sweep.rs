@@ -9,27 +9,60 @@
 //! throughput for a sufficiently large number of flows").
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
 use sprayer_sim::Time;
 
 const CYCLES: u64 = 10_000;
 
+fn mode_name(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Rss => "rss",
+        DispatchMode::Sprayer => "sprayer",
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let flow_points: &[usize] =
-        if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let flow_points: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
     let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 7(a): processing rate vs #flows (10k cycles, 64 B) ==\n");
-    let mut t7a = Table::new(vec!["flows", "RSS Mpps", "RSS sd", "Sprayer Mpps", "Sprayer sd"]);
+    let mut t7a = Table::new(vec![
+        "flows",
+        "RSS Mpps",
+        "RSS sd",
+        "Sprayer Mpps",
+        "Sprayer sd",
+    ]);
     for &flows in flow_points {
-        let (rss, rss_sd) =
-            rate::run_seeds(&rate::RateConfig::paper(DispatchMode::Rss, CYCLES, flows, 0), seeds);
-        let (spray, spray_sd) = rate::run_seeds(
-            &rate::RateConfig::paper(DispatchMode::Sprayer, CYCLES, flows, 0),
-            seeds,
-        );
+        // Seed sweep by hand so the first seed's telemetry block can be
+        // recorded alongside the aggregate.
+        let mut mk = |mode| {
+            let mut acc = sprayer_sim::Welford::new();
+            for (i, &seed) in seeds.iter().enumerate() {
+                let cfg = rate::RateConfig::paper(mode, CYCLES, flows, seed);
+                let r = rate::run(&cfg);
+                acc.add(r.mpps());
+                if i == 0 {
+                    telemetry.push(format!(
+                        "{{\"figure\":\"7a\",\"mode\":\"{}\",\"flows\":{flows},\
+                         \"seed\":{seed},\"mpps\":{:.4},\"telemetry\":{}}}",
+                        mode_name(mode),
+                        r.mpps(),
+                        r.stats.to_json()
+                    ));
+                }
+            }
+            (acc.mean(), acc.std_dev())
+        };
+        let (rss, rss_sd) = mk(DispatchMode::Rss);
+        let (spray, spray_sd) = mk(DispatchMode::Sprayer);
         t7a.row(vec![
             flows.to_string(),
             fmt_f(rss, 3),
@@ -42,28 +75,49 @@ fn main() {
     t7a.save_csv("fig7a_processing_rate");
 
     println!("\n== Figure 7(b): TCP throughput vs #flows (10k cycles) ==\n");
-    let mut t7b = Table::new(vec!["flows", "RSS Gbps", "RSS sd", "Sprayer Gbps", "Sprayer sd"]);
+    let mut t7b = Table::new(vec![
+        "flows",
+        "RSS Gbps",
+        "RSS sd",
+        "Sprayer Gbps",
+        "Sprayer sd",
+    ]);
     for &flows in flow_points {
-        let mk = |mode| {
-            let mut cfg = tcp::TcpConfig::paper(mode, CYCLES, flows, 0);
-            if quick {
-                cfg.warmup = Time::from_ms(30);
-                cfg.duration = Time::from_ms(100);
+        let mut mk = |mode| {
+            let mut acc = sprayer_sim::Welford::new();
+            for (i, &seed) in seeds.iter().enumerate() {
+                let mut cfg = tcp::TcpConfig::paper(mode, CYCLES, flows, seed);
+                if quick {
+                    cfg.warmup = Time::from_ms(30);
+                    cfg.duration = Time::from_ms(100);
+                }
+                let r = tcp::run(&cfg);
+                acc.add(r.gbps());
+                if i == 0 {
+                    telemetry.push(format!(
+                        "{{\"figure\":\"7b\",\"mode\":\"{}\",\"flows\":{flows},\
+                         \"seed\":{seed},\"gbps\":{:.4},\"telemetry\":{}}}",
+                        mode_name(mode),
+                        r.gbps(),
+                        r.stats.to_json()
+                    ));
+                }
             }
-            tcp::run_seeds(&cfg, seeds)
+            (acc.mean(), acc.std_dev())
         };
-        let rss = mk(DispatchMode::Rss);
-        let spray = mk(DispatchMode::Sprayer);
+        let (rss_mean, rss_sd) = mk(DispatchMode::Rss);
+        let (spray_mean, spray_sd) = mk(DispatchMode::Sprayer);
         t7b.row(vec![
             flows.to_string(),
-            fmt_f(rss.gbps_mean, 2),
-            fmt_f(rss.gbps_sd, 2),
-            fmt_f(spray.gbps_mean, 2),
-            fmt_f(spray.gbps_sd, 2),
+            fmt_f(rss_mean, 2),
+            fmt_f(rss_sd, 2),
+            fmt_f(spray_mean, 2),
+            fmt_f(spray_sd, 2),
         ]);
     }
     println!("{}", t7b.render());
     t7b.save_csv("fig7b_tcp_throughput");
+    save_json("fig7_telemetry", &json_array(&telemetry));
     println!(
         "paper shape: Sprayer flat (~1.5 Mpps / ~9 Gbps); RSS ramps with flows and\n\
          overtakes slightly once enough flows cover all cores (no reordering)."

@@ -12,8 +12,11 @@ use sprayer_bench::scenarios::latency;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cycle_points: &[u64] =
-        if quick { &[0, 5_000, 10_000] } else { &[0, 1_000, 2_500, 5_000, 7_500, 10_000] };
+    let cycle_points: &[u64] = if quick {
+        &[0, 5_000, 10_000]
+    } else {
+        &[0, 1_000, 2_500, 5_000, 7_500, 10_000]
+    };
 
     println!("== Figure 8: p99 RTT at 70% of the minimal processing rate (single flow) ==\n");
     let mut table = Table::new(vec!["cycles", "load Mpps", "RSS p99 us", "Sprayer p99 us"]);

@@ -14,7 +14,11 @@ const CYCLES: u64 = 10_000;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let flow_points: &[usize] = if quick { &[2, 8, 32] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let flow_points: &[usize] = if quick {
+        &[2, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
     let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
 
     println!("== Figure 9: Jain's fairness index vs #flows (TCP, 10k cycles) ==\n");

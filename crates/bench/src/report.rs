@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -57,7 +60,14 @@ impl Table {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -77,6 +87,36 @@ impl Table {
             }
         }
     }
+}
+
+/// Write a pre-serialized JSON document to `results/<name>.json` (best
+/// effort, like [`Table::save_csv`]). The experiment binaries use this for
+/// per-datapoint [`sprayer::stats::MiddleboxStats::to_json`] telemetry.
+pub fn save_json(name: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if std::fs::write(&path, json).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Build a JSON array document from per-datapoint JSON objects, one per
+/// line, so the result file stays diffable.
+pub fn json_array(items: &[String]) -> String {
+    let mut out = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(item);
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
 }
 
 /// Format a float with engineering-style precision for tables.

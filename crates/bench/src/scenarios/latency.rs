@@ -48,7 +48,10 @@ pub fn minimal_processing_rate(nf_cycles: u64) -> f64 {
         .single_core_pps()
         .min(line);
     let spray_cfg = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Sprayer, nf_cycles);
-    let spray = spray_cfg.all_cores_pps().min(line).min(spray_cfg.fdir_cap_pps.unwrap_or(line));
+    let spray = spray_cfg
+        .all_cores_pps()
+        .min(line)
+        .min(spray_cfg.fdir_cap_pps.unwrap_or(line));
     rss.min(spray)
 }
 
@@ -69,7 +72,10 @@ pub fn run(mode: DispatchMode, nf_cycles: u64, load: f64, seed: u64) -> LatencyR
     let mut gen = MoonGen::new(1, offered, Arrivals::Poisson, cfg.seed);
     // Install flow state.
     let tuple = gen.flows()[0];
-    mb.ingress(Time::ZERO, PacketBuilder::new().tcp(tuple, 0, 0, TcpFlags::SYN, b""));
+    mb.ingress(
+        Time::ZERO,
+        PacketBuilder::new().tcp(tuple, 0, 0, TcpFlags::SYN, b""),
+    );
     let warmup_end = Time::from_ms(1);
     mb.run_until(warmup_end);
 
@@ -124,7 +130,16 @@ mod tests {
     fn both_systems_flat_and_similar_at_zero_cycles() {
         let rss = run(DispatchMode::Rss, 0, 0.7, 2);
         let spray = run(DispatchMode::Sprayer, 0, 0.7, 2);
-        assert!((rss.p99_us - spray.p99_us).abs() < 3.0, "{} vs {}", rss.p99_us, spray.p99_us);
-        assert!((8.0..14.0).contains(&rss.p99_us), "near the paper's ~10 µs floor: {}", rss.p99_us);
+        assert!(
+            (rss.p99_us - spray.p99_us).abs() < 3.0,
+            "{} vs {}",
+            rss.p99_us,
+            spray.p99_us
+        );
+        assert!(
+            (8.0..14.0).contains(&rss.p99_us),
+            "near the paper's ~10 µs floor: {}",
+            rss.p99_us
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use sprayer::config::{DispatchMode, MiddleboxConfig};
 use sprayer::runtime_sim::MiddleboxSim;
+use sprayer::stats::MiddleboxStats;
 use sprayer_net::{PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
 use sprayer_sim::time::LinkSpeed;
@@ -58,6 +59,10 @@ pub struct RateResult {
     pub queue_drops: u64,
     /// Per-core processed counts (for fairness/imbalance views).
     pub per_core: Vec<u64>,
+    /// Full end-of-run telemetry block (same shape for both runtimes);
+    /// experiment binaries embed [`MiddleboxStats::to_json`] in their
+    /// result files.
+    pub stats: MiddleboxStats,
 }
 
 impl RateResult {
@@ -70,7 +75,9 @@ impl RateResult {
 /// Run one open-loop rate measurement with a custom middlebox config.
 pub fn run_with_config(cfg: &RateConfig, mb_config: MiddleboxConfig) -> RateResult {
     let mut mb = MiddleboxSim::new(mb_config, SyntheticNf::for_simulator());
-    let offered_pps = cfg.offered_pps.unwrap_or_else(|| LinkSpeed::TEN_GBE.max_pps(60));
+    let offered_pps = cfg
+        .offered_pps
+        .unwrap_or_else(|| LinkSpeed::TEN_GBE.max_pps(60));
     let mut gen = MoonGen::new(cfg.num_flows, offered_pps, Arrivals::Constant, cfg.seed);
 
     // Connection setup: one SYN per flow (outside the measured window).
@@ -104,6 +111,7 @@ pub fn run_with_config(cfg: &RateConfig, mb_config: MiddleboxConfig) -> RateResu
         nic_cap_drops: stats.nic_cap_drops,
         queue_drops: stats.queue_drops,
         per_core: stats.per_core_processed(),
+        stats: stats.clone(),
     }
 }
 
@@ -118,7 +126,10 @@ pub fn run(cfg: &RateConfig) -> RateResult {
 pub fn run_seeds(base: &RateConfig, seeds: &[u64]) -> (f64, f64) {
     let mut acc = sprayer_sim::Welford::new();
     for &seed in seeds {
-        let cfg = RateConfig { seed, ..base.clone() };
+        let cfg = RateConfig {
+            seed,
+            ..base.clone()
+        };
         acc.add(run(&cfg).mpps());
     }
     (acc.mean(), acc.std_dev())
@@ -138,7 +149,9 @@ pub fn per_core_jain(cfg: &RateConfig) -> f64 {
 pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
     let mb_config = MiddleboxConfig::paper_testbed_with_cycles(cfg.mode, cfg.nf_cycles);
     let mut mb = MiddleboxSim::new(mb_config, SyntheticNf::for_simulator());
-    let offered_pps = cfg.offered_pps.unwrap_or_else(|| LinkSpeed::TEN_GBE.max_pps(60));
+    let offered_pps = cfg
+        .offered_pps
+        .unwrap_or_else(|| LinkSpeed::TEN_GBE.max_pps(60));
     let mut gen = MoonGen::new(cfg.num_flows, offered_pps, Arrivals::Constant, cfg.seed);
     let mut t = Time::ZERO;
     for tuple in gen.flows().to_vec() {
@@ -160,7 +173,10 @@ pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
     mb.advance_until(horizon);
     let stats = mb.stats();
     let processed = stats.processed() - processed_before;
-    let missing = mb.nf().missing_state.load(std::sync::atomic::Ordering::Relaxed);
+    let missing = mb
+        .nf()
+        .missing_state
+        .load(std::sync::atomic::Ordering::Relaxed);
     (
         RateResult {
             processed_pps: processed as f64 / cfg.duration.as_secs_f64(),
@@ -168,6 +184,7 @@ pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
             nic_cap_drops: stats.nic_cap_drops,
             queue_drops: stats.queue_drops,
             per_core: stats.per_core_processed(),
+            stats: stats.clone(),
         },
         missing,
     )
@@ -184,9 +201,13 @@ mod tests {
             ..RateConfig::paper(DispatchMode::Rss, 10_000, 1, 1)
         };
         let r = run(&cfg);
-        let expect = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Rss, 10_000)
-            .single_core_pps();
-        assert!((r.processed_pps - expect).abs() / expect < 0.03, "{} vs {expect}", r.processed_pps);
+        let expect =
+            MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Rss, 10_000).single_core_pps();
+        assert!(
+            (r.processed_pps - expect).abs() / expect < 0.03,
+            "{} vs {expect}",
+            r.processed_pps
+        );
     }
 
     #[test]
@@ -219,7 +240,11 @@ mod tests {
             ..RateConfig::paper(DispatchMode::Sprayer, 0, 1, 2)
         };
         let r = run(&cfg);
-        assert!((r.mpps() - 10.0).abs() < 0.4, "capped at ~10 Mpps, got {}", r.mpps());
+        assert!(
+            (r.mpps() - 10.0).abs() < 0.4,
+            "capped at ~10 Mpps, got {}",
+            r.mpps()
+        );
         assert!(r.nic_cap_drops > 0);
     }
 

@@ -28,7 +28,9 @@ use sprayer_nf::SyntheticNf;
 use sprayer_sim::stats::jain_fairness_index;
 use sprayer_sim::time::LinkSpeed;
 use sprayer_sim::{Model, Scheduler, SimRng, Simulation, Time};
-use sprayer_tcp::{AckAction, AckInfo, CongestionControl, Cubic, Receiver, Reno, Sender, SenderConfig};
+use sprayer_tcp::{
+    AckAction, AckInfo, CongestionControl, Cubic, Receiver, Reno, Sender, SenderConfig,
+};
 use std::collections::HashMap;
 
 /// Congestion-control choice for the senders.
@@ -103,6 +105,9 @@ pub struct TcpResult {
     pub ooo_arrivals: u64,
     /// Duplicate ACKs the receivers emitted.
     pub dup_acks: u64,
+    /// Middlebox telemetry for the whole run (warmup included), same
+    /// block as [`crate::scenarios::rate::RateResult::stats`].
+    pub stats: sprayer::stats::MiddleboxStats,
 }
 
 impl TcpResult {
@@ -200,7 +205,10 @@ impl TcpScenario {
                 rng.next_u32() | 0x0a00_0000,
                 5_201, // iperf3 port
             );
-            let sender_cfg = SenderConfig { mss: MSS, ..SenderConfig::default() };
+            let sender_cfg = SenderConfig {
+                mss: MSS,
+                ..SenderConfig::default()
+            };
             let cc: Box<dyn CongestionControl> = match cfg.cc {
                 Cc::Cubic => Box::new(Cubic::new(MSS, sender_cfg.init_cwnd_segments)),
                 Cc::Reno => Box::new(Reno::new(MSS, sender_cfg.init_cwnd_segments)),
@@ -245,7 +253,8 @@ impl TcpScenario {
         // docs); seq is truncated to 32 bits for the header, full value
         // travels in the event.
         let payload = self.rng.next_u64().to_be_bytes();
-        self.builder.tcp(self.flows[f].tuple, seq as u32, 0, TcpFlags::ACK, &payload)
+        self.builder
+            .tcp(self.flows[f].tuple, seq as u32, 0, TcpFlags::ACK, &payload)
     }
 
     /// Build a pure ACK carrying a timestamp option (checksum entropy)
@@ -255,8 +264,7 @@ impl TcpScenario {
     fn build_ack(&mut self, f: usize, info: AckInfo) -> Packet {
         let tuple = self.flows[f].tuple.reversed();
         let mut opts = self.ts_option();
-        let blocks: Vec<(u64, u64)> =
-            info.dsack.into_iter().chain(info.sack).collect();
+        let blocks: Vec<(u64, u64)> = info.dsack.into_iter().chain(info.sack).collect();
         if !blocks.is_empty() {
             opts.extend_from_slice(&[0x01, 0x01]); // NOP NOP
             opts.push(0x05); // SACK
@@ -275,6 +283,7 @@ impl TcpScenario {
 
     /// Decode SACK/DSACK blocks from raw TCP option bytes: blocks ending
     /// at or below the cumulative ACK are DSACKs (RFC 2883).
+    #[allow(clippy::type_complexity)]
     fn decode_sack(options: &[u8], ack: u64) -> (Option<(u64, u64)>, Option<(u64, u64)>) {
         let mut sack = None;
         let mut dsack = None;
@@ -326,7 +335,10 @@ impl TcpScenario {
         while let Some(seg) = self.flows[f].sender.poll_segment(now) {
             let depart = self.client_link_free.max(now);
             self.client_link_free = depart + self.data_frame_time;
-            sched.at(depart, Ev::IngressClient(f, ClientFrame::Data { seq: seg.seq }));
+            sched.at(
+                depart,
+                Ev::IngressClient(f, ClientFrame::Data { seq: seg.seq }),
+            );
         }
         self.schedule_timer(f, sched);
     }
@@ -345,7 +357,9 @@ impl TcpScenario {
     /// Route one middlebox egress packet to its endpoint.
     fn route_egress(&mut self, at: Time, pkt: Packet, sched: &mut Scheduler<Ev>) {
         let Some(tuple) = pkt.tuple() else { return };
-        let Some(&f) = self.by_key.get(&tuple.key()) else { return };
+        let Some(&f) = self.by_key.get(&tuple.key()) else {
+            return;
+        };
         let flags = pkt.meta().tcp_flags.unwrap_or_default();
         let forward = tuple.src_addr == self.flows[f].tuple.src_addr
             && tuple.src_port == self.flows[f].tuple.src_port;
@@ -369,14 +383,21 @@ impl TcpScenario {
             if flags.contains(TcpFlags::SYN) {
                 sched.at(deliver, Ev::EstablishedAt(f));
             } else {
-                let info = sprayer_net::TcpHeader::parse(
-                    &pkt.bytes()[pkt.meta().l4_offset.unwrap()..],
-                )
-                .map(|h| {
-                    let (sack, dsack) = Self::decode_sack(&h.options, u64::from(h.ack));
-                    AckInfo { ack: u64::from(h.ack), sack, dsack }
-                })
-                .unwrap_or(AckInfo { ack: 0, sack: None, dsack: None });
+                let info =
+                    sprayer_net::TcpHeader::parse(&pkt.bytes()[pkt.meta().l4_offset.unwrap()..])
+                        .map(|h| {
+                            let (sack, dsack) = Self::decode_sack(&h.options, u64::from(h.ack));
+                            AckInfo {
+                                ack: u64::from(h.ack),
+                                sack,
+                                dsack,
+                            }
+                        })
+                        .unwrap_or(AckInfo {
+                            ack: 0,
+                            sack: None,
+                            dsack: None,
+                        });
                 sched.at(deliver, Ev::AckAtSender(f, info));
             }
         }
@@ -398,7 +419,9 @@ fn build_frame(tuple: FiveTuple, tcp: sprayer_net::TcpHeader, payload: &[u8]) ->
     .expect("sized");
     let ip_len = ip.emit(&mut data[14..]).expect("sized");
     let l4 = 14 + ip_len;
-    let hlen = tcp.emit(&mut data[l4..], ip.pseudo_header(), payload).expect("sized");
+    let hlen = tcp
+        .emit(&mut data[l4..], ip.pseudo_header(), payload)
+        .expect("sized");
     data[l4 + hlen..l4 + hlen + payload.len()].copy_from_slice(payload);
     Packet::parse(data).expect("well-formed")
 }
@@ -467,7 +490,11 @@ impl Model for TcpScenario {
             }
             Ev::DelayedAck(f) => {
                 if let Some(ack) = self.flows[f].receiver.flush_delayed() {
-                    let info = AckInfo { ack, sack: None, dsack: None };
+                    let info = AckInfo {
+                        ack,
+                        sack: None,
+                        dsack: None,
+                    };
                     sched.now(Ev::IngressServer(f, ServerFrame::Ack { info }));
                 }
             }
@@ -507,7 +534,13 @@ impl Model for TcpScenario {
 }
 
 impl TcpScenario {
-    fn ingress_server_now(&mut self, f: usize, frame: ServerFrame, now: Time, sched: &mut Scheduler<Ev>) {
+    fn ingress_server_now(
+        &mut self,
+        f: usize,
+        frame: ServerFrame,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let pkt = match frame {
             ServerFrame::SynAck => {
                 let tuple = self.flows[f].tuple.reversed();
@@ -569,7 +602,10 @@ pub fn run_with_mb_config(cfg: &TcpConfig, mb_config: MiddleboxConfig) -> TcpRes
     let mut reo_wnd_us = Vec::new();
     let mut delivered = Vec::new();
     for flow in &scenario.flows {
-        let bytes = flow.sender.delivered().saturating_sub(flow.delivered_at_snapshot);
+        let bytes = flow
+            .sender
+            .delivered()
+            .saturating_sub(flow.delivered_at_snapshot);
         per_flow_bps.push(bytes as f64 * 8.0 / secs);
         fast_retransmits += flow.sender.stats().fast_retransmits;
         rtos += flow.sender.stats().rtos;
@@ -593,6 +629,7 @@ pub fn run_with_mb_config(cfg: &TcpConfig, mb_config: MiddleboxConfig) -> TcpRes
         spurious,
         reo_wnd_us,
         delivered,
+        stats: scenario.mb.stats().clone(),
     }
 }
 
@@ -618,7 +655,10 @@ pub fn run_seeds(base: &TcpConfig, seeds: &[u64]) -> SeedSweep {
     let mut jain_min = f64::INFINITY;
     let mut jain_max = f64::NEG_INFINITY;
     for &seed in seeds {
-        let r = run(&TcpConfig { seed, ..base.clone() });
+        let r = run(&TcpConfig {
+            seed,
+            ..base.clone()
+        });
         gbps.add(r.gbps());
         jain_mean += r.jain;
         jain_min = jain_min.min(r.jain);

@@ -33,15 +33,26 @@ fn fig6b_single_flow_rss_is_core_bound_sprayer_near_line_rate() {
         spray.gbps()
     );
     let speedup = spray.gbps() / rss.gbps();
-    assert!(speedup > 2.5, "Fig 6b headline: Sprayer ≫ RSS, got {speedup:.2}x");
+    assert!(
+        speedup > 2.5,
+        "Fig 6b headline: Sprayer ≫ RSS, got {speedup:.2}x"
+    );
 }
 
 #[test]
 fn fig6b_zero_cycles_both_reach_line_rate() {
     let rss = run(&quick(DispatchMode::Rss, 0, 1, 2));
     let spray = run(&quick(DispatchMode::Sprayer, 0, 1, 2));
-    assert!(rss.gbps() > 8.0, "RSS trivial NF ~line rate, got {:.2}", rss.gbps());
-    assert!(spray.gbps() > 7.0, "Sprayer trivial NF near line rate, got {:.2}", spray.gbps());
+    assert!(
+        rss.gbps() > 8.0,
+        "RSS trivial NF ~line rate, got {:.2}",
+        rss.gbps()
+    );
+    assert!(
+        spray.gbps() > 7.0,
+        "Sprayer trivial NF near line rate, got {:.2}",
+        spray.gbps()
+    );
 }
 
 #[test]
@@ -51,9 +62,16 @@ fn fig7b_many_flows_close_the_gap() {
     // With 32 flows, RSS uses (nearly) all cores: both should be well
     // above the single-flow RSS number, within ~2x of each other.
     assert!(rss.gbps() > 5.0, "RSS 32 flows, got {:.2}", rss.gbps());
-    assert!(spray.gbps() > 5.0, "Sprayer 32 flows, got {:.2}", spray.gbps());
+    assert!(
+        spray.gbps() > 5.0,
+        "Sprayer 32 flows, got {:.2}",
+        spray.gbps()
+    );
     let ratio = rss.gbps() / spray.gbps();
-    assert!((0.7..=2.0).contains(&ratio), "gap should be closed, ratio {ratio:.2}");
+    assert!(
+        (0.7..=2.0).contains(&ratio),
+        "gap should be closed, ratio {ratio:.2}"
+    );
 }
 
 #[test]
@@ -92,9 +110,16 @@ fn fig9_fairness_sprayer_near_one_rss_lower_at_moderate_flows() {
 
 #[test]
 fn reno_also_transfers_under_spraying() {
-    let cfg = TcpConfig { cc: Cc::Reno, ..quick(DispatchMode::Sprayer, 10_000, 1, 5) };
+    let cfg = TcpConfig {
+        cc: Cc::Reno,
+        ..quick(DispatchMode::Sprayer, 10_000, 1, 5)
+    };
     let r = run(&cfg);
-    assert!(r.gbps() > 3.0, "Reno under spraying still beats the RSS bound: {:.2}", r.gbps());
+    assert!(
+        r.gbps() > 3.0,
+        "Reno under spraying still beats the RSS bound: {:.2}",
+        r.gbps()
+    );
 }
 
 #[test]

@@ -52,10 +52,18 @@ pub struct MiddleboxConfig {
     pub queue_capacity: usize,
     /// Inter-core ring capacity in descriptors.
     pub ring_capacity: usize,
-    /// Batch size for queue draining (DPDK burst size). The cycle model
-    /// folds per-packet batching savings into `overhead_cycles` (the
-    /// 120-cycle figure is a *batched* DPDK rx/tx cost); this knob is
-    /// carried for NF `init` visibility, as in the paper's §3.4.
+    /// Batch size for queue draining (DPDK burst size, default 32).
+    ///
+    /// The simulator's cycle model folds per-packet batching savings into
+    /// `overhead_cycles` (the 120-cycle figure is a *batched* DPDK rx/tx
+    /// cost), so there the knob only affects NF `init` visibility, as in
+    /// the paper's §3.4. The real-thread runtime
+    /// ([`crate::runtime_threads::ThreadedConfig::batch_size`]) batches
+    /// for real: workers drain up to this many packets per queue poll and
+    /// update the shutdown-protocol atomics once per batch. Observed
+    /// batch sizes land in [`crate::stats::CoreStats::batch_hist`] on
+    /// both runtimes (the simulator records busy-burst lengths, its
+    /// event-model analogue).
     pub batch_size: usize,
     /// Flow Director packet-rate ceiling (82599 erratum the paper hit:
     /// ~10 Mpps). Only applies in [`DispatchMode::Sprayer`].
@@ -92,7 +100,10 @@ impl MiddleboxConfig {
 
     /// Same testbed with an NF that busy-loops for `nf_cycles`.
     pub fn paper_testbed_with_cycles(mode: DispatchMode, nf_cycles: u64) -> Self {
-        MiddleboxConfig { nf_cycles, ..Self::paper_testbed(mode) }
+        MiddleboxConfig {
+            nf_cycles,
+            ..Self::paper_testbed(mode)
+        }
     }
 
     /// Total service cycles for a payload-carrying packet processed where
@@ -143,7 +154,10 @@ mod tests {
         assert_eq!(c.clock, ClockFreq::PAPER_2GHZ);
         assert_eq!(c.fdir_cap_pps, Some(10.0e6));
         let r = MiddleboxConfig::paper_testbed(DispatchMode::Rss);
-        assert_eq!(r.fdir_cap_pps, None, "the Flow Director cap only binds when spraying");
+        assert_eq!(
+            r.fdir_cap_pps, None,
+            "the Flow Director cap only binds when spraying"
+        );
     }
 
     #[test]

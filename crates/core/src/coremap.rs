@@ -32,7 +32,11 @@ impl CoreMap {
     /// A core map for `num_cores` cores under `mode`.
     pub fn new(mode: DispatchMode, num_cores: usize) -> Self {
         assert!(num_cores >= 1);
-        CoreMap { mode, num_cores, rss: RssConfig::symmetric(num_cores) }
+        CoreMap {
+            mode,
+            num_cores,
+            rss: RssConfig::symmetric(num_cores),
+        }
     }
 
     /// Number of cores.
@@ -84,8 +88,14 @@ mod tests {
         let map = CoreMap::new(DispatchMode::Sprayer, 8);
         for i in 0..100u32 {
             let t = FiveTuple::tcp(0x0a000000 + i, 40000, 0xc0a80001, 443);
-            assert_eq!(map.designated_for_tuple(&t), map.designated_for_tuple(&t.reversed()));
-            assert_eq!(map.designated_for_tuple(&t), map.designated_for_key(&t.key()));
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_tuple(&t.reversed())
+            );
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_key(&t.key())
+            );
         }
     }
 
@@ -96,9 +106,15 @@ mod tests {
         for i in 0..100u32 {
             let t = FiveTuple::tcp(0x0a000000 + i, 40000, 0xc0a80001, 443);
             assert_eq!(map.designated_for_tuple(&t), usize::from(rss.queue_for(&t)));
-            assert_eq!(map.designated_for_tuple(&t), map.designated_for_tuple(&t.reversed()));
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_tuple(&t.reversed())
+            );
             // Tuple-based and key-based lookups must agree, both ways.
-            assert_eq!(map.designated_for_tuple(&t), map.designated_for_key(&t.key()));
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_key(&t.key())
+            );
             assert_eq!(
                 map.designated_for_tuple(&t.reversed()),
                 map.designated_for_key(&t.reversed().key())

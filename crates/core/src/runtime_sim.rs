@@ -49,6 +49,11 @@ struct CoreSim {
     rx: BoundedFifo<Job>,
     ring: BoundedFifo<Job>,
     current: Option<(Job, Effect)>,
+    /// Jobs served since the core last went idle. The simulator has no
+    /// literal burst dequeue (each service is an event), so the
+    /// busy-burst length is its analogue of the threaded runtime's batch
+    /// size — both are recorded in [`crate::stats::CoreStats::batch_hist`].
+    burst: u64,
 }
 
 /// The simulated middlebox.
@@ -86,13 +91,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         // anchored at its RSS queue — so its state must live there too:
         // the designated core follows the RSS map (the subset anchor)
         // instead of the full-spray hash.
-        let designated_mode = if config.mode == DispatchMode::Sprayer
-            && config.spray_subset_k.is_some()
-        {
-            DispatchMode::Rss
-        } else {
-            config.mode
-        };
+        let designated_mode =
+            if config.mode == DispatchMode::Sprayer && config.spray_subset_k.is_some() {
+                DispatchMode::Rss
+            } else {
+                config.mode
+            };
         let coremap = CoreMap::new(designated_mode, config.num_cores);
         let tables = LocalTables::new(coremap.clone(), nf_config.flow_table_capacity);
         let cores = (0..config.num_cores)
@@ -100,6 +104,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 rx: BoundedFifo::new(config.queue_capacity),
                 ring: BoundedFifo::new(config.ring_capacity),
                 current: None,
+                burst: 0,
             })
             .collect();
         let stats = MiddleboxStats::new(config.num_cores);
@@ -197,11 +202,16 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         }
 
         let core = usize::from(queue);
-        let job = Job { pkt, arrival: now, via_ring: false };
+        let job = Job {
+            pkt,
+            arrival: now,
+            via_ring: false,
+        };
         if self.cores[core].rx.push(job).is_err() {
             self.stats.queue_drops += 1;
             return;
         }
+        self.stats.per_core[core].observe_rx_depth(self.cores[core].rx.len() as u64);
         self.kick(core, now);
     }
 
@@ -240,8 +250,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         // Ring (connection) work first: §3.3 batches local and foreign
         // connection packets into the connection handler.
         let (job, service_cycles) = if let Some(job) = self.cores[core].ring.pop() {
-            let cycles =
-                self.config.ring_dequeue_cycles + self.config.service_cycles_for(&job.pkt);
+            let cycles = self.config.ring_dequeue_cycles + self.config.service_cycles_for(&job.pkt);
             (job, cycles)
         } else if let Some(job) = self.cores[core].rx.pop() {
             // Decide at pick-up time whether this is a redirect.
@@ -249,6 +258,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             if let Some(target) = redirect {
                 let cycles = self.config.overhead_cycles + self.config.ring_enqueue_cycles;
                 let done = now + self.config.clock.cycles_to_time(cycles);
+                self.cores[core].burst += 1;
                 self.stats.per_core[core].busy_cycles += cycles;
                 self.cores[core].current = Some((job, Effect::Redirect(target)));
                 self.schedule(done, core);
@@ -257,9 +267,15 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let cycles = self.config.service_cycles_for(&job.pkt);
             (job, cycles)
         } else {
+            // Going idle: the busy burst ends here. Record its length as
+            // this runtime's batch-size observation.
+            let burst = self.cores[core].burst;
+            self.stats.per_core[core].record_batch(burst);
+            self.cores[core].burst = 0;
             return;
         };
         let done = now + self.config.clock.cycles_to_time(service_cycles);
+        self.cores[core].burst += 1;
         self.stats.per_core[core].busy_cycles += service_cycles;
         self.cores[core].current = Some((job, Effect::Process));
         self.schedule(done, core);
@@ -287,15 +303,24 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         match effect {
             Effect::Redirect(target) => {
                 self.stats.per_core[core].redirected_out += 1;
-                let job = Job { via_ring: true, ..job };
+                let job = Job {
+                    via_ring: true,
+                    ..job
+                };
                 if self.cores[target].ring.push(job).is_err() {
                     self.stats.ring_drops += 1;
                 } else {
+                    self.stats.per_core[target]
+                        .observe_ring_depth(self.cores[target].ring.len() as u64);
                     self.kick(target, now);
                 }
             }
             Effect::Process => {
-                let Job { mut pkt, arrival, via_ring } = job;
+                let Job {
+                    mut pkt,
+                    arrival,
+                    via_ring,
+                } = job;
                 let is_conn = pkt.is_connection_packet();
                 let mut ctx = self.tables.ctx(core);
                 let verdict = if is_conn {
@@ -311,7 +336,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 if via_ring {
                     cs.redirected_in += 1;
                 }
-                self.latency_us.add((now.saturating_sub(arrival)).as_us_f64());
+                self.latency_us
+                    .add((now.saturating_sub(arrival)).as_us_f64());
                 match verdict {
                     Verdict::Forward => {
                         self.stats.forwarded += 1;
@@ -411,13 +437,16 @@ mod tests {
         // 256 regular packets with varying checksums → all 8 cores.
         for i in 0u32..256 {
             now += Time::from_us(1);
-            let p = PacketBuilder::new().tcp(t, u32::from(i), 0, TcpFlags::ACK, &payload(i));
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
             mb.ingress(now, p);
         }
         mb.run_until(now + Time::from_ms(10));
 
         let s = mb.stats();
-        assert_eq!(s.forwarded, 257, "every regular packet must find the flow state");
+        assert_eq!(
+            s.forwarded, 257,
+            "every regular packet must find the flow state"
+        );
         assert_eq!(s.nf_drops, 0);
         // Spraying must actually have used many cores.
         let active = s.per_core.iter().filter(|c| c.processed > 0).count();
@@ -468,7 +497,10 @@ mod tests {
         let out: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
         let inn: u64 = s.per_core.iter().map(|c| c.redirected_in).sum();
         assert_eq!(out, inn, "every redirect must be consumed");
-        assert!(out > u64::from(n) / 2, "most SYNs land on foreign cores: {out}");
+        assert!(
+            out > u64::from(n) / 2,
+            "most SYNs land on foreign cores: {out}"
+        );
         assert_eq!(s.forwarded, u64::from(n));
         // And despite redirection, state sits on designated cores.
         for i in 0..n {
@@ -487,7 +519,10 @@ mod tests {
         let single_core_pps = config.single_core_pps();
         let mut mb = MiddleboxSim::new(config, TrackerNf);
         let t = flow(1);
-        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""),
+        );
 
         // Offer 64B packets at line rate (14.88 Mpps) for 20 ms.
         let gap = LinkSpeed::TEN_GBE.frame_time(60);
@@ -505,7 +540,10 @@ mod tests {
         let processed = mb.stats().processed();
         let rate = processed as f64 / horizon.as_secs_f64();
         let rel = (rate - single_core_pps).abs() / single_core_pps;
-        assert!(rel < 0.02, "measured {rate:.0} pps vs single-core {single_core_pps:.0}");
+        assert!(
+            rel < 0.02,
+            "measured {rate:.0} pps vs single-core {single_core_pps:.0}"
+        );
         assert!(mb.stats().queue_drops > 0, "overload must tail-drop");
     }
 
@@ -515,7 +553,10 @@ mod tests {
         let expect = config.all_cores_pps();
         let mut mb = MiddleboxSim::new(config, TrackerNf);
         let t = flow(1);
-        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""),
+        );
 
         let gap = LinkSpeed::TEN_GBE.frame_time(60);
         let horizon = Time::from_ms(20);
@@ -541,7 +582,10 @@ mod tests {
         let config = cfg(DispatchMode::Sprayer, 0);
         let mut mb = MiddleboxSim::new(config, TrackerNf);
         let t = flow(1);
-        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""),
+        );
 
         let gap = LinkSpeed::TEN_GBE.frame_time(60);
         let horizon = Time::from_ms(20);
@@ -556,7 +600,11 @@ mod tests {
         mb.advance_until(horizon);
 
         let rate = mb.stats().processed() as f64 / horizon.as_secs_f64();
-        assert!((rate / 1e6 - 10.0).abs() < 0.3, "rate {:.2} Mpps should be ~10", rate / 1e6);
+        assert!(
+            (rate / 1e6 - 10.0).abs() < 0.3,
+            "rate {:.2} Mpps should be ~10",
+            rate / 1e6
+        );
         assert!(mb.stats().nic_cap_drops > 0);
     }
 
@@ -575,8 +623,20 @@ mod tests {
         mb.run_until(now + Time::from_secs(1));
         assert!(mb.is_idle());
         let s = mb.stats();
-        assert_eq!(s.unaccounted(), 0, "all packets accounted once drained: {s:?}");
+        assert_eq!(
+            s.unaccounted(),
+            0,
+            "all packets accounted once drained: {s:?}"
+        );
         assert_eq!(s.offered, 5_001);
+        // Telemetry block is populated: bursts were recorded and queue
+        // occupancy was observed while the cores fell behind.
+        let batches: u64 = s.per_core.iter().map(|c| c.batches()).sum();
+        assert!(batches > 0, "busy bursts must land in the batch histogram");
+        assert!(
+            s.max_rx_occupancy() > 1,
+            "backlog must show up in the rx high-water mark"
+        );
     }
 
     #[test]
@@ -594,7 +654,10 @@ mod tests {
         }
         mb.run_until(now + Time::from_ms(1));
         let p50 = mb.latency_us().median().unwrap();
-        assert!((p50 - 1.06).abs() < 0.02, "p50 {p50} should equal the service time");
+        assert!(
+            (p50 - 1.06).abs() < 0.02,
+            "p50 {p50} should equal the service time"
+        );
     }
 
     #[test]
@@ -602,7 +665,10 @@ mod tests {
         let config = cfg(DispatchMode::Rss, 1_000);
         let mut mb = MiddleboxSim::new(config, TrackerNf);
         let t = flow(2);
-        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""),
+        );
         mb.run_until(Time::from_ms(1));
         let egress = mb.take_egress();
         assert_eq!(egress.len(), 1);
@@ -620,7 +686,10 @@ mod tests {
                 NfDescriptor::named("stateless")
             }
             fn config(&self) -> NfConfig {
-                NfConfig { stateless: true, ..NfConfig::default() }
+                NfConfig {
+                    stateless: true,
+                    ..NfConfig::default()
+                }
             }
             fn connection_packets(
                 &self,
@@ -648,7 +717,10 @@ mod tests {
         }
         mb.run_until(now + Time::from_ms(10));
         let redirects: u64 = mb.stats().per_core.iter().map(|c| c.redirected_out).sum();
-        assert_eq!(redirects, 0, "stateless flag must disable connection-packet redirection");
+        assert_eq!(
+            redirects, 0,
+            "stateless flag must disable connection-packet redirection"
+        );
         assert_eq!(mb.stats().forwarded, 64);
     }
 }

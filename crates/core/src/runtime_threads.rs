@@ -1,9 +1,10 @@
 //! A real-thread Sprayer runtime.
 //!
 //! Functionally equivalent to [`crate::runtime_sim`] but executing on
-//! OS threads: one worker per simulated core, crossbeam queues as the
-//! NIC rx queues and inter-core descriptor rings, and
-//! [`crate::tables::SharedTables`] as the write-partitioned flow state.
+//! OS threads: one worker per simulated core, **bounded** crossbeam
+//! `ArrayQueue`s as the NIC rx queues and inter-core descriptor rings,
+//! and [`crate::tables::SharedTables`] as the write-partitioned flow
+//! state.
 //!
 //! This runtime exists to validate the *concurrency design* — that the
 //! write partition, ring protocol, and shutdown logic are sound under
@@ -12,45 +13,144 @@
 //! numbers come from the deterministic simulator, whose cycle model is
 //! calibrated to the paper's hardware rather than to this host.
 //!
+//! ## Batched, bounded dataplane
+//!
+//! Mirroring the paper's DPDK-style fast path (§3.3) and the simulator's
+//! queue model, workers drain their queues in bounded batches
+//! ([`ThreadedConfig::batch_size`], default 32) rather than one packet at
+//! a time, and the shutdown-protocol counters are updated **per batch**
+//! — one atomic RMW per drain instead of one per packet. Every queue is
+//! bounded: receive-queue overflow is an accounted
+//! [`MiddleboxStats::queue_drops`] event and ring overflow an accounted
+//! [`MiddleboxStats::ring_drops`] event, never unbounded growth. Redirect
+//! pushes are *work-conserving*: while a target ring is full the sender
+//! drains its own ring (so two workers redirecting into each other's full
+//! rings always make progress), retrying up to
+//! [`ThreadedConfig::redirect_retries`] times before counting the drop.
+//!
+//! Both runtimes report the same [`MiddleboxStats`] telemetry, so
+//! conservation (`stats.unaccounted() == 0` once drained) is assertable
+//! on this path exactly as on the simulator.
+//!
 //! Workers follow the guides' advice for CPU-bound work: plain scoped
 //! threads, no async runtime.
 
 use crate::api::{NetworkFunction, Verdict};
 use crate::config::DispatchMode;
 use crate::coremap::CoreMap;
-use crate::tables::SharedTables;
-use crossbeam::queue::SegQueue;
+use crate::stats::{CoreStats, MiddleboxStats};
+use crate::tables::{SharedCtx, SharedTables};
+use crossbeam::queue::ArrayQueue;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Configuration of the real-thread runtime.
+///
+/// Queue and batch defaults mirror
+/// [`crate::config::MiddleboxConfig::paper_testbed`] so the two runtimes
+/// model the same dataplane shape.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// How the NIC assigns packets to workers.
+    pub mode: DispatchMode,
+    /// Number of OS worker threads (one per simulated core).
+    pub num_workers: usize,
+    /// Maximum packets drained from a queue per poll — the DPDK burst
+    /// size. Accounting atomics are updated once per batch.
+    pub batch_size: usize,
+    /// Per-worker receive-queue capacity in packets. Ingress retries a
+    /// full queue up to [`ThreadedConfig::ingress_retries`] times
+    /// (yielding so workers can drain), then counts a `queue_drop`.
+    pub queue_capacity: usize,
+    /// Inter-core descriptor-ring capacity.
+    pub ring_capacity: usize,
+    /// Bounded spin for redirect pushes into a full ring: between
+    /// attempts the sender drains its own ring (work conserving), and
+    /// after this many failed attempts the descriptor is dropped and
+    /// counted in [`MiddleboxStats::ring_drops`].
+    pub redirect_retries: usize,
+    /// Bounded spin for ingress pushes into a full receive queue before
+    /// counting a [`MiddleboxStats::queue_drops`].
+    pub ingress_retries: usize,
+}
+
+impl ThreadedConfig {
+    /// Defaults for `mode` with `num_workers` threads: batch 32, rx
+    /// queues of 512, rings of 1024 (the paper-testbed queue shape).
+    pub fn new(mode: DispatchMode, num_workers: usize) -> Self {
+        ThreadedConfig {
+            mode,
+            num_workers,
+            batch_size: 32,
+            queue_capacity: 512,
+            ring_capacity: 1024,
+            redirect_retries: 64,
+            ingress_retries: 4096,
+        }
+    }
+}
 
 /// Result of a threaded run.
 #[derive(Debug)]
 pub struct ThreadedOutcome {
     /// Forwarded packets, in completion order (spraying reorders!).
     pub forwarded: Vec<Packet>,
-    /// Packets dropped by NF verdict.
+    /// Packets dropped by NF verdict (same as `stats.nf_drops`).
     pub nf_drops: u64,
     /// Packets each worker processed.
     pub per_worker_processed: Vec<u64>,
-    /// Connection packets redirected between workers.
+    /// Connection packets redirected between workers (same as
+    /// `stats.redirects()`).
     pub redirects: u64,
+    /// The full telemetry block, identical in shape to the simulator's
+    /// [`crate::runtime_sim::MiddleboxSim::stats`]. Fully drained runs
+    /// satisfy `stats.unaccounted() == 0`.
+    pub stats: MiddleboxStats,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
 pub struct ThreadedMiddlebox;
 
 struct WorkerShared<NF: NetworkFunction> {
-    rx: Vec<SegQueue<Packet>>,
-    rings: Vec<SegQueue<Packet>>,
+    rx: Vec<ArrayQueue<Packet>>,
+    rings: Vec<ArrayQueue<Packet>>,
     tables: SharedTables<NF::Flow>,
     coremap: CoreMap,
     ingress_done: AtomicBool,
+    /// Packets pushed to rx queues and not yet claimed by a worker batch.
     rx_remaining: AtomicU64,
+    /// Redirected descriptors not yet consumed (or dropped) by their
+    /// target. Incremented *before* the owning batch releases its
+    /// `rx_remaining` claim, so `rx_remaining + redirects_outstanding`
+    /// never passes through zero while a packet is in flight — the
+    /// invariant the shutdown protocol relies on.
     redirects_outstanding: AtomicU64,
-    redirect_count: AtomicU64,
     stateless: bool,
     mode: DispatchMode,
+    batch_size: usize,
+    redirect_retries: usize,
+}
+
+/// Per-worker mutable state for one phase.
+struct Worker<'a, NF: NetworkFunction> {
+    nf: &'a NF,
+    shared: &'a WorkerShared<NF>,
+    id: usize,
+    ctx: SharedCtx<NF::Flow>,
+    out: Vec<Packet>,
+    nf_drops: u64,
+    ring_drops: u64,
+    stats: CoreStats,
+    /// Scratch batch buffer, reused across drains.
+    batch: Vec<(Packet, Option<usize>)>,
+}
+
+struct WorkerResult {
+    out: Vec<Packet>,
+    nf_drops: u64,
+    ring_drops: u64,
+    stats: CoreStats,
 }
 
 impl ThreadedMiddlebox {
@@ -80,50 +180,95 @@ impl ThreadedMiddlebox {
         nf: &NF,
         phases: Vec<Vec<Packet>>,
     ) -> ThreadedOutcome {
+        Self::run(&ThreadedConfig::new(mode, num_workers), nf, phases)
+    }
+
+    /// Run `phases` through `nf` under an explicit [`ThreadedConfig`] —
+    /// the full-control entry point (queue/ring capacities, batch size,
+    /// retry bounds).
+    pub fn run<NF: NetworkFunction>(
+        config: &ThreadedConfig,
+        nf: &NF,
+        phases: Vec<Vec<Packet>>,
+    ) -> ThreadedOutcome {
+        let num_workers = config.num_workers;
         assert!(num_workers >= 1);
+        assert!(config.batch_size >= 1);
         let nf_config = nf.config();
-        let coremap = CoreMap::new(mode, num_workers);
+        let coremap = CoreMap::new(config.mode, num_workers);
         let tables = SharedTables::new(coremap.clone(), nf_config.flow_table_capacity);
-        let nic_config = match mode {
+        let nic_config = match config.mode {
             DispatchMode::Rss => NicConfig::rss(num_workers),
             // No rate cap here: wall-clock timing is not modeled.
             DispatchMode::Sprayer => NicConfig::sprayer_uncapped(num_workers),
         };
         let mut nic = Nic::new(nic_config);
 
+        let mut stats = MiddleboxStats::new(num_workers);
         let mut outcome = ThreadedOutcome {
             forwarded: Vec::new(),
             nf_drops: 0,
             per_worker_processed: vec![0; num_workers],
             redirects: 0,
+            stats: MiddleboxStats::new(num_workers),
         };
         for packets in phases {
+            stats.offered += packets.len() as u64;
             let shared = WorkerShared::<NF> {
-                rx: (0..num_workers).map(|_| SegQueue::new()).collect(),
-                rings: (0..num_workers).map(|_| SegQueue::new()).collect(),
+                rx: (0..num_workers)
+                    .map(|_| ArrayQueue::new(config.queue_capacity))
+                    .collect(),
+                rings: (0..num_workers)
+                    .map(|_| ArrayQueue::new(config.ring_capacity))
+                    .collect(),
                 tables: tables.clone(),
                 coremap: coremap.clone(),
                 ingress_done: AtomicBool::new(false),
                 rx_remaining: AtomicU64::new(0),
                 redirects_outstanding: AtomicU64::new(0),
-                redirect_count: AtomicU64::new(0),
                 stateless: nf_config.stateless,
-                mode,
+                mode: config.mode,
+                batch_size: config.batch_size,
+                redirect_retries: config.redirect_retries,
             };
 
-            let mut results: Vec<(Vec<Packet>, u64, u64)> = Vec::new();
+            let mut results: Vec<WorkerResult> = Vec::new();
+            let mut rx_hwm = vec![0u64; num_workers];
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for worker in 0..num_workers {
                     let shared = &shared;
-                    handles.push(s.spawn(move || Self::worker_loop(nf, shared, worker)));
+                    handles.push(s.spawn(move || Worker::new(nf, shared, worker).run()));
                 }
 
-                // Ingress on this thread: classify and enqueue.
+                // Ingress on this thread: classify and enqueue with
+                // bounded backpressure.
                 for pkt in packets {
                     let (queue, _) = nic.steer(&pkt);
+                    let q = usize::from(queue);
+                    // Claim before push: a consumer's per-batch decrement
+                    // must never race the counter below zero.
                     shared.rx_remaining.fetch_add(1, Ordering::SeqCst);
-                    shared.rx[usize::from(queue)].push(pkt);
+                    let mut pkt = pkt;
+                    let mut admitted = false;
+                    for _ in 0..=config.ingress_retries {
+                        match shared.rx[q].push(pkt) {
+                            Ok(()) => {
+                                admitted = true;
+                                rx_hwm[q] = rx_hwm[q].max(shared.rx[q].len() as u64);
+                                break;
+                            }
+                            Err(back) => {
+                                pkt = back;
+                                rx_hwm[q] = rx_hwm[q].max(shared.rx[q].capacity() as u64);
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    if !admitted {
+                        shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
+                        stats.queue_drops += 1;
+                    }
                 }
                 shared.ingress_done.store(true, Ordering::SeqCst);
 
@@ -132,93 +277,202 @@ impl ThreadedMiddlebox {
                 }
             });
 
-            for (worker, (out, processed, drops)) in results.into_iter().enumerate() {
-                outcome.per_worker_processed[worker] += processed;
-                outcome.nf_drops += drops;
-                outcome.forwarded.extend(out);
+            for (worker, r) in results.into_iter().enumerate() {
+                outcome.per_worker_processed[worker] += r.stats.processed;
+                outcome.nf_drops += r.nf_drops;
+                stats.nf_drops += r.nf_drops;
+                stats.ring_drops += r.ring_drops;
+                stats.forwarded += r.out.len() as u64;
+                outcome.forwarded.extend(r.out);
+                stats.per_core[worker].merge(&r.stats);
+                stats.per_core[worker].observe_rx_depth(rx_hwm[worker]);
             }
-            outcome.redirects += shared.redirect_count.load(Ordering::SeqCst);
         }
+        outcome.redirects = stats.redirects();
+        outcome.stats = stats;
         outcome
     }
+}
 
-    fn worker_loop<NF: NetworkFunction>(
-        nf: &NF,
-        shared: &WorkerShared<NF>,
-        worker: usize,
-    ) -> (Vec<Packet>, u64, u64) {
-        let mut ctx = shared.tables.ctx(worker);
-        let mut out = Vec::new();
-        let mut processed = 0u64;
-        let mut drops = 0u64;
+impl<'a, NF: NetworkFunction> Worker<'a, NF> {
+    fn new(nf: &'a NF, shared: &'a WorkerShared<NF>, id: usize) -> Self {
+        Worker {
+            nf,
+            shared,
+            id,
+            ctx: shared.tables.ctx(id),
+            out: Vec::new(),
+            nf_drops: 0,
+            ring_drops: 0,
+            stats: CoreStats::default(),
+            batch: Vec::new(),
+        }
+    }
 
-        let handle = |mut pkt: Packet,
-                          ctx: &mut crate::tables::SharedCtx<NF::Flow>,
-                          out: &mut Vec<Packet>,
-                          processed: &mut u64,
-                          drops: &mut u64| {
-            let verdict = if pkt.is_connection_packet() {
-                nf.connection_packets(&mut pkt, ctx)
-            } else {
-                nf.regular_packets(&mut pkt, ctx)
-            };
-            *processed += 1;
-            match verdict {
-                Verdict::Forward => out.push(pkt),
-                Verdict::Drop => *drops += 1,
-            }
-        };
-
+    fn run(mut self) -> WorkerResult {
         loop {
-            let mut did_work = false;
-
             // Ring (connection) work first, as in §3.3.
-            while let Some(pkt) = shared.rings[worker].pop() {
-                handle(pkt, &mut ctx, &mut out, &mut processed, &mut drops);
-                shared.redirects_outstanding.fetch_sub(1, Ordering::SeqCst);
-                did_work = true;
-            }
-
-            if let Some(pkt) = shared.rx[worker].pop() {
-                shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
-                did_work = true;
-                // Core picker (§3.3): connection packets whose designated
-                // core is elsewhere are transferred, not processed.
-                let redirect = if shared.mode == DispatchMode::Sprayer
-                    && !shared.stateless
-                    && pkt.is_connection_packet()
-                {
-                    pkt.tuple().and_then(|t| {
-                        let d = shared.coremap.designated_for_tuple(&t);
-                        (d != worker).then_some(d)
-                    })
-                } else {
-                    None
-                };
-                match redirect {
-                    Some(target) => {
-                        shared.redirects_outstanding.fetch_add(1, Ordering::SeqCst);
-                        shared.redirect_count.fetch_add(1, Ordering::SeqCst);
-                        shared.rings[target].push(pkt);
-                    }
-                    None => handle(pkt, &mut ctx, &mut out, &mut processed, &mut drops),
-                }
-            }
+            let mut did_work = self.drain_ring();
+            did_work |= self.drain_rx();
 
             if !did_work {
                 // Shutdown: nothing can appear in any ring once all rx
-                // queues are drained and no redirect is outstanding.
-                if shared.ingress_done.load(Ordering::SeqCst)
-                    && shared.rx_remaining.load(Ordering::SeqCst) == 0
-                    && shared.redirects_outstanding.load(Ordering::SeqCst) == 0
-                    && shared.rings[worker].is_empty()
+                // queues are drained and no redirect is outstanding —
+                // guaranteed because a batch registers its redirects
+                // (`redirects_outstanding`) before releasing its
+                // `rx_remaining` claim.
+                if self.shared.ingress_done.load(Ordering::SeqCst)
+                    && self.shared.rx_remaining.load(Ordering::SeqCst) == 0
+                    && self.shared.redirects_outstanding.load(Ordering::SeqCst) == 0
+                    && self.shared.rings[self.id].is_empty()
                 {
                     break;
                 }
                 std::thread::yield_now();
             }
         }
-        (out, processed, drops)
+        WorkerResult {
+            out: self.out,
+            nf_drops: self.nf_drops,
+            ring_drops: self.ring_drops,
+            stats: self.stats,
+        }
+    }
+
+    /// Run the NF on one packet that is processed on this worker.
+    fn handle(&mut self, mut pkt: Packet) {
+        let is_conn = pkt.is_connection_packet();
+        let verdict = if is_conn {
+            self.nf.connection_packets(&mut pkt, &mut self.ctx)
+        } else {
+            self.nf.regular_packets(&mut pkt, &mut self.ctx)
+        };
+        self.stats.processed += 1;
+        if is_conn {
+            self.stats.connection_packets += 1;
+        }
+        match verdict {
+            Verdict::Forward => self.out.push(pkt),
+            Verdict::Drop => self.nf_drops += 1,
+        }
+    }
+
+    /// Drain one batch from this worker's ring. Returns true if any
+    /// descriptor was consumed.
+    fn drain_ring(&mut self) -> bool {
+        let ring = &self.shared.rings[self.id];
+        self.stats.observe_ring_depth(ring.len() as u64);
+        debug_assert!(self.batch.is_empty());
+        while self.batch.len() < self.shared.batch_size {
+            match ring.pop() {
+                Some(pkt) => self.batch.push((pkt, None)),
+                None => break,
+            }
+        }
+        let n = self.batch.len() as u64;
+        if n == 0 {
+            return false;
+        }
+        // Per-batch accounting: these descriptors are now owned by this
+        // worker and will be processed before its next shutdown check.
+        self.shared
+            .redirects_outstanding
+            .fetch_sub(n, Ordering::SeqCst);
+        self.stats.record_batch(n);
+        self.stats.redirected_in += n;
+        let mut batch = std::mem::take(&mut self.batch);
+        for (pkt, _) in batch.drain(..) {
+            self.handle(pkt);
+        }
+        self.batch = batch;
+        true
+    }
+
+    /// Drain one batch from this worker's receive queue. Returns true if
+    /// any packet was consumed.
+    fn drain_rx(&mut self) -> bool {
+        let rx = &self.shared.rx[self.id];
+        self.stats.observe_rx_depth(rx.len() as u64);
+        debug_assert!(self.batch.is_empty());
+        let mut redirects = 0u64;
+        while self.batch.len() < self.shared.batch_size {
+            match rx.pop() {
+                Some(pkt) => {
+                    // Core picker (§3.3): connection packets whose
+                    // designated core is elsewhere are transferred, not
+                    // processed.
+                    let target = if self.shared.mode == DispatchMode::Sprayer
+                        && !self.shared.stateless
+                        && pkt.is_connection_packet()
+                    {
+                        pkt.tuple().and_then(|t| {
+                            let d = self.shared.coremap.designated_for_tuple(&t);
+                            (d != self.id).then_some(d)
+                        })
+                    } else {
+                        None
+                    };
+                    redirects += u64::from(target.is_some());
+                    self.batch.push((pkt, target));
+                }
+                None => break,
+            }
+        }
+        let n = self.batch.len() as u64;
+        if n == 0 {
+            return false;
+        }
+        // Register this batch's redirects BEFORE releasing its rx claim:
+        // between the two updates `rx_remaining` still covers the batch,
+        // and afterwards `redirects_outstanding` covers the in-flight
+        // descriptors — no instant exists where a peer can observe
+        // "nothing pending" while a packet of this batch is unprocessed.
+        if redirects > 0 {
+            self.shared
+                .redirects_outstanding
+                .fetch_add(redirects, Ordering::SeqCst);
+        }
+        self.shared.rx_remaining.fetch_sub(n, Ordering::SeqCst);
+        self.stats.record_batch(n);
+        let mut batch = std::mem::take(&mut self.batch);
+        for (pkt, target) in batch.drain(..) {
+            match target {
+                Some(core) => self.push_redirect(core, pkt),
+                None => self.handle(pkt),
+            }
+        }
+        self.batch = batch;
+        true
+    }
+
+    /// Transfer a connection-packet descriptor to `target`'s ring, with a
+    /// bounded work-conserving spin; a descriptor that still doesn't fit
+    /// is dropped and accounted in `ring_drops`.
+    fn push_redirect(&mut self, target: usize, pkt: Packet) {
+        self.stats.redirected_out += 1;
+        let mut pkt = pkt;
+        for attempt in 0..=self.shared.redirect_retries {
+            let ring = &self.shared.rings[target];
+            self.stats.observe_ring_depth(ring.len() as u64);
+            match ring.push(pkt) {
+                Ok(()) => return,
+                Err(back) => {
+                    pkt = back;
+                    if attempt == self.shared.redirect_retries {
+                        break;
+                    }
+                    // Work conserving: make room in the system (and avoid
+                    // two workers deadlocking on each other's full rings)
+                    // by draining our own ring while we wait.
+                    self.drain_ring();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.ring_drops += 1;
+        self.shared
+            .redirects_outstanding
+            .fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -270,13 +524,7 @@ mod tests {
         for i in 0..packets_per_flow {
             for f in 0..flows {
                 let t = FiveTuple::tcp(0x0a000000 + f, 40000, 0xc0a80001, 443);
-                pkts.push(PacketBuilder::new().tcp(
-                    t,
-                    i,
-                    0,
-                    TcpFlags::ACK,
-                    &payload(i * 1000 + f),
-                ));
+                pkts.push(PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i * 1000 + f)));
             }
         }
         pkts
@@ -294,11 +542,22 @@ mod tests {
             &nf,
             vec![syn_phase(16), data_phase(16, 20)],
         );
-        assert_eq!(out.forwarded.len(), total, "every packet must find its flow state");
+        assert_eq!(
+            out.forwarded.len(),
+            total,
+            "every packet must find its flow state"
+        );
         assert_eq!(out.nf_drops, 0);
         let processed: u64 = out.per_worker_processed.iter().sum();
         assert_eq!(processed as usize, total);
         assert!(out.redirects > 0, "some SYNs must have needed redirection");
+        // Unified telemetry: the threaded path accounts like the sim.
+        assert_eq!(out.stats.offered, total as u64);
+        assert_eq!(out.stats.forwarded, total as u64);
+        assert_eq!(out.stats.unaccounted(), 0);
+        assert_eq!(out.stats.redirects(), out.redirects);
+        let in_sum: u64 = out.stats.per_core.iter().map(|c| c.redirected_in).sum();
+        assert_eq!(in_sum, out.redirects, "every redirect must be consumed");
     }
 
     #[test]
@@ -311,6 +570,8 @@ mod tests {
         assert_eq!(out.redirects, 0);
         assert_eq!(out.nf_drops, 0, "per-flow dispatch has no redirect race");
         assert_eq!(out.forwarded.len(), total);
+        assert_eq!(out.stats.unaccounted(), 0);
+        assert_eq!(out.stats.ring_drops, 0);
     }
 
     #[test]
@@ -344,6 +605,7 @@ mod tests {
         );
         assert_eq!(out.forwarded.len(), 4 + 40);
         assert_eq!(out.redirects, 0, "one worker: every core is designated");
+        assert_eq!(out.stats.unaccounted(), 0);
     }
 
     #[test]
@@ -352,23 +614,124 @@ mod tests {
         let out = ThreadedMiddlebox::process(DispatchMode::Sprayer, 4, &nf, Vec::new());
         assert!(out.forwarded.is_empty());
         assert_eq!(out.per_worker_processed.iter().sum::<u64>(), 0);
+        assert_eq!(out.stats.offered, 0);
+        assert_eq!(out.stats.unaccounted(), 0);
+    }
+
+    #[test]
+    fn batch_histograms_and_occupancy_are_populated() {
+        let nf = TrackerNf;
+        let out = ThreadedMiddlebox::process_phases(
+            DispatchMode::Sprayer,
+            2,
+            &nf,
+            vec![syn_phase(32), data_phase(32, 10)],
+        );
+        let batches: u64 = out.stats.per_core.iter().map(|c| c.batches()).sum();
+        assert!(
+            batches > 0,
+            "drains must be recorded in the batch histogram"
+        );
+        let hist_total: u64 = out
+            .stats
+            .per_core
+            .iter()
+            .flat_map(|c| c.batch_hist.iter())
+            .sum();
+        assert_eq!(hist_total, batches);
+        assert!(
+            out.stats.max_rx_occupancy() > 0,
+            "rx occupancy high-water mark must be observed"
+        );
     }
 
     #[test]
     fn repeated_runs_are_conservative() {
-        // Stress the shutdown protocol under scheduler nondeterminism:
-        // every packet must be processed exactly once, every run.
+        // Stress the shutdown protocol under scheduler nondeterminism
+        // with the nastiest queue shape — capacity-1 descriptor rings —
+        // for 20 rounds: every packet must be accounted exactly once
+        // (processed or counted as an overflow drop), every run.
         let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        config.ring_capacity = 1;
         for round in 0..20 {
             let total = (8 + 8 * 5) as u64;
-            let out = ThreadedMiddlebox::process_phases(
-                DispatchMode::Sprayer,
-                3,
-                &nf,
-                vec![syn_phase(8), data_phase(8, 5)],
-            );
+            let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(8), data_phase(8, 5)]);
             let processed: u64 = out.per_worker_processed.iter().sum();
-            assert_eq!(processed, total, "round {round} lost or duplicated packets");
+            assert_eq!(
+                processed + out.stats.pre_nf_drops(),
+                total,
+                "round {round} lost or duplicated packets: {:?}",
+                out.stats
+            );
+            assert_eq!(out.stats.unaccounted(), 0, "round {round}: {:?}", out.stats);
         }
+    }
+
+    #[test]
+    fn capacity_one_ring_storm_counts_drops_and_terminates() {
+        // A redirect storm into a capacity-1 ring with zero retries: the
+        // overflow path must count ring_drops (conservation intact) and
+        // the shutdown protocol must still terminate.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        config.ring_capacity = 1;
+        config.redirect_retries = 0;
+
+        // Flows that arrive on worker 0 (spray steering of the SYN) but
+        // are designated to worker 1 — every SYN must cross the ring.
+        let nic = Nic::new(NicConfig::sprayer_uncapped(2));
+        let map = CoreMap::new(DispatchMode::Sprayer, 2);
+        let mut nic = nic;
+        let mut storm = Vec::new();
+        let mut f = 0u32;
+        while storm.len() < 256 {
+            let t = FiveTuple::tcp(0x0a00_0000 + f, 40_000, 0xc0a8_0001, 443);
+            f += 1;
+            let syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+            let (q, _) = nic.steer(&syn);
+            if usize::from(q) == 0 && map.designated_for_tuple(&t) == 1 {
+                storm.push(syn);
+            }
+        }
+        let total = storm.len() as u64;
+
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![storm]);
+        let s = &out.stats;
+        assert_eq!(s.offered, total);
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.forwarded + s.ring_drops + s.queue_drops, total, "{s:?}");
+        assert_eq!(
+            s.redirects(),
+            total - s.queue_drops,
+            "every admitted SYN is foreign"
+        );
+        assert!(
+            s.ring_drops > 0,
+            "256 same-target redirects with no retries cannot all fit a 1-slot ring: {s:?}"
+        );
+        assert_eq!(
+            s.max_ring_occupancy(),
+            1,
+            "ring occupancy can never exceed capacity"
+        );
+    }
+
+    #[test]
+    fn capacity_one_ring_with_retries_still_conserves() {
+        // Same storm, but with the default bounded work-conserving retry:
+        // most descriptors should get through; whatever doesn't must be
+        // counted, and shutdown must never hang.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.ring_capacity = 1;
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(128), data_phase(16, 8)]);
+        let s = &out.stats;
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(
+            s.forwarded + s.nf_drops + s.pre_nf_drops(),
+            s.offered,
+            "{s:?}"
+        );
     }
 }

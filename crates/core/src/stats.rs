@@ -1,6 +1,34 @@
 //! Runtime statistics shared by both runtimes.
+//!
+//! [`MiddleboxStats`] is the single telemetry contract: the deterministic
+//! simulator ([`crate::runtime_sim::MiddleboxSim::stats`]) and the
+//! real-thread runtime ([`crate::runtime_threads::ThreadedOutcome::stats`])
+//! both populate every field, so conservation
+//! ([`MiddleboxStats::unaccounted`]) is assertable on either path and
+//! experiment output carries one telemetry block regardless of runtime.
 
 use serde::{Deserialize, Serialize};
+
+/// Number of buckets in a [`CoreStats::batch_hist`] batch-size histogram.
+pub const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Bucket index for a batch of `n` packets: 1, 2, 3–4, 5–8, 9–16, 17–32,
+/// 33–64, ≥65.
+pub fn batch_bucket(n: u64) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
+}
+
+/// Lower bound of each [`CoreStats::batch_hist`] bucket (for labeling).
+pub const BATCH_BUCKET_LO: [u64; BATCH_HIST_BUCKETS] = [1, 2, 3, 5, 9, 17, 33, 65];
 
 /// Per-core counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -13,8 +41,60 @@ pub struct CoreStats {
     pub redirected_out: u64,
     /// Connection packets this core received via its ring.
     pub redirected_in: u64,
-    /// Busy cycles accumulated.
+    /// Busy cycles accumulated (simulator only; the threaded runtime does
+    /// not model cycles and leaves this zero).
     pub busy_cycles: u64,
+    /// High-water mark of this core's receive-queue occupancy (packets),
+    /// observed at enqueue/drain points.
+    pub rx_occupancy_hwm: u64,
+    /// High-water mark of this core's inter-core ring occupancy
+    /// (descriptors).
+    pub ring_occupancy_hwm: u64,
+    /// Histogram of dequeue batch sizes (buckets per [`batch_bucket`]).
+    /// In the threaded runtime a sample is one bounded drain of the rx
+    /// queue or ring; in the simulator it is a busy burst — the number of
+    /// jobs a core served between idle periods, the event-driven analogue
+    /// of a poll batch.
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+}
+
+impl CoreStats {
+    /// Record one dequeue batch (or busy burst) of `n` packets.
+    pub fn record_batch(&mut self, n: u64) {
+        if n > 0 {
+            self.batch_hist[batch_bucket(n)] += 1;
+        }
+    }
+
+    /// Raise the receive-queue occupancy high-water mark to at least `depth`.
+    pub fn observe_rx_depth(&mut self, depth: u64) {
+        self.rx_occupancy_hwm = self.rx_occupancy_hwm.max(depth);
+    }
+
+    /// Raise the ring occupancy high-water mark to at least `depth`.
+    pub fn observe_ring_depth(&mut self, depth: u64) {
+        self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(depth);
+    }
+
+    /// Number of recorded batches.
+    pub fn batches(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+
+    /// Fold `other` into `self`: counters add, high-water marks take the
+    /// max (used by the threaded runtime to merge per-phase worker stats).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.processed += other.processed;
+        self.connection_packets += other.connection_packets;
+        self.redirected_out += other.redirected_out;
+        self.redirected_in += other.redirected_in;
+        self.busy_cycles += other.busy_cycles;
+        self.rx_occupancy_hwm = self.rx_occupancy_hwm.max(other.rx_occupancy_hwm);
+        self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(other.ring_occupancy_hwm);
+        for (a, b) in self.batch_hist.iter_mut().zip(other.batch_hist.iter()) {
+            *a += b;
+        }
+    }
 }
 
 /// Aggregate middlebox statistics.
@@ -40,7 +120,10 @@ pub struct MiddleboxStats {
 impl MiddleboxStats {
     /// Fresh counters for `num_cores` cores.
     pub fn new(num_cores: usize) -> Self {
-        MiddleboxStats { per_core: vec![CoreStats::default(); num_cores], ..Default::default() }
+        MiddleboxStats {
+            per_core: vec![CoreStats::default(); num_cores],
+            ..Default::default()
+        }
     }
 
     /// Total packets the NF processed (forwarded + NF-dropped).
@@ -58,12 +141,84 @@ impl MiddleboxStats {
         self.per_core.iter().map(|c| c.processed).collect()
     }
 
+    /// Total connection-packet redirects (descriptors sent to a foreign
+    /// core's ring, whether or not the ring accepted them).
+    pub fn redirects(&self) -> u64 {
+        self.per_core.iter().map(|c| c.redirected_out).sum()
+    }
+
+    /// Highest receive-queue occupancy observed on any core.
+    pub fn max_rx_occupancy(&self) -> u64 {
+        self.per_core
+            .iter()
+            .map(|c| c.rx_occupancy_hwm)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Highest inter-core ring occupancy observed on any core.
+    pub fn max_ring_occupancy(&self) -> u64 {
+        self.per_core
+            .iter()
+            .map(|c| c.ring_occupancy_hwm)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Conservation check: every offered packet is accounted exactly once
     /// among forwarded, NF drops, and pre-NF drops — plus those still
     /// in flight (returned as the remainder).
     pub fn unaccounted(&self) -> u64 {
         self.offered
             .saturating_sub(self.forwarded + self.nf_drops + self.pre_nf_drops())
+    }
+
+    /// Serialize the full telemetry block as a JSON object.
+    ///
+    /// Hand-rolled (every field is an integer, so there is nothing to
+    /// escape); this is the telemetry block the experiment binaries embed
+    /// in their result JSONs, identical for both runtimes.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256 + 192 * self.per_core.len());
+        let _ = write!(
+            s,
+            "{{\"offered\":{},\"forwarded\":{},\"nf_drops\":{},\"nic_cap_drops\":{},\
+             \"queue_drops\":{},\"ring_drops\":{},\"unaccounted\":{},\"redirects\":{},\
+             \"max_rx_occupancy\":{},\"max_ring_occupancy\":{},\"per_core\":[",
+            self.offered,
+            self.forwarded,
+            self.nf_drops,
+            self.nic_cap_drops,
+            self.queue_drops,
+            self.ring_drops,
+            self.unaccounted(),
+            self.redirects(),
+            self.max_rx_occupancy(),
+            self.max_ring_occupancy(),
+        );
+        for (i, c) in self.per_core.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let hist: Vec<String> = c.batch_hist.iter().map(u64::to_string).collect();
+            let _ = write!(
+                s,
+                "{{\"processed\":{},\"connection_packets\":{},\"redirected_out\":{},\
+                 \"redirected_in\":{},\"busy_cycles\":{},\"rx_occupancy_hwm\":{},\
+                 \"ring_occupancy_hwm\":{},\"batch_hist\":[{}]}}",
+                c.processed,
+                c.connection_packets,
+                c.redirected_out,
+                c.redirected_in,
+                c.busy_cycles,
+                c.rx_occupancy_hwm,
+                c.ring_occupancy_hwm,
+                hist.join(",")
+            );
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -90,5 +245,94 @@ mod tests {
         s.per_core[0].processed = 5;
         s.per_core[2].processed = 7;
         assert_eq!(s.per_core_processed(), vec![5, 0, 7]);
+    }
+
+    #[test]
+    fn batch_buckets_partition_sizes() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(32), 5);
+        assert_eq!(batch_bucket(64), 6);
+        assert_eq!(batch_bucket(65), 7);
+        assert_eq!(batch_bucket(10_000), 7);
+        // Bucket lower bounds are consistent with the partition.
+        for (i, &lo) in BATCH_BUCKET_LO.iter().enumerate() {
+            assert_eq!(batch_bucket(lo), i);
+        }
+    }
+
+    #[test]
+    fn record_batch_ignores_empty_and_counts_rest() {
+        let mut c = CoreStats::default();
+        c.record_batch(0);
+        assert_eq!(c.batches(), 0);
+        c.record_batch(1);
+        c.record_batch(32);
+        c.record_batch(32);
+        assert_eq!(c.batches(), 3);
+        assert_eq!(c.batch_hist[0], 1);
+        assert_eq!(c.batch_hist[5], 2);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_hwms() {
+        let mut a = CoreStats {
+            processed: 3,
+            rx_occupancy_hwm: 10,
+            ring_occupancy_hwm: 1,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            processed: 4,
+            redirected_in: 2,
+            rx_occupancy_hwm: 7,
+            ring_occupancy_hwm: 5,
+            ..CoreStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.processed, 7);
+        assert_eq!(a.redirected_in, 2);
+        assert_eq!(a.rx_occupancy_hwm, 10);
+        assert_eq!(a.ring_occupancy_hwm, 5);
+    }
+
+    #[test]
+    fn occupancy_observers_are_monotone() {
+        let mut c = CoreStats::default();
+        c.observe_rx_depth(4);
+        c.observe_rx_depth(2);
+        c.observe_ring_depth(1);
+        c.observe_ring_depth(9);
+        assert_eq!(c.rx_occupancy_hwm, 4);
+        assert_eq!(c.ring_occupancy_hwm, 9);
+    }
+
+    #[test]
+    fn json_telemetry_block_is_complete_and_parses_shapewise() {
+        let mut s = MiddleboxStats::new(2);
+        s.offered = 10;
+        s.forwarded = 8;
+        s.nf_drops = 1;
+        s.ring_drops = 1;
+        s.per_core[1].processed = 8;
+        s.per_core[1].record_batch(3);
+        let j = s.to_json();
+        for key in [
+            "\"offered\":10",
+            "\"forwarded\":8",
+            "\"nf_drops\":1",
+            "\"ring_drops\":1",
+            "\"unaccounted\":0",
+            "\"per_core\":[",
+            "\"batch_hist\":[0,0,1,0,0,0,0,0]",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

@@ -40,7 +40,11 @@ impl<S: Clone> LocalTables<S> {
     /// Tables for every core under the given mapping.
     pub fn new(map: CoreMap, capacity: usize) -> Self {
         let tables = (0..map.num_cores()).map(|_| HashMap::new()).collect();
-        LocalTables { tables, capacity, map }
+        LocalTables {
+            tables,
+            capacity,
+            map,
+        }
     }
 
     /// A handler context bound to `core`.
@@ -145,21 +149,34 @@ pub struct SharedTables<S> {
 
 impl<S> Clone for SharedTables<S> {
     fn clone(&self) -> Self {
-        SharedTables { inner: Arc::clone(&self.inner) }
+        SharedTables {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<S: Clone + Send + Sync> SharedTables<S> {
     /// Tables for every core under the given mapping.
     pub fn new(map: CoreMap, capacity: usize) -> Self {
-        let tables = (0..map.num_cores()).map(|_| RwLock::new(HashMap::new())).collect();
-        SharedTables { inner: Arc::new(SharedInner { tables, capacity, map }) }
+        let tables = (0..map.num_cores())
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        SharedTables {
+            inner: Arc::new(SharedInner {
+                tables,
+                capacity,
+                map,
+            }),
+        }
     }
 
     /// A handler context bound to `core` (one per worker thread).
     pub fn ctx(&self, core: usize) -> SharedCtx<S> {
         assert!(core < self.inner.tables.len());
-        SharedCtx { tables: self.clone(), core }
+        SharedCtx {
+            tables: self.clone(),
+            core,
+        }
     }
 
     /// Entries across all tables.
@@ -226,7 +243,10 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
 
     fn get_flow(&self, key: &FlowKey) -> Option<S> {
         let designated = self.tables.inner.map.designated_for_key(key);
-        self.tables.inner.tables[designated].read().get(key).cloned()
+        self.tables.inner.tables[designated]
+            .read()
+            .get(key)
+            .cloned()
     }
 
     fn local_len(&self) -> usize {
@@ -257,7 +277,11 @@ mod tests {
             let ctx = tables.ctx(core);
             assert_eq!(ctx.get_flow(&k), Some(42), "core {core}");
             if core != designated {
-                assert_eq!(ctx.get_local_flow(&k), None, "state must not leak to core {core}");
+                assert_eq!(
+                    ctx.get_local_flow(&k),
+                    None,
+                    "state must not leak to core {core}"
+                );
             }
         }
     }

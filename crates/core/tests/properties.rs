@@ -1,15 +1,36 @@
 //! Property-based tests for the Sprayer framework's invariants.
 
 use proptest::prelude::*;
-use sprayer::api::{FlowStateApi, InsertOutcome};
+use sprayer::api::{FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Verdict};
 use sprayer::config::DispatchMode;
 use sprayer::coremap::CoreMap;
+use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
 use sprayer::tables::{LocalTables, SharedTables};
-use sprayer_net::FiveTuple;
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
     (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
         .prop_map(|(sa, sp, da, dp)| FiveTuple::tcp(sa, sp, da, dp))
+}
+
+/// Stateful NF that forwards every packet: with nothing dropped by
+/// verdict, the conservation identity pins every loss to an accounted
+/// queue/ring overflow.
+struct ForwardAllNf;
+impl NetworkFunction for ForwardAllNf {
+    type Flow = u8;
+    fn descriptor(&self) -> NfDescriptor {
+        NfDescriptor::named("forward-all")
+    }
+    fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<u8>) -> Verdict {
+        if let Some(t) = pkt.tuple() {
+            ctx.insert_local_flow(t.key(), 0);
+        }
+        Verdict::Forward
+    }
+    fn regular_packets(&self, _pkt: &mut Packet, _ctx: &mut dyn FlowStateApi<u8>) -> Verdict {
+        Verdict::Forward
+    }
 }
 
 proptest! {
@@ -106,6 +127,55 @@ proptest! {
             }
         }
         prop_assert_eq!(local.total_entries(), shared.total_entries());
+    }
+
+    /// Conservation on the threaded runtime: for any worker count, phase
+    /// split, connection/regular mix, and ring capacity (including the
+    /// pathological capacity-1 ring), every offered packet is accounted
+    /// exactly once — `offered == forwarded + nf_drops + pre_nf_drops`
+    /// with `unaccounted() == 0` after the drain — and no packet is ever
+    /// processed twice.
+    #[test]
+    fn threaded_runtime_conserves_packets(
+        workers in 1usize..=8,
+        spray in any::<bool>(),
+        ring_cap in prop_oneof![Just(1usize), Just(8usize), Just(1024usize)],
+        pkts in proptest::collection::vec((0u32..12, any::<bool>(), 0u8..3), 1..120),
+    ) {
+        // Unique payload per packet (splitmix64 is a bijection), so a
+        // duplicate in the output would be observable.
+        let payload_of = |i: usize| sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+        let mut phases: Vec<Vec<Packet>> = vec![Vec::new(); 3];
+        for (i, &(flow, is_conn, phase)) in pkts.iter().enumerate() {
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            let pkt = PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload_of(i));
+            phases[usize::from(phase)].push(pkt);
+        }
+        let offered = pkts.len() as u64;
+
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let mut config = ThreadedConfig::new(mode, workers);
+        config.ring_capacity = ring_cap;
+        let out = ThreadedMiddlebox::run(&config, &ForwardAllNf, phases);
+
+        let s = &out.stats;
+        prop_assert_eq!(s.offered, offered);
+        prop_assert_eq!(s.unaccounted(), 0);
+        prop_assert_eq!(s.forwarded + s.nf_drops + s.pre_nf_drops(), offered);
+        prop_assert_eq!(out.per_worker_processed.iter().copied().sum::<u64>(), s.processed());
+        // The NF forwards everything it sees, so forwarded output equals
+        // whatever survived the queues...
+        prop_assert_eq!(s.nf_drops, 0);
+        prop_assert_eq!(s.forwarded, offered - s.pre_nf_drops());
+        // ...and each survivor appears exactly once (no double
+        // processing): distinct payloads in == distinct payloads out.
+        let unique: std::collections::HashSet<&[u8]> =
+            out.forwarded.iter().map(|p| p.payload().unwrap_or(&[])).collect();
+        prop_assert_eq!(unique.len() as u64, s.forwarded);
+        if mode == DispatchMode::Rss {
+            prop_assert_eq!(s.ring_drops, 0, "RSS has no rings to overflow");
+        }
     }
 
     /// Capacity: a table never exceeds its configured entry limit, and

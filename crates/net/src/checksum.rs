@@ -226,11 +226,7 @@ mod tests {
     fn incremental_update32_matches_two_16bit_updates() {
         let c0 = 0x1234u16;
         let by32 = incremental_update32(c0, 0xc0a8_0001, 0x0a00_0001);
-        let by16 = incremental_update16(
-            incremental_update16(c0, 0xc0a8, 0x0a00),
-            0x0001,
-            0x0001,
-        );
+        let by16 = incremental_update16(incremental_update16(c0, 0xc0a8, 0x0a00), 0x0001, 0x0001);
         assert_eq!(by32, by16);
     }
 }

@@ -108,7 +108,10 @@ mod tests {
     fn parse_rejects_short_buffer() {
         assert!(matches!(
             EthernetHeader::parse(&[0u8; 13]),
-            Err(NetError::Truncated { needed: 14, available: 13 })
+            Err(NetError::Truncated {
+                needed: 14,
+                available: 13
+            })
         ));
     }
 
@@ -123,7 +126,12 @@ mod tests {
 
     #[test]
     fn ethertype_codes_round_trip() {
-        for et in [EtherType::Ipv4, EtherType::Ipv6, EtherType::Arp, EtherType::Other(0x88cc)] {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Ipv6,
+            EtherType::Arp,
+            EtherType::Other(0x88cc),
+        ] {
             assert_eq!(EtherType::from_u16(et.to_u16()), et);
         }
     }

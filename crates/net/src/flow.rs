@@ -59,12 +59,24 @@ pub struct FiveTuple {
 impl FiveTuple {
     /// Construct a TCP five-tuple.
     pub fn tcp(src_addr: u32, src_port: u16, dst_addr: u32, dst_port: u16) -> Self {
-        FiveTuple { src_addr, dst_addr, src_port, dst_port, protocol: Protocol::Tcp }
+        FiveTuple {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
     }
 
     /// Construct a UDP five-tuple.
     pub fn udp(src_addr: u32, src_port: u16, dst_addr: u32, dst_port: u16) -> Self {
-        FiveTuple { src_addr, dst_addr, src_port, dst_port, protocol: Protocol::Udp }
+        FiveTuple {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+        }
     }
 
     /// The same connection seen from the other direction.
@@ -118,7 +130,11 @@ impl FlowKey {
         let a = (t.src_addr, t.src_port);
         let b = (t.dst_addr, t.dst_port);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        FlowKey { lo, hi, protocol: t.protocol }
+        FlowKey {
+            lo,
+            hi,
+            protocol: t.protocol,
+        }
     }
 
     /// A stable 64-bit mix of the key, suitable for seeding table hashes.

@@ -21,7 +21,11 @@ pub fn hexdump(bytes: &[u8]) -> String {
         }
         out.push(' ');
         for &b in chunk {
-            out.push(if (0x20..0x7f).contains(&b) { b as char } else { '.' });
+            out.push(if (0x20..0x7f).contains(&b) {
+                b as char
+            } else {
+                '.'
+            });
         }
         out.push('\n');
     }

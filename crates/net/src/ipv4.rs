@@ -116,7 +116,7 @@ impl Ipv4Header {
     /// Returns the number of header bytes written.
     pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
         let hlen = self.header_len();
-        if hlen > 60 || self.options.len() % 4 != 0 {
+        if hlen > 60 || !self.options.len().is_multiple_of(4) {
             return Err(NetError::Unsupported);
         }
         check_len(buf, hlen)?;
@@ -232,7 +232,10 @@ mod tests {
         let mut buf = vec![0u8; 64];
         sample().emit(&mut buf).unwrap();
         buf[0] = 0x65; // version 6 — but re-fix checksum so version check fires first
-        assert!(matches!(Ipv4Header::parse(&buf), Err(NetError::BadVersion(6))));
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(NetError::BadVersion(6))
+        ));
     }
 
     #[test]

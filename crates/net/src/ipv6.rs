@@ -80,9 +80,8 @@ impl Ipv6Header {
     /// Serialize into the first [`IPV6_HEADER_LEN`] bytes of `buf`.
     pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
         check_len(buf, IPV6_HEADER_LEN)?;
-        let first = (6u32 << 28)
-            | (u32::from(self.traffic_class) << 20)
-            | (self.flow_label & 0x000f_ffff);
+        let first =
+            (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0x000f_ffff);
         put32(buf, 0, first);
         put16(buf, 4, self.payload_len);
         buf[6] = self.next_header;
@@ -133,7 +132,10 @@ mod tests {
         let mut buf = [0u8; IPV6_HEADER_LEN];
         sample().emit(&mut buf).unwrap();
         buf[0] = 0x45;
-        assert!(matches!(Ipv6Header::parse(&buf), Err(NetError::BadVersion(4))));
+        assert!(matches!(
+            Ipv6Header::parse(&buf),
+            Err(NetError::BadVersion(4))
+        ));
     }
 
     #[test]

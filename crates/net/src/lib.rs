@@ -33,7 +33,7 @@ pub mod packet;
 pub mod tcp;
 pub mod udp;
 
-pub use checksum::{internet_checksum, incremental_update16, Checksum};
+pub use checksum::{incremental_update16, internet_checksum, Checksum};
 pub use ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
 pub use flow::{FiveTuple, FlowKey, Protocol};
 pub use ipv4::{Ipv4Header, IPV4_HEADER_LEN};
@@ -92,7 +92,12 @@ pub(crate) fn be16(buf: &[u8], offset: usize) -> u16 {
 /// Read a big-endian `u32` at `offset`; caller must have bounds-checked.
 #[inline]
 pub(crate) fn be32(buf: &[u8], offset: usize) -> u32 {
-    u32::from_be_bytes([buf[offset], buf[offset + 1], buf[offset + 2], buf[offset + 3]])
+    u32::from_be_bytes([
+        buf[offset],
+        buf[offset + 1],
+        buf[offset + 2],
+        buf[offset + 3],
+    ])
 }
 
 /// Write a big-endian `u16` at `offset`.
@@ -111,7 +116,10 @@ pub(crate) fn put32(buf: &mut [u8], offset: usize, value: u32) {
 #[inline]
 pub(crate) fn check_len(buf: &[u8], needed: usize) -> Result<()> {
     if buf.len() < needed {
-        Err(NetError::Truncated { needed, available: buf.len() })
+        Err(NetError::Truncated {
+            needed,
+            available: buf.len(),
+        })
     } else {
         Ok(())
     }

@@ -201,7 +201,11 @@ impl Packet {
         // IP header checksum covers the address only.
         let ip_sum_off = l3 + 10;
         let ip_sum = be16(&self.data, ip_sum_off);
-        put16(&mut self.data, ip_sum_off, incremental_update32(ip_sum, old_addr, addr));
+        put16(
+            &mut self.data,
+            ip_sum_off,
+            incremental_update32(ip_sum, old_addr, addr),
+        );
         put32(&mut self.data, addr_off, addr);
 
         // Transport checksum covers the pseudo-header (address) and port.
@@ -256,7 +260,11 @@ impl Packet {
         let old_word = be16(&self.data, l3 + 8);
         let new_word = (u16::from(new_ttl) << 8) | (old_word & 0x00ff);
         let sum = be16(&self.data, l3 + 10);
-        put16(&mut self.data, l3 + 10, incremental_update16(sum, old_word, new_word));
+        put16(
+            &mut self.data,
+            l3 + 10,
+            incremental_update16(sum, old_word, new_word),
+        );
         self.data[l3 + 8] = new_ttl;
         Ok(new_ttl)
     }
@@ -341,14 +349,18 @@ impl PacketBuilder {
             ethertype: EtherType::Ipv4,
         };
         eth.emit(&mut data).expect("buffer sized above");
-        let ip_len = ip.emit(&mut data[ETHERNET_HEADER_LEN..]).expect("buffer sized above");
+        let ip_len = ip
+            .emit(&mut data[ETHERNET_HEADER_LEN..])
+            .expect("buffer sized above");
         let l4 = ETHERNET_HEADER_LEN + ip_len;
 
         let mut tcp = TcpHeader::simple(tuple.src_port, tuple.dst_port, seq, flags);
         tcp.ack = ack;
         tcp.window = self.window;
         let pseudo = ip.pseudo_header();
-        let tcp_hlen = tcp.emit(&mut data[l4..], pseudo, payload).expect("buffer sized above");
+        let tcp_hlen = tcp
+            .emit(&mut data[l4..], pseudo, payload)
+            .expect("buffer sized above");
         data[l4 + tcp_hlen..l4 + tcp_hlen + payload.len()].copy_from_slice(payload);
 
         Packet::parse(data).expect("builder emits well-formed frames")
@@ -369,12 +381,15 @@ impl PacketBuilder {
             ethertype: EtherType::Ipv4,
         };
         eth.emit(&mut data).expect("buffer sized above");
-        let ip_len = ip.emit(&mut data[ETHERNET_HEADER_LEN..]).expect("buffer sized above");
+        let ip_len = ip
+            .emit(&mut data[ETHERNET_HEADER_LEN..])
+            .expect("buffer sized above");
         let l4 = ETHERNET_HEADER_LEN + ip_len;
 
         let udp = UdpHeader::simple(tuple.src_port, tuple.dst_port, payload.len() as u16);
         let pseudo = ip.pseudo_header();
-        udp.emit(&mut data[l4..], pseudo, payload).expect("buffer sized above");
+        udp.emit(&mut data[l4..], pseudo, payload)
+            .expect("buffer sized above");
         data[l4 + crate::udp::UDP_HEADER_LEN..l4 + udp_len].copy_from_slice(payload);
 
         Packet::parse(data).expect("builder emits well-formed frames")
@@ -484,7 +499,9 @@ mod tests {
 
     #[test]
     fn decrement_ttl_keeps_ip_checksum_valid() {
-        let mut p = PacketBuilder::new().ttl(17).tcp(tcp_tuple(), 0, 0, TcpFlags::ACK, b"");
+        let mut p = PacketBuilder::new()
+            .ttl(17)
+            .tcp(tcp_tuple(), 0, 0, TcpFlags::ACK, b"");
         assert_eq!(p.decrement_ttl().unwrap(), 16);
         // Re-parse verifies the IP checksum.
         let reparsed = Packet::parse(p.bytes().to_vec()).unwrap();
@@ -493,7 +510,9 @@ mod tests {
 
     #[test]
     fn decrement_ttl_zero_fails() {
-        let mut p = PacketBuilder::new().ttl(0).tcp(tcp_tuple(), 0, 0, TcpFlags::ACK, b"");
+        let mut p = PacketBuilder::new()
+            .ttl(0)
+            .tcp(tcp_tuple(), 0, 0, TcpFlags::ACK, b"");
         assert!(p.decrement_ttl().is_err());
     }
 
@@ -507,7 +526,11 @@ mod tests {
             let p = PacketBuilder::new().tcp(tcp_tuple(), 0, 0, TcpFlags::ACK, &payload);
             seen.insert(p.meta().tcp_checksum.unwrap());
         }
-        assert!(seen.len() >= 60, "checksums should be near-distinct, got {}", seen.len());
+        assert!(
+            seen.len() >= 60,
+            "checksums should be near-distinct, got {}",
+            seen.len()
+        );
     }
 
     #[test]

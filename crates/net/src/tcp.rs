@@ -160,7 +160,7 @@ impl TcpHeader {
     /// returns the header length.
     pub fn emit(&self, buf: &mut [u8], pseudo: Checksum, payload: &[u8]) -> Result<usize> {
         let hlen = self.header_len();
-        if hlen > 60 || self.options.len() % 4 != 0 {
+        if hlen > 60 || !self.options.len().is_multiple_of(4) {
             return Err(NetError::Unsupported);
         }
         check_len(buf, hlen)?;

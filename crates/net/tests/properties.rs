@@ -8,7 +8,13 @@ use sprayer_net::packet::{Packet, PacketBuilder};
 use sprayer_net::tcp::{TcpFlags, TcpHeader};
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>(), prop_oneof![Just(true), Just(false)])
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        prop_oneof![Just(true), Just(false)],
+    )
         .prop_map(|(sa, sp, da, dp, is_tcp)| {
             if is_tcp {
                 FiveTuple::tcp(sa, sp, da, dp)

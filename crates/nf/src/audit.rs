@@ -37,7 +37,11 @@ pub fn render_table1() -> String {
     out.push_str(&"-".repeat(90));
     out.push('\n');
     for d in all_descriptors() {
-        let compat = if d.sprayer_compatible { "yes" } else { "NO (§7)" };
+        let compat = if d.sprayer_compatible {
+            "yes"
+        } else {
+            "NO (§7)"
+        };
         for (i, s) in d.states.iter().enumerate() {
             let nf_name = if i == 0 { d.name } else { "" };
             let compat = if i == 0 { compat } else { "" };
@@ -90,20 +94,34 @@ mod tests {
         assert_eq!(flow_map.scope, Scope::PerFlow);
         assert_eq!(flow_map.per_packet, Access::Read);
         assert_eq!(flow_map.per_flow, Access::ReadWrite);
-        let pool = nat.states.iter().find(|s| s.name == "Pool of IPs/ports").unwrap();
+        let pool = nat
+            .states
+            .iter()
+            .find(|s| s.name == "Pool of IPs/ports")
+            .unwrap();
         assert_eq!(pool.scope, Scope::Global);
         assert_eq!(pool.per_packet, Access::None);
         assert_eq!(pool.per_flow, Access::ReadWrite);
 
         let lb = ds.iter().find(|d| d.name == "Load Balancer").unwrap();
-        assert_eq!(lb.states.len(), 3, "flow-server map, pool of servers, statistics");
+        assert_eq!(
+            lb.states.len(),
+            3,
+            "flow-server map, pool of servers, statistics"
+        );
         let stats = lb.states.iter().find(|s| s.name == "Statistics").unwrap();
         assert_eq!(stats.scope, Scope::Global);
         assert_eq!(stats.per_packet, Access::ReadWrite);
 
-        let re = ds.iter().find(|d| d.name == "Redundancy Elimination").unwrap();
+        let re = ds
+            .iter()
+            .find(|d| d.name == "Redundancy Elimination")
+            .unwrap();
         let cache = &re.states[0];
-        assert_eq!((cache.scope, cache.per_packet), (Scope::Global, Access::ReadWrite));
+        assert_eq!(
+            (cache.scope, cache.per_packet),
+            (Scope::Global, Access::ReadWrite)
+        );
     }
 
     #[test]

@@ -34,8 +34,11 @@ pub struct Automaton {
 impl Automaton {
     /// Compile `patterns` (empty patterns are ignored).
     pub fn compile<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
-        let patterns: Vec<Vec<u8>> =
-            patterns.iter().map(|p| p.as_ref().to_vec()).filter(|p| !p.is_empty()).collect();
+        let patterns: Vec<Vec<u8>> = patterns
+            .iter()
+            .map(|p| p.as_ref().to_vec())
+            .filter(|p| !p.is_empty())
+            .collect();
 
         // Build the trie with a sentinel "no edge" marker.
         const NONE: u32 = u32::MAX;
@@ -88,7 +91,11 @@ impl Automaton {
                 }
             }
         }
-        Automaton { goto, output, patterns }
+        Automaton {
+            goto,
+            output,
+            patterns,
+        }
     }
 
     /// Number of automaton states.
@@ -155,11 +162,7 @@ impl DpiNf {
         &self.automaton
     }
 
-    fn scan_payload(
-        &self,
-        pkt: &Packet,
-        ctx: &mut dyn FlowStateApi<DpiFlow>,
-    ) -> (bool, Verdict) {
+    fn scan_payload(&self, pkt: &Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> (bool, Verdict) {
         let Some(tuple) = pkt.tuple() else {
             return (false, Verdict::Forward);
         };
@@ -173,20 +176,26 @@ impl DpiNf {
         // The automaton state is per-flow and updated per packet: it can
         // only be written on the designated core.
         if ctx.designated_core(&key) != ctx.core_id() {
-            self.unscanned_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.unscanned_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
             return (false, Verdict::Forward);
         }
         let canonical_dir = (tuple.src_addr, tuple.src_port) <= (tuple.dst_addr, tuple.dst_port);
         let mut hits = 0u64;
         let updated = ctx.modify_local_flow(&key, &mut |f| {
-            let cursor = if canonical_dir { &mut f.state_fwd } else { &mut f.state_rev };
+            let cursor = if canonical_dir {
+                &mut f.state_fwd
+            } else {
+                &mut f.state_rev
+            };
             *cursor = self.automaton.scan(*cursor, payload, &mut |_| hits += 1);
         });
         if !updated {
             // Unknown flow (no SYN seen): scan statelessly from state 0.
             self.automaton.scan(0, payload, &mut |_| hits += 1);
         }
-        self.scanned_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.scanned_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if hits > 0 {
             self.matches.fetch_add(hits, Ordering::Relaxed);
             if self.drop_on_match {
@@ -274,7 +283,11 @@ mod tests {
 
     fn rss_harness() -> (DpiNf, LocalTables<DpiFlow>, CoreMap) {
         let map = CoreMap::new(DispatchMode::Rss, 4);
-        (DpiNf::new(&["attack"]), LocalTables::new(map.clone(), 64), map)
+        (
+            DpiNf::new(&["attack"]),
+            LocalTables::new(map.clone(), 64),
+            map,
+        )
     }
 
     #[test]
@@ -292,7 +305,11 @@ mod tests {
 
         let mut p2 = PacketBuilder::new().tcp(t, 6, 0, TcpFlags::ACK, b"ack..");
         dpi.regular_packets(&mut p2, &mut tables.ctx(core));
-        assert_eq!(dpi.matches.load(Ordering::Relaxed), 1, "cross-packet pattern found");
+        assert_eq!(
+            dpi.matches.load(Ordering::Relaxed),
+            1,
+            "cross-packet pattern found"
+        );
     }
 
     #[test]
@@ -330,7 +347,10 @@ mod tests {
         dpi.connection_packets(&mut syn, &mut tables.ctx(designated));
 
         let mut p = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"attack");
-        assert_eq!(dpi.regular_packets(&mut p, &mut tables.ctx(other)), Verdict::Forward);
+        assert_eq!(
+            dpi.regular_packets(&mut p, &mut tables.ctx(other)),
+            Verdict::Forward
+        );
         assert_eq!(dpi.matches.load(Ordering::Relaxed), 0);
         assert_eq!(dpi.unscanned_bytes.load(Ordering::Relaxed), 6);
 
@@ -352,9 +372,15 @@ mod tests {
         let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
         dpi.connection_packets(&mut syn, &mut tables.ctx(core));
         let mut evil = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"attack!");
-        assert_eq!(dpi.regular_packets(&mut evil, &mut tables.ctx(core)), Verdict::Drop);
+        assert_eq!(
+            dpi.regular_packets(&mut evil, &mut tables.ctx(core)),
+            Verdict::Drop
+        );
         let mut benign = PacketBuilder::new().tcp(t, 8, 0, TcpFlags::ACK, b"hello");
-        assert_eq!(dpi.regular_packets(&mut benign, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            dpi.regular_packets(&mut benign, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
     }
 
     #[test]

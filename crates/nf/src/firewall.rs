@@ -37,12 +37,21 @@ pub struct AclRule {
 impl AclRule {
     /// Wildcard rule with the given action (use as the final default).
     pub fn default_action(action: Action) -> Self {
-        AclRule { src: None, dst: None, dst_port: None, protocol: None, action }
+        AclRule {
+            src: None,
+            dst: None,
+            dst_port: None,
+            protocol: None,
+            action,
+        }
     }
 
     /// Allow traffic to a destination port.
     pub fn allow_dst_port(port: u16) -> Self {
-        AclRule { dst_port: Some(port), ..Self::default_action(Action::Allow) }
+        AclRule {
+            dst_port: Some(port),
+            ..Self::default_action(Action::Allow)
+        }
     }
 
     fn prefix_match(prefix: (u32, u8), addr: u32) -> bool {
@@ -150,11 +159,21 @@ impl NetworkFunction for FirewallNf {
         }
         // SYN (or SYN-ACK: the reverse direction shares the context).
         if let Some(c) = ctx.get_local_flow(&key) {
-            return if c.allowed { Verdict::Forward } else { Verdict::Drop };
+            return if c.allowed {
+                Verdict::Forward
+            } else {
+                Verdict::Drop
+            };
         }
         match self.acl_verdict(&tuple) {
             Action::Allow => {
-                ctx.insert_local_flow(key, ConnContext { allowed: true, fins: 0 });
+                ctx.insert_local_flow(
+                    key,
+                    ConnContext {
+                        allowed: true,
+                        fins: 0,
+                    },
+                );
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 Verdict::Forward
             }
@@ -201,7 +220,11 @@ mod tests {
             AclRule::default_action(Action::Deny),
         ];
         let map = CoreMap::new(DispatchMode::Sprayer, 8);
-        (FirewallNf::new(acl), LocalTables::new(map.clone(), 1024), map)
+        (
+            FirewallNf::new(acl),
+            LocalTables::new(map.clone(), 1024),
+            map,
+        )
     }
 
     fn open(
@@ -224,10 +247,16 @@ mod tests {
         // Data from a *different* core still passes (foreign read).
         let mut data = PacketBuilder::new().tcp(t, 1, 1, TcpFlags::ACK, b"x");
         let core = (map.designated_for_tuple(&t) + 1) % 8;
-        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            fw.regular_packets(&mut data, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         // Reverse direction too.
         let mut rev = PacketBuilder::new().tcp(t.reversed(), 2, 2, TcpFlags::ACK, b"y");
-        assert_eq!(fw.regular_packets(&mut rev, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            fw.regular_packets(&mut rev, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -238,7 +267,10 @@ mod tests {
         assert_eq!(fw.rejected.load(Ordering::Relaxed), 1);
 
         let mut data = PacketBuilder::new().tcp(t, 1, 1, TcpFlags::ACK, b"x");
-        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(
+            fw.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
         assert_eq!(fw.stray_drops.load(Ordering::Relaxed), 1);
     }
 
@@ -246,9 +278,17 @@ mod tests {
     fn source_prefix_rule_matches() {
         let (fw, mut tables, map) = harness();
         let t = FiveTuple::tcp(0x0a01_0203, 1234, 0x5db8_d822, 9999);
-        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Forward, "10/8 allowed");
+        assert_eq!(
+            open(&fw, &mut tables, &map, t),
+            Verdict::Forward,
+            "10/8 allowed"
+        );
         let t2 = FiveTuple::tcp(0x0b01_0203, 1234, 0x5db8_d822, 9999);
-        assert_eq!(open(&fw, &mut tables, &map, t2), Verdict::Drop, "11/8 denied");
+        assert_eq!(
+            open(&fw, &mut tables, &map, t2),
+            Verdict::Drop,
+            "11/8 denied"
+        );
     }
 
     #[test]
@@ -258,9 +298,15 @@ mod tests {
         open(&fw, &mut tables, &map, t);
         let core = map.designated_for_tuple(&t);
         let mut rst = PacketBuilder::new().tcp(t, 3, 0, TcpFlags::RST, b"");
-        assert_eq!(fw.connection_packets(&mut rst, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            fw.connection_packets(&mut rst, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         let mut data = PacketBuilder::new().tcp(t, 4, 0, TcpFlags::ACK, b"");
-        assert_eq!(fw.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(
+            fw.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -271,19 +317,28 @@ mod tests {
         let core = map.designated_for_tuple(&t);
 
         let mut fin1 = PacketBuilder::new().tcp(t, 5, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
-        assert_eq!(fw.connection_packets(&mut fin1, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            fw.connection_packets(&mut fin1, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         assert_eq!(tables.entries_on(core), 1, "context survives the first FIN");
 
         let mut fin2 =
             PacketBuilder::new().tcp(t.reversed(), 6, 6, TcpFlags::FIN | TcpFlags::ACK, b"");
-        assert_eq!(fw.connection_packets(&mut fin2, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            fw.connection_packets(&mut fin2, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         assert_eq!(tables.entries_on(core), 0, "second FIN removes the context");
     }
 
     #[test]
     fn first_match_wins_ordering() {
         let acl = vec![
-            AclRule { dst_port: Some(80), ..AclRule::default_action(Action::Deny) },
+            AclRule {
+                dst_port: Some(80),
+                ..AclRule::default_action(Action::Deny)
+            },
             AclRule::allow_dst_port(80),
         ];
         let fw = FirewallNf::new(acl);
@@ -295,7 +350,10 @@ mod tests {
     fn prefix_matching_edges() {
         assert!(AclRule::prefix_match((0x0a000000, 8), 0x0aff_ffff));
         assert!(!AclRule::prefix_match((0x0a000000, 8), 0x0b00_0000));
-        assert!(AclRule::prefix_match((0, 0), 0xdead_beef), "len 0 matches all");
+        assert!(
+            AclRule::prefix_match((0, 0), 0xdead_beef),
+            "len 0 matches all"
+        );
         assert!(AclRule::prefix_match((0x0a000001, 32), 0x0a000001));
         assert!(!AclRule::prefix_match((0x0a000001, 32), 0x0a000002));
     }

@@ -47,7 +47,10 @@ pub struct LoadBalancerNf {
 impl LoadBalancerNf {
     /// A balancer for `vip` over `backends` (must be non-empty).
     pub fn new(vip: (u32, u16), backends: Vec<Backend>) -> Self {
-        assert!(!backends.is_empty(), "a load balancer needs at least one backend");
+        assert!(
+            !backends.is_empty(),
+            "a load balancer needs at least one backend"
+        );
         let active = backends.iter().map(|_| AtomicU64::new(0)).collect();
         LoadBalancerNf {
             vip,
@@ -62,7 +65,10 @@ impl LoadBalancerNf {
 
     /// Current per-backend active-connection counts.
     pub fn active_connections(&self) -> Vec<u64> {
-        self.active.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.active
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 
     fn pick_backend(&self) -> (usize, Backend) {
@@ -80,8 +86,18 @@ impl NetworkFunction for LoadBalancerNf {
 
     fn descriptor(&self) -> NfDescriptor {
         NfDescriptor::named("Load Balancer")
-            .with_state("Flow-server map", Scope::PerFlow, Access::Read, Access::ReadWrite)
-            .with_state("Pool of servers", Scope::Global, Access::None, Access::ReadWrite)
+            .with_state(
+                "Flow-server map",
+                Scope::PerFlow,
+                Access::Read,
+                Access::ReadWrite,
+            )
+            .with_state(
+                "Pool of servers",
+                Scope::Global,
+                Access::None,
+                Access::ReadWrite,
+            )
             .with_state("Statistics", Scope::Global, Access::ReadWrite, Access::None)
     }
 
@@ -103,7 +119,8 @@ impl NetworkFunction for LoadBalancerNf {
 
         if flags.intersects(TcpFlags::RST | TcpFlags::FIN) {
             if let Some(backend) = ctx.get_local_flow(&key) {
-                pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+                pkt.rewrite_dst(backend.addr, backend.port)
+                    .expect("TCP rewrite");
                 // Connection ends: release the slot. (A FIN-pair refinement
                 // as in the NAT would also work; LBs typically time out.)
                 if flags.contains(TcpFlags::RST) || flags.contains(TcpFlags::FIN) {
@@ -133,7 +150,8 @@ impl NetworkFunction for LoadBalancerNf {
                 b
             }
         };
-        pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+        pkt.rewrite_dst(backend.addr, backend.port)
+            .expect("TCP rewrite");
         Verdict::Forward
     }
 
@@ -147,7 +165,8 @@ impl NetworkFunction for LoadBalancerNf {
         }
         match ctx.get_flow(&tuple.key()) {
             Some(backend) => {
-                pkt.rewrite_dst(backend.addr, backend.port).expect("TCP rewrite");
+                pkt.rewrite_dst(backend.addr, backend.port)
+                    .expect("TCP rewrite");
                 Verdict::Forward
             }
             None => {
@@ -170,15 +189,28 @@ mod tests {
 
     fn backends() -> Vec<Backend> {
         vec![
-            Backend { addr: 0x0a00_0101, port: 8080 },
-            Backend { addr: 0x0a00_0102, port: 8080 },
-            Backend { addr: 0x0a00_0103, port: 8080 },
+            Backend {
+                addr: 0x0a00_0101,
+                port: 8080,
+            },
+            Backend {
+                addr: 0x0a00_0102,
+                port: 8080,
+            },
+            Backend {
+                addr: 0x0a00_0103,
+                port: 8080,
+            },
         ]
     }
 
     fn harness() -> (LoadBalancerNf, LocalTables<FlowServer>, CoreMap) {
         let map = CoreMap::new(DispatchMode::Sprayer, 8);
-        (LoadBalancerNf::new(VIP, backends()), LocalTables::new(map.clone(), 1024), map)
+        (
+            LoadBalancerNf::new(VIP, backends()),
+            LocalTables::new(map.clone(), 1024),
+            map,
+        )
     }
 
     fn client(i: u32) -> FiveTuple {
@@ -193,7 +225,10 @@ mod tests {
             let t = client(i);
             let core = map.designated_for_tuple(&t);
             let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
-            assert_eq!(lb.connection_packets(&mut syn, &mut tables.ctx(core)), Verdict::Forward);
+            assert_eq!(
+                lb.connection_packets(&mut syn, &mut tables.ctx(core)),
+                Verdict::Forward
+            );
             seen.push(syn.tuple().unwrap().dst_addr);
         }
         // Round-robin: 3 backends used twice each.
@@ -218,7 +253,11 @@ mod tests {
                 lb.regular_packets(&mut data, &mut tables.ctx(spray_core)),
                 Verdict::Forward
             );
-            assert_eq!(data.tuple().unwrap().dst_addr, assigned, "core {spray_core}");
+            assert_eq!(
+                data.tuple().unwrap().dst_addr,
+                assigned,
+                "core {spray_core}"
+            );
         }
     }
 
@@ -231,8 +270,15 @@ mod tests {
         lb.connection_packets(&mut syn1, &mut tables.ctx(core));
         let mut syn2 = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
         lb.connection_packets(&mut syn2, &mut tables.ctx(core));
-        assert_eq!(syn1.tuple().unwrap().dst_addr, syn2.tuple().unwrap().dst_addr);
-        assert_eq!(lb.connections.load(Ordering::Relaxed), 1, "one logical connection");
+        assert_eq!(
+            syn1.tuple().unwrap().dst_addr,
+            syn2.tuple().unwrap().dst_addr
+        );
+        assert_eq!(
+            lb.connections.load(Ordering::Relaxed),
+            1,
+            "one logical connection"
+        );
     }
 
     #[test]
@@ -244,7 +290,10 @@ mod tests {
         lb.connection_packets(&mut syn, &mut tables.ctx(core));
         assert_eq!(lb.active_connections().iter().sum::<u64>(), 1);
         let mut fin = PacketBuilder::new().tcp(t, 5, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
-        assert_eq!(lb.connection_packets(&mut fin, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            lb.connection_packets(&mut fin, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         assert_eq!(lb.active_connections().iter().sum::<u64>(), 0);
     }
 
@@ -253,7 +302,10 @@ mod tests {
         let (lb, mut tables, _) = harness();
         let t = FiveTuple::tcp(1, 2, 3, 4);
         let mut p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, b"");
-        assert_eq!(lb.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(
+            lb.regular_packets(&mut p, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
         assert_eq!(p.tuple().unwrap(), t, "untouched");
     }
 
@@ -261,7 +313,10 @@ mod tests {
     fn stray_vip_data_is_dropped() {
         let (lb, mut tables, _) = harness();
         let mut p = PacketBuilder::new().tcp(client(7), 1, 1, TcpFlags::ACK, b"");
-        assert_eq!(lb.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(
+            lb.regular_packets(&mut p, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
         assert_eq!(lb.stray_drops.load(Ordering::Relaxed), 1);
     }
 

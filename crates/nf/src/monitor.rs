@@ -64,7 +64,9 @@ impl MonitorNf {
     /// A monitor with one statistics shard per core.
     pub fn new(num_cores: usize) -> Self {
         MonitorNf {
-            shards: (0..num_cores.max(1)).map(|_| StatShard::default()).collect(),
+            shards: (0..num_cores.max(1))
+                .map(|_| StatShard::default())
+                .collect(),
             opened: AtomicU64::new(0),
             closed: AtomicU64::new(0),
         }
@@ -106,7 +108,12 @@ impl NetworkFunction for MonitorNf {
 
     fn descriptor(&self) -> NfDescriptor {
         NfDescriptor::named("Traffic Monitor")
-            .with_state("Connection context", Scope::PerFlow, Access::None, Access::ReadWrite)
+            .with_state(
+                "Connection context",
+                Scope::PerFlow,
+                Access::None,
+                Access::ReadWrite,
+            )
             .with_state("Statistics", Scope::Global, Access::ReadWrite, Access::None)
     }
 
@@ -138,7 +145,10 @@ impl NetworkFunction for MonitorNf {
         } else if flags.contains(TcpFlags::SYN) && ctx.get_local_flow(&key).is_none() {
             ctx.insert_local_flow(
                 key,
-                ConnRecord { initiator: (tuple.src_addr, tuple.src_port), fins: 0 },
+                ConnRecord {
+                    initiator: (tuple.src_addr, tuple.src_port),
+                    fins: 0,
+                },
             );
             self.opened.fetch_add(1, Ordering::Relaxed);
         }
@@ -221,7 +231,11 @@ mod tests {
             let mut rst = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::RST, b"");
             mon.connection_packets(&mut rst, &mut tables.ctx(core));
         }
-        assert_eq!(mon.aggregate().connections_closed, 1, "duplicate RST is idempotent");
+        assert_eq!(
+            mon.aggregate().connections_closed,
+            1,
+            "duplicate RST is idempotent"
+        );
     }
 
     #[test]
@@ -229,8 +243,14 @@ mod tests {
         let (mon, mut tables, _) = harness();
         let t = FiveTuple::tcp(1, 1, 1, 1);
         let mut p = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::ACK, b"");
-        assert_eq!(mon.regular_packets(&mut p, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(
+            mon.regular_packets(&mut p, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
         let mut r = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::RST, b"");
-        assert_eq!(mon.connection_packets(&mut r, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(
+            mon.connection_packets(&mut r, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
     }
 }

@@ -95,22 +95,14 @@ impl NatNf {
 
     /// Pick an external port whose translated connection maps to the same
     /// designated core as the original connection (see module docs).
-    fn select_port(
-        &self,
-        original: &FiveTuple,
-        ctx: &dyn FlowStateApi<NatEntry>,
-    ) -> Option<u16> {
+    fn select_port(&self, original: &FiveTuple, ctx: &dyn FlowStateApi<NatEntry>) -> Option<u16> {
         let designated = ctx.designated_core(&original.key());
         let mut pool = self.pool.lock();
         // Scan from the top; expected num_cores probes.
         for idx in (0..pool.len()).rev() {
             let port = pool[idx];
-            let translated = FiveTuple::tcp(
-                self.external_ip,
-                port,
-                original.dst_addr,
-                original.dst_port,
-            );
+            let translated =
+                FiveTuple::tcp(self.external_ip, port, original.dst_addr, original.dst_port);
             if ctx.designated_core(&translated.key()) == designated {
                 pool.swap_remove(idx);
                 return Some(port);
@@ -122,7 +114,11 @@ impl NatNf {
     fn teardown(&self, key_tuple: &FiveTuple, ctx: &mut dyn FlowStateApi<NatEntry>) {
         // `key_tuple` may be either side; resolve to the Outward entry.
         let (orig_key, trans_key, external) = match ctx.get_flow(&key_tuple.key()) {
-            Some(NatEntry::Outward { internal: _, external, .. }) => {
+            Some(NatEntry::Outward {
+                internal: _,
+                external,
+                ..
+            }) => {
                 let trans = FiveTuple::tcp(
                     external.0,
                     external.1,
@@ -157,7 +153,12 @@ impl NetworkFunction for NatNf {
     fn descriptor(&self) -> NfDescriptor {
         NfDescriptor::named("NAT")
             .with_state("Flow map", Scope::PerFlow, Access::Read, Access::ReadWrite)
-            .with_state("Pool of IPs/ports", Scope::Global, Access::None, Access::ReadWrite)
+            .with_state(
+                "Pool of IPs/ports",
+                Scope::Global,
+                Access::None,
+                Access::ReadWrite,
+            )
     }
 
     fn connection_packets(
@@ -223,12 +224,15 @@ impl NetworkFunction for NatNf {
         };
         let internal = (tuple.src_addr, tuple.src_port);
         let external = (self.external_ip, port);
-        let translated =
-            FiveTuple::tcp(external.0, external.1, tuple.dst_addr, tuple.dst_port);
+        let translated = FiveTuple::tcp(external.0, external.1, tuple.dst_addr, tuple.dst_port);
 
         let out = ctx.insert_local_flow(
             tuple.key(),
-            NatEntry::Outward { internal, external, fins: 0 },
+            NatEntry::Outward {
+                internal,
+                external,
+                fins: 0,
+            },
         );
         if out == InsertOutcome::TableFull {
             self.pool.lock().push(port);
@@ -245,7 +249,8 @@ impl NetworkFunction for NatNf {
         }
         self.stats.translations.fetch_add(1, Ordering::Relaxed);
 
-        pkt.rewrite_src(external.0, external.1).expect("TCP packet rewrites");
+        pkt.rewrite_src(external.0, external.1)
+            .expect("TCP packet rewrites");
         Verdict::Forward
     }
 
@@ -254,21 +259,27 @@ impl NetworkFunction for NatNf {
             return Verdict::Forward;
         };
         match ctx.get_flow(&tuple.key()) {
-            Some(NatEntry::Outward { internal, external, .. }) => {
+            Some(NatEntry::Outward {
+                internal, external, ..
+            }) => {
                 if (tuple.src_addr, tuple.src_port) == internal {
-                    pkt.rewrite_src(external.0, external.1).expect("TCP rewrite");
+                    pkt.rewrite_src(external.0, external.1)
+                        .expect("TCP rewrite");
                 } else {
                     // Shouldn't occur: the reverse of the original
                     // connection addresses the internal host directly.
-                    pkt.rewrite_dst(internal.0, internal.1).expect("TCP rewrite");
+                    pkt.rewrite_dst(internal.0, internal.1)
+                        .expect("TCP rewrite");
                 }
                 Verdict::Forward
             }
             Some(NatEntry::Inward { external, internal }) => {
                 if (tuple.dst_addr, tuple.dst_port) == external {
-                    pkt.rewrite_dst(internal.0, internal.1).expect("TCP rewrite");
+                    pkt.rewrite_dst(internal.0, internal.1)
+                        .expect("TCP rewrite");
                 } else {
-                    pkt.rewrite_src(external.0, external.1).expect("TCP rewrite");
+                    pkt.rewrite_src(external.0, external.1)
+                        .expect("TCP rewrite");
                 }
                 Verdict::Forward
             }
@@ -337,7 +348,10 @@ mod tests {
         let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
         assert_eq!(h.run(&mut syn), Verdict::Forward);
         let t = syn.tuple().unwrap();
-        assert_eq!(t.src_addr, NAT_IP, "source must be rewritten to the external IP");
+        assert_eq!(
+            t.src_addr, NAT_IP,
+            "source must be rewritten to the external IP"
+        );
         assert!((10_000..10_128).contains(&t.src_port));
         assert_eq!(t.dst_addr, SERVER);
         assert_eq!(h.nat.pool_len(), 127);
@@ -362,7 +376,11 @@ mod tests {
         let mut reply = PacketBuilder::new().tcp(reply_tuple, 9, 2, TcpFlags::ACK, b"resp");
         assert_eq!(h.run(&mut reply), Verdict::Forward);
         let rt = reply.tuple().unwrap();
-        assert_eq!((rt.dst_addr, rt.dst_port), (CLIENT, 40_000), "dst restored to client");
+        assert_eq!(
+            (rt.dst_addr, rt.dst_port),
+            (CLIENT, 40_000),
+            "dst restored to client"
+        );
     }
 
     #[test]
@@ -430,10 +448,13 @@ mod tests {
         h.run(&mut syn);
         let ext_port = syn.tuple().unwrap().src_port;
 
-        let mut fin1 =
-            PacketBuilder::new().tcp(conn(), 10, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+        let mut fin1 = PacketBuilder::new().tcp(conn(), 10, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
         assert_eq!(h.run(&mut fin1), Verdict::Forward);
-        assert_eq!(fin1.tuple().unwrap().src_addr, NAT_IP, "FIN is still translated");
+        assert_eq!(
+            fin1.tuple().unwrap().src_addr,
+            NAT_IP,
+            "FIN is still translated"
+        );
         assert_eq!(h.nat.pool_len(), 127, "one FIN does not tear down");
 
         let fin2_tuple = FiveTuple::tcp(SERVER, 443, NAT_IP, ext_port);

@@ -19,9 +19,7 @@ use parking_lot::Mutex;
 use sprayer::api::{
     Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, Verdict,
 };
-use sprayer_net::{
-    EtherType, EthernetHeader, Ipv6Header, MacAddr, Packet, TcpFlags, TcpHeader,
-};
+use sprayer_net::{EtherType, EthernetHeader, Ipv6Header, MacAddr, Packet, TcpFlags, TcpHeader};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-flow binding: the v6 source endpoint this v4 connection maps to.
@@ -103,7 +101,9 @@ impl Nat64Nf {
         .ok()?;
         ip6.emit(&mut data[14..]).ok()?;
         let l4o = 14 + sprayer_net::IPV6_HEADER_LEN;
-        let hlen = out_tcp.emit(&mut data[l4o..], ip6.pseudo_header(), payload).ok()?;
+        let hlen = out_tcp
+            .emit(&mut data[l4o..], ip6.pseudo_header(), payload)
+            .ok()?;
         data[l4o + hlen..l4o + hlen + payload.len()].copy_from_slice(payload);
         Packet::parse(data).ok()
     }
@@ -115,7 +115,12 @@ impl NetworkFunction for Nat64Nf {
     fn descriptor(&self) -> NfDescriptor {
         NfDescriptor::named("IPv4 to IPv6")
             .with_state("Flow map", Scope::PerFlow, Access::Read, Access::ReadWrite)
-            .with_state("Pool of IPs/ports", Scope::Global, Access::None, Access::ReadWrite)
+            .with_state(
+                "Pool of IPs/ports",
+                Scope::Global,
+                Access::None,
+                Access::ReadWrite,
+            )
     }
 
     fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<Binding>) -> Verdict {
@@ -156,7 +161,11 @@ impl NetworkFunction for Nat64Nf {
             self.pool_exhausted.fetch_add(1, Ordering::Relaxed);
             return Verdict::Drop;
         };
-        let binding = Binding { v6_src: self.v6_self, v6_port: port, fins: 0 };
+        let binding = Binding {
+            v6_src: self.v6_self,
+            v6_port: port,
+            fins: 0,
+        };
         if ctx.insert_local_flow(key, binding.clone()) == InsertOutcome::TableFull {
             self.pool.lock().push(port);
             self.pool_exhausted.fetch_add(1, Ordering::Relaxed);
@@ -201,11 +210,17 @@ mod tests {
     use sprayer_net::{FiveTuple, PacketBuilder};
 
     const PREFIX: [u8; 12] = [0x00, 0x64, 0xff, 0x9b, 0, 0, 0, 0, 0, 0, 0, 0]; // 64:ff9b::/96
-    const SELF6: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x64];
+    const SELF6: [u8; 16] = [
+        0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x64,
+    ];
 
     fn harness() -> (Nat64Nf, LocalTables<Binding>, CoreMap) {
         let map = CoreMap::new(DispatchMode::Sprayer, 8);
-        (Nat64Nf::new(PREFIX, SELF6, 20_000..20_100), LocalTables::new(map.clone(), 256), map)
+        (
+            Nat64Nf::new(PREFIX, SELF6, 20_000..20_100),
+            LocalTables::new(map.clone(), 256),
+            map,
+        )
     }
 
     fn conn() -> FiveTuple {
@@ -217,12 +232,19 @@ mod tests {
         let (nf, mut tables, map) = harness();
         let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
         let core = map.designated_for_tuple(&conn());
-        assert_eq!(nf.connection_packets(&mut syn, &mut tables.ctx(core)), Verdict::Forward);
+        assert_eq!(
+            nf.connection_packets(&mut syn, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
 
         assert_eq!(syn.meta().ethertype, EtherType::Ipv6);
         let ip6 = Ipv6Header::parse(&syn.bytes()[14..]).unwrap();
         assert_eq!(ip6.src, SELF6);
-        assert_eq!(&ip6.dst[..12], &PREFIX, "server address embeds the RFC 6052 prefix");
+        assert_eq!(
+            &ip6.dst[..12],
+            &PREFIX,
+            "server address embeds the RFC 6052 prefix"
+        );
         assert_eq!(&ip6.dst[12..], &0x5db8_d822u32.to_be_bytes());
         assert_eq!(nf.pool_len(), 99);
     }
@@ -234,12 +256,18 @@ mod tests {
         let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
         nf.connection_packets(&mut syn, &mut tables.ctx(core));
         let mut data = PacketBuilder::new().tcp(conn(), 5, 1, TcpFlags::ACK, b"hello v6");
-        assert_eq!(nf.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(
+            nf.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
 
         let ip6 = Ipv6Header::parse(&data.bytes()[14..]).unwrap();
         let l4 = 14 + sprayer_net::IPV6_HEADER_LEN;
         let seg = usize::from(ip6.payload_len);
-        assert!(TcpHeader::verify_checksum(ip6.pseudo_header(), &data.bytes()[l4..l4 + seg]));
+        assert!(TcpHeader::verify_checksum(
+            ip6.pseudo_header(),
+            &data.bytes()[l4..l4 + seg]
+        ));
         // Payload carried through.
         assert!(data.bytes()[l4..].windows(8).any(|w| w == b"hello v6"));
     }
@@ -255,7 +283,10 @@ mod tests {
 
         for c in 0..8 {
             let mut data = PacketBuilder::new().tcp(conn(), 9, 1, TcpFlags::ACK, b"x");
-            assert_eq!(nf.regular_packets(&mut data, &mut tables.ctx(c)), Verdict::Forward);
+            assert_eq!(
+                nf.regular_packets(&mut data, &mut tables.ctx(c)),
+                Verdict::Forward
+            );
             let ip6 = Ipv6Header::parse(&data.bytes()[14..]).unwrap();
             let tcp = TcpHeader::parse(&data.bytes()[14 + sprayer_net::IPV6_HEADER_LEN..]).unwrap();
             assert_eq!(ip6.src, syn_ip6.src, "stable binding address");
@@ -267,7 +298,10 @@ mod tests {
     fn unbound_traffic_is_dropped() {
         let (nf, mut tables, _) = harness();
         let mut stray = PacketBuilder::new().tcp(conn(), 1, 1, TcpFlags::ACK, b"");
-        assert_eq!(nf.regular_packets(&mut stray, &mut tables.ctx(0)), Verdict::Drop);
+        assert_eq!(
+            nf.regular_packets(&mut stray, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
         assert_eq!(nf.no_binding.load(Ordering::Relaxed), 1);
     }
 

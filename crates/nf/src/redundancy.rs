@@ -66,7 +66,8 @@ impl RedundancyNf {
     }
 
     fn inspect(&self, payload: &[u8]) {
-        self.bytes_seen.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.bytes_seen
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if payload.len() < WINDOW {
             return;
         }
@@ -93,7 +94,8 @@ impl RedundancyNf {
             }
         }
         if eliminated > 0 {
-            self.bytes_eliminated.fetch_add(eliminated, Ordering::Relaxed);
+            self.bytes_eliminated
+                .fetch_add(eliminated, Ordering::Relaxed);
         }
     }
 }
@@ -112,7 +114,10 @@ impl NetworkFunction for RedundancyNf {
 
     fn config(&self) -> sprayer::api::NfConfig {
         // No per-flow state: disable flow tables and redirection (§3.4).
-        sprayer::api::NfConfig { stateless: true, ..Default::default() }
+        sprayer::api::NfConfig {
+            stateless: true,
+            ..Default::default()
+        }
     }
 
     fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<()>) -> Verdict {
@@ -148,7 +153,11 @@ mod tests {
         let re = RedundancyNf::new(1024);
         let content = vec![7u8; 128]; // 4 windows
         run(&re, &content);
-        assert_eq!(re.bytes_eliminated.load(Ordering::Relaxed), 96, "3 of 4 identical windows");
+        assert_eq!(
+            re.bytes_eliminated.load(Ordering::Relaxed),
+            96,
+            "3 of 4 identical windows"
+        );
         run(&re, &content);
         assert_eq!(re.bytes_eliminated.load(Ordering::Relaxed), 96 + 128);
         assert!(re.savings() > 0.8);
@@ -180,12 +189,18 @@ mod tests {
             run(&re, &payload);
         }
         let total: usize = re.shards.iter().map(|s| s.lock().len()).sum();
-        assert!(total <= SHARDS, "cache must stay within capacity, has {total}");
+        assert!(
+            total <= SHARDS,
+            "cache must stay within capacity, has {total}"
+        );
     }
 
     #[test]
     fn declares_stateless_config() {
         let re = RedundancyNf::new(16);
-        assert!(re.config().stateless, "RE has no per-flow state: redirection disabled");
+        assert!(
+            re.config().stateless,
+            "RE has no per-flow state: redirection disabled"
+        );
     }
 }

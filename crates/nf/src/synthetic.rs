@@ -140,15 +140,26 @@ mod tests {
         let t = FiveTuple::tcp(1, 2, 3, 4);
         let core = map.designated_for_tuple(&t);
 
-        let mut syn = PacketBuilder::new().ttl(64).tcp(t, 0, 0, TcpFlags::SYN, b"");
-        assert_eq!(nf.connection_packets(&mut syn, &mut tables.ctx(core)), Verdict::Forward);
+        let mut syn = PacketBuilder::new()
+            .ttl(64)
+            .tcp(t, 0, 0, TcpFlags::SYN, b"");
+        assert_eq!(
+            nf.connection_packets(&mut syn, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
         let l3 = syn.meta().l3_offset;
         assert_eq!(syn.bytes()[l3 + 8], 63, "TTL decremented");
 
-        let mut data = PacketBuilder::new().ttl(64).tcp(t, 1, 0, TcpFlags::ACK, b"");
+        let mut data = PacketBuilder::new()
+            .ttl(64)
+            .tcp(t, 1, 0, TcpFlags::ACK, b"");
         nf.regular_packets(&mut data, &mut tables.ctx(0));
         assert_eq!(nf.processed.load(Ordering::Relaxed), 2);
-        assert_eq!(nf.missing_state.load(Ordering::Relaxed), 0, "state was found");
+        assert_eq!(
+            nf.missing_state.load(Ordering::Relaxed),
+            0,
+            "state was found"
+        );
     }
 
     #[test]
@@ -158,7 +169,10 @@ mod tests {
         let mut tables = LocalTables::new(map, 64);
         let t = FiveTuple::tcp(1, 2, 3, 4);
         let mut data = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"");
-        assert_eq!(nf.regular_packets(&mut data, &mut tables.ctx(0)), Verdict::Forward);
+        assert_eq!(
+            nf.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
         assert_eq!(nf.missing_state.load(Ordering::Relaxed), 1);
     }
 
@@ -198,6 +212,9 @@ mod tests {
             slow.regular_packets(&mut p, &mut tables.ctx(0));
         }
         let t_slow = timer.elapsed();
-        assert!(t_slow > t_fast, "busy loop must consume real time: {t_fast:?} vs {t_slow:?}");
+        assert!(
+            t_slow > t_fast,
+            "busy loop must consume real time: {t_fast:?} vs {t_slow:?}"
+        );
     }
 }

@@ -39,11 +39,18 @@ fn nat_scenario(mode: DispatchMode) {
     // Open all connections.
     for i in 0..flows {
         now += Time::from_us(3);
-        mb.ingress(now, PacketBuilder::new().tcp(client_tuple(i), 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(client_tuple(i), 0, 0, TcpFlags::SYN, b""),
+        );
     }
     mb.run_until(now + Time::from_ms(5));
     let opened = mb.take_egress();
-    assert_eq!(opened.len(), flows as usize, "every SYN must be translated and forwarded");
+    assert_eq!(
+        opened.len(),
+        flows as usize,
+        "every SYN must be translated and forwarded"
+    );
 
     // Map each flow to its external port as seen on the translated SYN.
     let mut ext_port = std::collections::HashMap::new();
@@ -100,15 +107,29 @@ fn nat_scenario(mode: DispatchMode) {
     for i in 0..flows {
         now += Time::from_us(2);
         let t = client_tuple(i);
-        mb.ingress(now, PacketBuilder::new().tcp(t, 99, 1, TcpFlags::FIN | TcpFlags::ACK, b""));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(t, 99, 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        );
         let port = ext_port[&(t.dst_addr, t.dst_port)];
         let back = FiveTuple::tcp(t.dst_addr, 443, NAT_IP, port);
         now += Time::from_us(2);
-        mb.ingress(now, PacketBuilder::new().tcp(back, 99, 1, TcpFlags::FIN | TcpFlags::ACK, b""));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(back, 99, 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        );
     }
     mb.run_until(now + Time::from_ms(5));
-    assert_eq!(mb.nf().pool_len(), 1000, "all external ports must be returned");
-    assert_eq!(mb.tables().total_entries(), 0, "all flow entries must be removed");
+    assert_eq!(
+        mb.nf().pool_len(),
+        1000,
+        "all external ports must be returned"
+    );
+    assert_eq!(
+        mb.tables().total_entries(),
+        0,
+        "all flow entries must be removed"
+    );
     assert_eq!(mb.stats().unaccounted(), 0);
 }
 
@@ -148,15 +169,26 @@ fn firewall_polices_identically_in_both_modes() {
         let s = mb.stats();
         counts.push((s.forwarded, s.nf_drops));
     }
-    assert_eq!(counts[0], counts[1], "policy outcomes must not depend on dispatch");
+    assert_eq!(
+        counts[0], counts[1],
+        "policy outcomes must not depend on dispatch"
+    );
     // 8 allowed SYNs + 80 allowed data; 8 denied SYNs + 80 stray data.
     assert_eq!(counts[0], (88, 88));
 }
 
 #[test]
 fn load_balancer_keeps_flow_affinity_under_spraying() {
-    let backends =
-        vec![Backend { addr: 0x0a00_0101, port: 8080 }, Backend { addr: 0x0a00_0102, port: 8080 }];
+    let backends = vec![
+        Backend {
+            addr: 0x0a00_0101,
+            port: 8080,
+        },
+        Backend {
+            addr: 0x0a00_0102,
+            port: 8080,
+        },
+    ];
     let config = MiddleboxConfig::paper_testbed(DispatchMode::Sprayer);
     let mut mb = MiddleboxSim::new(config, LoadBalancerNf::new(VIP, backends));
     let mut now = Time::ZERO;
@@ -221,12 +253,14 @@ fn monitor_counts_every_packet_in_both_modes() {
         assert_eq!(totals.connections_closed, u64::from(flows));
         if mode == DispatchMode::Sprayer {
             // Loose-consistency shards: multiple cores contributed.
-            let busy = mb
-                .nf()
-                .aggregate();
+            let busy = mb.nf().aggregate();
             assert!(busy.packets > 0);
-            let active_cores =
-                mb.stats().per_core.iter().filter(|c| c.processed > 0).count();
+            let active_cores = mb
+                .stats()
+                .per_core
+                .iter()
+                .filter(|c| c.processed > 0)
+                .count();
             assert!(active_cores >= 6, "spraying must spread the monitor's work");
         }
     }
@@ -251,11 +285,14 @@ fn threaded_runtime_runs_the_nat() {
             ));
         }
     }
-    let out =
-        ThreadedMiddlebox::process_phases(DispatchMode::Sprayer, 4, &nat, vec![syns, data]);
+    let out = ThreadedMiddlebox::process_phases(DispatchMode::Sprayer, 4, &nat, vec![syns, data]);
     assert_eq!(out.forwarded.len(), (flows + flows * 10) as usize);
     assert_eq!(out.nf_drops, 0);
     for pkt in &out.forwarded {
-        assert_eq!(pkt.tuple().unwrap().src_addr, NAT_IP, "all egress is translated");
+        assert_eq!(
+            pkt.tuple().unwrap().src_addr,
+            NAT_IP,
+            "all egress is translated"
+        );
     }
 }

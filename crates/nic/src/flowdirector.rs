@@ -249,7 +249,10 @@ mod tests {
         assert_eq!(n, 8);
         for i in 0..200u32 {
             let p = tcp_packet(&i.to_be_bytes());
-            assert!(fdir.lookup(&p).is_some(), "packet {i} must match a spray rule");
+            assert!(
+                fdir.lookup(&p).is_some(),
+                "packet {i} must match a spray rule"
+            );
         }
         let (matched, missed) = fdir.counters();
         assert_eq!(matched, 200);
@@ -295,7 +298,10 @@ mod tests {
     #[test]
     fn table_capacity_is_enforced() {
         let mut fdir = FlowDirector::new();
-        let rule = FdirRule { filter: FdirFilter::for_protocol(Protocol::Tcp), queue: 0 };
+        let rule = FdirRule {
+            filter: FdirFilter::for_protocol(Protocol::Tcp),
+            queue: 0,
+        };
         for _ in 0..FDIR_PERFECT_CAPACITY {
             fdir.install(rule).unwrap();
         }
@@ -328,17 +334,26 @@ mod tests {
     #[test]
     fn first_matching_rule_wins() {
         let mut fdir = FlowDirector::new();
-        fdir.install(FdirRule { filter: FdirFilter::for_protocol(Protocol::Tcp), queue: 1 })
-            .unwrap();
-        fdir.install(FdirRule { filter: FdirFilter::for_protocol(Protocol::Tcp), queue: 2 })
-            .unwrap();
+        fdir.install(FdirRule {
+            filter: FdirFilter::for_protocol(Protocol::Tcp),
+            queue: 1,
+        })
+        .unwrap();
+        fdir.install(FdirRule {
+            filter: FdirFilter::for_protocol(Protocol::Tcp),
+            queue: 2,
+        })
+        .unwrap();
         assert_eq!(fdir.lookup(&tcp_packet(b"")), Some(1));
     }
 
     #[test]
     fn spray_respects_remaining_capacity() {
         let mut fdir = FlowDirector::new();
-        let rule = FdirRule { filter: FdirFilter::for_protocol(Protocol::Udp), queue: 0 };
+        let rule = FdirRule {
+            filter: FdirFilter::for_protocol(Protocol::Udp),
+            queue: 0,
+        };
         for _ in 0..FDIR_PERFECT_CAPACITY - 4 {
             fdir.install(rule).unwrap();
         }

@@ -53,7 +53,12 @@ impl NicConfig {
     /// Baseline configuration: RSS with the symmetric key, as the paper's
     /// RSS experiments are configured.
     pub fn rss(num_queues: usize) -> Self {
-        NicConfig { num_queues, spray_tcp: false, fdir_rate_cap_pps: None, spray_subset_k: None }
+        NicConfig {
+            num_queues,
+            spray_tcp: false,
+            fdir_rate_cap_pps: None,
+            spray_subset_k: None,
+        }
     }
 
     /// Sprayer configuration: checksum spraying with the 82599's observed
@@ -70,7 +75,12 @@ impl NicConfig {
     /// Sprayer configuration without the hardware rate cap (models the
     /// "not fundamental" case / a better NIC).
     pub fn sprayer_uncapped(num_queues: usize) -> Self {
-        NicConfig { num_queues, spray_tcp: true, fdir_rate_cap_pps: None, spray_subset_k: None }
+        NicConfig {
+            num_queues,
+            spray_tcp: true,
+            fdir_rate_cap_pps: None,
+            spray_subset_k: None,
+        }
     }
 
     /// Subset spraying on a programmable NIC (§7): spray each flow over
@@ -117,7 +127,12 @@ impl Nic {
                 .expect("spray rules always fit an empty 8K table");
         }
         let queue_counters = vec![QueueCounters::default(); config.num_queues];
-        Nic { config, rss, fdir, queue_counters }
+        Nic {
+            config,
+            rss,
+            fdir,
+            queue_counters,
+        }
     }
 
     /// The configuration this NIC was built with.
@@ -215,7 +230,11 @@ mod tests {
             assert_eq!(how, RxSteering::FlowDirector);
             queues.insert(q);
         }
-        assert_eq!(queues.len(), 8, "spraying must reach every queue from one flow");
+        assert_eq!(
+            queues.len(),
+            8,
+            "spraying must reach every queue from one flow"
+        );
     }
 
     #[test]
@@ -244,7 +263,11 @@ mod tests {
         let expected = f64::from(n) / 8.0;
         for (q, c) in nic.queue_counters().iter().enumerate() {
             let dev = (c.packets as f64 - expected).abs() / expected;
-            assert!(dev < 0.10, "queue {q}: {} packets, deviation {dev:.3}", c.packets);
+            assert!(
+                dev < 0.10,
+                "queue {q}: {} packets, deviation {dev:.3}",
+                c.packets
+            );
         }
     }
 

@@ -24,8 +24,13 @@ impl RssConfig {
 
     /// RSS with an arbitrary key and round-robin indirection table.
     pub fn with_key(key: RssKey, num_queues: usize) -> Self {
-        assert!((1..=256).contains(&num_queues), "82599 supports up to 128 queues; sanity cap 256");
-        let table = (0..INDIRECTION_TABLE_SIZE).map(|i| (i % num_queues) as u8).collect();
+        assert!(
+            (1..=256).contains(&num_queues),
+            "82599 supports up to 128 queues; sanity cap 256"
+        );
+        let table = (0..INDIRECTION_TABLE_SIZE)
+            .map(|i| (i % num_queues) as u8)
+            .collect();
         RssConfig { key, table }
     }
 
@@ -95,12 +100,7 @@ mod tests {
             // symmetric key's hash bits (the key is 16-bit periodic), which
             // is not the regime RSS is designed for.
             let r = sprayer_net::flow::splitmix64(u64::from(i));
-            let t = FiveTuple::tcp(
-                (r >> 32) as u32,
-                (r >> 16) as u16 | 1024,
-                0xc0a8_0001,
-                443,
-            );
+            let t = FiveTuple::tcp((r >> 32) as u32, (r >> 16) as u16 | 1024, 0xc0a8_0001, 443);
             counts[rss.queue_for(&t) as usize] += 1;
         }
         let expected = n as f64 / 8.0;
@@ -131,8 +131,14 @@ mod tests {
     #[test]
     fn non_tcp_udp_hashes_addresses_only() {
         let rss = RssConfig::symmetric(8);
-        let a = FiveTuple { protocol: Protocol::Other(47), ..FiveTuple::tcp(9, 1, 10, 2) };
-        let b = FiveTuple { protocol: Protocol::Other(47), ..FiveTuple::tcp(9, 7, 10, 9) };
+        let a = FiveTuple {
+            protocol: Protocol::Other(47),
+            ..FiveTuple::tcp(9, 1, 10, 2)
+        };
+        let b = FiveTuple {
+            protocol: Protocol::Other(47),
+            ..FiveTuple::tcp(9, 7, 10, 9)
+        };
         // Ports differ but addresses match: same queue.
         assert_eq!(rss.queue_for(&a), rss.queue_for(&b));
     }

@@ -24,17 +24,17 @@ pub struct RssKey(pub [u8; 40]);
 
 /// The default key from the Microsoft RSS verification suite.
 pub const MICROSOFT_KEY: RssKey = RssKey([
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ]);
 
 /// The symmetric key of Woo & Park: `0x6d5a` repeated 20 times. Maps both
 /// directions of a connection to the same hash value.
 pub const SYMMETRIC_KEY: RssKey = RssKey([
-    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d,
-    0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
-    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+    0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
 ]);
 
 /// Compute the Toeplitz hash of `data` under `key`.
@@ -90,28 +90,70 @@ pub fn hash_v4_addrs(key: &RssKey, src: u32, dst: u32) -> u32 {
 mod tests {
     use super::*;
 
+    type Endpoint = (u32, u16);
+
     /// The Microsoft RSS verification suite, IPv4 with ports.
     /// (dst addr:port, src addr:port, expected 4-tuple hash)
-    const MSFT_VECTORS_4TUPLE: &[((u32, u16), (u32, u16), u32)] = &[
+    const MSFT_VECTORS_4TUPLE: &[(Endpoint, Endpoint, u32)] = &[
         // 161.142.100.80:1766  <- 66.9.149.187:2794
-        (((161 << 24) | (142 << 16) | (100 << 8) | 80, 1766), ((66 << 24) | (9 << 16) | (149 << 8) | 187, 2794), 0x51ccc178),
+        (
+            ((161 << 24) | (142 << 16) | (100 << 8) | 80, 1766),
+            ((66 << 24) | (9 << 16) | (149 << 8) | 187, 2794),
+            0x51ccc178,
+        ),
         // 65.69.140.83:4739 <- 199.92.111.2:14230
-        (((65 << 24) | (69 << 16) | (140 << 8) | 83, 4739), ((199 << 24) | (92 << 16) | (111 << 8) | 2, 14230), 0xc626b0ea),
+        (
+            ((65 << 24) | (69 << 16) | (140 << 8) | 83, 4739),
+            ((199 << 24) | (92 << 16) | (111 << 8) | 2, 14230),
+            0xc626b0ea,
+        ),
         // 12.22.207.184:38024 <- 24.19.198.95:12898
-        (((12 << 24) | (22 << 16) | (207 << 8) | 184, 38024), ((24 << 24) | (19 << 16) | (198 << 8) | 95, 12898), 0x5c2b394a),
+        (
+            ((12 << 24) | (22 << 16) | (207 << 8) | 184, 38024),
+            ((24 << 24) | (19 << 16) | (198 << 8) | 95, 12898),
+            0x5c2b394a,
+        ),
         // 209.142.163.6:2217 <- 38.27.205.30:48228
-        (((209 << 24) | (142 << 16) | (163 << 8) | 6, 2217), ((38 << 24) | (27 << 16) | (205 << 8) | 30, 48228), 0xafc7327f),
+        (
+            ((209 << 24) | (142 << 16) | (163 << 8) | 6, 2217),
+            ((38 << 24) | (27 << 16) | (205 << 8) | 30, 48228),
+            0xafc7327f,
+        ),
         // 202.188.127.2:1303 <- 153.39.163.191:44251
-        (((202 << 24) | (188 << 16) | (127 << 8) | 2, 1303), ((153 << 24) | (39 << 16) | (163 << 8) | 191, 44251), 0x10e828a2),
+        (
+            ((202 << 24) | (188 << 16) | (127 << 8) | 2, 1303),
+            ((153 << 24) | (39 << 16) | (163 << 8) | 191, 44251),
+            0x10e828a2,
+        ),
     ];
 
     /// Same suite, 2-tuple (addresses only) hashes.
     const MSFT_VECTORS_2TUPLE: &[(u32, u32, u32)] = &[
-        ((161 << 24) | (142 << 16) | (100 << 8) | 80, (66 << 24) | (9 << 16) | (149 << 8) | 187, 0x323e8fc2),
-        ((65 << 24) | (69 << 16) | (140 << 8) | 83, (199 << 24) | (92 << 16) | (111 << 8) | 2, 0xd718262a),
-        ((12 << 24) | (22 << 16) | (207 << 8) | 184, (24 << 24) | (19 << 16) | (198 << 8) | 95, 0xd2d0a5de),
-        ((209 << 24) | (142 << 16) | (163 << 8) | 6, (38 << 24) | (27 << 16) | (205 << 8) | 30, 0x82989176),
-        ((202 << 24) | (188 << 16) | (127 << 8) | 2, (153 << 24) | (39 << 16) | (163 << 8) | 191, 0x5d1809c5),
+        (
+            (161 << 24) | (142 << 16) | (100 << 8) | 80,
+            (66 << 24) | (9 << 16) | (149 << 8) | 187,
+            0x323e8fc2,
+        ),
+        (
+            (65 << 24) | (69 << 16) | (140 << 8) | 83,
+            (199 << 24) | (92 << 16) | (111 << 8) | 2,
+            0xd718262a,
+        ),
+        (
+            (12 << 24) | (22 << 16) | (207 << 8) | 184,
+            (24 << 24) | (19 << 16) | (198 << 8) | 95,
+            0xd2d0a5de,
+        ),
+        (
+            (209 << 24) | (142 << 16) | (163 << 8) | 6,
+            (38 << 24) | (27 << 16) | (205 << 8) | 30,
+            0x82989176,
+        ),
+        (
+            (202 << 24) | (188 << 16) | (127 << 8) | 2,
+            (153 << 24) | (39 << 16) | (163 << 8) | 191,
+            0x5d1809c5,
+        ),
     ];
 
     #[test]

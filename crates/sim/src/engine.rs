@@ -28,7 +28,11 @@ pub struct Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Schedule `event` at absolute time `at` (must not be in the past).
     pub fn at(&mut self, at: Time, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
         self.pending.push((at, event));
     }
 
@@ -101,7 +105,11 @@ impl<M: Model> Simulation<M> {
     /// Schedule an initial event before running.
     pub fn schedule(&mut self, at: Time, event: M::Event) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.heap.push(Reverse(HeapEntry { at, seq: self.seq, event }));
+        self.heap.push(Reverse(HeapEntry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 
@@ -138,12 +146,20 @@ impl<M: Model> Simulation<M> {
         };
         debug_assert!(entry.at >= self.now, "event heap yielded a past event");
         self.now = entry.at;
-        let mut sched = Scheduler { pending: Vec::new(), now: self.now, stop: false };
+        let mut sched = Scheduler {
+            pending: Vec::new(),
+            now: self.now,
+            stop: false,
+        };
         self.model.handle(self.now, entry.event, &mut sched);
         self.events_processed += 1;
         let stop = sched.stop;
         for (at, event) in sched.pending {
-            self.heap.push(Reverse(HeapEntry { at, seq: self.seq, event }));
+            self.heap.push(Reverse(HeapEntry {
+                at,
+                seq: self.seq,
+                event,
+            }));
             self.seq += 1;
         }
         !stop
@@ -213,7 +229,10 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order() {
-        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            chain: 0,
+        });
         sim.schedule(Time::from_ns(30), Ev::Mark(3));
         sim.schedule(Time::from_ns(10), Ev::Mark(1));
         sim.schedule(Time::from_ns(20), Ev::Mark(2));
@@ -231,7 +250,10 @@ mod tests {
 
     #[test]
     fn simultaneous_events_fire_in_insertion_order() {
-        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            chain: 0,
+        });
         for id in 0..50 {
             sim.schedule(Time::from_ns(5), Ev::Mark(id));
         }
@@ -242,7 +264,10 @@ mod tests {
 
     #[test]
     fn handlers_can_chain_events() {
-        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 5 });
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            chain: 5,
+        });
         sim.schedule(Time::ZERO, Ev::Chain(0));
         sim.run();
         assert_eq!(sim.model().seen.len(), 6);
@@ -251,7 +276,10 @@ mod tests {
 
     #[test]
     fn stop_halts_immediately() {
-        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            chain: 0,
+        });
         sim.schedule(Time::from_ns(1), Ev::Stop);
         sim.schedule(Time::from_ns(2), Ev::Mark(9));
         sim.run();
@@ -261,7 +289,10 @@ mod tests {
 
     #[test]
     fn run_until_respects_deadline_and_advances_clock() {
-        let mut sim = Simulation::new(Recorder { seen: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            chain: 0,
+        });
         sim.schedule(Time::from_ns(10), Ev::Mark(1));
         sim.schedule(Time::from_ns(100), Ev::Mark(2));
         sim.run_until(Time::from_ns(50));

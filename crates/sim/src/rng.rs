@@ -148,7 +148,10 @@ mod tests {
             assert!(v < 10);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -158,7 +161,10 @@ mod tests {
         let mean = 5.0;
         let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
         let sample_mean = sum / n as f64;
-        assert!((sample_mean - mean).abs() < 0.05 * mean, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.05 * mean,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ impl Reservoir {
     /// A reservoir holding up to `max_samples` values.
     pub fn new(max_samples: usize) -> Self {
         assert!(max_samples > 0);
-        Reservoir { samples: Vec::new(), max_samples, seen: 0, rng_state: 0x853c_49e6_748f_ea9b }
+        Reservoir {
+            samples: Vec::new(),
+            max_samples,
+            seen: 0,
+            rng_state: 0x853c_49e6_748f_ea9b,
+        }
     }
 
     /// Record an observation.
@@ -129,12 +134,18 @@ impl Reservoir {
 
     /// Minimum retained sample.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("NaN"))
+        self.samples
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("NaN"))
     }
 
     /// Maximum retained sample.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("NaN"))
+        self.samples
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("NaN"))
     }
 
     /// Mean of retained samples.
@@ -164,11 +175,17 @@ impl Histogram {
     /// relative quantile error).
     pub fn new(sub: u32) -> Self {
         assert!(sub >= 1);
-        Histogram { counts: vec![0; 64 * sub as usize], sub, underflow: 0, total: 0 }
+        Histogram {
+            counts: vec![0; 64 * sub as usize],
+            sub,
+            underflow: 0,
+            total: 0,
+        }
     }
 
     fn bucket_of(&self, x: f64) -> Option<usize> {
-        if !(x >= 1.0) {
+        // NaN deliberately lands in the underflow bin too.
+        if x.is_nan() || x < 1.0 {
             return None;
         }
         let idx = (x.log2() * f64::from(self.sub)).floor() as usize;

@@ -129,7 +129,9 @@ impl ClockFreq {
 
     /// Construct from gigahertz.
     pub const fn from_ghz(ghz: u64) -> ClockFreq {
-        ClockFreq { khz: ghz * 1_000_000 }
+        ClockFreq {
+            khz: ghz * 1_000_000,
+        }
     }
 
     /// Frequency in hertz.
@@ -145,7 +147,7 @@ impl ClockFreq {
     pub fn cycles_to_time(self, cycles: u64) -> Time {
         // ps = cycles * 1e12 / hz = cycles * 1e9 / khz, rounded up.
         let num = u128::from(cycles) * 1_000_000_000u128;
-        Time(((num + u128::from(self.khz) - 1) / u128::from(self.khz)) as u64)
+        Time(num.div_ceil(u128::from(self.khz)) as u64)
     }
 
     /// How many whole cycles fit in `span`.
@@ -164,7 +166,9 @@ pub struct LinkSpeed {
 
 impl LinkSpeed {
     /// 10 Gigabit Ethernet, as in the paper's testbed.
-    pub const TEN_GBE: LinkSpeed = LinkSpeed { bps: 10_000_000_000 };
+    pub const TEN_GBE: LinkSpeed = LinkSpeed {
+        bps: 10_000_000_000,
+    };
     /// 1 Gigabit Ethernet (the MAWI backbone link of §2).
     pub const ONE_GBE: LinkSpeed = LinkSpeed { bps: 1_000_000_000 };
 

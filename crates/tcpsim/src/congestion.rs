@@ -57,7 +57,12 @@ impl Reno {
     /// Initial window of `init_segments` MSS (RFC 6928 uses 10).
     pub fn new(mss: u32, init_segments: u32) -> Self {
         let mss = f64::from(mss);
-        Reno { mss, cwnd: mss * f64::from(init_segments), ssthresh: f64::INFINITY, prior: None }
+        Reno {
+            mss,
+            cwnd: mss * f64::from(init_segments),
+            ssthresh: f64::INFINITY,
+            prior: None,
+        }
     }
 }
 
@@ -217,7 +222,11 @@ impl CongestionControl for Cubic {
         self.w_est += alpha * (newly_acked as f64 / self.cwnd) * self.mss;
 
         let target = self.w_cubic(t + rtt);
-        let next = if self.w_est > target { self.w_est } else { target };
+        let next = if self.w_est > target {
+            self.w_est
+        } else {
+            target
+        };
         if next > self.cwnd {
             // Spread the climb over the window's worth of ACKs.
             self.cwnd += ((next - self.cwnd) / self.cwnd) * newly_acked as f64;
@@ -228,8 +237,14 @@ impl CongestionControl for Cubic {
     }
 
     fn on_fast_retransmit(&mut self, _now: Time) {
-        self.prior =
-            Some((self.cwnd, self.ssthresh, self.w_max, self.k, self.epoch_start, self.w_est));
+        self.prior = Some((
+            self.cwnd,
+            self.ssthresh,
+            self.w_max,
+            self.k,
+            self.epoch_start,
+            self.w_est,
+        ));
         // Fast convergence (RFC 8312 §4.6).
         if self.cwnd < self.w_max {
             self.w_max = self.cwnd * (1.0 + CUBIC_BETA) / 2.0;

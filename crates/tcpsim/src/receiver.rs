@@ -121,8 +121,7 @@ impl Receiver {
             self.insert_ooo(seq, end);
             // Remember which (merged) block this arrival landed in: the
             // SACK option must lead with the most recent block.
-            self.recent_block =
-                self.ooo.range(..=seq).next_back().map(|(&s, _)| s);
+            self.recent_block = self.ooo.range(..=seq).next_back().map(|(&s, _)| s);
             self.dup_acks_sent += 1;
             return AckAction::Immediate(self.ack_info());
         }
@@ -156,7 +155,11 @@ impl Receiver {
             .recent_block
             .and_then(|s| self.ooo.get(&s).map(|&e| (s, e)))
             .or_else(|| self.ooo.first_key_value().map(|(&s, &e)| (s, e)));
-        AckInfo { ack: self.rcv_nxt, sack, dsack: None }
+        AckInfo {
+            ack: self.rcv_nxt,
+            sack,
+            dsack: None,
+        }
     }
 
     /// Force out any pending delayed ACK (the scenario's delayed-ACK
@@ -211,7 +214,11 @@ mod tests {
     const SEG: u64 = 1460;
 
     fn imm(ack: u64, sack: Option<(u64, u64)>) -> AckAction {
-        AckAction::Immediate(AckInfo { ack, sack, dsack: None })
+        AckAction::Immediate(AckInfo {
+            ack,
+            sack,
+            dsack: None,
+        })
     }
 
     #[test]

@@ -111,7 +111,11 @@ mod tests {
         for _ in 0..50 {
             est.sample(Time::from_us(10));
         }
-        assert_eq!(est.rto(), Time::from_ms(200), "Linux min RTO clamps tiny RTTs");
+        assert_eq!(
+            est.rto(),
+            Time::from_ms(200),
+            "Linux min RTO clamps tiny RTTs"
+        );
     }
 
     #[test]

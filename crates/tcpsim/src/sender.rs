@@ -320,7 +320,11 @@ impl Sender {
             if self.probe_deadline.is_none() {
                 self.arm_probe(now);
             }
-            return Some(Segment { seq, len, is_retransmit: true });
+            return Some(Segment {
+                seq,
+                len,
+                is_retransmit: true,
+            });
         }
 
         // New data, limited by the send window (pipe-based) and the
@@ -339,8 +343,14 @@ impl Sender {
         let len = u64::from(self.cfg.mss).min(remaining) as u32;
         let seq = self.snd_nxt;
         self.snd_nxt += u64::from(len);
-        self.inflight
-            .insert(seq, InflightInfo { len, send_time: now, retransmitted: false });
+        self.inflight.insert(
+            seq,
+            InflightInfo {
+                len,
+                send_time: now,
+                retransmitted: false,
+            },
+        );
         self.stats.segments_sent += 1;
         if self.rto_deadline.is_none() {
             self.arm_rto(now);
@@ -348,7 +358,11 @@ impl Sender {
         if self.probe_deadline.is_none() {
             self.arm_probe(now);
         }
-        Some(Segment { seq, len, is_retransmit: false })
+        Some(Segment {
+            seq,
+            len,
+            is_retransmit: false,
+        })
     }
 
     fn is_sacked(&self, seq: u64) -> bool {
@@ -394,7 +408,9 @@ impl Sender {
     /// window is deemed lost. Enters recovery (one window reduction per
     /// episode) and queues the retransmissions.
     fn rack_detect(&mut self, now: Time) {
-        let Some(rack_time) = self.rack_time else { return };
+        let Some(rack_time) = self.rack_time else {
+            return;
+        };
         let reo = self.reo_wnd();
         // Use the larger of the smoothed and the most recent RTT: while a
         // queue is filling, the smoothed value lags and would mis-mark
@@ -450,8 +466,10 @@ impl Sender {
             // means some retransmission of ours was unnecessary: widen
             // the RACK reordering window (Linux's dynamic reo_wnd) and
             // undo the spurious reduction.
-            let is_probe_echo =
-                self.probe_echo.take_if(|&mut p| block.0 <= p && p < block.1).is_some();
+            let is_probe_echo = self
+                .probe_echo
+                .take_if(|&mut p| block.0 <= p && p < block.1)
+                .is_some();
             if !is_probe_echo {
                 self.reo_quarters = (self.reo_quarters + 1).min(8);
                 self.undo_retrans -= 1;
@@ -492,7 +510,8 @@ impl Sender {
                         sample = Some(now.saturating_sub(info.send_time));
                     }
                     self.rack_time = Some(
-                        self.rack_time.map_or(info.send_time, |t| t.max(info.send_time)),
+                        self.rack_time
+                            .map_or(info.send_time, |t| t.max(info.send_time)),
                     );
                     self.inflight.remove(seq);
                 }
@@ -579,15 +598,26 @@ mod tests {
     const MSS: u32 = 1460;
 
     fn ai(ack: u64) -> AckInfo {
-        AckInfo { ack, sack: None, dsack: None }
+        AckInfo {
+            ack,
+            sack: None,
+            dsack: None,
+        }
     }
 
     fn ai_sack(ack: u64, sack: (u64, u64)) -> AckInfo {
-        AckInfo { ack, sack: Some(sack), dsack: None }
+        AckInfo {
+            ack,
+            sack: Some(sack),
+            dsack: None,
+        }
     }
 
     fn sender(total: Option<u64>) -> Sender {
-        let cfg = SenderConfig { total_bytes: total, ..SenderConfig::default() };
+        let cfg = SenderConfig {
+            total_bytes: total,
+            ..SenderConfig::default()
+        };
         let cc = Box::new(Cubic::new(cfg.mss, cfg.init_cwnd_segments));
         Sender::new(cfg, cc)
     }
@@ -654,7 +684,9 @@ mod tests {
         );
         assert!(s.in_recovery(), "RACK should have marked segment 1 lost");
         assert_eq!(s.stats().fast_retransmits, 1);
-        let r = s.poll_segment(t2 + Time::from_us(20)).expect("rext pending");
+        let r = s
+            .poll_segment(t2 + Time::from_us(20))
+            .expect("rext pending");
         assert!(r.is_retransmit);
         assert_eq!(r.seq, seg(1));
     }
@@ -700,7 +732,9 @@ mod tests {
         }
         assert!(retransmitted.contains(&seg(1)));
         assert!(
-            !retransmitted.iter().any(|&q| (seg(2)..seg(10)).contains(&q)),
+            !retransmitted
+                .iter()
+                .any(|&q| (seg(2)..seg(10)).contains(&q)),
             "SACKed range must not be retransmitted: {retransmitted:?}"
         );
     }
@@ -723,9 +757,12 @@ mod tests {
         assert!(s.in_recovery());
         let cwnd_reduced = s.cwnd();
         let _ = s.poll_segment(t2 + Time::from_us(20)); // spurious rext
-        // The "lost" original arrives: cumulative ack advances; then our
-        // retransmission shows up as a duplicate → DSACK.
-        s.on_ack(t2 + Time::from_us(100), ai(fresh.seq + u64::from(fresh.len)));
+                                                        // The "lost" original arrives: cumulative ack advances; then our
+                                                        // retransmission shows up as a duplicate → DSACK.
+        s.on_ack(
+            t2 + Time::from_us(100),
+            ai(fresh.seq + u64::from(fresh.len)),
+        );
         s.on_ack(
             t2 + Time::from_us(200),
             AckInfo {
@@ -750,13 +787,19 @@ mod tests {
         let t2 = now + Time::from_ms(1);
         let fresh = s.poll_segment(t2).expect("room");
         let recover_end = fresh.seq + u64::from(fresh.len);
-        s.on_ack(t2 + Time::from_us(10), ai_sack(seg(1), (fresh.seq, recover_end)));
+        s.on_ack(
+            t2 + Time::from_us(10),
+            ai_sack(seg(1), (fresh.seq, recover_end)),
+        );
         assert!(s.in_recovery());
         let _ = s.poll_segment(t2 + Time::from_us(20));
         // Everything through the recovery point gets acked.
         s.on_ack(t2 + Time::from_ms(1), ai(recover_end));
         assert!(!s.in_recovery());
-        assert!(s.cwnd() < cwnd_before, "window must shrink after genuine recovery");
+        assert!(
+            s.cwnd() < cwnd_before,
+            "window must shrink after genuine recovery"
+        );
     }
 
     #[test]
@@ -807,7 +850,7 @@ mod tests {
             ai_sack(seg(1), (fresh.seq, fresh.seq + u64::from(fresh.len))),
         );
         let _ = s.poll_segment(t2 + Time::from_us(20)); // rext of seg 1
-        // That retransmission is lost too; silence → probe resends it.
+                                                        // That retransmission is lost too; silence → probe resends it.
         let probe_at = s.timer_deadline().unwrap().max(t2 + Time::from_ms(5));
         s.on_timer(probe_at);
         let r = s.poll_segment(probe_at);
@@ -826,7 +869,11 @@ mod tests {
         assert_eq!(sent.iter().map(|x| u64::from(x.len)).sum::<u64>(), total);
         s.on_ack(Time::from_us(50), ai(total));
         assert!(s.finished());
-        assert_eq!(s.timer_deadline(), None, "timers disarmed when flight empties");
+        assert_eq!(
+            s.timer_deadline(),
+            None,
+            "timers disarmed when flight empties"
+        );
     }
 
     #[test]

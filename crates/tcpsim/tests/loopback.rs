@@ -41,7 +41,10 @@ struct Pipe {
 
 impl Pipe {
     fn new(total: u64, delay: Time, jitter: Time, loss: f64, cubic: bool, seed: u64) -> Self {
-        let cfg = SenderConfig { total_bytes: Some(total), ..SenderConfig::default() };
+        let cfg = SenderConfig {
+            total_bytes: Some(total),
+            ..SenderConfig::default()
+        };
         let cc: Box<dyn sprayer_tcp::CongestionControl> = if cubic {
             Box::new(Cubic::new(cfg.mss, cfg.init_cwnd_segments))
         } else {
@@ -73,7 +76,13 @@ impl Pipe {
                     Time(self.rng.below(self.jitter.0))
                 };
                 let arrival = depart + self.delay + jitter;
-                sched.at(arrival.max(now), Ev::Deliver { seq: seg.seq, len: seg.len });
+                sched.at(
+                    arrival.max(now),
+                    Ev::Deliver {
+                        seq: seg.seq,
+                        len: seg.len,
+                    },
+                );
             }
         }
         if let Some(deadline) = self.sender.rto_deadline() {
@@ -99,7 +108,13 @@ impl Model for Pipe {
                         if let Some(ack) = self.receiver.flush_delayed() {
                             sched.after(
                                 self.delay + Time::from_us(5),
-                                Ev::Ack { info: AckInfo { ack, sack: None, dsack: None } },
+                                Ev::Ack {
+                                    info: AckInfo {
+                                        ack,
+                                        sack: None,
+                                        dsack: None,
+                                    },
+                                },
                             );
                         }
                     }
@@ -173,8 +188,15 @@ fn reordering_causes_dup_acks_and_can_cause_spurious_retransmits() {
         Time::from_secs(30),
     );
     assert!(pipe.finished_at.is_some());
-    assert_eq!(pipe.receiver.delivered(), total, "no bytes may be lost to reordering");
-    assert!(pipe.receiver.ooo_arrivals() > 0, "jitter must reorder something");
+    assert_eq!(
+        pipe.receiver.delivered(),
+        total,
+        "no bytes may be lost to reordering"
+    );
+    assert!(
+        pipe.receiver.ooo_arrivals() > 0,
+        "jitter must reorder something"
+    );
     assert!(pipe.receiver.dup_acks_sent() > 0);
 }
 
@@ -210,7 +232,14 @@ fn conservation_bytes_delivered_never_exceed_bytes_sent() {
     for seed in 0..10 {
         let total = 300 * u64::from(MSS);
         let pipe = run(
-            Pipe::new(total, Time::from_us(20), Time::from_us(100), 0.05, true, seed),
+            Pipe::new(
+                total,
+                Time::from_us(20),
+                Time::from_us(100),
+                0.05,
+                true,
+                seed,
+            ),
             Time::from_secs(120),
         );
         let sent_bytes = pipe.sender.stats().segments_sent * u64::from(MSS);

@@ -101,8 +101,11 @@ mod tests {
     #[test]
     fn filter_restricts_to_large_flows() {
         let w = Time::from_us(150);
-        let events =
-            vec![(Time::from_us(10), 1), (Time::from_us(20), 2), (Time::from_us(30), 3)];
+        let events = vec![
+            (Time::from_us(10), 1),
+            (Time::from_us(20), 2),
+            (Time::from_us(30), 3),
+        ];
         let large: HashSet<u32> = [2].into_iter().collect();
         let counts = concurrent_flows(&events, Time::from_us(150), w, Some(&large));
         assert_eq!(counts, vec![1]);
@@ -148,8 +151,7 @@ mod tests {
         );
 
         let large = trace.large_flow_ids();
-        let large_counts =
-            concurrent_flows(&events, trace.duration, PAPER_WINDOW, Some(&large));
+        let large_counts = concurrent_flows(&events, trace.duration, PAPER_WINDOW, Some(&large));
         let large_stats = ConcurrencyStats::from_counts(&large_counts);
         assert!(
             large_stats.median <= 4.0,
@@ -157,6 +159,10 @@ mod tests {
             large_stats.median
         );
         assert!(large_stats.median < stats.median);
-        assert!(large_stats.p99 <= 12.0, "large-flow p99 {}", large_stats.p99);
+        assert!(
+            large_stats.p99 <= 12.0,
+            "large-flow p99 {}",
+            large_stats.p99
+        );
     }
 }

@@ -100,7 +100,9 @@ impl MoonGen {
         }
         let seq = self.seqs[idx];
         self.seqs[idx] = seq.wrapping_add(self.payload_len as u32);
-        let pkt = self.builder.tcp(self.flows[idx], seq, 0, TcpFlags::ACK, &payload);
+        let pkt = self
+            .builder
+            .tcp(self.flows[idx], seq, 0, TcpFlags::ACK, &payload);
         self.emitted += 1;
         (at, pkt)
     }

@@ -123,6 +123,9 @@ fn pareto(rng: &mut SimRng, xm: f64, alpha: f64, cap: f64) -> f64 {
     (xm / u.powf(1.0 / alpha)).min(cap)
 }
 
+/// Sampler returning `(flow_bytes, rate_bps)` for a newly spawned flow.
+type SizeRateSampler = Box<dyn FnMut(&mut SimRng) -> (f64, f64)>;
+
 impl SyntheticTrace {
     /// Generate a trace from `config`.
     pub fn generate(config: &TraceConfig) -> Self {
@@ -132,10 +135,10 @@ impl SyntheticTrace {
 
         // Mice and elephants are independent Poisson processes.
         let spawn = |rate_per_sec: f64,
-                         rng: &mut SimRng,
-                         mut size_rate: Box<dyn FnMut(&mut SimRng) -> (f64, f64)>,
-                         flows: &mut Vec<FlowRecord>,
-                         id: &mut u32| {
+                     rng: &mut SimRng,
+                     mut size_rate: SizeRateSampler,
+                     flows: &mut Vec<FlowRecord>,
+                     id: &mut u32| {
             let mut t = 0.0f64;
             let horizon = config.duration.as_secs_f64();
             loop {
@@ -171,7 +174,12 @@ impl SyntheticTrace {
             config.elephants_per_sec,
             &mut rng,
             Box::new(move |rng| {
-                let bytes = pareto(rng, c.elephant_min_bytes, c.elephant_alpha, c.elephant_cap_bytes);
+                let bytes = pareto(
+                    rng,
+                    c.elephant_min_bytes,
+                    c.elephant_alpha,
+                    c.elephant_cap_bytes,
+                );
                 let rate = lognormal(rng, c.elephant_rate_bps, 0.5);
                 (bytes, rate)
             }),
@@ -179,7 +187,10 @@ impl SyntheticTrace {
             &mut id,
         );
         flows.sort_by_key(|f| f.start);
-        SyntheticTrace { flows, duration: config.duration }
+        SyntheticTrace {
+            flows,
+            duration: config.duration,
+        }
     }
 
     /// Total bytes across all flows.
@@ -193,8 +204,12 @@ impl SyntheticTrace {
         if total == 0.0 {
             return 0.0;
         }
-        let large: u64 =
-            self.flows.iter().filter(|f| f.bytes > threshold).map(|f| f.bytes).sum();
+        let large: u64 = self
+            .flows
+            .iter()
+            .filter(|f| f.bytes > threshold)
+            .map(|f| f.bytes)
+            .sum();
         large as f64 / total
     }
 
@@ -206,7 +221,10 @@ impl SyntheticTrace {
     /// Weighted CDF of bytes by flow size (Fig. 1 "Bytes" series).
     pub fn bytes_by_size_cdf(&self) -> crate::cdf::WeightedCdf {
         Cdf::from_weighted(
-            self.flows.iter().map(|f| (f.bytes as f64, f.bytes as f64)).collect(),
+            self.flows
+                .iter()
+                .map(|f| (f.bytes as f64, f.bytes as f64))
+                .collect(),
         )
     }
 
@@ -232,7 +250,11 @@ impl SyntheticTrace {
 
     /// IDs of large flows (for the Fig. 2 "> 10 MB" series).
     pub fn large_flow_ids(&self) -> std::collections::HashSet<u32> {
-        self.flows.iter().filter(|f| f.is_large()).map(|f| f.id).collect()
+        self.flows
+            .iter()
+            .filter(|f| f.is_large())
+            .map(|f| f.id)
+            .collect()
     }
 }
 
@@ -259,7 +281,10 @@ mod tests {
         let t = trace();
         let cdf = t.flow_size_cdf();
         let median = cdf.quantile(0.5).unwrap();
-        assert!(median < 100_000.0, "median flow should be small, got {median}");
+        assert!(
+            median < 100_000.0,
+            "median flow should be small, got {median}"
+        );
         // And yet the byte-weighted CDF is dominated by the tail.
         let bytes = t.bytes_by_size_cdf();
         assert!(bytes.fraction_at(median) < 0.1);
@@ -288,11 +313,21 @@ mod tests {
 
     #[test]
     fn flow_record_helpers() {
-        let f = FlowRecord { id: 0, start: Time::ZERO, bytes: 15_000, rate_bps: 12_000.0 };
+        let f = FlowRecord {
+            id: 0,
+            start: Time::ZERO,
+            bytes: 15_000,
+            rate_bps: 12_000.0,
+        };
         assert_eq!(f.packets(), 10);
         assert_eq!(f.duration(), Time::from_secs(10));
         assert!(!f.is_large());
-        let big = FlowRecord { id: 1, start: Time::ZERO, bytes: LARGE_FLOW_BYTES + 1, rate_bps: 1.0 };
+        let big = FlowRecord {
+            id: 1,
+            start: Time::ZERO,
+            bytes: LARGE_FLOW_BYTES + 1,
+            rate_bps: 1.0,
+        };
         assert!(big.is_large());
     }
 

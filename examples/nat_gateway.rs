@@ -55,10 +55,16 @@ fn main() {
                 let t = client_flow(f);
                 let payload = splitmix64(u64::from(f) << 32 | u64::from(j)).to_be_bytes();
                 if j % 2 == 0 {
-                    mb.ingress(now, PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &payload));
+                    mb.ingress(
+                        now,
+                        PacketBuilder::new().tcp(t, j, 0, TcpFlags::ACK, &payload),
+                    );
                 } else {
                     let back = FiveTuple::tcp(t.dst_addr, 443, NAT_IP, ext_port[&t.dst_addr]);
-                    mb.ingress(now, PacketBuilder::new().tcp(back, j, 0, TcpFlags::ACK, &payload));
+                    mb.ingress(
+                        now,
+                        PacketBuilder::new().tcp(back, j, 0, TcpFlags::ACK, &payload),
+                    );
                 }
             }
         }
@@ -82,10 +88,16 @@ fn main() {
         for f in 0..flows {
             let t = client_flow(f);
             now += Time::from_us(2);
-            mb.ingress(now, PacketBuilder::new().tcp(t, 999, 1, TcpFlags::FIN | TcpFlags::ACK, b""));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, 999, 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+            );
             let back = FiveTuple::tcp(t.dst_addr, 443, NAT_IP, ext_port[&t.dst_addr]);
             now += Time::from_us(2);
-            mb.ingress(now, PacketBuilder::new().tcp(back, 999, 1, TcpFlags::FIN | TcpFlags::ACK, b""));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(back, 999, 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+            );
         }
         mb.run_until(now + Time::from_ms(5));
 
@@ -93,20 +105,35 @@ fn main() {
         let busy = s.per_core.iter().filter(|c| c.processed > 0).count();
         let redirects: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
         println!("== {mode} ==");
-        println!("  connections           : {flows} opened, {} ports back in pool", mb.nf().pool_len());
+        println!(
+            "  connections           : {flows} opened, {} ports back in pool",
+            mb.nf().pool_len()
+        );
         println!("  data packets forwarded: {}", egress.len());
         println!("  translation violations: {violations}");
         println!("  cores used            : {busy}/8");
         println!("  connection redirects  : {redirects}");
-        println!("  flow-table residue    : {} entries", mb.tables().total_entries());
+        println!(
+            "  flow-table residue    : {} entries",
+            mb.tables().total_entries()
+        );
         println!();
         assert_eq!(violations, 0);
-        assert_eq!(mb.tables().total_entries(), 0, "all flows must be torn down");
+        assert_eq!(
+            mb.tables().total_entries(),
+            0,
+            "all flows must be torn down"
+        );
     }
     println!("Same NAT, same traffic: Sprayer used every core (redirecting only");
     println!("SYN/FIN packets between cores) while RSS serialized each flow.");
 }
 
 fn client_flow(f: u32) -> FiveTuple {
-    FiveTuple::tcp(CLIENT_NET + 0x100 + f, 40_000 + (f % 1_000) as u16, SERVER_NET + f, 443)
+    FiveTuple::tcp(
+        CLIENT_NET + 0x100 + f,
+        40_000 + (f % 1_000) as u16,
+        SERVER_NET + f,
+        443,
+    )
 }

@@ -57,7 +57,12 @@ impl NetworkFunction for CounterNf {
         if let Some(tuple) = pkt.tuple() {
             // Guaranteed to run on the flow's designated core: local
             // writes are safe without any locking.
-            ctx.insert_local_flow(tuple.key(), FlowRecord { opened_at_packet: n });
+            ctx.insert_local_flow(
+                tuple.key(),
+                FlowRecord {
+                    opened_at_packet: n,
+                },
+            );
         }
         Verdict::Forward
     }
@@ -78,18 +83,27 @@ impl NetworkFunction for CounterNf {
 fn main() {
     for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
         let config = MiddleboxConfig::paper_testbed_with_cycles(mode, 2_000);
-        let nf = CounterNf { total_packets: AtomicU64::new(0), known_flow_packets: AtomicU64::new(0) };
+        let nf = CounterNf {
+            total_packets: AtomicU64::new(0),
+            known_flow_packets: AtomicU64::new(0),
+        };
         let mut mb = MiddleboxSim::new(config, nf);
 
         // One TCP connection: SYN, then a burst of data packets with
         // varying payloads (varying checksums — the spray key).
         let flow = FiveTuple::tcp(0x0a00_0001, 40_000, 0x5db8_d822, 443);
         let mut now = Time::ZERO;
-        mb.ingress(now, PacketBuilder::new().tcp(flow, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(flow, 0, 0, TcpFlags::SYN, b""),
+        );
         for i in 0..1_000u32 {
             now += Time::from_ns(500);
             let payload = splitmix64(u64::from(i)).to_be_bytes();
-            mb.ingress(now, PacketBuilder::new().tcp(flow, i, 0, TcpFlags::ACK, &payload));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(flow, i, 0, TcpFlags::ACK, &payload),
+            );
         }
         mb.run_until(now + Time::from_ms(10));
 
@@ -97,11 +111,11 @@ fn main() {
         let busy_cores = stats.per_core.iter().filter(|c| c.processed > 0).count();
         println!("== {mode} ==");
         println!("  packets forwarded : {}", stats.forwarded);
-        println!("  cores used        : {busy_cores} of {}", stats.per_core.len());
         println!(
-            "  per-core load     : {:?}",
-            stats.per_core_processed()
+            "  cores used        : {busy_cores} of {}",
+            stats.per_core.len()
         );
+        println!("  per-core load     : {:?}", stats.per_core_processed());
         println!(
             "  flow state found  : {} of 1000 regular packets",
             mb.nf().known_flow_packets.load(Ordering::Relaxed)

@@ -42,8 +42,9 @@ fn main() {
         };
         FiveTuple::tcp(0x0a00_0000 + f, 41_000, 0xc0a8_0001 + f, port)
     };
-    let syns: Vec<Packet> =
-        (0..flows).map(|f| PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b"")).collect();
+    let syns: Vec<Packet> = (0..flows)
+        .map(|f| PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b""))
+        .collect();
     let mut data = Vec::new();
     let mut corrupted = 0u32;
     for j in 0..40u32 {
@@ -72,19 +73,36 @@ fn main() {
     println!("workload: {flows} flows, {offered} packets offered, {corrupted} corrupted frames dropped at parse\n");
     for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
         let fw = FirewallNf::new(acl.clone());
-        let out = ThreadedMiddlebox::process_phases(
-            mode,
-            workers,
-            &fw,
-            vec![syns.clone(), data.clone()],
-        );
+        let out =
+            ThreadedMiddlebox::process_phases(mode, workers, &fw, vec![syns.clone(), data.clone()]);
         println!("== {mode} ({workers} worker threads) ==");
         println!("  forwarded          : {}", out.forwarded.len());
         println!("  dropped by policy  : {}", out.nf_drops);
-        println!("  admitted conns     : {}", fw.admitted.load(std::sync::atomic::Ordering::Relaxed));
-        println!("  rejected conns     : {}", fw.rejected.load(std::sync::atomic::Ordering::Relaxed));
+        println!(
+            "  admitted conns     : {}",
+            fw.admitted.load(std::sync::atomic::Ordering::Relaxed)
+        );
+        println!(
+            "  rejected conns     : {}",
+            fw.rejected.load(std::sync::atomic::Ordering::Relaxed)
+        );
         println!("  per-worker load    : {:?}", out.per_worker_processed);
         println!("  conn redirects     : {}", out.redirects);
+        println!(
+            "  queue/ring drops   : {}/{}",
+            out.stats.queue_drops, out.stats.ring_drops
+        );
+        println!(
+            "  max rx/ring depth  : {}/{}",
+            out.stats.max_rx_occupancy(),
+            out.stats.max_ring_occupancy()
+        );
+        println!("  unaccounted        : {}", out.stats.unaccounted());
+        assert_eq!(
+            out.stats.unaccounted(),
+            0,
+            "threaded runtime must conserve packets"
+        );
         println!();
     }
     println!("Policy outcomes are identical; only the distribution of work differs.");

@@ -10,23 +10,34 @@
 //! then answers the paper's implicit question directly: with this
 //! workload, how many of 8 cores would RSS actually keep busy?
 
-use sprayer_nic::RssConfig;
 use sprayer_net::FiveTuple;
+use sprayer_nic::RssConfig;
 use sprayer_sim::SimRng;
 use sprayer_trafficgen::concurrency::{concurrent_flows, ConcurrencyStats, PAPER_WINDOW};
 use sprayer_trafficgen::trace::{SyntheticTrace, TraceConfig, LARGE_FLOW_BYTES};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
     let trace = SyntheticTrace::generate(&TraceConfig::mawi_like(seed));
-    println!("synthetic backbone trace: {} flows, {:.1} GB over {:.0}s\n", trace.flows.len(), trace.total_bytes() as f64 / 1e9, trace.duration.as_secs_f64());
+    println!(
+        "synthetic backbone trace: {} flows, {:.1} GB over {:.0}s\n",
+        trace.flows.len(),
+        trace.total_bytes() as f64 / 1e9,
+        trace.duration.as_secs_f64()
+    );
 
     // Fig. 1 headline numbers.
     let share = trace.byte_share_above(LARGE_FLOW_BYTES);
     let median = trace.flow_size_cdf().quantile(0.5).unwrap_or(0.0);
     println!("elephants and mice (§2 / Fig. 1):");
     println!("  median flow size        : {median:.0} B");
-    println!("  bytes in >10 MB flows   : {:.1}% (paper: >75%)", share * 100.0);
+    println!(
+        "  bytes in >10 MB flows   : {:.1}% (paper: >75%)",
+        share * 100.0
+    );
 
     // Fig. 2 headline numbers.
     let events = trace.packet_events();
@@ -36,8 +47,14 @@ fn main() {
     let large = concurrent_flows(&events, trace.duration, PAPER_WINDOW, Some(&large_ids));
     let s_large = ConcurrencyStats::from_counts(&large);
     println!("\nconcurrency per 150us window (§2 / Fig. 2):");
-    println!("  all flows   : median {:.0}, p99 {:.0} (paper: 4 / 14)", s_all.median, s_all.p99);
-    println!("  >10MB flows : median {:.0}, p99 {:.0} (paper: 1 / 6)", s_large.median, s_large.p99);
+    println!(
+        "  all flows   : median {:.0}, p99 {:.0} (paper: 4 / 14)",
+        s_all.median, s_all.p99
+    );
+    println!(
+        "  >10MB flows : median {:.0}, p99 {:.0} (paper: 1 / 6)",
+        s_large.median, s_large.p99
+    );
 
     // The consequence for RSS: how many cores does each window engage?
     // Assign every flow its RSS queue (symmetric key, 8 cores) and count
@@ -58,15 +75,20 @@ fn main() {
             u32::from(rss.queue_for(&t))
         })
         .collect();
-    let events_by_queue: Vec<(sprayer_sim::Time, u32)> =
-        events.iter().map(|&(t, f)| (t, queue_of[f as usize])).collect();
+    let events_by_queue: Vec<(sprayer_sim::Time, u32)> = events
+        .iter()
+        .map(|&(t, f)| (t, queue_of[f as usize]))
+        .collect();
     let busy_queues = concurrent_flows(&events_by_queue, trace.duration, PAPER_WINDOW, None);
     let s_q = ConcurrencyStats::from_counts(&busy_queues);
 
     println!("\ncores an 8-core RSS middlebox would actually use per window:");
-    println!("  median {:.0}, p99 {:.0}, max {} of 8", s_q.median, s_q.p99, s_q.max);
-    let idle_fraction = busy_queues.iter().filter(|&&q| q < 8).count() as f64
-        / busy_queues.len() as f64;
+    println!(
+        "  median {:.0}, p99 {:.0}, max {} of 8",
+        s_q.median, s_q.p99, s_q.max
+    );
+    let idle_fraction =
+        busy_queues.iter().filter(|&&q| q < 8).count() as f64 / busy_queues.len() as f64;
     println!("  windows with idle cores : {:.1}%", idle_fraction * 100.0);
     println!("\nThis is the paper's motivation in one number: at packet timescales RSS");
     println!("leaves most cores idle, while spraying puts every packet on any free core.");

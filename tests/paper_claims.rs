@@ -28,7 +28,10 @@ fn sprayer_uses_all_cores_for_one_flow() {
         let config = MiddleboxConfig::paper_testbed_with_cycles(mode, 10_000);
         let mut mb = MiddleboxSim::new(config, SyntheticNf::for_simulator());
         let t = FiveTuple::tcp(0x0a000001, 40_000, 0x0a000002, 443);
-        mb.ingress(Time::ZERO, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""),
+        );
         let gap = LinkSpeed::TEN_GBE.frame_time(60);
         let horizon = Time::from_ms(10);
         let mut now = Time::ZERO;
@@ -36,7 +39,10 @@ fn sprayer_uses_all_cores_for_one_flow() {
         while now < horizon {
             now += gap;
             i += 1;
-            mb.ingress(now, PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)),
+            );
         }
         mb.advance_until(horizon);
         rates.push(mb.stats().processed() as f64 / horizon.as_secs_f64());
@@ -65,7 +71,10 @@ fn write_partition_holds_under_spraying() {
     for f in 0..48u32 {
         let t = FiveTuple::tcp(0x0a000000 + f, 40_000, 0xc0a80001, 443);
         let d = map.designated_for_tuple(&t);
-        assert!(mb.tables().peek(d, &t.key()).is_some(), "flow {f} state on designated core");
+        assert!(
+            mb.tables().peek(d, &t.key()).is_some(),
+            "flow {f} state on designated core"
+        );
         for core in 0..8 {
             if core != d {
                 assert!(
@@ -90,15 +99,30 @@ fn spraying_balances_per_core_load() {
         mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
         for i in 0..4_000u32 {
             now += Time::from_us(1);
-            mb.ingress(now, PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)),
+            );
         }
         mb.run_until(now + Time::from_ms(10));
-        let shares: Vec<f64> =
-            mb.stats().per_core_processed().iter().map(|&c| c as f64).collect();
+        let shares: Vec<f64> = mb
+            .stats()
+            .per_core_processed()
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
         indices.push(sprayer_sim::stats::jain_fairness_index(&shares));
     }
-    assert!(indices[0] < 0.2, "RSS: one of eight cores busy, Jain ~1/8, got {}", indices[0]);
-    assert!(indices[1] > 0.99, "Sprayer: all cores equal, got {}", indices[1]);
+    assert!(
+        indices[0] < 0.2,
+        "RSS: one of eight cores busy, Jain ~1/8, got {}",
+        indices[0]
+    );
+    assert!(
+        indices[1] > 0.99,
+        "Sprayer: all cores equal, got {}",
+        indices[1]
+    );
 }
 
 /// §4: non-TCP traffic is not sprayed — it falls back to per-flow RSS.
@@ -113,7 +137,12 @@ fn udp_is_never_sprayed() {
         mb.ingress(now, PacketBuilder::new().udp(t, &payload(i)));
     }
     mb.run_until(now + Time::from_ms(5));
-    let busy = mb.stats().per_core.iter().filter(|c| c.processed > 0).count();
+    let busy = mb
+        .stats()
+        .per_core
+        .iter()
+        .filter(|c| c.processed > 0)
+        .count();
     assert_eq!(busy, 1, "a UDP flow must stay on its RSS core");
 }
 
@@ -127,12 +156,19 @@ fn runtimes_agree_on_nat_outcomes() {
 
     // Threaded runtime.
     let nat = NatNf::new(NAT_IP, 10_000..11_000);
-    let syns: Vec<Packet> =
-        (0..flows).map(|f| PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b"")).collect();
+    let syns: Vec<Packet> = (0..flows)
+        .map(|f| PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b""))
+        .collect();
     let mut data = Vec::new();
     for j in 0..10u32 {
         for f in 0..flows {
-            data.push(PacketBuilder::new().tcp(tuple(f), j, 0, TcpFlags::ACK, &payload(f * 100 + j)));
+            data.push(PacketBuilder::new().tcp(
+                tuple(f),
+                j,
+                0,
+                TcpFlags::ACK,
+                &payload(f * 100 + j),
+            ));
         }
     }
     let threaded =
@@ -144,7 +180,10 @@ fn runtimes_agree_on_nat_outcomes() {
     let mut now = Time::ZERO;
     for f in 0..flows {
         now += Time::from_us(3);
-        mb.ingress(now, PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b""));
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b""),
+        );
     }
     mb.run_until(now + Time::from_ms(2));
     let _ = mb.take_egress();
@@ -156,7 +195,10 @@ fn runtimes_agree_on_nat_outcomes() {
     let sim_egress = mb.take_egress();
 
     // Same forward counts, and every egress packet translated.
-    assert_eq!(threaded.forwarded.len() as u64 - u64::from(flows), sim_egress.len() as u64);
+    assert_eq!(
+        threaded.forwarded.len() as u64 - u64::from(flows),
+        sim_egress.len() as u64
+    );
     for pkt in &threaded.forwarded {
         assert_eq!(pkt.tuple().unwrap().src_addr, NAT_IP);
     }
@@ -176,7 +218,10 @@ fn simulator_is_deterministic() {
         mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
         for i in 0..2_000u32 {
             now += Time::from_ns(700);
-            mb.ingress(now, PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)),
+            );
         }
         mb.run_until(now + Time::from_ms(5));
         (
@@ -204,7 +249,9 @@ fn batch_get_flows_works_under_both_modes() {
             Verdict::Forward
         }
         fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<u8>) -> Verdict {
-            let Some(t) = pkt.tuple() else { return Verdict::Drop };
+            let Some(t) = pkt.tuple() else {
+                return Verdict::Drop;
+            };
             // The batched lookup of §3.4.
             let keys = [t.key(), t.reversed().key()];
             let mut out = Vec::new();
@@ -225,9 +272,16 @@ fn batch_get_flows_works_under_both_modes() {
         mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
         for i in 0..100u32 {
             now += Time::from_us(1);
-            mb.ingress(now, PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)));
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i)),
+            );
         }
         mb.run_until(now + Time::from_ms(5));
-        assert_eq!(mb.stats().forwarded, 101, "{mode}: batch lookups must resolve");
+        assert_eq!(
+            mb.stats().forwarded,
+            101,
+            "{mode}: batch lookups must resolve"
+        );
     }
 }

@@ -1,0 +1,190 @@
+//! Cross-runtime equivalence: the deterministic simulator and the
+//! real-thread runtime must agree packet-for-packet on identical input.
+//!
+//! Both runtimes share the NIC classifier, the core map, and the NF —
+//! the only thing that differs is the execution engine (event heap vs OS
+//! threads). So for the same phases they must produce the same forwarded
+//! packet *multiset* (order differs: spraying reorders, threads race),
+//! the same redirect counts, and the same drop totals, in both dispatch
+//! modes — and both must satisfy the conservation identity
+//! `unaccounted() == 0` once drained.
+
+use sprayer::api::NetworkFunction;
+use sprayer::config::{DispatchMode, MiddleboxConfig};
+use sprayer::runtime_sim::MiddleboxSim;
+use sprayer::runtime_threads::{ThreadedMiddlebox, ThreadedOutcome};
+use sprayer::stats::MiddleboxStats;
+use sprayer_net::flow::splitmix64;
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_nf::firewall::{AclRule, Action, FirewallNf};
+use sprayer_nf::nat::NatNf;
+use sprayer_sim::Time;
+
+const NAT_IP: u32 = 0xc633_640a;
+const WORKERS: usize = 4;
+
+fn payload(i: u32) -> [u8; 8] {
+    splitmix64(u64::from(i)).to_be_bytes()
+}
+
+/// Flow `f`'s tuple: distinct client and server addresses per flow so a
+/// packet's (server, payload) pair survives NAT rewriting unchanged.
+fn tuple(f: u32, dst_port: u16) -> FiveTuple {
+    FiveTuple::tcp(0x0a00_0000 + f, 41_000, 0x5db8_d800 + f, dst_port)
+}
+
+/// SYN phase + data phase over `flows` flows; `port_of` picks each flow's
+/// server port (so the firewall workload can mix allowed/denied flows).
+fn phases(flows: u32, packets_per_flow: u32, port_of: impl Fn(u32) -> u16) -> Vec<Vec<Packet>> {
+    let syns = (0..flows)
+        .map(|f| PacketBuilder::new().tcp(tuple(f, port_of(f)), 0, 0, TcpFlags::SYN, b""))
+        .collect();
+    let mut data = Vec::new();
+    for j in 0..packets_per_flow {
+        for f in 0..flows {
+            data.push(PacketBuilder::new().tcp(
+                tuple(f, port_of(f)),
+                j,
+                0,
+                TcpFlags::ACK,
+                &payload(f * 1_000 + j),
+            ));
+        }
+    }
+    vec![syns, data]
+}
+
+/// Run `phases` through the simulator with the same phase barriers the
+/// threaded runtime's `process_phases` provides, drain fully, and return
+/// the forwarded packets plus the final stats.
+fn run_sim<NF: NetworkFunction>(
+    mode: DispatchMode,
+    nf: NF,
+    phases: &[Vec<Packet>],
+) -> (Vec<Packet>, MiddleboxStats) {
+    // Same core count as the threaded runtime, or the core maps (and
+    // hence redirect decisions) would differ.
+    let config = MiddleboxConfig {
+        num_cores: WORKERS,
+        ..MiddleboxConfig::paper_testbed(mode)
+    };
+    let mut mb = MiddleboxSim::new(config, nf);
+    let mut now = Time::ZERO;
+    let mut forwarded = Vec::new();
+    for phase in phases {
+        for pkt in phase {
+            // 1 µs apart: far below the Flow Director cap and any queue
+            // pressure, so nothing drops and steering decides everything.
+            now += Time::from_us(1);
+            mb.ingress(now, pkt.clone());
+        }
+        now += Time::from_ms(10);
+        mb.run_until(now);
+        assert!(mb.is_idle(), "phase must drain fully");
+        forwarded.extend(mb.take_egress().into_iter().map(|(_, p)| p));
+    }
+    (forwarded, mb.stats().clone())
+}
+
+fn run_threaded<NF: NetworkFunction>(
+    mode: DispatchMode,
+    nf: &NF,
+    phases: &[Vec<Packet>],
+) -> ThreadedOutcome {
+    ThreadedMiddlebox::process_phases(mode, WORKERS, nf, phases.to_vec())
+}
+
+/// Sorted multiset of raw frames (order-independent comparison).
+fn frame_multiset(pkts: &[Packet]) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = pkts.iter().map(|p| p.bytes().to_vec()).collect();
+    v.sort();
+    v
+}
+
+/// NAT-invariant projection: the server endpoint and payload identify the
+/// original packet regardless of which external port the NAT allocated
+/// (allocation order differs between runtimes).
+fn nat_projection(pkts: &[Packet]) -> Vec<(u32, u16, Vec<u8>)> {
+    let mut v: Vec<(u32, u16, Vec<u8>)> = pkts
+        .iter()
+        .map(|p| {
+            let t = p.tuple().expect("forwarded NAT packets parse");
+            (t.dst_addr, t.dst_port, p.payload().unwrap_or(&[]).to_vec())
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn assert_stats_agree(sim: &MiddleboxStats, thr: &MiddleboxStats, what: &str) {
+    assert_eq!(sim.unaccounted(), 0, "{what}: sim must conserve");
+    assert_eq!(thr.unaccounted(), 0, "{what}: threaded must conserve");
+    assert_eq!(sim.offered, thr.offered, "{what}: offered");
+    assert_eq!(sim.forwarded, thr.forwarded, "{what}: forwarded");
+    assert_eq!(sim.nf_drops, thr.nf_drops, "{what}: nf_drops");
+    assert_eq!(sim.redirects(), thr.redirects(), "{what}: redirect counts");
+    // At this gentle offered load neither runtime may drop pre-NF — and
+    // therefore the totals trivially agree.
+    assert_eq!(sim.pre_nf_drops(), 0, "{what}: sim pre-NF drops");
+    assert_eq!(thr.pre_nf_drops(), 0, "{what}: threaded pre-NF drops");
+}
+
+#[test]
+fn firewall_outcomes_are_identical_across_runtimes() {
+    // Ports 443 allowed, 8081 denied: flows alternate, so the verdict mix
+    // exercises both ACL paths.
+    let acl = vec![
+        AclRule::allow_dst_port(443),
+        AclRule::default_action(Action::Deny),
+    ];
+    let port_of = |f: u32| if f.is_multiple_of(2) { 443 } else { 8081 };
+    let work = phases(16, 12, port_of);
+
+    for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
+        let (sim_fwd, sim_stats) = run_sim(mode, FirewallNf::new(acl.clone()), &work);
+        let thr = run_threaded(mode, &FirewallNf::new(acl.clone()), &work);
+
+        // The firewall forwards frames unmodified, so the full byte-level
+        // multisets must coincide.
+        assert_eq!(
+            frame_multiset(&sim_fwd),
+            frame_multiset(&thr.forwarded),
+            "{mode}: forwarded frame multisets differ"
+        );
+        assert_stats_agree(&sim_stats, &thr.stats, &format!("firewall/{mode}"));
+        if mode == DispatchMode::Rss {
+            assert_eq!(thr.stats.redirects(), 0, "RSS never redirects");
+        } else {
+            assert!(
+                thr.stats.redirects() > 0,
+                "sprayed SYNs must mostly redirect"
+            );
+        }
+    }
+}
+
+#[test]
+fn nat_outcomes_are_identical_across_runtimes() {
+    let work = phases(12, 10, |_| 443);
+
+    for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
+        let (sim_fwd, sim_stats) = run_sim(mode, NatNf::new(NAT_IP, 10_000..11_000), &work);
+        let thr = run_threaded(mode, &NatNf::new(NAT_IP, 10_000..11_000), &work);
+
+        // Port allocation order is runtime-dependent, so compare on the
+        // NAT-invariant projection — and check the rewrite itself.
+        assert_eq!(
+            nat_projection(&sim_fwd),
+            nat_projection(&thr.forwarded),
+            "{mode}: forwarded packet multisets (modulo NAT port) differ"
+        );
+        for pkt in sim_fwd.iter().chain(thr.forwarded.iter()) {
+            assert_eq!(
+                pkt.tuple().unwrap().src_addr,
+                NAT_IP,
+                "{mode}: source must be translated"
+            );
+        }
+        assert_stats_agree(&sim_stats, &thr.stats, &format!("nat/{mode}"));
+    }
+}

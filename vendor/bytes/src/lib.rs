@@ -1,0 +1,5 @@
+//! Offline placeholder for `bytes`.
+//!
+//! No source file in this repository imports `bytes`; `sprayer_net`
+//! packets own plain `Vec<u8>` buffers. This empty crate satisfies the
+//! manifest dependency without network access.

@@ -1,0 +1,148 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset used by `sprayer-bench`'s microbenchmarks:
+//! `Criterion::benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a plain wall-clock loop (calibrated iteration count,
+//! median of a few samples) printed as ns/iter — enough to keep the
+//! relative-cost checks meaningful without the statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (reads and returns `value` through a volatile-ish
+/// path the optimizer must not see through).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Drives one benchmark's timed closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Override the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Finish the group (no-op; reporting happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target time per benchmark, split across samples.
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            target: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // Calibrate: find an iteration count that takes ~target/samples.
+        let mut iters = 1u64;
+        let per_sample = self.target / self.sample_size as u32;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= per_sample || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (per_sample.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<40} {median:>12.1} ns/iter ({iters} iters x {} samples)",
+            samples.len()
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the subset this repo uses: [`queue::SegQueue`] (unbounded
+//! MPMC) and [`queue::ArrayQueue`] (bounded MPMC). Both are implemented
+//! over `Mutex<VecDeque>` rather than lock-free algorithms: the API and
+//! semantics match crossbeam's, so real crossbeam is a drop-in swap once
+//! the registry is reachable, and the mutex versions are sound on any
+//! core count (this container exposes a single core, where lock-free
+//! buys nothing). The Sprayer runtime only ever pushes/pops in small
+//! batches, so the critical sections are short.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Unbounded MPMC FIFO queue (API of `crossbeam::queue::SegQueue`).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Append an element at the back.
+        pub fn push(&self, value: T) {
+            locked(&self.inner).push_back(value);
+        }
+
+        /// Remove the element at the front, if any.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.inner).pop_front()
+        }
+
+        /// True when the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.inner).is_empty()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            locked(&self.inner).len()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SegQueue {{ len: {} }}", self.len())
+        }
+    }
+
+    /// Bounded MPMC FIFO queue (API of `crossbeam::queue::ArrayQueue`).
+    ///
+    /// `push` fails with the rejected element when the queue is at
+    /// capacity — the backpressure signal the Sprayer dataplane turns
+    /// into accounted `queue_drops`/`ring_drops`.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// An empty queue with room for `capacity` elements.
+        ///
+        /// # Panics
+        /// Panics if `capacity` is zero (as crossbeam does).
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        /// Append at the back, or return `Err(value)` if full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = locked(&self.inner);
+            if q.len() >= self.capacity {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Append at the back, evicting (and returning) the front element
+        /// if the queue is full.
+        pub fn force_push(&self, value: T) -> Option<T> {
+            let mut q = locked(&self.inner);
+            let evicted = if q.len() >= self.capacity {
+                q.pop_front()
+            } else {
+                None
+            };
+            q.push_back(value);
+            evicted
+        }
+
+        /// Remove the element at the front, if any.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.inner).pop_front()
+        }
+
+        /// Maximum number of elements the queue can hold.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// True when the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.inner).is_empty()
+        }
+
+        /// True when the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.capacity
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            locked(&self.inner).len()
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "ArrayQueue {{ len: {}, capacity: {} }}",
+                self.len(),
+                self.capacity
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::{ArrayQueue, SegQueue};
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_bounds() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(()));
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn array_queue_force_push_evicts_front() {
+        let q = ArrayQueue::new(1);
+        assert_eq!(q.push(7), Ok(()));
+        assert_eq!(q.force_push(8), Some(7));
+        assert_eq!(q.pop(), Some(8));
+    }
+
+    #[test]
+    fn array_queue_is_mpmc() {
+        let q = std::sync::Arc::new(ArrayQueue::new(64));
+        let total = 4 * 500;
+        let popped = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let mut v = t * 1000 + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let popped = &popped;
+            for _ in 0..2 {
+                let q = q.clone();
+                s.spawn(move || loop {
+                    if q.pop().is_some() {
+                        popped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else if popped.load(std::sync::atomic::Ordering::Relaxed) == total {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(popped.load(std::sync::atomic::Ordering::Relaxed), total);
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand`.
+//!
+//! No source file in this repository imports `rand`; all randomness flows
+//! through `sprayer_sim::SimRng`, which is deterministic by design (the
+//! experiments must be reproducible). This empty crate satisfies the
+//! manifest dependency without network access. If a future change needs
+//! `rand` proper, drop the real crate in and delete this placeholder.

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io. This repo only uses serde
+//! as `#[derive(Serialize, Deserialize)]` annotations — no code path
+//! actually serializes through serde (experiment output is hand-written
+//! CSV/JSON; see `sprayer::stats::MiddleboxStats::to_json`). The traits
+//! here are empty markers and the re-exported derives expand to marker
+//! impls, so the annotations keep compiling and real serde can be swapped
+//! back in without source changes once the registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: the real
+/// trait is `Deserialize<'de>`, but marker usage never names it).
+pub trait Deserialize {}

@@ -1,0 +1,65 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and this repository
+//! only uses serde for `#[derive(Serialize, Deserialize)]` annotations on
+//! public types (no actual serialization happens through serde — the
+//! experiment binaries emit CSV/JSON by hand). These derives therefore
+//! expand to marker-trait impls, keeping the annotations (and the door to
+//! swapping in real serde later) without the dependency.
+
+use proc_macro::TokenStream;
+
+/// Extract the type name following `struct`/`enum` and emit a marker impl.
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    let mut generics = String::new();
+    while let Some(tt) = iter.next() {
+        let s = tt.to_string();
+        if s == "struct" || s == "enum" || s == "union" {
+            if let Some(ident) = iter.next() {
+                name = Some(ident.to_string());
+                // Capture a simple generic parameter list `<T, U>` if present.
+                if let Some(next) = iter.peek() {
+                    if next.to_string() == "<" {
+                        let mut depth = 0;
+                        for tt in iter.by_ref() {
+                            let t = tt.to_string();
+                            generics.push_str(&t);
+                            if t == "<" {
+                                depth += 1;
+                            } else if t == ">" {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            break;
+        }
+    }
+    match name {
+        // Generic types would need bound handling; no annotated type in this
+        // repo is generic, so skip the marker impl entirely for them.
+        Some(name) if generics.is_empty() => {
+            let imp = format!("impl {trait_path} for {name} {{}}");
+            imp.parse().unwrap_or_else(|_| TokenStream::new())
+        }
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "serde::Deserialize")
+}
