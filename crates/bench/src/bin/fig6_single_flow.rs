@@ -9,9 +9,10 @@
 //! Sprayer keeps 8 cores busy. For TCP, RSS falls to ≈2.5 Gbps at
 //! 10 000 cycles while Sprayer stays ≈9.4 Gbps.
 
-use sprayer::config::DispatchMode;
+use sprayer::config::{DispatchMode, ObsConfig};
 use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 fn mode_name(mode: DispatchMode) -> &'static str {
@@ -21,8 +22,27 @@ fn mode_name(mode: DispatchMode) -> &'static str {
     }
 }
 
+/// With `--trace`: rerun one short datapoint per mode with event tracing
+/// on and save the raw traces for `trace_report` (the CI trace-smoke
+/// step drives exactly this pair).
+fn save_traces() {
+    for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
+        let mut cfg = rate::RateConfig::paper(mode, 2_500, 4, 1);
+        cfg.duration = Time::from_ms(2);
+        cfg.obs = ObsConfig::tracing();
+        let r = rate::run(&cfg);
+        let trace = r.trace.expect("tracing enabled");
+        let path = format!("results/fig6_{}.trace", mode_name(mode));
+        match sprayer_obs::trace_io::save(&trace, std::path::Path::new(&path)) {
+            Ok(()) => println!("[saved {path}: {} events]", trace.events.len()),
+            Err(e) => eprintln!("failed to save {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let want_trace = std::env::args().any(|a| a == "--trace");
     let cycle_points: &[u64] = if quick {
         &[0, 2_500, 10_000]
     } else {
@@ -84,7 +104,13 @@ fn main() {
     }
     println!("{}", t6b.render());
     t6b.save_csv("fig6b_tcp_throughput");
-    save_json("fig6_telemetry", &json_array(&telemetry));
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("figure", "6");
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    save_json("fig6_telemetry", &reg.to_json());
+    if want_trace {
+        save_traces();
+    }
     println!(
         "paper shape: (a) Sprayer plateaus ~10 Mpps at 0 cycles (NIC cap) then wins up to ~8x;\n\
          (b) RSS decays to ~2.5 Gbps at 10k cycles, Sprayer stays near line rate."

@@ -11,6 +11,7 @@
 use sprayer::config::DispatchMode;
 use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 const CYCLES: u64 = 10_000;
@@ -117,7 +118,10 @@ fn main() {
     }
     println!("{}", t7b.render());
     t7b.save_csv("fig7b_tcp_throughput");
-    save_json("fig7_telemetry", &json_array(&telemetry));
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("figure", "7");
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    save_json("fig7_telemetry", &reg.to_json());
     println!(
         "paper shape: Sprayer flat (~1.5 Mpps / ~9 Gbps); RSS ramps with flows and\n\
          overtakes slightly once enough flows cover all cores (no reordering)."

@@ -5,10 +5,16 @@
 //! ≈20 µs at 10 000 cycles (queueing at one 70 %-utilized core) while
 //! Sprayer stays low (≈12 µs) because the same load spreads over eight
 //! cores.
+//!
+//! Percentiles come from the runtime-emitted sojourn histogram
+//! ([`sprayer::config::ObsConfig::latency`]); the full per-datapoint
+//! histograms land in `results/fig8_latency_telemetry.json` as one
+//! versioned [`sprayer_obs::MetricsRegistry`] document.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::latency;
+use sprayer_obs::MetricsRegistry;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -19,19 +25,47 @@ fn main() {
     };
 
     println!("== Figure 8: p99 RTT at 70% of the minimal processing rate (single flow) ==\n");
-    let mut table = Table::new(vec!["cycles", "load Mpps", "RSS p99 us", "Sprayer p99 us"]);
+    let mut table = Table::new(vec![
+        "cycles",
+        "load Mpps",
+        "RSS p99 us",
+        "Sprayer p99 us",
+        "RSS p999 us",
+        "Sprayer p999 us",
+    ]);
+    let mut datapoints: Vec<String> = Vec::new();
     for &cycles in cycle_points {
         let rss = latency::run(DispatchMode::Rss, cycles, 0.7, 1);
         let spray = latency::run(DispatchMode::Sprayer, cycles, 0.7, 1);
+        for (mode, r) in [("rss", &rss), ("sprayer", &spray)] {
+            datapoints.push(format!(
+                "{{\"figure\":\"8\",\"mode\":\"{mode}\",\"cycles\":{cycles},\
+                 \"offered_pps\":{:.1},\"p50_us\":{:.3},\"p99_us\":{:.3},\
+                 \"p999_us\":{:.3},\"sojourn_ns\":{}}}",
+                r.offered_pps,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+                r.sojourn.to_json()
+            ));
+        }
         table.row(vec![
             cycles.to_string(),
             fmt_f(rss.offered_pps / 1e6, 3),
             fmt_f(rss.p99_us, 2),
             fmt_f(spray.p99_us, 2),
+            fmt_f(rss.p999_us, 2),
+            fmt_f(spray.p999_us, 2),
         ]);
     }
     println!("{}", table.render());
     table.save_csv("fig8_latency");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("figure", "8");
+    reg.set_str("source", "runtime sojourn histogram (ObsConfig::latency)");
+    reg.set_f64("base_rtt_us", latency::BASE_RTT_US);
+    reg.set_raw_json("datapoints", json_array(&datapoints));
+    save_json("fig8_latency_telemetry", &reg.to_json());
     println!(
         "paper shape: flat ~10 us for Sprayer; RSS rises toward ~20 us as the busy\n\
          loop grows (one core at 70% utilization queues; eight cores at ~9% do not)."

@@ -18,10 +18,11 @@
 //! calibrated once so the 0-cycle point sits at the paper's ≈10 µs floor.
 
 use crate::scenarios::rate::RateConfig;
-use sprayer::config::{DispatchMode, MiddleboxConfig};
+use sprayer::config::{DispatchMode, MiddleboxConfig, ObsConfig};
 use sprayer::runtime_sim::MiddleboxSim;
 use sprayer_net::{PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
+use sprayer_obs::Histogram;
 use sprayer_sim::time::LinkSpeed;
 use sprayer_sim::Time;
 use sprayer_trafficgen::moongen::{Arrivals, MoonGen};
@@ -29,15 +30,24 @@ use sprayer_trafficgen::moongen::{Arrivals, MoonGen};
 /// Fixed out-of-model RTT component (µs): generator stack + wire + NIC.
 pub const BASE_RTT_US: f64 = 8.6;
 
-/// Result of a latency run.
-#[derive(Debug, Clone, Copy)]
+/// Result of a latency run. Percentiles come from the runtime-emitted
+/// sojourn histogram ([`sprayer::config::ObsConfig::latency`]), the same
+/// log-linear [`Histogram`] every runtime populates — not a bench-side
+/// sample buffer — so resolution is bounded (~1.6 % relative error) and
+/// the full distribution ships with the result.
+#[derive(Debug, Clone)]
 pub struct LatencyResult {
     /// 99th-percentile RTT in µs (middlebox + [`BASE_RTT_US`]).
     pub p99_us: f64,
+    /// 99.9th-percentile RTT in µs.
+    pub p999_us: f64,
     /// Median RTT in µs.
     pub p50_us: f64,
     /// Offered load in packets/s.
     pub offered_pps: f64,
+    /// The middlebox sojourn histogram itself (nanoseconds of simulated
+    /// time, [`BASE_RTT_US`] *not* included).
+    pub sojourn: Histogram,
 }
 
 /// The smaller of the two systems' processing capacities at `nf_cycles`
@@ -65,9 +75,11 @@ pub fn run(mode: DispatchMode, nf_cycles: u64, load: f64, seed: u64) -> LatencyR
         offered_pps: Some(offered),
         duration: Time::from_ms(50),
         seed,
+        obs: ObsConfig::latency(),
     };
 
-    let mb_config = MiddleboxConfig::paper_testbed_with_cycles(cfg.mode, cfg.nf_cycles);
+    let mut mb_config = MiddleboxConfig::paper_testbed_with_cycles(cfg.mode, cfg.nf_cycles);
+    mb_config.obs = cfg.obs;
     let mut mb = MiddleboxSim::new(mb_config, SyntheticNf::for_simulator());
     let mut gen = MoonGen::new(1, offered, Arrivals::Poisson, cfg.seed);
     // Install flow state.
@@ -90,11 +102,19 @@ pub fn run(mode: DispatchMode, nf_cycles: u64, load: f64, seed: u64) -> LatencyR
     }
     mb.advance_until(horizon + Time::from_ms(5));
 
-    let lat = mb.latency_us();
+    let sojourn = mb
+        .probes()
+        .expect("latency probes enabled")
+        .sojourn_ns
+        .clone();
+    assert!(!sojourn.is_empty(), "samples exist");
+    let us = |ns: Option<u64>| ns.expect("samples exist") as f64 / 1_000.0;
     LatencyResult {
-        p99_us: lat.p99().expect("samples exist") + BASE_RTT_US,
-        p50_us: lat.median().expect("samples exist") + BASE_RTT_US,
+        p99_us: us(sojourn.p99()) + BASE_RTT_US,
+        p999_us: us(sojourn.p999()) + BASE_RTT_US,
+        p50_us: us(sojourn.p50()) + BASE_RTT_US,
         offered_pps: offered,
+        sojourn,
     }
 }
 

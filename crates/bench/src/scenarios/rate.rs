@@ -6,11 +6,12 @@
 //! before the measurement so the synthetic NF's flow state exists, as in
 //! the paper's setup.
 
-use sprayer::config::{DispatchMode, MiddleboxConfig};
+use sprayer::config::{DispatchMode, MiddleboxConfig, ObsConfig};
 use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::stats::MiddleboxStats;
 use sprayer_net::{PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
+use sprayer_obs::{LatencyProbes, Trace};
 use sprayer_sim::time::LinkSpeed;
 use sprayer_sim::Time;
 use sprayer_trafficgen::moongen::{Arrivals, MoonGen};
@@ -30,6 +31,9 @@ pub struct RateConfig {
     pub duration: Time,
     /// RNG seed (flows "change randomly at every execution").
     pub seed: u64,
+    /// Observability switches applied to the middlebox (tracing, latency
+    /// histograms). Disabled — and zero-cost — by default.
+    pub obs: ObsConfig,
 }
 
 impl RateConfig {
@@ -42,6 +46,7 @@ impl RateConfig {
             offered_pps: None,
             duration: Time::from_ms(20),
             seed,
+            obs: ObsConfig::disabled(),
         }
     }
 }
@@ -63,6 +68,12 @@ pub struct RateResult {
     /// experiment binaries embed [`MiddleboxStats::to_json`] in their
     /// result files.
     pub stats: MiddleboxStats,
+    /// The captured event trace when [`RateConfig::obs`] requested one
+    /// (covers the whole run, warmup included).
+    pub trace: Option<Trace>,
+    /// Latency histograms when requested; values are nanoseconds of
+    /// simulated time.
+    pub probes: Option<LatencyProbes>,
 }
 
 impl RateResult {
@@ -73,7 +84,9 @@ impl RateResult {
 }
 
 /// Run one open-loop rate measurement with a custom middlebox config.
-pub fn run_with_config(cfg: &RateConfig, mb_config: MiddleboxConfig) -> RateResult {
+/// The scenario's [`RateConfig::obs`] switches override the model's.
+pub fn run_with_config(cfg: &RateConfig, mut mb_config: MiddleboxConfig) -> RateResult {
+    mb_config.obs = cfg.obs;
     let mut mb = MiddleboxSim::new(mb_config, SyntheticNf::for_simulator());
     let offered_pps = cfg
         .offered_pps
@@ -103,7 +116,7 @@ pub fn run_with_config(cfg: &RateConfig, mb_config: MiddleboxConfig) -> RateResu
     }
     mb.advance_until(horizon);
 
-    let stats = mb.stats();
+    let stats = mb.stats().clone();
     let processed = stats.processed() - processed_before;
     RateResult {
         processed_pps: processed as f64 / cfg.duration.as_secs_f64(),
@@ -111,7 +124,9 @@ pub fn run_with_config(cfg: &RateConfig, mb_config: MiddleboxConfig) -> RateResu
         nic_cap_drops: stats.nic_cap_drops,
         queue_drops: stats.queue_drops,
         per_core: stats.per_core_processed(),
-        stats: stats.clone(),
+        probes: mb.probes().cloned(),
+        trace: mb.take_trace(),
+        stats,
     }
 }
 
@@ -147,7 +162,8 @@ pub fn per_core_jain(cfg: &RateConfig) -> f64 {
 /// A sanity audit used by tests: the synthetic NF must have found its
 /// flow state for (nearly) every measured packet.
 pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
-    let mb_config = MiddleboxConfig::paper_testbed_with_cycles(cfg.mode, cfg.nf_cycles);
+    let mut mb_config = MiddleboxConfig::paper_testbed_with_cycles(cfg.mode, cfg.nf_cycles);
+    mb_config.obs = cfg.obs;
     let mut mb = MiddleboxSim::new(mb_config, SyntheticNf::for_simulator());
     let offered_pps = cfg
         .offered_pps
@@ -171,7 +187,7 @@ pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
         mb.ingress(at, pkt);
     }
     mb.advance_until(horizon);
-    let stats = mb.stats();
+    let stats = mb.stats().clone();
     let processed = stats.processed() - processed_before;
     let missing = mb
         .nf()
@@ -184,7 +200,9 @@ pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
             nic_cap_drops: stats.nic_cap_drops,
             queue_drops: stats.queue_drops,
             per_core: stats.per_core_processed(),
-            stats: stats.clone(),
+            probes: mb.probes().cloned(),
+            trace: mb.take_trace(),
+            stats,
         },
         missing,
     )

@@ -21,7 +21,7 @@
 //!   contents for the same reason (RFC 7323 timestamps vary per packet
 //!   on real Linux).
 
-use sprayer::config::{DispatchMode, MiddleboxConfig};
+use sprayer::config::{DispatchMode, MiddleboxConfig, ObsConfig};
 use sprayer::runtime_sim::MiddleboxSim;
 use sprayer_net::{FiveTuple, FlowKey, Packet, PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
@@ -62,6 +62,9 @@ pub struct TcpConfig {
     pub hop_delay: Time,
     /// Random endpoints seed.
     pub seed: u64,
+    /// Observability switches applied to the middlebox (tracing, latency
+    /// histograms). Disabled — and zero-cost — by default.
+    pub obs: ObsConfig,
 }
 
 impl TcpConfig {
@@ -76,6 +79,7 @@ impl TcpConfig {
             cc: Cc::Cubic,
             hop_delay: Time::from_us(2),
             seed,
+            obs: ObsConfig::disabled(),
         }
     }
 }
@@ -108,6 +112,12 @@ pub struct TcpResult {
     /// Middlebox telemetry for the whole run (warmup included), same
     /// block as [`crate::scenarios::rate::RateResult::stats`].
     pub stats: sprayer::stats::MiddleboxStats,
+    /// The captured event trace when [`TcpConfig::obs`] requested one
+    /// (covers the whole run, warmup included).
+    pub trace: Option<sprayer_obs::Trace>,
+    /// Latency histograms when requested; values are nanoseconds of
+    /// simulated time. (`probes` was taken: tail-loss probes above.)
+    pub latency_probes: Option<sprayer_obs::LatencyProbes>,
 }
 
 impl TcpResult {
@@ -577,8 +587,10 @@ pub fn run(cfg: &TcpConfig) -> TcpResult {
 }
 
 /// Run with an explicit middlebox model (ablations: subset spraying,
-/// ring-cost variants, uncapped NIC).
-pub fn run_with_mb_config(cfg: &TcpConfig, mb_config: MiddleboxConfig) -> TcpResult {
+/// ring-cost variants, uncapped NIC). The scenario's [`TcpConfig::obs`]
+/// switches override the model's.
+pub fn run_with_mb_config(cfg: &TcpConfig, mut mb_config: MiddleboxConfig) -> TcpResult {
+    mb_config.obs = cfg.obs;
     let warmup = cfg.warmup;
     let horizon = cfg.warmup + cfg.duration;
     let mut sim = Simulation::new(TcpScenario::with_mb_config(cfg.clone(), mb_config));
@@ -590,7 +602,7 @@ pub fn run_with_mb_config(cfg: &TcpConfig, mb_config: MiddleboxConfig) -> TcpRes
     sim.schedule(horizon, Ev::Finish);
     sim.run();
 
-    let scenario = sim.into_model();
+    let mut scenario = sim.into_model();
     let secs = cfg.duration.as_secs_f64();
     let mut per_flow_bps = Vec::new();
     let mut fast_retransmits = 0;
@@ -630,6 +642,8 @@ pub fn run_with_mb_config(cfg: &TcpConfig, mb_config: MiddleboxConfig) -> TcpRes
         reo_wnd_us,
         delivered,
         stats: scenario.mb.stats().clone(),
+        latency_probes: scenario.mb.probes().cloned(),
+        trace: scenario.mb.take_trace(),
     }
 }
 

@@ -21,6 +21,76 @@ impl core::fmt::Display for DispatchMode {
     }
 }
 
+/// Observability switches shared by both runtimes.
+///
+/// Both cost *nothing* when off: the runtimes hold an `Option` per
+/// facility and skip clock reads, flow hashing, and event recording
+/// entirely on the `None` path (verified by the `obs` group in
+/// `crates/bench/benches/microbench.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Record per-packet [`sprayer_obs::TraceEvent`]s into bounded
+    /// per-core rings (retrievable as a [`sprayer_obs::Trace`]).
+    pub trace: bool,
+    /// Populate the [`sprayer_obs::LatencyProbes`] histograms
+    /// (sojourn, queue wait, redirect latency).
+    pub latency: bool,
+    /// Capacity of each per-core trace ring, in events. When a ring
+    /// fills, further events on that core are counted and discarded —
+    /// tracing never grows unbounded.
+    pub trace_ring_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Default per-core trace-ring capacity (64 Ki events ≈ 3 MiB/core).
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Everything off — the default.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            trace: false,
+            latency: false,
+            trace_ring_capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Latency histograms only (no event ring).
+    pub fn latency() -> Self {
+        ObsConfig {
+            latency: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Full tracing + latency histograms at the default ring capacity.
+    pub fn tracing() -> Self {
+        ObsConfig {
+            trace: true,
+            latency: true,
+            trace_ring_capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Full tracing with an explicit per-core ring capacity.
+    pub fn tracing_with_capacity(trace_ring_capacity: usize) -> Self {
+        ObsConfig {
+            trace_ring_capacity,
+            ..Self::tracing()
+        }
+    }
+
+    /// True if any facility is enabled (timestamps must be taken).
+    pub fn any(&self) -> bool {
+        self.trace || self.latency
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::disabled()
+    }
+}
+
 /// Parameters of the simulated middlebox server.
 ///
 /// Defaults reproduce the paper's testbed (§5): 8 worker cores on a
@@ -73,6 +143,9 @@ pub struct MiddleboxConfig {
     pub spray_subset_k: Option<usize>,
     /// Link speed of the NIC ports.
     pub link: LinkSpeed,
+    /// Observability switches (tracing, latency histograms). Off by
+    /// default; zero-cost when off.
+    pub obs: ObsConfig,
 }
 
 impl MiddleboxConfig {
@@ -95,6 +168,7 @@ impl MiddleboxConfig {
             },
             spray_subset_k: None,
             link: LinkSpeed::TEN_GBE,
+            obs: ObsConfig::disabled(),
         }
     }
 

@@ -31,6 +31,10 @@
 //! | [`runtime_threads`] | a real `std::thread` runtime over crossbeam rings, functionally equivalent |
 //! | [`stats`] | per-core and aggregate runtime statistics |
 //!
+//! Optional per-packet event tracing and latency histograms live in the
+//! `sprayer-obs` crate and are switched on per run via
+//! [`config::ObsConfig`] (off — and zero-cost — by default).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -94,7 +98,7 @@ pub mod tables;
 pub use api::{
     Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, StateDecl, Verdict,
 };
-pub use config::{DispatchMode, MiddleboxConfig};
+pub use config::{DispatchMode, MiddleboxConfig, ObsConfig};
 pub use coremap::CoreMap;
 pub use runtime_sim::MiddleboxSim;
 pub use runtime_threads::ThreadedMiddlebox;

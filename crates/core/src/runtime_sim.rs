@@ -21,9 +21,15 @@ use crate::stats::MiddleboxStats;
 use crate::tables::LocalTables;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig, RxSteering};
+use sprayer_obs::{
+    DropKind, EventKind, ExpectedCounts, LatencyProbes, Trace, TraceEvent, TraceMeta, TraceRing,
+};
 use sprayer_sim::{BoundedFifo, Reservoir, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Trace timestamps are simulated-time picoseconds: 10^6 ticks/µs.
+const SIM_TICKS_PER_US: u64 = 1_000_000;
 
 /// One unit of work queued at a core.
 #[derive(Debug)]
@@ -33,6 +39,44 @@ struct Job {
     arrival: Time,
     /// Whether this job came in through the inter-core ring.
     via_ring: bool,
+    /// Arrival ordinal (trace packet id). Always assigned — a counter
+    /// bump — so traces from partial captures still have stable ids.
+    id: u64,
+    /// Stable flow hash for trace events; 0 when tracing is off or the
+    /// packet has no parseable tuple.
+    flow: u64,
+    /// When the redirect push happened, for ring-latency probes.
+    relayed_at: Option<Time>,
+}
+
+/// The simulator's trace buffer plus the sequence counter (single
+/// threaded here, so a plain integer).
+///
+/// Unlike the threaded runtime — where each worker owns a ring so
+/// recording is lock-free — the single-threaded simulator records every
+/// core's events into *one* ring (each event carries its core id). One
+/// sequential write stream is markedly cheaper than eight interleaved
+/// ones, and the bound becomes global: `num_cores ×` the configured
+/// per-core capacity.
+struct SimTracer {
+    ring: TraceRing,
+    seq: u64,
+}
+
+impl SimTracer {
+    fn emit(&mut self, core: usize, ts: Time, kind: EventKind, flow: u64, pkt: u64, aux: u64) {
+        let ev = TraceEvent {
+            seq: self.seq,
+            ts: ts.as_ps(),
+            core: core as u16,
+            kind,
+            flow,
+            pkt,
+            aux,
+        };
+        self.seq += 1;
+        self.ring.push(ev);
+    }
 }
 
 /// What the core will do when its current service completes.
@@ -73,6 +117,10 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     stats: MiddleboxStats,
     egress: Vec<(Time, Packet)>,
     latency_us: Reservoir,
+    /// Present iff `config.obs.trace`.
+    tracer: Option<SimTracer>,
+    /// Present iff `config.obs.latency`.
+    probes: Option<LatencyProbes>,
 }
 
 impl<NF: NetworkFunction> MiddleboxSim<NF> {
@@ -108,6 +156,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             })
             .collect();
         let stats = MiddleboxStats::new(config.num_cores);
+        let tracer = config.obs.trace.then(|| SimTracer {
+            ring: TraceRing::new(config.obs.trace_ring_capacity * config.num_cores),
+            seq: 0,
+        });
+        let probes = config.obs.latency.then(LatencyProbes::new);
         MiddleboxSim {
             nic: Nic::new(nic_config),
             coremap,
@@ -122,7 +175,16 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             stats,
             egress: Vec::new(),
             latency_us: Reservoir::new(200_000),
+            tracer,
+            probes,
             config,
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, core: usize, ts: Time, kind: EventKind, flow: u64, pkt: u64, aux: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.emit(core, ts, kind, flow, pkt, aux);
         }
     }
 
@@ -139,6 +201,41 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// End-to-end latency samples (arrival → NF completion), microseconds.
     pub fn latency_us(&self) -> &Reservoir {
         &self.latency_us
+    }
+
+    /// The runtime-emitted latency histograms, when
+    /// [`crate::config::ObsConfig::latency`] is on. Values are
+    /// nanoseconds of simulated time.
+    pub fn probes(&self) -> Option<&LatencyProbes> {
+        self.probes.as_ref()
+    }
+
+    /// Detach the captured event trace, when
+    /// [`crate::config::ObsConfig::trace`] is on.
+    ///
+    /// Consumes the tracer (recording stops), stamps the trace with the
+    /// current [`MiddleboxStats`] as the expected counts, and merges
+    /// the per-core rings into global sequence order. Call once, after
+    /// the run.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let tracer = self.tracer.take()?;
+        let s = &self.stats;
+        let meta = TraceMeta {
+            runtime: "sim".to_string(),
+            ticks_per_us: SIM_TICKS_PER_US,
+            num_cores: self.config.num_cores,
+            expected: Some(ExpectedCounts {
+                offered: s.offered,
+                processed: s.processed(),
+                forwarded: s.forwarded,
+                nf_drops: s.nf_drops,
+                nic_cap_drops: s.nic_cap_drops,
+                queue_drops: s.queue_drops,
+                ring_drops: s.ring_drops,
+                redirects: s.redirects(),
+            }),
+        };
+        Some(Trace::assemble(meta, vec![tracer.ring]))
     }
 
     /// The flow tables (for assertions about state placement).
@@ -179,9 +276,18 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     pub fn ingress(&mut self, now: Time, pkt: Packet) {
         self.advance_until(now);
         self.now = self.now.max(now);
+        let id = self.stats.offered;
         self.stats.offered += 1;
+        // The flow hash is only needed for trace events; skip the
+        // (cheap but nonzero) mix entirely when tracing is off.
+        let flow = if self.tracer.is_some() {
+            pkt.tuple().map_or(0, |t| t.key().stable_hash())
+        } else {
+            0
+        };
 
         let (queue, steering) = self.nic.steer(&pkt);
+        let core = usize::from(queue);
 
         // The 82599's Flow Director rate limitation (§5): packets on the
         // perfect-filter path are admitted at no more than the cap;
@@ -191,6 +297,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 let interval = Time::from_ps((1e12 / cap) as u64);
                 if now < self.nic_admit_free {
                     self.stats.nic_cap_drops += 1;
+                    self.trace(
+                        core,
+                        now,
+                        EventKind::Drop,
+                        flow,
+                        id,
+                        DropKind::NicCap.to_aux(),
+                    );
                     return;
                 }
                 // Work-conserving limiter with one interval of credit:
@@ -201,16 +315,27 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             }
         }
 
-        let core = usize::from(queue);
         let job = Job {
             pkt,
             arrival: now,
             via_ring: false,
+            id,
+            flow,
+            relayed_at: None,
         };
         if self.cores[core].rx.push(job).is_err() {
             self.stats.queue_drops += 1;
+            self.trace(
+                core,
+                now,
+                EventKind::Drop,
+                flow,
+                id,
+                DropKind::QueueFull.to_aux(),
+            );
             return;
         }
+        self.trace(core, now, EventKind::IngressEnqueue, flow, id, 0);
         self.stats.per_core[core].observe_rx_depth(self.cores[core].rx.len() as u64);
         self.kick(core, now);
     }
@@ -250,6 +375,20 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         // Ring (connection) work first: §3.3 batches local and foreign
         // connection packets into the connection handler.
         let (job, service_cycles) = if let Some(job) = self.cores[core].ring.pop() {
+            if let Some(at) = job.relayed_at {
+                let transfer = now.saturating_sub(at);
+                self.trace(
+                    core,
+                    now,
+                    EventKind::RedirectIn,
+                    job.flow,
+                    job.id,
+                    transfer.as_ps(),
+                );
+                if let Some(p) = self.probes.as_mut() {
+                    p.redirect_ns.record(transfer.as_ps() / 1_000);
+                }
+            }
             let cycles = self.config.ring_dequeue_cycles + self.config.service_cycles_for(&job.pkt);
             (job, cycles)
         } else if let Some(job) = self.cores[core].rx.pop() {
@@ -271,9 +410,20 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             // this runtime's batch-size observation.
             let burst = self.cores[core].burst;
             self.stats.per_core[core].record_batch(burst);
+            if burst > 0 {
+                self.trace(core, now, EventKind::Drain, 0, TraceEvent::NO_PKT, burst);
+            }
             self.cores[core].burst = 0;
             return;
         };
+        // Service begins here; the NF-done event fires at completion.
+        self.trace(core, now, EventKind::NfStart, job.flow, job.id, 0);
+        if !job.via_ring {
+            if let Some(p) = self.probes.as_mut() {
+                p.queue_wait_ns
+                    .record(now.saturating_sub(job.arrival).as_ps() / 1_000);
+            }
+        }
         let done = now + self.config.clock.cycles_to_time(service_cycles);
         self.cores[core].burst += 1;
         self.stats.per_core[core].busy_cycles += service_cycles;
@@ -303,12 +453,30 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         match effect {
             Effect::Redirect(target) => {
                 self.stats.per_core[core].redirected_out += 1;
+                self.trace(
+                    core,
+                    now,
+                    EventKind::RedirectOut,
+                    job.flow,
+                    job.id,
+                    target as u64,
+                );
                 let job = Job {
                     via_ring: true,
+                    relayed_at: Some(now),
                     ..job
                 };
+                let (flow, id) = (job.flow, job.id);
                 if self.cores[target].ring.push(job).is_err() {
                     self.stats.ring_drops += 1;
+                    self.trace(
+                        target,
+                        now,
+                        EventKind::Drop,
+                        flow,
+                        id,
+                        DropKind::RingFull.to_aux(),
+                    );
                 } else {
                     self.stats.per_core[target]
                         .observe_ring_depth(self.cores[target].ring.len() as u64);
@@ -320,6 +488,9 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     mut pkt,
                     arrival,
                     via_ring,
+                    id,
+                    flow,
+                    relayed_at: _,
                 } = job;
                 let is_conn = pkt.is_connection_packet();
                 let mut ctx = self.tables.ctx(core);
@@ -336,8 +507,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 if via_ring {
                     cs.redirected_in += 1;
                 }
-                self.latency_us
-                    .add((now.saturating_sub(arrival)).as_us_f64());
+                let sojourn = now.saturating_sub(arrival);
+                self.latency_us.add(sojourn.as_us_f64());
+                if let Some(p) = self.probes.as_mut() {
+                    p.sojourn_ns.record(sojourn.as_ps() / 1_000);
+                }
+                let dropped = matches!(verdict, Verdict::Drop);
+                self.trace(core, now, EventKind::NfDone, flow, id, u64::from(dropped));
                 match verdict {
                     Verdict::Forward => {
                         self.stats.forwarded += 1;
@@ -637,6 +813,61 @@ mod tests {
             s.max_rx_occupancy() > 1,
             "backlog must show up in the rx high-water mark"
         );
+    }
+
+    #[test]
+    fn tracing_conserves_and_probes_match_stats() {
+        use crate::config::ObsConfig;
+        let mut config = cfg(DispatchMode::Sprayer, 5_000);
+        config.obs = ObsConfig::tracing();
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..3_000 {
+            now += Time::from_ns(100);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let s = mb.stats().clone();
+        assert_eq!(s.unaccounted(), 0);
+
+        // The runtime-emitted sojourn histogram agrees with the stats
+        // on event counts (the acceptance identity).
+        let probes = mb.probes().expect("latency probes enabled").clone();
+        assert_eq!(probes.sojourn_ns.count(), s.processed());
+        assert_eq!(
+            probes.redirect_ns.count(),
+            s.per_core.iter().map(|c| c.redirected_in).sum::<u64>()
+        );
+
+        // And the event trace satisfies every conservation identity.
+        let trace = mb.take_trace().expect("tracing enabled");
+        assert_eq!(trace.dropped, 0, "default ring capacity must suffice here");
+        let analysis = sprayer_obs::analyze(&trace);
+        assert!(
+            analysis.conservation.ok(),
+            "violations: {:?}",
+            analysis.conservation.violations
+        );
+        assert_eq!(analysis.conservation.nf_done, s.processed());
+        assert!(mb.take_trace().is_none(), "trace detaches once");
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let config = cfg(DispatchMode::Sprayer, 0);
+        assert!(!config.obs.any());
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        mb.ingress(
+            Time::ZERO,
+            PacketBuilder::new().tcp(flow(1), 0, 0, TcpFlags::SYN, b""),
+        );
+        mb.run_until(Time::from_ms(1));
+        assert!(mb.probes().is_none());
+        assert!(mb.take_trace().is_none());
     }
 
     #[test]

@@ -36,14 +36,22 @@
 //! threads, no async runtime.
 
 use crate::api::{NetworkFunction, Verdict};
-use crate::config::DispatchMode;
+use crate::config::{DispatchMode, ObsConfig};
 use crate::coremap::CoreMap;
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::{SharedCtx, SharedTables};
 use crossbeam::queue::ArrayQueue;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig};
+use sprayer_obs::{
+    DropKind, EventKind, ExpectedCounts, LatencyProbes, Trace, TraceEvent, TraceMeta, TraceRing,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Trace timestamps are wall-clock nanoseconds since the run's anchor
+/// `Instant`: 10^3 ticks/µs.
+const THREAD_TICKS_PER_US: u64 = 1_000;
 
 /// Configuration of the real-thread runtime.
 ///
@@ -73,6 +81,10 @@ pub struct ThreadedConfig {
     /// Bounded spin for ingress pushes into a full receive queue before
     /// counting a [`MiddleboxStats::queue_drops`].
     pub ingress_retries: usize,
+    /// Observability switches (tracing, latency histograms). Off by
+    /// default; zero-cost when off — no clock reads, no flow hashing,
+    /// no event recording.
+    pub obs: ObsConfig,
 }
 
 impl ThreadedConfig {
@@ -87,8 +99,24 @@ impl ThreadedConfig {
             ring_capacity: 1024,
             redirect_retries: 64,
             ingress_retries: 4096,
+            obs: ObsConfig::disabled(),
         }
     }
+}
+
+/// What flows through the receive queues and descriptor rings: the
+/// packet plus its trace identity and timestamps. The extra fields are
+/// plain copies — no clock is read unless observability is on.
+struct Desc {
+    pkt: Packet,
+    /// Arrival ordinal across the whole run (trace packet id).
+    id: u64,
+    /// Stable flow hash (0 when tracing is off or tuple unparseable).
+    flow: u64,
+    /// Ingress timestamp, ns since the run anchor (0 when obs is off).
+    arrival_ns: u64,
+    /// Redirect-push timestamp for ring-latency probes (0 until set).
+    relay_ns: u64,
 }
 
 /// Result of a threaded run.
@@ -107,14 +135,21 @@ pub struct ThreadedOutcome {
     /// [`crate::runtime_sim::MiddleboxSim::stats`]. Fully drained runs
     /// satisfy `stats.unaccounted() == 0`.
     pub stats: MiddleboxStats,
+    /// The captured event trace, when [`ObsConfig::trace`] was on:
+    /// per-worker rings plus the ingress thread's, merged in global
+    /// sequence order and stamped with the final stats.
+    pub trace: Option<Trace>,
+    /// Merged per-worker latency histograms, when [`ObsConfig::latency`]
+    /// was on. Values are wall-clock nanoseconds.
+    pub probes: Option<LatencyProbes>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
 pub struct ThreadedMiddlebox;
 
 struct WorkerShared<NF: NetworkFunction> {
-    rx: Vec<ArrayQueue<Packet>>,
-    rings: Vec<ArrayQueue<Packet>>,
+    rx: Vec<ArrayQueue<Desc>>,
+    rings: Vec<ArrayQueue<Desc>>,
     tables: SharedTables<NF::Flow>,
     coremap: CoreMap,
     ingress_done: AtomicBool,
@@ -130,6 +165,14 @@ struct WorkerShared<NF: NetworkFunction> {
     mode: DispatchMode,
     batch_size: usize,
     redirect_retries: usize,
+    obs: ObsConfig,
+    /// Wall-clock zero for trace timestamps (shared by all threads).
+    anchor: Instant,
+    /// Global trace-event sequence, shared by workers and ingress.
+    /// One relaxed `fetch_add` per recorded event; untouched when
+    /// tracing is off. Seeded per phase so sequences are continuous
+    /// across phase barriers.
+    trace_seq: AtomicU64,
 }
 
 /// Per-worker mutable state for one phase.
@@ -143,7 +186,11 @@ struct Worker<'a, NF: NetworkFunction> {
     ring_drops: u64,
     stats: CoreStats,
     /// Scratch batch buffer, reused across drains.
-    batch: Vec<(Packet, Option<usize>)>,
+    batch: Vec<(Desc, Option<usize>)>,
+    /// This worker's trace ring (iff tracing is on).
+    trace: Option<TraceRing>,
+    /// This worker's latency histograms (iff latency probes are on).
+    probes: Option<LatencyProbes>,
 }
 
 struct WorkerResult {
@@ -151,6 +198,8 @@ struct WorkerResult {
     nf_drops: u64,
     ring_drops: u64,
     stats: CoreStats,
+    trace: Option<TraceRing>,
+    probes: Option<LatencyProbes>,
 }
 
 impl ThreadedMiddlebox {
@@ -211,7 +260,18 @@ impl ThreadedMiddlebox {
             per_worker_processed: vec![0; num_workers],
             redirects: 0,
             stats: MiddleboxStats::new(num_workers),
+            trace: None,
+            probes: None,
         };
+        let obs = config.obs;
+        let anchor = Instant::now();
+        // The ingress thread records admission events into its own ring;
+        // worker rings accumulate here across phases.
+        let mut ingress_ring = obs.trace.then(|| TraceRing::new(obs.trace_ring_capacity));
+        let mut worker_rings: Vec<TraceRing> = Vec::new();
+        let mut probes_acc = obs.latency.then(LatencyProbes::new);
+        let mut next_pkt_id: u64 = 0;
+        let mut seq_base: u64 = 0;
         for packets in phases {
             stats.offered += packets.len() as u64;
             let shared = WorkerShared::<NF> {
@@ -230,6 +290,9 @@ impl ThreadedMiddlebox {
                 mode: config.mode,
                 batch_size: config.batch_size,
                 redirect_retries: config.redirect_retries,
+                obs,
+                anchor,
+                trace_seq: AtomicU64::new(seq_base),
             };
 
             let mut results: Vec<WorkerResult> = Vec::new();
@@ -246,20 +309,45 @@ impl ThreadedMiddlebox {
                 for pkt in packets {
                     let (queue, _) = nic.steer(&pkt);
                     let q = usize::from(queue);
+                    let id = next_pkt_id;
+                    next_pkt_id += 1;
+                    let flow = if obs.trace {
+                        pkt.tuple().map_or(0, |t| t.key().stable_hash())
+                    } else {
+                        0
+                    };
+                    let arrival_ns = if obs.any() {
+                        anchor.elapsed().as_nanos() as u64
+                    } else {
+                        0
+                    };
+                    // Allocate the event's sequence number *before* the
+                    // push so a worker's first event for this packet
+                    // (whose sequence is allocated after its pop) always
+                    // sorts after the admission event.
+                    let pre_seq = obs
+                        .trace
+                        .then(|| shared.trace_seq.fetch_add(1, Ordering::Relaxed));
                     // Claim before push: a consumer's per-batch decrement
                     // must never race the counter below zero.
                     shared.rx_remaining.fetch_add(1, Ordering::SeqCst);
-                    let mut pkt = pkt;
+                    let mut desc = Desc {
+                        pkt,
+                        id,
+                        flow,
+                        arrival_ns,
+                        relay_ns: 0,
+                    };
                     let mut admitted = false;
                     for _ in 0..=config.ingress_retries {
-                        match shared.rx[q].push(pkt) {
+                        match shared.rx[q].push(desc) {
                             Ok(()) => {
                                 admitted = true;
                                 rx_hwm[q] = rx_hwm[q].max(shared.rx[q].len() as u64);
                                 break;
                             }
                             Err(back) => {
-                                pkt = back;
+                                desc = back;
                                 rx_hwm[q] = rx_hwm[q].max(shared.rx[q].capacity() as u64);
                                 std::thread::yield_now();
                             }
@@ -269,6 +357,22 @@ impl ThreadedMiddlebox {
                         shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
                         stats.queue_drops += 1;
                     }
+                    if let (Some(ring), Some(seq)) = (ingress_ring.as_mut(), pre_seq) {
+                        let (kind, aux) = if admitted {
+                            (EventKind::IngressEnqueue, 0)
+                        } else {
+                            (EventKind::Drop, DropKind::QueueFull.to_aux())
+                        };
+                        ring.push(TraceEvent {
+                            seq,
+                            ts: arrival_ns,
+                            core: q as u16,
+                            kind,
+                            flow,
+                            pkt: id,
+                            aux,
+                        });
+                    }
                 }
                 shared.ingress_done.store(true, Ordering::SeqCst);
 
@@ -276,6 +380,7 @@ impl ThreadedMiddlebox {
                     results.push(h.join().expect("worker panicked"));
                 }
             });
+            seq_base = shared.trace_seq.load(Ordering::SeqCst);
 
             for (worker, r) in results.into_iter().enumerate() {
                 outcome.per_worker_processed[worker] += r.stats.processed;
@@ -286,9 +391,36 @@ impl ThreadedMiddlebox {
                 outcome.forwarded.extend(r.out);
                 stats.per_core[worker].merge(&r.stats);
                 stats.per_core[worker].observe_rx_depth(rx_hwm[worker]);
+                if let Some(ring) = r.trace {
+                    worker_rings.push(ring);
+                }
+                if let (Some(acc), Some(p)) = (probes_acc.as_mut(), r.probes.as_ref()) {
+                    acc.merge(p);
+                }
             }
         }
         outcome.redirects = stats.redirects();
+        outcome.trace = ingress_ring.map(|ir| {
+            let mut rings = worker_rings;
+            rings.push(ir);
+            let meta = TraceMeta {
+                runtime: "threads".to_string(),
+                ticks_per_us: THREAD_TICKS_PER_US,
+                num_cores: num_workers,
+                expected: Some(ExpectedCounts {
+                    offered: stats.offered,
+                    processed: stats.processed(),
+                    forwarded: stats.forwarded,
+                    nf_drops: stats.nf_drops,
+                    nic_cap_drops: stats.nic_cap_drops,
+                    queue_drops: stats.queue_drops,
+                    ring_drops: stats.ring_drops,
+                    redirects: stats.redirects(),
+                }),
+            };
+            Trace::assemble(meta, rings)
+        });
+        outcome.probes = probes_acc;
         outcome.stats = stats;
         outcome
     }
@@ -306,6 +438,32 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             ring_drops: 0,
             stats: CoreStats::default(),
             batch: Vec::new(),
+            trace: shared
+                .obs
+                .trace
+                .then(|| TraceRing::new(shared.obs.trace_ring_capacity)),
+            probes: shared.obs.latency.then(LatencyProbes::new),
+        }
+    }
+
+    /// Nanoseconds since the run anchor. Only called when obs is on.
+    fn now_ns(&self) -> u64 {
+        self.shared.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Record one trace event (no-op when tracing is off).
+    fn emit(&mut self, core: usize, ts: u64, kind: EventKind, flow: u64, pkt: u64, aux: u64) {
+        if let Some(ring) = self.trace.as_mut() {
+            let seq = self.shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+            ring.push(TraceEvent {
+                seq,
+                ts,
+                core: core as u16,
+                kind,
+                flow,
+                pkt,
+                aux,
+            });
         }
     }
 
@@ -336,11 +494,30 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             nf_drops: self.nf_drops,
             ring_drops: self.ring_drops,
             stats: self.stats,
+            trace: self.trace,
+            probes: self.probes,
         }
     }
 
     /// Run the NF on one packet that is processed on this worker.
-    fn handle(&mut self, mut pkt: Packet) {
+    fn handle(&mut self, desc: Desc, via_ring: bool) {
+        let Desc {
+            mut pkt,
+            id,
+            flow,
+            arrival_ns,
+            ..
+        } = desc;
+        let obs_on = self.shared.obs.any();
+        let start_ns = if obs_on { self.now_ns() } else { 0 };
+        self.emit(self.id, start_ns, EventKind::NfStart, flow, id, 0);
+        if !via_ring {
+            // Queue wait for locally-processed packets: admission to NF
+            // start. Redirected packets report ring latency instead.
+            if let Some(p) = self.probes.as_mut() {
+                p.queue_wait_ns.record(start_ns.saturating_sub(arrival_ns));
+            }
+        }
         let is_conn = pkt.is_connection_packet();
         let verdict = if is_conn {
             self.nf.connection_packets(&mut pkt, &mut self.ctx)
@@ -350,6 +527,21 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         self.stats.processed += 1;
         if is_conn {
             self.stats.connection_packets += 1;
+        }
+        let dropped = verdict == Verdict::Drop;
+        if obs_on {
+            let done_ns = self.now_ns();
+            if let Some(p) = self.probes.as_mut() {
+                p.sojourn_ns.record(done_ns.saturating_sub(arrival_ns));
+            }
+            self.emit(
+                self.id,
+                done_ns,
+                EventKind::NfDone,
+                flow,
+                id,
+                u64::from(dropped),
+            );
         }
         match verdict {
             Verdict::Forward => self.out.push(pkt),
@@ -380,9 +572,35 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             .fetch_sub(n, Ordering::SeqCst);
         self.stats.record_batch(n);
         self.stats.redirected_in += n;
+        let batch_ns = if self.shared.obs.any() {
+            self.now_ns()
+        } else {
+            0
+        };
+        self.emit(
+            self.id,
+            batch_ns,
+            EventKind::Drain,
+            0,
+            sprayer_obs::TraceEvent::NO_PKT,
+            n,
+        );
         let mut batch = std::mem::take(&mut self.batch);
-        for (pkt, _) in batch.drain(..) {
-            self.handle(pkt);
+        for (desc, _) in batch.drain(..) {
+            // Ring transfer latency: redirect push to this batch's drain.
+            let transfer = batch_ns.saturating_sub(desc.relay_ns);
+            self.emit(
+                self.id,
+                batch_ns,
+                EventKind::RedirectIn,
+                desc.flow,
+                desc.id,
+                transfer,
+            );
+            if let Some(p) = self.probes.as_mut() {
+                p.redirect_ns.record(transfer);
+            }
+            self.handle(desc, true);
         }
         self.batch = batch;
         true
@@ -397,15 +615,15 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         let mut redirects = 0u64;
         while self.batch.len() < self.shared.batch_size {
             match rx.pop() {
-                Some(pkt) => {
+                Some(desc) => {
                     // Core picker (§3.3): connection packets whose
                     // designated core is elsewhere are transferred, not
                     // processed.
                     let target = if self.shared.mode == DispatchMode::Sprayer
                         && !self.shared.stateless
-                        && pkt.is_connection_packet()
+                        && desc.pkt.is_connection_packet()
                     {
-                        pkt.tuple().and_then(|t| {
+                        desc.pkt.tuple().and_then(|t| {
                             let d = self.shared.coremap.designated_for_tuple(&t);
                             (d != self.id).then_some(d)
                         })
@@ -413,7 +631,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                         None
                     };
                     redirects += u64::from(target.is_some());
-                    self.batch.push((pkt, target));
+                    self.batch.push((desc, target));
                 }
                 None => break,
             }
@@ -434,11 +652,22 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         }
         self.shared.rx_remaining.fetch_sub(n, Ordering::SeqCst);
         self.stats.record_batch(n);
+        if self.trace.is_some() {
+            let batch_ns = self.now_ns();
+            self.emit(
+                self.id,
+                batch_ns,
+                EventKind::Drain,
+                0,
+                sprayer_obs::TraceEvent::NO_PKT,
+                n,
+            );
+        }
         let mut batch = std::mem::take(&mut self.batch);
-        for (pkt, target) in batch.drain(..) {
+        for (desc, target) in batch.drain(..) {
             match target {
-                Some(core) => self.push_redirect(core, pkt),
-                None => self.handle(pkt),
+                Some(core) => self.push_redirect(core, desc),
+                None => self.handle(desc, false),
             }
         }
         self.batch = batch;
@@ -448,16 +677,29 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// Transfer a connection-packet descriptor to `target`'s ring, with a
     /// bounded work-conserving spin; a descriptor that still doesn't fit
     /// is dropped and accounted in `ring_drops`.
-    fn push_redirect(&mut self, target: usize, pkt: Packet) {
+    fn push_redirect(&mut self, target: usize, mut desc: Desc) {
         self.stats.redirected_out += 1;
-        let mut pkt = pkt;
+        if self.shared.obs.any() {
+            desc.relay_ns = self.now_ns();
+        }
+        // Emitted *before* the push so this event's sequence precedes the
+        // consumer's RedirectIn (whose sequence is allocated after pop).
+        self.emit(
+            self.id,
+            desc.relay_ns,
+            EventKind::RedirectOut,
+            desc.flow,
+            desc.id,
+            target as u64,
+        );
+        let (flow, id) = (desc.flow, desc.id);
         for attempt in 0..=self.shared.redirect_retries {
             let ring = &self.shared.rings[target];
             self.stats.observe_ring_depth(ring.len() as u64);
-            match ring.push(pkt) {
+            match ring.push(desc) {
                 Ok(()) => return,
                 Err(back) => {
-                    pkt = back;
+                    desc = back;
                     if attempt == self.shared.redirect_retries {
                         break;
                     }
@@ -470,6 +712,19 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.ring_drops += 1;
+        let drop_ns = if self.shared.obs.any() {
+            self.now_ns()
+        } else {
+            0
+        };
+        self.emit(
+            target,
+            drop_ns,
+            EventKind::Drop,
+            flow,
+            id,
+            DropKind::RingFull.to_aux(),
+        );
         self.shared
             .redirects_outstanding
             .fetch_sub(1, Ordering::SeqCst);
@@ -715,6 +970,55 @@ mod tests {
             1,
             "ring occupancy can never exceed capacity"
         );
+    }
+
+    #[test]
+    fn tracing_conserves_and_probes_match_stats() {
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.obs = ObsConfig::tracing();
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        let s = &out.stats;
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+
+        let probes = out.probes.as_ref().expect("latency probes requested");
+        assert_eq!(
+            probes.sojourn_ns.count(),
+            s.processed(),
+            "one sojourn sample per processed packet"
+        );
+        let redirected_in: u64 = s.per_core.iter().map(|c| c.redirected_in).sum();
+        assert_eq!(
+            probes.redirect_ns.count(),
+            redirected_in,
+            "one ring-latency sample per consumed redirect"
+        );
+
+        let trace = out.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.meta.runtime, "threads");
+        assert_eq!(trace.meta.ticks_per_us, THREAD_TICKS_PER_US);
+        assert_eq!(trace.dropped, 0, "default ring fits this run");
+        let analysis = sprayer_obs::analyze(trace);
+        assert!(
+            analysis.conservation.ok(),
+            "violations: {:?}",
+            analysis.conservation.violations
+        );
+        assert_eq!(analysis.conservation.nf_done, s.processed());
+        assert_eq!(analysis.conservation.redirect_out, s.redirects());
+        assert_eq!(analysis.conservation.redirect_in, redirected_in);
+        // Sequences are globally unique even across the phase barrier.
+        let mut seqs: Vec<u64> = trace.events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), trace.events.len(), "duplicate trace sequences");
+    }
+
+    #[test]
+    fn disabled_obs_returns_no_trace_or_probes() {
+        let nf = TrackerNf;
+        let out = ThreadedMiddlebox::process(DispatchMode::Sprayer, 2, &nf, syn_phase(8));
+        assert!(out.trace.is_none());
+        assert!(out.probes.is_none());
     }
 
     #[test]

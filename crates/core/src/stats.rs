@@ -9,26 +9,12 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of buckets in a [`CoreStats::batch_hist`] batch-size histogram.
-pub const BATCH_HIST_BUCKETS: usize = 8;
-
-/// Bucket index for a batch of `n` packets: 1, 2, 3–4, 5–8, 9–16, 17–32,
-/// 33–64, ≥65.
-pub fn batch_bucket(n: u64) -> usize {
-    match n {
-        0 | 1 => 0,
-        2 => 1,
-        3..=4 => 2,
-        5..=8 => 3,
-        9..=16 => 4,
-        17..=32 => 5,
-        33..=64 => 6,
-        _ => 7,
-    }
-}
-
-/// Lower bound of each [`CoreStats::batch_hist`] bucket (for labeling).
-pub const BATCH_BUCKET_LO: [u64; BATCH_HIST_BUCKETS] = [1, 2, 3, 5, 9, 17, 33, 65];
+// The batch-size bucket math lives in `sprayer-obs` next to the
+// log-linear histogram it is a special case of (octaves of `n - 1`,
+// clamped to 8 buckets); re-exported here so existing callers and the
+// serialized `batch_hist` field shape are unchanged while the two
+// bucketings cannot drift apart.
+pub use sprayer_obs::{batch_bucket, BATCH_BUCKET_LO, BATCH_HIST_BUCKETS};
 
 /// Per-core counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]

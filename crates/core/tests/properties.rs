@@ -178,6 +178,54 @@ proptest! {
         }
     }
 
+    /// Trace-event conservation matches [`sprayer::stats::MiddleboxStats`]
+    /// on the threaded runtime for any worker count, dispatch mode, phase
+    /// split, and packet mix: the analyzer's counts derived purely from
+    /// the event stream must agree with the runtime's own counters, and
+    /// the analyzer must flag no violation.
+    #[test]
+    fn trace_event_conservation_matches_stats(
+        workers in 1usize..=6,
+        spray in any::<bool>(),
+        pkts in proptest::collection::vec((0u32..10, any::<bool>(), 0u8..2), 1..80),
+    ) {
+        let mut phases: Vec<Vec<Packet>> = vec![Vec::new(); 2];
+        for (i, &(flow, is_conn, phase)) in pkts.iter().enumerate() {
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            let payload = sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+            phases[usize::from(phase)].push(
+                PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload),
+            );
+        }
+
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let mut config = ThreadedConfig::new(mode, workers);
+        config.obs = sprayer::config::ObsConfig::tracing();
+        let out = ThreadedMiddlebox::run(&config, &ForwardAllNf, phases);
+
+        let trace = out.trace.expect("tracing enabled");
+        prop_assert_eq!(trace.dropped, 0, "default rings fit these runs");
+        let a = sprayer_obs::analyze(&trace);
+        prop_assert!(a.conservation.ok(), "violations: {:?}", a.conservation.violations);
+
+        let s = &out.stats;
+        prop_assert_eq!(a.conservation.nf_done, s.processed());
+        prop_assert_eq!(a.conservation.forwarded, s.forwarded);
+        prop_assert_eq!(a.conservation.nf_drops, s.nf_drops);
+        prop_assert_eq!(a.conservation.queue_drops, s.queue_drops);
+        prop_assert_eq!(a.conservation.ring_drops, s.ring_drops);
+        prop_assert_eq!(a.conservation.redirect_out, s.redirects());
+        prop_assert_eq!(
+            a.conservation.ingress_enqueued,
+            s.offered - s.queue_drops,
+            "one admission event per non-dropped offered packet"
+        );
+        // Probe counts line up with the stats too.
+        let probes = out.probes.expect("latency probes on");
+        prop_assert_eq!(probes.sojourn_ns.count(), s.processed());
+    }
+
     /// Capacity: a table never exceeds its configured entry limit, and
     /// inserts report TableFull exactly at the boundary.
     #[test]

@@ -89,6 +89,21 @@ impl MonitorNf {
         t
     }
 
+    /// Export the aggregated totals as a versioned telemetry document —
+    /// the monitor's "periodic aggregation" output in the unified
+    /// [`sprayer_obs::MetricsRegistry`] JSON format.
+    pub fn export_metrics(&self) -> sprayer_obs::MetricsRegistry {
+        let t = self.aggregate();
+        let mut reg = sprayer_obs::MetricsRegistry::new();
+        reg.set_str("nf", "monitor");
+        reg.set_u64("packets", t.packets);
+        reg.set_u64("bytes", t.bytes);
+        reg.set_u64("connection_packets", t.connection_packets);
+        reg.set_u64("connections_opened", t.connections_opened);
+        reg.set_u64("connections_closed", t.connections_closed);
+        reg
+    }
+
     fn shard(&self, core: usize) -> &StatShard {
         &self.shards[core % self.shards.len()]
     }
@@ -236,6 +251,31 @@ mod tests {
             1,
             "duplicate RST is idempotent"
         );
+    }
+
+    #[test]
+    fn export_metrics_carries_totals_and_schema_version() {
+        let (mon, mut tables, map) = harness();
+        let t = FiveTuple::tcp(1, 2, 3, 4);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        mon.connection_packets(&mut syn, &mut tables.ctx(map.designated_for_tuple(&t)));
+        let mut p = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"xyz");
+        mon.regular_packets(&mut p, &mut tables.ctx(0));
+
+        let json = mon.export_metrics().to_json();
+        let version = format!(
+            "\"schema_version\":{}",
+            sprayer_obs::TELEMETRY_SCHEMA_VERSION
+        );
+        for key in [
+            version.as_str(),
+            "\"nf\":\"monitor\"",
+            "\"packets\":2",
+            "\"connections_opened\":1",
+            "\"connections_closed\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Log-linear (HDR-style) histograms over `u64` values.
+//!
+//! Values below `2^sub_bits` get exact unit-width buckets; above that,
+//! each power-of-two octave is split into `2^sub_bits` equal sub-buckets,
+//! bounding the relative quantization error by `2^-sub_bits`. This is the
+//! classic HdrHistogram layout, sized here for full `u64` range with a
+//! few KiB of counters.
+//!
+//! The batch-size bucket math used by `sprayer::stats::CoreStats` lives
+//! here too ([`batch_bucket`]) and is defined *in terms of* the same
+//! octave indexing, with a unit test pinning the correspondence — the
+//! two bucketings cannot drift apart.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in a `CoreStats::batch_hist` batch-size histogram.
+pub const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Lower bound of each batch-size bucket (for labeling).
+pub const BATCH_BUCKET_LO: [u64; BATCH_HIST_BUCKETS] = [1, 2, 3, 5, 9, 17, 33, 65];
+
+/// Bucket index for a batch of `n` packets: 1, 2, 3–4, 5–8, 9–16, 17–32,
+/// 33–64, ≥65 — i.e. octaves of `n - 1`, clamped to the last bucket.
+pub fn batch_bucket(n: u64) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        ((64 - (n - 1).leading_zeros()) as usize).min(BATCH_HIST_BUCKETS - 1)
+    }
+}
+
+/// A log-linear histogram of `u64` samples.
+///
+/// `sub_bits` trades memory for precision: percentiles are exact below
+/// `2^sub_bits` and within a relative error of `2^-sub_bits` above.
+/// The default ([`Histogram::DEFAULT_SUB_BITS`] = 6) gives ≤1.6% error
+/// in ~30 KiB — ample for latency distributions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Sub-bucket resolution used by the runtimes' latency probes.
+    pub const DEFAULT_SUB_BITS: u32 = 6;
+
+    /// An empty histogram with `2^sub_bits` sub-buckets per octave.
+    /// `sub_bits` must be below 64.
+    pub fn new(sub_bits: u32) -> Self {
+        assert!(sub_bits < 64, "sub_bits must leave room for octaves");
+        // Highest index: value u64::MAX has msb 63, shift 63 - sub_bits,
+        // block shift+1 — so (64 - sub_bits) blocks beyond the linear one.
+        let len = ((64 - sub_bits as usize) + 1) << sub_bits;
+        Histogram {
+            sub_bits,
+            counts: vec![0; len],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// An empty histogram at the default resolution.
+    pub fn latency() -> Self {
+        Histogram::new(Self::DEFAULT_SUB_BITS)
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_index(&self, value: u64) -> usize {
+        let sub = 1u64 << self.sub_bits;
+        if value < sub {
+            value as usize
+        } else {
+            let msb = 63 - u64::from(value.leading_zeros());
+            let shift = msb - u64::from(self.sub_bits);
+            (((shift + 1) << self.sub_bits) + ((value >> shift) - sub)) as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `index`.
+    pub fn bucket_bounds(&self, index: usize) -> (u64, u64) {
+        let sub = 1u64 << self.sub_bits;
+        let block = index >> self.sub_bits;
+        if block == 0 {
+            (index as u64, index as u64 + 1)
+        } else {
+            let pos = (index as u64) & (sub - 1);
+            let shift = (block - 1) as u32;
+            let lo = (sub + pos) << shift;
+            (lo, lo.saturating_add(1u64 << shift))
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `count` samples of the same value.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        self.counts[idx] += count;
+        self.total += count;
+        self.sum += u128::from(value) * u128::from(count);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The value at quantile `q` (0.0..=1.0): the smallest bucket whose
+    /// cumulative count reaches `ceil(q * count)`, reported as the
+    /// midpoint of the bucket's representable values (exact in the
+    /// linear region). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = self.bucket_bounds(i);
+                // Midpoint of representable values, clamped to what was
+                // actually observed so min/max stay authoritative.
+                let mid = lo + (hi - 1 - lo) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Fold `other` into `self`. Panics if resolutions differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge histograms of different resolution"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_bounds(i).0, c))
+            .collect()
+    }
+
+    /// Serialize as a JSON object with sparse buckets. Field names are
+    /// part of the telemetry schema — keep them stable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"sub_bits\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+            self.sub_bits,
+            self.total,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.p50().unwrap_or(0),
+            self.p99().unwrap_or(0),
+            self.p999().unwrap_or(0),
+        );
+        for (i, (lo, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{lo},{c}]");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// The standard per-packet latency histograms both runtimes populate
+/// when `ObsConfig::latency` is on. All values are **nanoseconds** —
+/// simulated time in the simulator, wall time in the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyProbes {
+    /// Ingress enqueue → NF completion, one sample per processed packet.
+    pub sojourn_ns: Histogram,
+    /// Ingress enqueue → NF start, for packets processed where they
+    /// arrived (redirected packets are covered by `redirect_ns`).
+    pub queue_wait_ns: Histogram,
+    /// Redirect push → ring pickup on the designated core, one sample
+    /// per consumed redirect.
+    pub redirect_ns: Histogram,
+}
+
+impl LatencyProbes {
+    /// Empty probes at the default resolution.
+    pub fn new() -> Self {
+        LatencyProbes {
+            sojourn_ns: Histogram::latency(),
+            queue_wait_ns: Histogram::latency(),
+            redirect_ns: Histogram::latency(),
+        }
+    }
+
+    /// Fold `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &LatencyProbes) {
+        self.sojourn_ns.merge(&other.sojourn_ns);
+        self.queue_wait_ns.merge(&other.queue_wait_ns);
+        self.redirect_ns.merge(&other.redirect_ns);
+    }
+
+    /// Serialize the three histograms as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sojourn_ns\":{},\"queue_wait_ns\":{},\"redirect_ns\":{}}}",
+            self.sojourn_ns.to_json(),
+            self.queue_wait_ns.to_json(),
+            self.redirect_ns.to_json()
+        )
+    }
+}
+
+impl Default for LatencyProbes {
+    fn default() -> Self {
+        LatencyProbes::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let h = Histogram::new(6);
+        for v in 0..64u64 {
+            assert_eq!(h.bucket_index(v), v as usize);
+            assert_eq!(h.bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_index_for_all_octaves() {
+        for sub_bits in [0u32, 1, 4, 6] {
+            let h = Histogram::new(sub_bits);
+            // Every bucket's own bounds must map back to that bucket.
+            let len = ((64 - sub_bits as usize) + 1) << sub_bits;
+            for i in 0..len {
+                let (lo, hi) = h.bucket_bounds(i);
+                assert_eq!(h.bucket_index(lo), i, "sub_bits={sub_bits} lo of {i}");
+                assert_eq!(h.bucket_index(hi - 1), i, "sub_bits={sub_bits} hi-1 of {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_right_bucket() {
+        let h = Histogram::new(2); // octaves split in 4
+                                   // Linear: 0..4 exact; first octave block covers [4,8) in 4 buckets.
+        assert_eq!(h.bucket_index(3), 3);
+        assert_eq!(h.bucket_index(4), 4);
+        assert_eq!(h.bucket_index(5), 5);
+        assert_eq!(h.bucket_index(7), 7);
+        // Next octave [8,16): width-2 buckets.
+        assert_eq!(h.bucket_index(8), 8);
+        assert_eq!(h.bucket_index(9), 8);
+        assert_eq!(h.bucket_index(10), 9);
+        assert_eq!(h.bucket_bounds(8), (8, 10));
+        // Extremes.
+        assert_eq!(h.bucket_index(u64::MAX), h.counts.len() - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new(6);
+        for &v in &[100u64, 1_000, 12_345, 999_999, 1 << 40, u64::MAX / 3] {
+            let (lo, hi) = h.bucket_bounds(h.bucket_index(v));
+            assert!(lo <= v && v < hi);
+            let width = (hi - lo) as f64;
+            assert!(
+                width / (lo.max(1) as f64) <= 1.0 / 64.0 + 1e-12,
+                "bucket [{lo},{hi}) too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_mean() {
+        let mut h = Histogram::new(6);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(10);
+        h.record(20);
+        h.record_n(30, 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 90);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+        assert_eq!(h.mean(), Some(22.5));
+    }
+
+    #[test]
+    fn exact_quantiles_in_linear_region() {
+        let mut h = Histogram::new(6);
+        for v in 1..=50u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(25));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(50));
+        assert_eq!(h.p99(), Some(50));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new(4);
+        // A spread of values across several octaves.
+        for i in 0..1_000u64 {
+            h.record(i * i % 100_000);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+        }
+        // And bracketed by min/max.
+        assert!(vals[0] >= h.min().unwrap());
+        assert!(*vals.last().unwrap() <= h.max().unwrap());
+    }
+
+    #[test]
+    fn quantile_respects_relative_error() {
+        let mut h = Histogram::new(6);
+        for v in [1_000u64, 2_000, 4_000, 8_000, 16_000] {
+            h.record_n(v, 100);
+        }
+        for (q, exact) in [(0.19, 1_000u64), (0.39, 2_000), (0.99, 16_000)] {
+            let got = h.quantile(q).unwrap() as f64;
+            let rel = (got - exact as f64).abs() / exact as f64;
+            assert!(rel <= 1.0 / 64.0, "q={q}: got {got}, want ~{exact}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new(6);
+        let mut b = Histogram::new(6);
+        let mut all = Histogram::new(6);
+        for v in 0..500u64 {
+            let x = v * 37 % 10_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolution")]
+    fn merge_rejects_mismatched_resolution() {
+        let mut a = Histogram::new(6);
+        a.merge(&Histogram::new(4));
+    }
+
+    #[test]
+    fn json_has_stable_fields_and_sparse_buckets() {
+        let mut h = Histogram::new(6);
+        h.record(5);
+        h.record_n(1_000, 3);
+        let j = h.to_json();
+        for key in [
+            "\"sub_bits\":6",
+            "\"count\":4",
+            "\"min\":5",
+            "\"max\":1000",
+            "\"buckets\":[[5,1],[",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn batch_buckets_partition_sizes() {
+        // The exact partition the serialized `batch_hist` fields rely on.
+        assert_eq!(batch_bucket(0), 0);
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(32), 5);
+        assert_eq!(batch_bucket(64), 6);
+        assert_eq!(batch_bucket(65), 7);
+        assert_eq!(batch_bucket(10_000), 7);
+        for (i, &lo) in BATCH_BUCKET_LO.iter().enumerate() {
+            assert_eq!(batch_bucket(lo), i);
+        }
+    }
+
+    #[test]
+    fn batch_bucket_is_the_octave_index() {
+        // batch_bucket(n) is exactly this crate's octave indexing of
+        // n - 1 at sub_bits = 0, clamped to 8 buckets: the bucket math
+        // cannot drift from the histogram's.
+        let h = Histogram::new(0);
+        for n in 1..=200u64 {
+            assert_eq!(
+                batch_bucket(n),
+                h.bucket_index(n - 1).min(BATCH_HIST_BUCKETS - 1),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn probes_merge_and_serialize() {
+        let mut a = LatencyProbes::new();
+        a.sojourn_ns.record(1_000);
+        let mut b = LatencyProbes::new();
+        b.sojourn_ns.record(2_000);
+        b.redirect_ns.record(300);
+        a.merge(&b);
+        assert_eq!(a.sojourn_ns.count(), 2);
+        assert_eq!(a.redirect_ns.count(), 1);
+        let j = a.to_json();
+        assert!(j.contains("\"sojourn_ns\":{"));
+        assert!(j.contains("\"queue_wait_ns\":{"));
+        assert!(j.contains("\"redirect_ns\":{"));
+    }
+}

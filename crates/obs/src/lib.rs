@@ -1,0 +1,51 @@
+//! # sprayer-obs — observability for the Sprayer reproduction
+//!
+//! The paper's central trade-off — spraying buys load balance at the
+//! cost of intra-flow reordering and cross-core state traffic (§3,
+//! Fig. 8–9) — is invisible to aggregate counters. This crate is the
+//! per-packet layer underneath `MiddleboxStats`:
+//!
+//! * [`TraceEvent`] / [`TraceRing`] — a typed, bounded, drop-counting
+//!   event log. Each threaded-runtime worker owns a ring (the
+//!   single-threaded simulator uses one for all cores), so recording is
+//!   an unsynchronized write into chunked storage; a single shared
+//!   sequence counter (one relaxed `fetch_add` per event in the
+//!   threaded runtime, a plain increment in the simulator) gives a
+//!   global order to merge on.
+//! * [`Histogram`] — an HDR-style log-linear histogram over `u64`
+//!   values with merge, exact counts, and bounded-relative-error
+//!   percentiles. Also the home of the batch-size bucket math that
+//!   `sprayer::stats` re-exports, so the two cannot drift.
+//! * [`LatencyProbes`] — the three standard latency histograms
+//!   (sojourn, queue wait, redirect) both runtimes populate.
+//! * [`MetricsRegistry`] — an ordered name→value snapshot that
+//!   serializes one versioned JSON telemetry document.
+//! * [`analyze`] / [`trace_io`] — offline replay: per-flow reordering
+//!   depth, latency breakdowns, conservation checks against
+//!   the runtime's own counters, and a stable on-disk trace format.
+//!
+//! The crate deliberately depends on nothing but the (vendored) serde
+//! façade: both `sprayer` (core) and the benches can use it without
+//! dependency cycles. Timestamps are opaque `u64` *ticks*; the producing
+//! runtime declares its tick rate in [`TraceMeta::ticks_per_us`]
+//! (simulator: picoseconds of simulated time; threaded runtime:
+//! nanoseconds of wall time since the run started).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod event;
+pub mod hist;
+pub mod registry;
+pub mod ring;
+pub mod trace_io;
+
+pub use analyze::{
+    analyze, Conservation, CoreRedirects, FlowReport, LatencyBreakdown, LatencySummary,
+    TraceAnalysis,
+};
+pub use event::{DropKind, EventKind, TraceEvent};
+pub use hist::{batch_bucket, Histogram, LatencyProbes, BATCH_BUCKET_LO, BATCH_HIST_BUCKETS};
+pub use registry::{MetricsRegistry, TELEMETRY_SCHEMA_VERSION};
+pub use ring::{ExpectedCounts, Trace, TraceMeta, TraceRing};

@@ -1,0 +1,189 @@
+//! A versioned, ordered metrics snapshot.
+//!
+//! [`MetricsRegistry`] is the one way experiment binaries build their
+//! telemetry JSON: insertion-ordered `name → value` pairs serialized as
+//! a single object whose first field is always `"schema_version"`.
+//! Values can be integers, floats, strings, pre-serialized JSON blocks
+//! (e.g. `MiddleboxStats::to_json`), or [`Histogram`]s.
+
+use crate::hist::Histogram;
+
+/// Version of the telemetry JSON documents the benches emit.
+///
+/// * v1 — the ad-hoc `results/fig{6,7}_telemetry.json` lines (no
+///   version field).
+/// * v2 — registry-built documents: every record carries
+///   `"schema_version": 2`; existing field names are unchanged and new
+///   records may add histogram blocks.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
+
+#[derive(Debug, Clone)]
+enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    /// Pre-serialized JSON, embedded verbatim.
+    Raw(String),
+}
+
+/// Insertion-ordered name→value snapshot serializing to one JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Value)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn set(&mut self, name: &str, value: Value) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Set an integer metric.
+    pub fn set_u64(&mut self, name: &str, value: u64) {
+        self.set(name, Value::U64(value));
+    }
+
+    /// Set a float metric (serialized as `null` if non-finite).
+    pub fn set_f64(&mut self, name: &str, value: f64) {
+        self.set(name, Value::F64(value));
+    }
+
+    /// Set a string metric.
+    pub fn set_str(&mut self, name: &str, value: &str) {
+        self.set(name, Value::Str(value.to_string()));
+    }
+
+    /// Embed a pre-serialized JSON value verbatim (object, array, …).
+    pub fn set_raw_json(&mut self, name: &str, json: String) {
+        self.set(name, Value::Raw(json));
+    }
+
+    /// Embed a histogram (via [`Histogram::to_json`]).
+    pub fn set_histogram(&mut self, name: &str, hist: &Histogram) {
+        self.set(name, Value::Raw(hist.to_json()));
+    }
+
+    /// Number of metrics set (excluding the implicit version field).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no metrics were set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize as one JSON object, `"schema_version"` first, then the
+    /// metrics in insertion order.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + 32 * self.entries.len());
+        let _ = write!(s, "{{\"schema_version\":{TELEMETRY_SCHEMA_VERSION}");
+        for (name, value) in &self.entries {
+            s.push(',');
+            s.push('"');
+            escape_into(&mut s, name);
+            s.push_str("\":");
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(s, "{v}");
+                }
+                Value::F64(v) if v.is_finite() => {
+                    let _ = write!(s, "{v}");
+                }
+                Value::F64(_) => s.push_str("null"),
+                Value::Str(v) => {
+                    s.push('"');
+                    escape_into(&mut s, v);
+                    s.push('"');
+                }
+                Value::Raw(v) => s.push_str(v),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_comes_first_and_order_is_preserved() {
+        let mut r = MetricsRegistry::new();
+        r.set_str("figure", "6a");
+        r.set_u64("cycles", 10_000);
+        r.set_f64("mpps", 1.5);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema_version\":2,\"figure\":\"6a\""));
+        let ci = j.find("\"cycles\"").unwrap();
+        let mi = j.find("\"mpps\"").unwrap();
+        assert!(ci < mi);
+    }
+
+    #[test]
+    fn values_serialize_by_type() {
+        let mut r = MetricsRegistry::new();
+        r.set_u64("n", 3);
+        r.set_f64("x", 2.5);
+        r.set_f64("bad", f64::NAN);
+        r.set_str("s", "a\"b");
+        r.set_raw_json("obj", "{\"k\":1}".to_string());
+        let j = r.to_json();
+        assert!(j.contains("\"n\":3"));
+        assert!(j.contains("\"x\":2.5"));
+        assert!(j.contains("\"bad\":null"));
+        assert!(j.contains("\"s\":\"a\\\"b\""));
+        assert!(j.contains("\"obj\":{\"k\":1}"));
+    }
+
+    #[test]
+    fn setting_twice_overwrites_in_place() {
+        let mut r = MetricsRegistry::new();
+        r.set_u64("a", 1);
+        r.set_u64("b", 2);
+        r.set_u64("a", 9);
+        assert_eq!(r.len(), 2);
+        let j = r.to_json();
+        assert!(j.contains("\"a\":9"));
+        assert!(j.find("\"a\"").unwrap() < j.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn histograms_embed_as_objects() {
+        let mut h = Histogram::new(6);
+        h.record(42);
+        let mut r = MetricsRegistry::new();
+        r.set_histogram("lat", &h);
+        let j = r.to_json();
+        assert!(j.contains("\"lat\":{\"sub_bits\":6"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

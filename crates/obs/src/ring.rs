@@ -1,0 +1,210 @@
+//! Bounded per-core trace rings and the assembled [`Trace`].
+//!
+//! Each core (and the ingress thread of the threaded runtime) owns one
+//! [`TraceRing`] outright, so recording is lock-free by construction: a
+//! bounds check and a write into the current storage chunk. When a ring
+//! fills, new events are counted in [`TraceRing::dropped`] and discarded
+//! — keep-oldest, so a trace's prefix is always contiguous and tracing
+//! can stay enabled under overload without unbounded memory.
+
+use crate::event::{EventKind, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Events per storage chunk. Sized so a chunk (~96 KiB) stays below
+/// glibc's mmap threshold: chunk allocations are served from recycled
+/// heap pages instead of fresh zero-fill mappings, which is what makes
+/// recording cheap for short captures (a single up-front reserve of the
+/// full multi-MB capacity costs a page fault per 4 KiB touched, every
+/// run; so does letting a `Vec` double its way up through fresh mmaps).
+const CHUNK: usize = 2048;
+
+/// A bounded, drop-counting event buffer owned by a single core.
+///
+/// Storage is a sequence of fixed-size chunks allocated on demand, so
+/// recording never reallocates (no copies) and short runs never touch
+/// cold pages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRing {
+    capacity: usize,
+    len: usize,
+    chunks: Vec<Vec<TraceEvent>>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            len: 0,
+            chunks: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Record an event; returns false (and counts a drop) if full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) -> bool {
+        if self.len >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        if self.len.is_multiple_of(CHUNK) {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        // The last chunk exists and has spare capacity by construction.
+        self.chunks.last_mut().expect("chunk pushed above").push(ev);
+        self.len += 1;
+        true
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The aggregate counters the producing runtime reported at capture
+/// time (from `MiddleboxStats`) — the ground truth the analyzer's
+/// conservation check compares trace-derived counts against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpectedCounts {
+    /// Packets offered by the traffic source.
+    pub offered: u64,
+    /// Packets the NF processed (forwarded + NF drops).
+    pub processed: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped by NF verdict.
+    pub nf_drops: u64,
+    /// NIC Flow Director cap drops.
+    pub nic_cap_drops: u64,
+    /// Receive-queue overflow drops.
+    pub queue_drops: u64,
+    /// Inter-core ring overflow drops.
+    pub ring_drops: u64,
+    /// Redirects sent (consumed or dropped).
+    pub redirects: u64,
+}
+
+/// Capture metadata carried alongside the events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Producing runtime: `"sim"` or `"threads"`.
+    pub runtime: String,
+    /// Timestamp ticks per microsecond: the simulator stamps
+    /// picoseconds of simulated time (1_000_000), the threaded runtime
+    /// nanoseconds of wall time since the run started (1_000).
+    pub ticks_per_us: u64,
+    /// Number of cores (workers) in the run.
+    pub num_cores: usize,
+    /// The runtime's own aggregate counters at capture time.
+    pub expected: Option<ExpectedCounts>,
+}
+
+/// A complete captured trace: merged per-core rings in global
+/// sequence order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Capture metadata.
+    pub meta: TraceMeta,
+    /// All events, sorted by [`TraceEvent::seq`].
+    pub events: Vec<TraceEvent>,
+    /// Events lost to full rings across all cores. When nonzero the
+    /// trace is a prefix sample and conservation checks are advisory.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Merge per-core rings into one globally ordered trace.
+    pub fn assemble(meta: TraceMeta, rings: Vec<TraceRing>) -> Trace {
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(rings.iter().map(|r| r.len()).sum());
+        let mut dropped = 0;
+        for ring in rings {
+            dropped += ring.dropped;
+            for chunk in ring.chunks {
+                events.extend(chunk);
+            }
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        Trace {
+            meta,
+            events,
+            dropped,
+        }
+    }
+
+    /// Event counts indexed by `EventKind as usize`.
+    pub fn counts_by_kind(&self) -> [u64; EventKind::ALL.len()] {
+        let mut counts = [0u64; EventKind::ALL.len()];
+        for ev in &self.events {
+            counts[ev.kind as usize] += 1;
+        }
+        counts
+    }
+
+    /// Count of events of one kind.
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.counts_by_kind()[kind as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts: seq * 10,
+            core: 0,
+            kind,
+            flow: 1,
+            pkt: seq,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        assert!(r.push(ev(0, EventKind::IngressEnqueue)));
+        assert!(r.push(ev(1, EventKind::NfDone)));
+        assert!(!r.push(ev(2, EventKind::NfDone)));
+        assert!(!r.push(ev(3, EventKind::NfDone)));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn assemble_merges_in_sequence_order() {
+        let mut a = TraceRing::new(8);
+        let mut b = TraceRing::new(8);
+        a.push(ev(0, EventKind::IngressEnqueue));
+        a.push(ev(3, EventKind::NfDone));
+        b.push(ev(1, EventKind::IngressEnqueue));
+        b.push(ev(2, EventKind::NfDone));
+        let meta = TraceMeta {
+            runtime: "sim".into(),
+            ticks_per_us: 1_000_000,
+            num_cores: 2,
+            expected: None,
+        };
+        let t = Trace::assemble(meta, vec![a, b]);
+        let seqs: Vec<u64> = t.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(t.count_of(EventKind::NfDone), 2);
+        assert_eq!(t.dropped, 0);
+    }
+}
