@@ -215,6 +215,12 @@ fn bench_obs(c: &mut Criterion) {
     g.bench_function("dataplane_tracing_10k_packets", |b| {
         b.iter(|| run_threaded(ObsConfig::tracing()))
     });
+    // Time-series sampling at the default 100 µs interval: one clock
+    // read + one delta record per *batch*, so it shares tracing's ≤5%
+    // budget with a wide margin.
+    g.bench_function("dataplane_sampling_10k_packets", |b| {
+        b.iter(|| run_threaded(ObsConfig::sampling()))
+    });
     let run_sim = |obs: ObsConfig| {
         let mut config = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Sprayer, 1_000);
         config.obs = obs;
@@ -243,6 +249,9 @@ fn bench_obs(c: &mut Criterion) {
     });
     g.bench_function("sim_latency_10k_packets", |b| {
         b.iter(|| run_sim(ObsConfig::latency()))
+    });
+    g.bench_function("sim_sampling_10k_packets", |b| {
+        b.iter(|| run_sim(ObsConfig::sampling()))
     });
     g.bench_function("sim_tracing_10k_packets", |b| {
         b.iter(|| run_sim(ObsConfig::tracing()))

@@ -6,9 +6,10 @@
 //! models, including an adversarial one — quantifying when the
 //! assumption holds.
 
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
+use sprayer_obs::MetricsRegistry;
 
 /// Max relative deviation from uniform across the 8 residue classes.
 fn residue_imbalance(payloads: impl Iterator<Item = Vec<u8>>) -> (f64, [u32; 8]) {
@@ -64,6 +65,7 @@ fn main() {
         ),
     ];
 
+    let mut telemetry: Vec<String> = Vec::new();
     for (name, payloads) in cases {
         let (dev, _) = residue_imbalance(payloads);
         let verdict = if dev < 0.1 {
@@ -73,10 +75,18 @@ fn main() {
         } else {
             "degenerate: cores starve"
         };
+        telemetry.push(format!(
+            "{{\"model\":\"{name}\",\"deviation\":{dev:.4},\"verdict\":\"{verdict}\"}}"
+        ));
         table.row(vec![name.to_string(), fmt_f(dev, 3), verdict.to_string()]);
     }
     println!("{}", table.render());
     table.save_csv("ablation_checksum");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("ablation", "checksum");
+    reg.set_u64("packets", n as u64);
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    save_json("ablation_checksum_telemetry", &reg.to_json());
     println!(
         "takeaway: with any real payload entropy the checksum's low bits are\n\
          uniform (the §4 assumption); pathological constant-content streams can\n\

@@ -11,10 +11,11 @@
 
 use sprayer::config::{DispatchMode, MiddleboxConfig};
 use sprayer::runtime_sim::MiddleboxSim;
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
 use sprayer_nf::DpiNf;
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 use std::sync::atomic::Ordering;
 
@@ -87,8 +88,12 @@ fn main() {
             MiddleboxConfig::paper_testbed(DispatchMode::Sprayer),
         ),
     ];
+    let mut telemetry: Vec<String> = Vec::new();
     for (name, config) in cases {
         let (coverage, recall) = run_case(config);
+        telemetry.push(format!(
+            "{{\"dispatch\":\"{name}\",\"coverage\":{coverage:.4},\"recall\":{recall:.4}}}"
+        ));
         table.row(vec![
             name.to_string(),
             format!("{:.1}%", coverage * 100.0),
@@ -97,6 +102,10 @@ fn main() {
     }
     println!("{}", table.render());
     table.save_csv("ablation_dpi");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("ablation", "dpi");
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    save_json("ablation_dpi_telemetry", &reg.to_json());
     println!(
         "takeaway: RSS scans everything and finds every split pattern; full\n\
          spraying sees only the ~1/8 of bytes that land on the designated core\n\

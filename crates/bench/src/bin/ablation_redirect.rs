@@ -10,10 +10,11 @@
 
 use sprayer::config::{DispatchMode, MiddleboxConfig};
 use sprayer::runtime_sim::MiddleboxSim;
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 /// Run a short-flow churn workload: every flow is one SYN + `data_per_flow`
@@ -64,6 +65,7 @@ fn main() {
         ("default (same-socket rings)", 50, 150),
         ("pessimistic (cross-socket)", 150, 450),
     ];
+    let mut telemetry: Vec<String> = Vec::new();
     for (name, enq, deq) in cases {
         let config = MiddleboxConfig {
             ring_enqueue_cycles: enq,
@@ -72,6 +74,11 @@ fn main() {
             ..base.clone()
         };
         let (mpps, redirects) = churn_rate(config, 20_000, 8);
+        telemetry.push(format!(
+            "{{\"case\":\"{name}\",\"ring_enqueue_cycles\":{enq},\
+             \"ring_dequeue_cycles\":{deq},\"mpps\":{mpps:.4},\
+             \"redirects\":{redirects}}}"
+        ));
         table.row(vec![
             name.to_string(),
             format!("{enq}/{deq}"),
@@ -81,6 +88,10 @@ fn main() {
     }
     println!("{}", table.render());
     table.save_csv("ablation_redirect");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("ablation", "redirect");
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    save_json("ablation_redirect_telemetry", &reg.to_json());
     println!(
         "takeaway: even with 10% connection packets, ring costs shave only a few\n\
          percent — consistent with the paper treating redirection as cheap — and\n\

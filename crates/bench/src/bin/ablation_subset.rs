@@ -11,8 +11,9 @@
 //! per-flow dispatch (RSS-like); k=8 is full spraying.
 
 use sprayer::config::{DispatchMode, MiddleboxConfig};
-use sprayer_bench::report::{fmt_f, Table};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
 use sprayer_bench::scenarios::tcp::{self, TcpConfig};
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 fn main() {
@@ -25,6 +26,7 @@ fn main() {
         "fast rtx",
         "dup acks",
     ]);
+    let mut telemetry: Vec<String> = Vec::new();
     for k in [1usize, 2, 4, 8] {
         let mut cfg = TcpConfig::paper(DispatchMode::Sprayer, 10_000, 1, 1);
         if quick {
@@ -37,6 +39,14 @@ fn main() {
             mb.fdir_cap_pps = None; // programmable NIC: no 82599 cap
             mb
         });
+        telemetry.push(format!(
+            "{{\"k\":{k},\"gbps\":{:.4},\"ooo_arrivals\":{},\
+             \"fast_retransmits\":{},\"dup_acks\":{}}}",
+            r.gbps(),
+            r.ooo_arrivals,
+            r.fast_retransmits,
+            r.dup_acks,
+        ));
         table.row(vec![
             k.to_string(),
             fmt_f(r.gbps(), 2),
@@ -47,6 +57,16 @@ fn main() {
     }
     println!("{}", table.render());
     table.save_csv("ablation_subset");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("ablation", "subset");
+    reg.set_str("variant", if quick { "quick" } else { "full" });
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    let name = if quick {
+        "ablation_subset_quick_telemetry"
+    } else {
+        "ablation_subset_telemetry"
+    };
+    save_json(name, &reg.to_json());
     println!(
         "takeaway: throughput scales with k (k cores' worth of capacity) while\n\
          reordering grows with k — the trade-off §7 anticipates. For a single\n\

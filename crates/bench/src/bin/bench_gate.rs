@@ -1,0 +1,160 @@
+//! Benchmark regression gate CLI.
+//!
+//! For every committed baseline `results/baselines/<name>.json`, compare
+//! the freshly generated `results/<name>.json` under the per-metric
+//! rules in [`sprayer_bench::gate`] and write a
+//! `results/BENCH_<name>.json` trajectory artifact.
+//!
+//! ```text
+//! bench_gate [--baselines DIR] [--results DIR] [--only NAME]
+//! ```
+//!
+//! Exit codes: `0` every gate passed; `1` an error prevented gating
+//! (missing/unreadable document, shape mismatch, empty baseline dir);
+//! `2` at least one metric regressed. Regressions win over errors so CI
+//! never masks a real regression behind a noisy error.
+
+use sprayer_bench::gate;
+use sprayer_bench::report::{fmt_f, Table};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    baselines: PathBuf,
+    results: PathBuf,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baselines: PathBuf::from("results/baselines"),
+        results: PathBuf::from("results"),
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baselines" => args.baselines = PathBuf::from(it.next().expect("--baselines DIR")),
+            "--results" => args.results = PathBuf::from(it.next().expect("--results DIR")),
+            "--only" => args.only = Some(it.next().expect("--only NAME")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_gate [--baselines DIR] [--results DIR] [--only NAME]");
+                std::process::exit(1);
+            }
+        }
+    }
+    args
+}
+
+fn baseline_names(dir: &Path, only: Option<&str>) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let p = e.path();
+            (p.extension().is_some_and(|x| x == "json"))
+                .then(|| p.file_stem()?.to_str().map(str::to_string))
+                .flatten()
+        })
+        .filter(|n| only.is_none_or(|o| n == o))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no baselines matched in {}", dir.display()));
+    }
+    Ok(names)
+}
+
+fn main() {
+    let args = parse_args();
+    let names = match baseline_names(&args.baselines, args.only.as_deref()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("== bench_gate: {} baseline(s) ==\n", names.len());
+    let mut table = Table::new(vec!["gate", "metrics", "worst rel change", "verdict"]);
+    let mut errors = 0usize;
+    let mut regressions = 0usize;
+    for name in &names {
+        let bpath = args.baselines.join(format!("{name}.json"));
+        let cpath = args.results.join(format!("{name}.json"));
+        let pair = std::fs::read_to_string(&bpath)
+            .map_err(|e| format!("{}: {e}", bpath.display()))
+            .and_then(|b| {
+                std::fs::read_to_string(&cpath)
+                    .map_err(|e| format!("{}: {e} (regenerate it first)", cpath.display()))
+                    .map(|c| (b, c))
+            });
+        let report = match pair.and_then(|(b, c)| gate::compare(name, &b, &c)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                table.row(vec![name.clone(), "-".into(), "-".into(), "ERROR".into()]);
+                errors += 1;
+                continue;
+            }
+        };
+        let artifact = args.results.join(format!("BENCH_{name}.json"));
+        if let Err(e) = std::fs::write(&artifact, report.to_json()) {
+            eprintln!("bench_gate: {}: {e}", artifact.display());
+            errors += 1;
+        } else {
+            println!("[saved {}]", artifact.display());
+        }
+        let worst = report
+            .metrics
+            .iter()
+            .map(|m| match m.rule.direction {
+                gate::Direction::HigherIsBetter => m.rel_change,
+                gate::Direction::LowerIsBetter => -m.rel_change,
+            })
+            .fold(f64::INFINITY, f64::min);
+        let verdict = if !report.missing.is_empty() {
+            errors += 1;
+            for p in &report.missing {
+                eprintln!("bench_gate: {name}: gated path missing from fresh document: {p}");
+            }
+            "ERROR (shape)".to_string()
+        } else if report.regressions() > 0 {
+            regressions += report.regressions();
+            for m in report.metrics.iter().filter(|m| m.regressed) {
+                eprintln!(
+                    "bench_gate: {name}: REGRESSED {}: {} -> {} ({:+.1}%, allowed {:.3})",
+                    m.path,
+                    m.baseline,
+                    m.current,
+                    m.rel_change * 100.0,
+                    m.rule.allowance(m.baseline),
+                );
+            }
+            format!("REGRESSED ({})", report.regressions())
+        } else {
+            "pass".to_string()
+        };
+        table.row(vec![
+            name.clone(),
+            report.metrics.len().to_string(),
+            if worst.is_finite() {
+                format!("{:+}%", fmt_f(worst * 100.0, 2))
+            } else {
+                "-".to_string()
+            },
+            verdict,
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    if regressions > 0 {
+        eprintln!("bench_gate: {regressions} metric(s) regressed");
+        std::process::exit(2);
+    }
+    if errors > 0 {
+        eprintln!("bench_gate: {errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all gates passed");
+}

@@ -4,13 +4,29 @@
 //! Paper reference points: "While Sprayer consistently achieves fair
 //! throughput (Jain's index close to 1.0), RSS's fairness depends on the
 //! number of flows each core has to process."
+//!
+//! Besides the table/CSV, the binary emits a versioned
+//! [`MetricsRegistry`] telemetry document
+//! (`results/fig9_telemetry.json`, or `fig9_quick_telemetry.json` under
+//! `--quick` so the two never clobber each other). Each datapoint embeds
+//! a representative run's time-series [`sprayer_obs::SampleSet`] — the
+//! instantaneous per-core Jain timeline behind the end-of-run index —
+//! which is what `bench_gate` diffs against the committed baselines.
 
-use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, Table};
-use sprayer_bench::scenarios::tcp::{run_seeds, TcpConfig};
+use sprayer::config::{DispatchMode, ObsConfig};
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::scenarios::tcp::{run, run_seeds, TcpConfig};
+use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 const CYCLES: u64 = 10_000;
+
+fn mode_name(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Rss => "rss",
+        DispatchMode::Sprayer => "sprayer",
+    }
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,6 +36,7 @@ fn main() {
         &[1, 2, 4, 8, 16, 32, 64, 128]
     };
     let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 9: Jain's fairness index vs #flows (TCP, 10k cycles) ==\n");
     let mut table = Table::new(vec![
@@ -32,7 +49,7 @@ fn main() {
         "Sprayer max",
     ]);
     for &flows in flow_points {
-        let mk = |mode| {
+        let base = |mode| {
             let mut cfg = TcpConfig::paper(mode, CYCLES, flows, 0);
             // Fairness needs a longer window than throughput: with many
             // flows, per-flow convergence takes tens of thousands of
@@ -43,7 +60,35 @@ fn main() {
                 cfg.warmup = Time::from_ms(30);
                 cfg.duration = Time::from_ms(150);
             }
-            run_seeds(&cfg, seeds)
+            cfg
+        };
+        let mut mk = |mode| {
+            let sweep = run_seeds(&base(mode), seeds);
+            // One representative run (the first sweep seed) with the
+            // per-core sampler on: the *timeline* of the imbalance the
+            // table's end-of-run index summarizes.
+            let sampled = run(&TcpConfig {
+                seed: seeds[0],
+                obs: ObsConfig::sampling(),
+                ..base(mode)
+            });
+            let samples = sampled.samples.as_ref().expect("sampling enabled");
+            telemetry.push(format!(
+                "{{\"figure\":\"9\",\"mode\":\"{}\",\"flows\":{flows},\
+                 \"jain_mean\":{:.4},\"jain_min\":{:.4},\"jain_max\":{:.4},\
+                 \"gbps_mean\":{:.4},\"sampled_jain\":{:.4},\
+                 \"sampled_gbps\":{:.4},\"samples\":{},\"telemetry\":{}}}",
+                mode_name(mode),
+                sweep.jain_mean,
+                sweep.jain_min,
+                sweep.jain_max,
+                sweep.gbps_mean,
+                sampled.jain,
+                sampled.gbps(),
+                samples.to_json(),
+                sampled.stats.to_json(),
+            ));
+            sweep
         };
         let rss = mk(DispatchMode::Rss);
         let spray = mk(DispatchMode::Sprayer);
@@ -59,6 +104,16 @@ fn main() {
     }
     println!("{}", table.render());
     table.save_csv("fig9_fairness");
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("figure", "9");
+    reg.set_str("variant", if quick { "quick" } else { "full" });
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    let name = if quick {
+        "fig9_quick_telemetry"
+    } else {
+        "fig9_telemetry"
+    };
+    save_json(name, &reg.to_json());
     println!(
         "paper shape: Sprayer pinned at ~1.0; RSS dips (hash-collision\n\
          imbalance across cores) with wide min/max bars at moderate flow counts."

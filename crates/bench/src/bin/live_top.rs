@@ -1,0 +1,205 @@
+//! `live_top` — an in-terminal per-core dashboard for the threaded
+//! dataplane.
+//!
+//! A driver thread runs the threaded middlebox back to back on a
+//! synthetic single-flow workload (the paper's spray-vs-RSS featured
+//! point) while its workers publish batch deltas into a shared
+//! lock-free [`LiveSlots`]; the main thread refreshes a per-core table
+//! from snapshot diffs — throughput, drops, redirects, utilization, and
+//! the instantaneous Jain's fairness index across cores.
+//!
+//! ```text
+//! live_top [--secs N] [--refresh-ms N] [--workers N] [--cycles N]
+//!          [--mode rss|sprayer] [--plain]
+//! ```
+//!
+//! `--plain` (or a non-TTY stdout) prints frames sequentially instead
+//! of redrawing in place — usable in CI logs.
+
+use sprayer::config::DispatchMode;
+use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
+use sprayer_net::flow::splitmix64;
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_nf::SyntheticNf;
+use sprayer_obs::{LiveCore, LiveSlots};
+use std::io::IsTerminal as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    secs: f64,
+    refresh_ms: u64,
+    workers: usize,
+    cycles: u64,
+    mode: DispatchMode,
+    plain: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 10.0,
+        refresh_ms: 500,
+        workers: 4,
+        cycles: 2_500,
+        mode: DispatchMode::Sprayer,
+        plain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--secs" => args.secs = val().parse().expect("--secs N"),
+            "--refresh-ms" => args.refresh_ms = val().parse().expect("--refresh-ms N"),
+            "--workers" => args.workers = val().parse().expect("--workers N"),
+            "--cycles" => args.cycles = val().parse().expect("--cycles N"),
+            "--mode" => {
+                args.mode = match val().as_str() {
+                    "rss" => DispatchMode::Rss,
+                    "sprayer" => DispatchMode::Sprayer,
+                    m => panic!("unknown mode {m} (rss|sprayer)"),
+                }
+            }
+            "--plain" => args.plain = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
+                     [--cycles N] [--mode rss|sprayer] [--plain]"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    args
+}
+
+/// One driver iteration's workload: a SYN then a burst of payload ACKs
+/// on a single flow — the shape where spraying's balance is visible.
+fn phases(burst: u32, round: u64) -> Vec<Vec<Packet>> {
+    let t = FiveTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 443);
+    let mut data = Vec::with_capacity(burst as usize);
+    for i in 0..burst {
+        let payload = splitmix64(round << 32 | u64::from(i)).to_be_bytes();
+        data.push(PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload));
+    }
+    vec![
+        vec![PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"")],
+        data,
+    ]
+}
+
+fn jain(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+fn render(prev: &[LiveCore], cur: &[LiveCore], dt: f64, runs: u64, elapsed: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>10}  {:>10}  {:>8}  {:>9}  {:>9}  {:>6}  {:>6}",
+        "core", "pkts/s", "fwd/s", "drops/s", "redir-in", "redir-out", "util%", "queue"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    let mut rates = Vec::with_capacity(cur.len());
+    for (i, (c, p)) in cur.iter().zip(prev).enumerate() {
+        let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / dt;
+        let pps = rate(c.processed, p.processed);
+        rates.push(pps);
+        let util = rate(c.busy_ns, p.busy_ns) / 1e9 * 100.0;
+        let _ = writeln!(
+            out,
+            "{i:>4}  {pps:>10.0}  {:>10.0}  {:>8.0}  {:>9.0}  {:>9.0}  {util:>6.1}  {:>6}",
+            rate(c.forwarded, p.forwarded),
+            rate(c.nf_drops, p.nf_drops) + rate(c.drops, p.drops),
+            rate(c.redirected_in, p.redirected_in),
+            rate(c.redirected_out, p.redirected_out),
+            c.queue_depth,
+        );
+    }
+    let total: f64 = rates.iter().sum();
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    let _ = writeln!(
+        out,
+        "total {:.2} Mpps | Jain {:.3} | {} runs | {:.1}s elapsed",
+        total / 1e6,
+        jain(&rates),
+        runs,
+        elapsed,
+    );
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let live = Arc::new(LiveSlots::new(args.workers));
+    let mut config = ThreadedConfig::new(args.mode, args.workers);
+    config.live = Some(live.clone());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let runs = Arc::new(AtomicU64::new(0));
+    let driver = {
+        let stop = stop.clone();
+        let runs = runs.clone();
+        let cycles = args.cycles;
+        std::thread::spawn(move || {
+            let nf = SyntheticNf::spinning(cycles);
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let out = ThreadedMiddlebox::run(&config, &nf, phases(20_000, round));
+                assert_eq!(out.stats.unaccounted(), 0);
+                round += 1;
+                runs.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    let plain = args.plain || !std::io::stdout().is_terminal();
+    println!(
+        "live_top: {} workers, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
+        args.workers, args.mode, args.cycles, args.secs, args.refresh_ms
+    );
+    let start = Instant::now();
+    let mut prev = live.snapshot();
+    let mut prev_at = start;
+    let mut frame_lines = 0usize;
+    while start.elapsed().as_secs_f64() < args.secs {
+        std::thread::sleep(Duration::from_millis(args.refresh_ms));
+        let cur = live.snapshot();
+        let now = Instant::now();
+        let dt = now.duration_since(prev_at).as_secs_f64().max(1e-9);
+        let frame = render(
+            &prev,
+            &cur,
+            dt,
+            runs.load(Ordering::Relaxed),
+            start.elapsed().as_secs_f64(),
+        );
+        if !plain && frame_lines > 0 {
+            // Move the cursor back up over the previous frame.
+            print!("\x1b[{frame_lines}A");
+        }
+        print!("{frame}");
+        frame_lines = frame.lines().count();
+        prev = cur;
+        prev_at = now;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    driver.join().expect("driver thread");
+    let fin = live.snapshot();
+    let total: u64 = fin.iter().map(|c| c.processed).sum();
+    let shares: Vec<f64> = fin.iter().map(|c| c.processed as f64).collect();
+    println!(
+        "\ndone: {} packets across {} runs, lifetime Jain {:.3}",
+        total,
+        runs.load(Ordering::Relaxed),
+        jain(&shares)
+    );
+}

@@ -1,0 +1,394 @@
+//! Benchmark regression gate: diff a fresh telemetry document against a
+//! committed baseline.
+//!
+//! The simulator is deterministic, so the registry documents the
+//! experiment binaries write (`results/*_telemetry.json`) reproduce
+//! byte-for-byte on an unchanged tree — which makes them usable as
+//! regression baselines (`results/baselines/`). The gate parses both
+//! sides with [`MetricsRegistry::parse_document`] (any schema version),
+//! flattens numeric leaves to dotted paths, and compares the subset of
+//! leaves that name a *gated metric* (throughput, fairness, coverage —
+//! see [`rule_for`]) under per-metric relative thresholds. Everything
+//! else in the document is context, not a gate.
+//!
+//! Consumers: the `bench_gate` binary (CI job `bench-gate`) walks every
+//! baseline, writes a `BENCH_<name>.json` trajectory artifact per
+//! comparison, and exits 0 (pass), 1 (error: unreadable/missing/shape
+//! mismatch), or 2 (regression).
+
+use sprayer_obs::{JsonValue, MetricsRegistry};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Whether a larger value of a metric is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop beyond the threshold is a regression.
+    HigherIsBetter,
+    /// Deviation-like: a rise beyond the threshold is a regression.
+    LowerIsBetter,
+}
+
+/// Per-metric gate policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateRule {
+    /// Which way is better.
+    pub direction: Direction,
+    /// Allowed relative movement in the bad direction (0.10 = 10%).
+    pub rel_threshold: f64,
+    /// Absolute slack added on top — lets near-zero baselines (e.g. a
+    /// 0.003 checksum deviation) move without tripping a meaningless
+    /// relative bound.
+    pub abs_slack: f64,
+}
+
+impl GateRule {
+    /// The movement allowed in the bad direction for this baseline value.
+    pub fn allowance(&self, baseline: f64) -> f64 {
+        (baseline.abs() * self.rel_threshold).max(self.abs_slack)
+    }
+
+    /// True if `current` vs `baseline` violates the rule.
+    pub fn regressed(&self, baseline: f64, current: f64) -> bool {
+        match self.direction {
+            Direction::HigherIsBetter => current < baseline - self.allowance(baseline),
+            Direction::LowerIsBetter => current > baseline + self.allowance(baseline),
+        }
+    }
+}
+
+/// The gate policy for a leaf metric name, or `None` if the leaf is
+/// context only. Matches the field names the experiment binaries emit;
+/// only *object fields* are gated (array elements — e.g. per-bucket
+/// `jain` timeline entries — are trajectory data, not gates).
+pub fn rule_for(metric: &str) -> Option<GateRule> {
+    let rule = |direction, rel_threshold, abs_slack| {
+        Some(GateRule {
+            direction,
+            rel_threshold,
+            abs_slack,
+        })
+    };
+    match metric {
+        // Throughput: 10% relative, the usual run-to-run guard band.
+        "mpps" | "gbps" | "gbps_mean" | "sampled_gbps" => {
+            rule(Direction::HigherIsBetter, 0.10, 0.0)
+        }
+        // Fairness indices live in (0, 1] and matter at the percent
+        // level: 5% relative.
+        "jain" | "jain_mean" | "jain_min" | "sampled_jain" => {
+            rule(Direction::HigherIsBetter, 0.05, 0.0)
+        }
+        // DPI scan coverage / detection recall.
+        "coverage" | "recall" => rule(Direction::HigherIsBetter, 0.10, 0.01),
+        // Checksum residue deviation: lower is better, with absolute
+        // slack for the near-zero uniform cases.
+        "deviation" => rule(Direction::LowerIsBetter, 0.10, 0.05),
+        _ => None,
+    }
+}
+
+/// A numeric leaf of a telemetry document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaf {
+    /// Dotted path from the root, arrays indexed as `[i]`.
+    pub path: String,
+    /// The leaf's object-field name, `None` for array elements.
+    pub name: Option<String>,
+    /// The value.
+    pub value: f64,
+}
+
+/// Flatten every numeric leaf of a parsed document (depth-first,
+/// document order).
+pub fn flatten_numeric(doc: &JsonValue) -> Vec<Leaf> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), None, &mut out);
+    out
+}
+
+fn walk(v: &JsonValue, path: String, name: Option<&str>, out: &mut Vec<Leaf>) {
+    match v {
+        JsonValue::Num(n) => out.push(Leaf {
+            path,
+            name: name.map(str::to_string),
+            value: *n,
+        }),
+        JsonValue::Obj(fields) => {
+            for (k, child) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(child, p, Some(k), out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, format!("{path}[{i}]"), None, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One gated metric's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Dotted path of the metric.
+    pub path: String,
+    /// Committed value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `(current - baseline) / baseline` (0 when the baseline is 0 and
+    /// the values agree, ±∞ otherwise).
+    pub rel_change: f64,
+    /// The rule applied.
+    pub rule: GateRule,
+    /// Whether the rule was violated.
+    pub regressed: bool,
+}
+
+/// Result of gating one document pair.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Gate name (the baseline file stem).
+    pub name: String,
+    /// Schema version of the committed baseline.
+    pub baseline_version: u64,
+    /// Schema version of the fresh document.
+    pub current_version: u64,
+    /// Every gated metric found in the baseline, in document order.
+    pub metrics: Vec<MetricDiff>,
+    /// Gated baseline paths with no counterpart in the fresh document —
+    /// a shape mismatch, reported as an error (exit 1), not a pass.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.metrics.iter().filter(|m| m.regressed).count()
+    }
+
+    /// True when nothing regressed and nothing was missing.
+    pub fn ok(&self) -> bool {
+        self.regressions() == 0 && self.missing.is_empty()
+    }
+
+    /// Serialize as a versioned registry document — the
+    /// `BENCH_<name>.json` trajectory artifact CI uploads. Each entry
+    /// keeps both endpoints so a plot across CI runs shows the metric's
+    /// history, not just a verdict.
+    pub fn to_json(&self) -> String {
+        let mut items = Vec::with_capacity(self.metrics.len());
+        for m in &self.metrics {
+            let mut s = String::new();
+            let _ = write!(
+                s,
+                "{{\"path\":\"{}\",\"baseline\":{},\"current\":{},\
+                 \"rel_change\":{},\"allowed\":{},\"regressed\":{}}}",
+                m.path,
+                json_num(m.baseline),
+                json_num(m.current),
+                json_num(m.rel_change),
+                json_num(m.rule.allowance(m.baseline)),
+                m.regressed,
+            );
+            items.push(s);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.set_str("kind", "bench_gate");
+        reg.set_str("gate", &self.name);
+        reg.set_u64("baseline_schema_version", self.baseline_version);
+        reg.set_u64("current_schema_version", self.current_version);
+        reg.set_u64("gated_metrics", self.metrics.len() as u64);
+        reg.set_u64("regressions", self.regressions() as u64);
+        reg.set_raw_json("metrics", crate::report::json_array(&items));
+        reg.set_raw_json(
+            "missing",
+            format!(
+                "[{}]",
+                self.missing
+                    .iter()
+                    .map(|p| format!("\"{p}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        reg.to_json()
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Gate a fresh telemetry document against a committed baseline. Both
+/// must parse as telemetry documents (any supported schema version);
+/// metric selection runs over the *baseline*, so adding new metrics to
+/// a binary never breaks the gate until the baseline is refreshed.
+pub fn compare(name: &str, baseline: &str, current: &str) -> Result<GateReport, String> {
+    let (baseline_version, bdoc) =
+        MetricsRegistry::parse_document(baseline).map_err(|e| format!("{name}: baseline: {e}"))?;
+    let (current_version, cdoc) =
+        MetricsRegistry::parse_document(current).map_err(|e| format!("{name}: current: {e}"))?;
+
+    let fresh: HashMap<String, f64> = flatten_numeric(&cdoc)
+        .into_iter()
+        .map(|l| (l.path, l.value))
+        .collect();
+
+    let mut metrics = Vec::new();
+    let mut missing = Vec::new();
+    for leaf in flatten_numeric(&bdoc) {
+        let Some(rule) = leaf.name.as_deref().and_then(rule_for) else {
+            continue;
+        };
+        match fresh.get(&leaf.path) {
+            None => missing.push(leaf.path),
+            Some(&current) => {
+                let baseline = leaf.value;
+                let rel_change = if baseline != 0.0 {
+                    (current - baseline) / baseline
+                } else if current == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY * current.signum()
+                };
+                metrics.push(MetricDiff {
+                    path: leaf.path,
+                    baseline,
+                    current,
+                    rel_change,
+                    rule,
+                    regressed: rule.regressed(baseline, current),
+                });
+            }
+        }
+    }
+    Ok(GateReport {
+        name: name.to_string(),
+        baseline_version,
+        current_version,
+        metrics,
+        missing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_cover_the_emitted_metric_names_and_nothing_else() {
+        for gated in [
+            "mpps",
+            "gbps",
+            "gbps_mean",
+            "sampled_gbps",
+            "jain",
+            "jain_mean",
+            "jain_min",
+            "sampled_jain",
+            "coverage",
+            "recall",
+            "deviation",
+        ] {
+            assert!(rule_for(gated).is_some(), "{gated}");
+        }
+        for context in ["cycles", "flows", "offered", "processed", "redirects", "k"] {
+            assert!(rule_for(context).is_none(), "{context}");
+        }
+    }
+
+    #[test]
+    fn flatten_paths_index_arrays_and_dot_objects() {
+        let doc =
+            JsonValue::parse("{\"a\":1,\"b\":{\"c\":2.5},\"d\":[{\"mpps\":3},[4]],\"s\":\"x\"}")
+                .unwrap();
+        let leaves = flatten_numeric(&doc);
+        let paths: Vec<&str> = leaves.iter().map(|l| l.path.as_str()).collect();
+        assert_eq!(paths, ["a", "b.c", "d[0].mpps", "d[1][0]"]);
+        assert_eq!(leaves[2].name.as_deref(), Some("mpps"));
+        assert_eq!(leaves[3].name, None, "array elements carry no field name");
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_regresses_and_gain_never_does() {
+        let base = "{\"schema_version\":3,\"datapoints\":[{\"mpps\":10.0,\"cycles\":0}]}";
+        let drop = "{\"schema_version\":3,\"datapoints\":[{\"mpps\":8.0,\"cycles\":0}]}";
+        let gain = "{\"schema_version\":3,\"datapoints\":[{\"mpps\":13.0,\"cycles\":0}]}";
+        let ok = "{\"schema_version\":3,\"datapoints\":[{\"mpps\":9.5,\"cycles\":0}]}";
+        let r = compare("t", base, drop).unwrap();
+        assert_eq!(r.regressions(), 1);
+        assert!(!r.ok());
+        assert!(compare("t", base, gain).unwrap().ok());
+        assert!(compare("t", base, ok).unwrap().ok());
+        // `cycles` is context: never gated, never "missing".
+        assert_eq!(r.metrics.len(), 1);
+    }
+
+    #[test]
+    fn lower_is_better_metrics_gate_the_other_way_with_abs_slack() {
+        let base = "{\"deviation\":0.02}";
+        // 0.02 -> 0.06 is within the 0.05 absolute slack.
+        assert!(compare("t", base, "{\"deviation\":0.06}").unwrap().ok());
+        assert_eq!(
+            compare("t", base, "{\"deviation\":0.2}")
+                .unwrap()
+                .regressions(),
+            1
+        );
+        // Improvement is always fine.
+        assert!(compare("t", base, "{\"deviation\":0.0}").unwrap().ok());
+    }
+
+    #[test]
+    fn timeline_arrays_are_trajectory_not_gates() {
+        // A sampler block's per-bucket `jain` entries are array elements:
+        // context. Only the scalar field gates.
+        let base = "{\"jain\":0.99,\"samples\":{\"jain\":[1.0,0.2,0.9]}}";
+        let cur = "{\"jain\":0.99,\"samples\":{\"jain\":[0.1,0.1,0.1]}}";
+        let r = compare("t", base, cur).unwrap();
+        assert!(r.ok());
+        assert_eq!(r.metrics.len(), 1);
+        assert_eq!(r.metrics[0].path, "jain");
+    }
+
+    #[test]
+    fn missing_gated_paths_are_errors_not_passes() {
+        let base = "{\"datapoints\":[{\"mpps\":10.0},{\"mpps\":11.0}]}";
+        let cur = "{\"datapoints\":[{\"mpps\":10.0}]}";
+        let r = compare("t", base, cur).unwrap();
+        assert_eq!(r.missing, vec!["datapoints[1].mpps".to_string()]);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn report_serializes_as_a_parseable_registry_document() {
+        let base = "{\"mpps\":10.0,\"jain\":0.9}";
+        let cur = "{\"mpps\":7.0,\"jain\":0.91}";
+        let r = compare("g", base, cur).unwrap();
+        let (v, doc) = MetricsRegistry::parse_document(&r.to_json()).unwrap();
+        assert_eq!(v, sprayer_obs::TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(doc.get("gate").unwrap().as_str(), Some("g"));
+        assert_eq!(doc.get("regressions").unwrap().as_u64(), Some(1));
+        let metrics = doc.get("metrics").unwrap().as_array().unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].get("path").unwrap().as_str(), Some("mpps"));
+    }
+
+    #[test]
+    fn unreadable_documents_error() {
+        assert!(compare("t", "not json", "{}").is_err());
+        assert!(compare("t", "{}", "[1]").is_err());
+        assert!(compare("t", "{\"schema_version\":99}", "{}").is_err());
+    }
+}

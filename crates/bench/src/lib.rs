@@ -11,7 +11,10 @@
 //!   middlebox in one event loop;
 //! * [`scenarios::latency`] — open-loop Poisson load for p99 RTT
 //!   (Fig. 8);
-//! * [`report`] — aligned table / CSV output.
+//! * [`report`] — aligned table / CSV output;
+//! * [`gate`] — the benchmark regression gate: diffs fresh telemetry
+//!   documents against the committed baselines in `results/baselines/`
+//!   (driven by the `bench_gate` binary and the `bench-gate` CI job).
 //!
 //! Run `cargo run -p sprayer-bench --release --bin <experiment>`;
 //! binaries print the paper's series plus the values measured here.
@@ -19,5 +22,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod report;
 pub mod scenarios;

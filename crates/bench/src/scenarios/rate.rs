@@ -11,7 +11,7 @@ use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::stats::MiddleboxStats;
 use sprayer_net::{PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
-use sprayer_obs::{LatencyProbes, Trace};
+use sprayer_obs::{LatencyProbes, SampleSet, Trace};
 use sprayer_sim::time::LinkSpeed;
 use sprayer_sim::Time;
 use sprayer_trafficgen::moongen::{Arrivals, MoonGen};
@@ -74,6 +74,10 @@ pub struct RateResult {
     /// Latency histograms when requested; values are nanoseconds of
     /// simulated time.
     pub probes: Option<LatencyProbes>,
+    /// Per-core time-series samples when [`RateConfig::obs`] enabled
+    /// sampling (covers the whole run, warmup included; ticks are
+    /// picoseconds of simulated time).
+    pub samples: Option<SampleSet>,
 }
 
 impl RateResult {
@@ -126,6 +130,7 @@ pub fn run_with_config(cfg: &RateConfig, mut mb_config: MiddleboxConfig) -> Rate
         per_core: stats.per_core_processed(),
         probes: mb.probes().cloned(),
         trace: mb.take_trace(),
+        samples: mb.take_samples(),
         stats,
     }
 }
@@ -202,6 +207,7 @@ pub fn run_checking_state(cfg: &RateConfig) -> (RateResult, u64) {
             per_core: stats.per_core_processed(),
             probes: mb.probes().cloned(),
             trace: mb.take_trace(),
+            samples: mb.take_samples(),
             stats,
         },
         missing,

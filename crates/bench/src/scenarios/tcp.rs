@@ -118,6 +118,10 @@ pub struct TcpResult {
     /// Latency histograms when requested; values are nanoseconds of
     /// simulated time. (`probes` was taken: tail-loss probes above.)
     pub latency_probes: Option<sprayer_obs::LatencyProbes>,
+    /// Per-core time-series samples when [`TcpConfig::obs`] enabled
+    /// sampling (covers the whole run, warmup included; ticks are
+    /// picoseconds of simulated time).
+    pub samples: Option<sprayer_obs::SampleSet>,
 }
 
 impl TcpResult {
@@ -644,6 +648,7 @@ pub fn run_with_mb_config(cfg: &TcpConfig, mut mb_config: MiddleboxConfig) -> Tc
         stats: scenario.mb.stats().clone(),
         latency_probes: scenario.mb.probes().cloned(),
         trace: scenario.mb.take_trace(),
+        samples: scenario.mb.take_samples(),
     }
 }
 

@@ -39,11 +39,36 @@ pub struct ObsConfig {
     /// fills, further events on that core are counted and discarded —
     /// tracing never grows unbounded.
     pub trace_ring_capacity: usize,
+    /// Periodically sample per-core delta counters into bounded
+    /// [`sprayer_obs::TimeSeries`] buckets (retrievable as a
+    /// [`sprayer_obs::SampleSet`]). Unlike `trace`/`latency` this is a
+    /// *per-batch* facility: the threaded runtime reads the clock once
+    /// per batch (not per packet) and the simulator uses simulated time,
+    /// so its overhead is a small fraction of the tracing budget.
+    pub sample: bool,
+    /// Target sampling bucket width in microseconds (simulated time in
+    /// the simulator, wall time in the threaded runtime). Buckets
+    /// coarsen automatically — the interval doubles whenever a run
+    /// outgrows `sample_capacity` buckets.
+    pub sample_interval_us: u64,
+    /// Maximum buckets per core before the series downsamples.
+    pub sample_capacity: usize,
 }
 
 impl ObsConfig {
     /// Default per-core trace-ring capacity (64 Ki events ≈ 3 MiB/core).
     pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Default sampling bucket width (100 µs ≈ thousands of packets per
+    /// bucket at the paper's rates — fine enough to see drop bursts,
+    /// coarse enough that a 1 s run fits the default capacity without
+    /// downsampling).
+    pub const DEFAULT_SAMPLE_INTERVAL_US: u64 = 100;
+
+    /// Default per-core bucket budget before downsampling (512 buckets
+    /// ≈ 51 ms of history at the default interval; doubles coverage on
+    /// each downsample).
+    pub const DEFAULT_SAMPLE_CAPACITY: usize = 512;
 
     /// Everything off — the default.
     pub fn disabled() -> Self {
@@ -51,6 +76,9 @@ impl ObsConfig {
             trace: false,
             latency: false,
             trace_ring_capacity: Self::DEFAULT_RING_CAPACITY,
+            sample: false,
+            sample_interval_us: Self::DEFAULT_SAMPLE_INTERVAL_US,
+            sample_capacity: Self::DEFAULT_SAMPLE_CAPACITY,
         }
     }
 
@@ -62,12 +90,28 @@ impl ObsConfig {
         }
     }
 
+    /// Time-series sampling only, at the default interval.
+    pub fn sampling() -> Self {
+        ObsConfig {
+            sample: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Time-series sampling with an explicit bucket width.
+    pub fn sampling_with_interval(sample_interval_us: u64) -> Self {
+        ObsConfig {
+            sample_interval_us,
+            ..Self::sampling()
+        }
+    }
+
     /// Full tracing + latency histograms at the default ring capacity.
     pub fn tracing() -> Self {
         ObsConfig {
             trace: true,
             latency: true,
-            trace_ring_capacity: Self::DEFAULT_RING_CAPACITY,
+            ..Self::disabled()
         }
     }
 
@@ -79,7 +123,10 @@ impl ObsConfig {
         }
     }
 
-    /// True if any facility is enabled (timestamps must be taken).
+    /// True if a *per-packet* facility is enabled (per-packet timestamps
+    /// must be taken). Sampling is deliberately excluded: it needs only
+    /// one clock read per batch, which the runtimes gate on
+    /// [`ObsConfig::sample`] directly.
     pub fn any(&self) -> bool {
         self.trace || self.latency
     }

@@ -22,7 +22,8 @@ use crate::tables::LocalTables;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig, RxSteering};
 use sprayer_obs::{
-    DropKind, EventKind, ExpectedCounts, LatencyProbes, Trace, TraceEvent, TraceMeta, TraceRing,
+    CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, SampleSet, TimeSeries, Trace,
+    TraceEvent, TraceMeta, TraceRing,
 };
 use sprayer_sim::{BoundedFifo, Reservoir, Time};
 use std::cmp::Reverse;
@@ -121,6 +122,9 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     tracer: Option<SimTracer>,
     /// Present iff `config.obs.latency`.
     probes: Option<LatencyProbes>,
+    /// Present iff `config.obs.sample`: one delta series per core on the
+    /// simulated-time (picosecond) grid.
+    samplers: Option<Vec<TimeSeries>>,
 }
 
 impl<NF: NetworkFunction> MiddleboxSim<NF> {
@@ -161,6 +165,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             seq: 0,
         });
         let probes = config.obs.latency.then(LatencyProbes::new);
+        let samplers = config.obs.sample.then(|| {
+            let interval = config.obs.sample_interval_us.max(1) * SIM_TICKS_PER_US;
+            (0..config.num_cores)
+                .map(|_| TimeSeries::new(interval, config.obs.sample_capacity.max(2)))
+                .collect()
+        });
         MiddleboxSim {
             nic: Nic::new(nic_config),
             coremap,
@@ -177,7 +187,17 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             latency_us: Reservoir::new(200_000),
             tracer,
             probes,
+            samplers,
             config,
+        }
+    }
+
+    /// Record a sampling delta for `core` at simulated time `ts`.
+    /// A no-op (`None` branch, no clock math) when sampling is off.
+    #[inline]
+    fn sample(&mut self, core: usize, ts: Time, f: impl FnOnce(&mut CoreSample)) {
+        if let Some(s) = self.samplers.as_mut() {
+            s[core].record(ts.as_ps(), f);
         }
     }
 
@@ -236,6 +256,17 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             }),
         };
         Some(Trace::assemble(meta, vec![tracer.ring]))
+    }
+
+    /// Detach the per-core sampling series, when
+    /// [`crate::config::ObsConfig::sample`] is on.
+    ///
+    /// Consumes the samplers (recording stops) and aligns every core's
+    /// series to a common bucket interval. Tick unit is simulated-time
+    /// picoseconds (`ticks_per_us = 10^6`). Call once, after the run.
+    pub fn take_samples(&mut self) -> Option<SampleSet> {
+        let cores = self.samplers.take()?;
+        Some(SampleSet::assemble(SIM_TICKS_PER_US, cores))
     }
 
     /// The flow tables (for assertions about state placement).
@@ -297,6 +328,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 let interval = Time::from_ps((1e12 / cap) as u64);
                 if now < self.nic_admit_free {
                     self.stats.nic_cap_drops += 1;
+                    self.sample(core, now, |s| s.nic_cap_drops += 1);
                     self.trace(
                         core,
                         now,
@@ -325,6 +357,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         };
         if self.cores[core].rx.push(job).is_err() {
             self.stats.queue_drops += 1;
+            self.sample(core, now, |s| s.queue_drops += 1);
             self.trace(
                 core,
                 now,
@@ -336,7 +369,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             return;
         }
         self.trace(core, now, EventKind::IngressEnqueue, flow, id, 0);
-        self.stats.per_core[core].observe_rx_depth(self.cores[core].rx.len() as u64);
+        let rx_depth = self.cores[core].rx.len() as u64;
+        self.stats.per_core[core].observe_rx_depth(rx_depth);
+        self.sample(core, now, |s| {
+            s.rx_occupancy_hwm = s.rx_occupancy_hwm.max(rx_depth)
+        });
         self.kick(core, now);
     }
 
@@ -396,9 +433,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let redirect = self.redirect_target(&job, core);
             if let Some(target) = redirect {
                 let cycles = self.config.overhead_cycles + self.config.ring_enqueue_cycles;
-                let done = now + self.config.clock.cycles_to_time(cycles);
+                let service = self.config.clock.cycles_to_time(cycles);
+                let done = now + service;
                 self.cores[core].burst += 1;
                 self.stats.per_core[core].busy_cycles += cycles;
+                // Whole service attributed to the bucket it starts in.
+                self.sample(core, now, |s| s.busy_ticks += service.as_ps());
                 self.cores[core].current = Some((job, Effect::Redirect(target)));
                 self.schedule(done, core);
                 return;
@@ -424,9 +464,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     .record(now.saturating_sub(job.arrival).as_ps() / 1_000);
             }
         }
-        let done = now + self.config.clock.cycles_to_time(service_cycles);
+        let service = self.config.clock.cycles_to_time(service_cycles);
+        let done = now + service;
         self.cores[core].burst += 1;
         self.stats.per_core[core].busy_cycles += service_cycles;
+        self.sample(core, now, |s| s.busy_ticks += service.as_ps());
         self.cores[core].current = Some((job, Effect::Process));
         self.schedule(done, core);
     }
@@ -453,6 +495,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         match effect {
             Effect::Redirect(target) => {
                 self.stats.per_core[core].redirected_out += 1;
+                self.sample(core, now, |s| s.redirected_out += 1);
                 self.trace(
                     core,
                     now,
@@ -469,6 +512,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 let (flow, id) = (job.flow, job.id);
                 if self.cores[target].ring.push(job).is_err() {
                     self.stats.ring_drops += 1;
+                    self.sample(target, now, |s| s.ring_drops += 1);
                     self.trace(
                         target,
                         now,
@@ -478,8 +522,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                         DropKind::RingFull.to_aux(),
                     );
                 } else {
-                    self.stats.per_core[target]
-                        .observe_ring_depth(self.cores[target].ring.len() as u64);
+                    let depth = self.cores[target].ring.len() as u64;
+                    self.stats.per_core[target].observe_ring_depth(depth);
+                    self.sample(target, now, |s| {
+                        s.ring_occupancy_hwm = s.ring_occupancy_hwm.max(depth)
+                    });
                     self.kick(target, now);
                 }
             }
@@ -513,6 +560,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     p.sojourn_ns.record(sojourn.as_ps() / 1_000);
                 }
                 let dropped = matches!(verdict, Verdict::Drop);
+                self.sample(core, now, |s| {
+                    s.processed += 1;
+                    s.redirected_in += u64::from(via_ring);
+                    s.forwarded += u64::from(!dropped);
+                    s.nf_drops += u64::from(dropped);
+                });
                 self.trace(core, now, EventKind::NfDone, flow, id, u64::from(dropped));
                 match verdict {
                     Verdict::Forward => {
@@ -868,6 +921,57 @@ mod tests {
         mb.run_until(Time::from_ms(1));
         assert!(mb.probes().is_none());
         assert!(mb.take_trace().is_none());
+        assert!(mb.take_samples().is_none());
+    }
+
+    #[test]
+    fn sampling_totals_match_stats_and_time_resolves() {
+        use crate::config::ObsConfig;
+        let mut config = cfg(DispatchMode::Sprayer, 5_000);
+        config.obs = ObsConfig::sampling_with_interval(50);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..4_000 {
+            now += Time::from_ns(100);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let s = mb.stats().clone();
+        let set = mb.take_samples().expect("sampling enabled");
+        assert_eq!(set.ticks_per_us, 1_000_000);
+        assert_eq!(set.num_cores(), 8);
+        assert!(set.num_buckets() > 1, "a 400 µs run spans several buckets");
+
+        // Per-core totals reproduce the stats exactly: sampling is
+        // conservative.
+        let totals = set.totals();
+        for (core, cs) in s.per_core.iter().enumerate() {
+            assert_eq!(totals[core].processed, cs.processed, "core {core}");
+            assert_eq!(totals[core].redirected_in, cs.redirected_in);
+            assert_eq!(totals[core].redirected_out, cs.redirected_out);
+        }
+        let total: CoreSample = {
+            let mut acc = CoreSample::default();
+            for t in &totals {
+                acc.merge(t);
+            }
+            acc
+        };
+        assert_eq!(total.forwarded, s.forwarded);
+        assert_eq!(total.nf_drops, s.nf_drops);
+        assert_eq!(total.queue_drops, s.queue_drops);
+        assert_eq!(total.ring_drops, s.ring_drops);
+        assert_eq!(total.nic_cap_drops, s.nic_cap_drops);
+
+        // Derived timelines exist and are sane.
+        let jain = set.jain_timeline();
+        assert_eq!(jain.len(), set.num_buckets());
+        assert!(jain.iter().all(|&j| (0.0..=1.0 + 1e-9).contains(&j)));
+        assert!(mb.take_samples().is_none(), "samples detach once");
     }
 
     #[test]

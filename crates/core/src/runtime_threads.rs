@@ -44,9 +44,11 @@ use crossbeam::queue::ArrayQueue;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig};
 use sprayer_obs::{
-    DropKind, EventKind, ExpectedCounts, LatencyProbes, Trace, TraceEvent, TraceMeta, TraceRing,
+    CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, LiveSlots, SampleSet,
+    TimeSeries, Trace, TraceEvent, TraceMeta, TraceRing,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Trace timestamps are wall-clock nanoseconds since the run's anchor
@@ -81,10 +83,16 @@ pub struct ThreadedConfig {
     /// Bounded spin for ingress pushes into a full receive queue before
     /// counting a [`MiddleboxStats::queue_drops`].
     pub ingress_retries: usize,
-    /// Observability switches (tracing, latency histograms). Off by
-    /// default; zero-cost when off — no clock reads, no flow hashing,
-    /// no event recording.
+    /// Observability switches (tracing, latency histograms, sampling).
+    /// Off by default; zero-cost when off — no clock reads, no flow
+    /// hashing, no event recording.
     pub obs: ObsConfig,
+    /// Live per-core counter slots for external observation while the
+    /// run executes (e.g. the `live_top` dashboard). Workers `fetch_add`
+    /// their per-batch deltas into the shared slots; a reader polls
+    /// [`LiveSlots::snapshot`] from any thread. `None` (the default)
+    /// costs nothing.
+    pub live: Option<Arc<LiveSlots>>,
 }
 
 impl ThreadedConfig {
@@ -100,6 +108,7 @@ impl ThreadedConfig {
             redirect_retries: 64,
             ingress_retries: 4096,
             obs: ObsConfig::disabled(),
+            live: None,
         }
     }
 }
@@ -142,6 +151,12 @@ pub struct ThreadedOutcome {
     /// Merged per-worker latency histograms, when [`ObsConfig::latency`]
     /// was on. Values are wall-clock nanoseconds.
     pub probes: Option<LatencyProbes>,
+    /// Per-core sampled delta series, when [`ObsConfig::sample`] was on:
+    /// one [`TimeSeries`] per worker on the wall-clock nanosecond grid
+    /// (`ticks_per_us = 1000`), continuous across phase barriers
+    /// (all phases share one anchor `Instant`). Ingress-side queue
+    /// drops are folded into the target worker's series.
+    pub samples: Option<SampleSet>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
@@ -166,6 +181,8 @@ struct WorkerShared<NF: NetworkFunction> {
     batch_size: usize,
     redirect_retries: usize,
     obs: ObsConfig,
+    /// Live counter slots shared with an external observer, if any.
+    live: Option<Arc<LiveSlots>>,
     /// Wall-clock zero for trace timestamps (shared by all threads).
     anchor: Instant,
     /// Global trace-event sequence, shared by workers and ingress.
@@ -191,6 +208,27 @@ struct Worker<'a, NF: NetworkFunction> {
     trace: Option<TraceRing>,
     /// This worker's latency histograms (iff latency probes are on).
     probes: Option<LatencyProbes>,
+    /// This worker's sampling series (iff sampling is on).
+    sampler: Option<TimeSeries>,
+    /// Counter values already attributed to a sampling bucket. Deltas
+    /// are taken against this watermark, so the nested drains on the
+    /// work-conserving redirect path attribute each increment exactly
+    /// once (the inner drain advances the watermark; the enclosing
+    /// batch picks up only the remainder).
+    mark: SampleMark,
+}
+
+/// Watermark of counters (and the wall time) last folded into a
+/// sampling bucket. See [`Worker::sample_batch`].
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleMark {
+    processed: u64,
+    forwarded: u64,
+    nf_drops: u64,
+    ring_drops: u64,
+    redirected_in: u64,
+    redirected_out: u64,
+    end_ns: u64,
 }
 
 struct WorkerResult {
@@ -200,6 +238,7 @@ struct WorkerResult {
     stats: CoreStats,
     trace: Option<TraceRing>,
     probes: Option<LatencyProbes>,
+    sampler: Option<TimeSeries>,
 }
 
 impl ThreadedMiddlebox {
@@ -262,6 +301,7 @@ impl ThreadedMiddlebox {
             stats: MiddleboxStats::new(num_workers),
             trace: None,
             probes: None,
+            samples: None,
         };
         let obs = config.obs;
         let anchor = Instant::now();
@@ -270,6 +310,18 @@ impl ThreadedMiddlebox {
         let mut ingress_ring = obs.trace.then(|| TraceRing::new(obs.trace_ring_capacity));
         let mut worker_rings: Vec<TraceRing> = Vec::new();
         let mut probes_acc = obs.latency.then(LatencyProbes::new);
+        // Sampling accumulators: per-worker series merged across phases
+        // (one anchor → one continuous tick space), plus the ingress
+        // thread's queue-drop series per target worker (drops never reach
+        // a worker, so only ingress can attribute them to a bucket).
+        let sample_interval = obs.sample_interval_us.max(1) * THREAD_TICKS_PER_US;
+        let new_series = || TimeSeries::new(sample_interval, obs.sample_capacity.max(2));
+        let mut sample_acc: Option<Vec<TimeSeries>> = obs
+            .sample
+            .then(|| (0..num_workers).map(|_| new_series()).collect());
+        let mut ingress_samplers: Option<Vec<TimeSeries>> = obs
+            .sample
+            .then(|| (0..num_workers).map(|_| new_series()).collect());
         let mut next_pkt_id: u64 = 0;
         let mut seq_base: u64 = 0;
         for packets in phases {
@@ -291,6 +343,7 @@ impl ThreadedMiddlebox {
                 batch_size: config.batch_size,
                 redirect_retries: config.redirect_retries,
                 obs,
+                live: config.live.clone(),
                 anchor,
                 trace_seq: AtomicU64::new(seq_base),
             };
@@ -356,6 +409,11 @@ impl ThreadedMiddlebox {
                     if !admitted {
                         shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
                         stats.queue_drops += 1;
+                        // Clock read only on this already-slow drop path.
+                        if let Some(samplers) = ingress_samplers.as_mut() {
+                            let ts = anchor.elapsed().as_nanos() as u64;
+                            samplers[q].record(ts, |s| s.queue_drops += 1);
+                        }
                     }
                     if let (Some(ring), Some(seq)) = (ingress_ring.as_mut(), pre_seq) {
                         let (kind, aux) = if admitted {
@@ -397,6 +455,9 @@ impl ThreadedMiddlebox {
                 if let (Some(acc), Some(p)) = (probes_acc.as_mut(), r.probes.as_ref()) {
                     acc.merge(p);
                 }
+                if let (Some(acc), Some(s)) = (sample_acc.as_mut(), r.sampler.as_ref()) {
+                    acc[worker].merge(s);
+                }
             }
         }
         outcome.redirects = stats.redirects();
@@ -421,6 +482,14 @@ impl ThreadedMiddlebox {
             Trace::assemble(meta, rings)
         });
         outcome.probes = probes_acc;
+        outcome.samples = sample_acc.map(|mut cores| {
+            if let Some(ing) = ingress_samplers {
+                for (c, i) in cores.iter_mut().zip(ing.iter()) {
+                    c.merge(i);
+                }
+            }
+            SampleSet::assemble(THREAD_TICKS_PER_US, cores)
+        });
         outcome.stats = stats;
         outcome
     }
@@ -443,12 +512,64 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 .trace
                 .then(|| TraceRing::new(shared.obs.trace_ring_capacity)),
             probes: shared.obs.latency.then(LatencyProbes::new),
+            sampler: shared.obs.sample.then(|| {
+                TimeSeries::new(
+                    shared.obs.sample_interval_us.max(1) * THREAD_TICKS_PER_US,
+                    shared.obs.sample_capacity.max(2),
+                )
+            }),
+            mark: SampleMark::default(),
         }
     }
 
     /// Nanoseconds since the run anchor. Only called when obs is on.
     fn now_ns(&self) -> u64 {
         self.shared.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// True when per-batch deltas must be computed (sampling series
+    /// and/or live slots). Off on both counts → zero clock reads.
+    #[inline]
+    fn sampling(&self) -> bool {
+        self.sampler.is_some() || self.shared.live.is_some()
+    }
+
+    /// Fold everything this worker did since the last watermark into the
+    /// sampling bucket that `start_ns` (the batch's first clock read)
+    /// falls in, and advance the watermark. Called once per non-empty
+    /// batch; two clock reads per call, none per packet.
+    fn sample_batch(&mut self, start_ns: u64, rx_depth: u64, ring_depth: u64) {
+        let end_ns = self.now_ns();
+        let d = CoreSample {
+            processed: self.stats.processed - self.mark.processed,
+            forwarded: self.out.len() as u64 - self.mark.forwarded,
+            nf_drops: self.nf_drops - self.mark.nf_drops,
+            queue_drops: 0,
+            ring_drops: self.ring_drops - self.mark.ring_drops,
+            nic_cap_drops: 0,
+            redirected_in: self.stats.redirected_in - self.mark.redirected_in,
+            redirected_out: self.stats.redirected_out - self.mark.redirected_out,
+            rx_occupancy_hwm: rx_depth,
+            ring_occupancy_hwm: ring_depth,
+            // Busy only since the watermark: a nested drain on the
+            // work-conserving redirect path already claimed its window.
+            busy_ticks: end_ns.saturating_sub(start_ns.max(self.mark.end_ns)),
+        };
+        self.mark = SampleMark {
+            processed: self.stats.processed,
+            forwarded: self.out.len() as u64,
+            nf_drops: self.nf_drops,
+            ring_drops: self.ring_drops,
+            redirected_in: self.stats.redirected_in,
+            redirected_out: self.stats.redirected_out,
+            end_ns,
+        };
+        if let Some(s) = self.sampler.as_mut() {
+            s.record(start_ns, |b| b.merge(&d));
+        }
+        if let Some(live) = self.shared.live.as_deref() {
+            live.add(self.id, &d);
+        }
     }
 
     /// Record one trace event (no-op when tracing is off).
@@ -496,6 +617,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             stats: self.stats,
             trace: self.trace,
             probes: self.probes,
+            sampler: self.sampler,
         }
     }
 
@@ -553,7 +675,8 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// descriptor was consumed.
     fn drain_ring(&mut self) -> bool {
         let ring = &self.shared.rings[self.id];
-        self.stats.observe_ring_depth(ring.len() as u64);
+        let depth = ring.len() as u64;
+        self.stats.observe_ring_depth(depth);
         debug_assert!(self.batch.is_empty());
         while self.batch.len() < self.shared.batch_size {
             match ring.pop() {
@@ -565,6 +688,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if n == 0 {
             return false;
         }
+        let sample_start = if self.sampling() { self.now_ns() } else { 0 };
         // Per-batch accounting: these descriptors are now owned by this
         // worker and will be processed before its next shutdown check.
         self.shared
@@ -603,6 +727,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             self.handle(desc, true);
         }
         self.batch = batch;
+        if self.sampling() {
+            self.sample_batch(sample_start, 0, depth);
+        }
         true
     }
 
@@ -610,7 +737,8 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// any packet was consumed.
     fn drain_rx(&mut self) -> bool {
         let rx = &self.shared.rx[self.id];
-        self.stats.observe_rx_depth(rx.len() as u64);
+        let depth = rx.len() as u64;
+        self.stats.observe_rx_depth(depth);
         debug_assert!(self.batch.is_empty());
         let mut redirects = 0u64;
         while self.batch.len() < self.shared.batch_size {
@@ -640,6 +768,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if n == 0 {
             return false;
         }
+        let sample_start = if self.sampling() { self.now_ns() } else { 0 };
         // Register this batch's redirects BEFORE releasing its rx claim:
         // between the two updates `rx_remaining` still covers the batch,
         // and afterwards `redirects_outstanding` covers the in-flight
@@ -671,6 +800,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.batch = batch;
+        if self.sampling() {
+            self.sample_batch(sample_start, depth, 0);
+        }
         true
     }
 
@@ -1019,6 +1151,64 @@ mod tests {
         let out = ThreadedMiddlebox::process(DispatchMode::Sprayer, 2, &nf, syn_phase(8));
         assert!(out.trace.is_none());
         assert!(out.probes.is_none());
+        assert!(out.samples.is_none());
+    }
+
+    #[test]
+    fn sampling_totals_match_stats_across_phases() {
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        // A 1 µs grid with a tiny bucket budget forces downsampling
+        // mid-run; totals must survive it.
+        config.obs = ObsConfig {
+            sample: true,
+            sample_interval_us: 1,
+            sample_capacity: 8,
+            ..ObsConfig::disabled()
+        };
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(32), data_phase(32, 20)]);
+        let s = &out.stats;
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        let set = out.samples.as_ref().expect("sampling enabled");
+        assert_eq!(set.ticks_per_us, THREAD_TICKS_PER_US);
+        assert_eq!(set.num_cores(), 3);
+        let totals = set.totals();
+        for (core, cs) in s.per_core.iter().enumerate() {
+            assert_eq!(totals[core].processed, cs.processed, "core {core}");
+            assert_eq!(totals[core].redirected_in, cs.redirected_in, "core {core}");
+            assert_eq!(
+                totals[core].redirected_out, cs.redirected_out,
+                "core {core}"
+            );
+        }
+        let mut total = CoreSample::default();
+        for t in &totals {
+            total.merge(t);
+        }
+        assert_eq!(total.forwarded, s.forwarded);
+        assert_eq!(total.nf_drops, s.nf_drops);
+        assert_eq!(total.ring_drops, s.ring_drops);
+        assert_eq!(total.queue_drops, s.queue_drops);
+        assert_eq!(set.jain_timeline().len(), set.num_buckets());
+    }
+
+    #[test]
+    fn live_slots_observe_a_run() {
+        let nf = TrackerNf;
+        let live = Arc::new(LiveSlots::new(4));
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.live = Some(live.clone());
+        // Live slots work without the sampling series being retained.
+        assert!(!config.obs.sample);
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 10)]);
+        assert!(out.samples.is_none());
+        let snap = live.snapshot();
+        let processed: u64 = snap.iter().map(|c| c.processed).sum();
+        assert_eq!(processed, out.stats.processed());
+        let forwarded: u64 = snap.iter().map(|c| c.forwarded).sum();
+        assert_eq!(forwarded, out.stats.forwarded);
+        let redirected_out: u64 = snap.iter().map(|c| c.redirected_out).sum();
+        assert_eq!(redirected_out, out.stats.redirects());
     }
 
     #[test]

@@ -2,11 +2,26 @@
 
 use proptest::prelude::*;
 use sprayer::api::{FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Verdict};
-use sprayer::config::DispatchMode;
+use sprayer::config::{DispatchMode, MiddleboxConfig, ObsConfig};
 use sprayer::coremap::CoreMap;
+use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
 use sprayer::tables::{LocalTables, SharedTables};
 use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_obs::CoreSample;
+use sprayer_sim::Time;
+
+/// A tiny bucket budget on a 1 µs grid: any realistic run outgrows it,
+/// so these properties exercise mid-run downsampling, not just the
+/// record path.
+fn tight_sampling() -> ObsConfig {
+    ObsConfig {
+        sample: true,
+        sample_interval_us: 1,
+        sample_capacity: 8,
+        ..ObsConfig::disabled()
+    }
+}
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
     (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
@@ -224,6 +239,107 @@ proptest! {
         // Probe counts line up with the stats too.
         let probes = out.probes.expect("latency probes on");
         prop_assert_eq!(probes.sojourn_ns.count(), s.processed());
+    }
+
+    /// Sampling is conservative on the threaded runtime: for any worker
+    /// count, dispatch mode, ring capacity (including the pathological
+    /// capacity-1 ring, whose work-conserving retry nests one sampled
+    /// batch inside another), and phase split, the merged per-core
+    /// sampler deltas equal the final [`sprayer::stats::MiddleboxStats`]
+    /// exactly — no double-count from nested drains, no loss across
+    /// interval boundaries or downsampling steps.
+    #[test]
+    fn threaded_sampler_deltas_match_final_stats(
+        workers in 1usize..=8,
+        spray in any::<bool>(),
+        ring_cap in prop_oneof![Just(1usize), Just(8usize), Just(1024usize)],
+        pkts in proptest::collection::vec((0u32..12, any::<bool>(), 0u8..3), 1..120),
+    ) {
+        let payload_of = |i: usize| sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+        let mut phases: Vec<Vec<Packet>> = vec![Vec::new(); 3];
+        for (i, &(flow, is_conn, phase)) in pkts.iter().enumerate() {
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            phases[usize::from(phase)].push(
+                PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload_of(i)),
+            );
+        }
+
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let mut config = ThreadedConfig::new(mode, workers);
+        config.ring_capacity = ring_cap;
+        config.obs = tight_sampling();
+        let out = ThreadedMiddlebox::run(&config, &ForwardAllNf, phases);
+
+        let s = &out.stats;
+        prop_assert_eq!(s.unaccounted(), 0);
+        let set = out.samples.as_ref().expect("sampling enabled");
+        prop_assert_eq!(set.num_cores(), workers);
+        let totals = set.totals();
+        for (core, cs) in s.per_core.iter().enumerate() {
+            prop_assert_eq!(totals[core].processed, cs.processed, "core {}", core);
+            prop_assert_eq!(totals[core].redirected_in, cs.redirected_in, "core {}", core);
+            prop_assert_eq!(totals[core].redirected_out, cs.redirected_out, "core {}", core);
+        }
+        let mut total = CoreSample::default();
+        for t in &totals {
+            total.merge(t);
+        }
+        prop_assert_eq!(total.processed, s.processed());
+        prop_assert_eq!(total.forwarded, s.forwarded);
+        prop_assert_eq!(total.nf_drops, s.nf_drops);
+        prop_assert_eq!(total.ring_drops, s.ring_drops);
+        prop_assert_eq!(total.queue_drops, s.queue_drops);
+        // Derived timelines cover every bucket.
+        prop_assert_eq!(set.jain_timeline().len(), set.num_buckets());
+        prop_assert_eq!(set.util_skew_timeline().len(), set.num_buckets());
+        prop_assert_eq!(set.drop_rate_timeline().len(), set.num_buckets());
+    }
+
+    /// The same conservation property on the simulator: merged sampler
+    /// deltas reproduce the final stats for any dispatch mode, NF cost,
+    /// and arrival pattern (including Sprayer runs dense enough to trip
+    /// the Flow Director cap into `nic_cap_drops`).
+    #[test]
+    fn sim_sampler_deltas_match_final_stats(
+        spray in any::<bool>(),
+        nf_cycles in prop_oneof![Just(0u64), Just(2_000u64), Just(10_000u64)],
+        pkts in proptest::collection::vec((0u32..8, any::<bool>(), 1u64..2_000), 1..100),
+    ) {
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let mut config = MiddleboxConfig::paper_testbed_with_cycles(mode, nf_cycles);
+        config.obs = tight_sampling();
+        let mut mb = MiddleboxSim::new(config, ForwardAllNf);
+        let mut now = Time::ZERO;
+        for (i, &(flow, is_conn, gap_ns)) in pkts.iter().enumerate() {
+            now += Time::from_ns(gap_ns);
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            let payload = sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+            mb.ingress(now, PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload));
+        }
+        mb.run_until(now + Time::from_secs(1));
+        prop_assert!(mb.is_idle());
+
+        let s = mb.stats().clone();
+        let set = mb.take_samples().expect("sampling enabled");
+        prop_assert_eq!(set.num_cores(), 8);
+        let totals = set.totals();
+        for (core, cs) in s.per_core.iter().enumerate() {
+            prop_assert_eq!(totals[core].processed, cs.processed, "core {}", core);
+            prop_assert_eq!(totals[core].redirected_in, cs.redirected_in, "core {}", core);
+            prop_assert_eq!(totals[core].redirected_out, cs.redirected_out, "core {}", core);
+        }
+        let mut total = CoreSample::default();
+        for t in &totals {
+            total.merge(t);
+        }
+        prop_assert_eq!(total.processed, s.processed());
+        prop_assert_eq!(total.forwarded, s.forwarded);
+        prop_assert_eq!(total.nf_drops, s.nf_drops);
+        prop_assert_eq!(total.queue_drops, s.queue_drops);
+        prop_assert_eq!(total.ring_drops, s.ring_drops);
+        prop_assert_eq!(total.nic_cap_drops, s.nic_cap_drops);
     }
 
     /// Capacity: a table never exceeds its configured entry limit, and

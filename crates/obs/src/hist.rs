@@ -187,6 +187,25 @@ impl Histogram {
         self.quantile(0.999)
     }
 
+    /// The standard summary statistics in one struct, or `None` when
+    /// the histogram is empty — callers never see garbage sentinels
+    /// (`min` starts at `u64::MAX` internally) or a fake zero quantile.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.total,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            mean: self.sum as f64 / self.total as f64,
+            p50: self.quantile(0.50).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            p999: self.quantile(0.999).unwrap_or(0),
+        })
+    }
+
     /// Fold `other` into `self`. Panics if resolutions differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(
@@ -239,6 +258,28 @@ impl Histogram {
         s.push_str("]}");
         s
     }
+}
+
+/// The standard summary statistics of a non-empty [`Histogram`]
+/// (obtained via [`Histogram::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples (> 0 by construction).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u128,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Mean of recorded values.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 /// The standard per-packet latency histograms both runtimes populate
@@ -482,6 +523,57 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn empty_histogram_yields_none_everywhere() {
+        // Pins the empty-histogram contract: every accessor that would
+        // otherwise expose the internal sentinels (min = u64::MAX,
+        // max = 0) reports None instead, for all quantiles.
+        let h = Histogram::latency();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.summary(), None);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_serializes_zeroed_not_sentinel() {
+        let j = Histogram::latency().to_json();
+        for key in [
+            "\"count\":0",
+            "\"min\":0",
+            "\"max\":0",
+            "\"p50\":0",
+            "\"p99\":0",
+            "\"p999\":0",
+            "\"buckets\":[]",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(!j.contains(&u64::MAX.to_string()), "sentinel leaked: {j}");
+    }
+
+    #[test]
+    fn summary_matches_accessors_when_nonempty() {
+        let mut h = Histogram::new(6);
+        h.record(10);
+        h.record(20);
+        h.record_n(30, 2);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 90);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.mean, 22.5);
+        assert_eq!(Some(s.p50), h.p50());
+        assert_eq!(Some(s.p99), h.p99());
+        assert_eq!(Some(s.p999), h.p999());
     }
 
     #[test]

@@ -18,8 +18,14 @@
 //!   `sprayer::stats` re-exports, so the two cannot drift.
 //! * [`LatencyProbes`] — the three standard latency histograms
 //!   (sojourn, queue wait, redirect) both runtimes populate.
+//! * [`TimeSeries`] / [`SampleSet`] — bounded, downsampling per-core
+//!   delta buckets recorded at a configurable interval, with derived
+//!   imbalance timelines (instantaneous Jain's index, utilization skew,
+//!   drop rate); [`LiveSlots`] is the lock-free live-view counterpart.
 //! * [`MetricsRegistry`] — an ordered name→value snapshot that
-//!   serializes one versioned JSON telemetry document.
+//!   serializes one versioned JSON telemetry document, with a read path
+//!   ([`JsonValue`], `MetricsRegistry::parse_document`) accepting every
+//!   schema version this repo has emitted.
 //! * [`analyze`] / [`trace_io`] — offline replay: per-flow reordering
 //!   depth, latency breakdowns, conservation checks against
 //!   the runtime's own counters, and a stable on-disk trace format.
@@ -37,8 +43,11 @@
 pub mod analyze;
 pub mod event;
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod ring;
+pub mod sampler;
+pub mod series;
 pub mod trace_io;
 
 pub use analyze::{
@@ -46,6 +55,11 @@ pub use analyze::{
     TraceAnalysis,
 };
 pub use event::{DropKind, EventKind, TraceEvent};
-pub use hist::{batch_bucket, Histogram, LatencyProbes, BATCH_BUCKET_LO, BATCH_HIST_BUCKETS};
+pub use hist::{
+    batch_bucket, Histogram, HistogramSummary, LatencyProbes, BATCH_BUCKET_LO, BATCH_HIST_BUCKETS,
+};
+pub use json::JsonValue;
 pub use registry::{MetricsRegistry, TELEMETRY_SCHEMA_VERSION};
 pub use ring::{ExpectedCounts, Trace, TraceMeta, TraceRing};
+pub use sampler::{LiveCore, LiveSlots, SampleSet};
+pub use series::{CoreSample, TimeSeries};

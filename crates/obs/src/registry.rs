@@ -7,6 +7,7 @@
 //! (e.g. `MiddleboxStats::to_json`), or [`Histogram`]s.
 
 use crate::hist::Histogram;
+use crate::json::JsonValue;
 
 /// Version of the telemetry JSON documents the benches emit.
 ///
@@ -15,7 +16,13 @@ use crate::hist::Histogram;
 /// * v2 — registry-built documents: every record carries
 ///   `"schema_version": 2`; existing field names are unchanged and new
 ///   records may add histogram blocks.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
+/// * v3 — documents may embed time-series sampling blocks
+///   (`SampleSet::to_json` objects: per-core bucketed deltas plus
+///   `jain`/`util_skew`/`drop_rate` timelines). Purely additive: every
+///   v2 field keeps its name and shape, so v2 readers ignoring unknown
+///   fields still work, and [`MetricsRegistry::parse_document`] reads
+///   v1 through v3.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
 
 #[derive(Debug, Clone)]
 enum Value {
@@ -111,6 +118,32 @@ impl MetricsRegistry {
         s.push('}');
         s
     }
+
+    /// Parse a telemetry document produced by any schema version this
+    /// repo has emitted: v1 documents carry no `schema_version` field
+    /// (the ad-hoc pre-registry JSON) and are reported as version 1;
+    /// v2/v3 declare themselves. Returns `(version, document)`; errors
+    /// on malformed JSON, a non-object root, or a version newer than
+    /// [`TELEMETRY_SCHEMA_VERSION`] (forward compatibility is not
+    /// promised — regenerate or upgrade instead of misreading).
+    pub fn parse_document(text: &str) -> Result<(u64, JsonValue), String> {
+        let doc = JsonValue::parse(text)?;
+        if doc.as_object().is_none() {
+            return Err("telemetry document root must be an object".to_string());
+        }
+        let version = match doc.get("schema_version") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "schema_version must be a non-negative integer".to_string())?,
+        };
+        if version > TELEMETRY_SCHEMA_VERSION {
+            return Err(format!(
+                "telemetry schema_version {version} is newer than supported {TELEMETRY_SCHEMA_VERSION}"
+            ));
+        }
+        Ok((version, doc))
+    }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -142,10 +175,61 @@ mod tests {
         r.set_u64("cycles", 10_000);
         r.set_f64("mpps", 1.5);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema_version\":2,\"figure\":\"6a\""));
+        assert!(j.starts_with("{\"schema_version\":3,\"figure\":\"6a\""));
         let ci = j.find("\"cycles\"").unwrap();
         let mi = j.find("\"mpps\"").unwrap();
         assert!(ci < mi);
+    }
+
+    #[test]
+    fn current_documents_round_trip_through_the_parser() {
+        let mut r = MetricsRegistry::new();
+        r.set_str("figure", "9");
+        r.set_u64("flows", 128);
+        r.set_f64("jain_mean", 0.97);
+        r.set_raw_json(
+            "samples",
+            "{\"jain\":[1.0,0.5],\"per_core\":[]}".to_string(),
+        );
+        let (version, doc) = MetricsRegistry::parse_document(&r.to_json()).unwrap();
+        assert_eq!(version, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(doc.get("figure").unwrap().as_str(), Some("9"));
+        assert_eq!(doc.get("flows").unwrap().as_u64(), Some(128));
+        assert_eq!(doc.get("jain_mean").unwrap().as_f64(), Some(0.97));
+        let jain = doc.get("samples").unwrap().get("jain").unwrap();
+        assert_eq!(jain.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parser_reads_v1_and_v2_documents() {
+        // v1: the pre-registry ad-hoc format, no schema_version field.
+        let (v1, doc) =
+            MetricsRegistry::parse_document("{\"figure\":\"6a\",\"mode\":\"RSS\",\"mpps\":1.25}")
+                .unwrap();
+        assert_eq!(v1, 1);
+        assert_eq!(doc.get("mpps").unwrap().as_f64(), Some(1.25));
+        // v2: a registry document written before the v3 bump. Same
+        // field names and shapes; only the version differs.
+        let (v2, doc) = MetricsRegistry::parse_document(
+            "{\"schema_version\":2,\"figure\":\"6\",\"datapoints\":[{\"cycles\":0}]}",
+        )
+        .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(
+            doc.get("datapoints").unwrap().as_array().unwrap()[0]
+                .get("cycles")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_future_versions_and_junk() {
+        assert!(MetricsRegistry::parse_document("{\"schema_version\":4}").is_err());
+        assert!(MetricsRegistry::parse_document("{\"schema_version\":-1}").is_err());
+        assert!(MetricsRegistry::parse_document("[1,2]").is_err());
+        assert!(MetricsRegistry::parse_document("{\"unterminated").is_err());
     }
 
     #[test]

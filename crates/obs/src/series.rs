@@ -1,0 +1,314 @@
+//! Bounded, downsampling time-series storage for periodic per-core
+//! samples.
+//!
+//! A [`TimeSeries`] is a vector of [`CoreSample`] delta buckets over a
+//! fixed-width time grid: bucket `i` covers ticks
+//! `[i·interval, (i+1)·interval)`. Recording is an index computation and
+//! a field increment — no clock discipline, no flushing: every increment
+//! lands in exactly one bucket, so the series is *conservative by
+//! construction* (the sum over all buckets equals the lifetime totals,
+//! the property `crates/core/tests/properties.rs` pins against
+//! `MiddleboxStats`).
+//!
+//! Memory is bounded: when a tick falls past the last representable
+//! bucket, the series **downsamples** — adjacent bucket pairs merge and
+//! the interval doubles — so a series covers any run length in at most
+//! `capacity` buckets, trading resolution for span exactly like a
+//! log-linear histogram trades it for range. Runtimes pick the tick
+//! source ([`TimeSeries::record`] is tick-unit agnostic): the simulator
+//! records simulated-time picoseconds, the threaded runtime wall-clock
+//! nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Delta counters for one core over one sampling bucket.
+///
+/// All fields are *deltas* over the bucket's interval except the two
+/// `_hwm` occupancy fields, which are high-water marks within the bucket
+/// (and merge by `max`, like [`crate::Histogram`]'s of the same name in
+/// `CoreStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreSample {
+    /// Packets the NF completed on this core in the bucket.
+    pub processed: u64,
+    /// Of those, packets forwarded (NF verdict Forward).
+    pub forwarded: u64,
+    /// Packets dropped by NF verdict.
+    pub nf_drops: u64,
+    /// Packets dropped on this core's receive-queue overflow.
+    pub queue_drops: u64,
+    /// Descriptors dropped on this core's ring overflow.
+    pub ring_drops: u64,
+    /// Packets bound for this core dropped at the NIC's rate cap.
+    pub nic_cap_drops: u64,
+    /// Redirected descriptors consumed from this core's ring.
+    pub redirected_in: u64,
+    /// Descriptors this core pushed toward foreign rings.
+    pub redirected_out: u64,
+    /// Receive-queue occupancy high-water mark within the bucket.
+    pub rx_occupancy_hwm: u64,
+    /// Inter-core ring occupancy high-water mark within the bucket.
+    pub ring_occupancy_hwm: u64,
+    /// Ticks this core spent busy within the bucket (simulator: modeled
+    /// service time in picoseconds; threaded runtime: wall nanoseconds
+    /// spent inside batch processing).
+    pub busy_ticks: u64,
+}
+
+impl CoreSample {
+    /// Fold `other` into `self`: counters add, high-water marks max.
+    pub fn merge(&mut self, other: &CoreSample) {
+        self.processed += other.processed;
+        self.forwarded += other.forwarded;
+        self.nf_drops += other.nf_drops;
+        self.queue_drops += other.queue_drops;
+        self.ring_drops += other.ring_drops;
+        self.nic_cap_drops += other.nic_cap_drops;
+        self.redirected_in += other.redirected_in;
+        self.redirected_out += other.redirected_out;
+        self.rx_occupancy_hwm = self.rx_occupancy_hwm.max(other.rx_occupancy_hwm);
+        self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(other.ring_occupancy_hwm);
+        self.busy_ticks += other.busy_ticks;
+    }
+
+    /// Packets lost before the NF in this bucket.
+    pub fn pre_nf_drops(&self) -> u64 {
+        self.queue_drops + self.ring_drops + self.nic_cap_drops
+    }
+}
+
+/// A bounded sequence of [`CoreSample`] buckets on a fixed tick grid
+/// that doubles its interval (merging adjacent buckets) instead of
+/// growing past `capacity`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    interval: u64,
+    capacity: usize,
+    buckets: Vec<CoreSample>,
+}
+
+impl TimeSeries {
+    /// Default bucket budget per core (~35 KiB of counters).
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// An empty series with buckets of `interval` ticks, bounded to
+    /// `capacity` buckets. `interval ≥ 1`, `capacity ≥ 2`.
+    pub fn new(interval: u64, capacity: usize) -> Self {
+        assert!(interval >= 1, "bucket interval must be positive");
+        assert!(capacity >= 2, "downsampling needs at least two buckets");
+        TimeSeries {
+            interval,
+            capacity,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Current bucket width in ticks (doubles on each downsample).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Maximum number of buckets this series will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buckets recorded so far (bucket `i` covers
+    /// `[i·interval, (i+1)·interval)`).
+    pub fn buckets(&self) -> &[CoreSample] {
+        &self.buckets
+    }
+
+    /// Number of buckets recorded so far.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Apply `f` to the bucket covering `tick`, downsampling first if
+    /// `tick` lies beyond the last representable bucket.
+    #[inline]
+    pub fn record(&mut self, tick: u64, f: impl FnOnce(&mut CoreSample)) {
+        let mut idx = (tick / self.interval) as usize;
+        while idx >= self.capacity {
+            self.downsample();
+            idx = (tick / self.interval) as usize;
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, CoreSample::default());
+        }
+        f(&mut self.buckets[idx]);
+    }
+
+    /// Merge adjacent bucket pairs and double the interval. Conservative:
+    /// bucket sums are unchanged.
+    fn downsample(&mut self) {
+        let merged = self.buckets.len().div_ceil(2);
+        for i in 0..merged {
+            let mut s = self.buckets[2 * i];
+            if let Some(b) = self.buckets.get(2 * i + 1) {
+                s.merge(b);
+            }
+            self.buckets[i] = s;
+        }
+        self.buckets.truncate(merged);
+        self.interval *= 2;
+    }
+
+    /// Coarsen this series until its interval reaches `target` (which
+    /// must be `interval · 2^k` for some `k ≥ 0` — intervals only ever
+    /// double, so any two series that started on the same grid align).
+    pub fn downsample_to(&mut self, target: u64) {
+        assert!(
+            target >= self.interval && target.is_multiple_of(self.interval),
+            "target interval {target} unreachable from {}",
+            self.interval
+        );
+        while self.interval < target {
+            self.downsample();
+        }
+        assert_eq!(
+            self.interval, target,
+            "target must be a power-of-two multiple"
+        );
+    }
+
+    /// Lifetime totals: every bucket merged into one sample. Equals what
+    /// a single bucket covering the whole run would have recorded.
+    pub fn total(&self) -> CoreSample {
+        let mut t = CoreSample::default();
+        for b in &self.buckets {
+            t.merge(b);
+        }
+        t
+    }
+
+    /// Fold `other` into `self` bucket-wise, aligning intervals first
+    /// (both are coarsened to the larger of the two). Both series must
+    /// have started on a common grid (power-of-two-related intervals).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        let target = self.interval.max(other.interval);
+        self.downsample_to(target);
+        let mut o = other.clone();
+        o.downsample_to(target);
+        if o.buckets.len() > self.buckets.len() {
+            self.buckets.resize(o.buckets.len(), CoreSample::default());
+        }
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            a.merge(b);
+        }
+        while self.buckets.len() > self.capacity {
+            self.downsample();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_land_on_the_grid() {
+        let mut s = TimeSeries::new(100, 8);
+        s.record(0, |b| b.processed += 1);
+        s.record(99, |b| b.processed += 1);
+        s.record(100, |b| b.processed += 1);
+        s.record(250, |b| b.processed += 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.buckets()[0].processed, 2);
+        assert_eq!(s.buckets()[1].processed, 1);
+        assert_eq!(s.buckets()[2].processed, 1);
+        assert_eq!(s.interval(), 100);
+    }
+
+    #[test]
+    fn overflow_downsamples_instead_of_growing() {
+        let mut s = TimeSeries::new(10, 4);
+        for t in 0..8 {
+            s.record(t * 10, |b| b.processed += 1);
+        }
+        // Eight base buckets forced interval 10 → 20: four merged pairs.
+        assert_eq!(s.interval(), 20);
+        assert_eq!(s.len(), 4);
+        assert!(s.buckets().iter().all(|b| b.processed == 2));
+        // A far-future tick forces several more doublings at once.
+        s.record(10 * 1000, |b| b.processed += 1);
+        assert!(s.len() <= 4);
+        assert_eq!(s.total().processed, 9);
+    }
+
+    #[test]
+    fn downsampling_is_conservative_and_maxes_hwms() {
+        let mut s = TimeSeries::new(1, 2);
+        for t in 0..1000u64 {
+            s.record(t, |b| {
+                b.processed += 1;
+                b.queue_drops += u64::from(t % 7 == 0);
+                b.rx_occupancy_hwm = b.rx_occupancy_hwm.max(t % 13);
+            });
+        }
+        assert!(s.len() <= 2);
+        let total = s.total();
+        assert_eq!(total.processed, 1000);
+        assert_eq!(
+            total.queue_drops,
+            (0..1000).filter(|t| t % 7 == 0).count() as u64
+        );
+        assert_eq!(total.rx_occupancy_hwm, 12);
+    }
+
+    #[test]
+    fn downsample_to_aligns_series() {
+        let mut a = TimeSeries::new(10, 64);
+        let mut b = TimeSeries::new(10, 64);
+        for t in 0..100 {
+            a.record(t * 10, |s| s.processed += 1);
+        }
+        b.record(5, |s| s.processed += 1);
+        // a has downsampled (100 buckets > 64): intervals differ now.
+        assert!(a.interval() > b.interval());
+        b.downsample_to(a.interval());
+        assert_eq!(a.interval(), b.interval());
+        assert_eq!(b.total().processed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn downsample_to_rejects_non_multiples() {
+        let mut s = TimeSeries::new(10, 4);
+        s.downsample_to(15);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise_after_alignment() {
+        let mut a = TimeSeries::new(10, 8);
+        let mut b = TimeSeries::new(10, 8);
+        a.record(0, |s| s.processed += 3);
+        a.record(25, |s| s.ring_drops += 1);
+        b.record(5, |s| s.processed += 2);
+        b.record(70, |s| s.queue_drops += 4);
+        a.merge(&b);
+        assert_eq!(a.total().processed, 5);
+        assert_eq!(a.total().queue_drops, 4);
+        assert_eq!(a.total().ring_drops, 1);
+        assert_eq!(a.buckets()[0].processed, 5);
+    }
+
+    #[test]
+    fn merge_aligns_mismatched_intervals() {
+        let mut a = TimeSeries::new(10, 4);
+        let mut b = TimeSeries::new(10, 4);
+        for t in 0..16 {
+            a.record(t * 10, |s| s.processed += 1);
+        }
+        b.record(0, |s| s.processed += 100);
+        assert_eq!(a.interval(), 40);
+        a.merge(&b);
+        assert_eq!(a.total().processed, 116);
+        assert_eq!(a.buckets()[0].processed, 104);
+    }
+}
