@@ -113,6 +113,12 @@ fn main() {
                 gate::Direction::LowerIsBetter => -m.rel_change,
             })
             .fold(f64::INFINITY, f64::min);
+        // New gated metrics the baseline predates: informational — the
+        // values have no reference yet, so they pass, but leaving them
+        // unlisted would let them ride ungated forever.
+        for p in &report.added {
+            println!("bench_gate: {name}: new gated metric (refresh the baseline): {p}");
+        }
         let verdict = if !report.missing.is_empty() {
             errors += 1;
             for p in &report.missing {

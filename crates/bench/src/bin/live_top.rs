@@ -10,21 +10,29 @@
 //!
 //! ```text
 //! live_top [--secs N] [--refresh-ms N] [--workers N] [--cycles N]
-//!          [--mode rss|sprayer] [--plain]
+//!          [--mode rss|sprayer] [--elastic] [--plain]
 //! ```
+//!
+//! `--elastic` drives each iteration through an online scale-up and
+//! scale-down (`workers -> 2*workers -> workers` via
+//! [`ThreadedMiddlebox::run_elastic`]): the dashboard gains a
+//! reconfiguration footer (cores joined/left, flows migrated, downtime)
+//! and rows for cores outside the active set disappear once they drain
+//! — a removed core never lingers as a stale zero row.
 //!
 //! `--plain` (or a non-TTY stdout) prints frames sequentially instead
 //! of redrawing in place — usable in CI logs.
 
 use sprayer::config::DispatchMode;
 use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
+use sprayer::ReconfigReport;
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
 use sprayer_obs::{LiveCore, LiveSlots};
 use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -33,7 +41,17 @@ struct Args {
     workers: usize,
     cycles: u64,
     mode: DispatchMode,
+    elastic: bool,
     plain: bool,
+}
+
+/// What the elastic driver publishes for the dashboard: the steady-state
+/// (low) core count, whether a scaling plan is mid-flight, and the most
+/// recent transition reports.
+#[derive(Default)]
+struct ElasticStatus {
+    in_progress: AtomicBool,
+    events: Mutex<Vec<ReconfigReport>>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +61,7 @@ fn parse_args() -> Args {
         workers: 4,
         cycles: 2_500,
         mode: DispatchMode::Sprayer,
+        elastic: false,
         plain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -60,12 +79,13 @@ fn parse_args() -> Args {
                     m => panic!("unknown mode {m} (rss|sprayer)"),
                 }
             }
+            "--elastic" => args.elastic = true,
             "--plain" => args.plain = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
-                     [--cycles N] [--mode rss|sprayer] [--plain]"
+                     [--cycles N] [--mode rss|sprayer] [--elastic] [--plain]"
                 );
                 std::process::exit(1);
             }
@@ -98,7 +118,19 @@ fn jain(xs: &[f64]) -> f64 {
     sum * sum / (xs.len() as f64 * sq)
 }
 
-fn render(prev: &[LiveCore], cur: &[LiveCore], dt: f64, runs: u64, elapsed: f64) -> String {
+/// Render one frame. `elastic` is `Some((low_workers, status))` when the
+/// driver is running scaling plans: rows for cores outside the
+/// steady-state set are shown only while they still move packets (a
+/// removed core drains, then its row disappears), and a reconfiguration
+/// footer lists the latest transitions.
+fn render(
+    prev: &[LiveCore],
+    cur: &[LiveCore],
+    dt: f64,
+    runs: u64,
+    elapsed: f64,
+    elastic: Option<(usize, &ElasticStatus)>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
@@ -107,20 +139,33 @@ fn render(prev: &[LiveCore], cur: &[LiveCore], dt: f64, runs: u64, elapsed: f64)
         "core", "pkts/s", "fwd/s", "drops/s", "redir-in", "redir-out", "util%", "queue"
     );
     let _ = writeln!(out, "{}", "-".repeat(76));
-    let mut rates = Vec::with_capacity(cur.len());
+    let mut rates = Vec::new();
     for (i, (c, p)) in cur.iter().zip(prev).enumerate() {
         let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / dt;
         let pps = rate(c.processed, p.processed);
+        let active = rate(c.busy_ns, p.busy_ns) > 0.0
+            || pps > 0.0
+            || rate(c.redirected_in, p.redirected_in) > 0.0
+            || c.queue_depth > 0;
+        if let Some((low, _)) = elastic {
+            // A core outside the steady-state set only earns a row while
+            // it is still doing work — no stale zero rows after a leave.
+            if i >= low && !active {
+                continue;
+            }
+        }
         rates.push(pps);
         let util = rate(c.busy_ns, p.busy_ns) / 1e9 * 100.0;
+        let joined = elastic.is_some_and(|(low, _)| i >= low);
         let _ = writeln!(
             out,
-            "{i:>4}  {pps:>10.0}  {:>10.0}  {:>8.0}  {:>9.0}  {:>9.0}  {util:>6.1}  {:>6}",
+            "{i:>4}  {pps:>10.0}  {:>10.0}  {:>8.0}  {:>9.0}  {:>9.0}  {util:>6.1}  {:>6}{}",
             rate(c.forwarded, p.forwarded),
             rate(c.nf_drops, p.nf_drops) + rate(c.drops, p.drops),
             rate(c.redirected_in, p.redirected_in),
             rate(c.redirected_out, p.redirected_out),
             c.queue_depth,
+            if joined { "  +join" } else { "" },
         );
     }
     let total: f64 = rates.iter().sum();
@@ -133,27 +178,78 @@ fn render(prev: &[LiveCore], cur: &[LiveCore], dt: f64, runs: u64, elapsed: f64)
         runs,
         elapsed,
     );
+    if let Some((_, status)) = elastic {
+        let events = status.events.lock().expect("status lock");
+        for r in events.iter().rev().take(3) {
+            let delta = r.to_cores as i64 - r.from_cores as i64;
+            let _ = writeln!(
+                out,
+                "reconfig epoch {}: {} -> {} cores ({} {}), {} flows migrated, {:.1} us downtime",
+                r.epoch,
+                r.from_cores,
+                r.to_cores,
+                delta.abs(),
+                if delta >= 0 { "joined" } else { "left" },
+                r.migrated_flows,
+                r.downtime_ns as f64 / 1e3,
+            );
+        }
+        if status.in_progress.load(Ordering::Relaxed) {
+            let _ = writeln!(
+                out,
+                "reconfig: scaling plan in progress (migration underway)"
+            );
+        }
+    }
     out
 }
 
 fn main() {
     let args = parse_args();
-    let live = Arc::new(LiveSlots::new(args.workers));
+    // Elastic runs scale to twice the steady-state worker count; the
+    // live slots must cover the joined cores too.
+    let high = args.workers * 2;
+    let slots = if args.elastic { high } else { args.workers };
+    let live = Arc::new(LiveSlots::new(slots));
     let mut config = ThreadedConfig::new(args.mode, args.workers);
     config.live = Some(live.clone());
 
     let stop = Arc::new(AtomicBool::new(false));
     let runs = Arc::new(AtomicU64::new(0));
+    let status = Arc::new(ElasticStatus::default());
     let driver = {
         let stop = stop.clone();
         let runs = runs.clone();
+        let status = status.clone();
         let cycles = args.cycles;
+        let (low, elastic) = (args.workers, args.elastic);
         std::thread::spawn(move || {
             let nf = SyntheticNf::spinning(cycles);
             let mut round = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let out = ThreadedMiddlebox::run(&config, &nf, phases(20_000, round));
-                assert_eq!(out.stats.unaccounted(), 0);
+                if elastic {
+                    // One scale-up + scale-down cycle per iteration:
+                    // low workers for the SYN, 2x for the first burst,
+                    // back to low for the second.
+                    let mut a = phases(20_000, round << 1);
+                    let b = phases(20_000, (round << 1) | 1).pop().expect("burst");
+                    let plan = vec![
+                        (low, std::mem::take(&mut a[0])),
+                        (high, std::mem::take(&mut a[1])),
+                        (low, b),
+                    ];
+                    status.in_progress.store(true, Ordering::Relaxed);
+                    let out = ThreadedMiddlebox::run_elastic(&config, &nf, plan);
+                    status.in_progress.store(false, Ordering::Relaxed);
+                    assert_eq!(out.stats.unaccounted(), 0);
+                    let mut events = status.events.lock().expect("status lock");
+                    events.extend(out.reconfigs);
+                    let overflow = events.len().saturating_sub(8);
+                    events.drain(..overflow);
+                } else {
+                    let out = ThreadedMiddlebox::run(&config, &nf, phases(20_000, round));
+                    assert_eq!(out.stats.unaccounted(), 0);
+                }
                 round += 1;
                 runs.fetch_add(1, Ordering::Relaxed);
             }
@@ -162,8 +258,17 @@ fn main() {
 
     let plain = args.plain || !std::io::stdout().is_terminal();
     println!(
-        "live_top: {} workers, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
-        args.workers, args.mode, args.cycles, args.secs, args.refresh_ms
+        "live_top: {} workers{}, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
+        args.workers,
+        if args.elastic {
+            format!(" (elastic, scaling to {high})")
+        } else {
+            String::new()
+        },
+        args.mode,
+        args.cycles,
+        args.secs,
+        args.refresh_ms
     );
     let start = Instant::now();
     let mut prev = live.snapshot();
@@ -180,10 +285,13 @@ fn main() {
             dt,
             runs.load(Ordering::Relaxed),
             start.elapsed().as_secs_f64(),
+            args.elastic.then_some((args.workers, status.as_ref())),
         );
         if !plain && frame_lines > 0 {
-            // Move the cursor back up over the previous frame.
-            print!("\x1b[{frame_lines}A");
+            // Move the cursor back up over the previous frame and clear
+            // it: elastic frames shrink when a removed core's row
+            // disappears, and a stale trailing line must not survive.
+            print!("\x1b[{frame_lines}A\x1b[J");
         }
         print!("{frame}");
         frame_lines = frame.lines().count();

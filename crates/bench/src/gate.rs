@@ -84,6 +84,17 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
         // Checksum residue deviation: lower is better, with absolute
         // slack for the near-zero uniform cases.
         "deviation" => rule(Direction::LowerIsBetter, 0.10, 0.05),
+        // Elastic reconfiguration cost (fig_elastic): totals only — the
+        // per-event `reconfig_timeline` entries reuse unprefixed field
+        // names and stay trajectory data. Migration counts are exact in
+        // the deterministic simulator, so zero slack keeps "Sprayer
+        // scale-up migrates nothing" an enforced invariant.
+        "reconfig_migrated_flows_total" | "reconfig_migrated_packets_total" => {
+            rule(Direction::LowerIsBetter, 0.0, 0.0)
+        }
+        "reconfig_downtime_ns_total" | "reconfig_downtime_ns_max" => {
+            rule(Direction::LowerIsBetter, 0.10, 1_000.0)
+        }
         _ => None,
     }
 }
@@ -165,6 +176,12 @@ pub struct GateReport {
     /// Gated baseline paths with no counterpart in the fresh document —
     /// a shape mismatch, reported as an error (exit 1), not a pass.
     pub missing: Vec<String>,
+    /// Gated fresh-document paths with no counterpart in the baseline:
+    /// *new* metrics a binary started emitting after the baseline was
+    /// committed. Not a failure (the values have no reference yet), but
+    /// surfaced so the baseline gets refreshed instead of the new
+    /// metrics riding ungated forever.
+    pub added: Vec<String>,
 }
 
 impl GateReport {
@@ -207,17 +224,18 @@ impl GateReport {
         reg.set_u64("gated_metrics", self.metrics.len() as u64);
         reg.set_u64("regressions", self.regressions() as u64);
         reg.set_raw_json("metrics", crate::report::json_array(&items));
-        reg.set_raw_json(
-            "missing",
+        let path_list = |paths: &[String]| {
             format!(
                 "[{}]",
-                self.missing
+                paths
                     .iter()
                     .map(|p| format!("\"{p}\""))
                     .collect::<Vec<_>>()
                     .join(",")
-            ),
-        );
+            )
+        };
+        reg.set_raw_json("missing", path_list(&self.missing));
+        reg.set_raw_json("added", path_list(&self.added));
         reg.to_json()
     }
 }
@@ -240,14 +258,29 @@ pub fn compare(name: &str, baseline: &str, current: &str) -> Result<GateReport, 
     let (current_version, cdoc) =
         MetricsRegistry::parse_document(current).map_err(|e| format!("{name}: current: {e}"))?;
 
-    let fresh: HashMap<String, f64> = flatten_numeric(&cdoc)
-        .into_iter()
-        .map(|l| (l.path, l.value))
+    let fresh_leaves = flatten_numeric(&cdoc);
+    let fresh: HashMap<String, f64> = fresh_leaves
+        .iter()
+        .map(|l| (l.path.clone(), l.value))
         .collect();
 
     let mut metrics = Vec::new();
     let mut missing = Vec::new();
-    for leaf in flatten_numeric(&bdoc) {
+    let baseline_leaves = flatten_numeric(&bdoc);
+    // Gated metrics the fresh document emits that the baseline never
+    // saw: report them so a stale baseline can't silently leave new
+    // metrics ungated.
+    let baseline_paths: std::collections::HashSet<&str> =
+        baseline_leaves.iter().map(|l| l.path.as_str()).collect();
+    let added: Vec<String> = fresh_leaves
+        .iter()
+        .filter(|l| {
+            l.name.as_deref().and_then(rule_for).is_some()
+                && !baseline_paths.contains(l.path.as_str())
+        })
+        .map(|l| l.path.clone())
+        .collect();
+    for leaf in baseline_leaves {
         let Some(rule) = leaf.name.as_deref().and_then(rule_for) else {
             continue;
         };
@@ -279,6 +312,7 @@ pub fn compare(name: &str, baseline: &str, current: &str) -> Result<GateReport, 
         current_version,
         metrics,
         missing,
+        added,
     })
 }
 
@@ -300,10 +334,25 @@ mod tests {
             "coverage",
             "recall",
             "deviation",
+            "reconfig_migrated_flows_total",
+            "reconfig_migrated_packets_total",
+            "reconfig_downtime_ns_total",
+            "reconfig_downtime_ns_max",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
-        for context in ["cycles", "flows", "offered", "processed", "redirects", "k"] {
+        for context in [
+            "cycles",
+            "flows",
+            "offered",
+            "processed",
+            "redirects",
+            "k",
+            // Per-event timeline fields stay trajectory data.
+            "migrated_flows",
+            "downtime_ns",
+            "reconfig_events",
+        ] {
             assert!(rule_for(context).is_none(), "{context}");
         }
     }
@@ -369,6 +418,34 @@ mod tests {
         let r = compare("t", base, cur).unwrap();
         assert_eq!(r.missing, vec!["datapoints[1].mpps".to_string()]);
         assert!(!r.ok());
+    }
+
+    #[test]
+    fn new_gated_metrics_are_reported_not_silently_ignored() {
+        // The fresh document grew a gated metric (and a gated datapoint
+        // field) the committed baseline has never seen: still a pass,
+        // but the additions are named so the baseline gets refreshed.
+        let base = "{\"mpps\":10.0,\"flows\":4}";
+        let cur = "{\"mpps\":10.0,\"flows\":4,\
+                    \"reconfig_migrated_flows_total\":3,\
+                    \"datapoints\":[{\"jain\":0.97,\"cycles\":7}]}";
+        let r = compare("t", base, cur).unwrap();
+        assert!(r.ok(), "new metrics alone must not fail the gate");
+        assert_eq!(
+            r.added,
+            vec![
+                "reconfig_migrated_flows_total".to_string(),
+                "datapoints[0].jain".to_string(),
+            ]
+        );
+        // Context-only additions (`cycles`) are not reported, and an
+        // unchanged pair reports nothing.
+        assert!(compare("t", base, base).unwrap().added.is_empty());
+        // The additions survive into the trajectory artifact.
+        let (_, doc) = MetricsRegistry::parse_document(&r.to_json()).unwrap();
+        let added = doc.get("added").unwrap().as_array().unwrap();
+        assert_eq!(added.len(), 2);
+        assert_eq!(added[0].as_str(), Some("reconfig_migrated_flows_total"));
     }
 
     #[test]

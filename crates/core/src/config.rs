@@ -138,6 +138,19 @@ impl Default for ObsConfig {
     }
 }
 
+/// Default [`MiddleboxConfig::reconfig_fixed_cycles`]: 20 000 cycles
+/// (10 µs at 2 GHz) — the order of an ethtool indirection-table write
+/// plus a barrier across eight polling cores.
+fn default_reconfig_fixed_cycles() -> u64 {
+    20_000
+}
+
+/// Default [`MiddleboxConfig::migrate_flow_cycles`]: 400 cycles per
+/// moved entry (hash, remove, hook calls, insert — a few cache misses).
+fn default_migrate_flow_cycles() -> u64 {
+    400
+}
+
 /// Parameters of the simulated middlebox server.
 ///
 /// Defaults reproduce the paper's testbed (§5): 8 worker cores on a
@@ -188,6 +201,17 @@ pub struct MiddleboxConfig {
     /// Spray each flow over only `k` cores (§7 programmable-NIC subset
     /// spraying; implies no Flow Director cap). `None` = all cores.
     pub spray_subset_k: Option<usize>,
+    /// Fixed cycle cost of one elastic reconfiguration (quiesce the
+    /// cores, reprogram the NIC, swap the core map) regardless of table
+    /// size. Charged as downtime by the simulator's
+    /// [`crate::runtime_sim::MiddleboxSim::reconfigure`].
+    #[serde(default = "default_reconfig_fixed_cycles")]
+    pub reconfig_fixed_cycles: u64,
+    /// Per-migrated-flow cycle cost (export + import of one table
+    /// entry, including the NF freeze/adopt hooks). Multiplied by the
+    /// number of flows whose designated core changes.
+    #[serde(default = "default_migrate_flow_cycles")]
+    pub migrate_flow_cycles: u64,
     /// Link speed of the NIC ports.
     pub link: LinkSpeed,
     /// Observability switches (tracing, latency histograms). Off by
@@ -214,6 +238,8 @@ impl MiddleboxConfig {
                 DispatchMode::Rss => None,
             },
             spray_subset_k: None,
+            reconfig_fixed_cycles: default_reconfig_fixed_cycles(),
+            migrate_flow_cycles: default_migrate_flow_cycles(),
             link: LinkSpeed::TEN_GBE,
             obs: ObsConfig::disabled(),
         }

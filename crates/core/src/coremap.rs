@@ -17,15 +17,53 @@
 //!   key).
 
 use crate::config::DispatchMode;
-use sprayer_net::{FiveTuple, FlowKey};
+use sprayer_net::flow::splitmix64;
+use sprayer_net::{FiveTuple, FiveTupleV6, FlowKey, FlowKeyV6};
 use sprayer_nic::RssConfig;
 
 /// Mode-aware flow→core mapping shared by dispatchers and flow tables.
+///
+/// Static runs use [`CoreMap::new`] (the pinned modulo hash the committed
+/// experiment baselines depend on). Elastic runs — where the core count
+/// changes online — use [`CoreMap::elastic`] / [`CoreMap::rescaled`]:
+/// Sprayer designation switches to rendezvous (highest-random-weight)
+/// hashing over a *designated set* that never grows across epochs:
+///
+/// * **scale-up** — existing assignments are pinned (zero migration).
+///   Spraying means the joining cores take data-plane load immediately —
+///   any core can process any packet and read foreign state — so there
+///   is no correctness or throughput reason to move designated state;
+///   the cost is only that new cores hold no flow state until the set
+///   next shrinks (§6: scaling with Sprayer "requires no migration").
+/// * **scale-down** — the designated set shrinks to the survivors and
+///   rendezvous minimality moves exactly the leavers' flows.
+///
+/// The RSS comparison path instead reprograms the indirection table on
+/// every rescale and must migrate every flow whose queue changed — the
+/// asymmetry `fig_elastic` measures.
 #[derive(Debug, Clone)]
 pub struct CoreMap {
     mode: DispatchMode,
     num_cores: usize,
+    /// Cores eligible to hold designated flow state. Equal to
+    /// `num_cores` for static maps; for elastic Sprayer maps it only
+    /// ever shrinks (`min` across rescales), implementing scale-up
+    /// pinning.
+    designated_cores: usize,
     rss: RssConfig,
+    rendezvous: bool,
+    epoch: u64,
+}
+
+/// Rendezvous (HRW) winner: the core with the highest pseudo-random
+/// score for this flow hash. Deterministic, and minimal-movement by
+/// construction: a core's score for a flow never changes, so adding a
+/// core only steals the flows it now wins, and removing one only
+/// redistributes the flows it held.
+fn rendezvous_core(hash: u64, num_cores: usize) -> usize {
+    (0..num_cores)
+        .max_by_key(|&core| splitmix64(hash ^ splitmix64(0xe1a5_71c0 ^ core as u64)))
+        .expect("at least one core")
 }
 
 impl CoreMap {
@@ -35,7 +73,42 @@ impl CoreMap {
         CoreMap {
             mode,
             num_cores,
+            designated_cores: num_cores,
             rss: RssConfig::symmetric(num_cores),
+            rendezvous: false,
+            epoch: 0,
+        }
+    }
+
+    /// A core map prepared for online rescaling (epoch 0): Sprayer
+    /// designation uses rendezvous hashing instead of the static modulo
+    /// hash, so successive [`CoreMap::rescaled`] generations move
+    /// minimally many designated-core assignments.
+    pub fn elastic(mode: DispatchMode, num_cores: usize) -> Self {
+        let mut map = CoreMap::new(mode, num_cores);
+        map.rendezvous = mode == DispatchMode::Sprayer;
+        map
+    }
+
+    /// The next elastic generation with `new_cores` cores: epoch
+    /// advances by one. Under rendezvous (elastic Sprayer) the
+    /// designated set is pinned on scale-up and shrunk to the survivors
+    /// on scale-down (see the type docs); the RSS indirection table is
+    /// rebuilt round-robin over the new queue count on every rescale.
+    pub fn rescaled(&self, new_cores: usize) -> Self {
+        assert!(new_cores >= 1);
+        let designated_cores = if self.rendezvous {
+            self.designated_cores.min(new_cores)
+        } else {
+            new_cores
+        };
+        CoreMap {
+            mode: self.mode,
+            num_cores: new_cores,
+            designated_cores,
+            rss: RssConfig::symmetric(new_cores),
+            rendezvous: self.rendezvous,
+            epoch: self.epoch + 1,
         }
     }
 
@@ -49,9 +122,30 @@ impl CoreMap {
         self.mode
     }
 
+    /// Reconfiguration epoch: 0 at construction, +1 per
+    /// [`CoreMap::rescaled`] generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when Sprayer designation uses the elastic rendezvous hash.
+    pub fn is_rendezvous(&self) -> bool {
+        self.rendezvous
+    }
+
+    /// Cores eligible to hold designated flow state (≤
+    /// [`CoreMap::num_cores`]; smaller only after an elastic Sprayer map
+    /// scaled up, where existing assignments are pinned).
+    pub fn designated_cores(&self) -> usize {
+        self.designated_cores
+    }
+
     /// The designated core for a canonical flow key.
     pub fn designated_for_key(&self, key: &FlowKey) -> usize {
         match self.mode {
+            DispatchMode::Sprayer if self.rendezvous => {
+                rendezvous_core(key.stable_hash(), self.designated_cores)
+            }
             DispatchMode::Sprayer => (key.stable_hash() % self.num_cores as u64) as usize,
             // Under RSS, state lives wherever RSS puts the flow's packets.
             // The key is canonical; reconstruct a representative tuple:
@@ -76,6 +170,33 @@ impl CoreMap {
             DispatchMode::Sprayer => self.designated_for_key(&tuple.key()),
             DispatchMode::Rss => usize::from(self.rss.queue_for(tuple)),
         }
+    }
+
+    /// The designated core for a canonical IPv6 flow key. Symmetric for
+    /// the same reason as the IPv4 path: the key is direction-insensitive
+    /// and the RSS representative goes through the symmetric Toeplitz key.
+    pub fn designated_for_v6_key(&self, key: &FlowKeyV6) -> usize {
+        match self.mode {
+            DispatchMode::Sprayer if self.rendezvous => {
+                rendezvous_core(key.stable_hash(), self.designated_cores)
+            }
+            DispatchMode::Sprayer => (key.stable_hash() % self.num_cores as u64) as usize,
+            DispatchMode::Rss => {
+                let t = FiveTupleV6 {
+                    src_addr: key.lo.0,
+                    dst_addr: key.hi.0,
+                    src_port: key.lo.1,
+                    dst_port: key.hi.1,
+                    protocol: key.protocol,
+                };
+                usize::from(self.rss.queue_for_v6(&t))
+            }
+        }
+    }
+
+    /// The designated core for a directed IPv6 tuple.
+    pub fn designated_for_v6_tuple(&self, tuple: &FiveTupleV6) -> usize {
+        self.designated_for_v6_key(&tuple.key())
     }
 }
 
@@ -142,5 +263,192 @@ mod tests {
             seen.insert(map.designated_for_tuple(&t));
         }
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn port_zero_flows_stay_symmetric() {
+        // Port 0 is a degenerate but wire-legal value (e.g. crafted
+        // scans); the designated core must still be direction-blind.
+        for mode in [DispatchMode::Sprayer, DispatchMode::Rss] {
+            let map = CoreMap::new(mode, 8);
+            for i in 0..50u32 {
+                let t = FiveTuple::tcp(0x0a00_0000 + i, 0, 0xc0a8_0001, 443);
+                assert_eq!(
+                    map.designated_for_tuple(&t),
+                    map.designated_for_tuple(&t.reversed()),
+                    "{mode:?} flow {i} (src port 0)"
+                );
+                let u = FiveTuple::udp(0x0a00_0000 + i, 0, 0xc0a8_0001, 0);
+                assert_eq!(
+                    map.designated_for_tuple(&u),
+                    map.designated_for_tuple(&u.reversed()),
+                    "{mode:?} flow {i} (both ports 0)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_endpoints_stay_symmetric() {
+        // src == dst (addr and port): reversal is the identity on the
+        // wire but exercises the canonicalization tie-break.
+        for mode in [DispatchMode::Sprayer, DispatchMode::Rss] {
+            let map = CoreMap::new(mode, 8);
+            let t = FiveTuple::tcp(0x7f00_0001, 8080, 0x7f00_0001, 8080);
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_tuple(&t.reversed())
+            );
+            assert_eq!(
+                map.designated_for_tuple(&t),
+                map.designated_for_key(&t.key())
+            );
+            // Same address, crossing ports: the two directions are
+            // distinct tuples that must still share one core.
+            let x = FiveTuple::tcp(0x7f00_0001, 1, 0x7f00_0001, 2);
+            assert_eq!(
+                map.designated_for_tuple(&x),
+                map.designated_for_tuple(&x.reversed()),
+                "{mode:?} same-addr crossing ports"
+            );
+        }
+    }
+
+    #[test]
+    fn ipv6_mapping_is_symmetric_and_in_range() {
+        let a = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let b = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        for mode in [DispatchMode::Sprayer, DispatchMode::Rss] {
+            for n in [1usize, 3, 8] {
+                let map = CoreMap::new(mode, n);
+                for sport in [0u16, 1, 40_000] {
+                    let t = FiveTupleV6::tcp(a, sport, b, 443);
+                    let d = map.designated_for_v6_tuple(&t);
+                    assert!(d < n, "{mode:?} n={n}");
+                    assert_eq!(d, map.designated_for_v6_tuple(&t.reversed()));
+                    assert_eq!(d, map.designated_for_v6_key(&t.key()));
+                }
+                // Identical v6 endpoints.
+                let same = FiveTupleV6::udp(a, 53, a, 53);
+                assert_eq!(
+                    map.designated_for_v6_tuple(&same),
+                    map.designated_for_v6_tuple(&same.reversed())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_mapping_is_symmetric_and_spreads() {
+        let map = CoreMap::elastic(DispatchMode::Sprayer, 8);
+        assert!(map.is_rendezvous());
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..400u32 {
+            let t = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443);
+            let d = map.designated_for_tuple(&t);
+            assert!(d < 8);
+            assert_eq!(d, map.designated_for_tuple(&t.reversed()));
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn rendezvous_scale_up_pins_every_designated_assignment() {
+        // Scale-up needs no designated-state migration at all: the
+        // designated set is pinned and joiners only take sprayed
+        // data-plane work (§6's "no migration" claim).
+        let old = CoreMap::elastic(DispatchMode::Sprayer, 4);
+        let new = old.rescaled(6);
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(new.num_cores(), 6);
+        assert_eq!(new.designated_cores(), 4);
+        for i in 0..2_000u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            assert_eq!(
+                old.designated_for_key(&key),
+                new.designated_for_key(&key),
+                "scale-up must not move any designated assignment"
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_scale_down_only_moves_the_leavers_flows() {
+        let old = CoreMap::elastic(DispatchMode::Sprayer, 5);
+        let new = old.rescaled(4);
+        assert_eq!(new.designated_cores(), 4);
+        let mut moved = 0usize;
+        for i in 0..2_000u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            let (a, b) = (old.designated_for_key(&key), new.designated_for_key(&key));
+            if a != 4 {
+                assert_eq!(a, b, "flows not on the leaver must not move");
+            } else {
+                assert!(b < 4);
+                moved += 1;
+            }
+        }
+        // The leaver held ≈ 1/5 of 2000 flows; generous slack.
+        assert!((200..=600).contains(&moved), "moved {moved} of 2000");
+    }
+
+    #[test]
+    fn rendezvous_designated_set_shrinks_but_never_regrows() {
+        // up (pin) → down (shrink to survivors) → up (pin again): the
+        // designated set tracks the minimum, so repeated elasticity
+        // never forces migration on the up-leg.
+        let e0 = CoreMap::elastic(DispatchMode::Sprayer, 2);
+        let e1 = e0.rescaled(4);
+        let e2 = e1.rescaled(2);
+        let e3 = e2.rescaled(8);
+        assert_eq!(
+            [
+                e1.designated_cores(),
+                e2.designated_cores(),
+                e3.designated_cores()
+            ],
+            [2, 2, 2]
+        );
+        for i in 0..500u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            let d = e0.designated_for_key(&key);
+            assert_eq!(d, e1.designated_for_key(&key));
+            assert_eq!(d, e2.designated_for_key(&key));
+            assert_eq!(d, e3.designated_for_key(&key));
+        }
+    }
+
+    #[test]
+    fn elastic_rss_rescale_moves_most_flows() {
+        // The comparison fig_elastic quantifies: reprogramming the
+        // indirection table round-robin over a new queue count remaps
+        // most hash buckets, so most flows migrate.
+        let old = CoreMap::elastic(DispatchMode::Rss, 4);
+        let new = old.rescaled(5);
+        let mut moved = 0usize;
+        for i in 0..2_000u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            if old.designated_for_key(&key) != new.designated_for_key(&key) {
+                moved += 1;
+            }
+        }
+        assert!(moved > 1_000, "RSS rescale moved only {moved} of 2000");
+    }
+
+    #[test]
+    fn static_map_is_unchanged_by_elastic_machinery() {
+        // The committed baselines pin the static modulo designation:
+        // CoreMap::new must keep producing it bit-for-bit.
+        let map = CoreMap::new(DispatchMode::Sprayer, 8);
+        assert!(!map.is_rendezvous());
+        assert_eq!(map.epoch(), 0);
+        for i in 0..100u32 {
+            let key = FiveTuple::tcp(i, 1, !i, 2).key();
+            assert_eq!(
+                map.designated_for_key(&key),
+                (key.stable_hash() % 8) as usize
+            );
+        }
     }
 }

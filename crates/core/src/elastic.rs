@@ -1,0 +1,145 @@
+//! Elastic reconfiguration primitives shared by both runtimes.
+//!
+//! An elastic middlebox changes its worker-core count while flows are
+//! live. Each reconfiguration is an *epoch transition* executed in four
+//! steps — quiesce → remap → migrate → resume:
+//!
+//! 1. **quiesce** — in-flight work is pulled off the cores (the
+//!    simulator re-queues it; the threaded runtime joins its workers at
+//!    a phase barrier);
+//! 2. **remap** — the [`crate::coremap::CoreMap`] advances one epoch
+//!    ([`crate::coremap::CoreMap::rescaled`]) and the NIC is
+//!    reprogrammed for the new queue count. Under Sprayer the designated
+//!    mapping is a rendezvous hash over a set that never grows: a
+//!    scale-up pins every existing assignment (zero migration — the
+//!    joiners take sprayed data-plane work immediately) and a
+//!    scale-down moves exactly the leavers' flows; under RSS the
+//!    indirection table is rebuilt and every flow whose queue changed
+//!    moves;
+//! 3. **migrate** — every flow whose designated core changed is exported
+//!    from the old table and imported into the new one, running the NF's
+//!    [`crate::api::NetworkFunction::freeze_flow`] /
+//!    [`crate::api::NetworkFunction::adopt_flow`] hooks;
+//! 4. **resume** — cores restart; the pause is charged as *downtime*
+//!    proportional to the number of migrated flows.
+//!
+//! A [`ReconfigReport`] records what one transition did and what it
+//! cost. The `sprayer-ctl` crate turns a schedule of transitions into a
+//! [`ReconfigReport`] series and registry telemetry.
+
+use crate::config::DispatchMode;
+use serde::{Deserialize, Serialize};
+
+/// Outcome and cost of one elastic reconfiguration (epoch transition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// The epoch the transition moved *to*.
+    pub epoch: u64,
+    /// Dispatch mode of the middlebox (determines the remap policy).
+    pub mode: DispatchMode,
+    /// Active cores before the transition.
+    pub from_cores: usize,
+    /// Active cores after the transition.
+    pub to_cores: usize,
+    /// Flows whose designated core changed (export + import executed).
+    pub migrated_flows: u64,
+    /// Flows that stayed on their designated core.
+    pub retained_flows: u64,
+    /// In-flight packets pulled off the cores and re-admitted through
+    /// the new steering (counted in the conservation invariant: each is
+    /// eventually processed or dropped, never lost).
+    pub migrated_packets: u64,
+    /// Length of the processing pause, nanoseconds (simulated time in
+    /// the simulator, wall time in the threaded runtime).
+    pub downtime_ns: u64,
+    /// When the transition started, nanoseconds since run start.
+    pub at_ns: u64,
+}
+
+impl ReconfigReport {
+    /// Fraction of pre-transition flows that had to move.
+    pub fn migrated_fraction(&self) -> f64 {
+        let total = self.migrated_flows + self.retained_flows;
+        if total == 0 {
+            0.0
+        } else {
+            self.migrated_flows as f64 / total as f64
+        }
+    }
+
+    /// One JSON object (integers and one string, hand-rolled like
+    /// [`crate::stats::MiddleboxStats::to_json`]) for registry datapoint
+    /// arrays.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\":{},\"mode\":\"{}\",\"from_cores\":{},\"to_cores\":{},\
+             \"migrated_flows\":{},\"retained_flows\":{},\"migrated_packets\":{},\
+             \"downtime_ns\":{},\"at_ns\":{}}}",
+            self.epoch,
+            self.mode,
+            self.from_cores,
+            self.to_cores,
+            self.migrated_flows,
+            self.retained_flows,
+            self.migrated_packets,
+            self.downtime_ns,
+            self.at_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrated_fraction_handles_empty_tables() {
+        let r = ReconfigReport {
+            epoch: 1,
+            mode: DispatchMode::Sprayer,
+            from_cores: 2,
+            to_cores: 4,
+            migrated_flows: 0,
+            retained_flows: 0,
+            migrated_packets: 0,
+            downtime_ns: 0,
+            at_ns: 0,
+        };
+        assert_eq!(r.migrated_fraction(), 0.0);
+        let r = ReconfigReport {
+            migrated_flows: 1,
+            retained_flows: 3,
+            ..r
+        };
+        assert!((r.migrated_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_includes_every_field() {
+        let r = ReconfigReport {
+            epoch: 2,
+            mode: DispatchMode::Rss,
+            from_cores: 4,
+            to_cores: 2,
+            migrated_flows: 11,
+            retained_flows: 7,
+            migrated_packets: 3,
+            downtime_ns: 12_500,
+            at_ns: 1_000_000,
+        };
+        let j = r.to_json();
+        for needle in [
+            "\"epoch\":2",
+            "\"mode\":\"RSS\"",
+            "\"from_cores\":4",
+            "\"to_cores\":2",
+            "\"migrated_flows\":11",
+            "\"retained_flows\":7",
+            "\"migrated_packets\":3",
+            "\"downtime_ns\":12500",
+            "\"at_ns\":1000000",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+    }
+}

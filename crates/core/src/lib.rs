@@ -26,6 +26,7 @@
 //! | [`api`] | the flow-state API of the paper's Table 2 + the [`api::NetworkFunction`] programming model (§3.4) |
 //! | [`coremap`] | designated-core mapping, mode-aware (RSS vs. spray) |
 //! | [`tables`] | flow-table backends: single-threaded (for the deterministic simulator) and shared (for real threads) — both enforcing write partition by construction |
+//! | [`elastic`] | elastic reconfiguration: epoch transitions, flow-state migration accounting ([`elastic::ReconfigReport`]) |
 //! | [`config`] | middlebox model parameters (cores, clock, cycle costs) |
 //! | [`runtime_sim`] | the deterministic discrete-event middlebox used by every experiment |
 //! | [`runtime_threads`] | a real `std::thread` runtime over crossbeam rings, functionally equivalent |
@@ -90,6 +91,7 @@
 pub mod api;
 pub mod config;
 pub mod coremap;
+pub mod elastic;
 pub mod runtime_sim;
 pub mod runtime_threads;
 pub mod stats;
@@ -100,6 +102,8 @@ pub use api::{
 };
 pub use config::{DispatchMode, MiddleboxConfig, ObsConfig};
 pub use coremap::CoreMap;
+pub use elastic::ReconfigReport;
 pub use runtime_sim::MiddleboxSim;
 pub use runtime_threads::ThreadedMiddlebox;
 pub use stats::MiddleboxStats;
+pub use tables::MigrationStats;

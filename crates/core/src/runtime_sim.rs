@@ -17,7 +17,8 @@
 use crate::api::{NetworkFunction, NfConfig, Verdict};
 use crate::config::{DispatchMode, MiddleboxConfig};
 use crate::coremap::CoreMap;
-use crate::stats::MiddleboxStats;
+use crate::elastic::ReconfigReport;
+use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::LocalTables;
 use sprayer_net::Packet;
 use sprayer_nic::{Nic, NicConfig, RxSteering};
@@ -125,20 +126,46 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     /// Present iff `config.obs.sample`: one delta series per core on the
     /// simulated-time (picosecond) grid.
     samplers: Option<Vec<TimeSeries>>,
+    /// Cores pause until this instant after a reconfiguration (the
+    /// quiesce-and-migrate downtime). `Time::ZERO` = not frozen.
+    frozen_until: Time,
+    /// One report per completed [`MiddleboxSim::reconfigure`] call.
+    reconfigs: Vec<ReconfigReport>,
 }
 
 impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// Build the middlebox from a model configuration and an NF.
     pub fn new(config: MiddleboxConfig, nf: NF) -> Self {
-        let nf_config = nf.config();
-        let nic_config = match config.mode {
-            DispatchMode::Rss => NicConfig::rss(config.num_cores),
+        Self::build(config, nf, false)
+    }
+
+    /// Build an *elastic* middlebox: identical to [`MiddleboxSim::new`]
+    /// except that under Sprayer the designated-core mapping is the
+    /// rendezvous hash ([`CoreMap::elastic`]), so later
+    /// [`MiddleboxSim::reconfigure`] calls migrate only the flows
+    /// touching the joining or leaving cores.
+    pub fn new_elastic(config: MiddleboxConfig, nf: NF) -> Self {
+        Self::build(config, nf, true)
+    }
+
+    /// The NIC configuration for this dispatch mode at a queue count —
+    /// used at construction and again on every reconfiguration (the
+    /// "reprogram the NIC" step: a fresh round-robin indirection table
+    /// under RSS, fresh checksum-spray filters under Sprayer).
+    fn nic_config_for(config: &MiddleboxConfig, num_queues: usize) -> NicConfig {
+        match config.mode {
+            DispatchMode::Rss => NicConfig::rss(num_queues),
             DispatchMode::Sprayer => NicConfig {
                 fdir_rate_cap_pps: config.fdir_cap_pps,
                 spray_subset_k: config.spray_subset_k,
-                ..NicConfig::sprayer(config.num_cores)
+                ..NicConfig::sprayer(num_queues)
             },
-        };
+        }
+    }
+
+    fn build(config: MiddleboxConfig, nf: NF, elastic: bool) -> Self {
+        let nf_config = nf.config();
+        let nic_config = Self::nic_config_for(&config, config.num_cores);
         // Under subset spraying, a flow's packets only visit the k queues
         // anchored at its RSS queue — so its state must live there too:
         // the designated core follows the RSS map (the subset anchor)
@@ -149,7 +176,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             } else {
                 config.mode
             };
-        let coremap = CoreMap::new(designated_mode, config.num_cores);
+        let coremap = if elastic {
+            CoreMap::elastic(designated_mode, config.num_cores)
+        } else {
+            CoreMap::new(designated_mode, config.num_cores)
+        };
         let tables = LocalTables::new(coremap.clone(), nf_config.flow_table_capacity);
         let cores = (0..config.num_cores)
             .map(|_| CoreSim {
@@ -188,6 +219,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             tracer,
             probes,
             samplers,
+            frozen_until: Time::ZERO,
+            reconfigs: Vec::new(),
             config,
         }
     }
@@ -272,6 +305,23 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// The flow tables (for assertions about state placement).
     pub fn tables(&self) -> &LocalTables<NF::Flow> {
         &self.tables
+    }
+
+    /// The designated-core map currently in force.
+    pub fn coremap(&self) -> &CoreMap {
+        &self.coremap
+    }
+
+    /// Cores currently receiving work. The internal core array never
+    /// shrinks — after a scale-down the trailing cores go inactive but
+    /// keep their cumulative stats.
+    pub fn active_cores(&self) -> usize {
+        self.coremap.num_cores()
+    }
+
+    /// Reports from every [`MiddleboxSim::reconfigure`] call, in order.
+    pub fn reconfigs(&self) -> &[ReconfigReport] {
+        &self.reconfigs
     }
 
     /// The NF instance.
@@ -409,6 +459,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         if self.cores[core].current.is_some() {
             return;
         }
+        // During a reconfiguration pause, cores accept no new work. The
+        // wake events [`MiddleboxSim::reconfigure`] schedules at the thaw
+        // instant restart every active core.
+        if now < self.frozen_until {
+            return;
+        }
         // Ring (connection) work first: §3.3 batches local and foreign
         // connection packets into the connection handler.
         let (job, service_cycles) = if let Some(job) = self.cores[core].ring.pop() {
@@ -488,10 +544,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
 
     /// A core's current service completed at `now`.
     fn complete(&mut self, core: usize, now: Time) {
-        let (job, effect) = self.cores[core]
-            .current
-            .take()
-            .expect("completion event without a current job");
+        let Some((job, effect)) = self.cores[core].current.take() else {
+            // A job-less event is a scheduled *kick*: either the wake
+            // event a reconfiguration posts at its thaw instant, or the
+            // orphaned completion of a service that was cancelled when
+            // its packet was migrated mid-flight.
+            self.kick(core, now);
+            return;
+        };
         match effect {
             Effect::Redirect(target) => {
                 self.stats.per_core[core].redirected_out += 1;
@@ -577,6 +637,134 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             }
         }
         self.kick(core, now);
+    }
+
+    /// Elastically resize the middlebox to `new_cores` worker cores at
+    /// simulated time `at` — the quiesce → remap → migrate → resume
+    /// epoch transition described in [`crate::elastic`].
+    ///
+    /// * Every queued or in-service packet is pulled off the cores and
+    ///   re-admitted through the reprogrammed NIC (counted in
+    ///   [`ReconfigReport::migrated_packets`]); re-admission overflow
+    ///   lands in `queue_drops`, so
+    ///   [`MiddleboxStats::unaccounted`] stays zero.
+    /// * The core map advances one epoch and every flow whose designated
+    ///   core changed migrates, running the NF's
+    ///   [`NetworkFunction::freeze_flow`] /
+    ///   [`NetworkFunction::adopt_flow`] hooks.
+    /// * Processing then pauses for `reconfig_fixed_cycles +
+    ///   migrate_flow_cycles × migrated_flows` cycles of downtime;
+    ///   packets arriving during the pause queue up (and tail-drop once
+    ///   the queues fill) — exactly the throughput dip the `fig_elastic`
+    ///   experiment measures.
+    ///
+    /// Stats conservation holds across the transition; per-packet event
+    /// *traces* do not (a cancelled service leaves an `NfStart` without
+    /// a matching `NfDone`), so elastic runs are exercised with
+    /// sampling, not tracing.
+    pub fn reconfigure(&mut self, at: Time, new_cores: usize) -> ReconfigReport {
+        assert!(new_cores >= 1, "cannot scale to zero cores");
+        self.advance_until(at);
+        let now = self.now;
+        let from_cores = self.coremap.num_cores();
+
+        // Quiesce: strip every core of queued and in-service work. The
+        // already-scheduled completion events of cancelled services
+        // resolve as bare kicks.
+        let mut stranded: Vec<Job> = Vec::new();
+        for core in &mut self.cores {
+            if let Some((job, _)) = core.current.take() {
+                stranded.push(job);
+            }
+            while let Some(job) = core.ring.pop() {
+                stranded.push(job);
+            }
+            while let Some(job) = core.rx.pop() {
+                stranded.push(job);
+            }
+            core.burst = 0;
+        }
+
+        // Remap: next core-map epoch + NIC reprogram for the new queue
+        // count.
+        let new_map = self.coremap.rescaled(new_cores);
+        self.nic = Nic::new(Self::nic_config_for(&self.config, new_cores));
+
+        // Migrate: re-bucket the flow tables under the new map, running
+        // the NF's export/import hooks for each moved flow.
+        let nf = &self.nf;
+        let migration = self
+            .tables
+            .rescale(new_map.clone(), &mut |key, state, _from, to| {
+                nf.freeze_flow(key, state);
+                nf.adopt_flow(key, state, to);
+            });
+        self.coremap = new_map;
+
+        // Grow per-core structures on scale-up (never shrink: removed
+        // cores keep their history and stale heap events stay in range).
+        while self.cores.len() < new_cores {
+            self.cores.push(CoreSim {
+                rx: BoundedFifo::new(self.config.queue_capacity),
+                ring: BoundedFifo::new(self.config.ring_capacity),
+                current: None,
+                burst: 0,
+            });
+        }
+        while self.stats.per_core.len() < new_cores {
+            self.stats.per_core.push(CoreStats::default());
+        }
+        if let Some(s) = self.samplers.as_mut() {
+            let interval = self.config.obs.sample_interval_us.max(1) * SIM_TICKS_PER_US;
+            while s.len() < new_cores {
+                s.push(TimeSeries::new(
+                    interval,
+                    self.config.obs.sample_capacity.max(2),
+                ));
+            }
+        }
+
+        // Downtime: fixed epoch cost plus per-migrated-flow export and
+        // import.
+        let pause_cycles = self.config.reconfig_fixed_cycles
+            + self.config.migrate_flow_cycles * migration.migrated_flows;
+        let downtime = self.config.clock.cycles_to_time(pause_cycles);
+        self.frozen_until = now + downtime;
+
+        // Resume: re-admit the stranded packets through the new steering
+        // (they were admitted once already, so the Flow Director cap does
+        // not re-apply) and wake every active core at the thaw instant.
+        let migrated_packets = stranded.len() as u64;
+        for job in stranded {
+            let (queue, _) = self.nic.steer(&job.pkt);
+            let core = usize::from(queue);
+            let job = Job {
+                via_ring: false,
+                relayed_at: None,
+                ..job
+            };
+            if self.cores[core].rx.push(job).is_err() {
+                self.stats.queue_drops += 1;
+                self.sample(core, now, |s| s.queue_drops += 1);
+            }
+        }
+        for core in 0..new_cores {
+            self.schedule(self.frozen_until, core);
+        }
+
+        let report = ReconfigReport {
+            epoch: self.coremap.epoch(),
+            mode: self.config.mode,
+            from_cores,
+            to_cores: new_cores,
+            migrated_flows: migration.migrated_flows,
+            retained_flows: migration.retained_flows,
+            migrated_packets,
+            downtime_ns: downtime.as_ps() / 1_000,
+            at_ns: now.as_ps() / 1_000,
+        };
+        self.reconfigs.push(report);
+        report
     }
 }
 
@@ -1010,6 +1198,264 @@ mod tests {
         assert!(egress[0].0 > Time::ZERO);
         assert_eq!(egress[0].1.tuple(), Some(t));
         assert!(mb.take_egress().is_empty(), "take_egress drains");
+    }
+
+    /// NF that counts migration-hook invocations, to pin the export /
+    /// import protocol: freeze on the old core, adopt with the new
+    /// owner, exactly once per moved flow.
+    struct HookNf {
+        freezes: std::sync::atomic::AtomicU64,
+        adopts: std::sync::atomic::AtomicU64,
+    }
+    impl HookNf {
+        fn new() -> Self {
+            HookNf {
+                freezes: std::sync::atomic::AtomicU64::new(0),
+                adopts: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+    impl NetworkFunction for HookNf {
+        type Flow = usize;
+        fn descriptor(&self) -> NfDescriptor {
+            NfDescriptor::named("hooks")
+        }
+        fn connection_packets(
+            &self,
+            pkt: &mut Packet,
+            ctx: &mut dyn FlowStateApi<usize>,
+        ) -> Verdict {
+            if let Some(t) = pkt.tuple() {
+                let core = ctx.core_id();
+                ctx.insert_local_flow(t.key(), core);
+            }
+            Verdict::Forward
+        }
+        fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<usize>) -> Verdict {
+            match pkt.tuple().and_then(|t| ctx.get_flow(&t.key())) {
+                Some(_) => Verdict::Forward,
+                None => Verdict::Drop,
+            }
+        }
+        fn freeze_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut usize) {
+            self.freezes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn adopt_flow(&self, _key: &sprayer_net::FlowKey, state: &mut usize, new_core: usize) {
+            *state = new_core;
+            self.adopts
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Install `n` flows (SYN each), then `pkts` regular packets per
+    /// flow starting at `start`, 1 µs apart globally.
+    fn drive_flows<NF: NetworkFunction>(
+        mb: &mut MiddleboxSim<NF>,
+        n: u32,
+        pkts: u32,
+        start: Time,
+    ) -> Time {
+        let mut now = start;
+        for i in 0..n {
+            now += Time::from_us(1);
+            let t = flow(i);
+            mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        }
+        for j in 0..pkts {
+            for i in 0..n {
+                now += Time::from_us(1);
+                let p =
+                    PacketBuilder::new().tcp(flow(i), j + 1, 0, TcpFlags::ACK, &payload(i * 7 + j));
+                mb.ingress(now, p);
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn elastic_scale_up_migrates_nothing_and_conserves() {
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 2;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let now = drive_flows(&mut mb, 32, 4, Time::ZERO);
+
+        let report = mb.reconfigure(now + Time::from_us(10), 4);
+        assert_eq!(report.from_cores, 2);
+        assert_eq!(report.to_cores, 4);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(
+            report.migrated_flows, 0,
+            "Sprayer scale-up pins designated assignments"
+        );
+        assert_eq!(report.retained_flows, 32);
+        assert!(report.downtime_ns > 0, "fixed reconfig cost still applies");
+        assert_eq!(mb.active_cores(), 4);
+
+        // Post-scale traffic spreads over all four cores and still finds
+        // every flow's state.
+        let resume = mb.now() + Time::from_ms(1);
+        let now = drive_flows(&mut mb, 32, 8, resume);
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.nf_drops, 0, "no regular packet may miss flow state");
+        let active = s.per_core.iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 4, "joined cores must take sprayed work");
+        assert_eq!(
+            mb.nf().freezes.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn elastic_scale_down_migrates_leaver_state_and_conserves() {
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let n = 64u32;
+        let now = drive_flows(&mut mb, n, 4, Time::ZERO);
+
+        // Count flows designated to the leaving cores 2 and 3.
+        let old_map = mb.coremap().clone();
+        let on_leavers = (0..n)
+            .filter(|&i| old_map.designated_for_tuple(&flow(i)) >= 2)
+            .count() as u64;
+        assert!(on_leavers > 0, "need flows on the leavers for this test");
+
+        let report = mb.reconfigure(now + Time::from_us(10), 2);
+        assert_eq!(report.migrated_flows, on_leavers);
+        assert_eq!(report.retained_flows, u64::from(n) - on_leavers);
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(mb.nf().freezes.load(ord), on_leavers);
+        assert_eq!(mb.nf().adopts.load(ord), on_leavers);
+
+        // Every flow's state now sits on its (new) designated core, with
+        // the adopt hook having stamped the new owner.
+        for i in 0..n {
+            let key = flow(i).key();
+            let d = mb.coremap().designated_for_key(&key);
+            assert!(d < 2);
+            assert_eq!(
+                mb.tables().peek(d, &key).copied(),
+                Some(if old_map.designated_for_key(&key) >= 2 {
+                    d
+                } else {
+                    old_map.designated_for_key(&key)
+                }),
+                "flow {i}"
+            );
+        }
+
+        // Traffic after the scale-down uses only the surviving cores.
+        let before: Vec<u64> = mb.stats().per_core.iter().map(|c| c.processed).collect();
+        let resume = mb.now() + Time::from_ms(1);
+        let now = drive_flows(&mut mb, n, 4, resume);
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.nf_drops, 0);
+        for (core, was) in before.iter().enumerate().take(4).skip(2) {
+            assert_eq!(
+                s.per_core[core].processed, *was,
+                "removed core {core} must process nothing after the scale-down"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigure_requeues_in_flight_packets_without_loss() {
+        // Overload 2 cores with a heavy NF so queues are deep, then
+        // rescale mid-burst: every in-flight packet must be re-admitted
+        // or counted as a queue drop — never silently lost.
+        let mut config = cfg(DispatchMode::Sprayer, 8_000);
+        config.num_cores = 2;
+        config.fdir_cap_pps = None;
+        let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..600 {
+            now += Time::from_ns(200);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        let report = mb.reconfigure(now, 4);
+        assert!(
+            report.migrated_packets > 0,
+            "a mid-burst rescale must find in-flight packets"
+        );
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.offered, 601);
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+    }
+
+    #[test]
+    fn reconfigure_downtime_pauses_processing() {
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 2;
+        // Make the pause long and visible: 1 ms at 2 GHz.
+        config.reconfig_fixed_cycles = 2_000_000;
+        let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+        let now = drive_flows(&mut mb, 8, 2, Time::ZERO);
+        mb.run_until(now + Time::from_ms(5));
+        let processed_before = mb.stats().processed();
+
+        let at = mb.now();
+        let report = mb.reconfigure(at, 4);
+        let pause_us = report.downtime_ns / 1_000;
+        assert!((990..=1_010).contains(&pause_us), "pause {pause_us} µs");
+
+        // Packets arriving inside the pause wait; none are processed
+        // until the thaw instant.
+        let mut now = at + Time::from_us(10);
+        for i in 0u32..16 {
+            now += Time::from_us(10);
+            let p = PacketBuilder::new().tcp(flow(0), i + 100, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.advance_until(at + Time::from_us(900));
+        assert_eq!(
+            mb.stats().processed(),
+            processed_before,
+            "no packet may be processed during the reconfig pause"
+        );
+        mb.run_until(at + Time::from_ms(20));
+        assert!(mb.is_idle());
+        assert_eq!(mb.stats().unaccounted(), 0);
+        assert_eq!(mb.stats().processed(), processed_before + 16);
+    }
+
+    #[test]
+    fn elastic_sprayer_migrates_fewer_flows_than_rss_on_same_trace() {
+        // The acceptance comparison: identical flow population, same
+        // scale-up (2→4) and scale-down (4→2) events — Sprayer must
+        // migrate strictly fewer flows than RSS.
+        let run = |mode: DispatchMode| {
+            let mut config = cfg(mode, 1_000);
+            config.num_cores = 2;
+            let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+            let now = drive_flows(&mut mb, 128, 2, Time::ZERO);
+            let r1 = mb.reconfigure(now + Time::from_ms(1), 4);
+            let resume = mb.now() + Time::from_ms(1);
+            let now = drive_flows(&mut mb, 128, 2, resume);
+            let r2 = mb.reconfigure(now + Time::from_ms(1), 2);
+            mb.run_until(mb.now() + Time::from_ms(50));
+            assert!(mb.is_idle());
+            assert_eq!(mb.stats().unaccounted(), 0);
+            r1.migrated_flows + r2.migrated_flows
+        };
+        let sprayer = run(DispatchMode::Sprayer);
+        let rss = run(DispatchMode::Rss);
+        assert_eq!(
+            sprayer, 0,
+            "pin on scale-up, survivors keep flows on scale-down"
+        );
+        assert!(rss > 0, "RSS table reprogramming must move flows");
     }
 
     #[test]

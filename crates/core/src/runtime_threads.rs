@@ -38,6 +38,7 @@
 use crate::api::{NetworkFunction, Verdict};
 use crate::config::{DispatchMode, ObsConfig};
 use crate::coremap::CoreMap;
+use crate::elastic::ReconfigReport;
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::{SharedCtx, SharedTables};
 use crossbeam::queue::ArrayQueue;
@@ -157,6 +158,12 @@ pub struct ThreadedOutcome {
     /// (all phases share one anchor `Instant`). Ingress-side queue
     /// drops are folded into the target worker's series.
     pub samples: Option<SampleSet>,
+    /// One report per elastic transition executed by
+    /// [`ThreadedMiddlebox::run_elastic`] (empty for fixed-width runs).
+    /// `downtime_ns` is the wall-clock cost of the quiesced remap +
+    /// migration; `migrated_packets` is always 0 on this path because
+    /// the phase barrier drains every queue before the swap.
+    pub reconfigs: Vec<ReconfigReport>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
@@ -279,18 +286,71 @@ impl ThreadedMiddlebox {
         nf: &NF,
         phases: Vec<Vec<Packet>>,
     ) -> ThreadedOutcome {
-        let num_workers = config.num_workers;
-        assert!(num_workers >= 1);
+        let n = config.num_workers;
+        Self::run_inner(
+            config,
+            nf,
+            phases.into_iter().map(|p| (n, p)).collect(),
+            false,
+        )
+    }
+
+    /// Run phases with *per-phase worker counts* — the elastic entry
+    /// point. Each phase is `(workers, packets)`; when the count changes
+    /// between phases the runtime executes an epoch transition at the
+    /// quiesced barrier (workers joined, queues empty): the
+    /// [`CoreMap`] advances one generation, the NIC is rebuilt for the
+    /// new queue count, and [`SharedTables::rescaled`] migrates every
+    /// flow whose designated core changed through the NF's
+    /// [`NetworkFunction::freeze_flow`] /
+    /// [`NetworkFunction::adopt_flow`] hooks. One [`ReconfigReport`] per
+    /// transition lands in [`ThreadedOutcome::reconfigs`], with
+    /// `downtime_ns` measured on the wall clock.
+    ///
+    /// Uses the elastic [`CoreMap`] ([`CoreMap::elastic`]): under
+    /// Sprayer, designation is rendezvous-hashed over a set that never
+    /// grows, so scale-ups migrate nothing and scale-downs move only the
+    /// leavers' flows; under RSS every rescale reprograms the
+    /// indirection table and migrates every flow whose queue changed.
+    pub fn run_elastic<NF: NetworkFunction>(
+        config: &ThreadedConfig,
+        nf: &NF,
+        phases: Vec<(usize, Vec<Packet>)>,
+    ) -> ThreadedOutcome {
+        Self::run_inner(config, nf, phases, true)
+    }
+
+    fn run_inner<NF: NetworkFunction>(
+        config: &ThreadedConfig,
+        nf: &NF,
+        phases: Vec<(usize, Vec<Packet>)>,
+        elastic: bool,
+    ) -> ThreadedOutcome {
+        let first_workers = phases.first().map_or(config.num_workers, |(w, _)| *w);
+        // Telemetry arrays cover every core that is ever active; cores
+        // absent in a given phase simply record nothing during it.
+        let num_workers = phases
+            .iter()
+            .map(|(w, _)| *w)
+            .max()
+            .unwrap_or(config.num_workers);
+        assert!(first_workers >= 1 && num_workers >= 1);
         assert!(config.batch_size >= 1);
         let nf_config = nf.config();
-        let coremap = CoreMap::new(config.mode, num_workers);
-        let tables = SharedTables::new(coremap.clone(), nf_config.flow_table_capacity);
-        let nic_config = match config.mode {
-            DispatchMode::Rss => NicConfig::rss(num_workers),
-            // No rate cap here: wall-clock timing is not modeled.
-            DispatchMode::Sprayer => NicConfig::sprayer_uncapped(num_workers),
+        let mut coremap = if elastic {
+            CoreMap::elastic(config.mode, first_workers)
+        } else {
+            CoreMap::new(config.mode, first_workers)
         };
-        let mut nic = Nic::new(nic_config);
+        let mut tables = SharedTables::new(coremap.clone(), nf_config.flow_table_capacity);
+        let nic_config_for = |queues: usize| match config.mode {
+            DispatchMode::Rss => NicConfig::rss(queues),
+            // No rate cap here: wall-clock timing is not modeled.
+            DispatchMode::Sprayer => NicConfig::sprayer_uncapped(queues),
+        };
+        let mut nic = Nic::new(nic_config_for(first_workers));
+        let mut cur_workers = first_workers;
+        let mut reconfigs: Vec<ReconfigReport> = Vec::new();
 
         let mut stats = MiddleboxStats::new(num_workers);
         let mut outcome = ThreadedOutcome {
@@ -302,6 +362,7 @@ impl ThreadedMiddlebox {
             trace: None,
             probes: None,
             samples: None,
+            reconfigs: Vec::new(),
         };
         let obs = config.obs;
         let anchor = Instant::now();
@@ -324,13 +385,44 @@ impl ThreadedMiddlebox {
             .then(|| (0..num_workers).map(|_| new_series()).collect());
         let mut next_pkt_id: u64 = 0;
         let mut seq_base: u64 = 0;
-        for packets in phases {
+        for (phase_workers, packets) in phases {
+            assert!(phase_workers >= 1);
+            if phase_workers != cur_workers {
+                // Quiesced barrier: the previous phase's workers are
+                // joined and every queue is empty, so the swap needs no
+                // synchronization — quiesce → remap → migrate → resume.
+                let transition = Instant::now();
+                let at_ns = anchor.elapsed().as_nanos() as u64;
+                let new_map = coremap.rescaled(phase_workers);
+                let (new_tables, migration) =
+                    tables.rescaled(new_map.clone(), &mut |key, state, _from, to| {
+                        nf.freeze_flow(key, state);
+                        nf.adopt_flow(key, state, to);
+                    });
+                nic = Nic::new(nic_config_for(phase_workers));
+                reconfigs.push(ReconfigReport {
+                    epoch: new_map.epoch(),
+                    mode: config.mode,
+                    from_cores: cur_workers,
+                    to_cores: phase_workers,
+                    migrated_flows: migration.migrated_flows,
+                    retained_flows: migration.retained_flows,
+                    // The barrier drained everything first; no packet is
+                    // in flight to re-steer on this path.
+                    migrated_packets: 0,
+                    downtime_ns: transition.elapsed().as_nanos() as u64,
+                    at_ns,
+                });
+                coremap = new_map;
+                tables = new_tables;
+                cur_workers = phase_workers;
+            }
             stats.offered += packets.len() as u64;
             let shared = WorkerShared::<NF> {
-                rx: (0..num_workers)
+                rx: (0..cur_workers)
                     .map(|_| ArrayQueue::new(config.queue_capacity))
                     .collect(),
-                rings: (0..num_workers)
+                rings: (0..cur_workers)
                     .map(|_| ArrayQueue::new(config.ring_capacity))
                     .collect(),
                 tables: tables.clone(),
@@ -349,10 +441,10 @@ impl ThreadedMiddlebox {
             };
 
             let mut results: Vec<WorkerResult> = Vec::new();
-            let mut rx_hwm = vec![0u64; num_workers];
+            let mut rx_hwm = vec![0u64; cur_workers];
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
-                for worker in 0..num_workers {
+                for worker in 0..cur_workers {
                     let shared = &shared;
                     handles.push(s.spawn(move || Worker::new(nf, shared, worker).run()));
                 }
@@ -491,6 +583,7 @@ impl ThreadedMiddlebox {
             SampleSet::assemble(THREAD_TICKS_PER_US, cores)
         });
         outcome.stats = stats;
+        outcome.reconfigs = reconfigs;
         outcome
     }
 }
@@ -1209,6 +1302,75 @@ mod tests {
         assert_eq!(forwarded, out.stats.forwarded);
         let redirected_out: u64 = snap.iter().map(|c| c.redirected_out).sum();
         assert_eq!(redirected_out, out.stats.redirects());
+    }
+
+    #[test]
+    fn elastic_threaded_sprayer_scales_without_migration() {
+        // 2 → 4 → 2 under elastic Sprayer: the designated set is pinned
+        // on the up-leg and never regrows, so neither transition moves a
+        // single flow, yet every regular packet still finds its state
+        // (foreign reads through the shared tables) on every width.
+        let nf = TrackerNf;
+        let config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        let out = ThreadedMiddlebox::run_elastic(
+            &config,
+            &nf,
+            vec![
+                (2, syn_phase(32)),
+                (4, data_phase(32, 10)),
+                (2, data_phase(32, 10)),
+            ],
+        );
+        assert_eq!(out.reconfigs.len(), 2);
+        let up = &out.reconfigs[0];
+        assert_eq!((up.from_cores, up.to_cores), (2, 4));
+        assert_eq!(up.epoch, 1);
+        assert_eq!(up.migrated_flows, 0, "scale-up pins designated state");
+        assert_eq!(up.retained_flows, 32);
+        let down = &out.reconfigs[1];
+        assert_eq!((down.from_cores, down.to_cores), (4, 2));
+        assert_eq!(
+            down.migrated_flows, 0,
+            "the designated set never grew past 2, so shrinking back moves nothing"
+        );
+        assert_eq!(out.nf_drops, 0, "every packet must find its flow state");
+        assert_eq!(out.stats.offered, 32 + 320 + 320);
+        assert_eq!(out.stats.unaccounted(), 0);
+        // The wide phase really used the joiners.
+        assert_eq!(out.per_worker_processed.len(), 4);
+        assert!(
+            out.per_worker_processed.iter().all(|&p| p > 0),
+            "spraying must reach every worker that was ever active: {:?}",
+            out.per_worker_processed
+        );
+    }
+
+    #[test]
+    fn elastic_threaded_rss_migrates_remapped_flows() {
+        // The RSS comparison path: shrinking the queue count reprograms
+        // the indirection table, so every flow whose bucket remapped must
+        // be exported/imported at the barrier — and the run still
+        // conserves and forwards everything afterwards.
+        let nf = TrackerNf;
+        let config = ThreadedConfig::new(DispatchMode::Rss, 4);
+        let mut head = syn_phase(64);
+        head.extend(data_phase(64, 4));
+        let out =
+            ThreadedMiddlebox::run_elastic(&config, &nf, vec![(4, head), (2, data_phase(64, 4))]);
+        assert_eq!(out.reconfigs.len(), 1);
+        let r = &out.reconfigs[0];
+        assert_eq!((r.from_cores, r.to_cores), (4, 2));
+        assert!(
+            r.migrated_flows > 0,
+            "RSS rescale must migrate flows: {r:?}"
+        );
+        assert_eq!(r.migrated_flows + r.retained_flows, 64);
+        assert_eq!(out.nf_drops, 0, "migrated state must be found post-rescale");
+        assert_eq!(out.stats.unaccounted(), 0);
+        assert_eq!(out.redirects, 0, "RSS never redirects, before or after");
+        // Workers 2 and 3 are inactive in the shrunk phase: the narrow
+        // phase's packets land only on queues 0 and 1.
+        assert_eq!(out.stats.offered, (64 + 256 + 256) as u64);
     }
 
     #[test]

@@ -67,6 +67,53 @@ impl<S: Clone> LocalTables<S> {
     pub fn peek(&self, core: usize, key: &FlowKey) -> Option<&S> {
         self.tables[core].get(key)
     }
+
+    /// The mapping the tables are bucketed by.
+    pub fn map(&self) -> &CoreMap {
+        &self.map
+    }
+
+    /// Re-bucket every entry under `new_map` (an elastic reconfiguration
+    /// epoch): entries whose designated core changed are handed to
+    /// `on_move(key, state, from, to)` — where the runtime invokes the
+    /// NF's `freeze_flow`/`adopt_flow` hooks — and placed in their new
+    /// core's table. Migration never sheds state, so the per-core
+    /// capacity cap is not enforced here (a shrink can transiently
+    /// overfill a table; subsequent inserts still see `TableFull`).
+    pub fn rescale(
+        &mut self,
+        new_map: CoreMap,
+        on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
+    ) -> MigrationStats {
+        let mut stats = MigrationStats::default();
+        let old_tables = std::mem::take(&mut self.tables);
+        let mut new_tables: Vec<HashMap<FlowKey, S>> =
+            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        for (from, table) in old_tables.into_iter().enumerate() {
+            for (key, mut state) in table {
+                let to = new_map.designated_for_key(&key);
+                if to == from {
+                    stats.retained_flows += 1;
+                } else {
+                    stats.migrated_flows += 1;
+                    on_move(&key, &mut state, from, to);
+                }
+                new_tables[to].insert(key, state);
+            }
+        }
+        self.tables = new_tables;
+        self.map = new_map;
+        stats
+    }
+}
+
+/// Counters from one table-rescale migration event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Flows whose designated core changed (export/import hooks ran).
+    pub migrated_flows: u64,
+    /// Flows that stayed on their core across the epoch.
+    pub retained_flows: u64,
 }
 
 /// [`FlowStateApi`] view for one core over [`LocalTables`].
@@ -187,6 +234,47 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
     /// Entries in one core's table.
     pub fn entries_on(&self, core: usize) -> usize {
         self.inner.tables[core].read().len()
+    }
+
+    /// The mapping the tables are bucketed by.
+    pub fn map(&self) -> &CoreMap {
+        &self.inner.map
+    }
+
+    /// Build the next-epoch tables under `new_map`, draining this
+    /// handle's entries into them (the threaded analogue of
+    /// [`LocalTables::rescale`]; shared handles are immutable behind
+    /// their `Arc`, so a rescale produces a fresh `SharedTables` and
+    /// leaves the old generation empty). Must only be called while no
+    /// worker is running — i.e. at the quiesced barrier between phases.
+    pub fn rescaled(
+        &self,
+        new_map: CoreMap,
+        on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
+    ) -> (SharedTables<S>, MigrationStats) {
+        let mut stats = MigrationStats::default();
+        let mut new_tables: Vec<HashMap<FlowKey, S>> =
+            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        for (from, table) in self.inner.tables.iter().enumerate() {
+            for (key, mut state) in table.write().drain() {
+                let to = new_map.designated_for_key(&key);
+                if to == from {
+                    stats.retained_flows += 1;
+                } else {
+                    stats.migrated_flows += 1;
+                    on_move(&key, &mut state, from, to);
+                }
+                new_tables[to].insert(key, state);
+            }
+        }
+        let next = SharedTables {
+            inner: Arc::new(SharedInner {
+                tables: new_tables.into_iter().map(RwLock::new).collect(),
+                capacity: self.inner.capacity,
+                map: new_map,
+            }),
+        };
+        (next, stats)
     }
 }
 
@@ -391,6 +479,68 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn local_rescale_preserves_every_flow_and_runs_hooks_once() {
+        // Scale *down* 4→2: the leavers' flows must move (a Sprayer
+        // scale-up pins every assignment, so it would not exercise the
+        // hooks).
+        let old_map = CoreMap::elastic(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        let n = 200u32;
+        for i in 0..n {
+            let k = key(i);
+            let d = old_map.designated_for_key(&k);
+            tables.ctx(d).insert_local_flow(k, i);
+        }
+        let new_map = old_map.rescaled(2);
+        let mut hook_calls = 0u64;
+        let stats = tables.rescale(new_map.clone(), &mut |k, state, from, to| {
+            hook_calls += 1;
+            assert_ne!(from, to);
+            assert_eq!(old_map.designated_for_key(k), from);
+            assert_eq!(new_map.designated_for_key(k), to);
+            *state += 1_000; // visible post-adopt marker
+        });
+        assert_eq!(stats.migrated_flows, hook_calls);
+        assert_eq!(stats.migrated_flows + stats.retained_flows, u64::from(n));
+        assert!(stats.migrated_flows > 0, "a 4->2 rescale must move flows");
+        assert_eq!(tables.total_entries(), n as usize);
+        // Every flow is findable at its new designated core, with the
+        // hook's marker iff it moved.
+        for i in 0..n {
+            let k = key(i);
+            let got = tables.ctx(0).get_flow(&k).unwrap();
+            if old_map.designated_for_key(&k) == new_map.designated_for_key(&k) {
+                assert_eq!(got, i);
+            } else {
+                assert_eq!(got, i + 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_rescale_matches_local_rescale() {
+        let old_map = CoreMap::elastic(DispatchMode::Sprayer, 4);
+        let mut local: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        let shared: SharedTables<u32> = SharedTables::new(old_map.clone(), 1 << 10);
+        for i in 0..150u32 {
+            let k = key(i);
+            let d = old_map.designated_for_key(&k);
+            local.ctx(d).insert_local_flow(k, i);
+            shared.ctx(d).insert_local_flow(k, i);
+        }
+        let new_map = old_map.rescaled(2);
+        let ls = local.rescale(new_map.clone(), &mut |_, _, _, _| {});
+        let (shared2, ss) = shared.rescaled(new_map.clone(), &mut |_, _, _, _| {});
+        assert_eq!(ls, ss);
+        assert_eq!(shared.total_entries(), 0, "old generation is drained");
+        assert_eq!(shared2.total_entries(), 150);
+        for i in 0..150u32 {
+            let k = key(i);
+            assert_eq!(shared2.ctx(0).get_flow(&k), local.ctx(0).get_flow(&k));
+        }
     }
 
     #[test]

@@ -342,6 +342,120 @@ proptest! {
         prop_assert_eq!(total.nic_cap_drops, s.nic_cap_drops);
     }
 
+    /// Conservation across an online reconfiguration on the threaded
+    /// runtime: for any pair of worker counts, dispatch mode, and packet
+    /// mix, every offered packet is accounted exactly once — packets in
+    /// == processed + dropped + in-flight-migrated (the threaded path
+    /// migrates at a quiesced barrier, so its in-flight-migrated term is
+    /// structurally zero) — and no packet is processed twice.
+    #[test]
+    fn threaded_elastic_conserves_across_reconfig(
+        w1 in 1usize..=6,
+        w2 in 1usize..=6,
+        spray in any::<bool>(),
+        pkts in proptest::collection::vec((0u32..12, any::<bool>(), 0u8..2), 1..120),
+    ) {
+        let payload_of = |i: usize| sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+        let mut split: Vec<Vec<Packet>> = vec![Vec::new(); 2];
+        for (i, &(flow, is_conn, phase)) in pkts.iter().enumerate() {
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            split[usize::from(phase)].push(
+                PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload_of(i)),
+            );
+        }
+        let offered = pkts.len() as u64;
+        let second = split.pop().unwrap();
+        let first = split.pop().unwrap();
+
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let config = ThreadedConfig::new(mode, w1);
+        let out = ThreadedMiddlebox::run_elastic(
+            &config,
+            &ForwardAllNf,
+            vec![(w1, first), (w2, second)],
+        );
+
+        let s = &out.stats;
+        prop_assert_eq!(s.offered, offered);
+        prop_assert_eq!(s.unaccounted(), 0);
+        let migrated_pkts: u64 = out.reconfigs.iter().map(|r| r.migrated_packets).sum();
+        prop_assert_eq!(
+            s.forwarded + s.nf_drops + s.pre_nf_drops() + migrated_pkts,
+            offered,
+            "in == processed + dropped + in-flight-migrated"
+        );
+        prop_assert_eq!(migrated_pkts, 0, "the barrier drains before the remap");
+        // Each survivor appears exactly once across the reconfiguration.
+        let unique: std::collections::HashSet<&[u8]> =
+            out.forwarded.iter().map(|p| p.payload().unwrap_or(&[])).collect();
+        prop_assert_eq!(unique.len() as u64, s.forwarded);
+        if w1 == w2 {
+            prop_assert!(out.reconfigs.is_empty());
+        } else {
+            prop_assert_eq!(out.reconfigs.len(), 1);
+            let r = out.reconfigs[0];
+            prop_assert_eq!((r.from_cores, r.to_cores), (w1, w2));
+            if spray && w2 > w1 {
+                prop_assert_eq!(
+                    r.migrated_flows, 0,
+                    "Sprayer scale-up pins the designated set"
+                );
+            }
+        }
+    }
+
+    /// The same identity on the simulator, where a reconfiguration can
+    /// land mid-trace with packets queued and in service: the quiesced
+    /// work is re-admitted (counted as `migrated_packets`) and the
+    /// end-of-run totals still account for every offered packet exactly
+    /// once.
+    #[test]
+    fn sim_elastic_conserves_across_reconfig(
+        spray in any::<bool>(),
+        cores1 in 1usize..=8,
+        cores2 in 1usize..=8,
+        cut in 0usize..100,
+        pkts in proptest::collection::vec((0u32..8, any::<bool>(), 1u64..2_000), 1..100),
+    ) {
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let mut config = MiddleboxConfig::paper_testbed_with_cycles(mode, 2_000);
+        config.num_cores = cores1;
+        config.obs = tight_sampling();
+        let mut mb = MiddleboxSim::new_elastic(config, ForwardAllNf);
+
+        let cut = cut % pkts.len();
+        let mut now = Time::ZERO;
+        for (i, &(flow, is_conn, gap_ns)) in pkts.iter().enumerate() {
+            if i == cut {
+                let r = mb.reconfigure(now.max(mb.now()), cores2);
+                prop_assert_eq!((r.from_cores, r.to_cores), (cores1, cores2));
+                if spray && cores2 >= cores1 {
+                    prop_assert_eq!(r.migrated_flows, 0);
+                }
+                now = now.max(mb.now());
+            }
+            now += Time::from_ns(gap_ns);
+            let t = FiveTuple::tcp(0x0a00_0000 + flow, 40_000, 0xc0a8_0001, 443);
+            let flags = if is_conn { TcpFlags::SYN } else { TcpFlags::ACK };
+            let payload = sprayer_net::flow::splitmix64(i as u64).to_be_bytes();
+            mb.ingress(now, PacketBuilder::new().tcp(t, i as u32, 0, flags, &payload));
+        }
+        mb.run_until(now + Time::from_secs(1));
+        prop_assert!(mb.is_idle());
+
+        let s = mb.stats();
+        prop_assert_eq!(s.offered, pkts.len() as u64);
+        prop_assert_eq!(s.unaccounted(), 0);
+        // Re-admitted (migrated) packets are not re-offered: the identity
+        // holds on the original offered count alone.
+        prop_assert_eq!(s.forwarded + s.nf_drops + s.pre_nf_drops(), s.offered);
+        let migrated_pkts: u64 = mb.reconfigs().iter().map(|r| r.migrated_packets).sum();
+        prop_assert!(migrated_pkts <= s.offered);
+        prop_assert_eq!(mb.active_cores(), cores2);
+        prop_assert_eq!(mb.reconfigs().len(), 1);
+    }
+
     /// Capacity: a table never exceeds its configured entry limit, and
     /// inserts report TableFull exactly at the boundary.
     #[test]

@@ -1,0 +1,33 @@
+//! # sprayer-ctl — the elasticity control plane
+//!
+//! Online core scaling for a running Sprayer middlebox. The paper's §6
+//! argues that spraying makes elasticity cheap: because any core can
+//! process any packet, scaling up "requires no migration at all", while
+//! per-flow dispatch (RSS) must reprogram its indirection table and move
+//! every flow whose queue changed. This crate provides the control-plane
+//! pieces that turn that argument into a measurable experiment:
+//!
+//! * [`plan`] — a declarative [`plan::ReconfigPlan`]: an ordered list of
+//!   epoch transitions, each fired by a packet-count or time trigger;
+//! * [`controller`] — the [`controller::ElasticController`] that drives a
+//!   [`sprayer::MiddleboxSim`] through a plan, firing transitions
+//!   between packets (quiesce → remap → migrate → resume, executed by
+//!   [`sprayer::MiddleboxSim::reconfigure`]);
+//! * [`telemetry`] — registry export of the resulting
+//!   [`sprayer::ReconfigReport`] series (migration cost, downtime).
+//!
+//! The threaded runtime reuses the same plan shape at phase granularity
+//! via [`sprayer::ThreadedMiddlebox::run_elastic`]; this crate focuses on
+//! the deterministic simulator, where downtime and migration cost are
+//! exactly attributable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod plan;
+pub mod telemetry;
+
+pub use controller::ElasticController;
+pub use plan::{PlanError, ReconfigEvent, ReconfigPlan, Trigger};
+pub use telemetry::export_reconfig_telemetry;

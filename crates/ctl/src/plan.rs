@@ -1,0 +1,163 @@
+//! Declarative reconfiguration plans.
+//!
+//! A [`ReconfigPlan`] is an ordered list of epoch transitions. Events
+//! fire strictly in list order — event *i+1* is not even considered
+//! until event *i* has fired — so a plan reads like a schedule:
+//! "after 10 000 packets go to 4 cores, at t=80 ms go back to 2".
+
+use sprayer_sim::Time;
+
+/// When a [`ReconfigEvent`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire once this many packets have been offered to the dataplane.
+    AtPacket(u64),
+    /// Fire once the dataplane clock reaches this (simulated) time.
+    AtTime(Time),
+}
+
+/// One scheduled epoch transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigEvent {
+    /// When to fire.
+    pub trigger: Trigger,
+    /// Active core count to scale to.
+    pub target_cores: usize,
+}
+
+/// Why a plan was rejected by [`ReconfigPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// An event asked for zero cores.
+    ZeroCores {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// Consecutive triggers of the same kind run backwards — the later
+    /// event could only fire at the same instant as (or is unreachable
+    /// after) the earlier one.
+    NonMonotonicTrigger {
+        /// Index of the event whose trigger precedes its predecessor's.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroCores { index } => {
+                write!(f, "plan event {index} targets zero cores")
+            }
+            PlanError::NonMonotonicTrigger { index } => {
+                write!(f, "plan event {index} triggers before its predecessor")
+            }
+        }
+    }
+}
+
+/// An ordered schedule of elastic transitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReconfigPlan {
+    /// The transitions, in firing order.
+    pub events: Vec<ReconfigEvent>,
+}
+
+impl ReconfigPlan {
+    /// An empty plan (a valid no-op).
+    pub fn new() -> Self {
+        ReconfigPlan::default()
+    }
+
+    /// Append a packet-count-triggered transition.
+    pub fn at_packet(mut self, packets: u64, target_cores: usize) -> Self {
+        self.events.push(ReconfigEvent {
+            trigger: Trigger::AtPacket(packets),
+            target_cores,
+        });
+        self
+    }
+
+    /// Append a time-triggered transition.
+    pub fn at_time(mut self, at: Time, target_cores: usize) -> Self {
+        self.events.push(ReconfigEvent {
+            trigger: Trigger::AtTime(at),
+            target_cores,
+        });
+        self
+    }
+
+    /// Check the schedule is executable: every event targets at least
+    /// one core, and consecutive same-kind triggers are nondecreasing
+    /// (mixed-kind neighbours are incomparable and accepted — list
+    /// order alone sequences them).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for (index, ev) in self.events.iter().enumerate() {
+            if ev.target_cores == 0 {
+                return Err(PlanError::ZeroCores { index });
+            }
+            if index > 0 {
+                let bad = match (self.events[index - 1].trigger, ev.trigger) {
+                    (Trigger::AtPacket(a), Trigger::AtPacket(b)) => b < a,
+                    (Trigger::AtTime(a), Trigger::AtTime(b)) => b < a,
+                    _ => false,
+                };
+                if bad {
+                    return Err(PlanError::NonMonotonicTrigger { index });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order_and_validates() {
+        let plan = ReconfigPlan::new()
+            .at_packet(1_000, 4)
+            .at_time(Time::from_ms(50), 2);
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].trigger, Trigger::AtPacket(1_000));
+        assert_eq!(plan.events[1].target_cores, 2);
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(ReconfigPlan::new().validate(), Ok(()), "empty plan is fine");
+    }
+
+    #[test]
+    fn zero_cores_is_rejected() {
+        let plan = ReconfigPlan::new().at_packet(10, 0);
+        assert_eq!(plan.validate(), Err(PlanError::ZeroCores { index: 0 }));
+    }
+
+    #[test]
+    fn backwards_triggers_are_rejected() {
+        let plan = ReconfigPlan::new().at_packet(100, 4).at_packet(50, 2);
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::NonMonotonicTrigger { index: 1 })
+        );
+        let plan = ReconfigPlan::new()
+            .at_time(Time::from_ms(10), 4)
+            .at_time(Time::from_ms(5), 2);
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::NonMonotonicTrigger { index: 1 })
+        );
+        // Mixed kinds are sequenced by list order, not compared.
+        let plan = ReconfigPlan::new()
+            .at_time(Time::from_ms(10), 4)
+            .at_packet(1, 2);
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn errors_display_their_index() {
+        let e = PlanError::ZeroCores { index: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = PlanError::NonMonotonicTrigger { index: 1 };
+        assert!(e.to_string().contains('1'));
+    }
+}

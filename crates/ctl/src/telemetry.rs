@@ -1,0 +1,104 @@
+//! Registry export of reconfiguration telemetry.
+//!
+//! Folds a [`ReconfigReport`] series into a
+//! [`sprayer_obs::MetricsRegistry`] under stable metric names, so every
+//! elastic experiment (and the CI bench gate reading its documents)
+//! sees the same shape:
+//!
+//! * `reconfig_events` — transitions executed;
+//! * `reconfig_migrated_flows_total` / `reconfig_migrated_packets_total`
+//!   — total migration volume;
+//! * `reconfig_downtime_ns_total` / `reconfig_downtime_ns_max` — pause
+//!   cost, summed and worst-case;
+//! * `reconfig_timeline` — the full per-event array
+//!   ([`ReconfigReport::to_json`] objects, in firing order).
+
+use sprayer::ReconfigReport;
+use sprayer_obs::MetricsRegistry;
+
+/// Write the standard elastic metric set for `reports` into `reg`.
+pub fn export_reconfig_telemetry(reg: &mut MetricsRegistry, reports: &[ReconfigReport]) {
+    reg.set_u64("reconfig_events", reports.len() as u64);
+    reg.set_u64(
+        "reconfig_migrated_flows_total",
+        reports.iter().map(|r| r.migrated_flows).sum(),
+    );
+    reg.set_u64(
+        "reconfig_migrated_packets_total",
+        reports.iter().map(|r| r.migrated_packets).sum(),
+    );
+    reg.set_u64(
+        "reconfig_downtime_ns_total",
+        reports.iter().map(|r| r.downtime_ns).sum(),
+    );
+    reg.set_u64(
+        "reconfig_downtime_ns_max",
+        reports.iter().map(|r| r.downtime_ns).max().unwrap_or(0),
+    );
+    let timeline: Vec<String> = reports.iter().map(ReconfigReport::to_json).collect();
+    reg.set_raw_json("reconfig_timeline", format!("[{}]", timeline.join(",")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer::DispatchMode;
+
+    fn report(epoch: u64, migrated: u64, downtime: u64) -> ReconfigReport {
+        ReconfigReport {
+            epoch,
+            mode: DispatchMode::Sprayer,
+            from_cores: 2,
+            to_cores: 4,
+            migrated_flows: migrated,
+            retained_flows: 10,
+            migrated_packets: migrated / 2,
+            downtime_ns: downtime,
+            at_ns: epoch * 1_000,
+        }
+    }
+
+    #[test]
+    fn export_totals_and_timeline_parse_back() {
+        let mut reg = MetricsRegistry::new();
+        export_reconfig_telemetry(&mut reg, &[report(1, 4, 100), report(2, 6, 250)]);
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("reconfig_events").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            doc.get("reconfig_migrated_flows_total").unwrap().as_u64(),
+            Some(10)
+        );
+        assert_eq!(
+            doc.get("reconfig_downtime_ns_total").unwrap().as_u64(),
+            Some(350)
+        );
+        assert_eq!(
+            doc.get("reconfig_downtime_ns_max").unwrap().as_u64(),
+            Some(250)
+        );
+        let timeline = doc.get("reconfig_timeline").unwrap().as_array().unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[1].get("epoch").unwrap().as_u64(), Some(2));
+        assert_eq!(timeline[0].get("migrated_flows").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn empty_series_exports_zeros() {
+        let mut reg = MetricsRegistry::new();
+        export_reconfig_telemetry(&mut reg, &[]);
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("reconfig_events").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            doc.get("reconfig_downtime_ns_max").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            doc.get("reconfig_timeline")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+}

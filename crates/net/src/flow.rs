@@ -151,6 +151,115 @@ impl FlowKey {
     }
 }
 
+/// A directed IPv6 five-tuple.
+///
+/// The paper's evaluation is IPv4-only, but the designated-core mapping
+/// must stay symmetric for any address family a deployment sprays
+/// (coremap edge-case coverage); addresses are 16-byte big-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTupleV6 {
+    /// Source IPv6 address.
+    pub src_addr: [u8; 16],
+    /// Destination IPv6 address.
+    pub dst_addr: [u8; 16],
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FiveTupleV6 {
+    /// Construct a TCP IPv6 five-tuple.
+    pub fn tcp(src_addr: [u8; 16], src_port: u16, dst_addr: [u8; 16], dst_port: u16) -> Self {
+        FiveTupleV6 {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
+    }
+
+    /// Construct a UDP IPv6 five-tuple.
+    pub fn udp(src_addr: [u8; 16], src_port: u16, dst_addr: [u8; 16], dst_port: u16) -> Self {
+        FiveTupleV6 {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+        }
+    }
+
+    /// The same connection seen from the other direction.
+    pub fn reversed(&self) -> Self {
+        FiveTupleV6 {
+            src_addr: self.dst_addr,
+            dst_addr: self.src_addr,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// The direction-insensitive canonical key for this tuple.
+    pub fn key(&self) -> FlowKeyV6 {
+        FlowKeyV6::from_tuple(self)
+    }
+}
+
+/// Direction-insensitive IPv6 flow key, canonicalized like [`FlowKey`]:
+/// the two (addr, port) endpoints are ordered lexicographically, so both
+/// directions of a connection — including port 0 and identical-endpoint
+/// corner cases — produce the same key and therefore the same hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKeyV6 {
+    /// The smaller (addr, port) endpoint.
+    pub lo: ([u8; 16], u16),
+    /// The larger (addr, port) endpoint.
+    pub hi: ([u8; 16], u16),
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FlowKeyV6 {
+    /// Canonicalize a directed IPv6 tuple.
+    pub fn from_tuple(t: &FiveTupleV6) -> Self {
+        let a = (t.src_addr, t.src_port);
+        let b = (t.dst_addr, t.dst_port);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        FlowKeyV6 {
+            lo,
+            hi,
+            protocol: t.protocol,
+        }
+    }
+
+    /// A stable 64-bit mix of the key (pinned like
+    /// [`FlowKey::stable_hash`]): the 36 input bytes are folded through
+    /// a SplitMix64 chain eight bytes at a time.
+    pub fn stable_hash(&self) -> u64 {
+        let mut x = 0u64;
+        let mut fold = |chunk: &[u8]| {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            x = splitmix64(x ^ u64::from_be_bytes(word));
+        };
+        for chunk in self.lo.0.chunks(8) {
+            fold(chunk);
+        }
+        for chunk in self.hi.0.chunks(8) {
+            fold(chunk);
+        }
+        let tail = (u64::from(self.lo.1) << 32)
+            | (u64::from(self.hi.1) << 16)
+            | u64::from(self.protocol.number());
+        splitmix64(x ^ tail)
+    }
+}
+
 /// SplitMix64 finalizer: a well-known, fast 64-bit mixing function.
 #[inline]
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -207,6 +316,32 @@ mod tests {
         let h2 = t.key().stable_hash();
         assert_eq!(h1, h2);
         assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+    }
+
+    #[test]
+    fn v6_reversed_tuple_has_same_key() {
+        let src = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let dst = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        let t = FiveTupleV6::tcp(src, 40_000, dst, 443);
+        assert_eq!(t.key(), t.reversed().key());
+        assert_eq!(t.key().stable_hash(), t.reversed().key().stable_hash());
+    }
+
+    #[test]
+    fn v6_corner_cases_stay_symmetric() {
+        let a = [0xfe; 16];
+        let b = [0x01; 16];
+        // Port 0 on either side.
+        let zero = FiveTupleV6::udp(a, 0, b, 53);
+        assert_eq!(zero.key(), zero.reversed().key());
+        // Identical endpoints: reversal is the identity on the key.
+        let same = FiveTupleV6::tcp(a, 7, a, 7);
+        assert_eq!(same.key(), same.reversed().key());
+        // Distinct connections still separate.
+        assert_ne!(
+            FiveTupleV6::tcp(a, 1, b, 2).key().stable_hash(),
+            FiveTupleV6::tcp(a, 1, b, 3).key().stable_hash()
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod udp;
 
 pub use checksum::{incremental_update16, internet_checksum, Checksum};
 pub use ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
-pub use flow::{FiveTuple, FlowKey, Protocol};
+pub use flow::{FiveTuple, FiveTupleV6, FlowKey, FlowKeyV6, Protocol};
 pub use ipv4::{Ipv4Header, IPV4_HEADER_LEN};
 pub use ipv6::{Ipv6Header, IPV6_HEADER_LEN};
 pub use mac::MacAddr;

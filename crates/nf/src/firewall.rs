@@ -89,6 +89,11 @@ pub struct FirewallNf {
     pub rejected: AtomicU64,
     /// Packets dropped for lacking an admitted context.
     pub stray_drops: AtomicU64,
+    /// Connection contexts moved by elastic reconfigurations (one count
+    /// per [`NetworkFunction::freeze_flow`] /
+    /// [`NetworkFunction::adopt_flow`] pair; the two hooks always run
+    /// back-to-back per migrated entry).
+    pub migrated_contexts: AtomicU64,
 }
 
 impl FirewallNf {
@@ -100,6 +105,7 @@ impl FirewallNf {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             stray_drops: AtomicU64::new(0),
+            migrated_contexts: AtomicU64::new(0),
         }
     }
 
@@ -199,6 +205,20 @@ impl NetworkFunction for FirewallNf {
                 Verdict::Drop
             }
         }
+    }
+
+    fn freeze_flow(&self, _key: &sprayer_net::FlowKey, state: &mut ConnContext) {
+        // The context travels verbatim: the ACL decision is made once at
+        // SYN time and must NOT be re-evaluated on the new core — a rule
+        // change between epochs would otherwise cut established flows,
+        // which real firewalls guarantee against. Only a context that is
+        // mid-teardown is worth flagging; it migrates too (the remaining
+        // FIN may arrive after the rescale).
+        debug_assert!(state.fins <= 2);
+    }
+
+    fn adopt_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut ConnContext, _new_core: usize) {
+        self.migrated_contexts.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -330,6 +350,65 @@ mod tests {
             Verdict::Forward
         );
         assert_eq!(tables.entries_on(core), 0, "second FIN removes the context");
+    }
+
+    #[test]
+    fn migrated_contexts_keep_their_acl_decision() {
+        // Established flows survive an elastic rescale even if the rule
+        // that admitted them would no longer match — the decision is
+        // migrated, never re-evaluated. Half-closed flows migrate too.
+        let acl = vec![AclRule::allow_dst_port(443)];
+        let fw = FirewallNf::new(acl);
+        let map = CoreMap::elastic(DispatchMode::Rss, 4);
+        let mut tables: LocalTables<ConnContext> = LocalTables::new(map.clone(), 1024);
+
+        let flows: Vec<FiveTuple> = (0..24u32)
+            .map(|i| FiveTuple::tcp(0x0a00_0100 + i, 50_000, 0x5db8_d822, 443))
+            .collect();
+        for t in &flows {
+            assert_eq!(open(&fw, &mut tables, &map, *t), Verdict::Forward);
+        }
+        // Half-close one flow before the rescale.
+        let half = flows[0];
+        let core = map.designated_for_tuple(&half);
+        let mut fin = PacketBuilder::new().tcp(half, 5, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+        fw.connection_packets(&mut fin, &mut tables.ctx(core));
+
+        let new_map = map.rescaled(2);
+        let moved = tables.rescale(new_map.clone(), &mut |key, state, _from, to| {
+            fw.freeze_flow(key, state);
+            fw.adopt_flow(key, state, to);
+        });
+        assert!(moved.migrated_flows > 0);
+        assert_eq!(
+            fw.migrated_contexts.load(Ordering::Relaxed),
+            moved.migrated_flows
+        );
+
+        // Every admitted flow still passes data from any core.
+        for t in &flows {
+            let mut data = PacketBuilder::new().tcp(*t, 9, 9, TcpFlags::ACK, b"x");
+            assert_eq!(
+                fw.regular_packets(&mut data, &mut tables.ctx(1)),
+                Verdict::Forward,
+                "{t:?} lost its context in migration"
+            );
+        }
+        // The half-closed flow's FIN count migrated with it: one more
+        // FIN (from the peer) completes the close on the new core.
+        let core = new_map.designated_for_tuple(&half);
+        let mut fin2 =
+            PacketBuilder::new().tcp(half.reversed(), 7, 6, TcpFlags::FIN | TcpFlags::ACK, b"");
+        assert_eq!(
+            fw.connection_packets(&mut fin2, &mut tables.ctx(core)),
+            Verdict::Forward
+        );
+        let mut stray = PacketBuilder::new().tcp(half, 8, 7, TcpFlags::ACK, b"");
+        assert_eq!(
+            fw.regular_packets(&mut stray, &mut tables.ctx(0)),
+            Verdict::Drop,
+            "context must be gone after the second FIN"
+        );
     }
 
     #[test]

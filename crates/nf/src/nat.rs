@@ -67,6 +67,15 @@ pub struct NatStats {
     pub no_translation: AtomicU64,
     /// Connections torn down (RST or both FINs).
     pub teardowns: AtomicU64,
+    /// Entries exported by [`NetworkFunction::freeze_flow`] during
+    /// elastic reconfigurations.
+    pub frozen: AtomicU64,
+    /// Entries imported by [`NetworkFunction::adopt_flow`]. Every export
+    /// must be matched by an import (`frozen == adopted` once a
+    /// reconfiguration completes) or an external port has leaked: the
+    /// teardown path returns ports to the pool by looking the entry up,
+    /// which only works if migration never loses one.
+    pub adopted: AtomicU64,
 }
 
 /// Source NAT over a single external IP.
@@ -290,6 +299,24 @@ impl NetworkFunction for NatNf {
             }
         }
     }
+
+    fn freeze_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut NatEntry) {
+        // NatEntry carries no core-local references — endpoints and FIN
+        // counts travel as-is. The export is still accounted so the port
+        // pool can be audited: a flow frozen but never adopted would
+        // strand its external port (teardown resolves the port through
+        // the table entry).
+        self.stats.frozen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn adopt_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut NatEntry, _new_core: usize) {
+        // Note the new owner may break the designated-core alignment the
+        // port was chosen for (select_port aligned both sides under the
+        // *old* map); correctness is unaffected — regular packets read
+        // foreign state — and connection packets simply redirect to the
+        // new designated core.
+        self.stats.adopted.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +514,77 @@ mod tests {
         assert!(accepted <= 1);
         assert_eq!(accepted + dropped, 16);
         assert!(nat.stats.pool_exhausted.load(Ordering::Relaxed) >= 15);
+    }
+
+    #[test]
+    fn migration_preserves_translations_and_pool_accounting() {
+        // Open connections under an elastic RSS map, shrink 4 -> 2 (the
+        // migration-heavy path), and verify: every export was imported
+        // (no port can leak), both directions still translate, and
+        // teardown still returns the port — through migrated entries.
+        let map = CoreMap::elastic(DispatchMode::Rss, 4);
+        let mut tables: LocalTables<NatEntry> = LocalTables::new(map.clone(), 1024);
+        let nat = NatNf::new(NAT_IP, 10_000..10_128);
+
+        let conns: Vec<FiveTuple> = (0..32u32)
+            .map(|i| FiveTuple::tcp(CLIENT + i, 40_000, SERVER, 443))
+            .collect();
+        let mut ext = Vec::new();
+        for c in &conns {
+            let mut syn = PacketBuilder::new().tcp(*c, 0, 0, TcpFlags::SYN, b"");
+            let core = map.designated_for_tuple(c);
+            assert_eq!(
+                nat.connection_packets(&mut syn, &mut tables.ctx(core)),
+                Verdict::Forward
+            );
+            ext.push(syn.tuple().unwrap().src_port);
+        }
+
+        let new_map = map.rescaled(2);
+        let moved = tables.rescale(new_map.clone(), &mut |key, state, _from, to| {
+            nat.freeze_flow(key, state);
+            nat.adopt_flow(key, state, to);
+        });
+        assert!(moved.migrated_flows > 0, "RSS shrink must migrate entries");
+        assert_eq!(
+            nat.stats.frozen.load(Ordering::Relaxed),
+            moved.migrated_flows,
+            "one export per migrated entry"
+        );
+        assert_eq!(
+            nat.stats.frozen.load(Ordering::Relaxed),
+            nat.stats.adopted.load(Ordering::Relaxed),
+            "every exported entry must be imported (port-leak audit)"
+        );
+
+        // Both directions still translate through the migrated tables.
+        for (c, port) in conns.iter().zip(&ext) {
+            let mut data = PacketBuilder::new().tcp(*c, 1, 1, TcpFlags::ACK, b"req");
+            assert_eq!(
+                nat.regular_packets(&mut data, &mut tables.ctx(0)),
+                Verdict::Forward
+            );
+            assert_eq!(data.tuple().unwrap().src_port, *port);
+            let reply = FiveTuple::tcp(SERVER, 443, NAT_IP, *port);
+            let mut rp = PacketBuilder::new().tcp(reply, 9, 2, TcpFlags::ACK, b"resp");
+            assert_eq!(
+                nat.regular_packets(&mut rp, &mut tables.ctx(1)),
+                Verdict::Forward
+            );
+            assert_eq!(rp.tuple().unwrap().dst_addr, CLIENT + (c.src_addr - CLIENT));
+        }
+
+        // Teardown through the *new* designated core frees every port.
+        assert_eq!(nat.pool_len(), 128 - 32);
+        for c in &conns {
+            let core = new_map.designated_for_tuple(c);
+            let mut rst = PacketBuilder::new().tcp(*c, 2, 0, TcpFlags::RST, b"");
+            assert_eq!(
+                nat.connection_packets(&mut rst, &mut tables.ctx(core)),
+                Verdict::Forward
+            );
+        }
+        assert_eq!(nat.pool_len(), 128, "all ports back after teardown");
     }
 
     #[test]

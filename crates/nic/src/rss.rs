@@ -1,7 +1,7 @@
 //! Receive-Side Scaling: hash + indirection table → queue.
 
-use crate::toeplitz::{hash_v4_addrs, hash_v4_tuple, RssKey, SYMMETRIC_KEY};
-use sprayer_net::{FiveTuple, Protocol};
+use crate::toeplitz::{hash_v4_addrs, hash_v4_tuple, hash_v6_tuple, RssKey, SYMMETRIC_KEY};
+use sprayer_net::{FiveTuple, FiveTupleV6, Protocol};
 
 /// Number of entries in the RSS indirection table (the 82599 has 128).
 pub const INDIRECTION_TABLE_SIZE: usize = 128;
@@ -65,6 +65,19 @@ impl RssConfig {
     pub fn queue_for_addrs(&self, src: u32, dst: u32) -> u8 {
         let h = hash_v4_addrs(&self.key, src, dst);
         self.table[(h as usize) % INDIRECTION_TABLE_SIZE]
+    }
+
+    /// The receive queue for an IPv6 tuple (the `TCP_IPV6`-style 36-byte
+    /// four-tuple hash through the same indirection table).
+    pub fn queue_for_v6(&self, tuple: &FiveTupleV6) -> u8 {
+        let h = hash_v6_tuple(&self.key, tuple);
+        self.table[(h as usize) % INDIRECTION_TABLE_SIZE]
+    }
+
+    /// The current indirection table (queue index per hash bucket) —
+    /// read-only; reprogram with [`RssConfig::set_table`].
+    pub fn table(&self) -> &[u8] {
+        &self.table
     }
 }
 

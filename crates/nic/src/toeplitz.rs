@@ -15,7 +15,7 @@
 //!   directions of a connection reach the same core. The paper's RSS
 //!   baseline is configured this way (§5, citing Woo et al. [44]).
 
-use sprayer_net::FiveTuple;
+use sprayer_net::{FiveTuple, FiveTupleV6};
 
 /// A 40-byte RSS hash key (enough for IPv6 four-tuples: 36 bytes of input
 /// plus the 32-bit window).
@@ -83,6 +83,19 @@ pub fn hash_v4_addrs(key: &RssKey, src: u32, dst: u32) -> u32 {
     let mut input = [0u8; 8];
     input[0..4].copy_from_slice(&src.to_be_bytes());
     input[4..8].copy_from_slice(&dst.to_be_bytes());
+    toeplitz_hash(key, &input)
+}
+
+/// Hash an IPv6 four-tuple (src addr, dst addr, src port, dst port): the
+/// 36-byte input layout the RSS specification mandates for the
+/// `TCP_IPV6`/`UDP_IPV6` hash types. This is the maximum input the
+/// 40-byte key supports (36 bytes plus the 32-bit window).
+pub fn hash_v6_tuple(key: &RssKey, tuple: &FiveTupleV6) -> u32 {
+    let mut input = [0u8; 36];
+    input[0..16].copy_from_slice(&tuple.src_addr);
+    input[16..32].copy_from_slice(&tuple.dst_addr);
+    input[32..34].copy_from_slice(&tuple.src_port.to_be_bytes());
+    input[34..36].copy_from_slice(&tuple.dst_port.to_be_bytes());
     toeplitz_hash(key, &input)
 }
 
@@ -200,6 +213,38 @@ mod tests {
             hash_v4_tuple(&MICROSOFT_KEY, &t),
             hash_v4_tuple(&MICROSOFT_KEY, &t.reversed())
         );
+    }
+
+    #[test]
+    fn symmetric_key_is_direction_insensitive_for_v6() {
+        let a = [
+            0x3f, 0xfe, 0x25, 0x01, 0x02, 0x00, 0x00, 0x03, 0, 0, 0, 0, 0, 0, 0, 1,
+        ];
+        let b = [
+            0x3f, 0xfe, 0x25, 0x01, 0x02, 0x00, 0x1f, 0xff, 0, 0, 0, 0, 0, 0, 0, 7,
+        ];
+        let tuples = [
+            FiveTupleV6::tcp(a, 1766, b, 2794),
+            // Port 0 and identical-endpoint corner cases must stay
+            // symmetric too (the coremap edge cases).
+            FiveTupleV6::tcp(a, 0, b, 443),
+            FiveTupleV6::udp(a, 9, a, 9),
+        ];
+        for t in tuples {
+            assert_eq!(
+                hash_v6_tuple(&SYMMETRIC_KEY, &t),
+                hash_v6_tuple(&SYMMETRIC_KEY, &t.reversed()),
+                "symmetric key must hash both v6 directions identically"
+            );
+        }
+    }
+
+    #[test]
+    fn v6_input_fills_the_key_exactly() {
+        // 36 bytes of input is the documented maximum; the assert in
+        // toeplitz_hash admits it and a 37th byte would panic.
+        let t = FiveTupleV6::tcp([0xff; 16], 65535, [0xaa; 16], 1);
+        let _ = hash_v6_tuple(&MICROSOFT_KEY, &t);
     }
 
     #[test]
