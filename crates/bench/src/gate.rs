@@ -95,6 +95,24 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
         "reconfig_downtime_ns_total" | "reconfig_downtime_ns_max" => {
             rule(Direction::LowerIsBetter, 0.10, 1_000.0)
         }
+        // Fault recovery (fig_chaos): state-movement counts are exact
+        // in the deterministic simulator — zero slack keeps "Sprayer
+        // recovery migrates nothing and loses only the dead core's
+        // flows" an enforced invariant. Per-event `recovery_timeline`
+        // fields reuse unprefixed names and stay trajectory data.
+        "recovery_flows_migrated_total" | "recovery_flows_lost_total" => {
+            rule(Direction::LowerIsBetter, 0.0, 0.0)
+        }
+        "recovery_downtime_ns_total" | "recovery_downtime_ns_max" => {
+            rule(Direction::LowerIsBetter, 0.10, 1_000.0)
+        }
+        "fault_detection_latency_ns_max" => rule(Direction::LowerIsBetter, 0.10, 1_000.0),
+        // Blast radius in packets: deterministic, but sensitive to the
+        // exact interleaving around the crash instant — a small absolute
+        // slack absorbs schedule-neutral refactors.
+        "fault_packets_lost_total" | "fault_malformed_drops_total" => {
+            rule(Direction::LowerIsBetter, 0.10, 16.0)
+        }
         _ => None,
     }
 }
@@ -338,6 +356,13 @@ mod tests {
             "reconfig_migrated_packets_total",
             "reconfig_downtime_ns_total",
             "reconfig_downtime_ns_max",
+            "recovery_flows_migrated_total",
+            "recovery_flows_lost_total",
+            "recovery_downtime_ns_total",
+            "recovery_downtime_ns_max",
+            "fault_detection_latency_ns_max",
+            "fault_packets_lost_total",
+            "fault_malformed_drops_total",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
@@ -352,6 +377,12 @@ mod tests {
             "migrated_flows",
             "downtime_ns",
             "reconfig_events",
+            "recovery_events",
+            "flows_lost",
+            "packets_lost",
+            "detection_latency_ns",
+            "jain_floor_under_attack",
+            "adversarial_injected",
         ] {
             assert!(rule_for(context).is_none(), "{context}");
         }

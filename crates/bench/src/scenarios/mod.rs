@@ -1,5 +1,6 @@
 //! Reusable experiment scenarios.
 
+pub mod chaos;
 pub mod elastic;
 pub mod latency;
 pub mod rate;

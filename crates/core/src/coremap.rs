@@ -53,17 +53,22 @@ pub struct CoreMap {
     rss: RssConfig,
     rendezvous: bool,
     epoch: u64,
+    /// `failed[c]` — core `c` crashed and must not be designated.
+    /// All-false for planned maps; set by [`CoreMap::without_core`].
+    failed: Vec<bool>,
+    /// Surviving core ids, sorted. Identity (`0..num_cores`) until a
+    /// failure; under RSS it translates the rebuilt indirection table
+    /// (over `active.len()` queues) back to real core ids.
+    active: Vec<usize>,
 }
 
-/// Rendezvous (HRW) winner: the core with the highest pseudo-random
-/// score for this flow hash. Deterministic, and minimal-movement by
-/// construction: a core's score for a flow never changes, so adding a
-/// core only steals the flows it now wins, and removing one only
-/// redistributes the flows it held.
-fn rendezvous_core(hash: u64, num_cores: usize) -> usize {
-    (0..num_cores)
-        .max_by_key(|&core| splitmix64(hash ^ splitmix64(0xe1a5_71c0 ^ core as u64)))
-        .expect("at least one core")
+/// A core's rendezvous (HRW) score for a flow hash: the designated core
+/// is the argmax over eligible cores. Deterministic, and
+/// minimal-movement by construction: a core's score for a flow never
+/// changes, so adding a core only steals the flows it now wins, and
+/// removing (or failing) one only redistributes the flows it held.
+fn rendezvous_score(hash: u64, core: usize) -> u64 {
+    splitmix64(hash ^ splitmix64(0xe1a5_71c0 ^ core as u64))
 }
 
 impl CoreMap {
@@ -77,6 +82,8 @@ impl CoreMap {
             rss: RssConfig::symmetric(num_cores),
             rendezvous: false,
             epoch: 0,
+            failed: vec![false; num_cores],
+            active: (0..num_cores).collect(),
         }
     }
 
@@ -109,6 +116,41 @@ impl CoreMap {
             rss: RssConfig::symmetric(new_cores),
             rendezvous: self.rendezvous,
             epoch: self.epoch + 1,
+            // A planned rescale re-provisions the deployment: the new
+            // generation starts with every core healthy.
+            failed: vec![false; new_cores],
+            active: (0..new_cores).collect(),
+        }
+    }
+
+    /// The next generation after an *unplanned* core failure: same core
+    /// count (the slot stays dark), epoch advances by one, and the
+    /// failed core is excluded from designation. Sprayer keeps its hash
+    /// family — rendezvous maps re-run HRW over the surviving designated
+    /// set (only the dead core's flows move), static maps probe past
+    /// the dead slot — while RSS rebuilds the indirection table over the
+    /// survivors, remapping broadly.
+    ///
+    /// # Panics
+    ///
+    /// If `failed_core` is out of range, already failed, or the last
+    /// surviving core.
+    pub fn without_core(&self, failed_core: usize) -> Self {
+        assert!(failed_core < self.num_cores, "core out of range");
+        let mut failed = self.failed.clone();
+        assert!(!failed[failed_core], "core {failed_core} already failed");
+        failed[failed_core] = true;
+        let active: Vec<usize> = (0..self.num_cores).filter(|&c| !failed[c]).collect();
+        assert!(!active.is_empty(), "cannot fail the last surviving core");
+        CoreMap {
+            mode: self.mode,
+            num_cores: self.num_cores,
+            designated_cores: self.designated_cores,
+            rss: RssConfig::symmetric(active.len()),
+            rendezvous: self.rendezvous,
+            epoch: self.epoch + 1,
+            failed,
+            active,
         }
     }
 
@@ -140,17 +182,61 @@ impl CoreMap {
         self.designated_cores
     }
 
+    /// True when `core` has been marked failed by
+    /// [`CoreMap::without_core`].
+    pub fn is_failed(&self, core: usize) -> bool {
+        self.failed[core]
+    }
+
+    /// Surviving core ids, sorted ascending. The full `0..num_cores`
+    /// range until a failure.
+    pub fn active_core_ids(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// The Sprayer designated core for a stable flow hash, skipping
+    /// failed cores. With no failures this reduces exactly to the
+    /// pre-fault hash (HRW over the designated set, or the static
+    /// modulo), which the committed baselines pin.
+    fn sprayer_designated(&self, hash: u64) -> usize {
+        if self.rendezvous {
+            if let Some(core) = (0..self.designated_cores)
+                .filter(|&c| !self.failed[c])
+                .max_by_key(|&core| rendezvous_score(hash, core))
+            {
+                return core;
+            }
+            // Every designated core is dead: fall back to HRW over the
+            // full surviving set so state lands *somewhere* recoverable.
+            return self
+                .active
+                .iter()
+                .copied()
+                .max_by_key(|&core| rendezvous_score(hash, core))
+                .expect("at least one active core");
+        }
+        let c = (hash % self.num_cores as u64) as usize;
+        if !self.failed[c] {
+            c
+        } else {
+            // Static hash family: linear-probe (mod n) to the next
+            // surviving core, so only the dead core's flows move.
+            (1..self.num_cores)
+                .map(|step| (c + step) % self.num_cores)
+                .find(|&d| !self.failed[d])
+                .expect("at least one active core")
+        }
+    }
+
     /// The designated core for a canonical flow key.
     pub fn designated_for_key(&self, key: &FlowKey) -> usize {
         match self.mode {
-            DispatchMode::Sprayer if self.rendezvous => {
-                rendezvous_core(key.stable_hash(), self.designated_cores)
-            }
-            DispatchMode::Sprayer => (key.stable_hash() % self.num_cores as u64) as usize,
+            DispatchMode::Sprayer => self.sprayer_designated(key.stable_hash()),
             // Under RSS, state lives wherever RSS puts the flow's packets.
             // The key is canonical; reconstruct a representative tuple:
             // the symmetric RSS key hashes both directions identically, so
-            // either representative gives the same queue.
+            // either representative gives the same queue. `active`
+            // translates the (survivor-sized) queue index to a core id.
             DispatchMode::Rss => {
                 let t = FiveTuple {
                     src_addr: key.lo.0,
@@ -159,7 +245,7 @@ impl CoreMap {
                     dst_port: key.hi.1,
                     protocol: key.protocol,
                 };
-                usize::from(self.rss.queue_for(&t))
+                self.active[usize::from(self.rss.queue_for(&t))]
             }
         }
     }
@@ -168,7 +254,7 @@ impl CoreMap {
     pub fn designated_for_tuple(&self, tuple: &FiveTuple) -> usize {
         match self.mode {
             DispatchMode::Sprayer => self.designated_for_key(&tuple.key()),
-            DispatchMode::Rss => usize::from(self.rss.queue_for(tuple)),
+            DispatchMode::Rss => self.active[usize::from(self.rss.queue_for(tuple))],
         }
     }
 
@@ -177,10 +263,7 @@ impl CoreMap {
     /// and the RSS representative goes through the symmetric Toeplitz key.
     pub fn designated_for_v6_key(&self, key: &FlowKeyV6) -> usize {
         match self.mode {
-            DispatchMode::Sprayer if self.rendezvous => {
-                rendezvous_core(key.stable_hash(), self.designated_cores)
-            }
-            DispatchMode::Sprayer => (key.stable_hash() % self.num_cores as u64) as usize,
+            DispatchMode::Sprayer => self.sprayer_designated(key.stable_hash()),
             DispatchMode::Rss => {
                 let t = FiveTupleV6 {
                     src_addr: key.lo.0,
@@ -189,7 +272,7 @@ impl CoreMap {
                     dst_port: key.hi.1,
                     protocol: key.protocol,
                 };
-                usize::from(self.rss.queue_for_v6(&t))
+                self.active[usize::from(self.rss.queue_for_v6(&t))]
             }
         }
     }
@@ -434,6 +517,87 @@ mod tests {
             }
         }
         assert!(moved > 1_000, "RSS rescale moved only {moved} of 2000");
+    }
+
+    #[test]
+    fn rendezvous_failure_only_moves_the_dead_cores_flows() {
+        let old = CoreMap::elastic(DispatchMode::Sprayer, 5);
+        let new = old.without_core(2);
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(new.num_cores(), 5, "the slot stays dark, not removed");
+        assert!(new.is_failed(2));
+        assert_eq!(new.active_core_ids(), &[0, 1, 3, 4]);
+        let mut moved = 0usize;
+        for i in 0..2_000u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            let (a, b) = (old.designated_for_key(&key), new.designated_for_key(&key));
+            if a != 2 {
+                assert_eq!(a, b, "flows not on the dead core must not move");
+            } else {
+                assert_ne!(b, 2, "dead core must not be designated");
+                moved += 1;
+            }
+        }
+        assert!((200..=600).contains(&moved), "moved {moved} of 2000");
+    }
+
+    #[test]
+    fn static_failure_probes_to_the_next_survivor() {
+        let old = CoreMap::new(DispatchMode::Sprayer, 4);
+        let new = old.without_core(1);
+        for i in 0..500u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            let a = old.designated_for_key(&key);
+            let b = new.designated_for_key(&key);
+            if a == 1 {
+                assert_eq!(b, 2, "modulo probe lands on the next slot");
+            } else {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rss_failure_rebuilds_the_indirection_table_over_survivors() {
+        let old = CoreMap::new(DispatchMode::Rss, 4);
+        let new = old.without_core(1);
+        let mut moved = 0usize;
+        for i in 0..2_000u32 {
+            let t = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443);
+            let d = new.designated_for_tuple(&t);
+            assert_ne!(d, 1, "dead core must not be designated");
+            assert_eq!(d, new.designated_for_key(&t.key()));
+            if old.designated_for_tuple(&t) != d {
+                moved += 1;
+            }
+        }
+        // Reprogramming the table over 3 queues remaps most buckets —
+        // the broad-remap asymmetry fig_chaos measures.
+        assert!(moved > 1_000, "RSS failure moved only {moved} of 2000");
+    }
+
+    #[test]
+    fn all_designated_cores_failed_falls_back_to_survivors() {
+        // Elastic map that scaled up 2→4: designated set is {0, 1}.
+        // Kill both designated cores; flows must land on the joiners.
+        let map = CoreMap::elastic(DispatchMode::Sprayer, 2).rescaled(4);
+        assert_eq!(map.designated_cores(), 2);
+        let crippled = map.without_core(0).without_core(1);
+        assert_eq!(crippled.active_core_ids(), &[2, 3]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u32 {
+            let key = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443).key();
+            let d = crippled.designated_for_key(&key);
+            assert!(d == 2 || d == 3);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 2, "fallback HRW still spreads");
+    }
+
+    #[test]
+    #[should_panic(expected = "last surviving core")]
+    fn failing_the_last_core_panics() {
+        let _ = CoreMap::new(DispatchMode::Sprayer, 1).without_core(0);
     }
 
     #[test]

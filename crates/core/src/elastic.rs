@@ -88,6 +88,74 @@ impl ReconfigReport {
     }
 }
 
+/// Outcome and cost of one *unplanned* recovery: a core failed, the
+/// failure was detected, and the survivors took over its flows.
+///
+/// The key asymmetry [`crate::runtime_sim::MiddleboxSim::recover`]
+/// measures: under Sprayer only the dead core's designated flows remap
+/// — and because their state lived *only* there (write-partitioned
+/// tables), they are counted as [`RecoveryReport::flows_lost`], not
+/// migrated. Under RSS the rebuilt indirection table remaps surviving
+/// flows broadly, so recovery pays a real migration bill
+/// ([`RecoveryReport::migrated_flows`]) *on top of* losing the dead
+/// core's state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// The epoch the recovery moved *to*.
+    pub epoch: u64,
+    /// Dispatch mode of the middlebox (determines the remap policy).
+    pub mode: DispatchMode,
+    /// The core that failed.
+    pub failed_core: usize,
+    /// Active (surviving) cores before the recovery.
+    pub from_active: usize,
+    /// Active cores after the recovery.
+    pub to_active: usize,
+    /// Surviving flows whose designated core changed (state exported
+    /// and imported through the NF hooks).
+    pub migrated_flows: u64,
+    /// Flows that stayed on their surviving designated core.
+    pub retained_flows: u64,
+    /// Flows whose state lived only on the failed core: their entries
+    /// are gone and the connection must be re-established.
+    pub flows_lost: u64,
+    /// Packets stranded on the failed core (queued, ringed, or steered
+    /// to it before detection) — folded into
+    /// [`crate::stats::MiddleboxStats::lost_packets`].
+    pub packets_lost: u64,
+    /// Failure-to-detection latency, nanoseconds.
+    pub detection_latency_ns: u64,
+    /// Length of the recovery pause, nanoseconds.
+    pub downtime_ns: u64,
+    /// When the recovery started, nanoseconds since run start.
+    pub at_ns: u64,
+}
+
+impl RecoveryReport {
+    /// One JSON object for registry datapoint arrays (hand-rolled like
+    /// [`ReconfigReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\":{},\"mode\":\"{}\",\"failed_core\":{},\"from_active\":{},\
+             \"to_active\":{},\"migrated_flows\":{},\"retained_flows\":{},\
+             \"flows_lost\":{},\"packets_lost\":{},\"detection_latency_ns\":{},\
+             \"downtime_ns\":{},\"at_ns\":{}}}",
+            self.epoch,
+            self.mode,
+            self.failed_core,
+            self.from_active,
+            self.to_active,
+            self.migrated_flows,
+            self.retained_flows,
+            self.flows_lost,
+            self.packets_lost,
+            self.detection_latency_ns,
+            self.downtime_ns,
+            self.at_ns,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +206,41 @@ mod tests {
             "\"migrated_packets\":3",
             "\"downtime_ns\":12500",
             "\"at_ns\":1000000",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn recovery_json_includes_every_field() {
+        let r = RecoveryReport {
+            epoch: 3,
+            mode: DispatchMode::Sprayer,
+            failed_core: 1,
+            from_active: 4,
+            to_active: 3,
+            migrated_flows: 0,
+            retained_flows: 90,
+            flows_lost: 27,
+            packets_lost: 5,
+            detection_latency_ns: 50_000,
+            downtime_ns: 20_000,
+            at_ns: 2_000_000,
+        };
+        let j = r.to_json();
+        for needle in [
+            "\"epoch\":3",
+            "\"mode\":\"Sprayer\"",
+            "\"failed_core\":1",
+            "\"from_active\":4",
+            "\"to_active\":3",
+            "\"migrated_flows\":0",
+            "\"retained_flows\":90",
+            "\"flows_lost\":27",
+            "\"packets_lost\":5",
+            "\"detection_latency_ns\":50000",
+            "\"downtime_ns\":20000",
+            "\"at_ns\":2000000",
         ] {
             assert!(j.contains(needle), "{j} missing {needle}");
         }

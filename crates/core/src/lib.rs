@@ -102,8 +102,8 @@ pub use api::{
 };
 pub use config::{DispatchMode, MiddleboxConfig, ObsConfig};
 pub use coremap::CoreMap;
-pub use elastic::ReconfigReport;
+pub use elastic::{ReconfigReport, RecoveryReport};
 pub use runtime_sim::MiddleboxSim;
-pub use runtime_threads::ThreadedMiddlebox;
+pub use runtime_threads::{ThreadedMiddlebox, WorkerFailure};
 pub use stats::MiddleboxStats;
-pub use tables::MigrationStats;
+pub use tables::{FailoverStats, MigrationStats};

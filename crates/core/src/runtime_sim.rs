@@ -17,7 +17,7 @@
 use crate::api::{NetworkFunction, NfConfig, Verdict};
 use crate::config::{DispatchMode, MiddleboxConfig};
 use crate::coremap::CoreMap;
-use crate::elastic::ReconfigReport;
+use crate::elastic::{ReconfigReport, RecoveryReport};
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::LocalTables;
 use sprayer_net::Packet;
@@ -131,6 +131,22 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     frozen_until: Time,
     /// One report per completed [`MiddleboxSim::reconfigure`] call.
     reconfigs: Vec<ReconfigReport>,
+    /// Per-core crash flags ([`MiddleboxSim::inject_core_failure`]); a
+    /// failed core stays dark for the rest of the run.
+    failed: Vec<bool>,
+    /// When each failure was injected, for detection-latency accounting.
+    fail_time: Vec<Option<Time>>,
+    /// `lost_packets` value just before each core's failure was
+    /// injected, so the recovery report can attribute the delta.
+    lost_baseline: Vec<u64>,
+    /// Cores wedged (alive but not picking up work) until this instant.
+    stalled_until: Vec<Time>,
+    /// One report per completed [`MiddleboxSim::recover`] call.
+    recoveries: Vec<RecoveryReport>,
+    /// NIC-queue → core translation. Identity until a recovery shrinks
+    /// the NIC to the surviving queue count, after which it maps the
+    /// (smaller) queue index space back to real core ids.
+    queue_map: Vec<usize>,
 }
 
 impl<NF: NetworkFunction> MiddleboxSim<NF> {
@@ -221,6 +237,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             samplers,
             frozen_until: Time::ZERO,
             reconfigs: Vec::new(),
+            failed: vec![false; config.num_cores],
+            fail_time: vec![None; config.num_cores],
+            lost_baseline: vec![0; config.num_cores],
+            stalled_until: vec![Time::ZERO; config.num_cores],
+            recoveries: Vec::new(),
+            queue_map: (0..config.num_cores).collect(),
             config,
         }
     }
@@ -314,14 +336,20 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
 
     /// Cores currently receiving work. The internal core array never
     /// shrinks — after a scale-down the trailing cores go inactive but
-    /// keep their cumulative stats.
+    /// keep their cumulative stats; after an unplanned failure the dead
+    /// core's slot stays dark.
     pub fn active_cores(&self) -> usize {
-        self.coremap.num_cores()
+        self.coremap.active_core_ids().len()
     }
 
     /// Reports from every [`MiddleboxSim::reconfigure`] call, in order.
     pub fn reconfigs(&self) -> &[ReconfigReport] {
         &self.reconfigs
+    }
+
+    /// Reports from every [`MiddleboxSim::recover`] call, in order.
+    pub fn recoveries(&self) -> &[RecoveryReport] {
+        &self.recoveries
     }
 
     /// The NF instance.
@@ -368,7 +396,15 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         };
 
         let (queue, steering) = self.nic.steer(&pkt);
-        let core = usize::from(queue);
+        let core = self.queue_map[usize::from(queue)];
+
+        // Between a failure and its recovery the NIC still steers to the
+        // dead core's queue; nothing will ever drain it. These packets
+        // are the detection-latency cost, accounted as lost.
+        if self.failed[core] {
+            self.stats.lost_packets += 1;
+            return;
+        }
 
         // The 82599's Flow Director rate limitation (§5): packets on the
         // perfect-filter path are admitted at no more than the cap;
@@ -427,6 +463,24 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         self.kick(core, now);
     }
 
+    /// A raw frame arrives from the wire at `now` — the adversarial
+    /// ingress path. Parseable frames take the normal
+    /// [`MiddleboxSim::ingress`] path; truncated or garbage frames are
+    /// discarded *by the NIC* (they never reach a queue) and accounted
+    /// as [`MiddleboxStats::malformed_drops`].
+    pub fn ingress_frame(&mut self, now: Time, frame: Vec<u8>) {
+        match Packet::parse(frame) {
+            Ok(pkt) => self.ingress(now, pkt),
+            Err(_) => {
+                self.advance_until(now);
+                self.now = self.now.max(now);
+                self.stats.offered += 1;
+                self.stats.malformed_drops += 1;
+                self.nic.note_malformed();
+            }
+        }
+    }
+
     /// Process all internal events at or before `deadline`.
     pub fn advance_until(&mut self, deadline: Time) {
         while let Some(Reverse((t, _, _))) = self.heap.peek() {
@@ -457,6 +511,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// Start the next job on `core` if it is idle and work is available.
     fn kick(&mut self, core: usize, now: Time) {
         if self.cores[core].current.is_some() {
+            return;
+        }
+        // A crashed core never restarts; a stalled core resumes at the
+        // wake event [`MiddleboxSim::stall_core`] schedules.
+        if self.failed[core] || now < self.stalled_until[core] {
             return;
         }
         // During a reconfiguration pause, cores accept no new work. The
@@ -570,7 +629,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     ..job
                 };
                 let (flow, id) = (job.flow, job.id);
-                if self.cores[target].ring.push(job).is_err() {
+                if self.failed[target] {
+                    // The ring push to a dead core fails its bounded
+                    // retries; the descriptor is declared lost (the
+                    // threaded runtime's retry-with-backoff collapses to
+                    // this in simulated time).
+                    self.stats.lost_packets += 1;
+                } else if self.cores[target].ring.push(job).is_err() {
                     self.stats.ring_drops += 1;
                     self.sample(target, now, |s| s.ring_drops += 1);
                     self.trace(
@@ -664,6 +729,10 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// sampling, not tracing.
     pub fn reconfigure(&mut self, at: Time, new_cores: usize) -> ReconfigReport {
         assert!(new_cores >= 1, "cannot scale to zero cores");
+        assert!(
+            self.failed.iter().all(|f| !f),
+            "recover failed cores before a planned rescale"
+        );
         self.advance_until(at);
         let now = self.now;
         let from_cores = self.coremap.num_cores();
@@ -714,6 +783,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         while self.stats.per_core.len() < new_cores {
             self.stats.per_core.push(CoreStats::default());
         }
+        while self.failed.len() < new_cores {
+            self.failed.push(false);
+            self.fail_time.push(None);
+            self.lost_baseline.push(0);
+            self.stalled_until.push(Time::ZERO);
+        }
+        self.queue_map = (0..new_cores).collect();
         if let Some(s) = self.samplers.as_mut() {
             let interval = self.config.obs.sample_interval_us.max(1) * SIM_TICKS_PER_US;
             while s.len() < new_cores {
@@ -737,7 +813,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         let migrated_packets = stranded.len() as u64;
         for job in stranded {
             let (queue, _) = self.nic.steer(&job.pkt);
-            let core = usize::from(queue);
+            let core = self.queue_map[usize::from(queue)];
             let job = Job {
                 via_ring: false,
                 relayed_at: None,
@@ -764,6 +840,152 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             at_ns: now.as_ps() / 1_000,
         };
         self.reconfigs.push(report);
+        report
+    }
+
+    /// Crash `core` at simulated time `at`. The core stops dead:
+    /// its in-service packet and everything in its rx queue and
+    /// redirect ring are gone (accounted as
+    /// [`MiddleboxStats::lost_packets`]), and until
+    /// [`MiddleboxSim::recover`] runs, the NIC keeps steering to the
+    /// dead queue (those packets are lost too — the detection-latency
+    /// cost) and ring pushes to it fail as lost.
+    pub fn inject_core_failure(&mut self, at: Time, core: usize) {
+        self.advance_until(at);
+        let now = self.now;
+        assert!(core < self.cores.len(), "core out of range");
+        assert!(!self.failed[core], "core {core} already failed");
+        self.lost_baseline[core] = self.stats.lost_packets;
+        self.failed[core] = true;
+        self.fail_time[core] = Some(now);
+        let c = &mut self.cores[core];
+        let mut lost = 0u64;
+        if c.current.take().is_some() {
+            lost += 1;
+        }
+        while c.ring.pop().is_some() {
+            lost += 1;
+        }
+        while c.rx.pop().is_some() {
+            lost += 1;
+        }
+        c.burst = 0;
+        self.stats.lost_packets += lost;
+    }
+
+    /// Wedge `core` at simulated time `at` for `duration`: it finishes
+    /// its in-service packet but picks up no new work until the stall
+    /// ends, so its queues back up (and tail-drop under pressure) — the
+    /// live-lock shape a watchdog must distinguish from a crash.
+    pub fn stall_core(&mut self, at: Time, core: usize, duration: Time) {
+        self.advance_until(at);
+        let now = self.now;
+        assert!(core < self.cores.len(), "core out of range");
+        self.stalled_until[core] = self.stalled_until[core].max(now + duration);
+        // Wake event at the stall end restarts the core.
+        self.schedule(self.stalled_until[core], core);
+    }
+
+    /// Recover from the failure of `failed_core` at simulated time `at`
+    /// (the instant detection completed): an *unplanned* epoch
+    /// transition over the survivors.
+    ///
+    /// Quiesce and re-admission work exactly like
+    /// [`MiddleboxSim::reconfigure`]; the differences are the remap and
+    /// the accounting. The core map advances via
+    /// [`CoreMap::without_core`] — under Sprayer/rendezvous only the
+    /// dead core's designated flows remap, and because their state
+    /// lived only there ([`crate::tables::LocalTables::fail_core`])
+    /// they are *lost*, not migrated; under RSS the rebuilt indirection
+    /// table also migrates surviving flows broadly. The NIC is
+    /// reprogrammed over the surviving queue count and
+    /// `detection_latency_ns` is `at` minus the injection instant.
+    pub fn recover(&mut self, at: Time, failed_core: usize) -> RecoveryReport {
+        self.advance_until(at);
+        let now = self.now;
+        assert!(self.failed[failed_core], "core {failed_core} is healthy");
+        assert!(
+            !self.coremap.is_failed(failed_core),
+            "core {failed_core} already recovered"
+        );
+        let from_active = self.coremap.active_core_ids().len();
+
+        // Quiesce the survivors (the dead core was drained at injection).
+        let mut stranded: Vec<Job> = Vec::new();
+        for core in &mut self.cores {
+            if let Some((job, _)) = core.current.take() {
+                stranded.push(job);
+            }
+            while let Some(job) = core.ring.pop() {
+                stranded.push(job);
+            }
+            while let Some(job) = core.rx.pop() {
+                stranded.push(job);
+            }
+            core.burst = 0;
+        }
+
+        // Remap over the survivors and reprogram the NIC to their queue
+        // count; `queue_map` translates the shrunken queue space back to
+        // real core ids.
+        let new_map = self.coremap.without_core(failed_core);
+        let survivors = new_map.active_core_ids().to_vec();
+        self.nic = Nic::new(Self::nic_config_for(&self.config, survivors.len()));
+        self.queue_map = survivors.clone();
+
+        // Re-bucket the tables: the dead core's entries are discarded
+        // (flows_lost), surviving movers run the NF hooks.
+        let nf = &self.nf;
+        let failover = self.tables.fail_core(
+            failed_core,
+            new_map.clone(),
+            &mut |key, state, _from, to| {
+                nf.freeze_flow(key, state);
+                nf.adopt_flow(key, state, to);
+            },
+        );
+        self.coremap = new_map;
+
+        // Downtime: fixed epoch cost plus per-migrated-flow export and
+        // import (lost flows cost nothing — there is nothing to move).
+        let pause_cycles = self.config.reconfig_fixed_cycles
+            + self.config.migrate_flow_cycles * failover.migrated_flows;
+        let downtime = self.config.clock.cycles_to_time(pause_cycles);
+        self.frozen_until = now + downtime;
+
+        for job in stranded {
+            let (queue, _) = self.nic.steer(&job.pkt);
+            let core = self.queue_map[usize::from(queue)];
+            let job = Job {
+                via_ring: false,
+                relayed_at: None,
+                ..job
+            };
+            if self.cores[core].rx.push(job).is_err() {
+                self.stats.queue_drops += 1;
+                self.sample(core, now, |s| s.queue_drops += 1);
+            }
+        }
+        for &core in &survivors {
+            self.schedule(self.frozen_until, core);
+        }
+
+        let fail_at = self.fail_time[failed_core].expect("failure recorded");
+        let report = RecoveryReport {
+            epoch: self.coremap.epoch(),
+            mode: self.config.mode,
+            failed_core,
+            from_active,
+            to_active: survivors.len(),
+            migrated_flows: failover.migrated_flows,
+            retained_flows: failover.retained_flows,
+            flows_lost: failover.flows_lost,
+            packets_lost: self.stats.lost_packets - self.lost_baseline[failed_core],
+            detection_latency_ns: now.saturating_sub(fail_at).as_ps() / 1_000,
+            downtime_ns: downtime.as_ps() / 1_000,
+            at_ns: now.as_ps() / 1_000,
+        };
+        self.recoveries.push(report);
         report
     }
 }
@@ -1503,5 +1725,243 @@ mod tests {
             "stateless flag must disable connection-packet redirection"
         );
         assert_eq!(mb.stats().forwarded, 64);
+    }
+
+    #[test]
+    fn scale_down_to_single_designated_core_conserves() {
+        // The recovery path's degenerate endpoint: every flow must land
+        // on (and be findable at) the one surviving designated core.
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+        let n = 48u32;
+        let now = drive_flows(&mut mb, n, 2, Time::ZERO);
+        let report = mb.reconfigure(now + Time::from_us(10), 1);
+        assert_eq!(report.to_cores, 1);
+        assert_eq!(report.migrated_flows + report.retained_flows, u64::from(n));
+        assert_eq!(mb.active_cores(), 1);
+        for i in 0..n {
+            let key = flow(i).key();
+            assert_eq!(mb.coremap().designated_for_key(&key), 0);
+            assert!(mb.tables().peek(0, &key).is_some(), "flow {i}");
+        }
+        let resume = mb.now() + Time::from_ms(1);
+        let now = drive_flows(&mut mb, n, 2, resume);
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.nf_drops, 0, "all state must survive the collapse");
+    }
+
+    #[test]
+    fn reconfigure_with_zero_in_flight_packets_is_pure_fixed_cost() {
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 2;
+        let mut mb = MiddleboxSim::new_elastic(config.clone(), TrackerNf);
+        let now = drive_flows(&mut mb, 16, 2, Time::ZERO);
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle(), "the rescale must start from a drained plane");
+
+        let report = mb.reconfigure(mb.now() + Time::from_us(1), 4);
+        assert_eq!(report.migrated_packets, 0, "nothing was in flight");
+        assert_eq!(report.migrated_flows, 0, "Sprayer scale-up pins flows");
+        let fixed_ns = config
+            .clock
+            .cycles_to_time(config.reconfig_fixed_cycles)
+            .as_ps()
+            / 1_000;
+        assert_eq!(
+            report.downtime_ns, fixed_ns,
+            "zero in-flight, zero migration: downtime is the fixed cost"
+        );
+        mb.run_until(mb.now() + Time::from_ms(5));
+        assert_eq!(mb.stats().unaccounted(), 0);
+    }
+
+    #[test]
+    fn core_failure_loses_only_the_dead_cores_flows_under_sprayer() {
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let n = 64u32;
+        let now = drive_flows(&mut mb, n, 2, Time::ZERO);
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle());
+
+        let dead = 2usize;
+        let on_dead = (0..n)
+            .filter(|&i| mb.coremap().designated_for_tuple(&flow(i)) == dead)
+            .count() as u64;
+        assert!(on_dead > 0, "need flows on the dead core");
+
+        let fail_at = mb.now() + Time::from_us(10);
+        mb.inject_core_failure(fail_at, dead);
+        let report = mb.recover(fail_at + Time::from_us(50), dead);
+        assert_eq!(report.failed_core, dead);
+        assert_eq!((report.from_active, report.to_active), (4, 3));
+        assert_eq!(report.flows_lost, on_dead);
+        assert_eq!(
+            report.migrated_flows, 0,
+            "rendezvous recovery moves no surviving flow"
+        );
+        assert_eq!(report.retained_flows, u64::from(n) - on_dead);
+        assert_eq!(report.detection_latency_ns, 50_000);
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(mb.nf().freezes.load(ord), 0, "no survivor migrated");
+
+        // Post-recovery traffic (regular packets only — no SYNs, so
+        // lost flows cannot silently re-establish): survivors' flows
+        // still find their state, the dead core's flows miss (dropped
+        // by the NF), and the dead core processes nothing more.
+        let before_dead = mb.stats().per_core[dead].processed;
+        let mut now = mb.now() + Time::from_ms(1);
+        for j in 0..2u32 {
+            for i in 0..n {
+                now += Time::from_us(1);
+                let p =
+                    PacketBuilder::new().tcp(flow(i), j + 10, 0, TcpFlags::ACK, &payload(i + j));
+                mb.ingress(now, p);
+            }
+        }
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.per_core[dead].processed, before_dead);
+        assert_eq!(
+            s.nf_drops,
+            on_dead * 2,
+            "exactly the lost flows' regular packets miss state"
+        );
+        assert_eq!(mb.active_cores(), 3);
+    }
+
+    #[test]
+    fn failure_window_packets_are_lost_and_accounted() {
+        // Packets offered between injection and recovery blackhole on
+        // the dead queue (or die on its ring) — counted, not leaked.
+        let mut config = cfg(DispatchMode::Sprayer, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+        let now = drive_flows(&mut mb, 32, 2, Time::ZERO);
+        mb.run_until(now + Time::from_ms(50));
+
+        let fail_at = mb.now() + Time::from_us(10);
+        mb.inject_core_failure(fail_at, 1);
+        // Offer traffic during the detection window.
+        let mut at = fail_at;
+        for i in 0u32..200 {
+            at += Time::from_us(1);
+            let p = PacketBuilder::new().tcp(flow(i % 32), i + 50, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(at, p);
+        }
+        let report = mb.recover(at + Time::from_us(100), 1);
+        assert!(report.packets_lost > 0, "the window must cost packets");
+        assert_eq!(report.packets_lost, mb.stats().lost_packets);
+        mb.run_until(mb.now() + Time::from_ms(50));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.offered, 32 * 3 + 200);
+    }
+
+    #[test]
+    fn rss_recovery_migrates_survivors_sprayer_does_not() {
+        let run = |mode: DispatchMode| {
+            let mut config = cfg(mode, 1_000);
+            config.num_cores = 4;
+            let mut mb = MiddleboxSim::new_elastic(config, TrackerNf);
+            let now = drive_flows(&mut mb, 96, 2, Time::ZERO);
+            mb.run_until(now + Time::from_ms(50));
+            let fail_at = mb.now() + Time::from_us(10);
+            mb.inject_core_failure(fail_at, 1);
+            let report = mb.recover(fail_at + Time::from_us(50), 1);
+            mb.run_until(mb.now() + Time::from_ms(50));
+            assert!(mb.is_idle());
+            assert_eq!(mb.stats().unaccounted(), 0);
+            report
+        };
+        let sprayer = run(DispatchMode::Sprayer);
+        let rss = run(DispatchMode::Rss);
+        assert_eq!(sprayer.migrated_flows, 0);
+        assert!(
+            rss.migrated_flows > sprayer.migrated_flows,
+            "RSS recovery must remap survivors: {rss:?}"
+        );
+        assert!(sprayer.flows_lost > 0 && rss.flows_lost > 0);
+        assert!(
+            rss.downtime_ns > sprayer.downtime_ns,
+            "migration makes RSS recovery downtime longer"
+        );
+    }
+
+    #[test]
+    fn stalled_core_backs_up_then_drains() {
+        let mut config = cfg(DispatchMode::Rss, 1_000);
+        config.num_cores = 2;
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let core = CoreMap::new(DispatchMode::Rss, 2).designated_for_tuple(&t);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        mb.run_until(Time::from_ms(1));
+        let processed_before = mb.stats().processed();
+
+        mb.stall_core(Time::from_ms(1), core, Time::from_ms(2));
+        for i in 0u32..16 {
+            now = Time::from_ms(1) + Time::from_us(u64::from(i) * 10);
+            let p = PacketBuilder::new().tcp(t, i + 1, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.advance_until(Time::from_ms(2));
+        assert_eq!(
+            mb.stats().processed(),
+            processed_before,
+            "a stalled core must not pick up work"
+        );
+        mb.run_until(Time::from_ms(20));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.processed(), processed_before + 16, "stall is not loss");
+    }
+
+    #[test]
+    fn malformed_frames_are_dropped_at_the_nic_and_accounted() {
+        let config = cfg(DispatchMode::Sprayer, 1_000);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let mut now = Time::ZERO;
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(flow(1), 0, 0, TcpFlags::SYN, b""),
+        );
+
+        // Truncated, garbage, and corrupted-version frames.
+        let good = PacketBuilder::new().tcp(flow(1), 1, 0, TcpFlags::ACK, b"x");
+        let mut bad_version = good.bytes().to_vec();
+        bad_version[14] = 0x00; // IPv4 version nibble smashed
+        let mut bad_checksum = good.bytes().to_vec();
+        bad_checksum[24] ^= 0xff; // IPv4 header checksum corrupted
+        for frame in [
+            Vec::new(),
+            vec![0xff; 7],
+            good.bytes()[..20].to_vec(),
+            bad_version,
+            bad_checksum,
+        ] {
+            now += Time::from_us(1);
+            mb.ingress_frame(now, frame);
+        }
+        // A valid frame through the same path still flows.
+        now += Time::from_us(1);
+        mb.ingress_frame(now, good.bytes().to_vec());
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.malformed_drops, 5);
+        assert_eq!(s.offered, 7);
+        assert_eq!(s.forwarded, 2);
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
     }
 }

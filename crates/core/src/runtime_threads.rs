@@ -32,6 +32,32 @@
 //! conservation (`stats.unaccounted() == 0` once drained) is assertable
 //! on this path exactly as on the simulator.
 //!
+//! ## Failure model
+//!
+//! A worker can die mid-run — a panic inside the NF (injected via
+//! [`ThreadedFault::Panic`] or a genuine bug) or a silent stall
+//! ([`ThreadedFault::Stall`]). The runtime never lets either wedge the
+//! shutdown protocol:
+//!
+//! * NF dispatch runs under `catch_unwind`; a panicking worker marks
+//!   itself dead, counts the in-flight packet and the unprocessed
+//!   remainder of its batch as [`MiddleboxStats::lost_packets`], and
+//!   degrades to a *zombie drain loop* that keeps its queues empty (each
+//!   drained descriptor is an accounted loss) until the system settles.
+//! * With [`ThreadedConfig::watchdog_deadline_ns`] set, a watchdog
+//!   thread polls the workers' [`LiveSlots`] progress counters; a worker
+//!   with pending work and no progress for a full deadline is declared
+//!   dead, its queues are drained as losses, and a [`WorkerFailure`] is
+//!   recorded — this is how a *stalled* (not panicked) worker is fenced.
+//! * Ingress blackholes packets steered to a dead queue (the real NIC
+//!   keeps steering there until reprogrammed) and redirect pushes toward
+//!   a dead core's ring declare the descriptor lost instead of spinning.
+//!
+//! Every loss is accounted, so `stats.unaccounted() == 0` still holds
+//! after a crash — the conservation identity simply gains a
+//! `lost_packets` term. Failures surface as structured
+//! [`ThreadedOutcome::failures`] values, never as a propagated panic.
+//!
 //! Workers follow the guides' advice for CPU-bound work: plain scoped
 //! threads, no async runtime.
 
@@ -48,9 +74,10 @@ use sprayer_obs::{
     CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, LiveSlots, SampleSet,
     TimeSeries, Trace, TraceEvent, TraceMeta, TraceRing,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Trace timestamps are wall-clock nanoseconds since the run's anchor
 /// `Instant`: 10^3 ticks/µs.
@@ -94,6 +121,55 @@ pub struct ThreadedConfig {
     /// [`LiveSlots::snapshot`] from any thread. `None` (the default)
     /// costs nothing.
     pub live: Option<Arc<LiveSlots>>,
+    /// Inject one worker fault into the run (tests and chaos
+    /// experiments). `None` (the default) injects nothing.
+    pub fault: Option<ThreadedFault>,
+    /// Arm the failure-detection watchdog: a worker with pending work
+    /// whose [`LiveSlots`] progress counters do not advance for this
+    /// many wall-clock nanoseconds is declared dead — its queues are
+    /// drained as [`MiddleboxStats::lost_packets`] so the survivors'
+    /// shutdown protocol still terminates, and a [`WorkerFailure`] is
+    /// recorded. Enabling the watchdog implicitly enables per-batch live
+    /// counters (internal slots are allocated if [`ThreadedConfig::live`]
+    /// is `None`). `None` (the default) spawns no watchdog.
+    pub watchdog_deadline_ns: Option<u64>,
+}
+
+/// One injected worker fault, modelled on the failures the paper's
+/// deployment cares about: a core that dies outright and a core that
+/// goes silent for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadedFault {
+    /// Worker `core` panics inside the NF once it has processed `after`
+    /// packets. The panic is captured (never propagated); the worker is
+    /// declared dead and its pending work is accounted as lost.
+    Panic {
+        /// Worker that crashes.
+        core: usize,
+        /// Packets the worker processes before the crash.
+        after: u64,
+    },
+    /// Worker `core` sleeps for `duration_ns` once it has processed
+    /// `after` packets — a stall, detectable only by the watchdog.
+    Stall {
+        /// Worker that stalls.
+        core: usize,
+        /// Packets the worker processes before the stall.
+        after: u64,
+        /// How long the worker stays silent.
+        duration_ns: u64,
+    },
+}
+
+/// One worker failure, captured structurally instead of propagating the
+/// panic: the core that died and a human-readable reason (the panic
+/// message, or the watchdog's no-progress report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// The worker (core id) that failed.
+    pub core: usize,
+    /// Why: the captured panic message or the watchdog verdict.
+    pub message: String,
 }
 
 impl ThreadedConfig {
@@ -110,7 +186,20 @@ impl ThreadedConfig {
             ingress_retries: 4096,
             obs: ObsConfig::disabled(),
             live: None,
+            fault: None,
+            watchdog_deadline_ns: None,
         }
+    }
+}
+
+/// Extract a displayable message from a captured panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -164,6 +253,11 @@ pub struct ThreadedOutcome {
     /// migration; `migrated_packets` is always 0 on this path because
     /// the phase barrier drains every queue before the swap.
     pub reconfigs: Vec<ReconfigReport>,
+    /// Structured worker failures: captured NF panics and watchdog
+    /// verdicts, in detection order. Empty on a healthy run. The phase
+    /// barrier re-provisions workers, so a failure fences a core only
+    /// for the remainder of its phase.
+    pub failures: Vec<WorkerFailure>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
@@ -187,6 +281,20 @@ struct WorkerShared<NF: NetworkFunction> {
     mode: DispatchMode,
     batch_size: usize,
     redirect_retries: usize,
+    /// Per-worker "declared dead" flags: set by a worker that captured
+    /// its own NF panic, or by the watchdog fencing a stalled worker.
+    /// Ingress blackholes dead queues; redirects toward a dead ring are
+    /// declared lost.
+    dead: Vec<AtomicBool>,
+    /// Packets lost to worker failures (in-NF at panic time, stranded in
+    /// a dead worker's queues, steered or redirected to a dead core).
+    /// Folded into [`MiddleboxStats::lost_packets`] at the phase end.
+    lost: AtomicU64,
+    /// The injected fault for this phase, if still armed.
+    fault: Option<ThreadedFault>,
+    /// Set by the worker that fired the injected fault, so the runner
+    /// can disarm it for subsequent phases.
+    fault_fired: AtomicBool,
     obs: ObsConfig,
     /// Live counter slots shared with an external observer, if any.
     live: Option<Arc<LiveSlots>>,
@@ -223,6 +331,10 @@ struct Worker<'a, NF: NetworkFunction> {
     /// once (the inner drain advances the watermark; the enclosing
     /// batch picks up only the remainder).
     mark: SampleMark,
+    /// Set when this worker captures its own NF panic.
+    failure: Option<WorkerFailure>,
+    /// The injected fault fires at most once per worker.
+    fault_fired: bool,
 }
 
 /// Watermark of counters (and the wall time) last folded into a
@@ -246,6 +358,22 @@ struct WorkerResult {
     trace: Option<TraceRing>,
     probes: Option<LatencyProbes>,
     sampler: Option<TimeSeries>,
+    failure: Option<WorkerFailure>,
+}
+
+/// Drain a dead worker's queues, counting every stranded descriptor as
+/// a lost packet and releasing its shutdown-protocol claims so the
+/// survivors can terminate. Safe to race with the (zombie) worker's own
+/// drain: each descriptor is popped — and thus counted — exactly once.
+fn drain_dead_queues<NF: NetworkFunction>(shared: &WorkerShared<NF>, core: usize) {
+    while shared.rx[core].pop().is_some() {
+        shared.lost.fetch_add(1, Ordering::SeqCst);
+        shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
+    }
+    while shared.rings[core].pop().is_some() {
+        shared.lost.fetch_add(1, Ordering::SeqCst);
+        shared.redirects_outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ThreadedMiddlebox {
@@ -351,6 +479,9 @@ impl ThreadedMiddlebox {
         let mut nic = Nic::new(nic_config_for(first_workers));
         let mut cur_workers = first_workers;
         let mut reconfigs: Vec<ReconfigReport> = Vec::new();
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+        // The injected fault stays armed until some worker fires it.
+        let mut fault_pending = config.fault;
 
         let mut stats = MiddleboxStats::new(num_workers);
         let mut outcome = ThreadedOutcome {
@@ -363,6 +494,7 @@ impl ThreadedMiddlebox {
             probes: None,
             samples: None,
             reconfigs: Vec::new(),
+            failures: Vec::new(),
         };
         let obs = config.obs;
         let anchor = Instant::now();
@@ -418,6 +550,13 @@ impl ThreadedMiddlebox {
                 cur_workers = phase_workers;
             }
             stats.offered += packets.len() as u64;
+            // The watchdog reads progress from the live slots; allocate
+            // internal ones when it is armed without an external reader.
+            let live_slots = match (&config.live, config.watchdog_deadline_ns) {
+                (Some(l), _) => Some(l.clone()),
+                (None, Some(_)) => Some(Arc::new(LiveSlots::new(cur_workers))),
+                (None, None) => None,
+            };
             let shared = WorkerShared::<NF> {
                 rx: (0..cur_workers)
                     .map(|_| ArrayQueue::new(config.queue_capacity))
@@ -434,20 +573,30 @@ impl ThreadedMiddlebox {
                 mode: config.mode,
                 batch_size: config.batch_size,
                 redirect_retries: config.redirect_retries,
+                dead: (0..cur_workers).map(|_| AtomicBool::new(false)).collect(),
+                lost: AtomicU64::new(0),
+                fault: fault_pending,
+                fault_fired: AtomicBool::new(false),
                 obs,
-                live: config.live.clone(),
+                live: live_slots,
                 anchor,
                 trace_seq: AtomicU64::new(seq_base),
             };
 
-            let mut results: Vec<WorkerResult> = Vec::new();
+            let mut results: Vec<(usize, WorkerResult)> = Vec::new();
             let mut rx_hwm = vec![0u64; cur_workers];
+            let watchdog_stop = AtomicBool::new(false);
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for worker in 0..cur_workers {
                     let shared = &shared;
                     handles.push(s.spawn(move || Worker::new(nf, shared, worker).run()));
                 }
+                let watchdog = config.watchdog_deadline_ns.map(|deadline_ns| {
+                    let shared = &shared;
+                    let stop = &watchdog_stop;
+                    s.spawn(move || watchdog_loop(shared, stop, deadline_ns))
+                });
 
                 // Ingress on this thread: classify and enqueue with
                 // bounded backpressure.
@@ -456,6 +605,13 @@ impl ThreadedMiddlebox {
                     let q = usize::from(queue);
                     let id = next_pkt_id;
                     next_pkt_id += 1;
+                    if shared.dead[q].load(Ordering::SeqCst) {
+                        // The NIC keeps steering to the failed queue
+                        // until a reconfiguration reprograms it; until
+                        // then those packets are simply gone.
+                        stats.lost_packets += 1;
+                        continue;
+                    }
                     let flow = if obs.trace {
                         pkt.tuple().map_or(0, |t| t.key().stable_hash())
                     } else {
@@ -526,13 +682,34 @@ impl ThreadedMiddlebox {
                 }
                 shared.ingress_done.store(true, Ordering::SeqCst);
 
-                for h in handles {
-                    results.push(h.join().expect("worker panicked"));
+                for (worker, h) in handles.into_iter().enumerate() {
+                    // Workers capture their own NF panics and return a
+                    // structured failure; a panic that still escapes
+                    // (e.g. outside the guarded dispatch) is converted
+                    // here rather than propagated.
+                    match h.join() {
+                        Ok(r) => results.push((worker, r)),
+                        Err(payload) => failures.push(WorkerFailure {
+                            core: worker,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    }
+                }
+                watchdog_stop.store(true, Ordering::SeqCst);
+                if let Some(h) = watchdog {
+                    failures.extend(h.join().unwrap_or_default());
                 }
             });
             seq_base = shared.trace_seq.load(Ordering::SeqCst);
+            stats.lost_packets += shared.lost.load(Ordering::SeqCst);
+            if shared.fault_fired.load(Ordering::SeqCst) {
+                fault_pending = None;
+            }
 
-            for (worker, r) in results.into_iter().enumerate() {
+            for (worker, r) in results {
+                if let Some(f) = r.failure {
+                    failures.push(f);
+                }
                 outcome.per_worker_processed[worker] += r.stats.processed;
                 outcome.nf_drops += r.nf_drops;
                 stats.nf_drops += r.nf_drops;
@@ -584,8 +761,69 @@ impl ThreadedMiddlebox {
         });
         outcome.stats = stats;
         outcome.reconfigs = reconfigs;
+        outcome.failures = failures;
         outcome
     }
+}
+
+/// The failure-detection watchdog: poll every worker's progress at a
+/// quarter of the deadline; a worker with pending work whose
+/// [`LiveSlots`] `processed` counter has not moved for a full deadline
+/// is declared dead and fenced — its queues are drained as losses so
+/// the survivors' shutdown protocol terminates. Already-dead workers
+/// (self-declared after a captured panic) are re-drained every poll to
+/// close the race with in-flight pushes.
+fn watchdog_loop<NF: NetworkFunction>(
+    shared: &WorkerShared<NF>,
+    stop: &AtomicBool,
+    deadline_ns: u64,
+) -> Vec<WorkerFailure> {
+    let watch = shared
+        .live
+        .as_deref()
+        .expect("watchdog requires live slots");
+    let deadline = Duration::from_nanos(deadline_ns);
+    let poll = (deadline / 4).max(Duration::from_micros(50));
+    let n = shared.rx.len();
+    let mut last_processed = vec![0u64; n];
+    let mut stalled_since: Vec<Option<Instant>> = vec![None; n];
+    let mut failures = Vec::new();
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        let snap = watch.snapshot();
+        for w in 0..n {
+            if shared.dead[w].load(Ordering::SeqCst) {
+                drain_dead_queues(shared, w);
+                continue;
+            }
+            let processed = snap.get(w).map_or(0, |c| c.processed);
+            let pending = !shared.rx[w].is_empty() || !shared.rings[w].is_empty();
+            if processed != last_processed[w] || !pending {
+                last_processed[w] = processed;
+                stalled_since[w] = None;
+            } else {
+                let since = *stalled_since[w].get_or_insert_with(Instant::now);
+                if since.elapsed() >= deadline {
+                    shared.dead[w].store(true, Ordering::SeqCst);
+                    failures.push(WorkerFailure {
+                        core: w,
+                        message: format!(
+                            "watchdog: no progress for {} ns with work pending \
+                             (deadline {} ns)",
+                            since.elapsed().as_nanos(),
+                            deadline_ns
+                        ),
+                    });
+                    drain_dead_queues(shared, w);
+                }
+            }
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    failures
 }
 
 impl<'a, NF: NetworkFunction> Worker<'a, NF> {
@@ -612,6 +850,8 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 )
             }),
             mark: SampleMark::default(),
+            failure: None,
+            fault_fired: false,
         }
     }
 
@@ -683,6 +923,14 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
 
     fn run(mut self) -> WorkerResult {
         loop {
+            self.maybe_stall();
+            if self.failure.is_some() || self.shared.dead[self.id].load(Ordering::SeqCst) {
+                // Dead (own captured panic, or fenced by the watchdog):
+                // degrade to draining our queues as accounted losses so
+                // the survivors' shutdown protocol still terminates.
+                self.zombie_drain();
+                break;
+            }
             // Ring (connection) work first, as in §3.3.
             let mut did_work = self.drain_ring();
             did_work |= self.drain_rx();
@@ -711,11 +959,68 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             trace: self.trace,
             probes: self.probes,
             sampler: self.sampler,
+            failure: self.failure,
+        }
+    }
+
+    /// Fire an injected [`ThreadedFault::Stall`] once its packet
+    /// threshold is reached: go silent between batches, exactly like a
+    /// worker wedged outside the dataplane's view.
+    fn maybe_stall(&mut self) {
+        if self.fault_fired {
+            return;
+        }
+        if let Some(ThreadedFault::Stall {
+            core,
+            after,
+            duration_ns,
+        }) = self.shared.fault
+        {
+            if core == self.id && self.stats.processed >= after {
+                self.fault_fired = true;
+                self.shared.fault_fired.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_nanos(duration_ns));
+            }
+        }
+    }
+
+    /// A dead worker's exit path: keep both queues empty — every
+    /// drained descriptor is an accounted loss and a released
+    /// shutdown-protocol claim — until the system has settled. Races
+    /// benignly with the watchdog's [`drain_dead_queues`]: each
+    /// descriptor is popped exactly once.
+    fn zombie_drain(&mut self) {
+        loop {
+            let mut any = false;
+            while self.shared.rx[self.id].pop().is_some() {
+                self.shared.lost.fetch_add(1, Ordering::SeqCst);
+                self.shared.rx_remaining.fetch_sub(1, Ordering::SeqCst);
+                any = true;
+            }
+            while self.shared.rings[self.id].pop().is_some() {
+                self.shared.lost.fetch_add(1, Ordering::SeqCst);
+                self.shared
+                    .redirects_outstanding
+                    .fetch_sub(1, Ordering::SeqCst);
+                any = true;
+            }
+            if !any
+                && self.shared.ingress_done.load(Ordering::SeqCst)
+                && self.shared.rx_remaining.load(Ordering::SeqCst) == 0
+                && self.shared.redirects_outstanding.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            std::thread::yield_now();
         }
     }
 
     /// Run the NF on one packet that is processed on this worker.
-    fn handle(&mut self, desc: Desc, via_ring: bool) {
+    ///
+    /// Returns `false` when the NF panicked: the panic is captured, the
+    /// worker declares itself dead, and the in-flight packet is counted
+    /// as lost. The caller must stop feeding this worker.
+    fn handle(&mut self, desc: Desc, via_ring: bool) -> bool {
         let Desc {
             mut pkt,
             id,
@@ -734,10 +1039,45 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         let is_conn = pkt.is_connection_packet();
-        let verdict = if is_conn {
-            self.nf.connection_packets(&mut pkt, &mut self.ctx)
-        } else {
-            self.nf.regular_packets(&mut pkt, &mut self.ctx)
+        let inject = !self.fault_fired
+            && matches!(
+                self.shared.fault,
+                Some(ThreadedFault::Panic { core, after })
+                    if core == self.id && self.stats.processed >= after
+            );
+        if inject {
+            self.fault_fired = true;
+            self.shared.fault_fired.store(true, Ordering::SeqCst);
+        }
+        let verdict = {
+            let nf = self.nf;
+            let ctx = &mut self.ctx;
+            let worker = self.id;
+            let dispatch = catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected crash on worker {worker}");
+                }
+                if is_conn {
+                    nf.connection_packets(&mut pkt, ctx)
+                } else {
+                    nf.regular_packets(&mut pkt, ctx)
+                }
+            }));
+            match dispatch {
+                Ok(v) => v,
+                Err(payload) => {
+                    // Declare death first so ingress and redirectors
+                    // stop feeding us, then account the packet that was
+                    // on the NF when it went down.
+                    self.shared.dead[self.id].store(true, Ordering::SeqCst);
+                    self.shared.lost.fetch_add(1, Ordering::SeqCst);
+                    self.failure = Some(WorkerFailure {
+                        core: self.id,
+                        message: panic_message(payload.as_ref()),
+                    });
+                    return false;
+                }
+            }
         };
         self.stats.processed += 1;
         if is_conn {
@@ -762,6 +1102,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             Verdict::Forward => self.out.push(pkt),
             Verdict::Drop => self.nf_drops += 1,
         }
+        true
     }
 
     /// Drain one batch from this worker's ring. Returns true if any
@@ -803,21 +1144,39 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             n,
         );
         let mut batch = std::mem::take(&mut self.batch);
-        for (desc, _) in batch.drain(..) {
-            // Ring transfer latency: redirect push to this batch's drain.
-            let transfer = batch_ns.saturating_sub(desc.relay_ns);
-            self.emit(
-                self.id,
-                batch_ns,
-                EventKind::RedirectIn,
-                desc.flow,
-                desc.id,
-                transfer,
-            );
-            if let Some(p) = self.probes.as_mut() {
-                p.redirect_ns.record(transfer);
+        {
+            let mut it = batch.drain(..);
+            let mut died = false;
+            for (desc, _) in it.by_ref() {
+                // Ring transfer latency: redirect push to this batch's
+                // drain.
+                let transfer = batch_ns.saturating_sub(desc.relay_ns);
+                self.emit(
+                    self.id,
+                    batch_ns,
+                    EventKind::RedirectIn,
+                    desc.flow,
+                    desc.id,
+                    transfer,
+                );
+                if let Some(p) = self.probes.as_mut() {
+                    p.redirect_ns.record(transfer);
+                }
+                if !self.handle(desc, true) {
+                    died = true;
+                    break;
+                }
             }
-            self.handle(desc, true);
+            if died {
+                // The rest of the claimed batch dies with the worker.
+                // Its `redirects_outstanding` claims were already
+                // released for the whole batch, so only the loss count
+                // remains to settle.
+                let rest = it.count() as u64;
+                if rest > 0 {
+                    self.shared.lost.fetch_add(rest, Ordering::SeqCst);
+                }
+            }
         }
         self.batch = batch;
         if self.sampling() {
@@ -886,10 +1245,38 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             );
         }
         let mut batch = std::mem::take(&mut self.batch);
-        for (desc, target) in batch.drain(..) {
-            match target {
-                Some(core) => self.push_redirect(core, desc),
-                None => self.handle(desc, false),
+        {
+            let mut it = batch.drain(..);
+            let mut died = false;
+            for (desc, target) in it.by_ref() {
+                match target {
+                    Some(core) => self.push_redirect(core, desc),
+                    None => {
+                        if !self.handle(desc, false) {
+                            died = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if died {
+                // The rest of the claimed batch dies with the worker:
+                // count every descriptor as lost and release the
+                // redirect registrations that will never be pushed.
+                let mut rest = 0u64;
+                let mut unpushed_redirects = 0u64;
+                for (_, target) in it {
+                    rest += 1;
+                    unpushed_redirects += u64::from(target.is_some());
+                }
+                if rest > 0 {
+                    self.shared.lost.fetch_add(rest, Ordering::SeqCst);
+                }
+                if unpushed_redirects > 0 {
+                    self.shared
+                        .redirects_outstanding
+                        .fetch_sub(unpushed_redirects, Ordering::SeqCst);
+                }
             }
         }
         self.batch = batch;
@@ -919,6 +1306,16 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         );
         let (flow, id) = (desc.flow, desc.id);
         for attempt in 0..=self.shared.redirect_retries {
+            if self.shared.dead[target].load(Ordering::SeqCst) {
+                // The designated core is declared failed: this
+                // descriptor is a loss (the flow's write path is gone),
+                // not a ring-capacity drop.
+                self.shared.lost.fetch_add(1, Ordering::SeqCst);
+                self.shared
+                    .redirects_outstanding
+                    .fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
             let ring = &self.shared.rings[target];
             self.stats.observe_ring_depth(ring.len() as u64);
             match ring.push(desc) {
@@ -1371,6 +1768,87 @@ mod tests {
         // Workers 2 and 3 are inactive in the shrunk phase: the narrow
         // phase's packets land only on queues 0 and 1.
         assert_eq!(out.stats.offered, (64 + 256 + 256) as u64);
+    }
+
+    #[test]
+    fn worker_panic_is_captured_and_accounted() {
+        // Worker 1 panics mid-NF. The panic must never propagate out of
+        // the runtime: it surfaces as a structured WorkerFailure, the
+        // in-flight packet and the fenced core's backlog are counted as
+        // lost_packets, and conservation still closes. (The default
+        // panic hook prints the injected panic to stderr — expected.)
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        config.fault = Some(ThreadedFault::Panic { core: 1, after: 5 });
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert_eq!(out.failures[0].core, 1);
+        assert!(
+            out.failures[0].message.contains("injected crash"),
+            "{:?}",
+            out.failures[0]
+        );
+        let s = &out.stats;
+        assert!(
+            s.lost_packets > 0,
+            "at least the packet on the NF at crash time is lost: {s:?}"
+        );
+        assert_eq!(s.unaccounted(), 0, "losses must be accounted: {s:?}");
+        assert!(
+            (out.forwarded.len() as u64) < s.offered,
+            "a mid-run crash cannot forward everything"
+        );
+    }
+
+    #[test]
+    fn stalled_worker_is_fenced_by_the_watchdog() {
+        // Worker 0 goes silent for 400 ms with a 25 ms detection
+        // deadline: the watchdog must declare it dead, drain its backlog
+        // as accounted losses (so worker 1 can shut down), and record a
+        // structured failure. The sleeper wakes fenced and exits through
+        // the zombie path without double-counting anything.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        config.fault = Some(ThreadedFault::Stall {
+            core: 0,
+            after: 32,
+            duration_ns: 400_000_000,
+        });
+        config.watchdog_deadline_ns = Some(25_000_000);
+        config.ingress_retries = 8;
+        let mut pkts = syn_phase(16);
+        pkts.extend(data_phase(16, 50));
+        let total = pkts.len() as u64;
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![pkts]);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert_eq!(out.failures[0].core, 0);
+        assert!(
+            out.failures[0].message.contains("watchdog"),
+            "{:?}",
+            out.failures[0]
+        );
+        let s = &out.stats;
+        assert_eq!(s.offered, total);
+        assert!(
+            s.lost_packets > 0,
+            "the fenced core's backlog must be counted: {s:?}"
+        );
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_run() {
+        // No fault, generous deadline: the watchdog must not produce
+        // false positives, and the run must be byte-for-byte as complete
+        // as one without a watchdog.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.watchdog_deadline_ns = Some(250_000_000);
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.stats.lost_packets, 0);
+        assert_eq!(out.forwarded.len(), 16 + 320);
+        assert_eq!(out.stats.unaccounted(), 0);
     }
 
     #[test]

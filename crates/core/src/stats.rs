@@ -95,6 +95,16 @@ pub struct MiddleboxStats {
     pub queue_drops: u64,
     /// Descriptors dropped on inter-core ring overflow.
     pub ring_drops: u64,
+    /// Frames the NIC discarded because they failed to parse (truncated,
+    /// garbage headers, bad checksums) — adversarial/malformed traffic
+    /// never reaches a queue.
+    #[serde(default)]
+    pub malformed_drops: u64,
+    /// Packets lost to a core failure: stranded in a dead core's queues,
+    /// steered to a dead queue before the failure was detected, or
+    /// redirected to a dead core's ring after bounded retries.
+    #[serde(default)]
+    pub lost_packets: u64,
     /// Packets forwarded (NF verdict Forward).
     pub forwarded: u64,
     /// Packets dropped by NF verdict.
@@ -152,11 +162,17 @@ impl MiddleboxStats {
     }
 
     /// Conservation check: every offered packet is accounted exactly once
-    /// among forwarded, NF drops, and pre-NF drops — plus those still
-    /// in flight (returned as the remainder).
+    /// among forwarded, NF drops, pre-NF drops, malformed drops, and
+    /// failure losses — plus those still in flight (returned as the
+    /// remainder).
     pub fn unaccounted(&self) -> u64 {
-        self.offered
-            .saturating_sub(self.forwarded + self.nf_drops + self.pre_nf_drops())
+        self.offered.saturating_sub(
+            self.forwarded
+                + self.nf_drops
+                + self.pre_nf_drops()
+                + self.malformed_drops
+                + self.lost_packets,
+        )
     }
 
     /// Serialize the full telemetry block as a JSON object.
@@ -170,7 +186,8 @@ impl MiddleboxStats {
         let _ = write!(
             s,
             "{{\"offered\":{},\"forwarded\":{},\"nf_drops\":{},\"nic_cap_drops\":{},\
-             \"queue_drops\":{},\"ring_drops\":{},\"unaccounted\":{},\"redirects\":{},\
+             \"queue_drops\":{},\"ring_drops\":{},\"malformed_drops\":{},\
+             \"lost_packets\":{},\"unaccounted\":{},\"redirects\":{},\
              \"max_rx_occupancy\":{},\"max_ring_occupancy\":{},\"per_core\":[",
             self.offered,
             self.forwarded,
@@ -178,6 +195,8 @@ impl MiddleboxStats {
             self.nic_cap_drops,
             self.queue_drops,
             self.ring_drops,
+            self.malformed_drops,
+            self.lost_packets,
             self.unaccounted(),
             self.redirects(),
             self.max_rx_occupancy(),
@@ -223,6 +242,20 @@ mod tests {
         assert_eq!(s.processed(), 85);
         assert_eq!(s.pre_nf_drops(), 13);
         assert_eq!(s.unaccounted(), 2); // still in flight
+    }
+
+    #[test]
+    fn malformed_and_lost_count_toward_conservation() {
+        let mut s = MiddleboxStats::new(2);
+        s.offered = 100;
+        s.forwarded = 90;
+        s.malformed_drops = 6;
+        s.lost_packets = 4;
+        assert_eq!(s.pre_nf_drops(), 0, "malformed/lost are their own class");
+        assert_eq!(s.unaccounted(), 0);
+        let j = s.to_json();
+        assert!(j.contains("\"malformed_drops\":6"), "{j}");
+        assert!(j.contains("\"lost_packets\":4"), "{j}");
     }
 
     #[test]

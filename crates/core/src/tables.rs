@@ -107,6 +107,48 @@ impl<S: Clone> LocalTables<S> {
     }
 }
 
+impl<S: Clone> LocalTables<S> {
+    /// Re-bucket after an unplanned core failure: the dead core's
+    /// entries are *discarded* (the write partition means their state
+    /// lived only there — counted as `flows_lost`), and every surviving
+    /// entry whose designated core changed under `new_map` (built with
+    /// [`CoreMap::without_core`]) migrates through `on_move` exactly
+    /// like [`LocalTables::rescale`]. Under Sprayer/rendezvous only the
+    /// dead core's flows remapped, so `migrated_flows` is 0; under RSS
+    /// the rebuilt indirection table moves survivors broadly.
+    pub fn fail_core(
+        &mut self,
+        failed: usize,
+        new_map: CoreMap,
+        on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
+    ) -> FailoverStats {
+        assert!(new_map.is_failed(failed), "new_map must exclude the core");
+        let mut stats = FailoverStats::default();
+        let old_tables = std::mem::take(&mut self.tables);
+        let mut new_tables: Vec<HashMap<FlowKey, S>> =
+            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        for (from, table) in old_tables.into_iter().enumerate() {
+            if from == failed {
+                stats.flows_lost += table.len() as u64;
+                continue;
+            }
+            for (key, mut state) in table {
+                let to = new_map.designated_for_key(&key);
+                if to == from {
+                    stats.retained_flows += 1;
+                } else {
+                    stats.migrated_flows += 1;
+                    on_move(&key, &mut state, from, to);
+                }
+                new_tables[to].insert(key, state);
+            }
+        }
+        self.tables = new_tables;
+        self.map = new_map;
+        stats
+    }
+}
+
 /// Counters from one table-rescale migration event.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MigrationStats {
@@ -114,6 +156,17 @@ pub struct MigrationStats {
     pub migrated_flows: u64,
     /// Flows that stayed on their core across the epoch.
     pub retained_flows: u64,
+}
+
+/// Counters from one [`LocalTables::fail_core`] recovery event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Surviving flows whose designated core changed (hooks ran).
+    pub migrated_flows: u64,
+    /// Surviving flows that stayed on their core.
+    pub retained_flows: u64,
+    /// Entries that lived only on the failed core — discarded.
+    pub flows_lost: u64,
 }
 
 /// [`FlowStateApi`] view for one core over [`LocalTables`].
@@ -541,6 +594,69 @@ mod tests {
             let k = key(i);
             assert_eq!(shared2.ctx(0).get_flow(&k), local.ctx(0).get_flow(&k));
         }
+    }
+
+    #[test]
+    fn fail_core_discards_only_the_dead_cores_state_under_sprayer() {
+        let old_map = CoreMap::elastic(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        let n = 200u32;
+        let mut on_dead = 0u64;
+        for i in 0..n {
+            let k = key(i);
+            let d = old_map.designated_for_key(&k);
+            tables.ctx(d).insert_local_flow(k, i);
+            if d == 2 {
+                on_dead += 1;
+            }
+        }
+        let new_map = old_map.without_core(2);
+        let mut hook_calls = 0u64;
+        let stats = tables.fail_core(2, new_map.clone(), &mut |_, _, _, _| hook_calls += 1);
+        assert_eq!(stats.flows_lost, on_dead);
+        assert_eq!(
+            stats.migrated_flows, 0,
+            "rendezvous recovery moves no surviving flow"
+        );
+        assert_eq!(hook_calls, 0);
+        assert_eq!(stats.retained_flows, u64::from(n) - on_dead);
+        assert_eq!(tables.total_entries(), (u64::from(n) - on_dead) as usize);
+        assert_eq!(tables.entries_on(2), 0);
+        // Survivors are still findable at their (unchanged) core.
+        for i in 0..n {
+            let k = key(i);
+            if old_map.designated_for_key(&k) != 2 {
+                assert_eq!(tables.ctx(0).get_flow(&k), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn fail_core_migrates_survivors_broadly_under_rss() {
+        let old_map = CoreMap::new(DispatchMode::Rss, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        let n = 200u32;
+        for i in 0..n {
+            let k = key(i);
+            tables
+                .ctx(old_map.designated_for_key(&k))
+                .insert_local_flow(k, i);
+        }
+        let new_map = old_map.without_core(1);
+        let stats = tables.fail_core(1, new_map.clone(), &mut |k, state, from, to| {
+            assert_ne!(from, to);
+            assert_eq!(new_map.designated_for_key(k), to);
+            *state += 1_000;
+        });
+        assert!(stats.flows_lost > 0);
+        assert!(
+            stats.migrated_flows > stats.retained_flows,
+            "RSS table rebuild must remap most survivors: {stats:?}"
+        );
+        assert_eq!(
+            stats.migrated_flows + stats.retained_flows + stats.flows_lost,
+            u64::from(n)
+        );
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! * [`telemetry`] — registry export of the resulting
 //!   [`sprayer::ReconfigReport`] series (migration cost, downtime).
 //!
+//! PR 5 extends the same shape to *unplanned* transitions:
+//!
+//! * [`fault`] — a declarative [`fault::FaultPlan`]: scheduled worker
+//!   crashes, stalls, and adversarial traffic bursts, plus the
+//!   watchdog's detection deadline;
+//! * [`chaos`] — the [`chaos::ChaosController`] that injects the
+//!   faults, schedules each crash's recovery at
+//!   `crash + detect_deadline` (via [`sprayer::MiddleboxSim::recover`]),
+//!   and yields the [`sprayer::RecoveryReport`] series;
+//! * [`telemetry::export_fault_telemetry`] — the matching registry
+//!   export (`recovery_*` / `fault_*` metric names).
+//!
 //! The threaded runtime reuses the same plan shape at phase granularity
 //! via [`sprayer::ThreadedMiddlebox::run_elastic`]; this crate focuses on
 //! the deterministic simulator, where downtime and migration cost are
@@ -24,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod controller;
+pub mod fault;
 pub mod plan;
 pub mod telemetry;
 
+pub use chaos::ChaosController;
 pub use controller::ElasticController;
+pub use fault::{AdversarialProfile, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use plan::{PlanError, ReconfigEvent, ReconfigPlan, Trigger};
-pub use telemetry::export_reconfig_telemetry;
+pub use telemetry::{export_fault_telemetry, export_reconfig_telemetry};

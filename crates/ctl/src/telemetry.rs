@@ -13,7 +13,21 @@
 //! * `reconfig_timeline` — the full per-event array
 //!   ([`ReconfigReport::to_json`] objects, in firing order).
 
-use sprayer::ReconfigReport;
+//!
+//! Fault-injection runs export the matching recovery set via
+//! [`export_fault_telemetry`]:
+//!
+//! * `recovery_events` — unplanned transitions (crash detections);
+//! * `recovery_flows_migrated_total` / `recovery_flows_lost_total` —
+//!   survivor migration volume and state destroyed with the dead core;
+//! * `recovery_downtime_ns_total` / `recovery_downtime_ns_max` — pause
+//!   cost of the unplanned transitions;
+//! * `fault_detection_latency_ns_max` — worst watchdog latency;
+//! * `fault_packets_lost_total` / `fault_malformed_drops_total` — the
+//!   blast radius in packets (dead-queue losses, rejected frames);
+//! * `recovery_timeline` — the full [`RecoveryReport::to_json`] array.
+
+use sprayer::{MiddleboxStats, ReconfigReport, RecoveryReport};
 use sprayer_obs::MetricsRegistry;
 
 /// Write the standard elastic metric set for `reports` into `reg`.
@@ -37,6 +51,45 @@ pub fn export_reconfig_telemetry(reg: &mut MetricsRegistry, reports: &[ReconfigR
     );
     let timeline: Vec<String> = reports.iter().map(ReconfigReport::to_json).collect();
     reg.set_raw_json("reconfig_timeline", format!("[{}]", timeline.join(",")));
+}
+
+/// Write the standard fault/recovery metric set into `reg`:
+/// `recoveries` are the run's unplanned transitions, `stats` the final
+/// dataplane counters the faults left behind.
+pub fn export_fault_telemetry(
+    reg: &mut MetricsRegistry,
+    recoveries: &[RecoveryReport],
+    stats: &MiddleboxStats,
+) {
+    reg.set_u64("recovery_events", recoveries.len() as u64);
+    reg.set_u64(
+        "recovery_flows_migrated_total",
+        recoveries.iter().map(|r| r.migrated_flows).sum(),
+    );
+    reg.set_u64(
+        "recovery_flows_lost_total",
+        recoveries.iter().map(|r| r.flows_lost).sum(),
+    );
+    reg.set_u64(
+        "recovery_downtime_ns_total",
+        recoveries.iter().map(|r| r.downtime_ns).sum(),
+    );
+    reg.set_u64(
+        "recovery_downtime_ns_max",
+        recoveries.iter().map(|r| r.downtime_ns).max().unwrap_or(0),
+    );
+    reg.set_u64(
+        "fault_detection_latency_ns_max",
+        recoveries
+            .iter()
+            .map(|r| r.detection_latency_ns)
+            .max()
+            .unwrap_or(0),
+    );
+    reg.set_u64("fault_packets_lost_total", stats.lost_packets);
+    reg.set_u64("fault_malformed_drops_total", stats.malformed_drops);
+    let timeline: Vec<String> = recoveries.iter().map(RecoveryReport::to_json).collect();
+    reg.set_raw_json("recovery_timeline", format!("[{}]", timeline.join(",")));
 }
 
 #[cfg(test)]
@@ -80,6 +133,67 @@ mod tests {
         assert_eq!(timeline.len(), 2);
         assert_eq!(timeline[1].get("epoch").unwrap().as_u64(), Some(2));
         assert_eq!(timeline[0].get("migrated_flows").unwrap().as_u64(), Some(4));
+    }
+
+    fn recovery(migrated: u64, lost: u64, latency: u64) -> RecoveryReport {
+        RecoveryReport {
+            epoch: 1,
+            mode: DispatchMode::Sprayer,
+            failed_core: 2,
+            from_active: 4,
+            to_active: 3,
+            migrated_flows: migrated,
+            retained_flows: 20,
+            flows_lost: lost,
+            packets_lost: 7,
+            detection_latency_ns: latency,
+            downtime_ns: 400,
+            at_ns: 9_000,
+        }
+    }
+
+    #[test]
+    fn fault_export_totals_and_timeline_parse_back() {
+        let mut reg = MetricsRegistry::new();
+        let stats = MiddleboxStats {
+            lost_packets: 11,
+            malformed_drops: 5,
+            ..Default::default()
+        };
+        export_fault_telemetry(
+            &mut reg,
+            &[recovery(0, 6, 25_000), recovery(3, 2, 40_000)],
+            &stats,
+        );
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("recovery_events").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            doc.get("recovery_flows_migrated_total").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("recovery_flows_lost_total").unwrap().as_u64(),
+            Some(8)
+        );
+        assert_eq!(
+            doc.get("recovery_downtime_ns_total").unwrap().as_u64(),
+            Some(800)
+        );
+        assert_eq!(
+            doc.get("fault_detection_latency_ns_max").unwrap().as_u64(),
+            Some(40_000)
+        );
+        assert_eq!(
+            doc.get("fault_packets_lost_total").unwrap().as_u64(),
+            Some(11)
+        );
+        assert_eq!(
+            doc.get("fault_malformed_drops_total").unwrap().as_u64(),
+            Some(5)
+        );
+        let timeline = doc.get("recovery_timeline").unwrap().as_array().unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(timeline[0].get("flows_lost").unwrap().as_u64(), Some(6));
     }
 
     #[test]

@@ -144,12 +144,16 @@ impl Ipv4Header {
     }
 
     /// The pseudo-header checksum seed for this header's transport payload.
+    ///
+    /// Saturates when `total_len` claims less than the header itself —
+    /// such a header never comes out of [`Ipv4Header::parse`] (which
+    /// rejects it), but a hand-constructed one must not panic here.
     pub fn pseudo_header(&self) -> Checksum {
         crate::checksum::pseudo_header_v4(
             self.src,
             self.dst,
             self.protocol,
-            self.total_len - self.header_len() as u16,
+            self.total_len.saturating_sub(self.header_len() as u16),
         )
     }
 }

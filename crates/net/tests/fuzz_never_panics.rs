@@ -1,0 +1,104 @@
+//! Fuzz-style property tests: no parser in this crate may panic.
+//!
+//! The fault-injection experiments feed adversarial frames — truncated,
+//! garbage, and bit-flipped — straight into the dataplane; the contract
+//! is that every parse path returns `Err` (or a clean `Ok`) for
+//! arbitrary bytes, never panics. These tests drive raw random byte
+//! soups and mutated valid frames through every header parser and the
+//! top-level [`Packet::parse`].
+
+use proptest::prelude::*;
+use sprayer_net::ethernet::EthernetHeader;
+use sprayer_net::ipv4::Ipv4Header;
+use sprayer_net::ipv6::Ipv6Header;
+use sprayer_net::packet::{Packet, PacketBuilder};
+use sprayer_net::tcp::{TcpFlags, TcpHeader};
+use sprayer_net::udp::UdpHeader;
+use sprayer_net::FiveTuple;
+
+proptest! {
+    /// Arbitrary bytes through every header parser: any `Result` is
+    /// fine, unwinding is not.
+    #[test]
+    fn header_parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = EthernetHeader::parse(&data);
+        let _ = Ipv4Header::parse(&data);
+        let _ = Ipv6Header::parse(&data);
+        let _ = TcpHeader::parse(&data);
+        let _ = UdpHeader::parse(&data);
+    }
+
+    /// Arbitrary bytes through the full-frame parser.
+    #[test]
+    fn packet_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::parse(data);
+    }
+
+    /// A valid frame truncated anywhere parses or errors — and whenever
+    /// the cut lands inside the headers, it must error.
+    #[test]
+    fn truncated_valid_frames_never_panic(
+        sa in any::<u32>(), sp in any::<u16>(), da in any::<u32>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let tuple = FiveTuple::tcp(sa, sp, da, dp);
+        let mut frame = PacketBuilder::new()
+            .tcp(tuple, 1, 2, TcpFlags::ACK, &payload)
+            .into_bytes();
+        let at = cut.index(frame.len());
+        frame.truncate(at);
+        let parsed = Packet::parse(frame);
+        if at < 14 + 20 + 20 {
+            prop_assert!(parsed.is_err(), "cut at {} inside headers must fail", at);
+        }
+    }
+
+    /// A valid frame with any single byte mutated parses or errors,
+    /// never panics — this walks the checksum/length/version error
+    /// paths with near-valid input, where sloppy indexing would hide.
+    #[test]
+    fn bit_flipped_valid_frames_never_panic(
+        sa in any::<u32>(), sp in any::<u16>(), da in any::<u32>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        is_tcp in any::<bool>(),
+        flip in any::<prop::sample::Index>(),
+        bits in 1u8..=255,
+    ) {
+        let frame = if is_tcp {
+            let tuple = FiveTuple::tcp(sa, sp, da, dp);
+            PacketBuilder::new().tcp(tuple, 1, 2, TcpFlags::ACK, &payload)
+        } else {
+            let tuple = FiveTuple::udp(sa, sp, da, dp);
+            PacketBuilder::new().udp(tuple, &payload)
+        };
+        let mut bytes = frame.into_bytes();
+        let at = flip.index(bytes.len());
+        bytes[at] ^= bits;
+        let _ = Packet::parse(bytes);
+    }
+
+    /// Frames that *start* valid but carry lying length fields: a valid
+    /// header prefix with the IPv4 total-length word overwritten (and
+    /// the header checksum re-fixed so the length lie survives the
+    /// checksum gate) must still parse or error cleanly.
+    #[test]
+    fn lying_total_len_never_panics(
+        sa in any::<u32>(), sp in any::<u16>(), da in any::<u32>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        total_len in any::<u16>(),
+    ) {
+        let tuple = FiveTuple::tcp(sa, sp, da, dp);
+        let mut bytes = PacketBuilder::new()
+            .tcp(tuple, 1, 2, TcpFlags::ACK, &payload)
+            .into_bytes();
+        bytes[16..18].copy_from_slice(&total_len.to_be_bytes());
+        // Re-fix the IPv4 header checksum so the lie reaches the
+        // length-consistency checks instead of dying at the checksum.
+        bytes[24] = 0;
+        bytes[25] = 0;
+        let sum = sprayer_net::checksum::internet_checksum(&bytes[14..34]);
+        bytes[24..26].copy_from_slice(&sum.to_be_bytes());
+        let _ = Packet::parse(bytes);
+    }
+}

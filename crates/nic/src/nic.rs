@@ -112,6 +112,11 @@ pub struct Nic {
     rss: RssConfig,
     fdir: FlowDirector,
     queue_counters: Vec<QueueCounters>,
+    /// Frames discarded in hardware because they failed to parse
+    /// (truncated, garbage headers, bad checksums). Real NICs drop
+    /// these before they reach any queue; the runtimes call
+    /// [`Nic::note_malformed`] from their raw-frame ingress path.
+    malformed: u64,
 }
 
 impl Nic {
@@ -132,6 +137,7 @@ impl Nic {
             rss,
             fdir,
             queue_counters,
+            malformed: 0,
         }
     }
 
@@ -180,11 +186,22 @@ impl Nic {
         &self.queue_counters
     }
 
+    /// Record a frame the hardware discarded as unparseable.
+    pub fn note_malformed(&mut self) {
+        self.malformed += 1;
+    }
+
+    /// Frames discarded as unparseable ([`Nic::note_malformed`]).
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
     /// Reset per-queue counters (between experiment phases).
     pub fn reset_counters(&mut self) {
         for c in &mut self.queue_counters {
             *c = QueueCounters::default();
         }
+        self.malformed = 0;
     }
 
     /// The RSS configuration (for tests and the fairness experiment).
@@ -298,6 +315,17 @@ mod tests {
         assert_eq!(c.bytes, 2 * p.len() as u64);
         nic.reset_counters();
         assert_eq!(nic.queue_counters()[usize::from(q)].packets, 0);
+    }
+
+    #[test]
+    fn malformed_counter_accumulates_and_resets() {
+        let mut nic = Nic::new(NicConfig::sprayer(4));
+        assert_eq!(nic.malformed(), 0);
+        nic.note_malformed();
+        nic.note_malformed();
+        assert_eq!(nic.malformed(), 2);
+        nic.reset_counters();
+        assert_eq!(nic.malformed(), 0);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Adversarial traffic: what an attacker aims at a spraying middlebox.
+//!
+//! Two attack families matter for the fault-injection experiments:
+//!
+//! * **Malformed frames** — truncated or garbage headers that must be
+//!   rejected by the parsers (never panic them) and accounted as
+//!   malformed drops at the NIC boundary rather than silently vanishing;
+//! * **Checksum-crafted traffic** — fully *valid* TCP packets whose
+//!   payloads are tweaked so every packet carries the same TCP checksum.
+//!   Sprayer's NIC trick sprays on checksum bits (§4), so a burst of
+//!   identical checksums lands on one queue and collapses the spray's
+//!   fairness — the skew the chaos experiment measures with Jain's
+//!   index.
+//!
+//! Crafting works by appending a 2-byte *tweak word* to the payload:
+//! build the packet with the word zeroed, read the checksum the builder
+//! computed, then solve for the word that moves the one's-complement
+//! sum onto the target. The result is a well-formed packet whose real
+//! checksum *is* the target value — it passes every verifier.
+
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_sim::SimRng;
+
+/// One's-complement 16-bit addition with end-around carry.
+fn ones_add(a: u16, b: u16) -> u16 {
+    let s = u32::from(a) + u32::from(b);
+    ((s & 0xffff) + (s >> 16)) as u16
+}
+
+/// Build a TCP packet for `tuple` whose *correct* TCP checksum equals
+/// `target`. The payload is `payload` plus a 2-byte tweak word chosen
+/// to land the one's-complement sum on the target; the returned packet
+/// is fully well-formed.
+///
+/// # Panics
+///
+/// Panics for `target == 0xffff`: the folded one's-complement sum of
+/// nonzero data is never zero, so no valid packet carries that checksum
+/// (RFC 1071) — an attacker cannot produce it either. Any other target
+/// is always solvable.
+pub fn craft_tcp_with_checksum(
+    tuple: FiveTuple,
+    seq: u32,
+    flags: TcpFlags,
+    payload: &[u8],
+    target: u16,
+) -> Packet {
+    let builder = PacketBuilder::new();
+    let mut buf = Vec::with_capacity(payload.len() + 2);
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&[0, 0]);
+    let zeroed = builder.tcp(tuple, seq, 0, flags, &buf);
+    let c0 = zeroed
+        .meta()
+        .tcp_checksum
+        .expect("builder emits TCP checksums");
+    // With tweak w the sum becomes !c0 +' w; we need it to equal
+    // !target, so w = !target +' c0 (one's-complement negation is
+    // bitwise NOT). The +1 fallback absorbs the ±0 ambiguity.
+    let base = ones_add(!target, c0);
+    for w in [base, base.wrapping_add(1), base.wrapping_sub(1)] {
+        let n = buf.len();
+        buf[n - 2..].copy_from_slice(&w.to_be_bytes());
+        let pkt = builder.tcp(tuple, seq, 0, flags, &buf);
+        if pkt.meta().tcp_checksum == Some(target) {
+            return pkt;
+        }
+    }
+    panic!("checksum tweak failed to hit {target:#06x} for {tuple:?}");
+}
+
+/// Generator of malformed frames and checksum-collapsed bursts.
+#[derive(Debug)]
+pub struct Adversary {
+    rng: SimRng,
+    builder: PacketBuilder,
+    flow: FiveTuple,
+    seq: u32,
+}
+
+impl Adversary {
+    /// A deterministic adversary; the same seed replays the same attack.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let flow = FiveTuple::tcp(
+            rng.next_u32() | 0x0100_0000,
+            (rng.next_u32() % 64_511 + 1_024) as u16,
+            rng.next_u32() | 0x0100_0000,
+            (rng.next_u32() % 64_511 + 1_024) as u16,
+        );
+        Adversary {
+            rng,
+            builder: PacketBuilder::new(),
+            flow,
+            seq: 0,
+        }
+    }
+
+    /// A well-formed 64-byte TCP frame (the raw material for truncation).
+    fn valid_frame(&mut self) -> Vec<u8> {
+        let mut payload = [0u8; 10];
+        for b in &mut payload {
+            *b = (self.rng.next_u32() & 0xff) as u8;
+        }
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(10);
+        self.builder
+            .tcp(self.flow, seq, 0, TcpFlags::ACK, &payload)
+            .into_bytes()
+    }
+
+    /// A frame cut off inside its headers (below Ethernet + IPv4 + TCP =
+    /// 54 bytes), guaranteed to fail parsing. Cuts inside the payload
+    /// are deliberately excluded: parsers tolerate those (clamping the
+    /// payload), so they are not malformed.
+    pub fn truncated_frame(&mut self) -> Vec<u8> {
+        let mut frame = self.valid_frame();
+        frame.truncate(self.rng.below(54) as usize);
+        frame
+    }
+
+    /// An IPv4-ethertype frame whose IP header is garbage — the version
+    /// nibble is forced off 4, so parsing always fails (never panics).
+    pub fn garbage_frame(&mut self) -> Vec<u8> {
+        let len = 14 + 20 + self.rng.below(40) as usize;
+        let mut frame: Vec<u8> = (0..len)
+            .map(|_| (self.rng.next_u32() & 0xff) as u8)
+            .collect();
+        // Ethertype 0x0800 so the garbage reaches the IPv4 parser.
+        frame[12] = 0x08;
+        frame[13] = 0x00;
+        // Any version nibble but 4.
+        let bad_version = {
+            let v = (self.rng.next_u32() % 15) as u8; // 0..=14
+            if v >= 4 {
+                v + 1
+            } else {
+                v
+            }
+        };
+        frame[14] = (bad_version << 4) | (frame[14] & 0x0f);
+        frame
+    }
+
+    /// `count` fully valid TCP packets, every one carrying TCP checksum
+    /// `target`: sprayed by checksum bits, the whole burst lands on one
+    /// queue.
+    pub fn crafted_burst(&mut self, target: u16, count: usize) -> Vec<Packet> {
+        (0..count)
+            .map(|_| {
+                let mut payload = [0u8; 8];
+                for b in &mut payload {
+                    *b = (self.rng.next_u32() & 0xff) as u8;
+                }
+                let seq = self.seq;
+                self.seq = self.seq.wrapping_add(10);
+                craft_tcp_with_checksum(self.flow, seq, TcpFlags::ACK, &payload, target)
+            })
+            .collect()
+    }
+
+    /// The flow the crafted bursts belong to.
+    pub fn flow(&self) -> FiveTuple {
+        self.flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crafted_packets_hit_the_target_checksum_and_stay_valid() {
+        let mut adv = Adversary::new(7);
+        // 0xffff is excluded: no valid packet can carry it (see
+        // `craft_tcp_with_checksum` docs).
+        for target in [0x0000u16, 0x0001, 0x1234, 0x8000, 0xfffe] {
+            let burst = adv.crafted_burst(target, 16);
+            assert_eq!(burst.len(), 16);
+            for pkt in &burst {
+                assert_eq!(pkt.meta().tcp_checksum, Some(target));
+                // Round-trips through the parser: the engineered
+                // checksum is the packet's true checksum.
+                let reparsed = Packet::parse(pkt.bytes().to_vec()).expect("crafted stays valid");
+                assert_eq!(reparsed.meta().tcp_checksum, Some(target));
+                assert_eq!(reparsed.tuple(), Some(adv.flow()));
+            }
+        }
+    }
+
+    #[test]
+    fn crafted_burst_varies_payload_but_not_checksum() {
+        let mut adv = Adversary::new(8);
+        let burst = adv.crafted_burst(0xbeef, 32);
+        let payloads: std::collections::HashSet<Vec<u8>> = burst
+            .iter()
+            .map(|p| p.payload().unwrap().to_vec())
+            .collect();
+        assert!(
+            payloads.len() > 16,
+            "payload content must vary ({} distinct)",
+            payloads.len()
+        );
+    }
+
+    #[test]
+    fn truncated_frames_never_parse() {
+        let mut adv = Adversary::new(9);
+        for _ in 0..256 {
+            let frame = adv.truncated_frame();
+            assert!(frame.len() < 54);
+            assert!(
+                Packet::parse(frame.clone()).is_err(),
+                "truncated frame parsed: {frame:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_frames_never_parse() {
+        let mut adv = Adversary::new(10);
+        for _ in 0..256 {
+            let frame = adv.garbage_frame();
+            assert!(
+                Packet::parse(frame.clone()).is_err(),
+                "garbage frame parsed: {frame:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_is_deterministic_per_seed() {
+        let mut a = Adversary::new(42);
+        let mut b = Adversary::new(42);
+        assert_eq!(a.truncated_frame(), b.truncated_frame());
+        assert_eq!(a.garbage_frame(), b.garbage_frame());
+        let (pa, pb) = (a.crafted_burst(0x1111, 4), b.crafted_burst(0x1111, 4));
+        assert_eq!(
+            pa.iter().map(|p| p.bytes().to_vec()).collect::<Vec<_>>(),
+            pb.iter().map(|p| p.bytes().to_vec()).collect::<Vec<_>>()
+        );
+    }
+}

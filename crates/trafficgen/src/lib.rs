@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod cdf;
 pub mod concurrency;
 pub mod moongen;
 pub mod trace;
 
+pub use adversarial::{craft_tcp_with_checksum, Adversary};
 pub use cdf::Cdf;
 pub use concurrency::{concurrent_flows, ConcurrencyStats};
 pub use moongen::MoonGen;
