@@ -107,6 +107,14 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
             rule(Direction::LowerIsBetter, 0.10, 1_000.0)
         }
         "fault_detection_latency_ns_max" => rule(Direction::LowerIsBetter, 0.10, 1_000.0),
+        // Hot-path smoke (hotpath_smoke): wall-clock ns/packet, the one
+        // gated metric that is NOT simulator-deterministic. The slack is
+        // deliberately huge — 100% relative plus 30 ns absolute — so
+        // shared-runner jitter passes and only order-of-magnitude
+        // regressions (losing the batch path, the Toeplitz LUT, or the
+        // wide checksum loop) trip the gate. The companion
+        // `ref_ns_per_packet` / `speedup` fields are context.
+        "ns_per_packet" => rule(Direction::LowerIsBetter, 1.0, 30.0),
         // Blast radius in packets: deterministic, but sensitive to the
         // exact interleaving around the crash instant — a small absolute
         // slack absorbs schedule-neutral refactors.
@@ -363,11 +371,16 @@ mod tests {
             "fault_detection_latency_ns_max",
             "fault_packets_lost_total",
             "fault_malformed_drops_total",
+            "ns_per_packet",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
         for context in [
             "cycles",
+            // Hot-path smoke companions: the reference cost and the
+            // derived ratio are context, only `ns_per_packet` gates.
+            "ref_ns_per_packet",
+            "speedup",
             "flows",
             "offered",
             "processed",

@@ -38,6 +38,60 @@ pub enum Verdict {
     Drop,
 }
 
+/// Ordered verdict collector for [`NetworkFunction::handle_batch`].
+///
+/// The sink's length doubles as the batch's progress cursor, and both
+/// runtimes rely on that for panic accounting: implementations must push
+/// verdict `i` only after packet `i` is *fully* handled (state updated,
+/// packet rewritten). If a handler panics mid-batch, `len()` packets were
+/// completed and carry verdicts, packet `len()` was in flight, and the
+/// rest were never started.
+#[derive(Debug, Default)]
+pub struct VerdictSink {
+    verdicts: Vec<Verdict>,
+}
+
+impl VerdictSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VerdictSink::default()
+    }
+
+    /// An empty sink with room for `n` verdicts.
+    pub fn with_capacity(n: usize) -> Self {
+        VerdictSink {
+            verdicts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Record the verdict for the next packet in the batch. Call only
+    /// once that packet is fully handled (see the progress-cursor
+    /// contract above).
+    pub fn push(&mut self, verdict: Verdict) {
+        self.verdicts.push(verdict);
+    }
+
+    /// Number of packets fully handled so far.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True if no verdict has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// The verdicts recorded so far, in batch order.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// Reset for the next batch, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.verdicts.clear();
+    }
+}
+
 /// Result of [`FlowStateApi::insert_local_flow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -245,6 +299,37 @@ pub trait NetworkFunction: Send + Sync {
 
     /// Handle a regular packet, on whichever core received it.
     fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<Self::Flow>) -> Verdict;
+
+    /// Handle a batch of packets on one core, pushing exactly one verdict
+    /// per packet into `out` (in order, respecting the [`VerdictSink`]
+    /// progress-cursor contract). `conn[i]` tells whether `pkts[i]` is a
+    /// connection packet — classified once at ingress, so implementations
+    /// must not re-derive it.
+    ///
+    /// The default implementation loops over the scalar handlers and is
+    /// always correct; NFs override it to amortize per-batch work
+    /// (batched table lookups via [`FlowStateApi::get_flows`], hoisted
+    /// config reads, single-pass scans). An override must be
+    /// *observationally identical* to the default: same verdicts, same
+    /// packet rewrites, same state transitions — the batch-vs-scalar
+    /// proptests in `sprayer-nf` hold every override to that.
+    fn handle_batch(
+        &self,
+        pkts: &mut [Packet],
+        conn: &[bool],
+        ctx: &mut dyn FlowStateApi<Self::Flow>,
+        out: &mut VerdictSink,
+    ) {
+        debug_assert_eq!(pkts.len(), conn.len());
+        for (pkt, &is_conn) in pkts.iter_mut().zip(conn) {
+            let verdict = if is_conn {
+                self.connection_packets(pkt, ctx)
+            } else {
+                self.regular_packets(pkt, ctx)
+            };
+            out.push(verdict);
+        }
+    }
 
     /// Export hook of the flow-state migration protocol: called once per
     /// flow, on the flow's *old* designated core, just before the entry

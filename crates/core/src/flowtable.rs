@@ -1,0 +1,399 @@
+//! Open-addressing flow table: the storage engine under
+//! [`crate::tables`].
+//!
+//! The per-core flow tables used to be `std::collections::HashMap`s.
+//! That cost the hot path twice: SipHash on every lookup (the key
+//! already carries a pinned [`FlowKey::stable_hash`], recomputing a
+//! keyed hash is pure overhead), and `RandomState`-dependent iteration
+//! order, which made migration traversals and regenerated telemetry
+//! documents nondeterministic across processes.
+//!
+//! [`FlowTable`] replaces it with linear-probing open addressing:
+//!
+//! * **power-of-two slot counts** — the probe position is
+//!   `stable_hash & mask`, no division;
+//! * **inline entries** — key and state live in the slot array itself
+//!   (one cache line for small state), no per-entry allocation;
+//! * **tombstones** — removals leave a marker so probe chains stay
+//!   intact; rehashes (growth) clear them;
+//! * **deterministic iteration** — [`FlowTable::iter`] and
+//!   [`FlowTable::drain`] walk slots in index order, a pure function of
+//!   the operation history, identical on every machine and run.
+//!
+//! The table grows itself (doubling at ~3/4 occupancy); the *logical*
+//! flow-table capacity the paper's NF configs specify is enforced above
+//! this layer by [`crate::tables`], which rejects inserts past the
+//! configured flow budget.
+
+use sprayer_net::FlowKey;
+
+/// Minimum slot-array size (power of two).
+const MIN_SLOTS: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Slot<S> {
+    /// Never occupied: a probe chain may stop here.
+    Empty,
+    /// Previously occupied: probe chains continue through it, inserts
+    /// may reuse it.
+    Tombstone,
+    /// A live entry, stored inline.
+    Full(FlowKey, S),
+}
+
+/// A linear-probing open-addressing hash table keyed by [`FlowKey`],
+/// hashed with the pinned [`FlowKey::stable_hash`].
+#[derive(Debug, Clone)]
+pub struct FlowTable<S> {
+    slots: Vec<Slot<S>>,
+    mask: u64,
+    len: usize,
+    tombstones: usize,
+}
+
+impl<S> Default for FlowTable<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> FlowTable<S> {
+    /// An empty table at the minimum slot count.
+    pub fn new() -> Self {
+        Self::with_slots(MIN_SLOTS)
+    }
+
+    /// An empty table pre-sized so `hint` entries fit without growth.
+    pub fn with_capacity_hint(hint: usize) -> Self {
+        let want = hint
+            .saturating_mul(4)
+            .div_ceil(3)
+            .next_power_of_two()
+            .max(MIN_SLOTS);
+        Self::with_slots(want)
+    }
+
+    fn with_slots(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        FlowTable {
+            slots: (0..slots).map(|_| Slot::Empty).collect(),
+            mask: (slots - 1) as u64,
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot-array size (diagnostics; always a power of two).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Find `key`'s slot index, or `None` if absent.
+    fn find(&self, key: &FlowKey) -> Option<usize> {
+        let mut i = (key.stable_hash() & self.mask) as usize;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(k, _) if k == key => return Some(i),
+                _ => i = (i + 1) & self.mask as usize,
+            }
+        }
+    }
+
+    /// Shared reference to `key`'s state.
+    pub fn get(&self, key: &FlowKey) -> Option<&S> {
+        match self.find(key) {
+            Some(i) => match &self.slots[i] {
+                Slot::Full(_, s) => Some(s),
+                _ => unreachable!("find returns Full slots"),
+            },
+            None => None,
+        }
+    }
+
+    /// Mutable reference to `key`'s state.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut S> {
+        match self.find(key) {
+            Some(i) => match &mut self.slots[i] {
+                Slot::Full(_, s) => Some(s),
+                _ => unreachable!("find returns Full slots"),
+            },
+            None => None,
+        }
+    }
+
+    /// True if `key` has a live entry.
+    pub fn contains_key(&self, key: &FlowKey) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Insert or replace; returns the previous state if the key was
+    /// present (the `HashMap::insert` contract).
+    pub fn insert(&mut self, key: FlowKey, state: S) -> Option<S> {
+        // Grow before probing when occupancy (live + tombstones) would
+        // pass 3/4 — keeps probe chains short and bounds the scan.
+        if (self.len + self.tombstones + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = (key.stable_hash() & self.mask) as usize;
+        let mut first_tombstone: Option<usize> = None;
+        loop {
+            match &mut self.slots[i] {
+                Slot::Full(k, s) if *k == key => {
+                    return Some(std::mem::replace(s, state));
+                }
+                Slot::Full(..) => {}
+                Slot::Tombstone => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(i);
+                    }
+                }
+                Slot::Empty => {
+                    let target = match first_tombstone {
+                        Some(t) => {
+                            self.tombstones -= 1;
+                            t
+                        }
+                        None => i,
+                    };
+                    self.slots[target] = Slot::Full(key, state);
+                    self.len += 1;
+                    return None;
+                }
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Remove `key`'s entry, returning its state.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<S> {
+        let i = self.find(key)?;
+        match std::mem::replace(&mut self.slots[i], Slot::Tombstone) {
+            Slot::Full(_, s) => {
+                self.len -= 1;
+                self.tombstones += 1;
+                Some(s)
+            }
+            _ => unreachable!("find returns Full slots"),
+        }
+    }
+
+    /// Double the slot array (or compact tombstones away) and rehash.
+    fn grow(&mut self) {
+        // If tombstones dominate, rehashing at the same size suffices;
+        // otherwise double. Either way tombstones vanish.
+        let new_slots = if self.len * 2 >= self.slots.len() {
+            self.slots.len() * 2
+        } else {
+            self.slots.len()
+        };
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_slots).map(|_| Slot::Empty).collect(),
+        );
+        self.mask = (new_slots - 1) as u64;
+        self.tombstones = 0;
+        for slot in old {
+            if let Slot::Full(key, state) = slot {
+                let mut i = (key.stable_hash() & self.mask) as usize;
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & self.mask as usize;
+                }
+                self.slots[i] = Slot::Full(key, state);
+            }
+        }
+    }
+
+    /// Iterate live entries in slot order — deterministic for a given
+    /// operation history, independent of process or machine.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &S)> {
+        self.slots.iter().filter_map(|slot| match slot {
+            Slot::Full(k, s) => Some((k, s)),
+            _ => None,
+        })
+    }
+
+    /// Remove and yield every live entry in slot order, leaving the
+    /// table empty at the minimum size.
+    pub fn drain(&mut self) -> impl Iterator<Item = (FlowKey, S)> {
+        let old = std::mem::take(self);
+        old.into_iter()
+    }
+}
+
+impl<S> IntoIterator for FlowTable<S> {
+    type Item = (FlowKey, S);
+    type IntoIter = IntoIter<S>;
+
+    fn into_iter(self) -> IntoIter<S> {
+        IntoIter {
+            slots: self.slots.into_iter(),
+        }
+    }
+}
+
+/// Owning slot-order iterator over a [`FlowTable`].
+#[derive(Debug)]
+pub struct IntoIter<S> {
+    slots: std::vec::IntoIter<Slot<S>>,
+}
+
+impl<S> Iterator for IntoIter<S> {
+    type Item = (FlowKey, S);
+
+    fn next(&mut self) -> Option<(FlowKey, S)> {
+        for slot in self.slots.by_ref() {
+            if let Slot::Full(k, s) = slot {
+                return Some((k, s));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer_net::FiveTuple;
+
+    fn key(i: u32) -> FlowKey {
+        FiveTuple::tcp(0x0a00_0000 + i, 1000, 0xc0a8_0001, 443).key()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(key(1), 10), None);
+        assert_eq!(t.insert(key(2), 20), None);
+        assert_eq!(t.insert(key(1), 11), Some(10), "replace returns old");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&key(1)), Some(&11));
+        assert_eq!(t.get(&key(3)), None);
+        assert!(t.contains_key(&key(2)));
+        assert_eq!(t.remove(&key(1)), Some(11));
+        assert_eq!(t.remove(&key(1)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        t.insert(key(7), 1);
+        *t.get_mut(&key(7)).unwrap() += 41;
+        assert_eq!(t.get(&key(7)), Some(&42));
+        assert_eq!(t.get_mut(&key(8)), None);
+    }
+
+    #[test]
+    fn grows_past_initial_size_and_keeps_every_entry() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        let n = 10_000u32;
+        for i in 0..n {
+            assert_eq!(t.insert(key(i), i), None, "key {i}");
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.slot_count().is_power_of_two());
+        for i in 0..n {
+            assert_eq!(t.get(&key(i)), Some(&i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        // Insert colliding-ish keys, delete interior ones, and verify
+        // lookups still find everything on the far side of the holes.
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for i in 0..64u32 {
+            t.insert(key(i), i);
+        }
+        for i in (0..64u32).step_by(2) {
+            assert_eq!(t.remove(&key(i)), Some(i));
+        }
+        for i in 0..64u32 {
+            if i % 2 == 0 {
+                assert_eq!(t.get(&key(i)), None);
+            } else {
+                assert_eq!(t.get(&key(i)), Some(&i));
+            }
+        }
+        // Reinsert into the holes.
+        for i in (0..64u32).step_by(2) {
+            assert_eq!(t.insert(key(i), i + 100), None);
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.get(&key(0)), Some(&100));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        // Repeated insert/remove of the same working set must not grow
+        // the table without bound (tombstone rehash compacts).
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for round in 0..200u32 {
+            for i in 0..32u32 {
+                t.insert(key(i), round);
+            }
+            for i in 0..32u32 {
+                t.remove(&key(i));
+            }
+        }
+        assert!(t.is_empty());
+        assert!(
+            t.slot_count() <= 256,
+            "churn must not balloon the slot array: {}",
+            t.slot_count()
+        );
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic_and_slot_ordered() {
+        let build = || {
+            let mut t: FlowTable<u32> = FlowTable::new();
+            for i in 0..100u32 {
+                t.insert(key(i), i);
+            }
+            for i in (0..100u32).step_by(3) {
+                t.remove(&key(i));
+            }
+            t
+        };
+        let a: Vec<_> = build().iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<_> = build().iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b, "identical histories iterate identically");
+        let drained: Vec<_> = build().into_iter().collect();
+        assert_eq!(a, drained, "borrowing and owning iteration agree");
+    }
+
+    #[test]
+    fn drain_empties_and_yields_everything() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for i in 0..50u32 {
+            t.insert(key(i), i);
+        }
+        let mut got: Vec<u32> = t.drain().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert!(t.is_empty());
+        assert_eq!(t.slot_count(), MIN_SLOTS);
+        // The drained table is fully reusable.
+        t.insert(key(1), 1);
+        assert_eq!(t.get(&key(1)), Some(&1));
+    }
+
+    #[test]
+    fn capacity_hint_presizes() {
+        let t: FlowTable<u32> = FlowTable::with_capacity_hint(1000);
+        assert!(t.slot_count() >= 1024 + 512, "hint must leave probe slack");
+    }
+}

@@ -23,8 +23,10 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`api`] | the flow-state API of the paper's Table 2 + the [`api::NetworkFunction`] programming model (§3.4) |
+//! | [`api`] | the flow-state API of the paper's Table 2 + the [`api::NetworkFunction`] programming model (§3.4), batch-native via [`api::NetworkFunction::handle_batch`] |
+//! | [`engine`] | the shared per-packet pipeline (classify once, redirect decision, batch NF invocation) both runtimes drive |
 //! | [`coremap`] | designated-core mapping, mode-aware (RSS vs. spray) |
+//! | [`flowtable`] | the open-addressing flow-table primitive (power-of-two slots, pinned hash, deterministic iteration) |
 //! | [`tables`] | flow-table backends: single-threaded (for the deterministic simulator) and shared (for real threads) — both enforcing write partition by construction |
 //! | [`elastic`] | elastic reconfiguration: epoch transitions, flow-state migration accounting ([`elastic::ReconfigReport`]) |
 //! | [`config`] | middlebox model parameters (cores, clock, cycle costs) |
@@ -92,6 +94,8 @@ pub mod api;
 pub mod config;
 pub mod coremap;
 pub mod elastic;
+pub mod engine;
+pub mod flowtable;
 pub mod runtime_sim;
 pub mod runtime_threads;
 pub mod stats;
@@ -99,10 +103,13 @@ pub mod tables;
 
 pub use api::{
     Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, StateDecl, Verdict,
+    VerdictSink,
 };
 pub use config::{DispatchMode, MiddleboxConfig, ObsConfig};
 pub use coremap::CoreMap;
 pub use elastic::{ReconfigReport, RecoveryReport};
+pub use engine::{Engine, PacketClass};
+pub use flowtable::FlowTable;
 pub use runtime_sim::MiddleboxSim;
 pub use runtime_threads::{ThreadedMiddlebox, WorkerFailure};
 pub use stats::MiddleboxStats;

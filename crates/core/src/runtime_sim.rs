@@ -14,13 +14,14 @@
 //! outer event loop, and [`MiddleboxSim::take_egress`] to collect
 //! forwarded packets with their departure times.
 
-use crate::api::{NetworkFunction, NfConfig, Verdict};
+use crate::api::{NetworkFunction, NfConfig, Verdict, VerdictSink};
 use crate::config::{DispatchMode, MiddleboxConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::{ReconfigReport, RecoveryReport};
+use crate::engine::{self, Engine, PacketClass};
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::LocalTables;
-use sprayer_net::Packet;
+use sprayer_net::{FlowKey, Packet};
 use sprayer_nic::{Nic, NicConfig, RxSteering};
 use sprayer_obs::{
     CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, SampleSet, TimeSeries, Trace,
@@ -37,6 +38,9 @@ const SIM_TICKS_PER_US: u64 = 1_000_000;
 #[derive(Debug)]
 struct Job {
     pkt: Packet,
+    /// Classification from ingress: headers are parsed once and the
+    /// result rides with the packet through queueing and redirect.
+    class: PacketClass,
     /// Wire arrival time (latency measurements are end-to-end).
     arrival: Time,
     /// Whether this job came in through the inter-core ring.
@@ -147,6 +151,23 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     /// the NIC to the surviving queue count, after which it maps the
     /// (smaller) queue index space back to real core ids.
     queue_map: Vec<usize>,
+    /// Scratch verdict buffer for [`engine::run_nf_batch`], reused
+    /// across events so the hot path never allocates.
+    sink: VerdictSink,
+}
+
+impl<NF: NetworkFunction> Engine for MiddleboxSim<NF> {
+    fn mode(&self) -> DispatchMode {
+        self.config.mode
+    }
+
+    fn stateless(&self) -> bool {
+        self.nf_config.stateless
+    }
+
+    fn designated_core(&self, key: &FlowKey) -> usize {
+        self.coremap.designated_for_key(key)
+    }
 }
 
 impl<NF: NetworkFunction> MiddleboxSim<NF> {
@@ -243,6 +264,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             stalled_until: vec![Time::ZERO; config.num_cores],
             recoveries: Vec::new(),
             queue_map: (0..config.num_cores).collect(),
+            sink: VerdictSink::with_capacity(1),
             config,
         }
     }
@@ -387,10 +409,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         self.now = self.now.max(now);
         let id = self.stats.offered;
         self.stats.offered += 1;
+        // Parse headers exactly once: the classification rides with the
+        // job through queueing, redirect, and NF dispatch.
+        let class = PacketClass::of(&pkt);
         // The flow hash is only needed for trace events; skip the
         // (cheap but nonzero) mix entirely when tracing is off.
         let flow = if self.tracer.is_some() {
-            pkt.tuple().map_or(0, |t| t.key().stable_hash())
+            class.key.map_or(0, |k| k.stable_hash())
         } else {
             0
         };
@@ -435,6 +460,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
 
         let job = Job {
             pkt,
+            class,
             arrival: now,
             via_ring: false,
             id,
@@ -544,8 +570,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let cycles = self.config.ring_dequeue_cycles + self.config.service_cycles_for(&job.pkt);
             (job, cycles)
         } else if let Some(job) = self.cores[core].rx.pop() {
-            // Decide at pick-up time whether this is a redirect.
-            let redirect = self.redirect_target(&job, core);
+            // Decide at pick-up time whether this is a redirect — the
+            // engine's core picker over the ingress classification (the
+            // designated core resolves against the *current* map, which
+            // may have advanced an epoch since the packet queued).
+            let redirect = Engine::redirect_target(self, &job.class, core);
             if let Some(target) = redirect {
                 let cycles = self.config.overhead_cycles + self.config.ring_enqueue_cycles;
                 let service = self.config.clock.cycles_to_time(cycles);
@@ -586,19 +615,6 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         self.sample(core, now, |s| s.busy_ticks += service.as_ps());
         self.cores[core].current = Some((job, Effect::Process));
         self.schedule(done, core);
-    }
-
-    /// Should this freshly received packet be redirected, and to where?
-    fn redirect_target(&self, job: &Job, core: usize) -> Option<usize> {
-        if self.config.mode != DispatchMode::Sprayer || self.nf_config.stateless {
-            return None;
-        }
-        if !job.pkt.is_connection_packet() {
-            return None;
-        }
-        let tuple = job.pkt.tuple()?;
-        let designated = self.coremap.designated_for_tuple(&tuple);
-        (designated != core).then_some(designated)
     }
 
     /// A core's current service completed at `now`.
@@ -658,27 +674,27 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             Effect::Process => {
                 let Job {
                     mut pkt,
+                    class,
                     arrival,
                     via_ring,
                     id,
                     flow,
                     relayed_at: _,
                 } = job;
-                let is_conn = pkt.is_connection_packet();
+                let is_conn = class.is_conn;
+                // One invocation path with the threaded runtime: the
+                // engine's batch call, here with the event's single
+                // packet (each service completion is one event).
                 let mut ctx = self.tables.ctx(core);
-                let verdict = if is_conn {
-                    self.nf.connection_packets(&mut pkt, &mut ctx)
-                } else {
-                    self.nf.regular_packets(&mut pkt, &mut ctx)
-                };
-                let cs = &mut self.stats.per_core[core];
-                cs.processed += 1;
-                if is_conn {
-                    cs.connection_packets += 1;
-                }
-                if via_ring {
-                    cs.redirected_in += 1;
-                }
+                engine::run_nf_batch(
+                    &self.nf,
+                    std::slice::from_mut(&mut pkt),
+                    &[is_conn],
+                    &mut ctx,
+                    &mut self.sink,
+                );
+                let verdict = self.sink.verdicts()[0];
+                engine::account(&mut self.stats.per_core[core], is_conn, via_ring);
                 let sojourn = now.saturating_sub(arrival);
                 self.latency_us.add(sojourn.as_us_f64());
                 if let Some(p) = self.probes.as_mut() {

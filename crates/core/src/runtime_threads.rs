@@ -61,14 +61,15 @@
 //! Workers follow the guides' advice for CPU-bound work: plain scoped
 //! threads, no async runtime.
 
-use crate::api::{NetworkFunction, Verdict};
+use crate::api::{NetworkFunction, Verdict, VerdictSink};
 use crate::config::{DispatchMode, ObsConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::ReconfigReport;
+use crate::engine::{self, Engine, PacketClass};
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::{SharedCtx, SharedTables};
 use crossbeam::queue::ArrayQueue;
-use sprayer_net::Packet;
+use sprayer_net::{FlowKey, Packet};
 use sprayer_nic::{Nic, NicConfig};
 use sprayer_obs::{
     CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, LiveSlots, SampleSet,
@@ -208,6 +209,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// plain copies — no clock is read unless observability is on.
 struct Desc {
     pkt: Packet,
+    /// Classification from ingress: headers are parsed once and the
+    /// result rides with the descriptor through queues and rings.
+    class: PacketClass,
     /// Arrival ordinal across the whole run (trace packet id).
     id: u64,
     /// Stable flow hash (0 when tracing is off or tuple unparseable).
@@ -335,6 +339,33 @@ struct Worker<'a, NF: NetworkFunction> {
     failure: Option<WorkerFailure>,
     /// The injected fault fires at most once per worker.
     fault_fired: bool,
+    /// Scratch packet buffer for the batch-native NF path, reused
+    /// across drains so the hot path never allocates.
+    scratch_pkts: Vec<Packet>,
+    /// Connection-packet bits matching `scratch_pkts` by index.
+    scratch_conn: Vec<bool>,
+    /// Holding buffer for a batch's local descriptors while its
+    /// redirects are pushed. `push_redirect` re-enters `drain_ring` (and
+    /// hence `process_batch_local`) on its work-conserving retry path,
+    /// so this is taken with `mem::take` for the duration of a batch —
+    /// a nested batch sees (and restores) an empty buffer.
+    scratch_local: Vec<Desc>,
+    /// Scratch verdict buffer for [`engine::run_nf_batch`].
+    sink: VerdictSink,
+}
+
+impl<NF: NetworkFunction> Engine for Worker<'_, NF> {
+    fn mode(&self) -> DispatchMode {
+        self.shared.mode
+    }
+
+    fn stateless(&self) -> bool {
+        self.shared.stateless
+    }
+
+    fn designated_core(&self, key: &FlowKey) -> usize {
+        self.shared.coremap.designated_for_key(key)
+    }
 }
 
 /// Watermark of counters (and the wall time) last folded into a
@@ -612,8 +643,11 @@ impl ThreadedMiddlebox {
                         stats.lost_packets += 1;
                         continue;
                     }
+                    // Parse headers exactly once: the classification
+                    // rides with the descriptor through queues and rings.
+                    let class = PacketClass::of(&pkt);
                     let flow = if obs.trace {
-                        pkt.tuple().map_or(0, |t| t.key().stable_hash())
+                        class.key.map_or(0, |k| k.stable_hash())
                     } else {
                         0
                     };
@@ -634,6 +668,7 @@ impl ThreadedMiddlebox {
                     shared.rx_remaining.fetch_add(1, Ordering::SeqCst);
                     let mut desc = Desc {
                         pkt,
+                        class,
                         id,
                         flow,
                         arrival_ns,
@@ -852,7 +887,22 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             mark: SampleMark::default(),
             failure: None,
             fault_fired: false,
+            scratch_pkts: Vec::with_capacity(shared.batch_size),
+            scratch_conn: Vec::with_capacity(shared.batch_size),
+            scratch_local: Vec::with_capacity(shared.batch_size),
+            sink: VerdictSink::with_capacity(shared.batch_size),
         }
+    }
+
+    /// True while an injected panic is armed for *this* worker and has
+    /// not fired yet. The scalar path is used until it fires so the
+    /// fault triggers at exactly its configured packet count.
+    fn panic_armed(&self) -> bool {
+        !self.fault_fired
+            && matches!(
+                self.shared.fault,
+                Some(ThreadedFault::Panic { core, .. }) if core == self.id
+            )
     }
 
     /// Nanoseconds since the run anchor. Only called when obs is on.
@@ -1023,6 +1073,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     fn handle(&mut self, desc: Desc, via_ring: bool) -> bool {
         let Desc {
             mut pkt,
+            class,
             id,
             flow,
             arrival_ns,
@@ -1038,7 +1089,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 p.queue_wait_ns.record(start_ns.saturating_sub(arrival_ns));
             }
         }
-        let is_conn = pkt.is_connection_packet();
+        let is_conn = class.is_conn;
         let inject = !self.fault_fired
             && matches!(
                 self.shared.fault,
@@ -1052,19 +1103,16 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         let verdict = {
             let nf = self.nf;
             let ctx = &mut self.ctx;
+            let sink = &mut self.sink;
             let worker = self.id;
             let dispatch = catch_unwind(AssertUnwindSafe(|| {
                 if inject {
                     panic!("injected crash on worker {worker}");
                 }
-                if is_conn {
-                    nf.connection_packets(&mut pkt, ctx)
-                } else {
-                    nf.regular_packets(&mut pkt, ctx)
-                }
+                engine::run_nf_batch(nf, std::slice::from_mut(&mut pkt), &[is_conn], ctx, sink);
             }));
             match dispatch {
-                Ok(v) => v,
+                Ok(()) => self.sink.verdicts()[0],
                 Err(payload) => {
                     // Declare death first so ingress and redirectors
                     // stop feeding us, then account the packet that was
@@ -1079,10 +1127,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 }
             }
         };
-        self.stats.processed += 1;
-        if is_conn {
-            self.stats.connection_packets += 1;
-        }
+        engine::account(&mut self.stats, is_conn, false);
         let dropped = verdict == Verdict::Drop;
         if obs_on {
             let done_ns = self.now_ns();
@@ -1103,6 +1148,118 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             Verdict::Drop => self.nf_drops += 1,
         }
         true
+    }
+
+    /// True when whole batches can go through one
+    /// [`engine::run_nf_batch`] call. Per-packet observability (traces,
+    /// latency probes) needs a clock read and an event around every
+    /// packet, and an armed panic injection must fire at exactly its
+    /// configured packet count — both fall back to the scalar path.
+    /// Sampling and live telemetry are per-batch already and stay on.
+    #[inline]
+    fn use_batch_nf(&self) -> bool {
+        !self.shared.obs.any() && !self.panic_armed()
+    }
+
+    /// The batch-native local path: redirects leave the batch first
+    /// (same descriptors, same ring accounting as the scalar path),
+    /// then the NF sees the remaining packets as one
+    /// [`NetworkFunction::handle_batch`] call.
+    ///
+    /// A mid-batch panic is accounted through the verdict cursor: the
+    /// NF completed exactly `sink.len()` packets, which keep their
+    /// verdicts; the in-flight packet and the never-started rest die
+    /// with the worker (their redirect registrations were all released
+    /// up front, so only the loss count remains to settle).
+    fn process_batch_local(&mut self, batch: &mut Vec<(Desc, Option<usize>)>) {
+        debug_assert!(self.scratch_pkts.is_empty());
+        debug_assert!(self.scratch_conn.is_empty());
+        if self.failure.is_some() {
+            // Already dead (an earlier nested batch panicked the NF):
+            // never run the NF again. The whole claimed batch is lost,
+            // and its never-to-be-pushed redirect registrations are
+            // released, exactly like the scalar path's died handling.
+            let mut rest = 0u64;
+            let mut unpushed_redirects = 0u64;
+            for (_, target) in batch.drain(..) {
+                rest += 1;
+                unpushed_redirects += u64::from(target.is_some());
+            }
+            self.shared.lost.fetch_add(rest, Ordering::SeqCst);
+            if unpushed_redirects > 0 {
+                self.shared
+                    .redirects_outstanding
+                    .fetch_sub(unpushed_redirects, Ordering::SeqCst);
+            }
+            return;
+        }
+        // Phase 1 — every redirect leaves before any local packet is
+        // staged. `push_redirect`'s work-conserving retry re-enters
+        // `drain_ring`, which runs a whole nested batch through this
+        // function: the scratch buffers must not hold half a batch when
+        // that happens. Local descriptors wait in `scratch_local`,
+        // `mem::take`n so the nested call sees an empty buffer.
+        let mut local = std::mem::take(&mut self.scratch_local);
+        debug_assert!(local.is_empty());
+        for (desc, target) in batch.drain(..) {
+            match target {
+                Some(core) => self.push_redirect(core, desc),
+                None => local.push(desc),
+            }
+        }
+        if self.failure.is_some() {
+            // A nested batch's NF panicked mid-redirect-phase: this
+            // worker is already declared dead, so the packets it still
+            // holds die with it. Their queue/redirect claims were
+            // released when the batch was formed; only the loss count
+            // remains to settle.
+            self.shared
+                .lost
+                .fetch_add(local.len() as u64, Ordering::SeqCst);
+            local.clear();
+            self.scratch_local = local;
+            return;
+        }
+        // Phase 2 — the surviving locals become one NF call.
+        for desc in local.drain(..) {
+            self.scratch_conn.push(desc.class.is_conn);
+            self.scratch_pkts.push(desc.pkt);
+        }
+        self.scratch_local = local;
+        if self.scratch_pkts.is_empty() {
+            return;
+        }
+        let dispatch = {
+            let nf = self.nf;
+            let ctx = &mut self.ctx;
+            let sink = &mut self.sink;
+            let pkts = &mut self.scratch_pkts;
+            let conn = &self.scratch_conn;
+            catch_unwind(AssertUnwindSafe(|| {
+                engine::run_nf_batch(nf, pkts, conn, ctx, sink);
+            }))
+        };
+        let completed = self.sink.len();
+        if let Err(payload) = dispatch {
+            self.shared.dead[self.id].store(true, Ordering::SeqCst);
+            let unfinished = (self.scratch_pkts.len() - completed) as u64;
+            self.shared.lost.fetch_add(unfinished, Ordering::SeqCst);
+            self.failure = Some(WorkerFailure {
+                core: self.id,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+        for (i, pkt) in self.scratch_pkts.drain(..).enumerate() {
+            if i >= completed {
+                break;
+            }
+            engine::account(&mut self.stats, self.scratch_conn[i], false);
+            match self.sink.verdicts()[i] {
+                Verdict::Forward => self.out.push(pkt),
+                Verdict::Drop => self.nf_drops += 1,
+            }
+        }
+        self.scratch_conn.clear();
     }
 
     /// Drain one batch from this worker's ring. Returns true if any
@@ -1144,7 +1301,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             n,
         );
         let mut batch = std::mem::take(&mut self.batch);
-        {
+        if self.use_batch_nf() {
+            // Every ring descriptor is local by construction (it was
+            // redirected *to* us), so the whole batch is one NF call.
+            self.process_batch_local(&mut batch);
+        } else {
             let mut it = batch.drain(..);
             let mut died = false;
             for (desc, _) in it.by_ref() {
@@ -1196,20 +1357,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         while self.batch.len() < self.shared.batch_size {
             match rx.pop() {
                 Some(desc) => {
-                    // Core picker (§3.3): connection packets whose
-                    // designated core is elsewhere are transferred, not
-                    // processed.
-                    let target = if self.shared.mode == DispatchMode::Sprayer
-                        && !self.shared.stateless
-                        && desc.pkt.is_connection_packet()
-                    {
-                        desc.pkt.tuple().and_then(|t| {
-                            let d = self.shared.coremap.designated_for_tuple(&t);
-                            (d != self.id).then_some(d)
-                        })
-                    } else {
-                        None
-                    };
+                    // Core picker (§3.3): the engine's redirect decision
+                    // over the ingress classification — connection
+                    // packets whose designated core is elsewhere are
+                    // transferred, not processed.
+                    let target = Engine::redirect_target(self, &desc.class, self.id);
                     redirects += u64::from(target.is_some());
                     self.batch.push((desc, target));
                 }
@@ -1245,7 +1397,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             );
         }
         let mut batch = std::mem::take(&mut self.batch);
-        {
+        if self.use_batch_nf() {
+            self.process_batch_local(&mut batch);
+        } else {
             let mut it = batch.drain(..);
             let mut died = false;
             for (desc, target) in it.by_ref() {

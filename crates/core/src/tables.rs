@@ -6,9 +6,14 @@
 //!
 //! Two backends share the [`crate::api::FlowStateApi`] surface:
 //!
-//! * [`LocalTables`] — plain per-core `HashMap`s for the deterministic
+//! Both backends store entries in the open-addressing
+//! [`crate::flowtable::FlowTable`] (pinned [`FlowKey::stable_hash`]
+//! probe positions, deterministic slot-order iteration — migration
+//! traversals and telemetry are identical across processes):
+//!
+//! * [`LocalTables`] — plain per-core tables for the deterministic
 //!   simulator (single-threaded; the cycle model charges for accesses);
-//! * [`SharedTables`] — per-core `RwLock<HashMap>`s for the real-thread
+//! * [`SharedTables`] — per-core `RwLock<FlowTable>`s for the real-thread
 //!   runtime. The lock is a Rust-safety artifact, not part of the design
 //!   being modeled: the write partition means there is exactly one writer
 //!   per table, so the write lock is never contended by another writer,
@@ -19,9 +24,9 @@
 
 use crate::api::{FlowStateApi, InsertOutcome};
 use crate::coremap::CoreMap;
+use crate::flowtable::FlowTable;
 use parking_lot::RwLock;
 use sprayer_net::FlowKey;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
@@ -31,7 +36,7 @@ use std::sync::Arc;
 /// All cores' flow tables, owned by the single-threaded simulator.
 #[derive(Debug)]
 pub struct LocalTables<S> {
-    tables: Vec<HashMap<FlowKey, S>>,
+    tables: Vec<FlowTable<S>>,
     capacity: usize,
     map: CoreMap,
 }
@@ -39,7 +44,7 @@ pub struct LocalTables<S> {
 impl<S: Clone> LocalTables<S> {
     /// Tables for every core under the given mapping.
     pub fn new(map: CoreMap, capacity: usize) -> Self {
-        let tables = (0..map.num_cores()).map(|_| HashMap::new()).collect();
+        let tables = (0..map.num_cores()).map(|_| FlowTable::new()).collect();
         LocalTables {
             tables,
             capacity,
@@ -55,7 +60,7 @@ impl<S: Clone> LocalTables<S> {
 
     /// Entries across all tables.
     pub fn total_entries(&self) -> usize {
-        self.tables.iter().map(HashMap::len).sum()
+        self.tables.iter().map(FlowTable::len).sum()
     }
 
     /// Entries in one core's table.
@@ -87,8 +92,8 @@ impl<S: Clone> LocalTables<S> {
     ) -> MigrationStats {
         let mut stats = MigrationStats::default();
         let old_tables = std::mem::take(&mut self.tables);
-        let mut new_tables: Vec<HashMap<FlowKey, S>> =
-            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        let mut new_tables: Vec<FlowTable<S>> =
+            (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
         for (from, table) in old_tables.into_iter().enumerate() {
             for (key, mut state) in table {
                 let to = new_map.designated_for_key(&key);
@@ -125,8 +130,8 @@ impl<S: Clone> LocalTables<S> {
         assert!(new_map.is_failed(failed), "new_map must exclude the core");
         let mut stats = FailoverStats::default();
         let old_tables = std::mem::take(&mut self.tables);
-        let mut new_tables: Vec<HashMap<FlowKey, S>> =
-            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        let mut new_tables: Vec<FlowTable<S>> =
+            (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
         for (from, table) in old_tables.into_iter().enumerate() {
             if from == failed {
                 stats.flows_lost += table.len() as u64;
@@ -236,7 +241,7 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
 
 #[derive(Debug)]
 struct SharedInner<S> {
-    tables: Vec<RwLock<HashMap<FlowKey, S>>>,
+    tables: Vec<RwLock<FlowTable<S>>>,
     capacity: usize,
     map: CoreMap,
 }
@@ -259,7 +264,7 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
     /// Tables for every core under the given mapping.
     pub fn new(map: CoreMap, capacity: usize) -> Self {
         let tables = (0..map.num_cores())
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::new(FlowTable::new()))
             .collect();
         SharedTables {
             inner: Arc::new(SharedInner {
@@ -306,8 +311,8 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> (SharedTables<S>, MigrationStats) {
         let mut stats = MigrationStats::default();
-        let mut new_tables: Vec<HashMap<FlowKey, S>> =
-            (0..new_map.num_cores()).map(|_| HashMap::new()).collect();
+        let mut new_tables: Vec<FlowTable<S>> =
+            (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
         for (from, table) in self.inner.tables.iter().enumerate() {
             for (key, mut state) in table.write().drain() {
                 let to = new_map.designated_for_key(&key);

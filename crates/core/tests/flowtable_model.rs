@@ -1,0 +1,421 @@
+//! Model-based tests for the open-addressing flow-table layer.
+//!
+//! Three levels, each checked against a `BTreeMap` reference model under
+//! randomized operation interleavings:
+//!
+//! * [`FlowTable`] — the raw open-addressing primitive (probe chains,
+//!   tombstone reuse, growth, deterministic iteration);
+//! * [`LocalTables`] — the per-core simulator backend, including
+//!   `rescale` and `fail_core` epoch transitions with the
+//!   freeze/adopt NF-hook path applied to every migrated flow;
+//! * [`SharedTables`] — the threaded backend, held to byte-identical
+//!   behaviour with `LocalTables` under the same operation script.
+//!
+//! The model stores flow state by value; ownership (which core's table
+//! holds a key) is always derivable as `designated_for_key` under the
+//! *current* map, because inserts go through the designated core's ctx
+//! (as the runtimes guarantee) and every epoch transition re-buckets.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sprayer::api::{FlowStateApi, InsertOutcome};
+use sprayer::config::DispatchMode;
+use sprayer::coremap::CoreMap;
+use sprayer::flowtable::FlowTable;
+use sprayer::tables::{LocalTables, SharedTables};
+use sprayer_net::{FiveTuple, FlowKey};
+
+/// Small key universe so interleavings collide: replaces, re-inserts
+/// after remove, and probe-chain reuse all happen at 128 cases.
+fn key(id: u8) -> FlowKey {
+    let id = u32::from(id % 64);
+    FiveTuple::tcp(0x0a00_0000 + id, 40_000 + (id as u16 % 3), 0xc0a8_0001, 443).key()
+}
+
+// ---------------------------------------------------------------------
+// Level 1: the raw primitive vs BTreeMap.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Insert(u8, u64),
+    Remove(u8),
+    Get(u8),
+}
+
+fn arb_table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| TableOp::Insert(k, v)),
+        any::<u8>().prop_map(TableOp::Remove),
+        any::<u8>().prop_map(TableOp::Get),
+    ]
+}
+
+proptest! {
+    /// Every operation on the open-addressing table returns what the
+    /// BTreeMap model returns, and the final contents agree.
+    #[test]
+    fn flowtable_matches_btreemap_model(ops in vec(arb_table_op(), 0..400)) {
+        let mut table: FlowTable<u64> = FlowTable::new();
+        let mut model: BTreeMap<FlowKey, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                TableOp::Insert(k, v) => {
+                    prop_assert_eq!(table.insert(key(k), v), model.insert(key(k), v));
+                }
+                TableOp::Remove(k) => {
+                    prop_assert_eq!(table.remove(&key(k)), model.remove(&key(k)));
+                }
+                TableOp::Get(k) => {
+                    prop_assert_eq!(table.get(&key(k)), model.get(&key(k)));
+                    prop_assert_eq!(table.contains_key(&key(k)), model.contains_key(&key(k)));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Same multiset of entries at the end (model is sorted; sort ours).
+        let mut got: Vec<(FlowKey, u64)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort();
+        let want: Vec<(FlowKey, u64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Iteration order is a pure function of the operation history:
+    /// two tables built by the same script iterate identically — the
+    /// property the regenerated telemetry docs and bench baselines
+    /// lean on for byte-identical output.
+    #[test]
+    fn flowtable_iteration_is_deterministic(ops in vec(arb_table_op(), 0..300)) {
+        let mut a: FlowTable<u64> = FlowTable::new();
+        let mut b: FlowTable<u64> = FlowTable::new();
+        for op in &ops {
+            match *op {
+                TableOp::Insert(k, v) => {
+                    a.insert(key(k), v);
+                    b.insert(key(k), v);
+                }
+                TableOp::Remove(k) => {
+                    a.remove(&key(k));
+                    b.remove(&key(k));
+                }
+                TableOp::Get(_) => {}
+            }
+        }
+        let ia: Vec<(FlowKey, u64)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        let ib: Vec<(FlowKey, u64)> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(ia, ib);
+        // And consuming iteration yields the same sequence as borrowed.
+        let ca: Vec<(FlowKey, u64)> = a.into_iter().collect();
+        prop_assert_eq!(ca, ib);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Level 2: LocalTables with epoch transitions and NF hooks.
+// ---------------------------------------------------------------------
+
+/// The freeze/adopt transformation our fake migration hook applies —
+/// deliberately non-commutative in `from`/`to` so a hook invoked with
+/// swapped arguments (or twice) cannot cancel out.
+fn migrate_state(state: u64, from: usize, to: usize) -> u64 {
+    state
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((from as u64) << 8)
+        ^ (to as u64)
+}
+
+#[derive(Debug, Clone)]
+enum EpochOp {
+    Insert(u8, u64),
+    Remove(u8),
+    Modify(u8),
+    Lookup(u8),
+    /// Elastic rescale to `1 + n % 6` cores (skipped after a failure,
+    /// mirroring the runtime, which recovers before reconfiguring).
+    Rescale(u8),
+    /// Fail the `n % active`-th surviving core (skipped when only one
+    /// core survives).
+    FailCore(u8),
+}
+
+fn arb_epoch_op() -> impl Strategy<Value = EpochOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| EpochOp::Insert(k, v)),
+        any::<u8>().prop_map(EpochOp::Remove),
+        any::<u8>().prop_map(EpochOp::Modify),
+        any::<u8>().prop_map(EpochOp::Lookup),
+        any::<u8>().prop_map(EpochOp::Rescale),
+        any::<u8>().prop_map(EpochOp::FailCore),
+    ]
+}
+
+/// Reference model: global key→state map. Ownership is derived from the
+/// current `CoreMap`, which stays exact because inserts are routed to
+/// the designated core and transitions re-bucket everything.
+struct Model {
+    entries: BTreeMap<FlowKey, u64>,
+}
+
+impl Model {
+    fn count_on(&self, map: &CoreMap, core: usize) -> usize {
+        self.entries
+            .keys()
+            .filter(|k| map.designated_for_key(k) == core)
+            .count()
+    }
+}
+
+fn run_epoch_script(
+    mode: DispatchMode,
+    capacity: usize,
+    ops: &[EpochOp],
+) -> Result<(), TestCaseError> {
+    let mut map = CoreMap::elastic(mode, 4);
+    let mut tables: LocalTables<u64> = LocalTables::new(map.clone(), capacity);
+    let mut model = Model {
+        entries: BTreeMap::new(),
+    };
+    let mut failed_any = false;
+
+    for op in ops {
+        match *op {
+            EpochOp::Insert(k, v) => {
+                let key = key(k);
+                let core = map.designated_for_key(&key);
+                let expect = if model.entries.contains_key(&key) {
+                    model.entries.insert(key, v);
+                    InsertOutcome::Replaced
+                } else if model.count_on(&map, core) >= capacity {
+                    InsertOutcome::TableFull
+                } else {
+                    model.entries.insert(key, v);
+                    InsertOutcome::Inserted
+                };
+                prop_assert_eq!(tables.ctx(core).insert_local_flow(key, v), expect);
+            }
+            EpochOp::Remove(k) => {
+                let key = key(k);
+                let core = map.designated_for_key(&key);
+                prop_assert_eq!(
+                    tables.ctx(core).remove_local_flow(&key),
+                    model.entries.remove(&key)
+                );
+            }
+            EpochOp::Modify(k) => {
+                let key = key(k);
+                let core = map.designated_for_key(&key);
+                let hit = tables
+                    .ctx(core)
+                    .modify_local_flow(&key, &mut |s| *s = s.wrapping_add(1));
+                prop_assert_eq!(hit, model.entries.contains_key(&key));
+                if let Some(s) = model.entries.get_mut(&key) {
+                    *s = s.wrapping_add(1);
+                }
+            }
+            EpochOp::Lookup(k) => {
+                let key = key(k);
+                // get_flow reads the designated core's table from any ctx.
+                let reader = map.active_core_ids()[0];
+                prop_assert_eq!(
+                    tables.ctx(reader).get_flow(&key),
+                    model.entries.get(&key).copied()
+                );
+            }
+            EpochOp::Rescale(n) => {
+                if failed_any {
+                    continue;
+                }
+                let new_map = map.rescaled(1 + usize::from(n) % 6);
+                let mut hooks = 0u64;
+                // The hook closure returns `()`, so violations panic
+                // (std asserts) rather than failing the proptest case.
+                let stats = tables.rescale(new_map.clone(), &mut |key, state, from, to| {
+                    hooks += 1;
+                    assert_ne!(from, to);
+                    assert_eq!(new_map.designated_for_key(key), to);
+                    *state = migrate_state(*state, from, to);
+                });
+                // Mirror the migration in the model.
+                let mut migrated = 0u64;
+                for (key, state) in model.entries.iter_mut() {
+                    let from = map.designated_for_key(key);
+                    let to = new_map.designated_for_key(key);
+                    if from != to {
+                        migrated += 1;
+                        *state = migrate_state(*state, from, to);
+                    }
+                }
+                prop_assert_eq!(stats.migrated_flows, migrated);
+                prop_assert_eq!(hooks, migrated, "hooks run exactly once per migrated flow");
+                prop_assert_eq!(stats.retained_flows, model.entries.len() as u64 - migrated);
+                map = new_map;
+            }
+            EpochOp::FailCore(n) => {
+                let active = map.active_core_ids();
+                if active.len() <= 1 {
+                    continue;
+                }
+                let dead = active[usize::from(n) % active.len()];
+                let new_map = map.without_core(dead);
+                let mut hooks = 0u64;
+                let stats = tables.fail_core(dead, new_map.clone(), &mut |key, state, from, to| {
+                    hooks += 1;
+                    assert_ne!(from, to);
+                    assert_eq!(new_map.designated_for_key(key), to);
+                    *state = migrate_state(*state, from, to);
+                });
+                let mut migrated = 0u64;
+                let mut lost = 0u64;
+                let keys: Vec<FlowKey> = model.entries.keys().copied().collect();
+                for key in keys {
+                    let from = map.designated_for_key(&key);
+                    if from == dead {
+                        lost += 1;
+                        model.entries.remove(&key);
+                        continue;
+                    }
+                    let to = new_map.designated_for_key(&key);
+                    if from != to {
+                        migrated += 1;
+                        let s = model.entries.get_mut(&key).unwrap();
+                        *s = migrate_state(*s, from, to);
+                    }
+                }
+                prop_assert_eq!(stats.flows_lost, lost);
+                prop_assert_eq!(stats.migrated_flows, migrated);
+                prop_assert_eq!(hooks, migrated);
+                failed_any = true;
+                map = new_map;
+            }
+        }
+        prop_assert_eq!(tables.total_entries(), model.entries.len());
+    }
+
+    // Final audit: every model entry sits on its designated core with the
+    // exact post-migration state, and nothing else exists.
+    for (key, state) in &model.entries {
+        let core = map.designated_for_key(key);
+        prop_assert_eq!(tables.peek(core, key), Some(state));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// LocalTables under random insert/lookup/remove/modify/rescale/
+    /// fail_core interleavings matches the BTreeMap model, with the
+    /// freeze/adopt hook applied exactly once per migrated flow —
+    /// Sprayer (rendezvous) designation.
+    #[test]
+    fn local_tables_epochs_match_model_sprayer(ops in vec(arb_epoch_op(), 0..120)) {
+        run_epoch_script(DispatchMode::Sprayer, 8, &ops)?;
+    }
+
+    /// Same interleavings under RSS designation, whose indirection-table
+    /// rebuilds migrate survivors much more broadly on rescale.
+    #[test]
+    fn local_tables_epochs_match_model_rss(ops in vec(arb_epoch_op(), 0..120)) {
+        run_epoch_script(DispatchMode::Rss, 8, &ops)?;
+    }
+
+    /// Tiny capacity forces the TableFull path constantly; the model's
+    /// occupancy-derived outcome must still agree everywhere.
+    #[test]
+    fn local_tables_capacity_pressure_matches_model(ops in vec(arb_epoch_op(), 0..120)) {
+        run_epoch_script(DispatchMode::Sprayer, 2, &ops)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Level 3: SharedTables held to LocalTables behaviour.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The threaded backend replays the same script as the simulator
+    /// backend: identical insert outcomes, lookups, migration stats,
+    /// hook counts, and final per-flow state.
+    #[test]
+    fn shared_tables_match_local_tables_under_epochs(
+        ops in vec(arb_epoch_op(), 0..100),
+        spray in any::<bool>(),
+    ) {
+        let mode = if spray { DispatchMode::Sprayer } else { DispatchMode::Rss };
+        let capacity = 8;
+        let mut map = CoreMap::elastic(mode, 4);
+        let mut local: LocalTables<u64> = LocalTables::new(map.clone(), capacity);
+        let mut shared: SharedTables<u64> = SharedTables::new(map.clone(), capacity);
+
+        for op in &ops {
+            match *op {
+                EpochOp::Insert(k, v) => {
+                    let key = key(k);
+                    let core = map.designated_for_key(&key);
+                    prop_assert_eq!(
+                        local.ctx(core).insert_local_flow(key, v),
+                        shared.ctx(core).insert_local_flow(key, v)
+                    );
+                }
+                EpochOp::Remove(k) => {
+                    let key = key(k);
+                    let core = map.designated_for_key(&key);
+                    prop_assert_eq!(
+                        local.ctx(core).remove_local_flow(&key),
+                        shared.ctx(core).remove_local_flow(&key)
+                    );
+                }
+                EpochOp::Modify(k) => {
+                    let key = key(k);
+                    let core = map.designated_for_key(&key);
+                    prop_assert_eq!(
+                        local.ctx(core).modify_local_flow(&key, &mut |s| *s ^= 0xff),
+                        shared.ctx(core).modify_local_flow(&key, &mut |s| *s ^= 0xff)
+                    );
+                }
+                EpochOp::Lookup(k) => {
+                    let key = key(k);
+                    let reader = map.active_core_ids()[0];
+                    prop_assert_eq!(
+                        local.ctx(reader).get_flow(&key),
+                        shared.ctx(reader).get_flow(&key)
+                    );
+                }
+                EpochOp::Rescale(n) | EpochOp::FailCore(n) => {
+                    // SharedTables has no fail_core (the threaded runtime
+                    // fences dead workers instead); both op kinds drive a
+                    // plain rescale here.
+                    let new_map = map.rescaled(1 + usize::from(n) % 6);
+                    let mut local_hooks = 0u64;
+                    let local_stats =
+                        local.rescale(new_map.clone(), &mut |_, state, from, to| {
+                            local_hooks += 1;
+                            *state = migrate_state(*state, from, to);
+                        });
+                    let mut shared_hooks = 0u64;
+                    let (next, shared_stats) =
+                        shared.rescaled(new_map.clone(), &mut |_, state, from, to| {
+                            shared_hooks += 1;
+                            *state = migrate_state(*state, from, to);
+                        });
+                    shared = next;
+                    prop_assert_eq!(local_stats, shared_stats);
+                    prop_assert_eq!(local_hooks, shared_hooks);
+                    map = new_map;
+                }
+            }
+            prop_assert_eq!(local.total_entries(), shared.total_entries());
+        }
+
+        for core in map.active_core_ids() {
+            prop_assert_eq!(local.entries_on(*core), shared.entries_on(*core));
+        }
+        for k in 0..64u8 {
+            let key = key(k);
+            let reader = map.active_core_ids()[0];
+            prop_assert_eq!(
+                local.ctx(reader).get_flow(&key),
+                shared.ctx(reader).get_flow(&key)
+            );
+        }
+    }
+}

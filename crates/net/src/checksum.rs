@@ -53,6 +53,21 @@ impl Checksum {
                 return;
             }
         }
+        // Wide inner loop: eight bytes per iteration (RFC 1071 §2(B),
+        // "parallel summation"). Because 2^16 ≡ 1 (mod 0xffff), the fold
+        // in `finish` makes a 2^16-weighted word contribute exactly like
+        // an unweighted one, so the two 32-bit halves of each big-endian
+        // u64 load can be added straight into the accumulator. Each
+        // iteration adds < 2^33, so a u64 accumulator is overflow-safe
+        // for any packet-sized input.
+        let mut wide = bytes.chunks_exact(8);
+        for chunk in &mut wide {
+            let v = u64::from_be_bytes(chunk.try_into().unwrap());
+            self.sum += (v >> 32) + (v & 0xffff_ffff);
+        }
+        bytes = wide.remainder();
+        // Byte-pair tail: this loop alone is the reference semantics the
+        // wide loop must match (pinned by the equivalence tests).
         let mut chunks = bytes.chunks_exact(2);
         for pair in &mut chunks {
             self.sum += u64::from(u16::from_be_bytes([pair[0], pair[1]]));
@@ -180,6 +195,69 @@ mod tests {
         c.add_bytes(&a);
         c.add_bytes(&b);
         assert_eq!(c.finish(), internet_checksum(&[0x12, 0x34, 0x56, 0x78]));
+    }
+
+    /// The byte-pair semantics the wide loop must reproduce.
+    fn bytepair_reference(bytes: &[u8]) -> u16 {
+        let mut sum = 0u64;
+        for pair in bytes.chunks(2) {
+            let word = if pair.len() == 2 {
+                u16::from_be_bytes([pair[0], pair[1]])
+            } else {
+                u16::from_be_bytes([pair[0], 0])
+            };
+            sum += u64::from(word);
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    #[test]
+    fn wide_loop_matches_bytepair_reference_at_every_length() {
+        // Lengths 0..=67 cover: empty, tail-only, one and several wide
+        // chunks, and every remainder size, with bytes that exercise the
+        // carry paths (0xff runs force folds).
+        let data: Vec<u8> = (0..67u32)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0xff
+                } else {
+                    (i.wrapping_mul(0x9e37) >> 5) as u8
+                }
+            })
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(
+                internet_checksum(&data[..len]),
+                bytepair_reference(&data[..len]),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_loop_is_carry_safe_on_all_ones() {
+        // 0xff everywhere maximizes intermediate sums; the folded result
+        // of all-ones data is 0xffff, so the checksum is 0x0000.
+        assert_eq!(internet_checksum(&[0xff; 64]), 0x0000);
+        assert_eq!(
+            internet_checksum(&[0xff; 64]),
+            bytepair_reference(&[0xff; 64])
+        );
+    }
+
+    #[test]
+    fn odd_start_then_wide_run_pairs_correctly() {
+        // A pending odd byte followed by a slice long enough to take the
+        // wide path: pairing must happen across the boundary, shifting
+        // word alignment for the whole second slice.
+        let data: Vec<u8> = (0u8..33).map(|i| i.wrapping_mul(41)).collect();
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..1]);
+        c.add_bytes(&data[1..]);
+        assert_eq!(c.finish(), bytepair_reference(&data));
     }
 
     #[test]

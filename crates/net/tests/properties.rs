@@ -36,6 +36,50 @@ proptest! {
         prop_assert_eq!(c.finish(), whole);
     }
 
+    /// The wide-word (8-bytes-per-step) summation in `add_bytes` must be
+    /// bit-identical to the byte-pair definition of RFC 1071 for any
+    /// input, including inputs fed in odd-length fragments (which shift
+    /// the word alignment seen by the wide loop).
+    #[test]
+    fn checksum_wide_path_matches_bytepair_definition(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        // Reference: the RFC's definition, one 16-bit word at a time.
+        let mut reference = 0u64;
+        for pair in data.chunks(2) {
+            let word = if pair.len() == 2 {
+                u16::from_be_bytes([pair[0], pair[1]])
+            } else {
+                u16::from_be_bytes([pair[0], 0])
+            };
+            reference += u64::from(word);
+        }
+        while reference >> 16 != 0 {
+            reference = (reference & 0xffff) + (reference >> 16);
+        }
+        let reference = !(reference as u16);
+
+        // One-shot (hits the wide loop for data >= 8 bytes).
+        prop_assert_eq!(internet_checksum(&data), reference);
+
+        // Fragmented at arbitrary points: the pending-byte machinery must
+        // re-pair across boundaries and still match.
+        let mut at: Vec<usize> = splits
+            .iter()
+            .map(|s| if data.is_empty() { 0 } else { s.index(data.len()) })
+            .collect();
+        at.sort_unstable();
+        let mut c = Checksum::new();
+        let mut prev = 0;
+        for &cut in &at {
+            c.add_bytes(&data[prev..cut]);
+            prev = cut;
+        }
+        c.add_bytes(&data[prev..]);
+        prop_assert_eq!(c.finish(), reference);
+    }
+
     /// Incremental update must always agree with full recomputation.
     #[test]
     fn incremental_matches_recompute(

@@ -163,22 +163,38 @@ impl DpiNf {
     }
 
     fn scan_payload(&self, pkt: &Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> (bool, Verdict) {
+        let core = ctx.core_id();
+        let mut acc = ScanAcc::default();
+        let verdict = self.scan_payload_on(pkt, ctx, core, &mut acc);
+        self.flush(&acc);
+        (acc.hits > 0, verdict)
+    }
+
+    /// The per-packet scan body with the counters accumulated by the
+    /// caller (one atomic flush per batch) and the core id hoisted out
+    /// of the loop — it is constant for a whole batch.
+    fn scan_payload_on(
+        &self,
+        pkt: &Packet,
+        ctx: &mut dyn FlowStateApi<DpiFlow>,
+        core: usize,
+        acc: &mut ScanAcc,
+    ) -> Verdict {
         let Some(tuple) = pkt.tuple() else {
-            return (false, Verdict::Forward);
+            return Verdict::Forward;
         };
         let Some(payload) = pkt.payload() else {
-            return (false, Verdict::Forward);
+            return Verdict::Forward;
         };
         if payload.is_empty() {
-            return (false, Verdict::Forward);
+            return Verdict::Forward;
         }
         let key = tuple.key();
         // The automaton state is per-flow and updated per packet: it can
         // only be written on the designated core.
-        if ctx.designated_core(&key) != ctx.core_id() {
-            self.unscanned_bytes
-                .fetch_add(payload.len() as u64, Ordering::Relaxed);
-            return (false, Verdict::Forward);
+        if ctx.designated_core(&key) != core {
+            acc.unscanned += payload.len() as u64;
+            return Verdict::Forward;
         }
         let canonical_dir = (tuple.src_addr, tuple.src_port) <= (tuple.dst_addr, tuple.dst_port);
         let mut hits = 0u64;
@@ -194,16 +210,36 @@ impl DpiNf {
             // Unknown flow (no SYN seen): scan statelessly from state 0.
             self.automaton.scan(0, payload, &mut |_| hits += 1);
         }
-        self.scanned_bytes
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        acc.scanned += payload.len() as u64;
         if hits > 0 {
-            self.matches.fetch_add(hits, Ordering::Relaxed);
+            acc.hits += hits;
             if self.drop_on_match {
-                return (true, Verdict::Drop);
+                return Verdict::Drop;
             }
         }
-        (hits > 0, Verdict::Forward)
+        Verdict::Forward
     }
+
+    fn flush(&self, acc: &ScanAcc) {
+        if acc.scanned > 0 {
+            self.scanned_bytes.fetch_add(acc.scanned, Ordering::Relaxed);
+        }
+        if acc.unscanned > 0 {
+            self.unscanned_bytes
+                .fetch_add(acc.unscanned, Ordering::Relaxed);
+        }
+        if acc.hits > 0 {
+            self.matches.fetch_add(acc.hits, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Scan counters accumulated across a batch, flushed to the atomics once.
+#[derive(Debug, Default)]
+struct ScanAcc {
+    scanned: u64,
+    unscanned: u64,
+    hits: u64,
 }
 
 impl NetworkFunction for DpiNf {
@@ -238,6 +274,31 @@ impl NetworkFunction for DpiNf {
 
     fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> Verdict {
         self.scan_payload(pkt, ctx).1
+    }
+
+    fn handle_batch(
+        &self,
+        pkts: &mut [Packet],
+        conn: &[bool],
+        ctx: &mut dyn FlowStateApi<DpiFlow>,
+        out: &mut sprayer::api::VerdictSink,
+    ) {
+        debug_assert_eq!(pkts.len(), conn.len());
+        // One core-id read and one counter flush for the whole batch; the
+        // automaton scans themselves are inherently per-packet (per-flow
+        // cursors). Connection packets (table lifecycle + their own final
+        // scan) stay scalar.
+        let core = ctx.core_id();
+        let mut acc = ScanAcc::default();
+        for (pkt, &is_conn) in pkts.iter_mut().zip(conn) {
+            let verdict = if is_conn {
+                self.connection_packets(pkt, ctx)
+            } else {
+                self.scan_payload_on(pkt, ctx, core, &mut acc)
+            };
+            out.push(verdict);
+        }
+        self.flush(&acc);
     }
 }
 

@@ -117,6 +117,26 @@ impl FirewallNf {
         }
         Action::Deny
     }
+
+    /// The fast path for established traffic, with the stray counter
+    /// accumulated by the caller so a batch touches the atomic once.
+    fn admit_data(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<ConnContext>,
+        stray: &mut u64,
+    ) -> Verdict {
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Drop;
+        };
+        match ctx.get_flow(&tuple.key()) {
+            Some(c) if c.allowed => Verdict::Forward,
+            _ => {
+                *stray += 1;
+                Verdict::Drop
+            }
+        }
+    }
 }
 
 impl NetworkFunction for FirewallNf {
@@ -195,15 +215,36 @@ impl NetworkFunction for FirewallNf {
         pkt: &mut Packet,
         ctx: &mut dyn FlowStateApi<ConnContext>,
     ) -> Verdict {
-        let Some(tuple) = pkt.tuple() else {
-            return Verdict::Drop;
-        };
-        match ctx.get_flow(&tuple.key()) {
-            Some(c) if c.allowed => Verdict::Forward,
-            _ => {
-                self.stray_drops.fetch_add(1, Ordering::Relaxed);
-                Verdict::Drop
-            }
+        let mut stray = 0;
+        let verdict = self.admit_data(pkt, ctx, &mut stray);
+        if stray > 0 {
+            self.stray_drops.fetch_add(stray, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    fn handle_batch(
+        &self,
+        pkts: &mut [Packet],
+        conn: &[bool],
+        ctx: &mut dyn FlowStateApi<ConnContext>,
+        out: &mut sprayer::api::VerdictSink,
+    ) {
+        debug_assert_eq!(pkts.len(), conn.len());
+        // Regular packets dominate and only do a flow lookup; run them
+        // through the fast path with one stray-counter flush per batch.
+        // Connection packets (rare) take the scalar ACL machinery.
+        let mut stray = 0u64;
+        for (pkt, &is_conn) in pkts.iter_mut().zip(conn) {
+            let verdict = if is_conn {
+                self.connection_packets(pkt, ctx)
+            } else {
+                self.admit_data(pkt, ctx, &mut stray)
+            };
+            out.push(verdict);
+        }
+        if stray > 0 {
+            self.stray_drops.fetch_add(stray, Ordering::Relaxed);
         }
     }
 

@@ -154,6 +154,50 @@ impl NatNf {
         self.pool.lock().push(external.1);
         self.stats.teardowns.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// The per-packet translation fast path, with the miss counter
+    /// accumulated by the caller so a batch touches the atomic once.
+    fn translate_data(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<NatEntry>,
+        misses: &mut u64,
+    ) -> Verdict {
+        let Some(tuple) = pkt.tuple() else {
+            return Verdict::Forward;
+        };
+        match ctx.get_flow(&tuple.key()) {
+            Some(NatEntry::Outward {
+                internal, external, ..
+            }) => {
+                if (tuple.src_addr, tuple.src_port) == internal {
+                    pkt.rewrite_src(external.0, external.1)
+                        .expect("TCP rewrite");
+                } else {
+                    // Shouldn't occur: the reverse of the original
+                    // connection addresses the internal host directly.
+                    pkt.rewrite_dst(internal.0, internal.1)
+                        .expect("TCP rewrite");
+                }
+                Verdict::Forward
+            }
+            Some(NatEntry::Inward { external, internal }) => {
+                if (tuple.dst_addr, tuple.dst_port) == external {
+                    pkt.rewrite_dst(internal.0, internal.1)
+                        .expect("TCP rewrite");
+                } else {
+                    pkt.rewrite_src(external.0, external.1)
+                        .expect("TCP rewrite");
+                }
+                Verdict::Forward
+            }
+            None => {
+                // "no translation found for this flow id" (Fig. 5).
+                *misses += 1;
+                Verdict::Drop
+            }
+        }
+    }
 }
 
 impl NetworkFunction for NatNf {
@@ -264,39 +308,40 @@ impl NetworkFunction for NatNf {
     }
 
     fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<NatEntry>) -> Verdict {
-        let Some(tuple) = pkt.tuple() else {
-            return Verdict::Forward;
-        };
-        match ctx.get_flow(&tuple.key()) {
-            Some(NatEntry::Outward {
-                internal, external, ..
-            }) => {
-                if (tuple.src_addr, tuple.src_port) == internal {
-                    pkt.rewrite_src(external.0, external.1)
-                        .expect("TCP rewrite");
-                } else {
-                    // Shouldn't occur: the reverse of the original
-                    // connection addresses the internal host directly.
-                    pkt.rewrite_dst(internal.0, internal.1)
-                        .expect("TCP rewrite");
-                }
-                Verdict::Forward
-            }
-            Some(NatEntry::Inward { external, internal }) => {
-                if (tuple.dst_addr, tuple.dst_port) == external {
-                    pkt.rewrite_dst(internal.0, internal.1)
-                        .expect("TCP rewrite");
-                } else {
-                    pkt.rewrite_src(external.0, external.1)
-                        .expect("TCP rewrite");
-                }
-                Verdict::Forward
-            }
-            None => {
-                // "no translation found for this flow id" (Fig. 5).
-                self.stats.no_translation.fetch_add(1, Ordering::Relaxed);
-                Verdict::Drop
-            }
+        let mut misses = 0;
+        let verdict = self.translate_data(pkt, ctx, &mut misses);
+        if misses > 0 {
+            self.stats
+                .no_translation
+                .fetch_add(misses, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    fn handle_batch(
+        &self,
+        pkts: &mut [Packet],
+        conn: &[bool],
+        ctx: &mut dyn FlowStateApi<NatEntry>,
+        out: &mut sprayer::api::VerdictSink,
+    ) {
+        debug_assert_eq!(pkts.len(), conn.len());
+        // The steady state is pure translation (Fig. 5's lookup+rewrite);
+        // batch it with one miss-counter flush. Connection packets keep
+        // the scalar setup/teardown machinery (pool, paired entries).
+        let mut misses = 0u64;
+        for (pkt, &is_conn) in pkts.iter_mut().zip(conn) {
+            let verdict = if is_conn {
+                self.connection_packets(pkt, ctx)
+            } else {
+                self.translate_data(pkt, ctx, &mut misses)
+            };
+            out.push(verdict);
+        }
+        if misses > 0 {
+            self.stats
+                .no_translation
+                .fetch_add(misses, Ordering::Relaxed);
         }
     }
 

@@ -86,8 +86,46 @@ impl NetworkFunction for SyntheticNf {
     }
 
     fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) -> Verdict {
+        self.lifecycle(pkt, ctx);
+        self.touch(pkt, ctx)
+    }
+
+    fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) -> Verdict {
+        self.touch(pkt, ctx)
+    }
+
+    fn handle_batch(
+        &self,
+        pkts: &mut [Packet],
+        conn: &[bool],
+        ctx: &mut dyn FlowStateApi<SynFlow>,
+        out: &mut sprayer::api::VerdictSink,
+    ) {
+        debug_assert_eq!(pkts.len(), conn.len());
+        // Two atomic touches per batch instead of up to two per packet;
+        // the lookup, header write, and busy loop remain per-packet (the
+        // busy loop *is* the emulated work and must burn per packet).
+        let mut missing = 0u64;
+        for (pkt, &is_conn) in pkts.iter_mut().zip(conn) {
+            if is_conn {
+                self.lifecycle(pkt, ctx);
+            }
+            out.push(self.touch_with(pkt, ctx, &mut missing));
+        }
+        if missing > 0 {
+            self.missing_state.fetch_add(missing, Ordering::Relaxed);
+        }
+        self.processed
+            .fetch_add(pkts.len() as u64, Ordering::Relaxed);
+    }
+}
+
+impl SyntheticNf {
+    /// The connection-lifecycle half of `connection_packets`: table entry
+    /// creation at SYN, removal at FIN/RST.
+    fn lifecycle(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) {
         let Some(tuple) = pkt.tuple() else {
-            return Verdict::Forward;
+            return;
         };
         let flags = pkt.meta().tcp_flags.unwrap_or_default();
         let key = tuple.key();
@@ -100,26 +138,34 @@ impl NetworkFunction for SyntheticNf {
         } else if flags.intersects(TcpFlags::FIN | TcpFlags::RST) {
             ctx.remove_local_flow(&key);
         }
-        self.touch(pkt, ctx)
     }
 
-    fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) -> Verdict {
-        self.touch(pkt, ctx)
-    }
-}
-
-impl SyntheticNf {
     /// The per-packet body: state lookup, header modification, busy loop.
     fn touch(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) -> Verdict {
+        let mut missing = 0;
+        let verdict = self.touch_with(pkt, ctx, &mut missing);
+        if missing > 0 {
+            self.missing_state.fetch_add(missing, Ordering::Relaxed);
+        }
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        verdict
+    }
+
+    /// [`Self::touch`] with the counters accumulated by the caller.
+    fn touch_with(
+        &self,
+        pkt: &mut Packet,
+        ctx: &mut dyn FlowStateApi<SynFlow>,
+        missing: &mut u64,
+    ) -> Verdict {
         if let Some(tuple) = pkt.tuple() {
             if ctx.get_flow(&tuple.key()).is_none() {
-                self.missing_state.fetch_add(1, Ordering::Relaxed);
+                *missing += 1;
             }
         }
         // "modifies the header": decrement TTL like a router would.
         let _ = pkt.decrement_ttl();
         self.busy_loop();
-        self.processed.fetch_add(1, Ordering::Relaxed);
         Verdict::Forward
     }
 }

@@ -1,0 +1,355 @@
+//! Batch-vs-scalar equivalence for every NF.
+//!
+//! [`NetworkFunction::handle_batch`] must be observationally identical to
+//! the scalar handlers: same verdicts, same packet rewrites, same flow
+//! tables, same counters. Overrides amortize atomic counter flushes and
+//! hoist per-batch invariants — none of which may change outcomes. These
+//! properties drive random packet scripts (SYN / SYN-ACK / data both
+//! directions / FIN / RST across a small flow universe, with payloads
+//! chosen to split DPI patterns over packet boundaries) through two
+//! identical NF+table harnesses — one per-packet via the scalar
+//! handlers, one via [`engine::run_nf_batch`] — and assert equality.
+//!
+//! Batches are formed the way the runtime forms them: connection packets
+//! on the flow's designated core, regular packets sprayed to arbitrary
+//! cores, one core per `handle_batch` call.
+
+use proptest::prelude::*;
+use sprayer::api::{NetworkFunction, Verdict, VerdictSink};
+use sprayer::config::DispatchMode;
+use sprayer::coremap::CoreMap;
+use sprayer::engine;
+use sprayer::tables::LocalTables;
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_nf::firewall::{AclRule, FirewallNf};
+use sprayer_nf::load_balancer::Backend;
+use sprayer_nf::{DpiNf, LoadBalancerNf, MonitorNf, Nat64Nf, NatNf, RedundancyNf, SyntheticNf};
+use std::sync::atomic::Ordering;
+
+const NUM_CORES: usize = 4;
+const FLOWS: u8 = 8;
+const CLIENT: u32 = 0x0a00_0001; // 10.0.0.1
+const SERVER: u32 = 0xc633_6401; // 198.51.100.1 (also the LB's VIP)
+const NAT_IP: u32 = 0xc633_640a;
+const ALLOWED_PORT: u16 = 443;
+const DENIED_PORT: u16 = 22;
+
+/// Payload menu: empty, a full DPI pattern, the pattern split across two
+/// packets, and a ≥32-byte block (a full redundancy-elimination window).
+const PAYLOADS: [&[u8]; 5] = [
+    b"",
+    b"attack",
+    b"..att",
+    b"ack..",
+    b"0123456789abcdef0123456789abcdef",
+];
+
+/// Even flows target the allowed port / the VIP; odd flows don't.
+fn flow_tuple(flow: u8) -> FiveTuple {
+    let flow = flow % FLOWS;
+    let port = if flow.is_multiple_of(2) {
+        ALLOWED_PORT
+    } else {
+        DENIED_PORT
+    };
+    FiveTuple::tcp(
+        CLIENT + u32::from(flow),
+        40_000 + u16::from(flow),
+        SERVER,
+        port,
+    )
+}
+
+/// One scripted packet: (flow, kind, payload index).
+type Step = (u8, u8, u8);
+
+fn build_packet(step: Step, seq: u32) -> Packet {
+    let (flow, kind, payload) = step;
+    let t = flow_tuple(flow);
+    let p = PAYLOADS[usize::from(payload) % PAYLOADS.len()];
+    let b = PacketBuilder::new().ttl(64);
+    match kind % 7 {
+        0 => b.tcp(t, seq, 0, TcpFlags::SYN, b""),
+        1 => b.tcp(t.reversed(), seq, seq, TcpFlags::SYN | TcpFlags::ACK, b""),
+        2 => b.tcp(t, seq, seq, TcpFlags::ACK, p),
+        3 => b.tcp(t.reversed(), seq, seq, TcpFlags::ACK, p),
+        4 => b.tcp(t, seq, seq, TcpFlags::FIN | TcpFlags::ACK, p),
+        5 => b.tcp(t.reversed(), seq, seq, TcpFlags::FIN | TcpFlags::ACK, b""),
+        _ => b.tcp(t, seq, seq, TcpFlags::RST, b""),
+    }
+}
+
+/// A generated script: per batch, a spray-core selector and the steps.
+type Script = Vec<(u8, Vec<Step>)>;
+
+fn script() -> impl Strategy<Value = Script> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            prop::collection::vec((0u8..FLOWS, 0u8..7, 0u8..PAYLOADS.len() as u8), 1..=16),
+        ),
+        1..=12,
+    )
+}
+
+/// Turn a script into runtime-shaped batches: connection packets land on
+/// their designated core (the redirect has already happened by the time
+/// the engine invokes the NF), regular packets go wherever the NIC
+/// sprayed them. One `(core, packets)` entry per `handle_batch` call.
+fn form_batches(map: &CoreMap, script: &Script) -> Vec<(usize, Vec<Packet>)> {
+    let mut batches = Vec::new();
+    let mut seq = 0u32;
+    for (core_sel, steps) in script {
+        let mut per_core: Vec<Vec<Packet>> = vec![Vec::new(); NUM_CORES];
+        for (i, &step) in steps.iter().enumerate() {
+            let pkt = build_packet(step, seq);
+            seq += 1;
+            let tuple = pkt.tuple().expect("script packets are TCP");
+            let core = if pkt.is_connection_packet() {
+                map.designated_for_tuple(&tuple)
+            } else {
+                (usize::from(*core_sel) + i) % NUM_CORES
+            };
+            per_core[core].push(pkt);
+        }
+        for (core, pkts) in per_core.into_iter().enumerate() {
+            if !pkts.is_empty() {
+                batches.push((core, pkts));
+            }
+        }
+    }
+    batches
+}
+
+/// What both executions must agree on, packet for packet.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    verdicts: Vec<Verdict>,
+    bytes: Vec<Vec<u8>>,
+}
+
+fn run_scalar<NF: NetworkFunction>(
+    nf: &NF,
+    tables: &mut LocalTables<NF::Flow>,
+    batches: &[(usize, Vec<Packet>)],
+) -> Outcome
+where
+    NF::Flow: Clone,
+{
+    let mut out = Outcome {
+        verdicts: Vec::new(),
+        bytes: Vec::new(),
+    };
+    for (core, pkts) in batches {
+        for pkt in pkts {
+            let mut pkt = pkt.clone();
+            let is_conn = pkt.is_connection_packet();
+            let mut ctx = tables.ctx(*core);
+            let v = if is_conn {
+                nf.connection_packets(&mut pkt, &mut ctx)
+            } else {
+                nf.regular_packets(&mut pkt, &mut ctx)
+            };
+            out.verdicts.push(v);
+            out.bytes.push(pkt.bytes().to_vec());
+        }
+    }
+    out
+}
+
+fn run_batched<NF: NetworkFunction>(
+    nf: &NF,
+    tables: &mut LocalTables<NF::Flow>,
+    batches: &[(usize, Vec<Packet>)],
+) -> Outcome
+where
+    NF::Flow: Clone,
+{
+    let mut out = Outcome {
+        verdicts: Vec::new(),
+        bytes: Vec::new(),
+    };
+    let mut sink = VerdictSink::new();
+    for (core, pkts) in batches {
+        let mut pkts: Vec<Packet> = pkts.clone();
+        let conn: Vec<bool> = pkts.iter().map(Packet::is_connection_packet).collect();
+        let mut ctx = tables.ctx(*core);
+        engine::run_nf_batch(nf, &mut pkts, &conn, &mut ctx, &mut sink);
+        out.verdicts.extend_from_slice(sink.verdicts());
+        for p in &pkts {
+            out.bytes.push(p.bytes().to_vec());
+        }
+    }
+    out
+}
+
+/// Run the same script scalar and batched and assert full equivalence:
+/// verdicts, rewritten bytes, flow-table shape and contents, and the
+/// NF's own counters (via `counters`, which must read every public one).
+fn check_equivalence<NF: NetworkFunction>(
+    mode: DispatchMode,
+    make: impl Fn() -> NF,
+    script: &Script,
+    counters: impl Fn(&NF) -> Vec<u64>,
+) -> Result<(), TestCaseError>
+where
+    NF::Flow: Clone + PartialEq + std::fmt::Debug,
+{
+    let map = CoreMap::new(mode, NUM_CORES);
+    let batches = form_batches(&map, script);
+    let capacity = 1024;
+
+    let nf_a = make();
+    let mut tables_a: LocalTables<NF::Flow> = LocalTables::new(map.clone(), capacity);
+    let scalar = run_scalar(&nf_a, &mut tables_a, &batches);
+
+    let nf_b = make();
+    let mut tables_b: LocalTables<NF::Flow> = LocalTables::new(map.clone(), capacity);
+    let batched = run_batched(&nf_b, &mut tables_b, &batches);
+
+    prop_assert_eq!(&scalar.verdicts, &batched.verdicts);
+    prop_assert_eq!(&scalar.bytes, &batched.bytes, "packet rewrites diverged");
+    for core in 0..NUM_CORES {
+        prop_assert_eq!(
+            tables_a.entries_on(core),
+            tables_b.entries_on(core),
+            "table population diverged on core {}",
+            core
+        );
+        for flow in 0..FLOWS {
+            let key = flow_tuple(flow).key();
+            prop_assert_eq!(
+                tables_a.peek(core, &key),
+                tables_b.peek(core, &key),
+                "flow state diverged for flow {} on core {}",
+                flow,
+                core
+            );
+        }
+    }
+    prop_assert_eq!(counters(&nf_a), counters(&nf_b), "NF counters diverged");
+    Ok(())
+}
+
+fn acl() -> Vec<AclRule> {
+    vec![
+        AclRule::allow_dst_port(ALLOWED_PORT),
+        AclRule::default_action(sprayer_nf::firewall::Action::Deny),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn firewall_batch_matches_scalar(s in script(), rss in any::<bool>()) {
+        let mode = if rss { DispatchMode::Rss } else { DispatchMode::Sprayer };
+        check_equivalence(mode, || FirewallNf::new(acl()), &s, |fw| vec![
+            fw.admitted.load(Ordering::Relaxed),
+            fw.rejected.load(Ordering::Relaxed),
+            fw.stray_drops.load(Ordering::Relaxed),
+            fw.migrated_contexts.load(Ordering::Relaxed),
+        ])?;
+    }
+
+    #[test]
+    fn nat_batch_matches_scalar(s in script(), rss in any::<bool>()) {
+        let mode = if rss { DispatchMode::Rss } else { DispatchMode::Sprayer };
+        check_equivalence(mode, || NatNf::new(NAT_IP, 10_000..10_128), &s, |nat| vec![
+            nat.stats.translations.load(Ordering::Relaxed),
+            nat.stats.pool_exhausted.load(Ordering::Relaxed),
+            nat.stats.no_translation.load(Ordering::Relaxed),
+            nat.stats.teardowns.load(Ordering::Relaxed),
+            nat.pool_len() as u64,
+        ])?;
+    }
+
+    #[test]
+    fn dpi_batch_matches_scalar(s in script(), ips in any::<bool>()) {
+        // IDS (count) and IPS (drop) modes; RSS is DPI's supported mode
+        // but the sprayed case must stay equivalent too — run both.
+        for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
+            check_equivalence(mode, || {
+                let mut dpi = DpiNf::new(&["attack", "attack2"]);
+                dpi.drop_on_match = ips;
+                dpi
+            }, &s, |dpi| vec![
+                dpi.matches.load(Ordering::Relaxed),
+                dpi.scanned_bytes.load(Ordering::Relaxed),
+                dpi.unscanned_bytes.load(Ordering::Relaxed),
+            ])?;
+        }
+    }
+
+    #[test]
+    fn monitor_batch_matches_scalar(s in script()) {
+        check_equivalence(DispatchMode::Sprayer, || MonitorNf::new(NUM_CORES), &s, |mon| {
+            let t = mon.aggregate();
+            vec![
+                t.packets,
+                t.bytes,
+                t.connection_packets,
+                t.connections_opened,
+                t.connections_closed,
+            ]
+        })?;
+    }
+
+    #[test]
+    fn synthetic_batch_matches_scalar(s in script()) {
+        check_equivalence(DispatchMode::Sprayer, SyntheticNf::for_simulator, &s, |nf| vec![
+            nf.processed.load(Ordering::Relaxed),
+            nf.missing_state.load(Ordering::Relaxed),
+        ])?;
+    }
+
+    // The remaining NFs use the default (provided) handle_batch; these
+    // pin the default loop itself to scalar semantics, so any future
+    // override starts from a tested contract.
+
+    #[test]
+    fn load_balancer_batch_matches_scalar(s in script()) {
+        let backends = vec![
+            Backend { addr: 0x0a00_0101, port: 8080 },
+            Backend { addr: 0x0a00_0102, port: 8080 },
+            Backend { addr: 0x0a00_0103, port: 8081 },
+        ];
+        check_equivalence(
+            DispatchMode::Sprayer,
+            || LoadBalancerNf::new((SERVER, ALLOWED_PORT), backends.clone()),
+            &s,
+            |lb| {
+                let mut c = vec![
+                    lb.packets.load(Ordering::Relaxed),
+                    lb.connections.load(Ordering::Relaxed),
+                    lb.stray_drops.load(Ordering::Relaxed),
+                ];
+                c.extend(lb.active_connections());
+                c
+            },
+        )?;
+    }
+
+    #[test]
+    fn nat64_batch_matches_scalar(s in script()) {
+        let prefix96 = [0x00, 0x64, 0xff, 0x9b, 0, 0, 0, 0, 0, 0, 0, 0];
+        let v6_self = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x64];
+        check_equivalence(
+            DispatchMode::Sprayer,
+            move || Nat64Nf::new(prefix96, v6_self, 20_000..20_064),
+            &s,
+            |nf| vec![
+                nf.translations.load(Ordering::Relaxed),
+                nf.pool_exhausted.load(Ordering::Relaxed),
+                nf.no_binding.load(Ordering::Relaxed),
+                nf.pool_len() as u64,
+            ],
+        )?;
+    }
+
+    #[test]
+    fn redundancy_batch_matches_scalar(s in script()) {
+        check_equivalence(DispatchMode::Sprayer, || RedundancyNf::new(256), &s, |re| vec![
+            re.bytes_seen.load(Ordering::Relaxed),
+            re.bytes_eliminated.load(Ordering::Relaxed),
+        ])?;
+    }
+}

@@ -34,4 +34,6 @@ pub mod toeplitz;
 pub use flowdirector::{FdirFilter, FdirRule, FlowDirector, FDIR_PERFECT_CAPACITY};
 pub use nic::{Nic, NicConfig, QueueId, RxSteering};
 pub use rss::{RssConfig, INDIRECTION_TABLE_SIZE};
-pub use toeplitz::{hash_v6_tuple, toeplitz_hash, RssKey, MICROSOFT_KEY, SYMMETRIC_KEY};
+pub use toeplitz::{
+    hash_v6_tuple, toeplitz_hash, RssKey, ToeplitzLut, MICROSOFT_KEY, SYMMETRIC_KEY,
+};

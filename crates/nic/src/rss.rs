@@ -1,6 +1,6 @@
 //! Receive-Side Scaling: hash + indirection table → queue.
 
-use crate::toeplitz::{hash_v4_addrs, hash_v4_tuple, hash_v6_tuple, RssKey, SYMMETRIC_KEY};
+use crate::toeplitz::{RssKey, ToeplitzLut, SYMMETRIC_KEY};
 use sprayer_net::{FiveTuple, FiveTupleV6, Protocol};
 
 /// Number of entries in the RSS indirection table (the 82599 has 128).
@@ -8,9 +8,13 @@ pub const INDIRECTION_TABLE_SIZE: usize = 128;
 
 /// RSS configuration: hash key plus the indirection table mapping the low
 /// 7 bits of the hash to a receive queue.
+///
+/// The key is held as a precomputed [`ToeplitzLut`] so per-packet hashing
+/// is a table lookup per input byte rather than the bit-serial slide; the
+/// table is built once here, at configuration time.
 #[derive(Debug, Clone)]
 pub struct RssConfig {
-    key: RssKey,
+    lut: ToeplitzLut,
     table: Vec<u8>,
 }
 
@@ -31,7 +35,10 @@ impl RssConfig {
         let table = (0..INDIRECTION_TABLE_SIZE)
             .map(|i| (i % num_queues) as u8)
             .collect();
-        RssConfig { key, table }
+        RssConfig {
+            lut: ToeplitzLut::new(key),
+            table,
+        }
     }
 
     /// Replace the indirection table (length must be
@@ -43,15 +50,15 @@ impl RssConfig {
 
     /// The hash key in use.
     pub fn key(&self) -> &RssKey {
-        &self.key
+        self.lut.key()
     }
 
     /// The 32-bit RSS hash for a packet's tuple (TCP/UDP use the
     /// four-tuple hash; other IP packets hash addresses only).
     pub fn hash(&self, tuple: &FiveTuple) -> u32 {
         match tuple.protocol {
-            Protocol::Tcp | Protocol::Udp => hash_v4_tuple(&self.key, tuple),
-            Protocol::Other(_) => hash_v4_addrs(&self.key, tuple.src_addr, tuple.dst_addr),
+            Protocol::Tcp | Protocol::Udp => self.lut.hash_v4_tuple(tuple),
+            Protocol::Other(_) => self.lut.hash_v4_addrs(tuple.src_addr, tuple.dst_addr),
         }
     }
 
@@ -63,14 +70,14 @@ impl RssConfig {
 
     /// The queue for a non-IP or address-only classification.
     pub fn queue_for_addrs(&self, src: u32, dst: u32) -> u8 {
-        let h = hash_v4_addrs(&self.key, src, dst);
+        let h = self.lut.hash_v4_addrs(src, dst);
         self.table[(h as usize) % INDIRECTION_TABLE_SIZE]
     }
 
     /// The receive queue for an IPv6 tuple (the `TCP_IPV6`-style 36-byte
     /// four-tuple hash through the same indirection table).
     pub fn queue_for_v6(&self, tuple: &FiveTupleV6) -> u8 {
-        let h = hash_v6_tuple(&self.key, tuple);
+        let h = self.lut.hash_v6_tuple(tuple);
         self.table[(h as usize) % INDIRECTION_TABLE_SIZE]
     }
 

@@ -17,6 +17,10 @@
 
 use sprayer_net::{FiveTuple, FiveTupleV6};
 
+/// The longest input a 40-byte key supports: the 36-byte IPv6 four-tuple
+/// (36 bytes of input plus the trailing 32-bit window fill the key).
+pub const MAX_INPUT_LEN: usize = 36;
+
 /// A 40-byte RSS hash key (enough for IPv6 four-tuples: 36 bytes of input
 /// plus the 32-bit window).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,24 +70,45 @@ pub fn toeplitz_hash(key: &RssKey, data: &[u8]) -> u32 {
     result
 }
 
-/// Hash an IPv4 four-tuple (src addr, dst addr, src port, dst port) —
-/// the input layout mandated by the RSS specification.
-pub fn hash_v4_tuple(key: &RssKey, tuple: &FiveTuple) -> u32 {
+/// The RSS-specified input layout for an IPv4 four-tuple:
+/// src addr, dst addr, src port, dst port, all big-endian.
+fn v4_tuple_input(tuple: &FiveTuple) -> [u8; 12] {
     let mut input = [0u8; 12];
     input[0..4].copy_from_slice(&tuple.src_addr.to_be_bytes());
     input[4..8].copy_from_slice(&tuple.dst_addr.to_be_bytes());
     input[8..10].copy_from_slice(&tuple.src_port.to_be_bytes());
     input[10..12].copy_from_slice(&tuple.dst_port.to_be_bytes());
-    toeplitz_hash(key, &input)
+    input
+}
+
+/// The input layout for the address-only "IPv4" hash type.
+fn v4_addrs_input(src: u32, dst: u32) -> [u8; 8] {
+    let mut input = [0u8; 8];
+    input[0..4].copy_from_slice(&src.to_be_bytes());
+    input[4..8].copy_from_slice(&dst.to_be_bytes());
+    input
+}
+
+/// The 36-byte input layout for the `TCP_IPV6`/`UDP_IPV6` hash types.
+fn v6_tuple_input(tuple: &FiveTupleV6) -> [u8; 36] {
+    let mut input = [0u8; 36];
+    input[0..16].copy_from_slice(&tuple.src_addr);
+    input[16..32].copy_from_slice(&tuple.dst_addr);
+    input[32..34].copy_from_slice(&tuple.src_port.to_be_bytes());
+    input[34..36].copy_from_slice(&tuple.dst_port.to_be_bytes());
+    input
+}
+
+/// Hash an IPv4 four-tuple (src addr, dst addr, src port, dst port) —
+/// the input layout mandated by the RSS specification.
+pub fn hash_v4_tuple(key: &RssKey, tuple: &FiveTuple) -> u32 {
+    toeplitz_hash(key, &v4_tuple_input(tuple))
 }
 
 /// Hash only the IPv4 address pair (the RSS "IPv4" hash type, used for
 /// fragments and non-TCP/UDP IP packets).
 pub fn hash_v4_addrs(key: &RssKey, src: u32, dst: u32) -> u32 {
-    let mut input = [0u8; 8];
-    input[0..4].copy_from_slice(&src.to_be_bytes());
-    input[4..8].copy_from_slice(&dst.to_be_bytes());
-    toeplitz_hash(key, &input)
+    toeplitz_hash(key, &v4_addrs_input(src, dst))
 }
 
 /// Hash an IPv6 four-tuple (src addr, dst addr, src port, dst port): the
@@ -91,12 +116,102 @@ pub fn hash_v4_addrs(key: &RssKey, src: u32, dst: u32) -> u32 {
 /// `TCP_IPV6`/`UDP_IPV6` hash types. This is the maximum input the
 /// 40-byte key supports (36 bytes plus the 32-bit window).
 pub fn hash_v6_tuple(key: &RssKey, tuple: &FiveTupleV6) -> u32 {
-    let mut input = [0u8; 36];
-    input[0..16].copy_from_slice(&tuple.src_addr);
-    input[16..32].copy_from_slice(&tuple.dst_addr);
-    input[32..34].copy_from_slice(&tuple.src_port.to_be_bytes());
-    input[34..36].copy_from_slice(&tuple.dst_port.to_be_bytes());
-    toeplitz_hash(key, &input)
+    toeplitz_hash(key, &v6_tuple_input(tuple))
+}
+
+/// A byte-at-a-time Toeplitz evaluator: for every input byte position and
+/// byte value, the 32-bit XOR contribution is precomputed, so hashing is
+/// one table load and one XOR per input byte instead of eight
+/// test-and-shift steps. This is how software RSS implementations (DPDK's
+/// `rte_thash`, for one) make the hash cheap enough for a per-packet hot
+/// path; the table costs 36 KiB per key and is built once at config time.
+///
+/// Produces bit-identical results to [`toeplitz_hash`], which stays as
+/// the executable specification (asserted against the published
+/// verification vectors and by the equivalence proptests).
+#[derive(Clone)]
+pub struct ToeplitzLut {
+    key: RssKey,
+    /// `table[pos][b]` = XOR contribution of byte value `b` at input
+    /// byte position `pos`.
+    table: Box<[[u32; 256]; MAX_INPUT_LEN]>,
+}
+
+impl ToeplitzLut {
+    /// Precompute the per-position contribution tables for `key`.
+    pub fn new(key: RssKey) -> Self {
+        let mut table = Box::new([[0u32; 256]; MAX_INPUT_LEN]);
+        // Slide the 32-bit key window bit by bit, exactly as the
+        // reference does, capturing the window at each of the 8 bit
+        // offsets within every byte position.
+        let mut window = u32::from_be_bytes([key.0[0], key.0[1], key.0[2], key.0[3]]);
+        let mut next_key_bit = 32usize;
+        for row in table.iter_mut() {
+            let mut bit_windows = [0u32; 8];
+            for bw in bit_windows.iter_mut() {
+                *bw = window;
+                let incoming = (key.0[next_key_bit / 8] >> (7 - next_key_bit % 8)) & 1;
+                window = (window << 1) | u32::from(incoming);
+                next_key_bit += 1;
+            }
+            // A byte's contribution is the XOR of the windows its set
+            // bits select (XOR is linear, so all 256 values follow from
+            // the 8 single-bit windows).
+            for (value, slot) in row.iter_mut().enumerate().skip(1) {
+                let mut h = 0u32;
+                for (bit, bw) in bit_windows.iter().enumerate() {
+                    if value & (0x80 >> bit) != 0 {
+                        h ^= bw;
+                    }
+                }
+                *slot = h;
+            }
+        }
+        ToeplitzLut { key, table }
+    }
+
+    /// The key the table was built from.
+    pub fn key(&self) -> &RssKey {
+        &self.key
+    }
+
+    /// Hash `data` — one table row per input byte, XOR-folded.
+    pub fn hash(&self, data: &[u8]) -> u32 {
+        assert!(
+            data.len() <= MAX_INPUT_LEN,
+            "input of {} bytes exceeds the {MAX_INPUT_LEN}-byte table",
+            data.len()
+        );
+        let mut h = 0u32;
+        for (row, &b) in self.table.iter().zip(data) {
+            h ^= row[usize::from(b)];
+        }
+        h
+    }
+
+    /// LUT counterpart of [`hash_v4_tuple`].
+    pub fn hash_v4_tuple(&self, tuple: &FiveTuple) -> u32 {
+        self.hash(&v4_tuple_input(tuple))
+    }
+
+    /// LUT counterpart of [`hash_v4_addrs`].
+    pub fn hash_v4_addrs(&self, src: u32, dst: u32) -> u32 {
+        self.hash(&v4_addrs_input(src, dst))
+    }
+
+    /// LUT counterpart of [`hash_v6_tuple`].
+    pub fn hash_v6_tuple(&self, tuple: &FiveTupleV6) -> u32 {
+        self.hash(&v6_tuple_input(tuple))
+    }
+}
+
+impl std::fmt::Debug for ToeplitzLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The 36 KiB table is derived data; show only the key.
+        f.debug_struct("ToeplitzLut")
+            .field("key", &self.key)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +371,49 @@ mod tests {
     #[should_panic(expected = "needs a key")]
     fn oversized_input_panics() {
         let _ = toeplitz_hash(&MICROSOFT_KEY, &[0u8; 37]);
+    }
+
+    #[test]
+    fn lut_reproduces_the_microsoft_vectors() {
+        let lut = ToeplitzLut::new(MICROSOFT_KEY);
+        for &((dst, dport), (src, sport), expected) in MSFT_VECTORS_4TUPLE {
+            let tuple = FiveTuple::tcp(src, sport, dst, dport);
+            assert_eq!(lut.hash_v4_tuple(&tuple), expected);
+        }
+        for &(dst, src, expected) in MSFT_VECTORS_2TUPLE {
+            assert_eq!(lut.hash_v4_addrs(src, dst), expected);
+        }
+    }
+
+    #[test]
+    fn lut_matches_bit_serial_reference_at_every_length() {
+        for key in [MICROSOFT_KEY, SYMMETRIC_KEY] {
+            let lut = ToeplitzLut::new(key);
+            // A deterministic but bit-diverse input stream.
+            let data: Vec<u8> = (0..MAX_INPUT_LEN as u64)
+                .map(|i| (sprayer_net::flow::splitmix64(i) >> 13) as u8)
+                .collect();
+            for len in 0..=MAX_INPUT_LEN {
+                assert_eq!(
+                    lut.hash(&data[..len]),
+                    toeplitz_hash(&key, &data[..len]),
+                    "length {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_reference_for_v6_tuples() {
+        let lut = ToeplitzLut::new(MICROSOFT_KEY);
+        let t = FiveTupleV6::tcp([0x3f; 16], 1766, [0xbe; 16], 2794);
+        assert_eq!(lut.hash_v6_tuple(&t), hash_v6_tuple(&MICROSOFT_KEY, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn lut_oversized_input_panics() {
+        let _ = ToeplitzLut::new(MICROSOFT_KEY).hash(&[0u8; 37]);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
-use sprayer_nic::toeplitz::{hash_v4_tuple, SYMMETRIC_KEY};
+use sprayer_nic::toeplitz::{
+    hash_v4_tuple, toeplitz_hash, RssKey, ToeplitzLut, MAX_INPUT_LEN, SYMMETRIC_KEY,
+};
 use sprayer_nic::{Nic, NicConfig, RssConfig, RxSteering};
 
 fn arb_tcp_tuple() -> impl Strategy<Value = FiveTuple> {
@@ -43,6 +45,28 @@ proptest! {
         let mask = ((1usize << k) - 1) as u16;
         let expect = (p.meta().tcp_checksum.unwrap() & mask) as usize % queues;
         prop_assert_eq!(usize::from(q), expect);
+    }
+
+    /// The precomputed-LUT Toeplitz evaluator is bit-identical to the
+    /// bit-serial reference for arbitrary keys and input lengths.
+    #[test]
+    fn toeplitz_lut_matches_reference(
+        key_bytes in proptest::collection::vec(any::<u8>(), 40),
+        data in proptest::collection::vec(any::<u8>(), 0..=MAX_INPUT_LEN),
+    ) {
+        let mut k = [0u8; 40];
+        k.copy_from_slice(&key_bytes);
+        let key = RssKey(k);
+        let lut = ToeplitzLut::new(key);
+        prop_assert_eq!(lut.hash(&data), toeplitz_hash(&key, &data));
+    }
+
+    /// The hot-path hash in RssConfig (LUT) agrees with the free-function
+    /// reference for every TCP tuple.
+    #[test]
+    fn rss_config_hash_matches_reference(t in arb_tcp_tuple()) {
+        let rss = RssConfig::symmetric(8);
+        prop_assert_eq!(rss.hash(&t), hash_v4_tuple(&SYMMETRIC_KEY, &t));
     }
 
     /// RSS steering is deterministic: same packet, same queue, always.
