@@ -221,6 +221,26 @@ fn bench_obs(c: &mut Criterion) {
     g.bench_function("dataplane_sampling_10k_packets", |b| {
         b.iter(|| run_threaded(ObsConfig::sampling()))
     });
+    // Stage profiling is also per-batch (a handful of clock reads per
+    // batch), so it stays on the vectorized path and inside the ≤5%
+    // budget — `tests/obs_overhead.rs` enforces the budget as a test.
+    g.bench_function("dataplane_profiling_10k_packets", |b| {
+        b.iter(|| run_threaded(ObsConfig::profiling()))
+    });
+    // Profiling + health bus + sampling together: everything the online
+    // health plane adds that does NOT force the scalar path. The
+    // reorder sketch is excluded here because it is per-packet and
+    // (like tracing) forces scalar processing; its toggle rides the
+    // tracing entry's budget.
+    g.bench_function("dataplane_health_10k_packets", |b| {
+        b.iter(|| {
+            run_threaded(ObsConfig {
+                health: true,
+                sample: true,
+                ..ObsConfig::profiling()
+            })
+        })
+    });
     let run_sim = |obs: ObsConfig| {
         let mut config = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Sprayer, 1_000);
         config.obs = obs;
@@ -255,6 +275,9 @@ fn bench_obs(c: &mut Criterion) {
     });
     g.bench_function("sim_tracing_10k_packets", |b| {
         b.iter(|| run_sim(ObsConfig::tracing()))
+    });
+    g.bench_function("sim_health_plane_10k_packets", |b| {
+        b.iter(|| run_sim(ObsConfig::health_plane()))
     });
     g.finish();
 }

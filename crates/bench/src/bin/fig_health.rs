@@ -1,0 +1,173 @@
+//! Health-plane figure: what the online observability stack sees while
+//! Sprayer and RSS ride through the same fault + reconfiguration window.
+//!
+//! The chaos workload (adversarial bursts, a mid-run core crash, the
+//! watchdog's unplanned rescale over the survivors) runs under both
+//! dispatch modes with the full health plane on: per-stage time
+//! attribution, the streaming reordering-depth sketch, the typed
+//! health-event bus, and the SLO evaluator. The binary prints the
+//! flame-style stage breakdown and the live reorder-depth histogram per
+//! mode, and hard-asserts the plane's own correctness claims:
+//!
+//! * the injected crash raises a critical `worker_death` alert in both
+//!   modes, and the unplanned rescale lands on the bus as a
+//!   `reconfig_phase` lifecycle event;
+//! * the online sketch's reordered-completion count equals the offline
+//!   Fenwick analyzer's over the same trace — exactly, the simulator is
+//!   deterministic (Sprayer reorders, RSS does not);
+//! * every busy cycle is attributed to exactly one pipeline stage.
+//!
+//! Emits `results/fig_health_telemetry.json`
+//! (`fig_health_quick_telemetry.json` under `--quick`); each mode's
+//! datapoint carries the `profile_*`, `reorder_*`, and `health_*`
+//! metric sets the bench gate diffs against the committed baselines
+//! (alert counts at zero slack, the NF stage share at 10%).
+
+use sprayer::config::DispatchMode;
+use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::scenarios::health::{run, HealthConfig};
+use sprayer_obs::{export_health_telemetry, MetricsRegistry, Severity, Stage};
+use sprayer_sim::Time;
+
+fn mode_name(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::Rss => "rss",
+        DispatchMode::Sprayer => "sprayer",
+    }
+}
+
+/// Text rendering of the reorder-depth histogram: one row per occupied
+/// log-linear bucket, bar length proportional to the count.
+fn depth_histogram(r: &sprayer_obs::ReorderReport) -> String {
+    use std::fmt::Write as _;
+    let buckets = r.depth_hist.nonzero_buckets();
+    let peak = buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    let mut out = String::new();
+    for (depth, n) in buckets {
+        let bar = ((n * 40).div_ceil(peak)) as usize;
+        let _ = writeln!(out, "  depth {depth:>5}  {n:>8}  {}", "#".repeat(bar));
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (flows, duration) = if quick {
+        (64, Time::from_ms(18))
+    } else {
+        (256, Time::from_ms(60))
+    };
+
+    println!("== fig_health: online health plane through fault + rescale, Sprayer vs RSS ==\n");
+    let mut table = Table::new(vec![
+        "mode",
+        "classify%",
+        "redirect%",
+        "nf%",
+        "tx%",
+        "reordered",
+        "offline",
+        "depth p99",
+        "alerts",
+        "critical",
+    ]);
+    let mut telemetry: Vec<String> = Vec::new();
+    let mut details = String::new();
+    for mode in [DispatchMode::Sprayer, DispatchMode::Rss] {
+        let r = run(&HealthConfig::paper(mode, flows, duration, 1));
+
+        // Hard gates: the plane must see the fault it was pointed at.
+        assert_eq!(r.recoveries.len(), 1, "{mode}: the crash must be detected");
+        assert_eq!(r.stats.unaccounted(), 0, "{mode}: {:?}", r.stats);
+        let death = r
+            .alert("worker_death")
+            .unwrap_or_else(|| panic!("{mode}: the injected crash must raise an alert"));
+        assert_eq!(death.severity, Severity::Critical, "{mode}");
+        let counts = r.health.counts();
+        assert!(
+            counts.get("reconfig_phase").copied().unwrap_or(0) >= 1,
+            "{mode}: the unplanned rescale must land on the bus"
+        );
+        // Cross-validation: streaming sketch vs offline Fenwick
+        // analyzer over the same completions — exact in the simulator.
+        assert_eq!(
+            r.reorder.reordered, r.offline_reordered,
+            "{mode}: online and offline reordered counts must agree"
+        );
+        match mode {
+            DispatchMode::Sprayer => assert!(r.reorder.reordered > 0, "spraying reorders"),
+            DispatchMode::Rss => assert_eq!(r.reorder.reordered, 0, "per-flow RSS keeps order"),
+        }
+        // Attribution completeness: stage ticks are a partition of the
+        // busy time, nothing double-counted or dropped.
+        let busy: u64 = r.stats.per_core.iter().map(|c| c.busy_cycles).sum();
+        assert_eq!(r.profile.total_ticks(), busy, "{mode}: attribution leak");
+
+        let pct = |s: Stage| fmt_f(r.profile.share(s) * 100.0, 1);
+        table.row(vec![
+            mode_name(mode).to_string(),
+            pct(Stage::Classify),
+            pct(Stage::Redirect),
+            pct(Stage::Nf),
+            pct(Stage::Tx),
+            r.reorder.reordered.to_string(),
+            r.offline_reordered.to_string(),
+            r.reorder.depth_hist.p99().unwrap_or(0).to_string(),
+            r.alerts.len().to_string(),
+            r.alerts
+                .iter()
+                .filter(|a| a.severity == Severity::Critical)
+                .count()
+                .to_string(),
+        ]);
+
+        use std::fmt::Write as _;
+        let _ = writeln!(details, "{mode}: reorder depth histogram (live sketch):");
+        details.push_str(&depth_histogram(&r.reorder));
+        for a in &r.alerts {
+            let _ = writeln!(
+                details,
+                "{mode}: alert [{}] {} x{}: {}",
+                a.severity.as_str(),
+                a.rule,
+                a.count,
+                a.detail
+            );
+        }
+        details.push('\n');
+
+        let mut reg = MetricsRegistry::new();
+        reg.set_str("mode", mode_name(mode));
+        reg.set_u64("flows", flows as u64);
+        reg.set_f64("offered_pps", r.offered_pps);
+        reg.set_f64("processed_pps", r.processed_pps);
+        reg.set_u64("adversarial_injected", r.injected);
+        r.profile.export(&mut reg);
+        r.reorder.export(&mut reg);
+        reg.set_u64("reorder_offline_reordered", r.offline_reordered);
+        reg.set_u64("reorder_offline_max_depth", r.offline_max_depth);
+        export_health_telemetry(&mut reg, &r.health, &r.alerts);
+        reg.set_raw_json("samples", r.samples.to_json());
+        reg.set_raw_json("telemetry", r.stats.to_json());
+        telemetry.push(reg.to_json());
+    }
+    println!("{}", table.render());
+    table.save_csv("fig_health");
+    print!("{details}");
+
+    let mut reg = MetricsRegistry::new();
+    reg.set_str("figure", "health");
+    reg.set_str("variant", if quick { "quick" } else { "full" });
+    reg.set_raw_json("datapoints", json_array(&telemetry));
+    let name = if quick {
+        "fig_health_quick_telemetry"
+    } else {
+        "fig_health_telemetry"
+    };
+    save_json(name, &reg.to_json());
+    println!(
+        "paper shape: the health plane watches spraying pay for its balance in\n\
+         reordering (online sketch == offline analyzer) while both modes raise\n\
+         the same critical alert for the injected crash."
+    );
+}

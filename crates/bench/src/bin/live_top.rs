@@ -6,11 +6,12 @@
 //! point) while its workers publish batch deltas into a shared
 //! lock-free [`LiveSlots`]; the main thread refreshes a per-core table
 //! from snapshot diffs — throughput, drops, redirects, utilization, and
-//! the instantaneous Jain's fairness index across cores.
+//! the instantaneous Jain's fairness index across cores. Frame layout
+//! lives in [`sprayer_bench::livetop`] so it is unit-tested.
 //!
 //! ```text
 //! live_top [--secs N] [--refresh-ms N] [--workers N] [--cycles N]
-//!          [--mode rss|sprayer] [--elastic] [--plain]
+//!          [--mode rss|sprayer] [--elastic] [--health] [--plain]
 //! ```
 //!
 //! `--elastic` drives each iteration through an online scale-up and
@@ -20,16 +21,22 @@
 //! and rows for cores outside the active set disappear once they drain
 //! — a removed core never lingers as a stale zero row.
 //!
+//! `--health` turns the health plane on: workers attribute busy time to
+//! pipeline stages into shared [`ProfileSlots`] (a per-window stage
+//! breakdown line joins the frame) and each iteration's health events
+//! are run through the SLO evaluator, surfacing recent alerts at the
+//! bottom of the frame.
+//!
 //! `--plain` (or a non-TTY stdout) prints frames sequentially instead
 //! of redrawing in place — usable in CI logs.
 
-use sprayer::config::DispatchMode;
+use sprayer::config::{DispatchMode, ObsConfig};
 use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
-use sprayer::ReconfigReport;
+use sprayer_bench::livetop::{jain, render, ElasticStatus, Frame};
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
-use sprayer_obs::{LiveCore, LiveSlots};
+use sprayer_obs::{evaluate, Alert, LiveSlots, ProfileSlots, SloRules};
 use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,16 +49,8 @@ struct Args {
     cycles: u64,
     mode: DispatchMode,
     elastic: bool,
+    health: bool,
     plain: bool,
-}
-
-/// What the elastic driver publishes for the dashboard: the steady-state
-/// (low) core count, whether a scaling plan is mid-flight, and the most
-/// recent transition reports.
-#[derive(Default)]
-struct ElasticStatus {
-    in_progress: AtomicBool,
-    events: Mutex<Vec<ReconfigReport>>,
 }
 
 fn parse_args() -> Args {
@@ -62,6 +61,7 @@ fn parse_args() -> Args {
         cycles: 2_500,
         mode: DispatchMode::Sprayer,
         elastic: false,
+        health: false,
         plain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -80,12 +80,13 @@ fn parse_args() -> Args {
                 }
             }
             "--elastic" => args.elastic = true,
+            "--health" => args.health = true,
             "--plain" => args.plain = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
-                     [--cycles N] [--mode rss|sprayer] [--elastic] [--plain]"
+                     [--cycles N] [--mode rss|sprayer] [--elastic] [--health] [--plain]"
                 );
                 std::process::exit(1);
             }
@@ -109,101 +110,6 @@ fn phases(burst: u32, round: u64) -> Vec<Vec<Packet>> {
     ]
 }
 
-fn jain(xs: &[f64]) -> f64 {
-    let sum: f64 = xs.iter().sum();
-    let sq: f64 = xs.iter().map(|x| x * x).sum();
-    if sq <= 0.0 {
-        return 1.0;
-    }
-    sum * sum / (xs.len() as f64 * sq)
-}
-
-/// Render one frame. `elastic` is `Some((low_workers, status))` when the
-/// driver is running scaling plans: rows for cores outside the
-/// steady-state set are shown only while they still move packets (a
-/// removed core drains, then its row disappears), and a reconfiguration
-/// footer lists the latest transitions.
-fn render(
-    prev: &[LiveCore],
-    cur: &[LiveCore],
-    dt: f64,
-    runs: u64,
-    elapsed: f64,
-    elastic: Option<(usize, &ElasticStatus)>,
-) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>4}  {:>10}  {:>10}  {:>8}  {:>9}  {:>9}  {:>6}  {:>6}",
-        "core", "pkts/s", "fwd/s", "drops/s", "redir-in", "redir-out", "util%", "queue"
-    );
-    let _ = writeln!(out, "{}", "-".repeat(76));
-    let mut rates = Vec::new();
-    for (i, (c, p)) in cur.iter().zip(prev).enumerate() {
-        let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / dt;
-        let pps = rate(c.processed, p.processed);
-        let active = rate(c.busy_ns, p.busy_ns) > 0.0
-            || pps > 0.0
-            || rate(c.redirected_in, p.redirected_in) > 0.0
-            || c.queue_depth > 0;
-        if let Some((low, _)) = elastic {
-            // A core outside the steady-state set only earns a row while
-            // it is still doing work — no stale zero rows after a leave.
-            if i >= low && !active {
-                continue;
-            }
-        }
-        rates.push(pps);
-        let util = rate(c.busy_ns, p.busy_ns) / 1e9 * 100.0;
-        let joined = elastic.is_some_and(|(low, _)| i >= low);
-        let _ = writeln!(
-            out,
-            "{i:>4}  {pps:>10.0}  {:>10.0}  {:>8.0}  {:>9.0}  {:>9.0}  {util:>6.1}  {:>6}{}",
-            rate(c.forwarded, p.forwarded),
-            rate(c.nf_drops, p.nf_drops) + rate(c.drops, p.drops),
-            rate(c.redirected_in, p.redirected_in),
-            rate(c.redirected_out, p.redirected_out),
-            c.queue_depth,
-            if joined { "  +join" } else { "" },
-        );
-    }
-    let total: f64 = rates.iter().sum();
-    let _ = writeln!(out, "{}", "-".repeat(76));
-    let _ = writeln!(
-        out,
-        "total {:.2} Mpps | Jain {:.3} | {} runs | {:.1}s elapsed",
-        total / 1e6,
-        jain(&rates),
-        runs,
-        elapsed,
-    );
-    if let Some((_, status)) = elastic {
-        let events = status.events.lock().expect("status lock");
-        for r in events.iter().rev().take(3) {
-            let delta = r.to_cores as i64 - r.from_cores as i64;
-            let _ = writeln!(
-                out,
-                "reconfig epoch {}: {} -> {} cores ({} {}), {} flows migrated, {:.1} us downtime",
-                r.epoch,
-                r.from_cores,
-                r.to_cores,
-                delta.abs(),
-                if delta >= 0 { "joined" } else { "left" },
-                r.migrated_flows,
-                r.downtime_ns as f64 / 1e3,
-            );
-        }
-        if status.in_progress.load(Ordering::Relaxed) {
-            let _ = writeln!(
-                out,
-                "reconfig: scaling plan in progress (migration underway)"
-            );
-        }
-    }
-    out
-}
-
 fn main() {
     let args = parse_args();
     // Elastic runs scale to twice the steady-state worker count; the
@@ -213,21 +119,33 @@ fn main() {
     let live = Arc::new(LiveSlots::new(slots));
     let mut config = ThreadedConfig::new(args.mode, args.workers);
     config.live = Some(live.clone());
+    let profile = args.health.then(|| Arc::new(ProfileSlots::new(slots)));
+    if args.health {
+        config.obs = ObsConfig {
+            profile: true,
+            health: true,
+            ..ObsConfig::disabled()
+        };
+        config.profile_live = profile.clone();
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let runs = Arc::new(AtomicU64::new(0));
     let status = Arc::new(ElasticStatus::default());
+    let alerts: Arc<Mutex<Vec<Alert>>> = Arc::new(Mutex::new(Vec::new()));
     let driver = {
         let stop = stop.clone();
         let runs = runs.clone();
         let status = status.clone();
+        let alerts = alerts.clone();
         let cycles = args.cycles;
         let (low, elastic) = (args.workers, args.elastic);
         std::thread::spawn(move || {
             let nf = SyntheticNf::spinning(cycles);
+            let rules = SloRules::default();
             let mut round = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                if elastic {
+                let out = if elastic {
                     // One scale-up + scale-down cycle per iteration:
                     // low workers for the SYN, 2x for the first burst,
                     // back to low for the second.
@@ -241,14 +159,23 @@ fn main() {
                     status.in_progress.store(true, Ordering::Relaxed);
                     let out = ThreadedMiddlebox::run_elastic(&config, &nf, plan);
                     status.in_progress.store(false, Ordering::Relaxed);
-                    assert_eq!(out.stats.unaccounted(), 0);
                     let mut events = status.events.lock().expect("status lock");
-                    events.extend(out.reconfigs);
+                    events.extend(out.reconfigs.iter().cloned());
                     let overflow = events.len().saturating_sub(8);
                     events.drain(..overflow);
+                    out
                 } else {
-                    let out = ThreadedMiddlebox::run(&config, &nf, phases(20_000, round));
-                    assert_eq!(out.stats.unaccounted(), 0);
+                    ThreadedMiddlebox::run(&config, &nf, phases(20_000, round))
+                };
+                assert_eq!(out.stats.unaccounted(), 0);
+                if let Some(health) = &out.health {
+                    let fresh = evaluate(&rules, health, None, None);
+                    if !fresh.is_empty() {
+                        let mut held = alerts.lock().expect("alerts lock");
+                        held.extend(fresh);
+                        let overflow = held.len().saturating_sub(8);
+                        held.drain(..overflow);
+                    }
                 }
                 round += 1;
                 runs.fetch_add(1, Ordering::Relaxed);
@@ -258,12 +185,17 @@ fn main() {
 
     let plain = args.plain || !std::io::stdout().is_terminal();
     println!(
-        "live_top: {} workers{}, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
+        "live_top: {} workers{}{}, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
         args.workers,
         if args.elastic {
             format!(" (elastic, scaling to {high})")
         } else {
             String::new()
+        },
+        if args.health {
+            " (health plane on)"
+        } else {
+            ""
         },
         args.mode,
         args.cycles,
@@ -272,21 +204,26 @@ fn main() {
     );
     let start = Instant::now();
     let mut prev = live.snapshot();
+    let mut prev_stages = profile.as_ref().map(|p| p.snapshot());
     let mut prev_at = start;
     let mut frame_lines = 0usize;
     while start.elapsed().as_secs_f64() < args.secs {
         std::thread::sleep(Duration::from_millis(args.refresh_ms));
         let cur = live.snapshot();
+        let cur_stages = profile.as_ref().map(|p| p.snapshot());
         let now = Instant::now();
         let dt = now.duration_since(prev_at).as_secs_f64().max(1e-9);
-        let frame = render(
-            &prev,
-            &cur,
+        let held_alerts = alerts.lock().expect("alerts lock").clone();
+        let frame = render(&Frame {
+            prev: &prev,
+            cur: &cur,
             dt,
-            runs.load(Ordering::Relaxed),
-            start.elapsed().as_secs_f64(),
-            args.elastic.then_some((args.workers, status.as_ref())),
-        );
+            runs: runs.load(Ordering::Relaxed),
+            elapsed: start.elapsed().as_secs_f64(),
+            elastic: args.elastic.then_some((args.workers, status.as_ref())),
+            stages: prev_stages.as_deref().zip(cur_stages.as_deref()),
+            alerts: &held_alerts,
+        });
         if !plain && frame_lines > 0 {
             // Move the cursor back up over the previous frame and clear
             // it: elastic frames shrink when a removed core's row
@@ -296,6 +233,7 @@ fn main() {
         print!("{frame}");
         frame_lines = frame.lines().count();
         prev = cur;
+        prev_stages = cur_stages;
         prev_at = now;
     }
 

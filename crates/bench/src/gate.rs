@@ -107,6 +107,18 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
             rule(Direction::LowerIsBetter, 0.10, 1_000.0)
         }
         "fault_detection_latency_ns_max" => rule(Direction::LowerIsBetter, 0.10, 1_000.0),
+        // Health plane (fig_health): alert counts are deterministic in
+        // the simulator — zero slack keeps "the same faults raise the
+        // same alerts, and healthy runs raise none" an enforced
+        // invariant. The companion `health_events_*` counts and the raw
+        // event/alert records stay context.
+        "health_alerts_total" => rule(Direction::LowerIsBetter, 0.0, 0.0),
+        // Stage attribution: the NF body must keep dominating the
+        // profiled time — a >10% relative drop in its share means
+        // framework overhead (classify/redirect/tx) crept into the hot
+        // path. The other stage shares are context (they trade off
+        // against each other).
+        "profile_nf_share" => rule(Direction::HigherIsBetter, 0.10, 0.0),
         // Hot-path smoke (hotpath_smoke): wall-clock ns/packet, the one
         // gated metric that is NOT simulator-deterministic. The slack is
         // deliberately huge — 100% relative plus 30 ns absolute — so
@@ -372,6 +384,8 @@ mod tests {
             "fault_packets_lost_total",
             "fault_malformed_drops_total",
             "ns_per_packet",
+            "health_alerts_total",
+            "profile_nf_share",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
@@ -396,6 +410,20 @@ mod tests {
             "detection_latency_ns",
             "jain_floor_under_attack",
             "adversarial_injected",
+            // Health-plane companions: event totals and per-kind counts
+            // vary with obs coverage, not dataplane quality; only the
+            // evaluated alert count gates. The non-NF stage shares trade
+            // off against each other — only the NF share gates.
+            "health_events_total",
+            "health_events_dropped",
+            "health_alerts_critical",
+            "profile_classify_share",
+            "profile_redirect_share",
+            "profile_tx_share",
+            "profile_nf_ticks",
+            "reorder_completions",
+            "reorder_reordered",
+            "reorder_depth_p99",
         ] {
             assert!(rule_for(context).is_none(), "{context}");
         }

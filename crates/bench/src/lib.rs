@@ -12,6 +12,8 @@
 //! * [`scenarios::latency`] — open-loop Poisson load for p99 RTT
 //!   (Fig. 8);
 //! * [`report`] — aligned table / CSV output;
+//! * [`livetop`] — frame rendering for the `live_top` dashboard
+//!   (per-core rates, elastic footer, stage breakdown, SLO alerts);
 //! * [`gate`] — the benchmark regression gate: diffs fresh telemetry
 //!   documents against the committed baselines in `results/baselines/`
 //!   (driven by the `bench_gate` binary and the `bench-gate` CI job).
@@ -23,5 +25,6 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod livetop;
 pub mod report;
 pub mod scenarios;

@@ -1,0 +1,315 @@
+//! Frame rendering for the `live_top` dashboard, extracted from the
+//! binary so the layout logic is unit-testable.
+//!
+//! One [`Frame`] is a pair of [`LiveCore`] snapshots (previous and
+//! current poll) plus the optional panes: the elastic reconfiguration
+//! footer, the per-stage time breakdown (diffed from
+//! [`sprayer_obs::ProfileSlots`] snapshots), and the most recent SLO
+//! alerts. [`render`] turns it into the text block the binary either
+//! redraws in place or appends to a CI log.
+
+use sprayer::ReconfigReport;
+use sprayer_obs::{Alert, LiveCore, Stage, STAGE_COUNT};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What the elastic driver publishes for the dashboard: whether a
+/// scaling plan is mid-flight and the most recent transition reports.
+#[derive(Default)]
+pub struct ElasticStatus {
+    /// A scaling plan is currently executing.
+    pub in_progress: AtomicBool,
+    /// Recent reconfiguration reports, oldest first.
+    pub events: Mutex<Vec<ReconfigReport>>,
+}
+
+/// Jain's fairness index over per-core rates.
+pub fn jain(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// A per-core × per-stage tick matrix, as returned by
+/// [`sprayer_obs::ProfileSlots::snapshot`].
+pub type StageMatrix = [[u64; STAGE_COUNT]];
+
+/// One dashboard frame's inputs.
+pub struct Frame<'a> {
+    /// Per-core counters at the previous poll.
+    pub prev: &'a [LiveCore],
+    /// Per-core counters now.
+    pub cur: &'a [LiveCore],
+    /// Seconds between the two snapshots.
+    pub dt: f64,
+    /// Completed driver iterations.
+    pub runs: u64,
+    /// Seconds since the dashboard started.
+    pub elapsed: f64,
+    /// `Some((steady_state_workers, status))` when the driver runs
+    /// scaling plans: rows for cores outside the steady-state set are
+    /// shown only while they still move packets, and a reconfiguration
+    /// footer lists the latest transitions.
+    pub elastic: Option<(usize, &'a ElasticStatus)>,
+    /// Per-stage tick matrices (previous and current
+    /// [`sprayer_obs::ProfileSlots::snapshot`]) for the stage pane.
+    pub stages: Option<(&'a StageMatrix, &'a StageMatrix)>,
+    /// Most recent SLO alerts, oldest first.
+    pub alerts: &'a [Alert],
+}
+
+/// Render one frame.
+pub fn render(f: &Frame) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>10}  {:>10}  {:>8}  {:>9}  {:>9}  {:>6}  {:>6}",
+        "core", "pkts/s", "fwd/s", "drops/s", "redir-in", "redir-out", "util%", "queue"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    let mut rates = Vec::new();
+    for (i, (c, p)) in f.cur.iter().zip(f.prev).enumerate() {
+        let rate = |a: u64, b: u64| (a.saturating_sub(b)) as f64 / f.dt;
+        let pps = rate(c.processed, p.processed);
+        let active = rate(c.busy_ns, p.busy_ns) > 0.0
+            || pps > 0.0
+            || rate(c.redirected_in, p.redirected_in) > 0.0
+            || c.queue_depth > 0;
+        if let Some((low, _)) = f.elastic {
+            // A core outside the steady-state set only earns a row while
+            // it is still doing work — no stale zero rows after a leave.
+            if i >= low && !active {
+                continue;
+            }
+        }
+        rates.push(pps);
+        let util = rate(c.busy_ns, p.busy_ns) / 1e9 * 100.0;
+        let joined = f.elastic.is_some_and(|(low, _)| i >= low);
+        let _ = writeln!(
+            out,
+            "{i:>4}  {pps:>10.0}  {:>10.0}  {:>8.0}  {:>9.0}  {:>9.0}  {util:>6.1}  {:>6}{}",
+            rate(c.forwarded, p.forwarded),
+            rate(c.nf_drops, p.nf_drops) + rate(c.drops, p.drops),
+            rate(c.redirected_in, p.redirected_in),
+            rate(c.redirected_out, p.redirected_out),
+            c.queue_depth,
+            if joined { "  +join" } else { "" },
+        );
+    }
+    let total: f64 = rates.iter().sum();
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    let _ = writeln!(
+        out,
+        "total {:.2} Mpps | Jain {:.3} | {} runs | {:.1}s elapsed",
+        total / 1e6,
+        jain(&rates),
+        f.runs,
+        f.elapsed,
+    );
+    if let Some((prev, cur)) = f.stages {
+        out.push_str(&stage_line(prev, cur));
+    }
+    if let Some((_, status)) = f.elastic {
+        let events = status.events.lock().expect("status lock");
+        for r in events.iter().rev().take(3) {
+            let delta = r.to_cores as i64 - r.from_cores as i64;
+            let _ = writeln!(
+                out,
+                "reconfig epoch {}: {} -> {} cores ({} {}), {} flows migrated, {:.1} us downtime",
+                r.epoch,
+                r.from_cores,
+                r.to_cores,
+                delta.abs(),
+                if delta >= 0 { "joined" } else { "left" },
+                r.migrated_flows,
+                r.downtime_ns as f64 / 1e3,
+            );
+        }
+        if status.in_progress.load(Ordering::Relaxed) {
+            let _ = writeln!(
+                out,
+                "reconfig: scaling plan in progress (migration underway)"
+            );
+        }
+    }
+    for a in f.alerts.iter().rev().take(4) {
+        let _ = writeln!(
+            out,
+            "ALERT [{}] {} x{}: {}",
+            a.severity.as_str(),
+            a.rule,
+            a.count,
+            a.detail
+        );
+    }
+    out
+}
+
+/// The stage-breakdown pane: each stage's share of the busy time
+/// attributed during this poll window, summed across cores.
+fn stage_line(prev: &[[u64; STAGE_COUNT]], cur: &[[u64; STAGE_COUNT]]) -> String {
+    use std::fmt::Write as _;
+    let mut delta = [0u64; STAGE_COUNT];
+    for (c, p) in cur.iter().zip(prev) {
+        for (d, (a, b)) in delta.iter_mut().zip(c.iter().zip(p)) {
+            *d += a.saturating_sub(*b);
+        }
+    }
+    let total: u64 = delta.iter().sum();
+    let mut out = String::from("stages:");
+    for stage in Stage::ALL {
+        let share = if total == 0 {
+            0.0
+        } else {
+            delta[stage.index()] as f64 / total as f64 * 100.0
+        };
+        let _ = write!(out, " {} {share:.1}%", stage.as_str());
+        if stage.index() + 1 < STAGE_COUNT {
+            out.push_str(" |");
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer_obs::Severity;
+
+    fn core(processed: u64, busy_ns: u64) -> LiveCore {
+        LiveCore {
+            processed,
+            forwarded: processed,
+            nf_drops: 0,
+            drops: 0,
+            redirected_in: 0,
+            redirected_out: 0,
+            busy_ns,
+            queue_depth: 0,
+        }
+    }
+
+    fn frame<'a>(prev: &'a [LiveCore], cur: &'a [LiveCore]) -> Frame<'a> {
+        Frame {
+            prev,
+            cur,
+            dt: 1.0,
+            runs: 3,
+            elapsed: 2.5,
+            elastic: None,
+            stages: None,
+            alerts: &[],
+        }
+    }
+
+    #[test]
+    fn every_core_gets_a_rate_row() {
+        let prev = vec![core(0, 0), core(100, 0)];
+        let cur = vec![core(1_000, 500_000_000), core(2_100, 0)];
+        let out = render(&frame(&prev, &cur));
+        let rows: Vec<&str> = out.lines().collect();
+        // Header, rule, two core rows, rule, totals.
+        assert!(rows[2].trim_start().starts_with("0"), "{out}");
+        assert!(rows[2].contains("1000"), "core 0 pps: {out}");
+        assert!(rows[2].contains("50.0"), "core 0 util from busy_ns: {out}");
+        assert!(rows[3].trim_start().starts_with("1"), "{out}");
+        assert!(rows[3].contains("2000"), "core 1 pps: {out}");
+        assert!(out.contains("3 runs"), "{out}");
+    }
+
+    #[test]
+    fn elastic_frames_drop_drained_joined_cores_and_shrink() {
+        let status = ElasticStatus::default();
+        status.events.lock().unwrap().push(ReconfigReport {
+            epoch: 2,
+            mode: sprayer::config::DispatchMode::Sprayer,
+            from_cores: 2,
+            to_cores: 4,
+            migrated_flows: 0,
+            retained_flows: 1,
+            migrated_packets: 0,
+            downtime_ns: 1_500,
+            at_ns: 0,
+        });
+        let prev = vec![core(0, 0), core(0, 0), core(50, 0), core(0, 0)];
+        // Core 2 (outside the steady-state set of 2) is still draining;
+        // core 3 has gone idle and must lose its row.
+        let cur = vec![core(10, 0), core(10, 0), core(60, 0), core(0, 0)];
+        let mut f = frame(&prev, &cur);
+        f.elastic = Some((2, &status));
+        let busy = render(&f);
+        assert!(
+            busy.contains("+join"),
+            "draining joined core tagged: {busy}"
+        );
+        assert!(
+            !busy.lines().any(|l| l.trim_start().starts_with("3 ")),
+            "idle joined core earns no row: {busy}"
+        );
+        assert!(busy.contains("reconfig epoch 2: 2 -> 4 cores (2 joined)"));
+
+        // Once the joined cores drain completely the frame shrinks.
+        let settled = vec![core(10, 0), core(10, 0), core(60, 0), core(0, 0)];
+        let mut f2 = frame(&cur, &settled);
+        f2.elastic = Some((2, &status));
+        let quiet = render(&f2);
+        assert!(
+            quiet.lines().count() < busy.lines().count(),
+            "drained rows disappear: {busy} vs {quiet}"
+        );
+    }
+
+    #[test]
+    fn stage_pane_shows_window_shares_from_slot_deltas() {
+        let prev = vec![[0, 0, 0, 0], [100, 0, 0, 0]];
+        let cur = vec![[100, 0, 300, 0], [200, 0, 500, 100]];
+        let p = vec![core(0, 0)];
+        let c = vec![core(1, 0)];
+        let mut f = frame(&p, &c);
+        f.stages = Some((&prev, &cur));
+        let out = render(&f);
+        // Deltas: classify 200, redirect 0, nf 800, tx 100 -> 1100 total.
+        assert!(
+            out.contains("stages: classify 18.2% | redirect 0.0% | nf 72.7% | tx 9.1%"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn alerts_pane_lists_recent_alerts_newest_first() {
+        let alerts = vec![
+            Alert {
+                rule: "queue_high_water",
+                severity: Severity::Warning,
+                count: 3,
+                first_ts: 0,
+                last_ts: 9,
+                detail: "core 0 queue 384/512".into(),
+            },
+            Alert {
+                rule: "worker_death",
+                severity: Severity::Critical,
+                count: 1,
+                first_ts: 10,
+                last_ts: 10,
+                detail: "core 1: boom".into(),
+            },
+        ];
+        let p = vec![core(0, 0)];
+        let c = vec![core(1, 0)];
+        let mut f = frame(&p, &c);
+        f.alerts = &alerts;
+        let out = render(&f);
+        let death = out.find("ALERT [critical] worker_death x1: core 1: boom");
+        let hwm = out.find("ALERT [warning] queue_high_water x3");
+        assert!(
+            death.unwrap() < hwm.unwrap(),
+            "newest alert renders first: {out}"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod chaos;
 pub mod elastic;
+pub mod health;
 pub mod latency;
 pub mod rate;
 pub mod tcp;

@@ -1,0 +1,84 @@
+//! The health plane's overhead budget, enforced as a test.
+//!
+//! The acceptance bound is: with profiling + the health bus + sampling
+//! on (everything the online health plane adds that keeps the
+//! vectorized batch path), the threaded dataplane's wall time over a
+//! fixed workload must stay within 5% of the obs-off time. Per-packet
+//! facilities (tracing, the reorder sketch) force the scalar path and
+//! are budgeted against the scalar baseline by the `obs` criterion
+//! group instead.
+//!
+//! Timing a threaded run in a shared CI container is noisy, so the
+//! comparison is min-of-K (the minimum is the least noisy location
+//! estimator for a lower-bounded timing distribution) with a small
+//! absolute slack on top of the 5% relative budget.
+
+use sprayer::config::{DispatchMode, ObsConfig};
+use sprayer::runtime_threads::{ThreadedConfig, ThreadedMiddlebox};
+use sprayer_net::flow::splitmix64;
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_nf::SyntheticNf;
+use std::time::{Duration, Instant};
+
+fn workload(packets: u32) -> Vec<Vec<Packet>> {
+    let t = FiveTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 443);
+    let mut data = Vec::with_capacity(packets as usize);
+    for i in 0..packets {
+        let payload = splitmix64(u64::from(i)).to_be_bytes();
+        data.push(PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload));
+    }
+    vec![
+        vec![PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"")],
+        data,
+    ]
+}
+
+/// Wall time of one threaded run over the fixed workload.
+fn one_run(obs: ObsConfig, packets: u32) -> Duration {
+    let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+    config.obs = obs;
+    let nf = SyntheticNf::spinning(5_000);
+    let phases = workload(packets);
+    let start = Instant::now();
+    let out = ThreadedMiddlebox::run(&config, &nf, phases);
+    let elapsed = start.elapsed();
+    assert_eq!(out.stats.unaccounted(), 0);
+    assert_eq!(out.stats.processed(), u64::from(packets) + 1);
+    elapsed
+}
+
+fn min_of(k: usize, obs: ObsConfig, packets: u32) -> Duration {
+    (0..k)
+        .map(|_| one_run(obs, packets))
+        .min()
+        .expect("k > 0 runs")
+}
+
+#[test]
+fn health_plane_costs_at_most_five_percent_of_the_batch_dataplane() {
+    let packets = 20_000;
+    let k = 5;
+    // Interleave warmup: one throwaway pair so neither side pays
+    // first-touch costs (thread spawn paths, allocator warmup).
+    let _ = one_run(ObsConfig::disabled(), packets);
+    let plane = ObsConfig {
+        health: true,
+        sample: true,
+        ..ObsConfig::profiling()
+    };
+    assert!(!plane.any(), "the budgeted plane must keep the batch path");
+    let _ = one_run(plane, packets);
+
+    let off = min_of(k, ObsConfig::disabled(), packets);
+    let on = min_of(k, plane, packets);
+
+    // 5% relative plus 3 ms absolute: the workload runs ~50-100 ms, so
+    // the absolute term only matters if a scheduler hiccup survives
+    // min-of-K on both sides.
+    let budget = off.mul_f64(1.05) + Duration::from_millis(3);
+    assert!(
+        on <= budget,
+        "health plane overhead breaks the 5% budget: off {off:?}, on {on:?} \
+         (allowed {budget:?})"
+    );
+}

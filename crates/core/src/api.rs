@@ -343,6 +343,16 @@ pub trait NetworkFunction: Send + Sync {
     /// and before the entry becomes visible in the new table. Default:
     /// no-op.
     fn adopt_flow(&self, _key: &FlowKey, _state: &mut Self::Flow, _new_core: usize) {}
+
+    /// Label the stage profiler tags this NF's runs with (the
+    /// `profile_nf` metric). Defaults to the descriptor name; NFs whose
+    /// cost depends on configuration (e.g. a synthetic busy-loop NF or
+    /// a pattern-count-parameterized DPI) override it to encode the
+    /// variant, so profile documents from different sweeps stay
+    /// distinguishable.
+    fn profile_label(&self) -> String {
+        self.descriptor().name.to_string()
+    }
 }
 
 #[cfg(test)]

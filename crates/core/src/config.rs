@@ -53,6 +53,31 @@ pub struct ObsConfig {
     pub sample_interval_us: u64,
     /// Maximum buckets per core before the series downsamples.
     pub sample_capacity: usize,
+    /// Attribute busy time to pipeline stages (classify / redirect /
+    /// nf / tx) per core, exported as the `profile_*` metric set via
+    /// [`sprayer_obs::StageProfiler`]. Per-*batch* in the threaded
+    /// runtime (a handful of clock reads per batch); exact in the
+    /// simulator (the cycle model already knows each stage's cost).
+    pub profile: bool,
+    /// Emit typed [`sprayer_obs::HealthEvent`]s (queue high-water,
+    /// worker death, watchdog fence, reconfig phases, …) onto a bounded
+    /// MPSC [`sprayer_obs::HealthBus`]. Events are edge-triggered and
+    /// rare; when the bus fills further events are counted and dropped.
+    pub health: bool,
+    /// Capacity of the health-event channel, in events.
+    pub health_capacity: usize,
+    /// Estimate per-flow reordering depth online with a bounded
+    /// [`sprayer_obs::ReorderSketch`]. Per-packet (needs the flow hash
+    /// at completion), so it joins [`ObsConfig::any`] and forces the
+    /// threaded runtime's scalar path, like `trace`/`latency`.
+    pub reorder: bool,
+    /// Sketch window: per-flow count of recently completed ordinals
+    /// kept for depth estimation. Depth estimates are exact while every
+    /// inversion spans fewer than this many completions of the flow.
+    pub reorder_window: usize,
+    /// Maximum flows tracked by the sketch; completions of flows beyond
+    /// the cap are counted as `untracked` rather than growing memory.
+    pub reorder_max_flows: usize,
 }
 
 impl ObsConfig {
@@ -70,6 +95,21 @@ impl ObsConfig {
     /// each downsample).
     pub const DEFAULT_SAMPLE_CAPACITY: usize = 512;
 
+    /// Default health-event channel capacity. Health events are
+    /// edge-triggered (high-water crossings, deaths, reconfig phases),
+    /// so 1 Ki events outlasts any plausible run.
+    pub const DEFAULT_HEALTH_CAPACITY: usize = 1024;
+
+    /// Default reorder-sketch window. Spraying displaces packets by at
+    /// most a few batches' worth of completions in practice; 32 recent
+    /// ordinals per flow keeps the estimate exact for inversions
+    /// spanning < 32 completions at 256 B/flow.
+    pub const DEFAULT_REORDER_WINDOW: usize = 32;
+
+    /// Default reorder-sketch flow cap (4 Ki flows ≈ 1 MiB at the
+    /// default window).
+    pub const DEFAULT_REORDER_MAX_FLOWS: usize = 4096;
+
     /// Everything off — the default.
     pub fn disabled() -> Self {
         ObsConfig {
@@ -79,6 +119,12 @@ impl ObsConfig {
             sample: false,
             sample_interval_us: Self::DEFAULT_SAMPLE_INTERVAL_US,
             sample_capacity: Self::DEFAULT_SAMPLE_CAPACITY,
+            profile: false,
+            health: false,
+            health_capacity: Self::DEFAULT_HEALTH_CAPACITY,
+            reorder: false,
+            reorder_window: Self::DEFAULT_REORDER_WINDOW,
+            reorder_max_flows: Self::DEFAULT_REORDER_MAX_FLOWS,
         }
     }
 
@@ -123,12 +169,36 @@ impl ObsConfig {
         }
     }
 
+    /// Stage profiling only (per-batch busy-time attribution).
+    pub fn profiling() -> Self {
+        ObsConfig {
+            profile: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// The full online health plane: sampling + stage profiling +
+    /// health events + the streaming reorder sketch. This is the
+    /// configuration `fig_health` and `live_top --health` run with.
+    pub fn health_plane() -> Self {
+        ObsConfig {
+            sample: true,
+            profile: true,
+            health: true,
+            reorder: true,
+            ..Self::disabled()
+        }
+    }
+
     /// True if a *per-packet* facility is enabled (per-packet timestamps
-    /// must be taken). Sampling is deliberately excluded: it needs only
-    /// one clock read per batch, which the runtimes gate on
-    /// [`ObsConfig::sample`] directly.
+    /// or flow hashes must be taken). Sampling and stage profiling are
+    /// deliberately excluded: they need only a few clock reads per
+    /// batch, which the runtimes gate on [`ObsConfig::sample`] /
+    /// [`ObsConfig::profile`] directly. Health events are rarer still
+    /// (edge-triggered). The reorder sketch *is* per-packet — it needs
+    /// the flow hash at every NF completion.
     pub fn any(&self) -> bool {
-        self.trace || self.latency
+        self.trace || self.latency || self.reorder
     }
 }
 
@@ -313,6 +383,19 @@ mod tests {
         let pps = c.single_core_pps();
         assert!((pps - 2.0e9 / 10_120.0).abs() < 1.0);
         assert!(pps > 195_000.0 && pps < 200_000.0);
+    }
+
+    #[test]
+    fn only_per_packet_facilities_force_the_scalar_path() {
+        assert!(!ObsConfig::disabled().any());
+        assert!(!ObsConfig::profiling().any());
+        let mut h = ObsConfig::health_plane();
+        assert!(h.any(), "the reorder sketch needs per-packet flow hashes");
+        h.reorder = false;
+        assert!(
+            !h.any(),
+            "sampling/profiling/health alone stay on the batch path"
+        );
     }
 
     #[test]

@@ -72,8 +72,10 @@ use crossbeam::queue::ArrayQueue;
 use sprayer_net::{FlowKey, Packet};
 use sprayer_nic::{Nic, NicConfig};
 use sprayer_obs::{
-    CoreSample, DropKind, EventKind, ExpectedCounts, LatencyProbes, LiveSlots, SampleSet,
-    TimeSeries, Trace, TraceEvent, TraceMeta, TraceRing,
+    health_channel, CoreSample, DropKind, EventKind, ExpectedCounts, HealthBus, HealthEvent,
+    HealthReport, LatencyProbes, LiveSlots, ProfileSlots, ReorderReport, SampleSet,
+    SharedReorderSketch, Stage, StageProfile, StageProfiler, TimeSeries, Trace, TraceEvent,
+    TraceMeta, TraceRing,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,9 +114,12 @@ pub struct ThreadedConfig {
     /// Bounded spin for ingress pushes into a full receive queue before
     /// counting a [`MiddleboxStats::queue_drops`].
     pub ingress_retries: usize,
-    /// Observability switches (tracing, latency histograms, sampling).
-    /// Off by default; zero-cost when off — no clock reads, no flow
-    /// hashing, no event recording.
+    /// Observability switches (tracing, latency histograms, sampling,
+    /// stage profiling, health events, reorder sketching). Off by
+    /// default; near-zero-cost when off — no per-packet clock reads, no
+    /// flow hashing, no event recording. The only always-on measurement
+    /// is the per-*batch* busy-time pair of clock reads that feeds
+    /// [`CoreStats::busy_cycles`].
     pub obs: ObsConfig,
     /// Live per-core counter slots for external observation while the
     /// run executes (e.g. the `live_top` dashboard). Workers `fetch_add`
@@ -122,6 +127,12 @@ pub struct ThreadedConfig {
     /// [`LiveSlots::snapshot`] from any thread. `None` (the default)
     /// costs nothing.
     pub live: Option<Arc<LiveSlots>>,
+    /// Live per-core *stage* tick slots for external observation while
+    /// the run executes (the `live_top` stage-breakdown pane). Only fed
+    /// when [`ObsConfig::profile`] is also on; workers `fetch_add` each
+    /// profiled span into the shared slots. `None` (the default) costs
+    /// nothing.
+    pub profile_live: Option<Arc<ProfileSlots>>,
     /// Inject one worker fault into the run (tests and chaos
     /// experiments). `None` (the default) injects nothing.
     pub fault: Option<ThreadedFault>,
@@ -187,6 +198,7 @@ impl ThreadedConfig {
             ingress_retries: 4096,
             obs: ObsConfig::disabled(),
             live: None,
+            profile_live: None,
             fault: None,
             watchdog_deadline_ns: None,
         }
@@ -262,6 +274,21 @@ pub struct ThreadedOutcome {
     /// barrier re-provisions workers, so a failure fences a core only
     /// for the remainder of its phase.
     pub failures: Vec<WorkerFailure>,
+    /// Per-core stage breakdown, when [`ObsConfig::profile`] was on.
+    /// Ticks are wall nanoseconds (`ticks_per_us = 1000`), bracketed
+    /// per batch with a watermark so nested drains on the
+    /// work-conserving redirect path are attributed exactly once.
+    pub profile: Option<StageProfiler>,
+    /// Every health event the run emitted, when [`ObsConfig::health`]
+    /// was on: ingress queue high-water crossings, captured worker
+    /// deaths, watchdog fences, fault injections, and elastic
+    /// reconfigurations, timestamped in wall nanoseconds.
+    pub health: Option<HealthReport>,
+    /// The streaming reorder estimate, when [`ObsConfig::reorder`] was
+    /// on: per-flow reordered-completion counts (exact) and bounded
+    /// windowed depth histograms, fed at NF completion on the scalar
+    /// path (reorder sketching forces it, like tracing).
+    pub reorder: Option<ReorderReport>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
@@ -302,6 +329,15 @@ struct WorkerShared<NF: NetworkFunction> {
     obs: ObsConfig,
     /// Live counter slots shared with an external observer, if any.
     live: Option<Arc<LiveSlots>>,
+    /// Live stage-tick slots shared with an external observer, if any
+    /// (fed only when profiling is on).
+    profile_live: Option<Arc<ProfileSlots>>,
+    /// Producer handle of the health-event bus, when
+    /// [`ObsConfig::health`] is on. Cloned freely; never blocks.
+    health: Option<HealthBus>,
+    /// The shared streaming reorder sketch, when [`ObsConfig::reorder`]
+    /// is on. Sharded internally; workers feed it at NF completion.
+    reorder: Option<Arc<SharedReorderSketch>>,
     /// Wall-clock zero for trace timestamps (shared by all threads).
     anchor: Instant,
     /// Global trace-event sequence, shared by workers and ingress.
@@ -335,6 +371,15 @@ struct Worker<'a, NF: NetworkFunction> {
     /// once (the inner drain advances the watermark; the enclosing
     /// batch picks up only the remainder).
     mark: SampleMark,
+    /// This worker's stage breakdown (iff profiling is on), merged into
+    /// the run's [`StageProfiler`] at join time.
+    profile: Option<StageProfile>,
+    /// Wall time already attributed to a profiled stage span. Spans are
+    /// clamped to start at this watermark, so the nested drains on the
+    /// work-conserving redirect path never double-attribute a window
+    /// (the inner batch's spans advance the watermark; the enclosing
+    /// span records only the remainder).
+    prof_mark_ns: u64,
     /// Set when this worker captures its own NF panic.
     failure: Option<WorkerFailure>,
     /// The injected fault fires at most once per worker.
@@ -389,6 +434,7 @@ struct WorkerResult {
     trace: Option<TraceRing>,
     probes: Option<LatencyProbes>,
     sampler: Option<TimeSeries>,
+    profile: Option<StageProfile>,
     failure: Option<WorkerFailure>,
 }
 
@@ -526,9 +572,32 @@ impl ThreadedMiddlebox {
             samples: None,
             reconfigs: Vec::new(),
             failures: Vec::new(),
+            profile: None,
+            health: None,
+            reorder: None,
         };
         let obs = config.obs;
         let anchor = Instant::now();
+        // Health-plane accumulators: the bus producer is cloned into
+        // every phase's shared state; the collector is drained once at
+        // the end into one report covering the whole run.
+        let (health_bus, health_collector) = match obs.health {
+            true => {
+                let (b, c) = health_channel(obs.health_capacity);
+                (Some(b), Some(c))
+            }
+            false => (None, None),
+        };
+        let reorder_sketch = obs.reorder.then(|| {
+            Arc::new(SharedReorderSketch::new(
+                obs.reorder_window,
+                obs.reorder_max_flows,
+                num_workers,
+            ))
+        });
+        let mut profile_acc = obs
+            .profile
+            .then(|| StageProfiler::new(&nf.profile_label(), THREAD_TICKS_PER_US, num_workers));
         // The ingress thread records admission events into its own ring;
         // worker rings accumulate here across phases.
         let mut ingress_ring = obs.trace.then(|| TraceRing::new(obs.trace_ring_capacity));
@@ -579,6 +648,16 @@ impl ThreadedMiddlebox {
                 coremap = new_map;
                 tables = new_tables;
                 cur_workers = phase_workers;
+                if let Some(bus) = &health_bus {
+                    bus.emit(
+                        at_ns,
+                        HealthEvent::ReconfigPhase {
+                            epoch: coremap.epoch(),
+                            phase: "rescale",
+                            cores: phase_workers,
+                        },
+                    );
+                }
             }
             stats.offered += packets.len() as u64;
             // The watchdog reads progress from the live slots; allocate
@@ -610,12 +689,18 @@ impl ThreadedMiddlebox {
                 fault_fired: AtomicBool::new(false),
                 obs,
                 live: live_slots,
+                profile_live: obs.profile.then(|| config.profile_live.clone()).flatten(),
+                health: health_bus.clone(),
+                reorder: reorder_sketch.clone(),
                 anchor,
                 trace_seq: AtomicU64::new(seq_base),
             };
 
             let mut results: Vec<(usize, WorkerResult)> = Vec::new();
             let mut rx_hwm = vec![0u64; cur_workers];
+            // Per-queue high-water latches for the ingress health events:
+            // edge-triggered at 3/4 capacity, re-armed below 1/2.
+            let mut hwm_latched = vec![false; cur_workers];
             let watchdog_stop = AtomicBool::new(false);
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
@@ -646,7 +731,9 @@ impl ThreadedMiddlebox {
                     // Parse headers exactly once: the classification
                     // rides with the descriptor through queues and rings.
                     let class = PacketClass::of(&pkt);
-                    let flow = if obs.trace {
+                    // The reorder sketch keys on the same stable flow
+                    // hash the tracer uses.
+                    let flow = if obs.trace || obs.reorder {
                         class.key.map_or(0, |k| k.stable_hash())
                     } else {
                         0
@@ -679,7 +766,24 @@ impl ThreadedMiddlebox {
                         match shared.rx[q].push(desc) {
                             Ok(()) => {
                                 admitted = true;
-                                rx_hwm[q] = rx_hwm[q].max(shared.rx[q].len() as u64);
+                                let depth = shared.rx[q].len() as u64;
+                                rx_hwm[q] = rx_hwm[q].max(depth);
+                                if let Some(bus) = &health_bus {
+                                    let cap = config.queue_capacity as u64;
+                                    if !hwm_latched[q] && depth * 4 >= cap * 3 {
+                                        hwm_latched[q] = true;
+                                        bus.emit(
+                                            anchor.elapsed().as_nanos() as u64,
+                                            HealthEvent::QueueHighWater {
+                                                core: q,
+                                                depth,
+                                                capacity: cap,
+                                            },
+                                        );
+                                    } else if hwm_latched[q] && depth * 2 < cap {
+                                        hwm_latched[q] = false;
+                                    }
+                                }
                                 break;
                             }
                             Err(back) => {
@@ -724,10 +828,22 @@ impl ThreadedMiddlebox {
                     // here rather than propagated.
                     match h.join() {
                         Ok(r) => results.push((worker, r)),
-                        Err(payload) => failures.push(WorkerFailure {
-                            core: worker,
-                            message: panic_message(payload.as_ref()),
-                        }),
+                        Err(payload) => {
+                            let message = panic_message(payload.as_ref());
+                            if let Some(bus) = &health_bus {
+                                bus.emit(
+                                    anchor.elapsed().as_nanos() as u64,
+                                    HealthEvent::WorkerDeath {
+                                        core: worker,
+                                        message: message.clone(),
+                                    },
+                                );
+                            }
+                            failures.push(WorkerFailure {
+                                core: worker,
+                                message,
+                            });
+                        }
                     }
                 }
                 watchdog_stop.store(true, Ordering::SeqCst);
@@ -761,6 +877,9 @@ impl ThreadedMiddlebox {
                 }
                 if let (Some(acc), Some(s)) = (sample_acc.as_mut(), r.sampler.as_ref()) {
                     acc[worker].merge(s);
+                }
+                if let (Some(acc), Some(p)) = (profile_acc.as_mut(), r.profile.as_ref()) {
+                    acc.merge_core(worker, p);
                 }
             }
         }
@@ -797,6 +916,13 @@ impl ThreadedMiddlebox {
         outcome.stats = stats;
         outcome.reconfigs = reconfigs;
         outcome.failures = failures;
+        outcome.profile = profile_acc;
+        // Drop the master producer handle before draining so the
+        // collector sees every event (workers' clones are gone once the
+        // last phase joined).
+        drop(health_bus);
+        outcome.health = health_collector.map(|c| c.collect(THREAD_TICKS_PER_US));
+        outcome.reorder = reorder_sketch.map(|s| s.report());
         outcome
     }
 }
@@ -840,6 +966,15 @@ fn watchdog_loop<NF: NetworkFunction>(
                 let since = *stalled_since[w].get_or_insert_with(Instant::now);
                 if since.elapsed() >= deadline {
                     shared.dead[w].store(true, Ordering::SeqCst);
+                    if let Some(bus) = &shared.health {
+                        bus.emit(
+                            shared.anchor.elapsed().as_nanos() as u64,
+                            HealthEvent::WatchdogFence {
+                                core: w,
+                                stalled_ticks: since.elapsed().as_nanos() as u64,
+                            },
+                        );
+                    }
                     failures.push(WorkerFailure {
                         core: w,
                         message: format!(
@@ -885,6 +1020,8 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 )
             }),
             mark: SampleMark::default(),
+            profile: shared.obs.profile.then(StageProfile::default),
+            prof_mark_ns: 0,
             failure: None,
             fault_fired: false,
             scratch_pkts: Vec::with_capacity(shared.batch_size),
@@ -917,12 +1054,25 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         self.sampler.is_some() || self.shared.live.is_some()
     }
 
-    /// Fold everything this worker did since the last watermark into the
-    /// sampling bucket that `start_ns` (the batch's first clock read)
-    /// falls in, and advance the watermark. Called once per non-empty
-    /// batch; two clock reads per call, none per packet.
-    fn sample_batch(&mut self, start_ns: u64, rx_depth: u64, ring_depth: u64) {
+    /// Close a non-empty batch: charge its wall-clock busy window into
+    /// [`CoreStats::busy_cycles`] and — when sampling or live telemetry
+    /// is on — fold every counter delta since the last watermark into
+    /// the bucket that `start_ns` (the batch's first clock read) falls
+    /// in. Called once per non-empty batch; two clock reads per call,
+    /// none per packet.
+    ///
+    /// Busy time is watermarked: a nested drain on the work-conserving
+    /// redirect path already claimed its window, so the enclosing batch
+    /// charges only the remainder — nested drains are never
+    /// double-counted.
+    fn close_batch(&mut self, start_ns: u64, rx_depth: u64, ring_depth: u64) {
         let end_ns = self.now_ns();
+        let busy_ticks = end_ns.saturating_sub(start_ns.max(self.mark.end_ns));
+        self.stats.busy_cycles += busy_ticks;
+        if !self.sampling() {
+            self.mark.end_ns = end_ns;
+            return;
+        }
         let d = CoreSample {
             processed: self.stats.processed - self.mark.processed,
             forwarded: self.out.len() as u64 - self.mark.forwarded,
@@ -934,9 +1084,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             redirected_out: self.stats.redirected_out - self.mark.redirected_out,
             rx_occupancy_hwm: rx_depth,
             ring_occupancy_hwm: ring_depth,
-            // Busy only since the watermark: a nested drain on the
-            // work-conserving redirect path already claimed its window.
-            busy_ticks: end_ns.saturating_sub(start_ns.max(self.mark.end_ns)),
+            busy_ticks,
         };
         self.mark = SampleMark {
             processed: self.stats.processed,
@@ -953,6 +1101,58 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if let Some(live) = self.shared.live.as_deref() {
             live.add(self.id, &d);
         }
+    }
+
+    /// A profiled span's starting clock read; 0 (and no read) when
+    /// profiling is off.
+    #[inline]
+    fn prof_start(&self) -> u64 {
+        if self.profile.is_some() {
+            self.now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Attribute the wall time since `start_ns` to `stage`. Spans are
+    /// clamped to the profiling watermark, so sections that nest (the
+    /// work-conserving redirect path re-enters `drain_ring` mid-span)
+    /// attribute every nanosecond to exactly one stage.
+    fn prof_span(&mut self, stage: Stage, start_ns: u64) {
+        if self.profile.is_none() {
+            return;
+        }
+        let end_ns = self.shared.anchor.elapsed().as_nanos() as u64;
+        let ticks = end_ns.saturating_sub(start_ns.max(self.prof_mark_ns));
+        self.prof_mark_ns = end_ns;
+        if let Some(p) = self.profile.as_mut() {
+            p.record(stage, ticks);
+        }
+        if let Some(slots) = self.shared.profile_live.as_deref() {
+            slots.add(self.id, stage, ticks);
+        }
+    }
+
+    /// Declare this worker dead after a captured NF panic: raise the
+    /// shared fence flag (so ingress and redirectors stop feeding us),
+    /// record the structured failure, and emit a health event. Loss
+    /// accounting stays with the caller — each capture site knows how
+    /// many descriptors die with it.
+    fn record_death(&mut self, message: String) {
+        self.shared.dead[self.id].store(true, Ordering::SeqCst);
+        if let Some(bus) = &self.shared.health {
+            bus.emit(
+                self.now_ns(),
+                HealthEvent::WorkerDeath {
+                    core: self.id,
+                    message: message.clone(),
+                },
+            );
+        }
+        self.failure = Some(WorkerFailure {
+            core: self.id,
+            message,
+        });
     }
 
     /// Record one trace event (no-op when tracing is off).
@@ -1009,6 +1209,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             trace: self.trace,
             probes: self.probes,
             sampler: self.sampler,
+            profile: self.profile,
             failure: self.failure,
         }
     }
@@ -1029,6 +1230,15 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             if core == self.id && self.stats.processed >= after {
                 self.fault_fired = true;
                 self.shared.fault_fired.store(true, Ordering::SeqCst);
+                if let Some(bus) = &self.shared.health {
+                    bus.emit(
+                        self.now_ns(),
+                        HealthEvent::FaultInjected {
+                            kind: "stall",
+                            core: self.id,
+                        },
+                    );
+                }
                 std::thread::sleep(Duration::from_nanos(duration_ns));
             }
         }
@@ -1080,6 +1290,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             ..
         } = desc;
         let obs_on = self.shared.obs.any();
+        let h0 = self.prof_start();
         let start_ns = if obs_on { self.now_ns() } else { 0 };
         self.emit(self.id, start_ns, EventKind::NfStart, flow, id, 0);
         if !via_ring {
@@ -1099,6 +1310,15 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if inject {
             self.fault_fired = true;
             self.shared.fault_fired.store(true, Ordering::SeqCst);
+            if let Some(bus) = &self.shared.health {
+                bus.emit(
+                    self.now_ns(),
+                    HealthEvent::FaultInjected {
+                        kind: "crash",
+                        core: self.id,
+                    },
+                );
+            }
         }
         let verdict = {
             let nf = self.nf;
@@ -1117,17 +1337,14 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                     // Declare death first so ingress and redirectors
                     // stop feeding us, then account the packet that was
                     // on the NF when it went down.
-                    self.shared.dead[self.id].store(true, Ordering::SeqCst);
+                    self.record_death(panic_message(payload.as_ref()));
                     self.shared.lost.fetch_add(1, Ordering::SeqCst);
-                    self.failure = Some(WorkerFailure {
-                        core: self.id,
-                        message: panic_message(payload.as_ref()),
-                    });
                     return false;
                 }
             }
         };
         engine::account(&mut self.stats, is_conn, false);
+        self.prof_span(Stage::Nf, h0);
         let dropped = verdict == Verdict::Drop;
         if obs_on {
             let done_ns = self.now_ns();
@@ -1143,10 +1360,21 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 u64::from(dropped),
             );
         }
+        // Streaming reorder estimate: completion order vs arrival
+        // ordinal, same (flow, id) pairs the offline analyzer sees.
+        // Unparseable packets (flow 0) are skipped on both sides.
+        if let Some(sketch) = self.shared.reorder.as_deref() {
+            if flow != 0 {
+                sketch.on_complete(self.id, flow, id);
+            }
+        }
         match verdict {
             Verdict::Forward => self.out.push(pkt),
             Verdict::Drop => self.nf_drops += 1,
         }
+        // The watermark confines this span to the post-NF remainder:
+        // verdict accounting, probes, trace, and the reorder hook.
+        self.prof_span(Stage::Tx, h0);
         true
     }
 
@@ -1201,12 +1429,16 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         // `mem::take`n so the nested call sees an empty buffer.
         let mut local = std::mem::take(&mut self.scratch_local);
         debug_assert!(local.is_empty());
+        let r0 = self.prof_start();
         for (desc, target) in batch.drain(..) {
             match target {
                 Some(core) => self.push_redirect(core, desc),
                 None => local.push(desc),
             }
         }
+        // Nested drains inside `push_redirect` advanced the profiling
+        // watermark, so this span charges only the pushes themselves.
+        self.prof_span(Stage::Redirect, r0);
         if self.failure.is_some() {
             // A nested batch's NF panicked mid-redirect-phase: this
             // worker is already declared dead, so the packets it still
@@ -1229,6 +1461,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if self.scratch_pkts.is_empty() {
             return;
         }
+        let n0 = self.prof_start();
         let dispatch = {
             let nf = self.nf;
             let ctx = &mut self.ctx;
@@ -1239,15 +1472,12 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 engine::run_nf_batch(nf, pkts, conn, ctx, sink);
             }))
         };
+        self.prof_span(Stage::Nf, n0);
         let completed = self.sink.len();
         if let Err(payload) = dispatch {
-            self.shared.dead[self.id].store(true, Ordering::SeqCst);
             let unfinished = (self.scratch_pkts.len() - completed) as u64;
             self.shared.lost.fetch_add(unfinished, Ordering::SeqCst);
-            self.failure = Some(WorkerFailure {
-                core: self.id,
-                message: panic_message(payload.as_ref()),
-            });
+            self.record_death(panic_message(payload.as_ref()));
         }
         for (i, pkt) in self.scratch_pkts.drain(..).enumerate() {
             if i >= completed {
@@ -1260,6 +1490,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.scratch_conn.clear();
+        self.prof_span(Stage::Tx, n0);
     }
 
     /// Drain one batch from this worker's ring. Returns true if any
@@ -1269,6 +1500,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         let depth = ring.len() as u64;
         self.stats.observe_ring_depth(depth);
         debug_assert!(self.batch.is_empty());
+        let c0 = self.prof_start();
         while self.batch.len() < self.shared.batch_size {
             match ring.pop() {
                 Some(pkt) => self.batch.push((pkt, None)),
@@ -1279,7 +1511,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if n == 0 {
             return false;
         }
-        let sample_start = if self.sampling() { self.now_ns() } else { 0 };
+        let sample_start = self.now_ns();
+        // Pulling redirected descriptors off the ring is redirect work.
+        self.prof_span(Stage::Redirect, c0);
         // Per-batch accounting: these descriptors are now owned by this
         // worker and will be processed before its next shutdown check.
         self.shared
@@ -1340,9 +1574,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.batch = batch;
-        if self.sampling() {
-            self.sample_batch(sample_start, 0, depth);
-        }
+        self.close_batch(sample_start, 0, depth);
         true
     }
 
@@ -1353,6 +1585,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         let depth = rx.len() as u64;
         self.stats.observe_rx_depth(depth);
         debug_assert!(self.batch.is_empty());
+        let c0 = self.prof_start();
         let mut redirects = 0u64;
         while self.batch.len() < self.shared.batch_size {
             match rx.pop() {
@@ -1372,7 +1605,10 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if n == 0 {
             return false;
         }
-        let sample_start = if self.sampling() { self.now_ns() } else { 0 };
+        let sample_start = self.now_ns();
+        // Batch formation — pops plus the per-packet core-picker
+        // decision — is classify work.
+        self.prof_span(Stage::Classify, c0);
         // Register this batch's redirects BEFORE releasing its rx claim:
         // between the two updates `rx_remaining` still covers the batch,
         // and afterwards `redirects_outstanding` covers the in-flight
@@ -1404,7 +1640,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             let mut died = false;
             for (desc, target) in it.by_ref() {
                 match target {
-                    Some(core) => self.push_redirect(core, desc),
+                    Some(core) => {
+                        let r0 = self.prof_start();
+                        self.push_redirect(core, desc);
+                        self.prof_span(Stage::Redirect, r0);
+                    }
                     None => {
                         if !self.handle(desc, false) {
                             died = true;
@@ -1434,9 +1674,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.batch = batch;
-        if self.sampling() {
-            self.sample_batch(sample_start, depth, 0);
-        }
+        self.close_batch(sample_start, depth, 0);
         true
     }
 
@@ -1796,6 +2034,224 @@ mod tests {
         assert!(out.trace.is_none());
         assert!(out.probes.is_none());
         assert!(out.samples.is_none());
+        assert!(out.profile.is_none());
+        assert!(out.health.is_none());
+        assert!(out.reorder.is_none());
+    }
+
+    #[test]
+    fn busy_cycles_accumulate_wall_nanoseconds_with_obs_off() {
+        // The busy-time pair of clock reads per batch is always on:
+        // even a fully obs-off run reports nonzero busy time, in wall
+        // nanoseconds, for the workers that processed packets.
+        let nf = TrackerNf;
+        let out = ThreadedMiddlebox::process_phases(
+            DispatchMode::Sprayer,
+            2,
+            &nf,
+            vec![syn_phase(32), data_phase(32, 20)],
+        );
+        assert_eq!(out.stats.unaccounted(), 0);
+        let busy: u64 = out.stats.per_core.iter().map(|c| c.busy_cycles).sum();
+        assert!(busy > 0, "batch execution must charge busy time");
+    }
+
+    #[test]
+    fn sampled_busy_ticks_reproduce_the_busy_cycles_counter() {
+        // Sampling buckets and the always-on counter share one
+        // watermark, so their totals must agree exactly per core.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        config.obs = ObsConfig::sampling();
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(32), data_phase(32, 10)]);
+        let set = out.samples.as_ref().expect("sampling enabled");
+        let totals = set.totals();
+        for (core, cs) in out.stats.per_core.iter().enumerate() {
+            assert_eq!(totals[core].busy_ticks, cs.busy_cycles, "core {core}");
+        }
+    }
+
+    #[test]
+    fn stage_profile_attributes_batch_time() {
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.obs = ObsConfig::profiling();
+        // Profiling is per-batch: the batch-native NF path stays on.
+        assert!(!config.obs.any());
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert_eq!(out.stats.unaccounted(), 0);
+        let prof = out.profile.as_ref().expect("profiling requested");
+        assert_eq!(prof.nf(), "tracker");
+        assert_eq!(prof.ticks_per_us(), THREAD_TICKS_PER_US);
+        assert!(prof.total_ticks() > 0);
+        assert!(prof.stage_ticks(Stage::Classify) > 0);
+        assert!(prof.stage_ticks(Stage::Nf) > 0);
+        let shares: f64 = Stage::ALL.into_iter().map(|s| prof.share(s)).sum();
+        assert!((shares - 1.0).abs() < 1e-9, "shares sum to 1: {shares}");
+    }
+
+    #[test]
+    fn profile_live_slots_mirror_the_final_breakdown() {
+        let nf = TrackerNf;
+        let slots = Arc::new(ProfileSlots::new(2));
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        config.obs = ObsConfig::profiling();
+        config.profile_live = Some(slots.clone());
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 10)]);
+        let prof = out.profile.expect("profiling requested");
+        let snap = slots.snapshot();
+        for (core, ticks) in snap.iter().enumerate() {
+            for stage in Stage::ALL {
+                assert_eq!(
+                    ticks[stage.index()],
+                    prof.cores()[core].ticks[stage.index()],
+                    "core {core} stage {:?}",
+                    stage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn health_bus_captures_fault_injection_and_worker_death() {
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        config.obs = ObsConfig {
+            health: true,
+            ..ObsConfig::disabled()
+        };
+        config.fault = Some(ThreadedFault::Panic { core: 1, after: 5 });
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert_eq!(out.failures.len(), 1);
+        let health = out.health.expect("health plane requested");
+        assert_eq!(health.ticks_per_us, THREAD_TICKS_PER_US);
+        assert_eq!(health.dropped, 0);
+        let counts = health.counts();
+        assert_eq!(counts.get("fault_injected"), Some(&1), "{counts:?}");
+        assert_eq!(counts.get("worker_death"), Some(&1), "{counts:?}");
+        let death = health
+            .records
+            .iter()
+            .find(|r| r.event.kind() == "worker_death")
+            .unwrap();
+        assert_eq!(death.event.core(), Some(1));
+    }
+
+    #[test]
+    fn health_bus_records_elastic_reconfigurations() {
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        config.obs = ObsConfig {
+            health: true,
+            ..ObsConfig::disabled()
+        };
+        let out = ThreadedMiddlebox::run_elastic(
+            &config,
+            &nf,
+            vec![
+                (2, syn_phase(16)),
+                (4, data_phase(16, 5)),
+                (2, data_phase(16, 5)),
+            ],
+        );
+        let health = out.health.expect("health plane requested");
+        let recs: Vec<_> = health
+            .records
+            .iter()
+            .filter(|r| r.event.kind() == "reconfig_phase")
+            .collect();
+        assert_eq!(recs.len(), out.reconfigs.len());
+        assert_eq!(recs.len(), 2);
+        for (rec, rep) in recs.iter().zip(&out.reconfigs) {
+            assert_eq!(rec.ts, rep.at_ns);
+            match &rec.event {
+                HealthEvent::ReconfigPhase {
+                    epoch,
+                    phase,
+                    cores,
+                } => {
+                    assert_eq!(*epoch, rep.epoch);
+                    assert_eq!(*phase, "rescale");
+                    assert_eq!(*cores, rep.to_cores);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ingress_queue_high_water_is_edge_triggered() {
+        // Worker 0 sleeps through ingress, so its queue must fill past
+        // the 3/4 mark while it is silent and raise exactly one
+        // edge-triggered event for the monotone fill.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 2);
+        config.obs = ObsConfig {
+            health: true,
+            ..ObsConfig::disabled()
+        };
+        config.fault = Some(ThreadedFault::Stall {
+            core: 0,
+            after: 0,
+            duration_ns: 100_000_000,
+        });
+        config.ingress_retries = 0;
+        let mut pkts = syn_phase(64);
+        pkts.extend(data_phase(64, 20));
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![pkts]);
+        assert_eq!(out.stats.unaccounted(), 0);
+        let health = out.health.expect("health plane requested");
+        let counts = health.counts();
+        assert!(
+            counts.get("queue_high_water").copied().unwrap_or(0) >= 1,
+            "{counts:?}"
+        );
+        assert_eq!(counts.get("fault_injected"), Some(&1), "{counts:?}");
+    }
+
+    #[test]
+    fn online_reorder_sketch_tracks_sprayed_completions() {
+        // Spraying plus a stalled worker: every flow with an early
+        // ordinal stranded on worker 0 completes it after later
+        // ordinals finished elsewhere — heavy, guaranteed reordering
+        // that both the online sketch and the offline trace analyzer
+        // must see. (Exact counts may differ between them: the sketch
+        // serializes by lock order, the trace by sequence allocation.)
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 4);
+        config.obs = ObsConfig {
+            reorder: true,
+            ..ObsConfig::tracing()
+        };
+        config.fault = Some(ThreadedFault::Stall {
+            core: 0,
+            after: 0,
+            duration_ns: 30_000_000,
+        });
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 40)]);
+        assert_eq!(out.stats.unaccounted(), 0);
+        let online = out.reorder.expect("reorder sketch requested");
+        assert_eq!(
+            online.completions,
+            out.stats.processed(),
+            "every parseable completion feeds the sketch"
+        );
+        assert!(online.reordered > 0, "sprayed completions must invert");
+        assert!(online.reordered <= online.completions);
+        let analysis = sprayer_obs::analyze(out.trace.as_ref().unwrap());
+        assert!(analysis.reordered_packets() > 0);
+
+        // RSS keeps each flow on one worker in arrival order: the
+        // sketch must report exactly zero reordered completions.
+        let mut config = ThreadedConfig::new(DispatchMode::Rss, 4);
+        config.obs = ObsConfig {
+            reorder: true,
+            ..ObsConfig::disabled()
+        };
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 40)]);
+        let online = out.reorder.expect("reorder sketch requested");
+        assert_eq!(online.completions, out.stats.processed());
+        assert_eq!(online.reordered, 0, "RSS preserves per-flow order");
     }
 
     #[test]

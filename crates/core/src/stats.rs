@@ -27,8 +27,13 @@ pub struct CoreStats {
     pub redirected_out: u64,
     /// Connection packets this core received via its ring.
     pub redirected_in: u64,
-    /// Busy cycles accumulated (simulator only; the threaded runtime does
-    /// not model cycles and leaves this zero).
+    /// Busy time accumulated serving packets. The unit is the runtime's
+    /// native tick: the simulator charges *model cycles* (service +
+    /// ring costs at the configured clock), the threaded runtime
+    /// measures *wall nanoseconds* of batch execution (one clock read
+    /// pair per drain, watermarked so nested drains inside a batch are
+    /// never double-counted). Compare against wall/sim elapsed time for
+    /// utilization; never compare across runtimes without converting.
     pub busy_cycles: u64,
     /// High-water mark of this core's receive-queue occupancy (packets),
     /// observed at enqueue/drain points.

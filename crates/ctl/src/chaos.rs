@@ -20,6 +20,7 @@ use sprayer::config::MiddleboxConfig;
 use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::RecoveryReport;
 use sprayer_net::Packet;
+use sprayer_obs::HealthEvent;
 use sprayer_sim::Time;
 use sprayer_trafficgen::Adversary;
 
@@ -100,16 +101,31 @@ impl<NF: NetworkFunction> ChaosController<NF> {
                 Trigger::AtTime(t) => t,
             }
             .max(self.mb.now());
+            // The control plane announces each injection on the health
+            // bus (when armed) before the dataplane feels it, exactly
+            // like a chaos harness logging what it is about to do.
             match ev.kind {
                 FaultKind::CrashCore { core } => {
+                    self.mb.emit_health(HealthEvent::FaultInjected {
+                        kind: "crash",
+                        core,
+                    });
                     self.mb.inject_core_failure(when, core);
                     self.pending_recoveries
                         .push((when + self.detect_deadline, core));
                 }
                 FaultKind::StallCore { core, duration } => {
+                    self.mb.emit_health(HealthEvent::FaultInjected {
+                        kind: "stall",
+                        core,
+                    });
                     self.mb.stall_core(when, core, duration);
                 }
                 FaultKind::Adversarial { profile, count } => {
+                    self.mb.emit_health(HealthEvent::FaultInjected {
+                        kind: "adversarial",
+                        core: usize::MAX,
+                    });
                     self.inject_burst(when, profile, count);
                 }
             }
@@ -347,6 +363,44 @@ mod tests {
         assert_eq!(stats.malformed_drops, 48, "every bad frame accounted");
         assert_eq!(stats.unaccounted(), 0);
         assert_eq!(stats.nf_drops, 0, "well-formed traffic is unharmed");
+    }
+
+    #[test]
+    fn injections_are_announced_on_the_health_bus() {
+        use sprayer::config::ObsConfig;
+        let mut cfg = config(DispatchMode::Sprayer, 4);
+        cfg.obs = ObsConfig {
+            health: true,
+            ..ObsConfig::disabled()
+        };
+        let plan = FaultPlan::new()
+            .crash_at_packet(40, 1)
+            .adversarial_at_packet(60, AdversarialProfile::TruncatedFrames, 8)
+            .detect_within(Time::from_us(20));
+        let mut ctl = ChaosController::new(cfg, allow_all_firewall(), plan, 7).unwrap();
+        drive(&mut ctl, 32, 4);
+        ctl.finish(ctl.middlebox().now() + Time::from_ms(2));
+
+        let health = ctl
+            .middlebox_mut()
+            .take_health()
+            .expect("health bus armed via ObsConfig");
+        let counts = health.counts();
+        assert_eq!(counts.get("fault_injected"), Some(&2), "{counts:?}");
+        assert_eq!(
+            counts.get("worker_death"),
+            Some(&1),
+            "the crash itself is also reported: {counts:?}"
+        );
+        assert!(
+            counts.get("reconfig_phase").copied().unwrap_or(0) >= 1,
+            "the watchdog recovery runs a reconfiguration: {counts:?}"
+        );
+        let mut last = 0;
+        for rec in &health.records {
+            assert!(rec.ts >= last, "health timestamps are monotone");
+            last = rec.ts;
+        }
     }
 
     #[test]

@@ -251,6 +251,12 @@ impl NetworkFunction for DpiNf {
             .incompatible()
     }
 
+    fn profile_label(&self) -> String {
+        // Scan cost scales with the compiled pattern set; encode its
+        // size so profiles from different rule sets stay comparable.
+        format!("dpi/patterns:{}", self.automaton.patterns().len())
+    }
+
     fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<DpiFlow>) -> Verdict {
         let Some(tuple) = pkt.tuple() else {
             return Verdict::Forward;
@@ -309,6 +315,12 @@ mod tests {
     use sprayer::coremap::CoreMap;
     use sprayer::tables::LocalTables;
     use sprayer_net::{FiveTuple, PacketBuilder};
+
+    #[test]
+    fn profile_label_encodes_the_pattern_count() {
+        let nf = DpiNf::new(&["attack", "exploit", "malware"]);
+        assert_eq!(nf.profile_label(), "dpi/patterns:3");
+    }
 
     #[test]
     fn automaton_finds_all_overlapping_matches() {

@@ -85,6 +85,16 @@ impl NetworkFunction for SyntheticNf {
         )
     }
 
+    fn profile_label(&self) -> String {
+        // The per-packet cost is the configuration, so the flame view
+        // needs it to tell variants apart.
+        if self.spin {
+            format!("synthetic/spin:{}", self.cycles)
+        } else {
+            "synthetic/modelled".to_string()
+        }
+    }
+
     fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<SynFlow>) -> Verdict {
         self.lifecycle(pkt, ctx);
         self.touch(pkt, ctx)
@@ -177,6 +187,18 @@ mod tests {
     use sprayer::coremap::CoreMap;
     use sprayer::tables::LocalTables;
     use sprayer_net::{FiveTuple, PacketBuilder};
+
+    #[test]
+    fn profile_label_encodes_the_cost_variant() {
+        assert_eq!(
+            SyntheticNf::for_simulator().profile_label(),
+            "synthetic/modelled"
+        );
+        assert_eq!(
+            SyntheticNf::spinning(5_000).profile_label(),
+            "synthetic/spin:5000"
+        );
+    }
 
     #[test]
     fn modifies_header_and_counts() {

@@ -29,25 +29,38 @@
 //! * [`analyze`] / [`trace_io`] — offline replay: per-flow reordering
 //!   depth, latency breakdowns, conservation checks against
 //!   the runtime's own counters, and a stable on-disk trace format.
+//! * The **online health plane**: [`StageProfiler`] (per-core busy-time
+//!   attribution across classify/redirect/nf/tx, the `profile_*` metric
+//!   set), [`ReorderSketch`] (streaming bounded-memory reordering-depth
+//!   estimation, cross-validated against [`analyze`]'s Fenwick
+//!   analyzer), the [`HealthBus`] (bounded MPSC stream of typed
+//!   [`HealthEvent`]s from both runtimes and the ctl crate), and the
+//!   [`slo`] evaluator turning thresholds into [`Alert`] records
+//!   (`health_*` metric set).
 //!
 //! The crate deliberately depends on nothing but the (vendored) serde
-//! façade: both `sprayer` (core) and the benches can use it without
-//! dependency cycles. Timestamps are opaque `u64` *ticks*; the producing
-//! runtime declares its tick rate in [`TraceMeta::ticks_per_us`]
-//! (simulator: picoseconds of simulated time; threaded runtime:
-//! nanoseconds of wall time since the run started).
+//! façade and `parking_lot`: both `sprayer` (core) and the benches can
+//! use it without dependency cycles. Timestamps are opaque `u64`
+//! *ticks*; the producing runtime declares its tick rate in
+//! [`TraceMeta::ticks_per_us`] (simulator: picoseconds of simulated
+//! time; threaded runtime: nanoseconds of wall time since the run
+//! started).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod event;
+pub mod health;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod registry;
+pub mod reorder;
 pub mod ring;
 pub mod sampler;
 pub mod series;
+pub mod slo;
 pub mod trace_io;
 
 pub use analyze::{
@@ -55,11 +68,17 @@ pub use analyze::{
     TraceAnalysis,
 };
 pub use event::{DropKind, EventKind, TraceEvent};
+pub use health::{
+    health_channel, HealthBus, HealthCollector, HealthEvent, HealthRecord, HealthReport,
+};
 pub use hist::{
     batch_bucket, Histogram, HistogramSummary, LatencyProbes, BATCH_BUCKET_LO, BATCH_HIST_BUCKETS,
 };
 pub use json::JsonValue;
+pub use profile::{ProfileSlots, Stage, StageProfile, StageProfiler, STAGE_COUNT};
 pub use registry::{MetricsRegistry, TELEMETRY_SCHEMA_VERSION};
+pub use reorder::{ReorderReport, ReorderSketch, SharedReorderSketch};
 pub use ring::{ExpectedCounts, Trace, TraceMeta, TraceRing};
 pub use sampler::{LiveCore, LiveSlots, SampleSet};
 pub use series::{CoreSample, TimeSeries};
+pub use slo::{evaluate, export_health_telemetry, Alert, Severity, SloRules};

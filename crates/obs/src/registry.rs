@@ -20,9 +20,15 @@ use crate::json::JsonValue;
 ///   (`SampleSet::to_json` objects: per-core bucketed deltas plus
 ///   `jain`/`util_skew`/`drop_rate` timelines). Purely additive: every
 ///   v2 field keeps its name and shape, so v2 readers ignoring unknown
-///   fields still work, and [`MetricsRegistry::parse_document`] reads
-///   v1 through v3.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 3;
+///   fields still work.
+/// * v4 — the health plane: documents may carry the `profile_*` metric
+///   set (per-stage busy-time attribution, `StageProfiler::export`),
+///   the `health_*` set (structured event records plus SLO alert
+///   records, `export_health_telemetry`), and the `reorder_*` set (the
+///   streaming reordering-depth sketch, `ReorderReport::export`).
+///   Again purely additive — v3 readers ignoring unknown fields still
+///   work, and [`MetricsRegistry::parse_document`] reads v1 through v4.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 4;
 
 #[derive(Debug, Clone)]
 enum Value {
@@ -122,7 +128,7 @@ impl MetricsRegistry {
     /// Parse a telemetry document produced by any schema version this
     /// repo has emitted: v1 documents carry no `schema_version` field
     /// (the ad-hoc pre-registry JSON) and are reported as version 1;
-    /// v2/v3 declare themselves. Returns `(version, document)`; errors
+    /// v2 through v4 declare themselves. Returns `(version, document)`; errors
     /// on malformed JSON, a non-object root, or a version newer than
     /// [`TELEMETRY_SCHEMA_VERSION`] (forward compatibility is not
     /// promised — regenerate or upgrade instead of misreading).
@@ -175,7 +181,7 @@ mod tests {
         r.set_u64("cycles", 10_000);
         r.set_f64("mpps", 1.5);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema_version\":3,\"figure\":\"6a\""));
+        assert!(j.starts_with("{\"schema_version\":4,\"figure\":\"6a\""));
         let ci = j.find("\"cycles\"").unwrap();
         let mi = j.find("\"mpps\"").unwrap();
         assert!(ci < mi);
@@ -225,8 +231,32 @@ mod tests {
     }
 
     #[test]
+    fn parser_reads_v3_documents_written_before_the_v4_bump() {
+        // v3: a registry document with a sampling block but none of the
+        // v4 `profile_*`/`health_*`/`reorder_*` sets. Same field names
+        // and shapes; only the version differs — the 2→3→4 ladder stays
+        // readable end to end.
+        let (v3, doc) = MetricsRegistry::parse_document(
+            "{\"schema_version\":3,\"figure\":\"9\",\
+             \"samples\":{\"jain\":[1.0,0.5],\"per_core\":[]}}",
+        )
+        .unwrap();
+        assert_eq!(v3, 3);
+        let jain = doc.get("samples").unwrap().get("jain").unwrap();
+        assert_eq!(jain.as_array().unwrap().len(), 2);
+        // v4: current documents self-describe and parse back.
+        let (v4, doc) = MetricsRegistry::parse_document(
+            "{\"schema_version\":4,\"health_alerts_total\":2,\
+             \"profile_nf_share\":0.75}",
+        )
+        .unwrap();
+        assert_eq!(v4, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(doc.get("health_alerts_total").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
     fn parser_rejects_future_versions_and_junk() {
-        assert!(MetricsRegistry::parse_document("{\"schema_version\":4}").is_err());
+        assert!(MetricsRegistry::parse_document("{\"schema_version\":5}").is_err());
         assert!(MetricsRegistry::parse_document("{\"schema_version\":-1}").is_err());
         assert!(MetricsRegistry::parse_document("[1,2]").is_err());
         assert!(MetricsRegistry::parse_document("{\"unterminated").is_err());

@@ -1,0 +1,536 @@
+//! SLO evaluation: thresholds over health events and sampled timelines,
+//! producing alert records for the telemetry document.
+//!
+//! [`evaluate`] is a pure function from one run's observable outputs —
+//! the [`HealthReport`] drained off the event bus, the optional
+//! [`SampleSet`] timelines, the optional [`ReorderReport`] — to a list
+//! of [`Alert`]s under a [`SloRules`] policy. Runs are deterministic in
+//! the simulator, so alert counts gate at zero slack in the bench gate.
+//!
+//! Alert `first_ts`/`last_ts` are runtime-native ticks for event-backed
+//! alerts and bucket-start ticks (`bucket × interval_ticks`) for
+//! timeline-backed ones.
+
+use crate::health::{HealthEvent, HealthRecord, HealthReport};
+use crate::registry::MetricsRegistry;
+use crate::reorder::ReorderReport;
+use crate::sampler::SampleSet;
+
+/// Alert thresholds. Defaults are deliberately loose enough that a
+/// healthy, fairly-balanced run raises nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SloRules {
+    /// Jain fairness floor per sample bucket (only buckets that
+    /// processed at least `min_bucket_packets` count).
+    pub min_jain: f64,
+    /// Jain level below which a dip is classified as an adversarial
+    /// collapse (load concentrating on one core).
+    pub collapse_jain: f64,
+    /// Pre-NF drop share per bucket above which the bucket is a drop
+    /// storm.
+    pub max_drop_share: f64,
+    /// Minimum packets (processed + dropped) in a bucket before its
+    /// fairness/drop numbers are judged — idle buckets are noise.
+    pub min_bucket_packets: u64,
+    /// Queue-depth fraction at which the runtimes emit
+    /// [`HealthEvent::QueueHighWater`] (the emission threshold lives
+    /// here so runtimes and evaluator agree on one policy).
+    pub queue_hwm_frac: f64,
+    /// Ceiling on the reordering-depth p99 estimate.
+    pub max_reorder_p99: u64,
+}
+
+impl Default for SloRules {
+    fn default() -> Self {
+        SloRules {
+            min_jain: 0.5,
+            collapse_jain: 0.35,
+            max_drop_share: 0.2,
+            min_bucket_packets: 64,
+            queue_hwm_frac: 0.75,
+            max_reorder_p99: 64,
+        }
+    }
+}
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Degraded but functioning.
+    Warning,
+    /// Service-affecting.
+    Critical,
+}
+
+impl Severity {
+    /// Stable name for serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One evaluated alert: a rule that fired, how often, and when.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Rule name (stable telemetry vocabulary).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Occurrences (events or buckets).
+    pub count: u64,
+    /// First occurrence, ticks.
+    pub first_ts: u64,
+    /// Last occurrence, ticks.
+    pub last_ts: u64,
+    /// Human-readable summary of the worst occurrence.
+    pub detail: String,
+}
+
+impl Alert {
+    /// One JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"count\":{},\"first_ts\":{},\"last_ts\":{},\"detail\":\"",
+            self.rule,
+            self.severity.as_str(),
+            self.count,
+            self.first_ts,
+            self.last_ts
+        );
+        for c in self.detail.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(s, "\\u{:04x}", c as u32);
+                }
+                c => s.push(c),
+            }
+        }
+        s.push_str("\"}");
+        s
+    }
+}
+
+/// Aggregates event occurrences of one rule into a single alert.
+struct Agg {
+    rule: &'static str,
+    severity: Severity,
+    count: u64,
+    first_ts: u64,
+    last_ts: u64,
+    detail: String,
+}
+
+impl Agg {
+    fn new(rule: &'static str, severity: Severity) -> Self {
+        Agg {
+            rule,
+            severity,
+            count: 0,
+            first_ts: 0,
+            last_ts: 0,
+            detail: String::new(),
+        }
+    }
+
+    fn hit(&mut self, ts: u64, detail: String) {
+        if self.count == 0 {
+            self.first_ts = ts;
+            self.detail = detail;
+        } else {
+            self.last_ts = self.last_ts.max(ts);
+            self.detail = detail; // keep the latest occurrence's detail
+        }
+        self.last_ts = self.last_ts.max(ts);
+        self.count += 1;
+    }
+
+    fn into_alert(self) -> Option<Alert> {
+        (self.count > 0).then_some(Alert {
+            rule: self.rule,
+            severity: self.severity,
+            count: self.count,
+            first_ts: self.first_ts,
+            last_ts: self.last_ts,
+            detail: self.detail,
+        })
+    }
+}
+
+/// Evaluate `rules` over one run's outputs. Deterministic: alerts come
+/// out in a fixed rule order, aggregated (one alert per rule, counting
+/// occurrences) so the telemetry stays bounded no matter how noisy the
+/// run was.
+pub fn evaluate(
+    rules: &SloRules,
+    health: &HealthReport,
+    samples: Option<&SampleSet>,
+    reorder: Option<&ReorderReport>,
+) -> Vec<Alert> {
+    let mut worker_death = Agg::new("worker_death", Severity::Critical);
+    let mut watchdog = Agg::new("watchdog_fence", Severity::Critical);
+    let mut queue_hwm = Agg::new("queue_high_water", Severity::Warning);
+    let mut drop_storm = Agg::new("drop_storm", Severity::Warning);
+    let mut fairness = Agg::new("fairness_dip", Severity::Warning);
+    let mut collapse = Agg::new("adversarial_collapse", Severity::Critical);
+    let mut reorder_depth = Agg::new("reorder_depth", Severity::Warning);
+
+    for HealthRecord { ts, event } in &health.records {
+        match event {
+            HealthEvent::WorkerDeath { core, message } => {
+                worker_death.hit(*ts, format!("core {core}: {message}"));
+            }
+            HealthEvent::WatchdogFence {
+                core,
+                stalled_ticks,
+            } => {
+                watchdog.hit(*ts, format!("core {core} silent for {stalled_ticks} ticks"));
+            }
+            HealthEvent::QueueHighWater {
+                core,
+                depth,
+                capacity,
+            } => {
+                queue_hwm.hit(*ts, format!("core {core} queue {depth}/{capacity}"));
+            }
+            HealthEvent::DropStorm { core, drops } => {
+                drop_storm.hit(*ts, format!("core {core} shed {drops} packets"));
+            }
+            HealthEvent::FairnessDip { jain } => {
+                fairness.hit(*ts, format!("jain {jain:.3}"));
+            }
+            HealthEvent::AdversarialCollapse { core, share } => {
+                collapse.hit(
+                    *ts,
+                    format!("core {core} took {:.0}% of the load", share * 100.0),
+                );
+            }
+            // Lifecycle records, not alert conditions.
+            HealthEvent::ReconfigPhase { .. } | HealthEvent::FaultInjected { .. } => {}
+        }
+    }
+
+    if let Some(set) = samples {
+        let jain = set.jain_timeline();
+        let drops = set.drop_rate_timeline();
+        for b in 0..set.num_buckets() {
+            let ts = b as u64 * set.interval_ticks;
+            let volume: u64 = set
+                .cores
+                .iter()
+                .map(|s| {
+                    s.buckets()
+                        .get(b)
+                        .map_or(0, |c| c.processed + c.pre_nf_drops())
+                })
+                .sum();
+            if volume < rules.min_bucket_packets {
+                continue;
+            }
+            let j = jain[b];
+            if j < rules.collapse_jain {
+                // Name the core that took the load.
+                let (core, share) = bucket_max_share(set, b);
+                collapse.hit(
+                    ts,
+                    format!("jain {j:.3}, core {core} took {:.0}%", share * 100.0),
+                );
+            } else if j < rules.min_jain {
+                fairness.hit(ts, format!("jain {j:.3}"));
+            }
+            if drops[b] > rules.max_drop_share {
+                drop_storm.hit(ts, format!("drop share {:.0}%", drops[b] * 100.0));
+            }
+        }
+    }
+
+    if let Some(r) = reorder {
+        let p99 = r.depth_hist.p99().unwrap_or(0);
+        if p99 > rules.max_reorder_p99 {
+            reorder_depth.hit(
+                0,
+                format!(
+                    "depth p99 {p99} > {} ({} reordered packets)",
+                    rules.max_reorder_p99, r.reordered
+                ),
+            );
+        }
+    }
+
+    [
+        worker_death,
+        watchdog,
+        collapse,
+        drop_storm,
+        queue_hwm,
+        fairness,
+        reorder_depth,
+    ]
+    .into_iter()
+    .filter_map(Agg::into_alert)
+    .collect()
+}
+
+/// The core with the largest processed share in bucket `b`.
+fn bucket_max_share(set: &SampleSet, b: usize) -> (usize, f64) {
+    let counts: Vec<u64> = set
+        .cores
+        .iter()
+        .map(|s| s.buckets().get(b).map_or(0, |c| c.processed))
+        .collect();
+    let total: u64 = counts.iter().sum();
+    let (core, &max) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .unwrap_or((0, &0));
+    if total == 0 {
+        (core, 0.0)
+    } else {
+        (core, max as f64 / total as f64)
+    }
+}
+
+/// Cap on the raw event records embedded in a telemetry document (the
+/// full stream still counts in `health_events_total`).
+const EXPORTED_EVENTS_CAP: usize = 256;
+
+/// Write the standard `health_*` metric set for one run: event totals
+/// and per-kind counts, the (capped) raw event records, and the
+/// evaluated alerts.
+pub fn export_health_telemetry(reg: &mut MetricsRegistry, health: &HealthReport, alerts: &[Alert]) {
+    reg.set_u64("health_events_total", health.records.len() as u64);
+    reg.set_u64("health_events_dropped", health.dropped);
+    reg.set_u64("health_ticks_per_us", health.ticks_per_us);
+    let counts = health.counts();
+    let mut obj = String::from("{");
+    for (i, (kind, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            obj.push(',');
+        }
+        use std::fmt::Write as _;
+        let _ = write!(obj, "\"{kind}\":{n}");
+    }
+    obj.push('}');
+    reg.set_raw_json("health_event_counts", obj);
+    let shown = health.records.len().min(EXPORTED_EVENTS_CAP);
+    let events: Vec<String> = health.records[..shown]
+        .iter()
+        .map(HealthRecord::to_json)
+        .collect();
+    reg.set_u64(
+        "health_events_truncated",
+        (health.records.len() - shown) as u64,
+    );
+    reg.set_raw_json("health_events", format!("[{}]", events.join(",")));
+    reg.set_u64("health_alerts_total", alerts.len() as u64);
+    reg.set_u64(
+        "health_alerts_critical",
+        alerts
+            .iter()
+            .filter(|a| a.severity == Severity::Critical)
+            .count() as u64,
+    );
+    let alerts_json: Vec<String> = alerts.iter().map(Alert::to_json).collect();
+    reg.set_raw_json("health_alerts", format!("[{}]", alerts_json.join(",")));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    fn report_with(records: Vec<HealthRecord>) -> HealthReport {
+        HealthReport {
+            ticks_per_us: 1_000,
+            dropped: 0,
+            records,
+        }
+    }
+
+    #[test]
+    fn quiet_run_raises_no_alerts() {
+        let alerts = evaluate(&SloRules::default(), &report_with(vec![]), None, None);
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn worker_death_is_critical_and_aggregated() {
+        let recs = vec![
+            HealthRecord {
+                ts: 10,
+                event: HealthEvent::WorkerDeath {
+                    core: 1,
+                    message: "boom".into(),
+                },
+            },
+            HealthRecord {
+                ts: 30,
+                event: HealthEvent::WorkerDeath {
+                    core: 2,
+                    message: "again".into(),
+                },
+            },
+        ];
+        let alerts = evaluate(&SloRules::default(), &report_with(recs), None, None);
+        assert_eq!(alerts.len(), 1);
+        let a = &alerts[0];
+        assert_eq!(a.rule, "worker_death");
+        assert_eq!(a.severity, Severity::Critical);
+        assert_eq!(a.count, 2);
+        assert_eq!((a.first_ts, a.last_ts), (10, 30));
+        assert!(a.detail.contains("core 2"));
+    }
+
+    #[test]
+    fn lifecycle_events_do_not_alert() {
+        let recs = vec![
+            HealthRecord {
+                ts: 5,
+                event: HealthEvent::ReconfigPhase {
+                    epoch: 1,
+                    phase: "rescale",
+                    cores: 4,
+                },
+            },
+            HealthRecord {
+                ts: 6,
+                event: HealthEvent::FaultInjected {
+                    kind: "crash",
+                    core: 1,
+                },
+            },
+        ];
+        let alerts = evaluate(&SloRules::default(), &report_with(recs), None, None);
+        assert!(alerts.is_empty());
+    }
+
+    /// Four cores, two buckets: balanced, then collapsed onto core 0
+    /// (per-bucket Jain 1/4 = 0.25, below the collapse threshold —
+    /// note a 2-core collapse bottoms out at Jain 0.5 and would not).
+    fn collapse_samples() -> SampleSet {
+        let mut cores: Vec<TimeSeries> = (0..4).map(|_| TimeSeries::new(1_000, 16)).collect();
+        for i in 0..100 {
+            for c in &mut cores {
+                c.record(i, |s| s.processed += 1);
+            }
+        }
+        for i in 1_000..1_100 {
+            cores[0].record(i, |s| s.processed += 1);
+        }
+        for c in &mut cores[1..] {
+            c.record(1_000, |s| s.busy_ticks += 1); // keep grids aligned
+        }
+        SampleSet::assemble(1_000, cores)
+    }
+
+    #[test]
+    fn collapsed_bucket_raises_adversarial_collapse() {
+        let set = collapse_samples();
+        let alerts = evaluate(&SloRules::default(), &report_with(vec![]), Some(&set), None);
+        let a = alerts
+            .iter()
+            .find(|a| a.rule == "adversarial_collapse")
+            .expect("one bucket fully on core 0");
+        assert_eq!(a.severity, Severity::Critical);
+        assert!(a.detail.contains("core 0"));
+        // The balanced bucket must not have tripped the fairness rule.
+        assert!(alerts.iter().all(|a| a.rule != "fairness_dip"));
+    }
+
+    #[test]
+    fn idle_buckets_are_ignored() {
+        let mut c0 = TimeSeries::new(1_000, 16);
+        let mut c1 = TimeSeries::new(1_000, 16);
+        // One packet on one core: jain 0.5, but far below the volume
+        // floor — must not alert.
+        c0.record(0, |s| s.processed += 1);
+        c1.record(0, |s| s.busy_ticks += 1);
+        let set = SampleSet::assemble(1_000, vec![c0, c1]);
+        let alerts = evaluate(&SloRules::default(), &report_with(vec![]), Some(&set), None);
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn deep_reordering_trips_the_p99_rule() {
+        let mut sketch = crate::reorder::ReorderSketch::new(256, 16);
+        // One flow completing fully reversed: deep estimates.
+        for ord in (0..200u64).rev() {
+            sketch.on_complete(0, 1, ord);
+        }
+        let report = sketch.report();
+        let alerts = evaluate(
+            &SloRules::default(),
+            &report_with(vec![]),
+            None,
+            Some(&report),
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "reorder_depth");
+    }
+
+    #[test]
+    fn export_writes_the_health_metric_set() {
+        let recs = vec![HealthRecord {
+            ts: 42,
+            event: HealthEvent::WorkerDeath {
+                core: 0,
+                message: "x".into(),
+            },
+        }];
+        let report = report_with(recs);
+        let alerts = evaluate(&SloRules::default(), &report, None, None);
+        let mut reg = MetricsRegistry::new();
+        export_health_telemetry(&mut reg, &report, &alerts);
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("health_events_total").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("health_alerts_total").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("health_alerts_critical").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("health_event_counts")
+                .unwrap()
+                .get("worker_death")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        let events = doc.get("health_events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(42));
+        let alerts = doc.get("health_alerts").unwrap().as_array().unwrap();
+        assert_eq!(
+            alerts[0].get("severity").unwrap().as_str(),
+            Some("critical")
+        );
+    }
+
+    #[test]
+    fn exported_events_are_capped_but_counted_in_full() {
+        let recs: Vec<HealthRecord> = (0..300)
+            .map(|i| HealthRecord {
+                ts: i,
+                event: HealthEvent::DropStorm { core: 0, drops: 1 },
+            })
+            .collect();
+        let report = report_with(recs);
+        let mut reg = MetricsRegistry::new();
+        export_health_telemetry(&mut reg, &report, &[]);
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("health_events_total").unwrap().as_u64(), Some(300));
+        assert_eq!(
+            doc.get("health_events_truncated").unwrap().as_u64(),
+            Some(44)
+        );
+        assert_eq!(
+            doc.get("health_events").unwrap().as_array().unwrap().len(),
+            256
+        );
+    }
+}
