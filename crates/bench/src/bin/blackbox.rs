@@ -1,0 +1,90 @@
+//! Post-mortem analyzer for crash flight-recorder dumps.
+//!
+//! ```text
+//! blackbox <flight-dump> [--telemetry <json>] [--window-ms N]
+//! ```
+//!
+//! Reads a `sprayer-flight/1` dump (written by `sprayer_obs::flight::save`
+//! — e.g. `results/fig_chaos_flight.txt` after a crash run) and renders
+//! the last `N` milliseconds (default 5) before the freeze as a per-core
+//! timeline: batch boundaries with queue depths, redirect ring traffic,
+//! drops, and the health events leading up to the latch. With
+//! `--telemetry`, also renders the `tail_*` attribution table from the
+//! companion telemetry document, so the post-mortem answers both "what
+//! happened just before the crash" and "where the tail lived".
+//!
+//! Exit codes: 0 on success, 1 on unreadable arguments or dump.
+
+use sprayer_bench::blackbox::{render, render_tail};
+use sprayer_obs::{flight, MetricsRegistry};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    dump: PathBuf,
+    telemetry: Option<PathBuf>,
+    window_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dump = None;
+    let mut telemetry = None;
+    let mut window_ms = 5u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                let v = it.next().ok_or("--telemetry needs a path")?;
+                telemetry = Some(PathBuf::from(v));
+            }
+            "--window-ms" => {
+                let v = it.next().ok_or("--window-ms needs a number")?;
+                window_ms = v
+                    .parse()
+                    .map_err(|_| format!("--window-ms: not a number: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: blackbox <flight-dump> [--telemetry <json>] [--window-ms N]"
+                        .to_string(),
+                );
+            }
+            other if dump.is_none() && !other.starts_with('-') => {
+                dump = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(Args {
+        dump: dump.ok_or("usage: blackbox <flight-dump> [--telemetry <json>] [--window-ms N]")?,
+        telemetry,
+        window_ms,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let snap = flight::load(&args.dump).map_err(|e| format!("{}: {e}", args.dump.display()))?;
+    print!("{}", render(&snap, args.window_ms));
+    if let Some(path) = args.telemetry {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (_, doc) = MetricsRegistry::parse_document(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        match render_tail(&doc) {
+            Some(table) => print!("\n{table}"),
+            None => println!("\n(telemetry carries no tail_* attribution set)"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

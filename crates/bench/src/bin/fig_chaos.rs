@@ -17,7 +17,10 @@
 //! datapoint is a full registry document carrying the standard
 //! `recovery_*`/`fault_*` metric set
 //! ([`sprayer_ctl::export_fault_telemetry`]), which the bench gate
-//! diffs against the committed baselines.
+//! diffs against the committed baselines. The flight recorder is on
+//! for both runs: the crash latches it, the controller's alert→dump
+//! hook writes `results/fig_chaos_flight_<mode>.txt`, and the
+//! `blackbox` binary renders those dumps as a post-mortem timeline.
 
 use sprayer::config::DispatchMode;
 use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
@@ -58,8 +61,31 @@ fn main() {
         .into_iter()
         .enumerate()
     {
-        let r = run(&ChaosConfig::paper(mode, flows, duration, 1));
+        let results = std::path::Path::new("results");
+        std::fs::create_dir_all(results).ok();
+        let dump = results.join(format!("fig_chaos_flight_{}.txt", mode_name(mode)));
+        let cfg = ChaosConfig {
+            flight_dump: Some(dump.clone()),
+            ..ChaosConfig::paper(mode, flows, duration, 1)
+        };
+        let r = run(&cfg);
         assert_eq!(r.recoveries.len(), 1, "{mode}: the crash must be detected");
+        // The crash must also latch the flight recorder and trigger the
+        // alert→dump hook, or the post-mortem story is broken.
+        let flight = r.flight.as_ref().expect("flight recorder enabled");
+        let freeze = flight.frozen.as_ref().expect("crash latches the recorder");
+        assert_eq!(freeze.kind, "worker_death", "{mode}");
+        assert_eq!(
+            r.flight_dumped.as_deref(),
+            Some(dump.as_path()),
+            "{mode}: the alert\u{2192}dump hook must fire on the crash"
+        );
+        println!(
+            "{}: flight recorder dumped to {} (render with `blackbox {}`)",
+            mode_name(mode),
+            dump.display(),
+            dump.display()
+        );
         // Hard gate: every injected-fault run conserves packets — the
         // crash, the detection window, and the malformed bursts are all
         // accounted, nothing vanishes.
@@ -95,6 +121,7 @@ fn main() {
         reg.set_u64("adversarial_injected", r.injected);
         reg.set_f64("jain_floor_under_attack", r.jain_floor());
         export_fault_telemetry(&mut reg, &r.recoveries, &r.stats);
+        flight.export(&mut reg);
         reg.set_raw_json("samples", samples.to_json());
         reg.set_raw_json("telemetry", r.stats.to_json());
         telemetry.push(reg.to_json());

@@ -146,6 +146,10 @@ fn main() {
         r.reorder.export(&mut reg);
         reg.set_u64("reorder_offline_reordered", r.offline_reordered);
         reg.set_u64("reorder_offline_max_depth", r.offline_max_depth);
+        // Ring-loss accounting: the offline cross-checks above are only
+        // exact over a complete trace, so a nonzero drop count is a
+        // gated regression, not a curiosity.
+        reg.set_u64("trace_events_dropped", r.trace_events_dropped);
         export_health_telemetry(&mut reg, &r.health, &r.alerts);
         reg.set_raw_json("samples", r.samples.to_json());
         reg.set_raw_json("telemetry", r.stats.to_json());

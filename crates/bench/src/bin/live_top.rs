@@ -27,6 +27,14 @@
 //! are run through the SLO evaluator, surfacing recent alerts at the
 //! bottom of the frame.
 //!
+//! `--tail` turns tail-latency attribution on (it forces the scalar
+//! per-packet path, so expect lower absolute throughput): each
+//! iteration's exemplar table accumulates into a running
+//! [`TailReport`] and a tail pane joins the frame — how many
+//! completions crossed the rolling-p99 threshold and which pipeline
+//! span (queue wait, classify, redirect transit, NF, TX) their time
+//! sat in.
+//!
 //! `--plain` (or a non-TTY stdout) prints frames sequentially instead
 //! of redrawing in place — usable in CI logs.
 
@@ -36,7 +44,7 @@ use sprayer_bench::livetop::{jain, render, ElasticStatus, Frame};
 use sprayer_net::flow::splitmix64;
 use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
-use sprayer_obs::{evaluate, Alert, LiveSlots, ProfileSlots, SloRules};
+use sprayer_obs::{evaluate, Alert, LiveSlots, ProfileSlots, SloRules, TailReport};
 use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,6 +58,7 @@ struct Args {
     mode: DispatchMode,
     elastic: bool,
     health: bool,
+    tail: bool,
     plain: bool,
 }
 
@@ -62,6 +71,7 @@ fn parse_args() -> Args {
         mode: DispatchMode::Sprayer,
         elastic: false,
         health: false,
+        tail: false,
         plain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -81,12 +91,14 @@ fn parse_args() -> Args {
             }
             "--elastic" => args.elastic = true,
             "--health" => args.health = true,
+            "--tail" => args.tail = true,
             "--plain" => args.plain = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
-                     [--cycles N] [--mode rss|sprayer] [--elastic] [--health] [--plain]"
+                     [--cycles N] [--mode rss|sprayer] [--elastic] [--health] \
+                     [--tail] [--plain]"
                 );
                 std::process::exit(1);
             }
@@ -124,20 +136,29 @@ fn main() {
         config.obs = ObsConfig {
             profile: true,
             health: true,
-            ..ObsConfig::disabled()
+            ..config.obs
         };
         config.profile_live = profile.clone();
+    }
+    if args.tail {
+        config.obs = ObsConfig {
+            tail: true,
+            latency: true,
+            ..config.obs
+        };
     }
 
     let stop = Arc::new(AtomicBool::new(false));
     let runs = Arc::new(AtomicU64::new(0));
     let status = Arc::new(ElasticStatus::default());
     let alerts: Arc<Mutex<Vec<Alert>>> = Arc::new(Mutex::new(Vec::new()));
+    let tail_acc: Arc<Mutex<Option<TailReport>>> = Arc::new(Mutex::new(None));
     let driver = {
         let stop = stop.clone();
         let runs = runs.clone();
         let status = status.clone();
         let alerts = alerts.clone();
+        let tail_acc = tail_acc.clone();
         let cycles = args.cycles;
         let (low, elastic) = (args.workers, args.elastic);
         std::thread::spawn(move || {
@@ -177,6 +198,13 @@ fn main() {
                         held.drain(..overflow);
                     }
                 }
+                if let Some(fresh) = &out.tail {
+                    let mut held = tail_acc.lock().expect("tail lock");
+                    match held.as_mut() {
+                        Some(acc) => acc.merge(fresh),
+                        None => *held = Some(fresh.clone()),
+                    }
+                }
                 round += 1;
                 runs.fetch_add(1, Ordering::Relaxed);
             }
@@ -185,7 +213,7 @@ fn main() {
 
     let plain = args.plain || !std::io::stdout().is_terminal();
     println!(
-        "live_top: {} workers{}{}, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
+        "live_top: {} workers{}{}{}, {} mode, {}-cycle NF, {:.1}s (refresh {} ms)\n",
         args.workers,
         if args.elastic {
             format!(" (elastic, scaling to {high})")
@@ -194,6 +222,11 @@ fn main() {
         },
         if args.health {
             " (health plane on)"
+        } else {
+            ""
+        },
+        if args.tail {
+            " (tail attribution on)"
         } else {
             ""
         },
@@ -214,6 +247,7 @@ fn main() {
         let now = Instant::now();
         let dt = now.duration_since(prev_at).as_secs_f64().max(1e-9);
         let held_alerts = alerts.lock().expect("alerts lock").clone();
+        let held_tail = tail_acc.lock().expect("tail lock").clone();
         let frame = render(&Frame {
             prev: &prev,
             cur: &cur,
@@ -222,6 +256,7 @@ fn main() {
             elapsed: start.elapsed().as_secs_f64(),
             elastic: args.elastic.then_some((args.workers, status.as_ref())),
             stages: prev_stages.as_deref().zip(cur_stages.as_deref()),
+            tail: held_tail.as_ref(),
             alerts: &held_alerts,
         });
         if !plain && frame_lines > 0 {

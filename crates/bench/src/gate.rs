@@ -113,6 +113,24 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
         // invariant. The companion `health_events_*` counts and the raw
         // event/alert records stay context.
         "health_alerts_total" => rule(Direction::LowerIsBetter, 0.0, 0.0),
+        // Bounded-ring loss counters: the standard scenarios size every
+        // ring to hold their whole run, so any drop is an observability
+        // regression — zero slack keeps "the rings never overflow" an
+        // enforced invariant. Likewise the reorder sketch's capacity
+        // overflow counter.
+        "health_events_dropped" | "trace_events_dropped" | "reorder_untracked_completions" => {
+            rule(Direction::LowerIsBetter, 0.0, 0.0)
+        }
+        // Tail attribution (fig_tail): exemplar counts are exact in the
+        // deterministic simulator under a fixed threshold — more
+        // exemplars means the tail got fatter. The companion
+        // `tail_completions` / threshold / share fields are context.
+        "tail_exemplars" => rule(Direction::LowerIsBetter, 0.0, 0.0),
+        // Flight recorder: a crash scenario whose baseline latched a
+        // freeze must keep latching one — losing the dump on a crash is
+        // a post-mortem regression. Healthy baselines hold 0 and any
+        // current value passes (freezing is never *worse*).
+        "flight_frozen" => rule(Direction::HigherIsBetter, 0.0, 0.0),
         // Stage attribution: the NF body must keep dominating the
         // profiled time — a >10% relative drop in its share means
         // framework overhead (classify/redirect/tx) crept into the hot
@@ -385,6 +403,11 @@ mod tests {
             "fault_malformed_drops_total",
             "ns_per_packet",
             "health_alerts_total",
+            "health_events_dropped",
+            "trace_events_dropped",
+            "reorder_untracked_completions",
+            "tail_exemplars",
+            "flight_frozen",
             "profile_nf_share",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
@@ -412,11 +435,20 @@ mod tests {
             "adversarial_injected",
             // Health-plane companions: event totals and per-kind counts
             // vary with obs coverage, not dataplane quality; only the
-            // evaluated alert count gates. The non-NF stage shares trade
-            // off against each other — only the NF share gates.
+            // evaluated alert count (and the ring-loss counters) gate.
+            // The non-NF stage shares trade off against each other —
+            // only the NF share gates.
             "health_events_total",
-            "health_events_dropped",
             "health_alerts_critical",
+            // Tail/flight companions: the counts describe the run, the
+            // gated invariants are exemplars and the freeze latch.
+            "tail_completions",
+            "tail_threshold_ticks",
+            "tail_rolling",
+            "tail_exemplar_share",
+            "flight_recorded",
+            "flight_overwritten",
+            "flight_events",
             "profile_classify_share",
             "profile_redirect_share",
             "profile_tx_share",

@@ -11,7 +11,12 @@
 //!   middlebox in one event loop;
 //! * [`scenarios::latency`] — open-loop Poisson load for p99 RTT
 //!   (Fig. 8);
+//! * [`scenarios::tail`] — the Fig. 8 workload with tail attribution,
+//!   the flight recorder, and tracing on (`fig_tail`), hard-checking
+//!   the online table against the offline trace replay;
 //! * [`report`] — aligned table / CSV output;
+//! * [`blackbox`] — post-mortem rendering of a crash flight-recorder
+//!   dump (the `blackbox` binary's logic);
 //! * [`livetop`] — frame rendering for the `live_top` dashboard
 //!   (per-core rates, elastic footer, stage breakdown, SLO alerts);
 //! * [`gate`] — the benchmark regression gate: diffs fresh telemetry
@@ -24,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod gate;
 pub mod livetop;
 pub mod report;

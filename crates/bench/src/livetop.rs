@@ -9,7 +9,7 @@
 //! redraws in place or appends to a CI log.
 
 use sprayer::ReconfigReport;
-use sprayer_obs::{Alert, LiveCore, Stage, STAGE_COUNT};
+use sprayer_obs::{Alert, LiveCore, Stage, TailReport, TailStage, STAGE_COUNT};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -57,6 +57,10 @@ pub struct Frame<'a> {
     /// Per-stage tick matrices (previous and current
     /// [`sprayer_obs::ProfileSlots::snapshot`]) for the stage pane.
     pub stages: Option<(&'a StageMatrix, &'a StageMatrix)>,
+    /// Accumulated tail-latency attribution for the tail pane
+    /// (`--tail`): where slow packets spent their time, across every
+    /// driver iteration so far.
+    pub tail: Option<&'a TailReport>,
     /// Most recent SLO alerts, oldest first.
     pub alerts: &'a [Alert],
 }
@@ -112,6 +116,9 @@ pub fn render(f: &Frame) -> String {
     );
     if let Some((prev, cur)) = f.stages {
         out.push_str(&stage_line(prev, cur));
+    }
+    if let Some(tail) = f.tail {
+        out.push_str(&tail_line(tail));
     }
     if let Some((_, status)) = f.elastic {
         let events = status.events.lock().expect("status lock");
@@ -176,6 +183,29 @@ fn stage_line(prev: &[[u64; STAGE_COUNT]], cur: &[[u64; STAGE_COUNT]]) -> String
     out
 }
 
+/// The tail pane: how many completions crossed the exemplar threshold
+/// and which pipeline span their excess time sat in.
+fn tail_line(t: &TailReport) -> String {
+    use std::fmt::Write as _;
+    let pct = if t.completions == 0 {
+        0.0
+    } else {
+        t.exemplars as f64 / t.completions as f64 * 100.0
+    };
+    let mut out = format!(
+        "tail: {} exemplars / {} completions ({pct:.2}%)",
+        t.exemplars, t.completions
+    );
+    if t.exemplars > 0 {
+        let _ = write!(out, " | dominant {}", t.dominant_stage().as_str());
+        for stage in TailStage::ALL {
+            let _ = write!(out, " | {} {:.1}%", stage.as_str(), t.share(stage) * 100.0);
+        }
+    }
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +233,7 @@ mod tests {
             elapsed: 2.5,
             elastic: None,
             stages: None,
+            tail: None,
             alerts: &[],
         }
     }
@@ -278,6 +309,55 @@ mod tests {
             out.contains("stages: classify 18.2% | redirect 0.0% | nf 72.7% | tx 9.1%"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn tail_pane_shows_exemplar_share_and_stage_split() {
+        use sprayer_obs::{TailSpans, TailTracker};
+        let mut t = TailTracker::new(1, 100);
+        // One fast completion (no exemplar), one slow one at 150 ticks.
+        t.on_complete(
+            0,
+            TailSpans {
+                queue_wait: 10,
+                classify: 5,
+                redirect_transit: 0,
+                nf: 30,
+                tx: 5,
+            },
+        );
+        t.on_complete(
+            0,
+            TailSpans {
+                queue_wait: 105,
+                classify: 5,
+                redirect_transit: 0,
+                nf: 35,
+                tx: 5,
+            },
+        );
+        let report = t.report();
+        let p = vec![core(0, 0)];
+        let c = vec![core(1, 0)];
+        let mut f = frame(&p, &c);
+        f.tail = Some(&report);
+        let out = render(&f);
+        assert!(
+            out.contains("tail: 1 exemplars / 2 completions (50.00%)"),
+            "{out}"
+        );
+        assert!(out.contains("dominant queue_wait"), "{out}");
+        assert!(out.contains("queue_wait 70.0%"), "{out}");
+
+        // With nothing over the threshold the split is suppressed.
+        let quiet = TailTracker::new(1, 1_000).report();
+        f.tail = Some(&quiet);
+        let out = render(&f);
+        assert!(
+            out.contains("tail: 0 exemplars / 0 completions (0.00%)"),
+            "{out}"
+        );
+        assert!(!out.contains("dominant"), "{out}");
     }
 
     #[test]

@@ -23,9 +23,10 @@ use sprayer::RecoveryReport;
 use sprayer_ctl::{AdversarialProfile, ChaosController, FaultPlan};
 use sprayer_net::{PacketBuilder, TcpFlags};
 use sprayer_nf::SyntheticNf;
-use sprayer_obs::SampleSet;
+use sprayer_obs::{FlightSnapshot, SampleSet};
 use sprayer_sim::Time;
 use sprayer_trafficgen::moongen::{Arrivals, MoonGen};
+use std::path::PathBuf;
 
 /// Parameters of a chaos run.
 #[derive(Debug, Clone)]
@@ -58,6 +59,9 @@ pub struct ChaosConfig {
     /// Observability switches (sampling shows the fairness collapse
     /// under attack and the throughput hole around the crash).
     pub obs: ObsConfig,
+    /// When set (and `obs.flight` is on), the controller's alert→dump
+    /// hook writes the frozen flight recorder here after the crash.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl ChaosConfig {
@@ -77,7 +81,11 @@ impl ChaosConfig {
             attack_checksum: 0x00ff,
             duration,
             seed,
-            obs: ObsConfig::sampling(),
+            obs: ObsConfig {
+                flight: true,
+                ..ObsConfig::sampling()
+            },
+            flight_dump: None,
         }
     }
 }
@@ -99,6 +107,11 @@ pub struct ChaosResult {
     pub injected: u64,
     /// Of those, frames that must be counted as malformed drops.
     pub injected_malformed: u64,
+    /// The flight-recorder snapshot (frozen at the crash) when
+    /// `obs.flight` was on.
+    pub flight: Option<FlightSnapshot>,
+    /// Where the alert→dump hook wrote the dump, if it fired.
+    pub flight_dumped: Option<PathBuf>,
 }
 
 impl ChaosResult {
@@ -174,6 +187,9 @@ pub fn run(cfg: &ChaosConfig) -> ChaosResult {
         .crash_at_time(warmup_end + frac(1, 3), cfg.fail_core);
     let mut ctl = ChaosController::new(mb_config, SyntheticNf::for_simulator(), plan, cfg.seed)
         .expect("static fault schedule is valid");
+    if let Some(path) = &cfg.flight_dump {
+        ctl = ctl.dump_flight_to(path.clone());
+    }
 
     // Connection setup, outside the measured window.
     let mut t = Time::ZERO;
@@ -198,6 +214,7 @@ pub fn run(cfg: &ChaosConfig) -> ChaosResult {
     }
     ctl.finish(horizon);
     let injected = ctl.injected();
+    let flight_dumped = ctl.flight_dumped().map(PathBuf::from);
 
     let mut mb = ctl.into_middlebox();
     let processed_window = mb.stats().processed() - processed_before;
@@ -217,6 +234,8 @@ pub fn run(cfg: &ChaosConfig) -> ChaosResult {
         stats,
         injected,
         injected_malformed: 2 * u64::from(half_burst),
+        flight: mb.take_flight(),
+        flight_dumped,
     }
 }
 
@@ -272,6 +291,35 @@ mod tests {
             spray.flows_lost_total() > 0,
             "state on the dead core is gone"
         );
+    }
+
+    #[test]
+    fn crash_dumps_a_flight_recording_the_analyzer_can_render() {
+        let dir = std::env::temp_dir().join(format!("sprayer-chaos-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.txt");
+        let cfg = ChaosConfig {
+            flight_dump: Some(path.clone()),
+            ..quick(DispatchMode::Sprayer)
+        };
+        let r = run(&cfg);
+
+        // The in-memory snapshot froze at the crash…
+        let snap = r.flight.expect("flight recorder was on");
+        let freeze = snap.frozen.as_ref().expect("crash latches the recorder");
+        assert_eq!((freeze.kind.as_str(), freeze.core), ("worker_death", 1));
+
+        // …the alert→dump hook wrote it to disk…
+        assert_eq!(r.flight_dumped.as_deref(), Some(path.as_path()));
+        let loaded = sprayer_obs::flight::load(&path).expect("dump parses");
+        assert_eq!(loaded, snap);
+
+        // …and the post-mortem renderer tells the story.
+        let report = crate::blackbox::render(&loaded, 5);
+        assert!(report.contains("FROZEN: worker_death on core 1"));
+        assert!(report.contains("<recorder latched here>"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

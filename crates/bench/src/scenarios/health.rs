@@ -106,6 +106,9 @@ pub struct HealthResult {
     pub processed_pps: f64,
     /// Adversarial frames/packets injected.
     pub injected: u64,
+    /// Trace events lost to the bounded per-core rings. Nonzero means
+    /// the offline cross-checks ran on an incomplete trace.
+    pub trace_events_dropped: u64,
 }
 
 impl HealthResult {
@@ -185,6 +188,7 @@ pub fn run(cfg: &HealthConfig) -> HealthResult {
     let health = mb.take_health().expect("the health bus is on");
     let reorder = mb.take_reorder().expect("the reorder sketch is on");
     let trace = mb.take_trace().expect("tracing is on");
+    let trace_events_dropped = trace.dropped;
     let analysis = analyze(&trace);
     let alerts = evaluate(&cfg.rules, &health, Some(&samples), Some(&reorder));
     HealthResult {
@@ -200,6 +204,7 @@ pub fn run(cfg: &HealthConfig) -> HealthResult {
         offered_pps: cfg.offered_pps,
         processed_pps: processed_window as f64 / cfg.duration.as_secs_f64(),
         injected,
+        trace_events_dropped,
     }
 }
 

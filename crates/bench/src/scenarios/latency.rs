@@ -107,8 +107,10 @@ pub fn run(mode: DispatchMode, nf_cycles: u64, load: f64, seed: u64) -> LatencyR
         .expect("latency probes enabled")
         .sojourn_ns
         .clone();
-    assert!(!sojourn.is_empty(), "samples exist");
-    let us = |ns: Option<u64>| ns.expect("samples exist") as f64 / 1_000.0;
+    // A degenerate run (zero offered load, or a horizon shorter than the
+    // warmup) completes nothing; report the out-of-model floor instead
+    // of panicking on the empty histogram's `None` percentiles.
+    let us = |ns: Option<u64>| ns.unwrap_or(0) as f64 / 1_000.0;
     LatencyResult {
         p99_us: us(sojourn.p99()) + BASE_RTT_US,
         p999_us: us(sojourn.p999()) + BASE_RTT_US,

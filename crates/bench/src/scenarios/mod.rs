@@ -5,4 +5,5 @@ pub mod elastic;
 pub mod health;
 pub mod latency;
 pub mod rate;
+pub mod tail;
 pub mod tcp;

@@ -1,12 +1,12 @@
 //! The health plane's overhead budget, enforced as a test.
 //!
-//! The acceptance bound is: with profiling + the health bus + sampling
-//! on (everything the online health plane adds that keeps the
-//! vectorized batch path), the threaded dataplane's wall time over a
-//! fixed workload must stay within 5% of the obs-off time. Per-packet
-//! facilities (tracing, the reorder sketch) force the scalar path and
-//! are budgeted against the scalar baseline by the `obs` criterion
-//! group instead.
+//! The acceptance bound is: with profiling, the health bus, sampling,
+//! and the flight recorder on (everything that keeps the vectorized
+//! batch path), the threaded dataplane's wall time over a fixed
+//! workload must stay within 5% of the obs-off time. Per-packet
+//! facilities (tracing, the reorder sketch, tail attribution) force
+//! the scalar path; a second test budgets tail attribution + flight
+//! against the scalar latency-histogram baseline the same way.
 //!
 //! Timing a threaded run in a shared CI container is noisy, so the
 //! comparison is min-of-K (the minimum is the least noisy location
@@ -64,6 +64,7 @@ fn health_plane_costs_at_most_five_percent_of_the_batch_dataplane() {
     let plane = ObsConfig {
         health: true,
         sample: true,
+        flight: true,
         ..ObsConfig::profiling()
     };
     assert!(!plane.any(), "the budgeted plane must keep the batch path");
@@ -80,5 +81,34 @@ fn health_plane_costs_at_most_five_percent_of_the_batch_dataplane() {
         on <= budget,
         "health plane overhead breaks the 5% budget: off {off:?}, on {on:?} \
          (allowed {budget:?})"
+    );
+}
+
+#[test]
+fn tail_attribution_and_flight_cost_at_most_five_percent_of_the_scalar_plane() {
+    // Tail attribution needs per-packet timestamps, so its fair
+    // baseline is the scalar latency-histogram plane (which already
+    // pays for them), not the batch path. On top of that baseline,
+    // the exemplar capture + attribution table + flight ring must
+    // stay within the same 5% + 3 ms budget.
+    let packets = 20_000;
+    let k = 5;
+    let baseline = ObsConfig::latency();
+    let plane = ObsConfig {
+        tail: true,
+        flight: true,
+        ..baseline
+    };
+    let _ = one_run(baseline, packets);
+    let _ = one_run(plane, packets);
+
+    let off = min_of(k, baseline, packets);
+    let on = min_of(k, plane, packets);
+
+    let budget = off.mul_f64(1.05) + Duration::from_millis(3);
+    assert!(
+        on <= budget,
+        "tail+flight overhead breaks the 5% budget over the scalar plane: \
+         off {off:?}, on {on:?} (allowed {budget:?})"
     );
 }

@@ -78,6 +78,28 @@ pub struct ObsConfig {
     /// Maximum flows tracked by the sketch; completions of flows beyond
     /// the cap are counted as `untracked` rather than growing memory.
     pub reorder_max_flows: usize,
+    /// Capture tail exemplars: completions whose sojourn exceeds the
+    /// threshold record a per-stage span breakdown into a per-(stage,
+    /// core) attribution table ([`sprayer_obs::TailTracker`], the
+    /// `tail_*` metric set). Per-packet (needs timestamps along the
+    /// whole path), so it joins [`ObsConfig::any`] and forces the
+    /// threaded runtime's scalar path.
+    pub tail: bool,
+    /// Fixed tail threshold in runtime-native ticks; `0` selects the
+    /// rolling mode (threshold tracks the live sojourn p99, recomputed
+    /// every [`sprayer_obs::TAIL_RECOMPUTE_EVERY`] completions).
+    /// Offline cross-checks use a fixed threshold so the online and
+    /// replayed exemplar sets agree exactly.
+    pub tail_threshold_ticks: u64,
+    /// Run the crash flight recorder: an always-on, fixed-memory
+    /// keep-newest ring of recent events per core
+    /// ([`sprayer_obs::FlightRecorder`]) that freezes on a critical
+    /// health event and dumps a `sprayer-flight/1` snapshot. Per-batch
+    /// (batch boundaries, redirects, drops, health events), so it stays
+    /// on the threaded runtime's batch path like `sample`/`profile`.
+    pub flight: bool,
+    /// Capacity of each per-core flight ring, in events.
+    pub flight_capacity: usize,
 }
 
 impl ObsConfig {
@@ -110,6 +132,11 @@ impl ObsConfig {
     /// default window).
     pub const DEFAULT_REORDER_MAX_FLOWS: usize = 4096;
 
+    /// Default per-core flight-ring capacity (1 Ki events × 32 B =
+    /// 32 KiB/core — milliseconds of batch-grained history, bounded
+    /// forever).
+    pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
     /// Everything off — the default.
     pub fn disabled() -> Self {
         ObsConfig {
@@ -125,6 +152,10 @@ impl ObsConfig {
             reorder: false,
             reorder_window: Self::DEFAULT_REORDER_WINDOW,
             reorder_max_flows: Self::DEFAULT_REORDER_MAX_FLOWS,
+            tail: false,
+            tail_threshold_ticks: 0,
+            flight: false,
+            flight_capacity: Self::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 
@@ -190,15 +221,46 @@ impl ObsConfig {
         }
     }
 
+    /// Tail attribution with a rolling threshold (plus the latency
+    /// histograms it builds on).
+    pub fn tail_attribution() -> Self {
+        ObsConfig {
+            tail: true,
+            latency: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Tail attribution with a fixed exemplar threshold in
+    /// runtime-native ticks (what `fig_tail` runs with, so the offline
+    /// trace replay reproduces the exact exemplar set).
+    pub fn tail_with_threshold(tail_threshold_ticks: u64) -> Self {
+        ObsConfig {
+            tail_threshold_ticks,
+            ..Self::tail_attribution()
+        }
+    }
+
+    /// The flight recorder alone (always-on crash forensics).
+    pub fn flight_recorder() -> Self {
+        ObsConfig {
+            flight: true,
+            health: true,
+            ..Self::disabled()
+        }
+    }
+
     /// True if a *per-packet* facility is enabled (per-packet timestamps
     /// or flow hashes must be taken). Sampling and stage profiling are
     /// deliberately excluded: they need only a few clock reads per
     /// batch, which the runtimes gate on [`ObsConfig::sample`] /
     /// [`ObsConfig::profile`] directly. Health events are rarer still
-    /// (edge-triggered). The reorder sketch *is* per-packet — it needs
-    /// the flow hash at every NF completion.
+    /// (edge-triggered), and the flight recorder records at batch
+    /// grain. The reorder sketch and tail attribution *are* per-packet —
+    /// one needs the flow hash, the other timestamps, at every NF
+    /// completion.
     pub fn any(&self) -> bool {
-        self.trace || self.latency || self.reorder
+        self.trace || self.latency || self.reorder || self.tail
     }
 }
 
@@ -395,6 +457,14 @@ mod tests {
         assert!(
             !h.any(),
             "sampling/profiling/health alone stay on the batch path"
+        );
+        assert!(
+            ObsConfig::tail_attribution().any(),
+            "tail attribution needs per-packet timestamps"
+        );
+        assert!(
+            !ObsConfig::flight_recorder().any(),
+            "the flight recorder is batch-grained and stays on the batch path"
         );
     }
 

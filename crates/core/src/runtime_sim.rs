@@ -24,9 +24,11 @@ use crate::tables::LocalTables;
 use sprayer_net::{FlowKey, Packet};
 use sprayer_nic::{Nic, NicConfig, RxSteering};
 use sprayer_obs::{
-    health_channel, CoreSample, DropKind, EventKind, ExpectedCounts, HealthBus, HealthCollector,
-    HealthEvent, HealthReport, LatencyProbes, ReorderReport, ReorderSketch, SampleSet, Stage,
-    StageProfiler, TimeSeries, Trace, TraceEvent, TraceMeta, TraceRing,
+    health_channel, health_kind_code, is_freeze_trigger, CoreSample, DropKind, EventKind,
+    ExpectedCounts, FlightEvent, FlightKind, FlightRecorder, FlightSnapshot, HealthBus,
+    HealthCollector, HealthEvent, HealthReport, LatencyProbes, ReorderReport, ReorderSketch,
+    SampleSet, Stage, StageProfiler, TailReport, TailSpans, TailTracker, TimeSeries, Trace,
+    TraceEvent, TraceMeta, TraceRing,
 };
 use sprayer_sim::{BoundedFifo, Reservoir, Time};
 use std::cmp::Reverse;
@@ -146,6 +148,15 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     /// Present iff `config.obs.reorder`: the streaming reordering
     /// estimator, fed one observation per NF completion.
     reorder: Option<ReorderSketch>,
+    /// Present iff `config.obs.tail`: the tail-attribution tracker, fed
+    /// an exact per-stage span partition of every completion's sojourn
+    /// (the cycle model knows each component, so exemplar stage ticks
+    /// sum to the exemplars' sojourn to the picosecond).
+    tail: Option<TailTracker>,
+    /// Present iff `config.obs.flight`: the crash flight recorder —
+    /// keep-newest per-core rings of batch/redirect/drop/health events
+    /// that freeze when a critical health event fires.
+    flight: Option<FlightRecorder>,
     /// Cores pause until this instant after a reconfiguration (the
     /// quiesce-and-migrate downtime). `Time::ZERO` = not frozen.
     frozen_until: Time,
@@ -271,6 +282,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             .obs
             .reorder
             .then(|| ReorderSketch::new(config.obs.reorder_window, config.obs.reorder_max_flows));
+        let tail = config
+            .obs
+            .tail
+            .then(|| TailTracker::new(config.num_cores, config.obs.tail_threshold_ticks));
+        let flight = config
+            .obs
+            .flight
+            .then(|| FlightRecorder::new(config.num_cores, config.obs.flight_capacity));
         MiddleboxSim {
             nic: Nic::new(nic_config),
             coremap,
@@ -292,6 +311,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             health,
             hwm_latched: vec![false; config.num_cores],
             reorder,
+            tail,
+            flight,
             frozen_until: Time::ZERO,
             reconfigs: Vec::new(),
             failed: vec![false; config.num_cores],
@@ -334,9 +355,45 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         }
     }
 
+    /// Record a flight-recorder event on `core` at simulated time `ts`.
+    /// A no-op (`None` branch) when the recorder is off or frozen.
+    #[inline]
+    fn record_flight(&mut self, core: usize, ts: Time, kind: FlightKind, a: u64, b: u64) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record(
+                core,
+                FlightEvent {
+                    ts: ts.as_ps(),
+                    kind,
+                    a,
+                    b,
+                },
+            );
+        }
+    }
+
     /// Emit a health event stamped with simulated time `ts`. A no-op
-    /// (`None` branch) when the health bus is off.
+    /// (`None` branch) when the health bus is off. The flight recorder
+    /// (when on) mirrors every event into the affected core's ring and
+    /// freezes on the critical kinds — the black box stops writing the
+    /// instant the crash is on record.
     fn emit_health_at(&mut self, ts: Time, event: HealthEvent) {
+        if let Some(f) = self.flight.as_mut() {
+            let kind = event.kind();
+            let core = event.core().unwrap_or(0);
+            f.record(
+                core,
+                FlightEvent {
+                    ts: ts.as_ps(),
+                    kind: FlightKind::Health,
+                    a: health_kind_code(kind),
+                    b: core as u64,
+                },
+            );
+            if is_freeze_trigger(kind) {
+                f.freeze(ts.as_ps(), kind, core as u16);
+            }
+        }
         if let Some((bus, _)) = self.health.as_ref() {
             bus.emit(ts.as_ps(), event);
         }
@@ -433,6 +490,32 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// the run (the sketch is consumed).
     pub fn take_reorder(&mut self) -> Option<ReorderReport> {
         self.reorder.take().map(|s| s.report())
+    }
+
+    /// Consume the tail tracker into its attribution report, when
+    /// [`crate::config::ObsConfig::tail`] is on. Call once, after the
+    /// run.
+    pub fn take_tail(&mut self) -> Option<TailReport> {
+        self.tail.take().map(|t| t.report())
+    }
+
+    /// Consume the flight recorder into a snapshot, when
+    /// [`crate::config::ObsConfig::flight`] is on. Call once, after the
+    /// run; for a mid-run (possibly frozen) view that leaves the
+    /// recorder in place, use [`MiddleboxSim::flight_snapshot`].
+    pub fn take_flight(&mut self) -> Option<FlightSnapshot> {
+        self.flight
+            .take()
+            .map(|f| f.snapshot("sim", SIM_TICKS_PER_US))
+    }
+
+    /// Snapshot the flight recorder without consuming it — the hook the
+    /// ctl crate's alert→dump path uses to persist the black box the
+    /// moment a critical alert fires, while the run continues.
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        self.flight
+            .as_ref()
+            .map(|f| f.snapshot("sim", SIM_TICKS_PER_US))
     }
 
     /// The flow tables (for assertions about state placement).
@@ -538,6 +621,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                         id,
                         DropKind::NicCap.to_aux(),
                     );
+                    self.record_flight(core, now, FlightKind::Drop, DropKind::NicCap.to_aux(), 0);
                     return;
                 }
                 // Work-conserving limiter with one interval of credit:
@@ -568,6 +652,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 id,
                 DropKind::QueueFull.to_aux(),
             );
+            self.record_flight(core, now, FlightKind::Drop, DropKind::QueueFull.to_aux(), 0);
             return;
         }
         self.trace(core, now, EventKind::IngressEnqueue, flow, id, 0);
@@ -673,6 +758,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     job.id,
                     transfer.as_ps(),
                 );
+                self.record_flight(core, now, FlightKind::RedirectIn, transfer.as_ps(), 0);
                 if let Some(p) = self.probes.as_mut() {
                     p.redirect_ns.record(transfer.as_ps() / 1_000);
                 }
@@ -710,6 +796,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             self.stats.per_core[core].record_batch(burst);
             if burst > 0 {
                 self.trace(core, now, EventKind::Drain, 0, TraceEvent::NO_PKT, burst);
+                let depth = self.cores[core].rx.len() as u64;
+                self.record_flight(core, now, FlightKind::Batch, burst, depth);
             }
             self.cores[core].burst = 0;
             return;
@@ -767,6 +855,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     job.id,
                     target as u64,
                 );
+                self.record_flight(core, now, FlightKind::RedirectOut, target as u64, 0);
                 let job = Job {
                     via_ring: true,
                     relayed_at: Some(now),
@@ -790,6 +879,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                         id,
                         DropKind::RingFull.to_aux(),
                     );
+                    self.record_flight(
+                        target,
+                        now,
+                        FlightKind::Drop,
+                        DropKind::RingFull.to_aux(),
+                        0,
+                    );
                 } else {
                     let depth = self.cores[target].ring.len() as u64;
                     self.stats.per_core[target].observe_ring_depth(depth);
@@ -807,9 +903,25 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     via_ring,
                     id,
                     flow,
-                    relayed_at: _,
+                    relayed_at,
                 } = job;
                 let is_conn = class.is_conn;
+                // Tail attribution reconstructs the service start from
+                // the same cycle decomposition `kick` scheduled with;
+                // `service_cycles_for` must see the packet before the NF
+                // mutates it, so this runs ahead of the batch call.
+                let tail_start = self.tail.as_ref().map(|_| {
+                    let ring_dq = if via_ring {
+                        self.config.ring_dequeue_cycles
+                    } else {
+                        0
+                    };
+                    let svc = ring_dq + self.config.service_cycles_for(&pkt);
+                    (
+                        now.saturating_sub(self.config.clock.cycles_to_time(svc)),
+                        ring_dq,
+                    )
+                });
                 // One invocation path with the threaded runtime: the
                 // engine's batch call, here with the event's single
                 // packet (each service completion is one event).
@@ -827,6 +939,40 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 self.latency_us.add(sojourn.as_us_f64());
                 if let Some(p) = self.probes.as_mut() {
                     p.sojourn_ns.record(sojourn.as_ps() / 1_000);
+                }
+                if let (Some(tail), Some((start, ring_dq))) = (self.tail.as_mut(), tail_start) {
+                    // Exact span partition of the sojourn. The framework
+                    // overhead splits 3/4 classify, 1/4 tx (the same
+                    // split the stage profiler uses); ring-dequeue
+                    // cycles are charged to classify so redirect-transit
+                    // equals the offline analyzer's RedirectIn−RedirectOut
+                    // without any config knowledge; nf is the remainder,
+                    // so the five spans always sum to the sojourn.
+                    let overhead = self.config.overhead_cycles;
+                    let tx_cyc = overhead / 4;
+                    let clock = self.config.clock;
+                    let classify = clock.cycles_to_time(overhead - tx_cyc + ring_dq).as_ps();
+                    let tx = clock.cycles_to_time(tx_cyc).as_ps();
+                    let (queue_wait, redirect_transit) = match relayed_at {
+                        Some(at) => (
+                            at.saturating_sub(arrival).as_ps(),
+                            start.saturating_sub(at).as_ps(),
+                        ),
+                        None => (start.saturating_sub(arrival).as_ps(), 0),
+                    };
+                    let nf = sojourn
+                        .as_ps()
+                        .saturating_sub(queue_wait + redirect_transit + classify + tx);
+                    tail.on_complete(
+                        core,
+                        TailSpans {
+                            queue_wait,
+                            classify,
+                            redirect_transit,
+                            nf,
+                            tx,
+                        },
+                    );
                 }
                 let dropped = matches!(verdict, Verdict::Drop);
                 self.sample(core, now, |s| {
@@ -1521,6 +1667,152 @@ mod tests {
         assert!(mb.take_profile().is_none());
         assert!(mb.take_health().is_none());
         assert!(mb.take_reorder().is_none());
+        assert!(mb.flight_snapshot().is_none());
+        assert!(mb.take_tail().is_none());
+        assert!(mb.take_flight().is_none());
+    }
+
+    #[test]
+    fn tail_spans_partition_sojourn_and_match_the_trace() {
+        use crate::config::ObsConfig;
+        use sprayer_obs::{EventKind, TailStage};
+        use std::collections::HashMap;
+
+        // Fixed 1-tick threshold: every completion's sojourn exceeds it
+        // (a service alone is thousands of picoseconds), so the
+        // exemplar table covers the whole run and can be checked
+        // against the trace exactly.
+        let mut config = cfg(DispatchMode::Sprayer, 2_000);
+        config.obs = ObsConfig {
+            tail: true,
+            tail_threshold_ticks: 1,
+            ..ObsConfig::tracing()
+        };
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let mut now = Time::ZERO;
+        // Many flows so a healthy share of packets redirect.
+        for i in 0u32..48 {
+            now += Time::from_us(2);
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(flow(i), 0, 0, TcpFlags::SYN, b""),
+            );
+        }
+        for i in 0u32..1_500 {
+            now += Time::from_ns(400);
+            let t = flow(i % 48);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let processed = mb.stats().processed();
+
+        let report = mb.take_tail().expect("tail attribution enabled");
+        assert_eq!(report.completions, processed);
+        assert_eq!(report.exemplars, processed, "1-tick threshold captures all");
+
+        // Offline ground truth from the event trace: pair each packet's
+        // ingress, redirect, and completion events by id.
+        let trace = mb.take_trace().expect("tracing enabled");
+        assert_eq!(trace.dropped, 0);
+        let mut ingress_ts = HashMap::new();
+        let mut out_ts = HashMap::new();
+        let mut nf_start_ts = HashMap::new();
+        let (mut sojourn_sum, mut transit_sum) = (0u64, 0u64);
+        for ev in &trace.events {
+            match ev.kind {
+                EventKind::IngressEnqueue => {
+                    ingress_ts.insert(ev.pkt, ev.ts);
+                }
+                EventKind::RedirectOut => {
+                    out_ts.insert(ev.pkt, ev.ts);
+                }
+                EventKind::RedirectIn => transit_sum += ev.aux,
+                EventKind::NfStart => {
+                    nf_start_ts.insert(ev.pkt, ev.ts);
+                }
+                EventKind::NfDone => sojourn_sum += ev.ts - ingress_ts[&ev.pkt],
+                _ => {}
+            }
+        }
+        let queue_wait_sum: u64 = ingress_ts
+            .iter()
+            .map(|(id, &ts)| {
+                // Redirected packets wait from ingress to the relay
+                // push; local packets from ingress to service start.
+                out_ts.get(id).copied().unwrap_or(nf_start_ts[id]) - ts
+            })
+            .sum();
+
+        // The online per-stage table reproduces the trace-derived sums
+        // exactly — the fig_tail acceptance identity.
+        assert_eq!(report.total_ticks(), sojourn_sum, "spans partition sojourn");
+        assert_eq!(report.stage_ticks(TailStage::RedirectTransit), transit_sum);
+        assert_eq!(report.stage_ticks(TailStage::QueueWait), queue_wait_sum);
+        assert!(report.stage_ticks(TailStage::Nf) > 0);
+        assert!(report.stage_ticks(TailStage::Tx) > 0);
+        assert!(mb.take_tail().is_none(), "tail report detaches once");
+    }
+
+    #[test]
+    fn flight_recorder_freezes_on_crash_and_round_trips() {
+        use crate::config::ObsConfig;
+        use sprayer_obs::{flight, FlightKind};
+
+        let mut config = cfg(DispatchMode::Sprayer, 2_000);
+        config.obs = ObsConfig::flight_recorder();
+        assert!(!config.obs.any(), "flight stays on the batch path");
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let mut now = Time::ZERO;
+        for i in 0u32..32 {
+            now += Time::from_us(2);
+            mb.ingress(
+                now,
+                PacketBuilder::new().tcp(flow(i), 0, 0, TcpFlags::SYN, b""),
+            );
+        }
+        for i in 0u32..500 {
+            now += Time::from_ns(400);
+            let t = flow(i % 32);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        let live = mb.flight_snapshot().expect("flight recorder enabled");
+        assert!(live.frozen.is_none());
+        assert!(live.recorded > 0, "batch/redirect events recorded");
+
+        // The crash freezes the black box mid-run; later traffic must
+        // not overwrite the evidence.
+        let crash_at = now + Time::from_us(10);
+        mb.inject_core_failure(crash_at, 3);
+        let frozen_recorded = mb.flight_snapshot().unwrap().recorded;
+        for i in 0u32..500 {
+            now = crash_at + Time::from_ns(400 * u64::from(i + 1));
+            let p = PacketBuilder::new().tcp(flow(i % 32), i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+
+        let snap = mb.take_flight().expect("flight recorder enabled");
+        assert_eq!(
+            snap.recorded, frozen_recorded,
+            "frozen ring stops recording"
+        );
+        let freeze = snap.frozen.as_ref().expect("crash must freeze");
+        assert_eq!(freeze.kind, "worker_death");
+        assert_eq!(freeze.core, 3);
+        assert_eq!(freeze.ts, crash_at.as_ps());
+        // The dead core's ring ends with the freeze marker.
+        let last = snap.per_core[3].last().expect("marker stamped");
+        assert!(matches!(last.kind, FlightKind::Freeze));
+        assert_eq!(last.ts, crash_at.as_ps());
+
+        // Dump → parse is lossless (the blackbox analyzer's read path).
+        let text = flight::write_string(&snap);
+        let back = flight::parse(&text).expect("dump parses");
+        assert_eq!(back, snap);
+        assert!(mb.take_flight().is_none(), "snapshot detaches once");
     }
 
     #[test]

@@ -72,14 +72,15 @@ use crossbeam::queue::ArrayQueue;
 use sprayer_net::{FlowKey, Packet};
 use sprayer_nic::{Nic, NicConfig};
 use sprayer_obs::{
-    health_channel, CoreSample, DropKind, EventKind, ExpectedCounts, HealthBus, HealthEvent,
-    HealthReport, LatencyProbes, LiveSlots, ProfileSlots, ReorderReport, SampleSet,
-    SharedReorderSketch, Stage, StageProfile, StageProfiler, TimeSeries, Trace, TraceEvent,
+    health_channel, health_kind_code, CoreSample, DropKind, EventKind, ExpectedCounts, FlightEvent,
+    FlightFreeze, FlightKind, FlightRing, FlightSnapshot, HealthBus, HealthEvent, HealthReport,
+    LatencyProbes, LiveSlots, ProfileSlots, ReorderReport, SampleSet, SharedReorderSketch, Stage,
+    StageProfile, StageProfiler, TailReport, TailSpans, TailTracker, TimeSeries, Trace, TraceEvent,
     TraceMeta, TraceRing,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Trace timestamps are wall-clock nanoseconds since the run's anchor
@@ -205,6 +206,32 @@ impl ThreadedConfig {
     }
 }
 
+/// Run-level flight-recorder latch shared by workers, the watchdog, and
+/// the runner (one per run, surviving phase barriers). Workers own
+/// their event rings; this is only the freeze state: a relaxed-read
+/// flag on the record path and a first-wins record of the trigger.
+struct FlightShared {
+    frozen: AtomicBool,
+    record: Mutex<Option<FlightFreeze>>,
+}
+
+impl FlightShared {
+    /// Latch the recorder on a critical event. First caller wins.
+    fn freeze(&self, ts: u64, kind: &str, core: u16) {
+        if self
+            .frozen
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            *self.record.lock().unwrap() = Some(FlightFreeze {
+                ts,
+                kind: kind.to_string(),
+                core,
+            });
+        }
+    }
+}
+
 /// Extract a displayable message from a captured panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -289,6 +316,22 @@ pub struct ThreadedOutcome {
     /// windowed depth histograms, fed at NF completion on the scalar
     /// path (reorder sketching forces it, like tracing).
     pub reorder: Option<ReorderReport>,
+    /// Tail-latency attribution, when [`ObsConfig::tail`] was on:
+    /// per-worker exemplar tables merged into one report. Spans are
+    /// wall nanoseconds, measured per packet (tail forces the scalar
+    /// path): queue wait and redirect transit from the descriptor
+    /// timestamps, NF from the service window; the framework
+    /// classify/tx overhead is not separable per packet on this
+    /// runtime, so those spans read 0 and the NF span absorbs them —
+    /// the exact decomposition lives in the simulator.
+    pub tail: Option<TailReport>,
+    /// The flight-recorder snapshot, when [`ObsConfig::flight`] was on:
+    /// each worker's last-N events (batch drains, redirects, ring-full
+    /// drops), frozen at the first captured worker death or watchdog
+    /// fence. Ingress-side events (queue-full drops, high-water
+    /// crossings) are not recorded on this runtime — the rings are
+    /// worker-owned.
+    pub flight: Option<FlightSnapshot>,
 }
 
 /// The real-thread middlebox. See the module docs for scope.
@@ -338,6 +381,10 @@ struct WorkerShared<NF: NetworkFunction> {
     /// The shared streaming reorder sketch, when [`ObsConfig::reorder`]
     /// is on. Sharded internally; workers feed it at NF completion.
     reorder: Option<Arc<SharedReorderSketch>>,
+    /// The flight-recorder freeze latch, when [`ObsConfig::flight`] is
+    /// on. Workers record into their own rings until any of them (or
+    /// the watchdog) latches it.
+    flight: Option<Arc<FlightShared>>,
     /// Wall-clock zero for trace timestamps (shared by all threads).
     anchor: Instant,
     /// Global trace-event sequence, shared by workers and ingress.
@@ -397,6 +444,11 @@ struct Worker<'a, NF: NetworkFunction> {
     scratch_local: Vec<Desc>,
     /// Scratch verdict buffer for [`engine::run_nf_batch`].
     sink: VerdictSink,
+    /// This worker's flight-recorder ring (iff the recorder is on).
+    flight: Option<FlightRing>,
+    /// This worker's tail-attribution tracker (iff tail is on); its
+    /// report is merged into the run's at join time.
+    tail: Option<TailTracker>,
 }
 
 impl<NF: NetworkFunction> Engine for Worker<'_, NF> {
@@ -436,6 +488,8 @@ struct WorkerResult {
     sampler: Option<TimeSeries>,
     profile: Option<StageProfile>,
     failure: Option<WorkerFailure>,
+    flight: Option<FlightRing>,
+    tail: Option<TailReport>,
 }
 
 /// Drain a dead worker's queues, counting every stranded descriptor as
@@ -575,9 +629,25 @@ impl ThreadedMiddlebox {
             profile: None,
             health: None,
             reorder: None,
+            tail: None,
+            flight: None,
         };
         let obs = config.obs;
         let anchor = Instant::now();
+        // Flight-recorder state: the freeze latch outlives every phase;
+        // per-worker rings accumulate here across phase barriers.
+        let flight_shared = obs.flight.then(|| {
+            Arc::new(FlightShared {
+                frozen: AtomicBool::new(false),
+                record: Mutex::new(None),
+            })
+        });
+        let mut flight_rings: Option<Vec<FlightRing>> = obs.flight.then(|| {
+            (0..num_workers)
+                .map(|_| FlightRing::new(obs.flight_capacity))
+                .collect()
+        });
+        let mut tail_acc: Option<TailReport> = None;
         // Health-plane accumulators: the bus producer is cloned into
         // every phase's shared state; the collector is drained once at
         // the end into one report covering the whole run.
@@ -692,6 +762,7 @@ impl ThreadedMiddlebox {
                 profile_live: obs.profile.then(|| config.profile_live.clone()).flatten(),
                 health: health_bus.clone(),
                 reorder: reorder_sketch.clone(),
+                flight: flight_shared.clone(),
                 anchor,
                 trace_seq: AtomicU64::new(seq_base),
             };
@@ -830,6 +901,17 @@ impl ThreadedMiddlebox {
                         Ok(r) => results.push((worker, r)),
                         Err(payload) => {
                             let message = panic_message(payload.as_ref());
+                            if let Some(fs) = flight_shared.as_deref() {
+                                // A panic that escaped the guarded
+                                // dispatch never reached `record_death`;
+                                // latch here (the dead worker's ring is
+                                // lost with its thread).
+                                fs.freeze(
+                                    anchor.elapsed().as_nanos() as u64,
+                                    "worker_death",
+                                    worker as u16,
+                                );
+                            }
                             if let Some(bus) = &health_bus {
                                 bus.emit(
                                     anchor.elapsed().as_nanos() as u64,
@@ -881,6 +963,15 @@ impl ThreadedMiddlebox {
                 if let (Some(acc), Some(p)) = (profile_acc.as_mut(), r.profile.as_ref()) {
                     acc.merge_core(worker, p);
                 }
+                if let (Some(rings), Some(ring)) = (flight_rings.as_mut(), r.flight.as_ref()) {
+                    rings[worker].absorb(ring);
+                }
+                if let Some(t) = r.tail {
+                    match tail_acc.as_mut() {
+                        Some(acc) => acc.merge(&t),
+                        None => tail_acc = Some(t),
+                    }
+                }
             }
         }
         outcome.redirects = stats.redirects();
@@ -923,6 +1014,20 @@ impl ThreadedMiddlebox {
         drop(health_bus);
         outcome.health = health_collector.map(|c| c.collect(THREAD_TICKS_PER_US));
         outcome.reorder = reorder_sketch.map(|s| s.report());
+        // An empty-input run with tail on still reports (zeroes).
+        outcome.tail = tail_acc.or_else(|| {
+            obs.tail
+                .then(|| TailTracker::new(num_workers, obs.tail_threshold_ticks).report())
+        });
+        outcome.flight = flight_shared.map(|fs| {
+            let frozen = fs.record.lock().unwrap().take();
+            FlightSnapshot::assemble(
+                "threads",
+                THREAD_TICKS_PER_US,
+                frozen,
+                flight_rings.as_deref().unwrap_or(&[]),
+            )
+        });
         outcome
     }
 }
@@ -966,6 +1071,16 @@ fn watchdog_loop<NF: NetworkFunction>(
                 let since = *stalled_since[w].get_or_insert_with(Instant::now);
                 if since.elapsed() >= deadline {
                     shared.dead[w].store(true, Ordering::SeqCst);
+                    if let Some(fs) = shared.flight.as_deref() {
+                        // The fenced worker's ring freezes as-is; the
+                        // marker lives in the freeze record only (the
+                        // ring is owned by the wedged thread).
+                        fs.freeze(
+                            shared.anchor.elapsed().as_nanos() as u64,
+                            "watchdog_fence",
+                            w as u16,
+                        );
+                    }
                     if let Some(bus) = &shared.health {
                         bus.emit(
                             shared.anchor.elapsed().as_nanos() as u64,
@@ -1028,6 +1143,25 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             scratch_conn: Vec::with_capacity(shared.batch_size),
             scratch_local: Vec::with_capacity(shared.batch_size),
             sink: VerdictSink::with_capacity(shared.batch_size),
+            flight: shared
+                .flight
+                .is_some()
+                .then(|| FlightRing::new(shared.obs.flight_capacity)),
+            tail: shared
+                .obs
+                .tail
+                .then(|| TailTracker::new(shared.rx.len(), shared.obs.tail_threshold_ticks)),
+        }
+    }
+
+    /// Record one event into this worker's flight ring. A no-op when
+    /// the recorder is off or the run-level latch has frozen.
+    #[inline]
+    fn record_flight(&mut self, ts: u64, kind: FlightKind, a: u64, b: u64) {
+        if let (Some(ring), Some(fs)) = (self.flight.as_mut(), self.shared.flight.as_deref()) {
+            if !fs.frozen.load(Ordering::Relaxed) {
+                ring.push(FlightEvent { ts, kind, a, b });
+            }
         }
     }
 
@@ -1140,6 +1274,18 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// many descriptors die with it.
     fn record_death(&mut self, message: String) {
         self.shared.dead[self.id].store(true, Ordering::SeqCst);
+        if self.shared.flight.is_some() {
+            // Stamp the crash into our own ring, then latch the run
+            // (first crash wins): the marker must land before the latch
+            // turns `record_flight` into a no-op.
+            let ts = self.now_ns();
+            let code = health_kind_code("worker_death");
+            self.record_flight(ts, FlightKind::Health, code, self.id as u64);
+            self.record_flight(ts, FlightKind::Freeze, code, self.id as u64);
+            if let Some(fs) = self.shared.flight.as_deref() {
+                fs.freeze(ts, "worker_death", self.id as u16);
+            }
+        }
         if let Some(bus) = &self.shared.health {
             bus.emit(
                 self.now_ns(),
@@ -1211,6 +1357,8 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             sampler: self.sampler,
             profile: self.profile,
             failure: self.failure,
+            flight: self.flight,
+            tail: self.tail.map(|t| t.report()),
         }
     }
 
@@ -1230,6 +1378,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             if core == self.id && self.stats.processed >= after {
                 self.fault_fired = true;
                 self.shared.fault_fired.store(true, Ordering::SeqCst);
+                if self.shared.flight.is_some() {
+                    let ts = self.now_ns();
+                    let code = health_kind_code("fault_injected");
+                    self.record_flight(ts, FlightKind::Health, code, self.id as u64);
+                }
                 if let Some(bus) = &self.shared.health {
                     bus.emit(
                         self.now_ns(),
@@ -1287,7 +1440,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             id,
             flow,
             arrival_ns,
-            ..
+            relay_ns,
         } = desc;
         let obs_on = self.shared.obs.any();
         let h0 = self.prof_start();
@@ -1310,6 +1463,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         if inject {
             self.fault_fired = true;
             self.shared.fault_fired.store(true, Ordering::SeqCst);
+            if self.shared.flight.is_some() {
+                let ts = self.now_ns();
+                let code = health_kind_code("fault_injected");
+                self.record_flight(ts, FlightKind::Health, code, self.id as u64);
+            }
             if let Some(bus) = &self.shared.health {
                 bus.emit(
                     self.now_ns(),
@@ -1359,6 +1517,31 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 id,
                 u64::from(dropped),
             );
+            if let Some(tail) = self.tail.as_mut() {
+                // Measured spans (wall ns): waiting from the descriptor
+                // timestamps, NF from the service window. Classify/tx
+                // framework overhead is not separable per packet here,
+                // so those spans are 0 and the NF span absorbs them —
+                // the spans still partition the measured sojourn.
+                let (queue_wait, redirect_transit) = if via_ring {
+                    (
+                        relay_ns.saturating_sub(arrival_ns),
+                        start_ns.saturating_sub(relay_ns),
+                    )
+                } else {
+                    (start_ns.saturating_sub(arrival_ns), 0)
+                };
+                tail.on_complete(
+                    self.id,
+                    TailSpans {
+                        queue_wait,
+                        classify: 0,
+                        redirect_transit,
+                        nf: done_ns.saturating_sub(start_ns),
+                        tx: 0,
+                    },
+                );
+            }
         }
         // Streaming reorder estimate: completion order vs arrival
         // ordinal, same (flow, id) pairs the offline analyzer sees.
@@ -1521,6 +1704,16 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             .fetch_sub(n, Ordering::SeqCst);
         self.stats.record_batch(n);
         self.stats.redirected_in += n;
+        if self.flight.is_some() {
+            self.record_flight(sample_start, FlightKind::Batch, n, depth);
+            // One transfer-latency event per redirected descriptor,
+            // measured push → this drain (`relay_ns` is stamped on the
+            // redirect path whenever the recorder is on).
+            for i in 0..self.batch.len() {
+                let transfer = sample_start.saturating_sub(self.batch[i].0.relay_ns);
+                self.record_flight(sample_start, FlightKind::RedirectIn, transfer, 0);
+            }
+        }
         let batch_ns = if self.shared.obs.any() {
             self.now_ns()
         } else {
@@ -1609,6 +1802,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         // Batch formation — pops plus the per-packet core-picker
         // decision — is classify work.
         self.prof_span(Stage::Classify, c0);
+        self.record_flight(sample_start, FlightKind::Batch, n, depth);
         // Register this batch's redirects BEFORE releasing its rx claim:
         // between the two updates `rx_remaining` still covers the batch,
         // and afterwards `redirects_outstanding` covers the in-flight
@@ -1683,7 +1877,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// is dropped and accounted in `ring_drops`.
     fn push_redirect(&mut self, target: usize, mut desc: Desc) {
         self.stats.redirected_out += 1;
-        if self.shared.obs.any() {
+        if self.shared.obs.any() || self.flight.is_some() {
             desc.relay_ns = self.now_ns();
         }
         // Emitted *before* the push so this event's sequence precedes the
@@ -1696,6 +1890,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             desc.id,
             target as u64,
         );
+        self.record_flight(desc.relay_ns, FlightKind::RedirectOut, target as u64, 0);
         let (flow, id) = (desc.flow, desc.id);
         for attempt in 0..=self.shared.redirect_retries {
             if self.shared.dead[target].load(Ordering::SeqCst) {
@@ -1726,7 +1921,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             }
         }
         self.ring_drops += 1;
-        let drop_ns = if self.shared.obs.any() {
+        let drop_ns = if self.shared.obs.any() || self.flight.is_some() {
             self.now_ns()
         } else {
             0
@@ -1739,6 +1934,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             id,
             DropKind::RingFull.to_aux(),
         );
+        self.record_flight(drop_ns, FlightKind::Drop, DropKind::RingFull.to_aux(), 0);
         self.shared
             .redirects_outstanding
             .fetch_sub(1, Ordering::SeqCst);
@@ -2135,6 +2331,54 @@ mod tests {
             .find(|r| r.event.kind() == "worker_death")
             .unwrap();
         assert_eq!(death.event.core(), Some(1));
+    }
+
+    #[test]
+    fn threaded_tail_attribution_partitions_measured_sojourns() {
+        use sprayer_obs::TailStage;
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        // 1 ns fixed threshold: every measured sojourn exceeds it, so
+        // the exemplar table covers every completion.
+        config.obs = ObsConfig::tail_with_threshold(1);
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(24), data_phase(24, 20)]);
+        assert_eq!(out.stats.unaccounted(), 0);
+        let tail = out.tail.expect("tail attribution requested");
+        assert_eq!(tail.completions, out.stats.processed());
+        assert_eq!(tail.exemplars, tail.completions, "1 ns captures all");
+        assert_eq!(tail.sojourn.count(), tail.completions);
+        let per_core: u64 = tail.per_core.iter().map(|c| c.exemplars).sum();
+        assert_eq!(per_core, tail.exemplars);
+        // Redirects happened, so ring transit shows up in the table;
+        // this runtime cannot split out framework classify/tx time.
+        assert!(out.redirects > 0);
+        assert!(tail.stage_ticks(TailStage::RedirectTransit) > 0);
+        assert!(tail.stage_ticks(TailStage::Nf) > 0);
+        assert_eq!(tail.stage_ticks(TailStage::Classify), 0);
+        assert_eq!(tail.stage_ticks(TailStage::Tx), 0);
+    }
+
+    #[test]
+    fn threaded_flight_recorder_freezes_on_worker_panic() {
+        use sprayer_obs::{flight, FlightKind};
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Sprayer, 3);
+        config.obs = ObsConfig::flight_recorder();
+        assert!(!config.obs.any(), "flight stays on the batch path");
+        config.fault = Some(ThreadedFault::Panic { core: 1, after: 5 });
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert_eq!(out.failures.len(), 1);
+        let snap = out.flight.expect("flight recorder requested");
+        let freeze = snap.frozen.as_ref().expect("panic must latch the recorder");
+        assert_eq!(freeze.kind, "worker_death");
+        assert_eq!(freeze.core, 1);
+        assert!(snap.recorded > 0, "batch events precede the crash");
+        // The dying worker stamped the marker into its own ring.
+        let last = snap.per_core[1].last().expect("marker stamped");
+        assert_eq!(last.kind, FlightKind::Freeze);
+        // Dump → parse is lossless (the blackbox analyzer's read path).
+        let text = flight::write_string(&snap);
+        assert_eq!(flight::parse(&text).expect("dump parses"), snap);
     }
 
     #[test]

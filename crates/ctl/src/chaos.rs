@@ -20,9 +20,10 @@ use sprayer::config::MiddleboxConfig;
 use sprayer::runtime_sim::MiddleboxSim;
 use sprayer::RecoveryReport;
 use sprayer_net::Packet;
-use sprayer_obs::HealthEvent;
+use sprayer_obs::{flight, HealthEvent};
 use sprayer_sim::Time;
 use sprayer_trafficgen::Adversary;
+use std::path::{Path, PathBuf};
 
 /// Drives a [`MiddleboxSim`] through a [`FaultPlan`].
 pub struct ChaosController<NF: NetworkFunction> {
@@ -35,6 +36,9 @@ pub struct ChaosController<NF: NetworkFunction> {
     adversary: Adversary,
     offered: u64,
     injected: u64,
+    /// Where to dump a latched flight recorder at [`Self::finish`].
+    flight_dump: Option<PathBuf>,
+    flight_dumped: Option<PathBuf>,
 }
 
 impl<NF: NetworkFunction> ChaosController<NF> {
@@ -57,7 +61,26 @@ impl<NF: NetworkFunction> ChaosController<NF> {
             adversary: Adversary::new(seed),
             offered: 0,
             injected: 0,
+            flight_dump: None,
+            flight_dumped: None,
         })
+    }
+
+    /// Arm the alert→dump hook: if the dataplane's flight recorder is
+    /// frozen by the end of [`Self::finish`] (a critical health event —
+    /// worker death, watchdog fence, drop storm — latched it), the
+    /// snapshot is written to `path` as a `sprayer-flight/1` dump for
+    /// the `blackbox` post-mortem analyzer. Requires
+    /// `ObsConfig::flight` on the middlebox config; a healthy run
+    /// writes nothing.
+    pub fn dump_flight_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.flight_dump = Some(path.into());
+        self
+    }
+
+    /// The dump written by the alert→dump hook, if a freeze happened.
+    pub fn flight_dumped(&self) -> Option<&Path> {
+        self.flight_dumped.as_deref()
     }
 
     /// Fire every fault and recovery due at `at` (in schedule order),
@@ -81,6 +104,16 @@ impl<NF: NetworkFunction> ChaosController<NF> {
             self.mb.recover(when, core);
         }
         self.mb.run_until(until);
+        // Alert→dump hook: a critical health event froze the recorder
+        // mid-run; persist the evidence before anything tears down.
+        if let (Some(path), Some(snap)) = (&self.flight_dump, self.mb.flight_snapshot()) {
+            if snap.frozen.is_some() {
+                match flight::save(&snap, path) {
+                    Ok(()) => self.flight_dumped = Some(path.clone()),
+                    Err(e) => eprintln!("flight dump to {} failed: {e}", path.display()),
+                }
+            }
+        }
     }
 
     fn fire_due(&mut self, at: Time) {
@@ -401,6 +434,42 @@ mod tests {
             assert!(rec.ts >= last, "health timestamps are monotone");
             last = rec.ts;
         }
+    }
+
+    #[test]
+    fn crash_triggers_the_flight_dump_and_healthy_runs_do_not() {
+        use sprayer::config::ObsConfig;
+        let dir = std::env::temp_dir().join(format!("sprayer-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let crash_path = dir.join("crash.txt");
+        let healthy_path = dir.join("healthy.txt");
+
+        let mut cfg = config(DispatchMode::Sprayer, 4);
+        cfg.obs = ObsConfig::flight_recorder();
+        let plan = FaultPlan::new()
+            .crash_at_packet(40, 1)
+            .detect_within(Time::from_us(20));
+        let mut ctl = ChaosController::new(cfg.clone(), allow_all_firewall(), plan, 2)
+            .unwrap()
+            .dump_flight_to(&crash_path);
+        drive(&mut ctl, 32, 8);
+        ctl.finish(ctl.middlebox().now() + Time::from_ms(2));
+        assert_eq!(ctl.flight_dumped(), Some(crash_path.as_path()));
+        let snap = flight::load(&crash_path).expect("the dump parses back");
+        let freeze = snap.frozen.expect("the crash latched the recorder");
+        assert_eq!(freeze.kind, "worker_death");
+        assert_eq!(freeze.core, 1);
+        assert!(snap.recorded > 0);
+
+        // No fault, no freeze, no file.
+        let mut ctl = ChaosController::new(cfg, allow_all_firewall(), FaultPlan::new(), 2)
+            .unwrap()
+            .dump_flight_to(&healthy_path);
+        drive(&mut ctl, 32, 8);
+        ctl.finish(ctl.middlebox().now() + Time::from_ms(2));
+        assert_eq!(ctl.flight_dumped(), None);
+        assert!(!healthy_path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

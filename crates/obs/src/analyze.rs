@@ -395,6 +395,98 @@ fn latency(trace: &Trace) -> LatencyBreakdown {
     }
 }
 
+/// Tail attribution recomputed offline from raw event timestamps, the
+/// ground truth `fig_tail` checks the online [`crate::TailTracker`]
+/// against. Uses the same exemplar rule (`sojourn > threshold`) and the
+/// same span boundaries: queue wait ends at `NfStart` for a local
+/// packet and at `RedirectOut` (the ring hand-off) for a redirected
+/// one; redirect transit is `RedirectIn − RedirectOut`. The rest of the
+/// sojourn — what the online table splits into classify/NF/TX — is the
+/// [`TailAttribution::residual_ticks`] remainder, since the trace
+/// carries no finer-grained events.
+#[derive(Debug, Clone, Default)]
+pub struct TailAttribution {
+    /// The fixed exemplar threshold used, ticks.
+    pub threshold_ticks: u64,
+    /// NF completions with a paired ingress event.
+    pub completions: u64,
+    /// Of those, exemplars (`sojourn > threshold`).
+    pub exemplars: u64,
+    /// Summed sojourn over exemplars, ticks.
+    pub sojourn_ticks: u64,
+    /// Summed queue wait over exemplars, ticks.
+    pub queue_wait_ticks: u64,
+    /// Summed redirect transit over exemplars, ticks.
+    pub redirect_transit_ticks: u64,
+}
+
+impl TailAttribution {
+    /// Exemplar ticks not attributable from trace events alone — the
+    /// online table's classify + NF + TX total.
+    pub fn residual_ticks(&self) -> u64 {
+        self.sojourn_ticks
+            .saturating_sub(self.queue_wait_ticks + self.redirect_transit_ticks)
+    }
+}
+
+/// Recompute tail attribution from a trace under a fixed threshold.
+///
+/// Only meaningful against an online tracker in fixed-threshold mode
+/// (`tail_threshold_ticks > 0`): a rolling threshold depends on
+/// completion order inside the recompute window, which a prefix-sampled
+/// trace cannot replicate.
+pub fn tail_attribution(trace: &Trace, threshold_ticks: u64) -> TailAttribution {
+    let mut ingress_ts: HashMap<u64, u64> = HashMap::new();
+    let mut out_ts: HashMap<u64, u64> = HashMap::new();
+    let mut in_ts: HashMap<u64, u64> = HashMap::new();
+    let mut start_ts: HashMap<u64, u64> = HashMap::new();
+    let mut t = TailAttribution {
+        threshold_ticks,
+        ..TailAttribution::default()
+    };
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::IngressEnqueue => {
+                ingress_ts.insert(ev.pkt, ev.ts);
+            }
+            EventKind::RedirectOut => {
+                out_ts.insert(ev.pkt, ev.ts);
+            }
+            EventKind::RedirectIn => {
+                in_ts.insert(ev.pkt, ev.ts);
+            }
+            EventKind::NfStart => {
+                start_ts.insert(ev.pkt, ev.ts);
+            }
+            EventKind::NfDone => {
+                let Some(&t0) = ingress_ts.get(&ev.pkt) else {
+                    continue;
+                };
+                t.completions += 1;
+                let sojourn = ev.ts.saturating_sub(t0);
+                if sojourn <= threshold_ticks {
+                    continue;
+                }
+                t.exemplars += 1;
+                t.sojourn_ticks += sojourn;
+                match (out_ts.get(&ev.pkt), in_ts.get(&ev.pkt)) {
+                    (Some(&out), Some(&picked)) => {
+                        t.queue_wait_ticks += out.saturating_sub(t0);
+                        t.redirect_transit_ticks += picked.saturating_sub(out);
+                    }
+                    _ => {
+                        if let Some(&start) = start_ts.get(&ev.pkt) {
+                            t.queue_wait_ticks += start.saturating_sub(t0);
+                        }
+                    }
+                }
+            }
+            EventKind::Drain | EventKind::Drop => {}
+        }
+    }
+    t
+}
+
 /// Analyze a trace: conservation identities, per-flow reordering, and
 /// latency breakdown.
 pub fn analyze(trace: &Trace) -> TraceAnalysis {
@@ -575,6 +667,50 @@ mod tests {
         let c = analyze(&trace).conservation;
         assert!(c.ok(), "lossy traces must not hard-fail conservation");
         assert_eq!(c.events_dropped, 10);
+    }
+
+    #[test]
+    fn offline_tail_attribution_splits_local_and_redirected_exemplars() {
+        let mk = |seq, ts, kind, pkt| TraceEvent {
+            seq,
+            ts,
+            core: 0,
+            kind,
+            flow: 1,
+            pkt,
+            aux: 0,
+        };
+        // Packet 0 (local): enqueue 0, start 2_000, done 3_000.
+        // Packet 1 (via ring): enqueue 1_000, out 2_000, in 2_500,
+        // done 5_000. Packet 2 (local, fast): enqueue 0, done 100.
+        let events = vec![
+            mk(0, 0, EventKind::IngressEnqueue, 0),
+            mk(1, 0, EventKind::IngressEnqueue, 2),
+            mk(2, 1_000, EventKind::IngressEnqueue, 1),
+            mk(3, 100, EventKind::NfDone, 2),
+            mk(4, 2_000, EventKind::NfStart, 0),
+            mk(5, 2_000, EventKind::RedirectOut, 1),
+            mk(6, 2_500, EventKind::RedirectIn, 1),
+            mk(7, 3_000, EventKind::NfDone, 0),
+            mk(8, 5_000, EventKind::NfDone, 1),
+        ];
+        let trace = Trace {
+            meta: meta(None),
+            events,
+            dropped: 0,
+        };
+        let t = tail_attribution(&trace, 500);
+        assert_eq!(t.completions, 3);
+        assert_eq!(t.exemplars, 2, "packet 2 is under the threshold");
+        assert_eq!(t.sojourn_ticks, 3_000 + 4_000);
+        assert_eq!(t.queue_wait_ticks, 2_000 + 1_000);
+        assert_eq!(t.redirect_transit_ticks, 500);
+        assert_eq!(t.residual_ticks(), 7_000 - 3_000 - 500);
+        // Threshold above every sojourn: nothing is captured.
+        let none = tail_attribution(&trace, 10_000);
+        assert_eq!(none.completions, 3);
+        assert_eq!(none.exemplars, 0);
+        assert_eq!(none.sojourn_ticks, 0);
     }
 
     #[test]

@@ -95,6 +95,15 @@ impl DropKind {
         self as u64
     }
 
+    /// Stable name for rendering and telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropKind::NicCap => "nic_cap",
+            DropKind::QueueFull => "queue_full",
+            DropKind::RingFull => "ring_full",
+        }
+    }
+
     /// Decode from [`TraceEvent::aux`].
     pub fn from_aux(aux: u64) -> Option<DropKind> {
         match aux {

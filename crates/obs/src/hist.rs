@@ -576,6 +576,93 @@ mod tests {
         assert_eq!(Some(s.p999), h.p999());
     }
 
+    /// Deterministic splitmix64 stream for property-style tests.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Samples spanning the linear region, the log region, and the
+    /// extremes, so bucket-boundary math is exercised on every run.
+    fn generated_samples(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => splitmix64(&mut state) % 64, // linear buckets
+                1 => splitmix64(&mut state) % 100_000,
+                2 => splitmix64(&mut state), // anywhere in u64
+                _ => [0, 1, u64::MAX][(splitmix64(&mut state) % 3) as usize],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentiles_are_monotone_on_generated_samples() {
+        for seed in [1, 7, 0xdead_beef, 0x1234_5678_9abc_def0] {
+            for n in [1usize, 2, 3, 64, 1_000] {
+                let mut h = Histogram::latency();
+                for v in generated_samples(seed, n) {
+                    h.record(v);
+                }
+                let p50 = h.p50().unwrap();
+                let p90 = h.quantile(0.90).unwrap();
+                let p99 = h.p99().unwrap();
+                let p999 = h.p999().unwrap();
+                assert!(
+                    p50 <= p90 && p90 <= p99 && p99 <= p999,
+                    "seed {seed} n {n}: {p50} {p90} {p99} {p999}"
+                );
+                assert!(h.quantile(0.0).unwrap() <= p50);
+                assert!(p999 <= h.quantile(1.0).unwrap());
+            }
+        }
+        // Empty histogram: every quantile declines to answer.
+        let empty = Histogram::latency();
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.p999(), None);
+        assert_eq!(empty.quantile(1.0), None);
+        // Single-bucket input: the order collapses to one value.
+        let mut one = Histogram::latency();
+        one.record_n(42, 1_000);
+        assert_eq!(one.p50(), one.p999());
+        assert_eq!(one.p50(), Some(42));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_generated_samples() {
+        let cases: [(u64, usize, u64, usize); 4] = [
+            (3, 100, 11, 257),
+            (5, 1, 6, 1),
+            (9, 0, 10, 50), // one side empty
+            (13, 0, 14, 0), // both empty
+        ];
+        for (seed_a, n_a, seed_b, n_b) in cases {
+            let mut a = Histogram::latency();
+            for v in generated_samples(seed_a, n_a) {
+                a.record(v);
+            }
+            let mut b = Histogram::latency();
+            for v in generated_samples(seed_b, n_b) {
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab.count(), ba.count());
+            assert_eq!(ab.sum(), ba.sum());
+            assert_eq!(ab.min(), ba.min());
+            assert_eq!(ab.max(), ba.max());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(ab.quantile(q), ba.quantile(q), "q={q}");
+            }
+            assert_eq!(ab.to_json(), ba.to_json(), "bucket contents differ");
+        }
+    }
+
     #[test]
     fn probes_merge_and_serialize() {
         let mut a = LatencyProbes::new();

@@ -37,6 +37,14 @@
 //!   [`HealthEvent`]s from both runtimes and the ctl crate), and the
 //!   [`slo`] evaluator turning thresholds into [`Alert`] records
 //!   (`health_*` metric set).
+//! * [`TailTracker`] — exemplar-based tail-latency attribution: slow
+//!   completions record per-stage span breakdowns into a per-(stage,
+//!   core) histogram table (the `tail_*` metric set), so a p999 comes
+//!   with a *where*.
+//! * [`FlightRecorder`] — the crash flight recorder: always-on,
+//!   fixed-memory keep-newest per-core event rings that freeze on a
+//!   critical health event and dump a [`flight`] (`sprayer-flight/1`)
+//!   snapshot for the `blackbox` post-mortem analyzer.
 //!
 //! The crate deliberately depends on nothing but the (vendored) serde
 //! façade and `parking_lot`: both `sprayer` (core) and the benches can
@@ -51,6 +59,7 @@
 
 pub mod analyze;
 pub mod event;
+pub mod flight;
 pub mod health;
 pub mod hist;
 pub mod json;
@@ -61,13 +70,18 @@ pub mod ring;
 pub mod sampler;
 pub mod series;
 pub mod slo;
+pub mod tail;
 pub mod trace_io;
 
 pub use analyze::{
-    analyze, Conservation, CoreRedirects, FlowReport, LatencyBreakdown, LatencySummary,
-    TraceAnalysis,
+    analyze, tail_attribution, Conservation, CoreRedirects, FlowReport, LatencyBreakdown,
+    LatencySummary, TailAttribution, TraceAnalysis,
 };
 pub use event::{DropKind, EventKind, TraceEvent};
+pub use flight::{
+    health_kind_code, health_kind_name, is_freeze_trigger, FlightEvent, FlightFreeze, FlightKind,
+    FlightRecorder, FlightRing, FlightSnapshot, FLIGHT_SCHEMA,
+};
 pub use health::{
     health_channel, HealthBus, HealthCollector, HealthEvent, HealthRecord, HealthReport,
 };
@@ -82,3 +96,7 @@ pub use ring::{ExpectedCounts, Trace, TraceMeta, TraceRing};
 pub use sampler::{LiveCore, LiveSlots, SampleSet};
 pub use series::{CoreSample, TimeSeries};
 pub use slo::{evaluate, export_health_telemetry, Alert, Severity, SloRules};
+pub use tail::{
+    TailCoreTable, TailReport, TailSpans, TailStage, TailTracker, TAIL_RECOMPUTE_EVERY,
+    TAIL_STAGE_COUNT,
+};

@@ -27,8 +27,17 @@ use crate::json::JsonValue;
 ///   records, `export_health_telemetry`), and the `reorder_*` set (the
 ///   streaming reordering-depth sketch, `ReorderReport::export`).
 ///   Again purely additive — v3 readers ignoring unknown fields still
-///   work, and [`MetricsRegistry::parse_document`] reads v1 through v4.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 4;
+///   work.
+/// * v5 — tail attribution and the flight recorder: documents may carry
+///   the `tail_*` metric set (exemplar-based per-stage slow-packet
+///   breakdowns, `TailReport::export`), the `flight_*` set (crash
+///   flight-recorder snapshot summary, `FlightSnapshot::export`), and
+///   the bounded-ring loss counters promoted from internal state
+///   (`trace_events_dropped` alongside the existing
+///   `health_events_dropped` / `reorder_untracked_completions`). Purely
+///   additive — v4 readers ignoring unknown fields still work, and
+///   [`MetricsRegistry::parse_document`] reads v1 through v5.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 5;
 
 #[derive(Debug, Clone)]
 enum Value {
@@ -128,7 +137,7 @@ impl MetricsRegistry {
     /// Parse a telemetry document produced by any schema version this
     /// repo has emitted: v1 documents carry no `schema_version` field
     /// (the ad-hoc pre-registry JSON) and are reported as version 1;
-    /// v2 through v4 declare themselves. Returns `(version, document)`; errors
+    /// v2 through v5 declare themselves. Returns `(version, document)`; errors
     /// on malformed JSON, a non-object root, or a version newer than
     /// [`TELEMETRY_SCHEMA_VERSION`] (forward compatibility is not
     /// promised — regenerate or upgrade instead of misreading).
@@ -181,7 +190,7 @@ mod tests {
         r.set_u64("cycles", 10_000);
         r.set_f64("mpps", 1.5);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema_version\":4,\"figure\":\"6a\""));
+        assert!(j.starts_with("{\"schema_version\":5,\"figure\":\"6a\""));
         let ci = j.find("\"cycles\"").unwrap();
         let mi = j.find("\"mpps\"").unwrap();
         assert!(ci < mi);
@@ -231,11 +240,11 @@ mod tests {
     }
 
     #[test]
-    fn parser_reads_v3_documents_written_before_the_v4_bump() {
+    fn parser_reads_documents_written_before_the_v5_bump() {
         // v3: a registry document with a sampling block but none of the
         // v4 `profile_*`/`health_*`/`reorder_*` sets. Same field names
-        // and shapes; only the version differs — the 2→3→4 ladder stays
-        // readable end to end.
+        // and shapes; only the version differs — the 2→3→4→5 ladder
+        // stays readable end to end.
         let (v3, doc) = MetricsRegistry::parse_document(
             "{\"schema_version\":3,\"figure\":\"9\",\
              \"samples\":{\"jain\":[1.0,0.5],\"per_core\":[]}}",
@@ -244,19 +253,27 @@ mod tests {
         assert_eq!(v3, 3);
         let jain = doc.get("samples").unwrap().get("jain").unwrap();
         assert_eq!(jain.as_array().unwrap().len(), 2);
-        // v4: current documents self-describe and parse back.
+        // v4: a health-plane document written before the v5 bump.
         let (v4, doc) = MetricsRegistry::parse_document(
             "{\"schema_version\":4,\"health_alerts_total\":2,\
              \"profile_nf_share\":0.75}",
         )
         .unwrap();
-        assert_eq!(v4, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(v4, 4);
         assert_eq!(doc.get("health_alerts_total").unwrap().as_u64(), Some(2));
+        // v5: current documents self-describe and parse back.
+        let (v5, doc) = MetricsRegistry::parse_document(
+            "{\"schema_version\":5,\"tail_exemplars\":3,\
+             \"flight_frozen\":1,\"trace_events_dropped\":0}",
+        )
+        .unwrap();
+        assert_eq!(v5, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(doc.get("tail_exemplars").unwrap().as_u64(), Some(3));
     }
 
     #[test]
     fn parser_rejects_future_versions_and_junk() {
-        assert!(MetricsRegistry::parse_document("{\"schema_version\":5}").is_err());
+        assert!(MetricsRegistry::parse_document("{\"schema_version\":6}").is_err());
         assert!(MetricsRegistry::parse_document("{\"schema_version\":-1}").is_err());
         assert!(MetricsRegistry::parse_document("[1,2]").is_err());
         assert!(MetricsRegistry::parse_document("{\"unterminated").is_err());
