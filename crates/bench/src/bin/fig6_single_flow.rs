@@ -7,32 +7,32 @@
 //! Sprayer plateaus at ≈10 Mpps (82599 Flow Director limitation); as
 //! cycles grow, RSS decays as a single core (≈0.2 Mpps at 10 000) while
 //! Sprayer keeps 8 cores busy. For TCP, RSS falls to ≈2.5 Gbps at
-//! 10 000 cycles while Sprayer stays ≈9.4 Gbps.
+//! 10 000 cycles while Sprayer stays ≈9.4 Gbps. The third column is the
+//! replication follow-up (SCR): sprayed like Sprayer, but state updates
+//! are multicast and replayed instead of packets being redirected.
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::{DispatchMode, ObsConfig};
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
 use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Rss, DispatchMode::Sprayer, DispatchMode::Scr];
 
 /// With `--trace`: rerun one short datapoint per mode with event tracing
 /// on and save the raw traces for `trace_report` (the CI trace-smoke
-/// step drives exactly this pair).
-fn save_traces() {
-    for mode in [DispatchMode::Rss, DispatchMode::Sprayer] {
+/// step drives exactly this set).
+fn save_traces(modes: &[DispatchMode]) {
+    for &mode in modes {
         let mut cfg = rate::RateConfig::paper(mode, 2_500, 4, 1);
         cfg.duration = Time::from_ms(2);
         cfg.obs = ObsConfig::tracing();
         let r = rate::run(&cfg);
         let trace = r.trace.expect("tracing enabled");
-        let path = format!("results/fig6_{}.trace", mode_name(mode));
+        let path = format!("results/fig6_{}.trace", mode_slug(mode));
         match sprayer_obs::trace_io::save(&trace, std::path::Path::new(&path)) {
             Ok(()) => println!("[saved {path}: {} events]", trace.events.len()),
             Err(e) => eprintln!("failed to save {path}: {e}"),
@@ -43,6 +43,7 @@ fn save_traces() {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let want_trace = std::env::args().any(|a| a == "--trace");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let cycle_points: &[u64] = if quick {
         &[0, 2_500, 10_000]
     } else {
@@ -51,34 +52,34 @@ fn main() {
     let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 6(a): processing rate vs cycles/packet (single flow, 64 B) ==\n");
-    let mut t6a = Table::new(vec!["cycles", "RSS Mpps", "Sprayer Mpps"]);
+    let mut headers = vec!["cycles".to_string()];
+    headers.extend(modes.iter().map(|m| format!("{m} Mpps")));
+    let mut t6a = Table::new(headers);
     for &cycles in cycle_points {
-        let mut mk = |mode| {
+        let mut cells = vec![cycles.to_string()];
+        for &mode in &modes {
             let r = rate::run(&rate::RateConfig::paper(mode, cycles, 1, 1));
             telemetry.push(format!(
                 "{{\"figure\":\"6a\",\"mode\":\"{}\",\"cycles\":{cycles},\
                  \"mpps\":{:.4},\"telemetry\":{}}}",
-                mode_name(mode),
+                mode_slug(mode),
                 r.mpps(),
                 r.stats.to_json()
             ));
-            r
-        };
-        let rss = mk(DispatchMode::Rss);
-        let spray = mk(DispatchMode::Sprayer);
-        t6a.row(vec![
-            cycles.to_string(),
-            fmt_f(rss.mpps(), 3),
-            fmt_f(spray.mpps(), 3),
-        ]);
+            cells.push(fmt_f(r.mpps(), 3));
+        }
+        t6a.row(cells);
     }
     println!("{}", t6a.render());
     t6a.save_csv("fig6a_processing_rate");
 
     println!("\n== Figure 6(b): TCP throughput vs cycles/packet (single CUBIC flow) ==\n");
-    let mut t6b = Table::new(vec!["cycles", "RSS Gbps", "Sprayer Gbps"]);
+    let mut headers = vec!["cycles".to_string()];
+    headers.extend(modes.iter().map(|m| format!("{m} Gbps")));
+    let mut t6b = Table::new(headers);
     for &cycles in cycle_points {
-        let mut mk = |mode| {
+        let mut cells = vec![cycles.to_string()];
+        for &mode in &modes {
             let mut cfg = tcp::TcpConfig::paper(mode, cycles, 1, 1);
             if quick {
                 cfg.warmup = Time::from_ms(30);
@@ -88,19 +89,13 @@ fn main() {
             telemetry.push(format!(
                 "{{\"figure\":\"6b\",\"mode\":\"{}\",\"cycles\":{cycles},\
                  \"gbps\":{:.4},\"telemetry\":{}}}",
-                mode_name(mode),
+                mode_slug(mode),
                 r.gbps(),
                 r.stats.to_json()
             ));
-            r
-        };
-        let rss = mk(DispatchMode::Rss);
-        let spray = mk(DispatchMode::Sprayer);
-        t6b.row(vec![
-            cycles.to_string(),
-            fmt_f(rss.gbps(), 2),
-            fmt_f(spray.gbps(), 2),
-        ]);
+            cells.push(fmt_f(r.gbps(), 2));
+        }
+        t6b.row(cells);
     }
     println!("{}", t6b.render());
     t6b.save_csv("fig6b_tcp_throughput");
@@ -109,10 +104,11 @@ fn main() {
     reg.set_raw_json("datapoints", json_array(&telemetry));
     save_json("fig6_telemetry", &reg.to_json());
     if want_trace {
-        save_traces();
+        save_traces(&modes);
     }
     println!(
         "paper shape: (a) Sprayer plateaus ~10 Mpps at 0 cycles (NIC cap) then wins up to ~8x;\n\
-         (b) RSS decays to ~2.5 Gbps at 10k cycles, Sprayer stays near line rate."
+         (b) RSS decays to ~2.5 Gbps at 10k cycles, Sprayer stays near line rate;\n\
+         SCR tracks Sprayer without redirects, paying replay cycles instead."
     );
 }

@@ -6,25 +6,25 @@
 //! Paper reference points: Sprayer is flat across flow counts; RSS
 //! climbs as more flows spread over cores ("RSS shows considerably worse
 //! throughput for a small number of flows and a slightly better
-//! throughput for a sufficiently large number of flows").
+//! throughput for a sufficiently large number of flows"). The SCR column
+//! is the replication follow-up: also flat (sprayed), with the
+//! redirect-free connection path traded for per-update replay work.
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::{rate, tcp};
 use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 const CYCLES: u64 = 10_000;
-
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Rss, DispatchMode::Sprayer, DispatchMode::Scr];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let flow_points: &[usize] = if quick {
         &[1, 8, 64]
     } else {
@@ -34,17 +34,17 @@ fn main() {
     let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 7(a): processing rate vs #flows (10k cycles, 64 B) ==\n");
-    let mut t7a = Table::new(vec![
-        "flows",
-        "RSS Mpps",
-        "RSS sd",
-        "Sprayer Mpps",
-        "Sprayer sd",
-    ]);
+    let mut headers = vec!["flows".to_string()];
+    for m in &modes {
+        headers.push(format!("{m} Mpps"));
+        headers.push(format!("{m} sd"));
+    }
+    let mut t7a = Table::new(headers);
     for &flows in flow_points {
-        // Seed sweep by hand so the first seed's telemetry block can be
-        // recorded alongside the aggregate.
-        let mut mk = |mode| {
+        let mut cells = vec![flows.to_string()];
+        for &mode in &modes {
+            // Seed sweep by hand so the first seed's telemetry block can
+            // be recorded alongside the aggregate.
             let mut acc = sprayer_sim::Welford::new();
             for (i, &seed) in seeds.iter().enumerate() {
                 let cfg = rate::RateConfig::paper(mode, CYCLES, flows, seed);
@@ -54,37 +54,30 @@ fn main() {
                     telemetry.push(format!(
                         "{{\"figure\":\"7a\",\"mode\":\"{}\",\"flows\":{flows},\
                          \"seed\":{seed},\"mpps\":{:.4},\"telemetry\":{}}}",
-                        mode_name(mode),
+                        mode_slug(mode),
                         r.mpps(),
                         r.stats.to_json()
                     ));
                 }
             }
-            (acc.mean(), acc.std_dev())
-        };
-        let (rss, rss_sd) = mk(DispatchMode::Rss);
-        let (spray, spray_sd) = mk(DispatchMode::Sprayer);
-        t7a.row(vec![
-            flows.to_string(),
-            fmt_f(rss, 3),
-            fmt_f(rss_sd, 3),
-            fmt_f(spray, 3),
-            fmt_f(spray_sd, 3),
-        ]);
+            cells.push(fmt_f(acc.mean(), 3));
+            cells.push(fmt_f(acc.std_dev(), 3));
+        }
+        t7a.row(cells);
     }
     println!("{}", t7a.render());
     t7a.save_csv("fig7a_processing_rate");
 
     println!("\n== Figure 7(b): TCP throughput vs #flows (10k cycles) ==\n");
-    let mut t7b = Table::new(vec![
-        "flows",
-        "RSS Gbps",
-        "RSS sd",
-        "Sprayer Gbps",
-        "Sprayer sd",
-    ]);
+    let mut headers = vec!["flows".to_string()];
+    for m in &modes {
+        headers.push(format!("{m} Gbps"));
+        headers.push(format!("{m} sd"));
+    }
+    let mut t7b = Table::new(headers);
     for &flows in flow_points {
-        let mut mk = |mode| {
+        let mut cells = vec![flows.to_string()];
+        for &mode in &modes {
             let mut acc = sprayer_sim::Welford::new();
             for (i, &seed) in seeds.iter().enumerate() {
                 let mut cfg = tcp::TcpConfig::paper(mode, CYCLES, flows, seed);
@@ -98,23 +91,16 @@ fn main() {
                     telemetry.push(format!(
                         "{{\"figure\":\"7b\",\"mode\":\"{}\",\"flows\":{flows},\
                          \"seed\":{seed},\"gbps\":{:.4},\"telemetry\":{}}}",
-                        mode_name(mode),
+                        mode_slug(mode),
                         r.gbps(),
                         r.stats.to_json()
                     ));
                 }
             }
-            (acc.mean(), acc.std_dev())
-        };
-        let (rss_mean, rss_sd) = mk(DispatchMode::Rss);
-        let (spray_mean, spray_sd) = mk(DispatchMode::Sprayer);
-        t7b.row(vec![
-            flows.to_string(),
-            fmt_f(rss_mean, 2),
-            fmt_f(rss_sd, 2),
-            fmt_f(spray_mean, 2),
-            fmt_f(spray_sd, 2),
-        ]);
+            cells.push(fmt_f(acc.mean(), 2));
+            cells.push(fmt_f(acc.std_dev(), 2));
+        }
+        t7b.row(cells);
     }
     println!("{}", t7b.render());
     t7b.save_csv("fig7b_tcp_throughput");
@@ -124,6 +110,7 @@ fn main() {
     save_json("fig7_telemetry", &reg.to_json());
     println!(
         "paper shape: Sprayer flat (~1.5 Mpps / ~9 Gbps); RSS ramps with flows and\n\
-         overtakes slightly once enough flows cover all cores (no reordering)."
+         overtakes slightly once enough flows cover all cores (no reordering);\n\
+         SCR stays flat like Sprayer with zero redirected packets."
     );
 }

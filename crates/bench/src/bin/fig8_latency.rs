@@ -4,20 +4,27 @@
 //! Paper reference points: both systems ≈10 µs at 0 cycles; RSS grows to
 //! ≈20 µs at 10 000 cycles (queueing at one 70 %-utilized core) while
 //! Sprayer stays low (≈12 µs) because the same load spreads over eight
-//! cores.
+//! cores. SCR spreads identically; its tail carries the replay work
+//! instead of redirect hops.
 //!
 //! Percentiles come from the runtime-emitted sojourn histogram
 //! ([`sprayer::config::ObsConfig::latency`]); the full per-datapoint
 //! histograms land in `results/fig8_latency_telemetry.json` as one
 //! versioned [`sprayer_obs::MetricsRegistry`] document.
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::latency;
 use sprayer_obs::MetricsRegistry;
 
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Rss, DispatchMode::Sprayer, DispatchMode::Scr];
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let cycle_points: &[u64] = if quick {
         &[0, 5_000, 10_000]
     } else {
@@ -25,23 +32,26 @@ fn main() {
     };
 
     println!("== Figure 8: p99 RTT at 70% of the minimal processing rate (single flow) ==\n");
-    let mut table = Table::new(vec![
-        "cycles",
-        "load Mpps",
-        "RSS p99 us",
-        "Sprayer p99 us",
-        "RSS p999 us",
-        "Sprayer p999 us",
-    ]);
+    let mut headers = vec!["cycles".to_string(), "load Mpps".to_string()];
+    for m in &modes {
+        headers.push(format!("{m} p99 us"));
+    }
+    for m in &modes {
+        headers.push(format!("{m} p999 us"));
+    }
+    let mut table = Table::new(headers);
     let mut datapoints: Vec<String> = Vec::new();
     for &cycles in cycle_points {
-        let rss = latency::run(DispatchMode::Rss, cycles, 0.7, 1);
-        let spray = latency::run(DispatchMode::Sprayer, cycles, 0.7, 1);
-        for (mode, r) in [("rss", &rss), ("sprayer", &spray)] {
+        let runs: Vec<_> = modes
+            .iter()
+            .map(|&mode| latency::run(mode, cycles, 0.7, 1))
+            .collect();
+        for (&mode, r) in modes.iter().zip(&runs) {
             datapoints.push(format!(
-                "{{\"figure\":\"8\",\"mode\":\"{mode}\",\"cycles\":{cycles},\
+                "{{\"figure\":\"8\",\"mode\":\"{}\",\"cycles\":{cycles},\
                  \"offered_pps\":{:.1},\"p50_us\":{:.3},\"p99_us\":{:.3},\
                  \"p999_us\":{:.3},\"sojourn_ns\":{}}}",
+                mode_slug(mode),
                 r.offered_pps,
                 r.p50_us,
                 r.p99_us,
@@ -49,14 +59,14 @@ fn main() {
                 r.sojourn.to_json()
             ));
         }
-        table.row(vec![
-            cycles.to_string(),
-            fmt_f(rss.offered_pps / 1e6, 3),
-            fmt_f(rss.p99_us, 2),
-            fmt_f(spray.p99_us, 2),
-            fmt_f(rss.p999_us, 2),
-            fmt_f(spray.p999_us, 2),
-        ]);
+        let mut cells = vec![cycles.to_string(), fmt_f(runs[0].offered_pps / 1e6, 3)];
+        for r in &runs {
+            cells.push(fmt_f(r.p99_us, 2));
+        }
+        for r in &runs {
+            cells.push(fmt_f(r.p999_us, 2));
+        }
+        table.row(cells);
     }
     println!("{}", table.render());
     table.save_csv("fig8_latency");

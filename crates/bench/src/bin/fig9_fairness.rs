@@ -14,22 +14,18 @@
 //! which is what `bench_gate` diffs against the committed baselines.
 
 use sprayer::config::{DispatchMode, ObsConfig};
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::tcp::{run, run_seeds, TcpConfig};
 use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
 const CYCLES: u64 = 10_000;
-
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Rss, DispatchMode::Sprayer, DispatchMode::Scr];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let flow_points: &[usize] = if quick {
         &[2, 8, 32]
     } else {
@@ -39,15 +35,13 @@ fn main() {
     let mut telemetry: Vec<String> = Vec::new();
 
     println!("== Figure 9: Jain's fairness index vs #flows (TCP, 10k cycles) ==\n");
-    let mut table = Table::new(vec![
-        "flows",
-        "RSS mean",
-        "RSS min",
-        "RSS max",
-        "Sprayer mean",
-        "Sprayer min",
-        "Sprayer max",
-    ]);
+    let mut headers = vec!["flows".to_string()];
+    for m in &modes {
+        headers.push(format!("{m} mean"));
+        headers.push(format!("{m} min"));
+        headers.push(format!("{m} max"));
+    }
+    let mut table = Table::new(headers);
     for &flows in flow_points {
         let base = |mode| {
             let mut cfg = TcpConfig::paper(mode, CYCLES, flows, 0);
@@ -62,7 +56,8 @@ fn main() {
             }
             cfg
         };
-        let mut mk = |mode| {
+        let mut cells = vec![flows.to_string()];
+        for &mode in &modes {
             let sweep = run_seeds(&base(mode), seeds);
             // One representative run (the first sweep seed) with the
             // per-core sampler on: the *timeline* of the imbalance the
@@ -78,7 +73,7 @@ fn main() {
                  \"jain_mean\":{:.4},\"jain_min\":{:.4},\"jain_max\":{:.4},\
                  \"gbps_mean\":{:.4},\"sampled_jain\":{:.4},\
                  \"sampled_gbps\":{:.4},\"samples\":{},\"telemetry\":{}}}",
-                mode_name(mode),
+                mode_slug(mode),
                 sweep.jain_mean,
                 sweep.jain_min,
                 sweep.jain_max,
@@ -88,19 +83,11 @@ fn main() {
                 samples.to_json(),
                 sampled.stats.to_json(),
             ));
-            sweep
-        };
-        let rss = mk(DispatchMode::Rss);
-        let spray = mk(DispatchMode::Sprayer);
-        table.row(vec![
-            flows.to_string(),
-            fmt_f(rss.jain_mean, 3),
-            fmt_f(rss.jain_min, 3),
-            fmt_f(rss.jain_max, 3),
-            fmt_f(spray.jain_mean, 3),
-            fmt_f(spray.jain_min, 3),
-            fmt_f(spray.jain_max, 3),
-        ]);
+            cells.push(fmt_f(sweep.jain_mean, 3));
+            cells.push(fmt_f(sweep.jain_min, 3));
+            cells.push(fmt_f(sweep.jain_max, 3));
+        }
+        table.row(cells);
     }
     println!("{}", table.render());
     table.save_csv("fig9_fairness");

@@ -1,16 +1,18 @@
-//! Chaos figure: Sprayer vs RSS through a mid-run core failure under
-//! adversarial traffic.
+//! Chaos figure: Sprayer vs RSS vs SCR through a mid-run core failure
+//! under adversarial traffic.
 //!
-//! One open-loop trace runs under both dispatch modes while a fault
-//! schedule fires: a checksum-collapse burst (every TCP checksum
+//! One open-loop trace runs under all three dispatch modes while a
+//! fault schedule fires: a checksum-collapse burst (every TCP checksum
 //! identical — the attack on checksum-bit spraying), truncated and
 //! garbage frames (dropped as malformed at the NIC), and a worker-core
 //! crash detected after a 100 µs watchdog deadline. Recovery is an
 //! *unplanned* rescale over the survivors: under Sprayer the rendezvous
 //! designated set remaps only the dead core's flows (their
 //! write-partitioned state is lost with the core, nothing migrates),
-//! while RSS rebuilds its indirection table and must migrate remapped
-//! surviving flows too.
+//! RSS rebuilds its indirection table and must migrate remapped
+//! surviving flows too, and under SCR every survivor already holds the
+//! full replica — recovery truncates the dead core's log and loses
+//! *zero* flows while migrating *zero* flows.
 //!
 //! Emits `results/fig_chaos_telemetry.json`
 //! (`fig_chaos_quick_telemetry.json` under `--quick`); each mode's
@@ -18,33 +20,32 @@
 //! `recovery_*`/`fault_*` metric set
 //! ([`sprayer_ctl::export_fault_telemetry`]), which the bench gate
 //! diffs against the committed baselines. The flight recorder is on
-//! for both runs: the crash latches it, the controller's alert→dump
+//! for all runs: the crash latches it, the controller's alert→dump
 //! hook writes `results/fig_chaos_flight_<mode>.txt`, and the
 //! `blackbox` binary renders those dumps as a post-mortem timeline.
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::chaos::{run, ChaosConfig};
 use sprayer_ctl::export_fault_telemetry;
 use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Sprayer, DispatchMode::Rss, DispatchMode::Scr];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let (flows, duration) = if quick {
         (64, Time::from_ms(18))
     } else {
         (256, Time::from_ms(60))
     };
 
-    println!("== fig_chaos: core failure + adversarial traffic, Sprayer vs RSS ==\n");
+    println!("== fig_chaos: core failure + adversarial traffic, Sprayer vs RSS vs SCR ==\n");
     let mut table = Table::new(vec![
         "mode",
         "failed",
@@ -56,14 +57,11 @@ fn main() {
         "downtime us",
     ]);
     let mut telemetry: Vec<String> = Vec::new();
-    let mut migrated = [0u64; 2];
-    for (i, mode) in [DispatchMode::Sprayer, DispatchMode::Rss]
-        .into_iter()
-        .enumerate()
-    {
+    let mut migrated: Vec<(DispatchMode, u64)> = Vec::new();
+    for &mode in &modes {
         let results = std::path::Path::new("results");
         std::fs::create_dir_all(results).ok();
-        let dump = results.join(format!("fig_chaos_flight_{}.txt", mode_name(mode)));
+        let dump = results.join(format!("fig_chaos_flight_{}.txt", mode_slug(mode)));
         let cfg = ChaosConfig {
             flight_dump: Some(dump.clone()),
             ..ChaosConfig::paper(mode, flows, duration, 1)
@@ -82,7 +80,7 @@ fn main() {
         );
         println!(
             "{}: flight recorder dumped to {} (render with `blackbox {}`)",
-            mode_name(mode),
+            mode_slug(mode),
             dump.display(),
             dump.display()
         );
@@ -99,9 +97,27 @@ fn main() {
             r.stats.malformed_drops, r.injected_malformed,
             "{mode}: every malformed frame must die accounted at the NIC"
         );
+        if mode == DispatchMode::Scr {
+            // Replication's recovery claim, enforced hard: every
+            // survivor already holds the full table, so the crash
+            // destroys no state and recovery moves none.
+            for rec in &r.recoveries {
+                assert_eq!(rec.flows_lost, 0, "SCR crash must lose zero flows");
+                assert_eq!(
+                    rec.migrated_flows, 0,
+                    "SCR recovery must migrate zero flows"
+                );
+            }
+            assert_eq!(
+                r.stats.scr_replay_gap(),
+                0,
+                "SCR updates must be conserved through the crash: {:?}",
+                r.stats
+            );
+        }
         for rec in &r.recoveries {
             table.row(vec![
-                mode_name(mode).to_string(),
+                mode_slug(mode),
                 rec.failed_core.to_string(),
                 format!("{}->{}", rec.from_active, rec.to_active),
                 rec.migrated_flows.to_string(),
@@ -111,16 +127,29 @@ fn main() {
                 fmt_f(rec.downtime_ns as f64 / 1e3, 1),
             ]);
         }
-        migrated[i] = r.migrated_flows_total();
+        migrated.push((mode, r.migrated_flows_total()));
         let samples = r.samples.as_ref().expect("sampling enabled");
         let mut reg = MetricsRegistry::new();
-        reg.set_str("mode", mode_name(mode));
+        reg.set_str("mode", &mode_slug(mode));
         reg.set_u64("flows", flows as u64);
         reg.set_f64("offered_pps", r.offered_pps);
         reg.set_f64("processed_pps", r.processed_pps);
         reg.set_u64("adversarial_injected", r.injected);
         reg.set_f64("jain_floor_under_attack", r.jain_floor());
-        export_fault_telemetry(&mut reg, &r.recoveries, &r.stats);
+        if mode == DispatchMode::Scr {
+            // The gated replication metrics: state destroyed by the
+            // crash (zero slack — an invariant, not a trend) and the
+            // replay cost of keeping every replica hot.
+            reg.set_u64(
+                "scr_flows_lost",
+                r.recoveries.iter().map(|rec| rec.flows_lost).sum(),
+            );
+            reg.set_f64(
+                "scr_replay_cycles_per_packet",
+                r.stats.scr_replay_cycles as f64 / r.stats.processed().max(1) as f64,
+            );
+        }
+        export_fault_telemetry(&mut reg, mode, &r.recoveries, &r.stats);
         flight.export(&mut reg);
         reg.set_raw_json("samples", samples.to_json());
         reg.set_raw_json("telemetry", r.stats.to_json());
@@ -129,21 +158,26 @@ fn main() {
     println!("{}", table.render());
     table.save_csv("fig_chaos");
 
-    let (sprayer_migrated, rss_migrated) = (migrated[0], migrated[1]);
-    // The experiment's headline claim, enforced: recovery under
-    // spraying touches only the failed core's flows — strictly fewer
-    // moves than RSS's broad indirection-table remap on the same fault.
-    assert!(
-        sprayer_migrated < rss_migrated,
-        "Sprayer recovery must migrate strictly fewer flows than RSS \
-         ({sprayer_migrated} vs {rss_migrated})"
-    );
+    let total_of = |m: DispatchMode| migrated.iter().find(|(tm, _)| *tm == m).map(|(_, t)| *t);
+    if let (Some(sprayer_migrated), Some(rss_migrated)) =
+        (total_of(DispatchMode::Sprayer), total_of(DispatchMode::Rss))
+    {
+        // The experiment's headline claim, enforced: recovery under
+        // spraying touches only the failed core's flows — strictly fewer
+        // moves than RSS's broad indirection-table remap on the same fault.
+        assert!(
+            sprayer_migrated < rss_migrated,
+            "Sprayer recovery must migrate strictly fewer flows than RSS \
+             ({sprayer_migrated} vs {rss_migrated})"
+        );
+    }
 
     let mut reg = MetricsRegistry::new();
     reg.set_str("figure", "chaos");
     reg.set_str("variant", if quick { "quick" } else { "full" });
-    reg.set_u64("sprayer_migrated_flows_total", sprayer_migrated);
-    reg.set_u64("rss_migrated_flows_total", rss_migrated);
+    for &(mode, total) in &migrated {
+        reg.set_u64(&format!("{}_migrated_flows_total", mode_slug(mode)), total);
+    }
     reg.set_raw_json("datapoints", json_array(&telemetry));
     let name = if quick {
         "fig_chaos_quick_telemetry"
@@ -153,8 +187,9 @@ fn main() {
     save_json(name, &reg.to_json());
     println!(
         "paper shape: rendezvous recovery remaps only the dead core's flows\n\
-         (Sprayer migrated {sprayer_migrated}; their state died with the core),\n\
-         while RSS's rebuilt indirection table migrates survivors broadly\n\
-         ({rss_migrated} flows) on the same fault."
+         (their state died with the core), RSS's rebuilt indirection table\n\
+         migrates survivors broadly on the same fault, and SCR's full\n\
+         replicas lose nothing and move nothing — the crash costs only the\n\
+         detection window."
     );
 }

@@ -1,36 +1,38 @@
-//! Elasticity figure: Sprayer vs RSS across online scale-up and
+//! Elasticity figure: Sprayer vs RSS vs SCR across online scale-up and
 //! scale-down events (paper §6: "scaling up the number of cores requires
 //! no migration at all" under spraying, while per-flow dispatch must
-//! reprogram the RSS indirection table and migrate every remapped flow).
+//! reprogram the RSS indirection table and migrate every remapped flow;
+//! under replication a joining core bootstraps its replica from the
+//! quiesced snapshot and nothing migrates at all, ever).
 //!
 //! One oversubscribed open-loop trace (600 kpps into 2×200 kpps cores)
-//! runs through a 2→4→2 core plan under both dispatch modes. The table
-//! lists every transition's migration volume and downtime; the per-core
-//! sample timelines embedded in the telemetry document show drops
-//! appearing while the box is small and vanishing while it is large.
+//! runs through a 2→4→2 core plan under all three dispatch modes. The
+//! table lists every transition's migration volume and downtime; the
+//! per-core sample timelines embedded in the telemetry document show
+//! drops appearing while the box is small and vanishing while it is
+//! large.
 //!
 //! Emits `results/fig_elastic_telemetry.json`
 //! (`fig_elastic_quick_telemetry.json` under `--quick`); each mode's
 //! datapoint is a full registry document carrying the standard
 //! `reconfig_*` metric set ([`sprayer_ctl::export_reconfig_telemetry`]),
 //! which the bench gate diffs against the committed baselines.
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::elastic::{run, ElasticConfig};
 use sprayer_ctl::export_reconfig_telemetry;
 use sprayer_obs::MetricsRegistry;
 use sprayer_sim::Time;
 
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Sprayer, DispatchMode::Rss, DispatchMode::Scr];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     // Phases must outlast the queues: the small configuration's
     // ~205 kpps excess needs >5 ms to overrun 2x512 slots and show up as
     // drops, so even `--quick` runs 6 ms per phase.
@@ -40,7 +42,7 @@ fn main() {
         (256, Time::from_ms(60))
     };
 
-    println!("== fig_elastic: online 2->4->2 scaling, Sprayer vs RSS ==\n");
+    println!("== fig_elastic: online 2->4->2 scaling, Sprayer vs RSS vs SCR ==\n");
     let mut table = Table::new(vec![
         "mode",
         "epoch",
@@ -51,16 +53,13 @@ fn main() {
         "at ms",
     ]);
     let mut telemetry: Vec<String> = Vec::new();
-    let mut totals = [0u64; 2];
-    for (i, mode) in [DispatchMode::Sprayer, DispatchMode::Rss]
-        .into_iter()
-        .enumerate()
-    {
+    let mut totals: Vec<(DispatchMode, u64)> = Vec::new();
+    for &mode in &modes {
         let r = run(&ElasticConfig::paper(mode, flows, duration, 1));
         assert_eq!(r.reports.len(), 2, "{mode}: both transitions must fire");
         for rep in &r.reports {
             table.row(vec![
-                mode_name(mode).to_string(),
+                mode_slug(mode),
                 rep.epoch.to_string(),
                 format!("{}->{}", rep.from_cores, rep.to_cores),
                 rep.migrated_flows.to_string(),
@@ -69,14 +68,25 @@ fn main() {
                 fmt_f(rep.at_ns as f64 / 1e6, 2),
             ]);
         }
-        totals[i] = r.migrated_flows_total();
+        if mode == DispatchMode::Scr {
+            // Replication's elasticity claim, enforced: joiners clone
+            // the snapshot, leavers just stop — no flow ever changes
+            // owner, up or down.
+            assert_eq!(
+                r.migrated_flows_total(),
+                0,
+                "SCR rescales must migrate nothing"
+            );
+            assert_eq!(r.stats.scr_replay_gap(), 0, "SCR updates must be conserved");
+        }
+        totals.push((mode, r.migrated_flows_total()));
         let samples = r.samples.as_ref().expect("sampling enabled");
         let mut reg = MetricsRegistry::new();
-        reg.set_str("mode", mode_name(mode));
+        reg.set_str("mode", &mode_slug(mode));
         reg.set_u64("flows", flows as u64);
         reg.set_f64("offered_pps", r.offered_pps);
         reg.set_f64("processed_pps", r.processed_pps);
-        export_reconfig_telemetry(&mut reg, &r.reports);
+        export_reconfig_telemetry(&mut reg, mode, &r.reports);
         reg.set_raw_json("samples", samples.to_json());
         reg.set_raw_json("telemetry", r.stats.to_json());
         telemetry.push(reg.to_json());
@@ -84,20 +94,25 @@ fn main() {
     println!("{}", table.render());
     table.save_csv("fig_elastic");
 
-    let (sprayer_total, rss_total) = (totals[0], totals[1]);
-    // The experiment's headline claim, enforced: same trace, same plan,
-    // strictly less migration under spraying.
-    assert!(
-        sprayer_total < rss_total,
-        "Sprayer must migrate strictly fewer flows than RSS \
-         ({sprayer_total} vs {rss_total})"
-    );
+    let total_of = |m: DispatchMode| totals.iter().find(|(tm, _)| *tm == m).map(|(_, t)| *t);
+    if let (Some(sprayer_total), Some(rss_total)) =
+        (total_of(DispatchMode::Sprayer), total_of(DispatchMode::Rss))
+    {
+        // The experiment's headline claim, enforced: same trace, same
+        // plan, strictly less migration under spraying.
+        assert!(
+            sprayer_total < rss_total,
+            "Sprayer must migrate strictly fewer flows than RSS \
+             ({sprayer_total} vs {rss_total})"
+        );
+    }
 
     let mut reg = MetricsRegistry::new();
     reg.set_str("figure", "elastic");
     reg.set_str("variant", if quick { "quick" } else { "full" });
-    reg.set_u64("sprayer_migrated_flows_total", sprayer_total);
-    reg.set_u64("rss_migrated_flows_total", rss_total);
+    for &(mode, total) in &totals {
+        reg.set_u64(&format!("{}_migrated_flows_total", mode_slug(mode)), total);
+    }
     reg.set_raw_json("datapoints", json_array(&telemetry));
     let name = if quick {
         "fig_elastic_quick_telemetry"
@@ -107,7 +122,8 @@ fn main() {
     save_json(name, &reg.to_json());
     println!(
         "paper shape: the pinned designated set makes the whole Sprayer\n\
-         up/down cycle migration-free ({sprayer_total} flows), while RSS's\n\
-         indirection-table reprogram moves remapped flows ({rss_total})."
+         up/down cycle near migration-free, RSS's indirection-table\n\
+         reprogram moves remapped flows broadly, and SCR's replica\n\
+         snapshot bootstrap moves exactly zero."
     );
 }

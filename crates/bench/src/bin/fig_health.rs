@@ -1,40 +1,41 @@
 //! Health-plane figure: what the online observability stack sees while
-//! Sprayer and RSS ride through the same fault + reconfiguration window.
+//! Sprayer, RSS, and SCR ride through the same fault + reconfiguration
+//! window.
 //!
 //! The chaos workload (adversarial bursts, a mid-run core crash, the
-//! watchdog's unplanned rescale over the survivors) runs under both
-//! dispatch modes with the full health plane on: per-stage time
+//! watchdog's unplanned rescale over the survivors) runs under all
+//! three dispatch modes with the full health plane on: per-stage time
 //! attribution, the streaming reordering-depth sketch, the typed
 //! health-event bus, and the SLO evaluator. The binary prints the
 //! flame-style stage breakdown and the live reorder-depth histogram per
 //! mode, and hard-asserts the plane's own correctness claims:
 //!
-//! * the injected crash raises a critical `worker_death` alert in both
-//!   modes, and the unplanned rescale lands on the bus as a
+//! * the injected crash raises a critical `worker_death` alert in every
+//!   mode, and the unplanned rescale lands on the bus as a
 //!   `reconfig_phase` lifecycle event;
 //! * the online sketch's reordered-completion count equals the offline
 //!   Fenwick analyzer's over the same trace — exactly, the simulator is
-//!   deterministic (Sprayer reorders, RSS does not);
-//! * every busy cycle is attributed to exactly one pipeline stage.
+//!   deterministic (Sprayer and SCR reorder, RSS does not);
+//! * every busy cycle is attributed to exactly one pipeline stage —
+//!   including SCR's replay (classify) and publish (redirect-budget)
+//!   cycles.
 //!
 //! Emits `results/fig_health_telemetry.json`
 //! (`fig_health_quick_telemetry.json` under `--quick`); each mode's
 //! datapoint carries the `profile_*`, `reorder_*`, and `health_*`
 //! metric sets the bench gate diffs against the committed baselines
 //! (alert counts at zero slack, the NF stage share at 10%).
+//!
+//! `--mode=<rss|sprayer|scr>` (repeatable) restricts the run.
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, modes_from_args, save_json, Table};
 use sprayer_bench::scenarios::health::{run, HealthConfig};
 use sprayer_obs::{export_health_telemetry, MetricsRegistry, Severity, Stage};
 use sprayer_sim::Time;
 
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
+const DEFAULT_MODES: [DispatchMode; 3] =
+    [DispatchMode::Sprayer, DispatchMode::Rss, DispatchMode::Scr];
 
 /// Text rendering of the reorder-depth histogram: one row per occupied
 /// log-linear bucket, bar length proportional to the count.
@@ -52,13 +53,16 @@ fn depth_histogram(r: &sprayer_obs::ReorderReport) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let modes = modes_from_args(&DEFAULT_MODES);
     let (flows, duration) = if quick {
         (64, Time::from_ms(18))
     } else {
         (256, Time::from_ms(60))
     };
 
-    println!("== fig_health: online health plane through fault + rescale, Sprayer vs RSS ==\n");
+    println!(
+        "== fig_health: online health plane through fault + rescale, Sprayer vs RSS vs SCR ==\n"
+    );
     let mut table = Table::new(vec![
         "mode",
         "classify%",
@@ -73,7 +77,7 @@ fn main() {
     ]);
     let mut telemetry: Vec<String> = Vec::new();
     let mut details = String::new();
-    for mode in [DispatchMode::Sprayer, DispatchMode::Rss] {
+    for &mode in &modes {
         let r = run(&HealthConfig::paper(mode, flows, duration, 1));
 
         // Hard gates: the plane must see the fault it was pointed at.
@@ -95,17 +99,28 @@ fn main() {
             "{mode}: online and offline reordered counts must agree"
         );
         match mode {
-            DispatchMode::Sprayer => assert!(r.reorder.reordered > 0, "spraying reorders"),
+            DispatchMode::Sprayer | DispatchMode::Scr => {
+                assert!(r.reorder.reordered > 0, "{mode}: spraying reorders")
+            }
             DispatchMode::Rss => assert_eq!(r.reorder.reordered, 0, "per-flow RSS keeps order"),
         }
+        if mode == DispatchMode::Scr {
+            assert_eq!(
+                r.stats.scr_replay_gap(),
+                0,
+                "{mode}: updates must be conserved through the crash: {:?}",
+                r.stats
+            );
+        }
         // Attribution completeness: stage ticks are a partition of the
-        // busy time, nothing double-counted or dropped.
+        // busy time, nothing double-counted or dropped — SCR's replay
+        // and publish cycles included.
         let busy: u64 = r.stats.per_core.iter().map(|c| c.busy_cycles).sum();
         assert_eq!(r.profile.total_ticks(), busy, "{mode}: attribution leak");
 
         let pct = |s: Stage| fmt_f(r.profile.share(s) * 100.0, 1);
         table.row(vec![
-            mode_name(mode).to_string(),
+            mode_slug(mode),
             pct(Stage::Classify),
             pct(Stage::Redirect),
             pct(Stage::Nf),
@@ -137,7 +152,7 @@ fn main() {
         details.push('\n');
 
         let mut reg = MetricsRegistry::new();
-        reg.set_str("mode", mode_name(mode));
+        reg.set_str("mode", &mode_slug(mode));
         reg.set_u64("flows", flows as u64);
         reg.set_f64("offered_pps", r.offered_pps);
         reg.set_f64("processed_pps", r.processed_pps);
@@ -171,7 +186,8 @@ fn main() {
     save_json(name, &reg.to_json());
     println!(
         "paper shape: the health plane watches spraying pay for its balance in\n\
-         reordering (online sketch == offline analyzer) while both modes raise\n\
-         the same critical alert for the injected crash."
+         reordering (online sketch == offline analyzer) while every mode raises\n\
+         the same critical alert for the injected crash; SCR's classify share\n\
+         carries the replay work the other modes don't do."
     );
 }

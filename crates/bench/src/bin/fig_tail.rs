@@ -26,17 +26,10 @@
 //! ring-loss counters at zero slack).
 
 use sprayer::config::DispatchMode;
-use sprayer_bench::report::{fmt_f, json_array, save_json, Table};
+use sprayer_bench::report::{fmt_f, json_array, mode_slug, save_json, Table};
 use sprayer_bench::scenarios::tail::{run, TailConfig};
 use sprayer_obs::{MetricsRegistry, TailStage};
 use sprayer_sim::Time;
-
-fn mode_name(mode: DispatchMode) -> &'static str {
-    match mode {
-        DispatchMode::Rss => "rss",
-        DispatchMode::Sprayer => "sprayer",
-    }
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -85,7 +78,7 @@ fn main() {
 
         let pct = |s: TailStage| fmt_f(r.report.share(s) * 100.0, 1);
         table.row(vec![
-            mode_name(mode).to_string(),
+            mode_slug(mode),
             r.report.completions.to_string(),
             r.report.exemplars.to_string(),
             fmt_f(
@@ -101,7 +94,7 @@ fn main() {
         ]);
 
         let mut reg = MetricsRegistry::new();
-        reg.set_str("mode", mode_name(mode));
+        reg.set_str("mode", &mode_slug(mode));
         reg.set_f64("offered_pps", r.offered_pps);
         reg.set_u64("processed", r.stats.processed());
         r.report.export(&mut reg);

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! live_top [--secs N] [--refresh-ms N] [--workers N] [--cycles N]
-//!          [--mode rss|sprayer] [--elastic] [--health] [--plain]
+//!          [--mode rss|sprayer|scr] [--elastic] [--health] [--plain]
 //! ```
 //!
 //! `--elastic` drives each iteration through an online scale-up and
@@ -82,13 +82,9 @@ fn parse_args() -> Args {
             "--refresh-ms" => args.refresh_ms = val().parse().expect("--refresh-ms N"),
             "--workers" => args.workers = val().parse().expect("--workers N"),
             "--cycles" => args.cycles = val().parse().expect("--cycles N"),
-            "--mode" => {
-                args.mode = match val().as_str() {
-                    "rss" => DispatchMode::Rss,
-                    "sprayer" => DispatchMode::Sprayer,
-                    m => panic!("unknown mode {m} (rss|sprayer)"),
-                }
-            }
+            // FromStr knows every dispatch mode, present and future —
+            // no hand-kept list to fall out of date here.
+            "--mode" => args.mode = val().parse().unwrap_or_else(|e| panic!("{e}")),
             "--elastic" => args.elastic = true,
             "--health" => args.health = true,
             "--tail" => args.tail = true,
@@ -97,7 +93,7 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
-                     [--cycles N] [--mode rss|sprayer] [--elastic] [--health] \
+                     [--cycles N] [--mode rss|sprayer|scr] [--elastic] [--health] \
                      [--tail] [--plain]"
                 );
                 std::process::exit(1);

@@ -240,4 +240,31 @@ mod tests {
         let bare = JsonValue::parse("{\"schema_version\":5,\"mpps\":1.0}").unwrap();
         assert!(render_tail(&bare).is_none());
     }
+
+    #[test]
+    fn tail_table_labels_any_dispatch_mode_from_the_document() {
+        // The renderer must not keep its own mode list: whatever slug a
+        // figure wrote (here the third mode, derived from Display, the
+        // same way the fig binaries derive it) comes back verbatim.
+        let mut t = TailTracker::new(1, 10);
+        t.on_complete(
+            0,
+            TailSpans {
+                queue_wait: 20,
+                classify: 5,
+                redirect_transit: 0,
+                nf: 100,
+                tx: 5,
+            },
+        );
+        let mut reg = MetricsRegistry::new();
+        let slug = sprayer::config::DispatchMode::Scr
+            .to_string()
+            .to_ascii_lowercase();
+        reg.set_str("mode", &slug);
+        t.report().export(&mut reg);
+        let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        let table = render_tail(&doc).expect("tail set present");
+        assert!(table.contains("tail attribution [scr]"), "{table}");
+    }
 }

@@ -145,6 +145,17 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
         // wide checksum loop) trip the gate. The companion
         // `ref_ns_per_packet` / `speedup` fields are context.
         "ns_per_packet" => rule(Direction::LowerIsBetter, 1.0, 30.0),
+        // SCR replication (fig_chaos SCR datapoint): full replicas mean
+        // a crash destroys no state and the update-conservation identity
+        // closes at drain — both exact in the deterministic simulator,
+        // so zero slack keeps them enforced invariants. `scr_replay_gap`
+        // also rides inside every embedded SCR `telemetry` block, gating
+        // it wherever it appears.
+        "scr_flows_lost" | "scr_replay_gap" => rule(Direction::LowerIsBetter, 0.0, 0.0),
+        // Replay overhead per delivered packet: the cost of keeping the
+        // replicas hot. 10% relative, like the throughput gates it
+        // trades against.
+        "scr_replay_cycles_per_packet" => rule(Direction::LowerIsBetter, 0.10, 0.0),
         // Blast radius in packets: deterministic, but sensitive to the
         // exact interleaving around the crash instant — a small absolute
         // slack absorbs schedule-neutral refactors.
@@ -409,6 +420,9 @@ mod tests {
             "tail_exemplars",
             "flight_frozen",
             "profile_nf_share",
+            "scr_flows_lost",
+            "scr_replay_gap",
+            "scr_replay_cycles_per_packet",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
@@ -456,6 +470,14 @@ mod tests {
             "reorder_completions",
             "reorder_reordered",
             "reorder_depth_p99",
+            // SCR companions: raw plane counters describe the run; the
+            // gated invariants are the gap, the lost-state count, and
+            // the per-packet replay cost.
+            "scr_published",
+            "scr_applied",
+            "scr_log_drops",
+            "scr_replay_cycles",
+            "scr_log_occupancy_hwm",
         ] {
             assert!(rule_for(context).is_none(), "{context}");
         }

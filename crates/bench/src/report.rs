@@ -124,6 +124,33 @@ pub fn fmt_f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
 
+/// Lowercase slug of a dispatch mode for file names, CSV cells, and
+/// telemetry labels — derived from `Display` so a new mode never needs
+/// another hand-written name table (it also round-trips through
+/// `DispatchMode::from_str`, which accepts the lowercase spelling).
+pub fn mode_slug(mode: sprayer::config::DispatchMode) -> String {
+    mode.to_string().to_ascii_lowercase()
+}
+
+/// Dispatch modes selected on the command line: every `--mode=<name>`
+/// argument (repeatable, parsed case-insensitively via the
+/// `DispatchMode` `FromStr`), or `default` in order when none is given.
+pub fn modes_from_args(
+    default: &[sprayer::config::DispatchMode],
+) -> Vec<sprayer::config::DispatchMode> {
+    let picked: Vec<sprayer::config::DispatchMode> = std::env::args()
+        .filter_map(|a| {
+            a.strip_prefix("--mode=")
+                .map(|m| m.parse().unwrap_or_else(|e| panic!("{e}")))
+        })
+        .collect();
+    if picked.is_empty() {
+        default.to_vec()
+    } else {
+        picked
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -331,6 +331,50 @@ pub trait NetworkFunction: Send + Sync {
         }
     }
 
+    /// Replication hook of the SCR dispatch mode
+    /// ([`crate::config::DispatchMode::Scr`]): after `handle_batch`
+    /// returns, the runtime calls this to extract the compact
+    /// state-updates the batch implies, which it multicasts to every
+    /// peer's log ring for replay ([`crate::scr`]).
+    ///
+    /// The default is batch-amortized and NF-agnostic: it dedupes the
+    /// batch's flow keys and reads back each key's post-batch local
+    /// state — present becomes [`crate::scr::UpdateOp::Put`] (value
+    /// shipping: peers converge to the writer's exact post-state),
+    /// absent becomes [`crate::scr::UpdateOp::Del`] (covers teardown;
+    /// also re-confirms absence for never-inserted flows, which peers
+    /// apply as a no-op). Always correct for NFs whose per-flow state
+    /// lives entirely in the flow table.
+    ///
+    /// NFs override it to ship less (skip flows the batch could not
+    /// have written) or more (the NAT's paired reverse-key entry, which
+    /// a key-dedupe over the batch's own packets would miss). An
+    /// override must uphold the replay contract: applying the emitted
+    /// ops to a converged replica must reproduce the local table's
+    /// post-batch contents for every key the batch touched.
+    fn replicate_updates(
+        &self,
+        pkts: &[Packet],
+        _conn: &[bool],
+        ctx: &dyn FlowStateApi<Self::Flow>,
+        out: &mut Vec<crate::scr::UpdateOp<Self::Flow>>,
+    ) {
+        let mut seen: Vec<FlowKey> = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            let Some(key) = pkt.tuple().map(|t| t.key()) else {
+                continue;
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            match ctx.get_local_flow(&key) {
+                Some(state) => out.push(crate::scr::UpdateOp::Put(key, state)),
+                None => out.push(crate::scr::UpdateOp::Del(key)),
+            }
+        }
+    }
+
     /// Export hook of the flow-state migration protocol: called once per
     /// flow, on the flow's *old* designated core, just before the entry
     /// is moved during an elastic reconfiguration. NFs that keep

@@ -10,6 +10,12 @@ pub enum DispatchMode {
     Rss,
     /// Packet spraying by TCP checksum via Flow Director (Sprayer).
     Sprayer,
+    /// State-Compute Replication (arXiv:2309.14647): packets are sprayed
+    /// like Sprayer, but *nothing* is ever redirected — every core holds
+    /// a full replica of flow state, kept convergent by a per-core
+    /// state-update log multicast over the inter-core rings and replayed
+    /// before local dispatch ([`crate::scr`]).
+    Scr,
 }
 
 impl core::fmt::Display for DispatchMode {
@@ -17,8 +23,47 @@ impl core::fmt::Display for DispatchMode {
         match self {
             DispatchMode::Rss => write!(f, "RSS"),
             DispatchMode::Sprayer => write!(f, "Sprayer"),
+            DispatchMode::Scr => write!(f, "SCR"),
         }
     }
+}
+
+/// Error returned when parsing a [`DispatchMode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDispatchModeError(String);
+
+impl core::fmt::Display for ParseDispatchModeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown dispatch mode {:?} (expected rss, sprayer, or scr)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDispatchModeError {}
+
+impl core::str::FromStr for DispatchMode {
+    type Err = ParseDispatchModeError;
+
+    /// Case-insensitive: accepts `rss`, `sprayer`, and `scr` (so
+    /// `Display` output round-trips through `parse`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rss" => Ok(DispatchMode::Rss),
+            "sprayer" => Ok(DispatchMode::Sprayer),
+            "scr" => Ok(DispatchMode::Scr),
+            _ => Err(ParseDispatchModeError(s.to_string())),
+        }
+    }
+}
+
+impl DispatchMode {
+    /// All dispatch modes, in the canonical presentation order used by
+    /// the three-way figure tables.
+    pub const ALL: [DispatchMode; 3] =
+        [DispatchMode::Sprayer, DispatchMode::Rss, DispatchMode::Scr];
 }
 
 /// Observability switches shared by both runtimes.
@@ -283,6 +328,27 @@ fn default_migrate_flow_cycles() -> u64 {
     400
 }
 
+/// Default [`MiddleboxConfig::scr_publish_cycles`]: 50 cycles per
+/// state-update enqueued to one peer's log ring — the same
+/// cache-line-transfer cost as a descriptor ring enqueue.
+fn default_scr_publish_cycles() -> u64 {
+    50
+}
+
+/// Default [`MiddleboxConfig::scr_apply_cycles`]: 150 cycles per remote
+/// state-update replayed into the local replica (log dequeue plus one
+/// flow-table write — dequeue-miss-dominated, like a ring dequeue).
+fn default_scr_apply_cycles() -> u64 {
+    150
+}
+
+/// Default [`MiddleboxConfig::scr_log_capacity`]: per-core inbound
+/// state-update log capacity, in updates. Sized like the inter-core
+/// rings times the peer count so a full batch from every peer fits.
+fn default_scr_log_capacity() -> usize {
+    8192
+}
+
 /// Parameters of the simulated middlebox server.
 ///
 /// Defaults reproduce the paper's testbed (§5): 8 worker cores on a
@@ -344,6 +410,21 @@ pub struct MiddleboxConfig {
     /// number of flows whose designated core changes.
     #[serde(default = "default_migrate_flow_cycles")]
     pub migrate_flow_cycles: u64,
+    /// Cycles charged per state-update published to one peer's log ring
+    /// ([`DispatchMode::Scr`] only).
+    #[serde(default = "default_scr_publish_cycles")]
+    pub scr_publish_cycles: u64,
+    /// Cycles charged per remote state-update replayed into the local
+    /// replica ([`DispatchMode::Scr`] only).
+    #[serde(default = "default_scr_apply_cycles")]
+    pub scr_apply_cycles: u64,
+    /// Per-core inbound state-update log capacity, in updates
+    /// ([`DispatchMode::Scr`] only). When a core's log fills, further
+    /// updates addressed to it are dropped and counted
+    /// ([`crate::stats::MiddleboxStats::scr_log_drops`]) — the log is
+    /// bounded, like every other queue in the model.
+    #[serde(default = "default_scr_log_capacity")]
+    pub scr_log_capacity: usize,
     /// Link speed of the NIC ports.
     pub link: LinkSpeed,
     /// Observability switches (tracing, latency histograms). Off by
@@ -367,11 +448,16 @@ impl MiddleboxConfig {
             batch_size: 32,
             fdir_cap_pps: match mode {
                 DispatchMode::Sprayer => Some(10.0e6),
-                DispatchMode::Rss => None,
+                // SCR sprays every packet, so it needs no Flow Director
+                // perfect filters at all — the 82599 erratum never binds.
+                DispatchMode::Rss | DispatchMode::Scr => None,
             },
             spray_subset_k: None,
             reconfig_fixed_cycles: default_reconfig_fixed_cycles(),
             migrate_flow_cycles: default_migrate_flow_cycles(),
+            scr_publish_cycles: default_scr_publish_cycles(),
+            scr_apply_cycles: default_scr_apply_cycles(),
+            scr_log_capacity: default_scr_log_capacity(),
             link: LinkSpeed::TEN_GBE,
             obs: ObsConfig::disabled(),
         }
@@ -437,6 +523,28 @@ mod tests {
             r.fdir_cap_pps, None,
             "the Flow Director cap only binds when spraying"
         );
+        let s = MiddleboxConfig::paper_testbed(DispatchMode::Scr);
+        assert_eq!(
+            s.fdir_cap_pps, None,
+            "SCR sprays without perfect filters, so no 82599 cap"
+        );
+    }
+
+    #[test]
+    fn dispatch_mode_display_parse_round_trips() {
+        for mode in DispatchMode::ALL {
+            let shown = mode.to_string();
+            let parsed: DispatchMode = shown.parse().expect("Display output must parse");
+            assert_eq!(parsed, mode, "{shown} must round-trip");
+            // The lowercase CLI spellings parse too.
+            let lower: DispatchMode = shown.to_ascii_lowercase().parse().unwrap();
+            assert_eq!(lower, mode);
+        }
+        assert_eq!("rss".parse::<DispatchMode>(), Ok(DispatchMode::Rss));
+        assert_eq!("sprayer".parse::<DispatchMode>(), Ok(DispatchMode::Sprayer));
+        assert_eq!("scr".parse::<DispatchMode>(), Ok(DispatchMode::Scr));
+        let err = "tonic".parse::<DispatchMode>().unwrap_err();
+        assert!(err.to_string().contains("tonic"));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   that queue's core is where state lives; the "designated core" *is*
 //!   the RSS mapping (symmetric because the paper uses the symmetric RSS
 //!   key).
+//! * **SCR** — state lives *everywhere* (every core holds a full
+//!   replica), so no dispatch decision ever consults the map. The
+//!   designated core is still defined — identically to Sprayer's hash —
+//!   as the flow's *home*: the ground truth the replay-determinism
+//!   checks compare replicas against, and the shard a joining core's
+//!   bootstrap snapshot is cut from.
 
 use crate::config::DispatchMode;
 use sprayer_net::flow::splitmix64;
@@ -93,7 +99,7 @@ impl CoreMap {
     /// minimally many designated-core assignments.
     pub fn elastic(mode: DispatchMode, num_cores: usize) -> Self {
         let mut map = CoreMap::new(mode, num_cores);
-        map.rendezvous = mode == DispatchMode::Sprayer;
+        map.rendezvous = matches!(mode, DispatchMode::Sprayer | DispatchMode::Scr);
         map
     }
 
@@ -231,7 +237,9 @@ impl CoreMap {
     /// The designated core for a canonical flow key.
     pub fn designated_for_key(&self, key: &FlowKey) -> usize {
         match self.mode {
-            DispatchMode::Sprayer => self.sprayer_designated(key.stable_hash()),
+            // SCR shares Sprayer's hash family: the home core anchors the
+            // replication ground truth even though dispatch ignores it.
+            DispatchMode::Sprayer | DispatchMode::Scr => self.sprayer_designated(key.stable_hash()),
             // Under RSS, state lives wherever RSS puts the flow's packets.
             // The key is canonical; reconstruct a representative tuple:
             // the symmetric RSS key hashes both directions identically, so
@@ -253,7 +261,7 @@ impl CoreMap {
     /// The designated core for a directed tuple.
     pub fn designated_for_tuple(&self, tuple: &FiveTuple) -> usize {
         match self.mode {
-            DispatchMode::Sprayer => self.designated_for_key(&tuple.key()),
+            DispatchMode::Sprayer | DispatchMode::Scr => self.designated_for_key(&tuple.key()),
             DispatchMode::Rss => self.active[usize::from(self.rss.queue_for(tuple))],
         }
     }
@@ -263,7 +271,7 @@ impl CoreMap {
     /// and the RSS representative goes through the symmetric Toeplitz key.
     pub fn designated_for_v6_key(&self, key: &FlowKeyV6) -> usize {
         match self.mode {
-            DispatchMode::Sprayer => self.sprayer_designated(key.stable_hash()),
+            DispatchMode::Sprayer | DispatchMode::Scr => self.sprayer_designated(key.stable_hash()),
             DispatchMode::Rss => {
                 let t = FiveTupleV6 {
                     src_addr: key.lo.0,
@@ -598,6 +606,32 @@ mod tests {
     #[should_panic(expected = "last surviving core")]
     fn failing_the_last_core_panics() {
         let _ = CoreMap::new(DispatchMode::Sprayer, 1).without_core(0);
+    }
+
+    #[test]
+    fn scr_home_mapping_mirrors_sprayer_in_both_hash_families() {
+        // SCR's home core (ground truth for replica convergence and
+        // bootstrap shards) is defined as exactly Sprayer's designation.
+        let ss = CoreMap::new(DispatchMode::Sprayer, 8);
+        let sc = CoreMap::new(DispatchMode::Scr, 8);
+        let es = CoreMap::elastic(DispatchMode::Sprayer, 8);
+        let ec = CoreMap::elastic(DispatchMode::Scr, 8);
+        assert!(
+            ec.is_rendezvous(),
+            "elastic SCR joins the rendezvous family"
+        );
+        for i in 0..500u32 {
+            let t = FiveTuple::tcp(i, 1000, 0xc0a8_0001, 443);
+            assert_eq!(
+                ss.designated_for_key(&t.key()),
+                sc.designated_for_key(&t.key())
+            );
+            assert_eq!(ss.designated_for_tuple(&t), sc.designated_for_tuple(&t));
+            assert_eq!(
+                es.designated_for_key(&t.key()),
+                ec.designated_for_key(&t.key())
+            );
+        }
     }
 
     #[test]

@@ -72,19 +72,23 @@ pub trait Engine {
     /// The designated core for a flow under the *current* core map.
     fn designated_core(&self, key: &FlowKey) -> usize;
 
-    /// The core picker (§3.3): should a packet just picked up by `core`
-    /// be transferred, and to where?
+    /// The core picker (§3.3), now a three-way policy: should a packet
+    /// just picked up by `core` be transferred, and to where?
     ///
     /// `Some(target)` only under Sprayer, for a stateful NF, for a
     /// parseable connection packet whose designated core is not `core`.
     /// RSS never redirects (flow affinity already lands every packet of
-    /// a flow on one core); stateless NFs never redirect (no state to
-    /// partition).
+    /// a flow on one core); SCR never redirects *by construction* —
+    /// every core holds a full state replica, so there is no designated
+    /// writer to transfer to (the state-update log does the moving
+    /// instead, [`crate::scr`]); stateless NFs never redirect (no state
+    /// to partition).
     fn redirect_target(&self, class: &PacketClass, core: usize) -> Option<usize> {
-        if self.mode() != DispatchMode::Sprayer || self.stateless() {
-            return None;
+        match self.mode() {
+            DispatchMode::Rss | DispatchMode::Scr => return None,
+            DispatchMode::Sprayer => {}
         }
-        if !class.is_conn {
+        if self.stateless() || !class.is_conn {
             return None;
         }
         let key = class.key.as_ref()?;
@@ -201,9 +205,14 @@ mod tests {
     }
 
     #[test]
-    fn rss_and_stateless_never_redirect() {
+    fn rss_scr_and_stateless_never_redirect() {
         let rss = FakeEngine {
             mode: DispatchMode::Rss,
+            stateless: false,
+            cores: 8,
+        };
+        let scr = FakeEngine {
+            mode: DispatchMode::Scr,
             stateless: false,
             cores: 8,
         };
@@ -216,6 +225,11 @@ mod tests {
             let class = PacketClass::of(&syn(i));
             for core in 0..8 {
                 assert_eq!(rss.redirect_target(&class, core), None);
+                assert_eq!(
+                    scr.redirect_target(&class, core),
+                    None,
+                    "SCR replicates instead"
+                );
                 assert_eq!(stateless.redirect_target(&class, core), None);
             }
         }

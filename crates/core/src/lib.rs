@@ -30,6 +30,7 @@
 //! | [`tables`] | flow-table backends: single-threaded (for the deterministic simulator) and shared (for real threads) — both enforcing write partition by construction |
 //! | [`elastic`] | elastic reconfiguration: epoch transitions, flow-state migration accounting ([`elastic::ReconfigReport`]) |
 //! | [`config`] | middlebox model parameters (cores, clock, cycle costs) |
+//! | [`scr`] | State-Compute Replication: the per-core state-update log and replay plane behind the third dispatch mode, [`config::DispatchMode::Scr`] |
 //! | [`runtime_sim`] | the deterministic discrete-event middlebox used by every experiment |
 //! | [`runtime_threads`] | a real `std::thread` runtime over crossbeam rings, functionally equivalent |
 //! | [`stats`] | per-core and aggregate runtime statistics |
@@ -98,6 +99,7 @@ pub mod engine;
 pub mod flowtable;
 pub mod runtime_sim;
 pub mod runtime_threads;
+pub mod scr;
 pub mod stats;
 pub mod tables;
 
@@ -112,5 +114,6 @@ pub use engine::{Engine, PacketClass};
 pub use flowtable::FlowTable;
 pub use runtime_sim::MiddleboxSim;
 pub use runtime_threads::{ThreadedMiddlebox, WorkerFailure};
+pub use scr::{ScrPlane, SharedScrPlane, StateUpdate, UpdateOp};
 pub use stats::MiddleboxStats;
 pub use tables::{FailoverStats, MigrationStats};

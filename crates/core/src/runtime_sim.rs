@@ -19,6 +19,7 @@ use crate::config::{DispatchMode, MiddleboxConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::{ReconfigReport, RecoveryReport};
 use crate::engine::{self, Engine, PacketClass};
+use crate::scr::ScrPlane;
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::LocalTables;
 use sprayer_net::{FlowKey, Packet};
@@ -107,6 +108,10 @@ struct CoreSim {
     /// busy-burst length is its analogue of the threaded runtime's batch
     /// size — both are recorded in [`crate::stats::CoreStats::batch_hist`].
     burst: u64,
+    /// SCR replay cycles folded into the in-flight service (zero outside
+    /// SCR mode), kept so completion-time tail attribution can
+    /// reconstruct the exact service start.
+    current_replay: u64,
 }
 
 /// The simulated middlebox.
@@ -178,6 +183,11 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     /// the NIC to the surviving queue count, after which it maps the
     /// (smaller) queue index space back to real core ids.
     queue_map: Vec<usize>,
+    /// Present iff `config.mode` is [`DispatchMode::Scr`] and the NF is
+    /// stateful: the state-update multicast log and replay plane
+    /// ([`crate::scr`]). Counters fold into the `scr_*` fields of
+    /// [`MiddleboxStats`].
+    scr: Option<ScrPlane<NF::Flow>>,
     /// Scratch verdict buffer for [`engine::run_nf_batch`], reused
     /// across events so the hot path never allocates.
     sink: VerdictSink,
@@ -219,7 +229,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     fn nic_config_for(config: &MiddleboxConfig, num_queues: usize) -> NicConfig {
         match config.mode {
             DispatchMode::Rss => NicConfig::rss(num_queues),
-            DispatchMode::Sprayer => NicConfig {
+            // SCR sprays exactly like Sprayer — the difference is what
+            // happens after the NIC (a state-update log instead of
+            // redirect rings) — so both share the spray steering. The
+            // Flow Director cap only binds when `fdir_cap_pps` is set;
+            // `paper_testbed` leaves it `None` under SCR, since no
+            // perfect-filter redirect rules are needed there.
+            DispatchMode::Sprayer | DispatchMode::Scr => NicConfig {
                 fdir_rate_cap_pps: config.fdir_cap_pps,
                 spray_subset_k: config.spray_subset_k,
                 ..NicConfig::sprayer(num_queues)
@@ -252,8 +268,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 ring: BoundedFifo::new(config.ring_capacity),
                 current: None,
                 burst: 0,
+                current_replay: 0,
             })
             .collect();
+        // A stateless NF has nothing to replicate: SCR degenerates to
+        // pure spraying and the plane (and its per-update costs) is
+        // elided entirely.
+        let scr = (config.mode == DispatchMode::Scr && !nf_config.stateless)
+            .then(|| ScrPlane::new(config.num_cores, config.scr_log_capacity));
         let stats = MiddleboxStats::new(config.num_cores);
         let tracer = config.obs.trace.then(|| SimTracer {
             ring: TraceRing::new(config.obs.trace_ring_capacity * config.num_cores),
@@ -321,6 +343,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             stalled_until: vec![Time::ZERO; config.num_cores],
             recoveries: Vec::new(),
             queue_map: (0..config.num_cores).collect(),
+            scr,
             sink: VerdictSink::with_capacity(1),
             config,
         }
@@ -352,6 +375,98 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         }
         if let Some(p) = self.profiler.as_mut() {
             p.record(core, stage, ticks);
+        }
+    }
+
+    /// SCR replay-before-dispatch (see [`crate::scr`]): consume every
+    /// pending remote state-update from `core`'s inbound log into its
+    /// replica, running the version guard. Returns the model cycles the
+    /// replay cost (`scr_apply_cycles` per consumed update) — already
+    /// attributed to [`Stage::Classify`] and folded into the `scr_*`
+    /// stats; the *caller* charges them to `busy_cycles` (and, on the
+    /// dispatch path, extends the service by them). A no-op returning 0
+    /// outside SCR mode.
+    fn scr_replay(&mut self, core: usize) -> u64 {
+        let Some(mut plane) = self.scr.take() else {
+            return 0;
+        };
+        // Per-core structures never shrink on scale-down but the
+        // next-epoch plane does: a retired core has no log and no
+        // replica to maintain.
+        if core >= plane.num_cores() {
+            self.scr = Some(plane);
+            return 0;
+        }
+        let mut applied = 0u64;
+        while let Some(update) = plane.take(core) {
+            applied += 1;
+            self.stats.scr_applied += 1;
+            self.stats.scr_lag_hist[sprayer_obs::batch_bucket(update.lag)] += 1;
+            if update.fresh {
+                self.tables.apply_replica(core, &update.op);
+            }
+        }
+        self.scr = Some(plane);
+        let cycles = applied * self.config.scr_apply_cycles;
+        self.stats.scr_replay_cycles += cycles;
+        self.profile(core, Stage::Classify, cycles);
+        cycles
+    }
+
+    /// SCR publish-after-dispatch: extract the batch's state-updates
+    /// through [`NetworkFunction::replicate_updates`] and multicast each
+    /// onto every live peer's log. Publish cycles (`scr_publish_cycles`
+    /// per enqueued copy) are charged to `busy_cycles` under
+    /// [`Stage::Redirect`] — the ring-transfer budget SCR spends on
+    /// state instead of descriptors — without extending the completed
+    /// service's event time. A no-op outside SCR mode.
+    fn scr_publish(&mut self, core: usize, pkts: &[Packet], conn: &[bool]) {
+        let Some(mut plane) = self.scr.take() else {
+            return;
+        };
+        // Mirror of the scr_replay guard: a core retired by a
+        // scale-down has no slot in the next-epoch plane.
+        if core >= plane.num_cores() {
+            self.scr = Some(plane);
+            return;
+        }
+        let mut ops = Vec::new();
+        {
+            let ctx = self.tables.ctx(core);
+            self.nf.replicate_updates(pkts, conn, &ctx, &mut ops);
+        }
+        let mut sent = 0u64;
+        for op in ops {
+            let out = plane.publish(core, op, &self.failed);
+            sent += out.sent;
+            // A full-log drop is still a published update that was lost:
+            // counting the attempt keeps `scr_replay_gap() == 0` closed
+            // under overload.
+            self.stats.scr_published += out.sent + out.dropped;
+            self.stats.scr_log_drops += out.dropped;
+            self.stats.scr_log_occupancy_hwm =
+                self.stats.scr_log_occupancy_hwm.max(out.occupancy_hwm);
+        }
+        self.scr = Some(plane);
+        let cycles = sent * self.config.scr_publish_cycles;
+        self.stats.per_core[core].busy_cycles += cycles;
+        self.profile(core, Stage::Redirect, cycles);
+    }
+
+    /// Replay every live core's pending updates (quiesced-plane
+    /// convergence: before a rescale, at recovery, and whenever the
+    /// event heap runs dry — an idle core polls its log, so replicas
+    /// converge at rest and [`MiddleboxStats::scr_replay_gap`] closes).
+    fn scr_drain_live(&mut self) {
+        if self.scr.is_none() {
+            return;
+        }
+        for core in 0..self.cores.len() {
+            if self.failed[core] {
+                continue;
+            }
+            let cycles = self.scr_replay(core);
+            self.stats.per_core[core].busy_cycles += cycles;
         }
     }
 
@@ -707,6 +822,13 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             self.complete(core, t);
         }
         self.now = self.now.max(deadline);
+        // At rest (no events left), idle cores poll their SCR logs:
+        // replicas converge and the replay gap closes whenever the
+        // plane drains — the `scr_replay_gap() == 0` acceptance
+        // condition holds at every quiet point, not just at shutdown.
+        if self.heap.is_empty() {
+            self.scr_drain_live();
+        }
     }
 
     /// Run standalone until the internal queue empties or `deadline`.
@@ -802,6 +924,10 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             self.cores[core].burst = 0;
             return;
         };
+        // SCR replay-before-dispatch: pending remote updates land in the
+        // replica ahead of the service this core is about to start. The
+        // replay is real work here — it extends the service.
+        let replay_cycles = self.scr_replay(core);
         // Service begins here; the NF-done event fires at completion.
         self.trace(core, now, EventKind::NfStart, job.flow, job.id, 0);
         if !job.via_ring {
@@ -810,10 +936,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     .record(now.saturating_sub(job.arrival).as_ps() / 1_000);
             }
         }
-        let service = self.config.clock.cycles_to_time(service_cycles);
+        let service = self
+            .config
+            .clock
+            .cycles_to_time(service_cycles + replay_cycles);
         let done = now + service;
         self.cores[core].burst += 1;
-        self.stats.per_core[core].busy_cycles += service_cycles;
+        self.cores[core].current_replay = replay_cycles;
+        self.stats.per_core[core].busy_cycles += service_cycles + replay_cycles;
         if self.profiler.is_some() {
             // Exact decomposition of the service: an optional ring
             // dequeue (redirected arrivals), the framework overhead —
@@ -910,13 +1040,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 // the same cycle decomposition `kick` scheduled with;
                 // `service_cycles_for` must see the packet before the NF
                 // mutates it, so this runs ahead of the batch call.
+                let replay_cyc = self.cores[core].current_replay;
                 let tail_start = self.tail.as_ref().map(|_| {
                     let ring_dq = if via_ring {
                         self.config.ring_dequeue_cycles
                     } else {
                         0
                     };
-                    let svc = ring_dq + self.config.service_cycles_for(&pkt);
+                    let svc = ring_dq + replay_cyc + self.config.service_cycles_for(&pkt);
                     (
                         now.saturating_sub(self.config.clock.cycles_to_time(svc)),
                         ring_dq,
@@ -934,6 +1065,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     &mut self.sink,
                 );
                 let verdict = self.sink.verdicts()[0];
+                // SCR publish-after-dispatch: whatever state the batch
+                // wrote ships to every peer's log before the next job.
+                if self.scr.is_some() {
+                    self.scr_publish(core, std::slice::from_ref(&pkt), &[is_conn]);
+                }
                 engine::account(&mut self.stats.per_core[core], is_conn, via_ring);
                 let sojourn = now.saturating_sub(arrival);
                 self.latency_us.add(sojourn.as_us_f64());
@@ -951,7 +1087,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     let overhead = self.config.overhead_cycles;
                     let tx_cyc = overhead / 4;
                     let clock = self.config.clock;
-                    let classify = clock.cycles_to_time(overhead - tx_cyc + ring_dq).as_ps();
+                    // SCR replay cycles sit at the head of the service,
+                    // before classification — table maintenance ahead of
+                    // dispatch, charged to the classify span.
+                    let classify = clock
+                        .cycles_to_time(overhead - tx_cyc + ring_dq + replay_cyc)
+                        .as_ps();
                     let tx = clock.cycles_to_time(tx_cyc).as_ps();
                     let (queue_wait, redirect_transit) = match relayed_at {
                         Some(at) => (
@@ -1053,6 +1194,12 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             core.burst = 0;
         }
 
+        // Converge the SCR replicas before remapping: every live core
+        // replays its pending updates, so the union snapshot the Scr
+        // rescale branch builds is the *converged* state and joining
+        // cores bootstrap from snapshot + fully-drained log tail.
+        self.scr_drain_live();
+
         // Remap: next core-map epoch + NIC reprogram for the new queue
         // count.
         let new_map = self.coremap.rescaled(new_cores);
@@ -1077,6 +1224,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 ring: BoundedFifo::new(self.config.ring_capacity),
                 current: None,
                 burst: 0,
+                current_replay: 0,
             });
         }
         while self.stats.per_core.len() < new_cores {
@@ -1092,6 +1240,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             self.hwm_latched.push(false);
         }
         self.queue_map = (0..new_cores).collect();
+        // Next-epoch replay plane: fresh (empty) logs at the new core
+        // count, same global sequence space.
+        if let Some(plane) = self.scr.as_ref() {
+            self.scr = Some(plane.rescaled(new_cores));
+        }
         if let Some(s) = self.samplers.as_mut() {
             let interval = self.config.obs.sample_interval_us.max(1) * SIM_TICKS_PER_US;
             while s.len() < new_cores {
@@ -1181,6 +1334,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         }
         c.burst = 0;
         self.stats.lost_packets += lost;
+        // The dead core's inbound state-update log is truncated: the
+        // updates it never replayed are drops, not a leak — the SCR
+        // conservation identity keeps closing through the crash. Its
+        // replica needs no handling (every survivor holds the same
+        // state), and publishes from here on skip the dark log.
+        if let Some(plane) = self.scr.as_mut() {
+            self.stats.scr_log_drops += plane.truncate(core);
+        }
         self.emit_health_at(
             now,
             HealthEvent::WorkerDeath {
@@ -1247,6 +1408,15 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 stranded.push(job);
             }
             core.burst = 0;
+        }
+
+        // Converge the survivors' SCR replicas (replay their pending
+        // logs) and re-truncate the dead core's — idempotent after the
+        // injection-time truncation, but a recovery driven by an
+        // external watchdog may land before ours ran.
+        self.scr_drain_live();
+        if let Some(plane) = self.scr.as_mut() {
+            self.stats.scr_log_drops += plane.truncate(failed_core);
         }
 
         // Remap over the survivors and reprogram the NIC to their queue
@@ -2551,6 +2721,196 @@ mod tests {
         let s = mb.stats();
         assert_eq!(s.unaccounted(), 0, "{s:?}");
         assert_eq!(s.processed(), processed_before + 16, "stall is not loss");
+    }
+
+    #[test]
+    fn scr_reads_locally_sprays_widely_and_never_redirects() {
+        let config = cfg(DispatchMode::Scr, 0);
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(7);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        // Let the SYN's state-update replicate before the data arrives.
+        mb.run_until(Time::from_ms(1));
+        for i in 0u32..256 {
+            now += Time::from_us(1);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.forwarded, 257, "every packet reads its own replica");
+        assert_eq!(s.nf_drops, 0);
+        let redirects: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
+        assert_eq!(redirects, 0, "SCR never redirects — not even the SYN");
+        let active = s.per_core.iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 8, "packets spray over all cores");
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.scr_replay_gap(), 0, "the plane drains at rest");
+        assert!(s.scr_published > 0, "state-updates actually shipped");
+        assert!(s.scr_log_occupancy_hwm > 0);
+        assert!(s.scr_lag_hist.iter().sum::<u64>() > 0);
+        // Every core converged to the full replica.
+        for core in 0..8 {
+            assert!(mb.tables().peek(core, &t.key()).is_some(), "core {core}");
+        }
+    }
+
+    #[test]
+    fn scr_core_failure_loses_no_flows_and_migrates_none() {
+        let mut config = cfg(DispatchMode::Scr, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let n = 64u32;
+        let now = drive_flows(&mut mb, n, 2, Time::ZERO);
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle());
+
+        let fail_at = mb.now() + Time::from_us(10);
+        mb.inject_core_failure(fail_at, 2);
+        let report = mb.recover(fail_at + Time::from_us(50), 2);
+        assert_eq!(report.flows_lost, 0, "every survivor holds a full replica");
+        assert_eq!(report.migrated_flows, 0, "nothing needed moving");
+        assert_eq!(report.retained_flows, u64::from(n));
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(mb.nf().freezes.load(ord), 0, "no migration hooks ran");
+
+        // Regular packets only (no SYNs, so nothing can silently
+        // re-establish): every flow still resolves on the survivors.
+        let mut now = mb.now() + Time::from_ms(1);
+        for j in 0..2u32 {
+            for i in 0..n {
+                now += Time::from_us(1);
+                let p =
+                    PacketBuilder::new().tcp(flow(i), j + 10, 0, TcpFlags::ACK, &payload(i + j));
+                mb.ingress(now, p);
+            }
+        }
+        mb.run_until(now + Time::from_ms(50));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.nf_drops, 0, "zero flows lost means zero state misses");
+        assert_eq!(
+            s.scr_replay_gap(),
+            0,
+            "the truncated dead-core log counts as drops"
+        );
+        assert_eq!(mb.active_cores(), 3);
+    }
+
+    #[test]
+    fn scr_rescale_bootstraps_joiners_with_the_full_replica() {
+        let mut config = cfg(DispatchMode::Scr, 1_000);
+        config.num_cores = 2;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let n = 32u32;
+        let now = drive_flows(&mut mb, n, 2, Time::ZERO);
+        let report = mb.reconfigure(now + Time::from_us(10), 4);
+        assert_eq!(
+            report.migrated_flows, 0,
+            "replication has no owners to move"
+        );
+        assert_eq!(report.retained_flows, u64::from(n));
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(mb.nf().freezes.load(ord), 0);
+        assert_eq!(mb.nf().adopts.load(ord), 0);
+        // Joiners hold the full replica the moment the epoch turns.
+        for core in 0..4 {
+            for i in 0..n {
+                assert!(
+                    mb.tables().peek(core, &flow(i).key()).is_some(),
+                    "core {core} flow {i}"
+                );
+            }
+        }
+        // Regular-only traffic spreads over all four cores, zero misses.
+        let mut now = mb.now() + Time::from_ms(1);
+        for j in 0..4u32 {
+            for i in 0..n {
+                now += Time::from_us(1);
+                let p = PacketBuilder::new().tcp(
+                    flow(i),
+                    j + 10,
+                    0,
+                    TcpFlags::ACK,
+                    &payload(i * 3 + j),
+                );
+                mb.ingress(now, p);
+            }
+        }
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.nf_drops, 0);
+        assert_eq!(s.scr_replay_gap(), 0);
+        let active = s.per_core.iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 4, "joined cores take sprayed work immediately");
+    }
+
+    #[test]
+    fn scr_scale_down_keeps_running_with_the_smaller_plane() {
+        // Regression: per-core structures never shrink on scale-down,
+        // but the next-epoch replay plane does — replay/publish must
+        // skip retired cores instead of indexing past the plane.
+        let mut config = cfg(DispatchMode::Scr, 1_000);
+        config.num_cores = 4;
+        let mut mb = MiddleboxSim::new_elastic(config, HookNf::new());
+        let n = 16u32;
+        let now = drive_flows(&mut mb, n, 4, Time::ZERO);
+        let report = mb.reconfigure(now + Time::from_us(10), 2);
+        assert_eq!(report.migrated_flows, 0);
+        let mut now = mb.now() + Time::from_ms(1);
+        for i in 0..n {
+            now += Time::from_us(1);
+            let p = PacketBuilder::new().tcp(flow(i), 10, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        let s = mb.stats();
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.scr_replay_gap(), 0);
+        let active = s.per_core[2..].iter().filter(|c| c.processed > 0).count();
+        assert_eq!(active, 2, "pre-rescale history survives on retired cores");
+    }
+
+    #[test]
+    fn scr_stage_profile_still_reproduces_busy_cycles() {
+        use crate::config::ObsConfig;
+        let mut config = cfg(DispatchMode::Scr, 5_000);
+        config.obs = ObsConfig::profiling();
+        let mut mb = MiddleboxSim::new(config, TrackerNf);
+        let t = flow(1);
+        let mut now = Time::ZERO;
+        mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+        for i in 0u32..1_000 {
+            now += Time::from_ns(500);
+            let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+        }
+        mb.run_until(now + Time::from_secs(1));
+        assert!(mb.is_idle());
+        let s = mb.stats().clone();
+        assert_eq!(s.unaccounted(), 0);
+        assert_eq!(s.scr_replay_gap(), 0);
+        assert!(
+            s.scr_replay_cycles > 0,
+            "replay must have run on the dispatch path"
+        );
+        // The attribution identity survives SCR's extra work: replay
+        // (Classify) and publish (Redirect) cycles are both profiled
+        // and both charged, so stage ticks still sum to busy cycles.
+        let p = mb.take_profile().expect("profiling enabled");
+        for (core, cp) in p.cores().iter().enumerate() {
+            assert_eq!(
+                cp.total_ticks(),
+                s.per_core[core].busy_cycles,
+                "core {core}"
+            );
+        }
     }
 
     #[test]

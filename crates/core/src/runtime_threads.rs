@@ -66,7 +66,8 @@ use crate::config::{DispatchMode, ObsConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::ReconfigReport;
 use crate::engine::{self, Engine, PacketClass};
-use crate::stats::{CoreStats, MiddleboxStats};
+use crate::scr::{ScrReplica, SharedScrPlane, UpdateOp};
+use crate::stats::{batch_bucket, CoreStats, MiddleboxStats, BATCH_HIST_BUCKETS};
 use crate::tables::{SharedCtx, SharedTables};
 use crossbeam::queue::ArrayQueue;
 use sprayer_net::{FlowKey, Packet};
@@ -79,7 +80,7 @@ use sprayer_obs::{
     TraceMeta, TraceRing,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -115,6 +116,13 @@ pub struct ThreadedConfig {
     /// Bounded spin for ingress pushes into a full receive queue before
     /// counting a [`MiddleboxStats::queue_drops`].
     pub ingress_retries: usize,
+    /// Per-core state-update log capacity under
+    /// [`DispatchMode::Scr`]. A publish into a full peer log is a
+    /// single-attempt drop, counted in
+    /// [`MiddleboxStats::scr_log_drops`] (the receiving replica serves
+    /// stale reads until a later update for the flow lands). Ignored in
+    /// the other modes and for stateless NFs.
+    pub scr_log_capacity: usize,
     /// Observability switches (tracing, latency histograms, sampling,
     /// stage profiling, health events, reorder sketching). Off by
     /// default; near-zero-cost when off — no per-packet clock reads, no
@@ -197,6 +205,7 @@ impl ThreadedConfig {
             ring_capacity: 1024,
             redirect_retries: 64,
             ingress_retries: 4096,
+            scr_log_capacity: 8192,
             obs: ObsConfig::disabled(),
             live: None,
             profile_live: None,
@@ -385,6 +394,16 @@ struct WorkerShared<NF: NetworkFunction> {
     /// on. Workers record into their own rings until any of them (or
     /// the watchdog) latches it.
     flight: Option<Arc<FlightShared>>,
+    /// The SCR state-update multicast plane, when the phase runs under
+    /// [`DispatchMode::Scr`] with a stateful NF. Workers publish their
+    /// batch's updates into every live peer's log and replay their own
+    /// log before claiming new work.
+    scr: Option<SharedScrPlane<NF::Flow>>,
+    /// Workers that have permanently stopped publishing SCR updates
+    /// (reached the quiesced exit condition, or died). A worker may only
+    /// exit once every peer is counted here *and* its own log is empty —
+    /// otherwise a replica could leave the phase behind its peers.
+    scr_done: AtomicUsize,
     /// Wall-clock zero for trace timestamps (shared by all threads).
     anchor: Instant,
     /// Global trace-event sequence, shared by workers and ingress.
@@ -449,6 +468,20 @@ struct Worker<'a, NF: NetworkFunction> {
     /// This worker's tail-attribution tracker (iff tail is on); its
     /// report is merged into the run's at join time.
     tail: Option<TailTracker>,
+    /// This worker's SCR per-flow version guard (iff the phase has an
+    /// SCR plane). Taken/restored around replay so the borrow checker
+    /// lets replay touch the shared tables.
+    scr_replica: Option<ScrReplica>,
+    /// Replica-lag histogram (sequence numbers behind the global head at
+    /// replay), merged into [`MiddleboxStats::scr_lag_hist`] at join.
+    scr_lag_hist: [u64; BATCH_HIST_BUCKETS],
+    /// True once this worker counted itself into
+    /// [`WorkerShared::scr_done`] (exactly once per phase).
+    scr_done_marked: bool,
+    /// Scratch liveness snapshot for [`SharedScrPlane::publish`].
+    scr_alive: Vec<bool>,
+    /// Scratch update buffer for [`NetworkFunction::replicate_updates`].
+    scr_ops: Vec<UpdateOp<NF::Flow>>,
 }
 
 impl<NF: NetworkFunction> Engine for Worker<'_, NF> {
@@ -490,6 +523,7 @@ struct WorkerResult {
     failure: Option<WorkerFailure>,
     flight: Option<FlightRing>,
     tail: Option<TailReport>,
+    scr_lag_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 /// Drain a dead worker's queues, counting every stranded descriptor as
@@ -504,6 +538,12 @@ fn drain_dead_queues<NF: NetworkFunction>(shared: &WorkerShared<NF>, core: usize
     while shared.rings[core].pop().is_some() {
         shared.lost.fetch_add(1, Ordering::SeqCst);
         shared.redirects_outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+    if let Some(plane) = shared.scr.as_ref() {
+        // A fenced core's log truncates to accounted drops (the fenced
+        // worker races the same truncation benignly from its zombie
+        // loop; each update is popped — and counted — exactly once).
+        plane.truncate(core);
     }
 }
 
@@ -604,8 +644,10 @@ impl ThreadedMiddlebox {
         let mut tables = SharedTables::new(coremap.clone(), nf_config.flow_table_capacity);
         let nic_config_for = |queues: usize| match config.mode {
             DispatchMode::Rss => NicConfig::rss(queues),
-            // No rate cap here: wall-clock timing is not modeled.
-            DispatchMode::Sprayer => NicConfig::sprayer_uncapped(queues),
+            // No rate cap here: wall-clock timing is not modeled. SCR
+            // sprays identically but needs no perfect filters at all
+            // (nothing is ever redirected).
+            DispatchMode::Sprayer | DispatchMode::Scr => NicConfig::sprayer_uncapped(queues),
         };
         let mut nic = Nic::new(nic_config_for(first_workers));
         let mut cur_workers = first_workers;
@@ -763,6 +805,9 @@ impl ThreadedMiddlebox {
                 health: health_bus.clone(),
                 reorder: reorder_sketch.clone(),
                 flight: flight_shared.clone(),
+                scr: (config.mode == DispatchMode::Scr && !nf_config.stateless)
+                    .then(|| SharedScrPlane::new(cur_workers, config.scr_log_capacity)),
+                scr_done: AtomicUsize::new(0),
                 anchor,
                 trace_seq: AtomicU64::new(seq_base),
             };
@@ -934,6 +979,22 @@ impl ThreadedMiddlebox {
                 }
             });
             seq_base = shared.trace_seq.load(Ordering::SeqCst);
+            if let Some(plane) = shared.scr.as_ref() {
+                // Final sweep: a publish that raced a dying peer's own
+                // log truncation can strand updates in a dead core's
+                // log. Discard them as accounted drops so the
+                // conservation identity (`scr_replay_gap() == 0`)
+                // closes; live workers' SCR epilogue already drained
+                // their logs before exiting.
+                for core in 0..cur_workers {
+                    plane.truncate(core);
+                }
+                stats.scr_published += plane.published();
+                stats.scr_applied += plane.applied();
+                stats.scr_log_drops += plane.dropped();
+                stats.scr_log_occupancy_hwm =
+                    stats.scr_log_occupancy_hwm.max(plane.occupancy_hwm());
+            }
             stats.lost_packets += shared.lost.load(Ordering::SeqCst);
             if shared.fault_fired.load(Ordering::SeqCst) {
                 fault_pending = None;
@@ -951,6 +1012,9 @@ impl ThreadedMiddlebox {
                 outcome.forwarded.extend(r.out);
                 stats.per_core[worker].merge(&r.stats);
                 stats.per_core[worker].observe_rx_depth(rx_hwm[worker]);
+                for (bucket, n) in stats.scr_lag_hist.iter_mut().zip(r.scr_lag_hist) {
+                    *bucket += n;
+                }
                 if let Some(ring) = r.trace {
                     worker_rings.push(ring);
                 }
@@ -1151,6 +1215,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 .obs
                 .tail
                 .then(|| TailTracker::new(shared.rx.len(), shared.obs.tail_threshold_ticks)),
+            scr_replica: shared.scr.is_some().then(ScrReplica::new),
+            scr_lag_hist: [0; BATCH_HIST_BUCKETS],
+            scr_done_marked: false,
+            scr_alive: Vec::new(),
+            scr_ops: Vec::new(),
         }
     }
 
@@ -1327,8 +1396,11 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 self.zombie_drain();
                 break;
             }
+            // SCR replay before new work — the same replay-before-
+            // service ordering the simulator enforces per dequeue.
+            let mut did_work = self.scr_replay() > 0;
             // Ring (connection) work first, as in §3.3.
-            let mut did_work = self.drain_ring();
+            did_work |= self.drain_ring();
             did_work |= self.drain_rx();
 
             if !did_work {
@@ -1342,7 +1414,27 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                     && self.shared.redirects_outstanding.load(Ordering::SeqCst) == 0
                     && self.shared.rings[self.id].is_empty()
                 {
-                    break;
+                    match self.shared.scr.as_ref() {
+                        None => break,
+                        Some(plane) => {
+                            // SCR epilogue: stop publishing (count
+                            // ourselves done, once), then keep replaying
+                            // until every peer has also stopped and our
+                            // own log is dry. A worker must never exit
+                            // with unapplied updates pending, or the
+                            // phase barrier would leak replica
+                            // divergence into the next phase.
+                            if !self.scr_done_marked {
+                                self.scr_done_marked = true;
+                                self.shared.scr_done.fetch_add(1, Ordering::SeqCst);
+                            }
+                            if self.shared.scr_done.load(Ordering::SeqCst) == self.shared.rx.len()
+                                && plane.pending(self.id) == 0
+                            {
+                                break;
+                            }
+                        }
+                    }
                 }
                 std::thread::yield_now();
             }
@@ -1359,7 +1451,79 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             failure: self.failure,
             flight: self.flight,
             tail: self.tail.map(|t| t.report()),
+            scr_lag_hist: self.scr_lag_hist,
         }
+    }
+
+    /// Replay every pending remote state-update into this core's full
+    /// replica ([`DispatchMode::Scr`]): pop the inbound log, version-
+    /// guard each update through [`ScrReplica::admit`], and apply the
+    /// fresh ones into our own shard of the shared tables. Superseded
+    /// updates still count as applied — the conservation identity
+    /// `scr_replay_gap() == 0` tracks log consumption, not writes.
+    /// Profiled as classify work (replay is part of admission, exactly
+    /// where the simulator charges it). Returns updates consumed.
+    fn scr_replay(&mut self) -> u64 {
+        let shared = self.shared;
+        let Some(plane) = shared.scr.as_ref() else {
+            return 0;
+        };
+        if plane.pending(self.id) == 0 {
+            return 0;
+        }
+        let Some(mut replica) = self.scr_replica.take() else {
+            return 0;
+        };
+        let c0 = self.prof_start();
+        let mut applied = 0u64;
+        while let Some(update) = plane.pop(self.id) {
+            applied += 1;
+            // Lag 1 = consumed while still the global head, matching the
+            // simulator's at-consumption convention.
+            let lag = (plane.head_seq() + 1).saturating_sub(update.seq);
+            self.scr_lag_hist[batch_bucket(lag)] += 1;
+            if replica.admit(*update.op.key(), update.seq) {
+                shared.tables.apply_replica(self.id, &update.op);
+            }
+        }
+        self.scr_replica = Some(replica);
+        self.prof_span(Stage::Classify, c0);
+        applied
+    }
+
+    /// Extract and multicast the state updates of a completed batch
+    /// ([`DispatchMode::Scr`]): ask the NF for the batch's update
+    /// records, publish each to every live peer's log, and note the
+    /// assigned sequence numbers in our own version guard so a slower
+    /// remote update can never downgrade a newer local write. Profiled
+    /// as redirect work — the update log is SCR's replacement for
+    /// redirection.
+    fn scr_publish(&mut self, pkts: &[Packet], conn: &[bool]) {
+        let shared = self.shared;
+        let Some(plane) = shared.scr.as_ref() else {
+            return;
+        };
+        if self.scr_replica.is_none() {
+            return;
+        }
+        let r0 = self.prof_start();
+        let mut ops = std::mem::take(&mut self.scr_ops);
+        ops.clear();
+        let nf = self.nf;
+        nf.replicate_updates(pkts, conn, &self.ctx, &mut ops);
+        if !ops.is_empty() {
+            self.scr_alive.clear();
+            for d in &shared.dead {
+                self.scr_alive.push(!d.load(Ordering::SeqCst));
+            }
+            let replica = self.scr_replica.as_mut().expect("checked above");
+            for op in &ops {
+                let seq = plane.publish(self.id, op, &self.scr_alive);
+                replica.note_local(*op.key(), seq);
+            }
+        }
+        self.scr_ops = ops;
+        self.prof_span(Stage::Redirect, r0);
     }
 
     /// Fire an injected [`ThreadedFault::Stall`] once its packet
@@ -1403,6 +1567,13 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
     /// benignly with the watchdog's [`drain_dead_queues`]: each
     /// descriptor is popped exactly once.
     fn zombie_drain(&mut self) {
+        if self.shared.scr.is_some() && !self.scr_done_marked {
+            // A dead replica can never replay again: release the
+            // publishers-done claim so live peers' SCR epilogue
+            // terminates, and discard our log as accounted drops below.
+            self.scr_done_marked = true;
+            self.shared.scr_done.fetch_add(1, Ordering::SeqCst);
+        }
         loop {
             let mut any = false;
             while self.shared.rx[self.id].pop().is_some() {
@@ -1416,6 +1587,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                     .redirects_outstanding
                     .fetch_sub(1, Ordering::SeqCst);
                 any = true;
+            }
+            if let Some(plane) = self.shared.scr.as_ref() {
+                any |= plane.truncate(self.id) > 0;
             }
             if !any
                 && self.shared.ingress_done.load(Ordering::SeqCst)
@@ -1503,6 +1677,9 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         };
         engine::account(&mut self.stats, is_conn, false);
         self.prof_span(Stage::Nf, h0);
+        if self.shared.scr.is_some() {
+            self.scr_publish(std::slice::from_ref(&pkt), &[is_conn]);
+        }
         let dropped = verdict == Verdict::Drop;
         if obs_on {
             let done_ns = self.now_ns();
@@ -1661,6 +1838,15 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             let unfinished = (self.scratch_pkts.len() - completed) as u64;
             self.shared.lost.fetch_add(unfinished, Ordering::SeqCst);
             self.record_death(panic_message(payload.as_ref()));
+        }
+        if completed > 0 && self.shared.scr.is_some() {
+            // Publish only the completed prefix: a mid-batch panic's
+            // unfinished packets made no writes to replicate.
+            let pkts = std::mem::take(&mut self.scratch_pkts);
+            let conn = std::mem::take(&mut self.scratch_conn);
+            self.scr_publish(&pkts[..completed], &conn[..completed]);
+            self.scratch_pkts = pkts;
+            self.scratch_conn = conn;
         }
         for (i, pkt) in self.scratch_pkts.drain(..).enumerate() {
             if i >= completed {
@@ -2720,6 +2906,84 @@ mod tests {
             s.forwarded + s.nf_drops + s.pre_nf_drops(),
             s.offered,
             "{s:?}"
+        );
+    }
+
+    #[test]
+    fn scr_mode_replicates_state_and_never_redirects() {
+        // SCR sprays like the Sprayer but replicates writes through the
+        // update log instead of redirecting: after the SYN phase drains
+        // (the phase barrier waits for every replica to catch up), every
+        // worker can serve any flow from its own replica.
+        let nf = TrackerNf;
+        let total = 16 + 16 * 20;
+        let out = ThreadedMiddlebox::process_phases(
+            DispatchMode::Scr,
+            4,
+            &nf,
+            vec![syn_phase(16), data_phase(16, 20)],
+        );
+        assert_eq!(
+            out.forwarded.len(),
+            total,
+            "every packet must find its flow state in the local replica"
+        );
+        assert_eq!(out.nf_drops, 0);
+        assert_eq!(out.redirects, 0, "SCR never redirects");
+        let s = &out.stats;
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.scr_replay_gap(), 0, "{s:?}");
+        assert!(s.scr_published > 0, "SYN writes must be multicast: {s:?}");
+        assert!(s.scr_log_occupancy_hwm > 0, "{s:?}");
+        let lag_total: u64 = s.scr_lag_hist.iter().sum();
+        assert_eq!(lag_total, s.scr_applied, "one lag sample per replay");
+        let busy = out.per_worker_processed.iter().filter(|&&p| p > 0).count();
+        assert_eq!(busy, 4, "spraying one phase must reach all workers");
+    }
+
+    #[test]
+    fn scr_worker_crash_still_conserves_updates_and_packets() {
+        // Worker 1 dies mid-run under SCR: its log truncates to
+        // accounted drops, survivors finish their epilogue, and both
+        // conservation identities close.
+        let nf = TrackerNf;
+        let mut config = ThreadedConfig::new(DispatchMode::Scr, 3);
+        config.fault = Some(ThreadedFault::Panic { core: 1, after: 5 });
+        let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(16), data_phase(16, 20)]);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        let s = &out.stats;
+        assert!(s.lost_packets > 0, "{s:?}");
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.scr_replay_gap(), 0, "{s:?}");
+        assert_eq!(out.redirects, 0, "SCR never redirects, even crashing");
+    }
+
+    #[test]
+    fn scr_elastic_rescale_bootstraps_joiners_without_migration() {
+        // 2 → 4 under elastic SCR: joiners clone the union replica at
+        // the barrier, so nothing migrates and every packet still finds
+        // its state on every width.
+        let nf = TrackerNf;
+        let config = ThreadedConfig::new(DispatchMode::Scr, 2);
+        let out = ThreadedMiddlebox::run_elastic(
+            &config,
+            &nf,
+            vec![(2, syn_phase(32)), (4, data_phase(32, 10))],
+        );
+        assert_eq!(out.reconfigs.len(), 1);
+        let r = &out.reconfigs[0];
+        assert_eq!((r.from_cores, r.to_cores), (2, 4));
+        assert_eq!(r.migrated_flows, 0, "full replication migrates nothing");
+        assert_eq!(r.retained_flows, 32);
+        assert_eq!(out.nf_drops, 0, "joiners must hold the full replica");
+        assert_eq!(out.redirects, 0);
+        let s = &out.stats;
+        assert_eq!(s.unaccounted(), 0, "{s:?}");
+        assert_eq!(s.scr_replay_gap(), 0, "{s:?}");
+        assert!(
+            out.per_worker_processed.iter().all(|&p| p > 0),
+            "the wide phase must use the joiners: {:?}",
+            out.per_worker_processed
         );
     }
 }

@@ -1,0 +1,644 @@
+//! State-Compute Replication: the per-core state-update log and replay
+//! plane behind [`crate::config::DispatchMode::Scr`].
+//!
+//! The third point in the dispatch design space (arXiv:2309.14647,
+//! ROADMAP item 1). Where Sprayer write-partitions flow state and
+//! redirects connection packets to each flow's designated core, SCR
+//! replicates: every core holds a **full replica** of the flow tables
+//! and *no packet is ever redirected*. What moves instead is state —
+//! after an NF handles a batch, the runtime extracts a compact
+//! [`UpdateOp`] per touched flow
+//! ([`crate::api::NetworkFunction::replicate_updates`]) and multicasts
+//! it, tagged with a global sequence number, onto every peer's bounded
+//! **inbound log** ([`ScrPlane`] in the simulator,
+//! [`SharedScrPlane`] in the threaded runtime). Before a core
+//! dispatches local work it **replays** pending remote updates into its
+//! replica, so reads that would have crossed cores under Sprayer are
+//! local here.
+//!
+//! ## Replay ordering and convergence
+//!
+//! Updates carry a single global sequence number assigned at publish
+//! time, and every replica applies them under a per-flow *version
+//! guard*: an update is written only if its sequence number exceeds the
+//! flow's last-applied (or locally-published) version; stale updates
+//! are consumed and counted but not written. Removals leave the version
+//! behind as a tombstone, so a late `Put` cannot resurrect a deleted
+//! flow. Last-writer-wins by global sequence makes convergence
+//! **order-independent**: however the per-core logs interleave or
+//! drain, every replica that has consumed the same update set holds the
+//! same table — the property the replay-determinism proptest in
+//! `crates/core/tests/` checks against the Sprayer ground truth.
+//!
+//! ## Accounting
+//!
+//! The log is bounded like every other queue in the model. Three
+//! counters form SCR's own conservation identity, folded into the
+//! telemetry contract next to `unaccounted()`:
+//!
+//! ```text
+//! scr_published == scr_applied + scr_log_drops        (at drain)
+//! ```
+//!
+//! ([`crate::stats::MiddleboxStats::scr_replay_gap`]). Overflowing a
+//! live peer's log and truncating a dead core's log both count as
+//! `scr_log_drops` — nothing vanishes silently, even under overload or
+//! mid-run core crashes.
+
+use crate::flowtable::FlowTable;
+use crossbeam::queue::ArrayQueue;
+use sprayer_net::FlowKey;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One replicated flow-state mutation, shipped by value.
+///
+/// Value shipping (rather than operation shipping) is what makes replay
+/// idempotent and last-writer-wins sufficient: applying the newest
+/// `Put` yields the writer's exact post-state regardless of how many
+/// intermediate updates were superseded or dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp<S> {
+    /// The flow's state after the originating core's write.
+    Put(FlowKey, S),
+    /// The flow was removed on the originating core.
+    Del(FlowKey),
+}
+
+impl<S> UpdateOp<S> {
+    /// The flow this update is about.
+    pub fn key(&self) -> &FlowKey {
+        match self {
+            UpdateOp::Put(key, _) | UpdateOp::Del(key) => key,
+        }
+    }
+}
+
+/// A sequenced state-update as it travels a peer's log ring.
+#[derive(Debug, Clone)]
+pub struct StateUpdate<S> {
+    /// Global sequence number (assigned once per published op; all
+    /// peers see the same number). Strictly increasing across the run.
+    pub seq: u64,
+    /// Core that performed the write.
+    pub origin: usize,
+    /// The mutation itself.
+    pub op: UpdateOp<S>,
+}
+
+/// Result of one multicast [`ScrPlane::publish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Copies enqueued onto peer logs.
+    pub sent: u64,
+    /// Copies dropped on full peer logs (counted toward
+    /// `scr_log_drops`).
+    pub dropped: u64,
+    /// Highest peer-log occupancy observed after the pushes.
+    pub occupancy_hwm: u64,
+}
+
+/// One update consumed from a core's inbound log by
+/// [`ScrPlane::take`].
+#[derive(Debug)]
+pub struct TakenUpdate<S> {
+    /// The mutation (apply into the replica iff `fresh`).
+    pub op: UpdateOp<S>,
+    /// Core that wrote it.
+    pub origin: usize,
+    /// False if the consumer's replica already holds a newer version of
+    /// this flow (the update is superseded; count it applied, write
+    /// nothing).
+    pub fresh: bool,
+    /// Replica lag at consumption: how many sequence numbers behind the
+    /// global head this update was when replayed. Feeds the
+    /// `scr_lag_hist` buckets.
+    pub lag: u64,
+}
+
+/// The simulator's replay plane: per-core bounded inbound logs
+/// (`VecDeque`s — the deterministic analogue of the threaded plane's
+/// lock-free rings), per-core version guards, and the global sequence
+/// counter. Pure mechanism: all counters live in
+/// [`crate::stats::MiddleboxStats`], updated by the runtime from the
+/// values these methods return.
+#[derive(Debug)]
+pub struct ScrPlane<S> {
+    inboxes: Vec<VecDeque<StateUpdate<S>>>,
+    /// Per-core flow→last-seen-version guard. An entry outlives its
+    /// flow (the `Del` tombstone), so late stale `Put`s cannot
+    /// resurrect removed state.
+    versions: Vec<FlowTable<u64>>,
+    capacity: usize,
+    /// Next sequence number to assign; `next_seq - 1` is the global
+    /// head.
+    next_seq: u64,
+}
+
+impl<S: Clone> ScrPlane<S> {
+    /// A plane for `num_cores` cores with per-core log capacity
+    /// `capacity` (updates). Sequence numbers start at 1 so version 0
+    /// means "never seen".
+    pub fn new(num_cores: usize, capacity: usize) -> Self {
+        assert!(num_cores >= 1 && capacity >= 1);
+        ScrPlane {
+            inboxes: (0..num_cores).map(|_| VecDeque::new()).collect(),
+            versions: (0..num_cores).map(|_| FlowTable::new()).collect(),
+            capacity,
+            next_seq: 1,
+        }
+    }
+
+    /// Number of cores the plane spans.
+    pub fn num_cores(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Updates pending in `core`'s inbound log.
+    pub fn pending(&self, core: usize) -> usize {
+        self.inboxes[core].len()
+    }
+
+    /// Total updates pending across all logs.
+    pub fn total_pending(&self) -> usize {
+        self.inboxes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Multicast one update from `origin` to every live peer
+    /// (`failed[c]` peers are skipped — their logs are dark, not
+    /// leaking). Assigns the op's global sequence number and records it
+    /// in the origin's own version guard, so a slower remote update for
+    /// the same flow can never overwrite the origin's newer local
+    /// write.
+    pub fn publish(&mut self, origin: usize, op: UpdateOp<S>, failed: &[bool]) -> PublishOutcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.versions[origin].insert(*op.key(), seq);
+        let mut out = PublishOutcome::default();
+        for peer in 0..self.inboxes.len() {
+            if peer == origin || failed.get(peer).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.inboxes[peer].len() >= self.capacity {
+                out.dropped += 1;
+                continue;
+            }
+            self.inboxes[peer].push_back(StateUpdate {
+                seq,
+                origin,
+                op: op.clone(),
+            });
+            out.sent += 1;
+            out.occupancy_hwm = out.occupancy_hwm.max(self.inboxes[peer].len() as u64);
+        }
+        out
+    }
+
+    /// Consume the next pending update from `core`'s log, running the
+    /// version guard. The caller counts it applied either way and
+    /// writes the op into the replica only when `fresh`.
+    pub fn take(&mut self, core: usize) -> Option<TakenUpdate<S>> {
+        let update = self.inboxes[core].pop_front()?;
+        let key = *update.op.key();
+        let fresh = match self.versions[core].get(&key) {
+            Some(&seen) if seen >= update.seq => false,
+            _ => {
+                self.versions[core].insert(key, update.seq);
+                true
+            }
+        };
+        Some(TakenUpdate {
+            lag: self.next_seq - update.seq,
+            origin: update.origin,
+            fresh,
+            op: update.op,
+        })
+    }
+
+    /// Truncate a dead core's inbound log (the crash-recovery hook):
+    /// the updates it never replayed are discarded and returned for
+    /// `scr_log_drops` accounting. Its replica dies with it — every
+    /// survivor holds the same state, which is why SCR recovery loses
+    /// zero flows.
+    pub fn truncate(&mut self, core: usize) -> u64 {
+        let n = self.inboxes[core].len() as u64;
+        self.inboxes[core].clear();
+        n
+    }
+
+    /// The next-epoch plane after a rescale to `num_cores` cores: fresh
+    /// logs and version guards (the runtime drains every log *before*
+    /// rescaling, so replicas are converged and no version history is
+    /// needed), with the global sequence counter carried forward so
+    /// post-rescale updates still dominate anything from earlier
+    /// epochs.
+    pub fn rescaled(&self, num_cores: usize) -> ScrPlane<S> {
+        assert!(num_cores >= 1);
+        ScrPlane {
+            inboxes: (0..num_cores).map(|_| VecDeque::new()).collect(),
+            versions: (0..num_cores).map(|_| FlowTable::new()).collect(),
+            capacity: self.capacity,
+            next_seq: self.next_seq,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-shared plane.
+// ---------------------------------------------------------------------
+
+struct SharedScrInner<S> {
+    inboxes: Vec<ArrayQueue<StateUpdate<S>>>,
+    next_seq: AtomicU64,
+    published: AtomicU64,
+    applied: AtomicU64,
+    dropped: AtomicU64,
+    occupancy_hwm: AtomicU64,
+}
+
+/// The threaded runtime's replay plane: per-core lock-free bounded
+/// inbound logs (`crossbeam::queue::ArrayQueue` — the same structure
+/// the inter-core descriptor rings use) plus shared atomic counters.
+/// Clone handles freely across workers.
+///
+/// Unlike [`ScrPlane`], the version guards live with each *worker*
+/// ([`ScrReplica`]) — they are read/written only by the owning core, so
+/// sharing them would buy nothing but contention.
+pub struct SharedScrPlane<S> {
+    inner: Arc<SharedScrInner<S>>,
+}
+
+impl<S> Clone for SharedScrPlane<S> {
+    fn clone(&self) -> Self {
+        SharedScrPlane {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for SharedScrPlane<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedScrPlane")
+            .field("cores", &self.inner.inboxes.len())
+            .field("published", &self.published())
+            .field("applied", &self.applied())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl<S> SharedScrPlane<S> {
+    /// A plane for `num_cores` cores with per-core log capacity
+    /// `capacity`.
+    pub fn new(num_cores: usize, capacity: usize) -> Self {
+        assert!(num_cores >= 1 && capacity >= 1);
+        SharedScrPlane {
+            inner: Arc::new(SharedScrInner {
+                inboxes: (0..num_cores).map(|_| ArrayQueue::new(capacity)).collect(),
+                next_seq: AtomicU64::new(1),
+                published: AtomicU64::new(0),
+                applied: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                occupancy_hwm: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of cores the plane spans.
+    pub fn num_cores(&self) -> usize {
+        self.inner.inboxes.len()
+    }
+
+    /// Multicast one update from `origin` to every peer in `alive`
+    /// (single-attempt; a full peer log counts a drop — the caller
+    /// decides whether to drain-and-retry first, see the threaded
+    /// runtime's work-conserving backpressure). Returns the assigned
+    /// global sequence number for the origin's own version guard.
+    pub fn publish(&self, origin: usize, op: &UpdateOp<S>, alive: &[bool]) -> u64
+    where
+        S: Clone,
+    {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        for (peer, inbox) in self.inner.inboxes.iter().enumerate() {
+            if peer == origin || !alive.get(peer).copied().unwrap_or(false) {
+                continue;
+            }
+            // Every attempted copy counts as published — a full-log
+            // drop is still a published update that was lost, which is
+            // what keeps `published == applied + dropped + pending` (and
+            // the stats-level replay-gap identity) closed under
+            // overload.
+            self.inner.published.fetch_add(1, Ordering::Relaxed);
+            match inbox.push(StateUpdate {
+                seq,
+                origin,
+                op: op.clone(),
+            }) {
+                Ok(()) => {
+                    let depth = inbox.len() as u64;
+                    self.inner.occupancy_hwm.fetch_max(depth, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        seq
+    }
+
+    /// Pop the next pending update from `core`'s log, counting it
+    /// applied. The caller runs its own [`ScrReplica`] version guard.
+    pub fn pop(&self, core: usize) -> Option<StateUpdate<S>> {
+        let update = self.inner.inboxes[core].pop()?;
+        self.inner.applied.fetch_add(1, Ordering::Relaxed);
+        Some(update)
+    }
+
+    /// Updates pending in `core`'s log.
+    pub fn pending(&self, core: usize) -> usize {
+        self.inner.inboxes[core].len()
+    }
+
+    /// True when every core's log is empty (the shutdown-protocol
+    /// condition: workers may only exit once nothing is left to
+    /// replay).
+    pub fn all_empty(&self) -> bool {
+        self.inner.inboxes.iter().all(ArrayQueue::is_empty)
+    }
+
+    /// Truncate a dead core's log from the watchdog/zombie-drain path,
+    /// counting the discarded updates as drops. Safe to call
+    /// repeatedly.
+    pub fn truncate(&self, core: usize) -> u64 {
+        let mut n = 0u64;
+        while self.inner.inboxes[core].pop().is_some() {
+            n += 1;
+        }
+        self.inner.dropped.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// The global sequence head (last assigned number; 0 before any
+    /// publish).
+    pub fn head_seq(&self) -> u64 {
+        self.inner.next_seq.load(Ordering::Relaxed) - 1
+    }
+
+    /// Copies enqueued onto peer logs so far.
+    pub fn published(&self) -> u64 {
+        self.inner.published.load(Ordering::Relaxed)
+    }
+
+    /// Copies consumed from logs so far.
+    pub fn applied(&self) -> u64 {
+        self.inner.applied.load(Ordering::Relaxed)
+    }
+
+    /// Copies dropped (full or truncated logs) so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Highest log occupancy observed on any core.
+    pub fn occupancy_hwm(&self) -> u64 {
+        self.inner.occupancy_hwm.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's private half of the threaded replay plane: the per-flow
+/// version guard for its replica. Owned by the worker thread; never
+/// shared.
+#[derive(Debug, Default)]
+pub struct ScrReplica {
+    versions: FlowTable<u64>,
+}
+
+impl ScrReplica {
+    /// A fresh guard (every update is fresh).
+    pub fn new() -> Self {
+        ScrReplica::default()
+    }
+
+    /// Record a version this core just wrote locally (its own publish).
+    pub fn note_local(&mut self, key: FlowKey, seq: u64) {
+        self.versions.insert(key, seq);
+    }
+
+    /// Version-guard a remote update: true if it must be applied to the
+    /// replica (and records it), false if superseded.
+    pub fn admit(&mut self, key: FlowKey, seq: u64) -> bool {
+        match self.versions.get(&key) {
+            Some(&seen) if seen >= seq => false,
+            _ => {
+                self.versions.insert(key, seq);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprayer_net::FiveTuple;
+
+    fn key(i: u32) -> FlowKey {
+        FiveTuple::tcp(0x0a00_0000 + i, 1000, 0xc0a8_0001, 443).key()
+    }
+
+    #[test]
+    fn publish_multicasts_to_every_live_peer() {
+        let mut plane: ScrPlane<u32> = ScrPlane::new(4, 8);
+        let out = plane.publish(1, UpdateOp::Put(key(1), 7), &[false; 4]);
+        assert_eq!(out.sent, 3, "all peers but the origin");
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.occupancy_hwm, 1);
+        assert_eq!(plane.pending(1), 0, "no self-loop");
+        for peer in [0, 2, 3] {
+            assert_eq!(plane.pending(peer), 1);
+        }
+        assert_eq!(plane.total_pending(), 3);
+    }
+
+    #[test]
+    fn publish_skips_failed_peers_and_drops_on_full_logs() {
+        let mut plane: ScrPlane<u32> = ScrPlane::new(3, 2);
+        let mut failed = vec![false, false, true];
+        let o1 = plane.publish(0, UpdateOp::Put(key(1), 1), &failed);
+        assert_eq!((o1.sent, o1.dropped), (1, 0), "dead peer 2 is skipped");
+        let o2 = plane.publish(0, UpdateOp::Put(key(2), 2), &failed);
+        assert_eq!((o2.sent, o2.dropped), (1, 0));
+        let o3 = plane.publish(0, UpdateOp::Put(key(3), 3), &failed);
+        assert_eq!((o3.sent, o3.dropped), (0, 1), "core 1's log is full");
+        failed[2] = false;
+        assert_eq!(plane.pending(2), 0, "nothing leaked to the dead core");
+    }
+
+    #[test]
+    fn version_guard_is_last_writer_wins_under_any_drain_order() {
+        // Cores 0 and 1 both write flow k; core 2 replays in both
+        // orders (the log is FIFO, so simulate orders via two planes)
+        // and must end at the seq-2 value either way.
+        let k = key(9);
+        let mut a: ScrPlane<u32> = ScrPlane::new(3, 8);
+        a.publish(0, UpdateOp::Put(k, 10), &[false; 3]); // seq 1
+        a.publish(1, UpdateOp::Put(k, 20), &[false; 3]); // seq 2
+        let t1 = a.take(2).unwrap();
+        let t2 = a.take(2).unwrap();
+        assert!(t1.fresh && t1.lag >= 1);
+        assert!(t2.fresh, "newer seq supersedes");
+        assert_eq!(t2.op, UpdateOp::Put(k, 20));
+
+        // Reversed arrival (origin 1 first): the stale seq-1 update is
+        // consumed but not admitted.
+        let mut b: ScrPlane<u32> = ScrPlane::new(3, 8);
+        b.publish(1, UpdateOp::Put(k, 20), &[false; 3]); // seq 1
+        b.publish(0, UpdateOp::Put(k, 10), &[false; 3]); // seq 2
+        let u1 = b.take(2).unwrap();
+        let u2 = b.take(2).unwrap();
+        assert!(u1.fresh && u2.fresh, "FIFO per-core log is in seq order");
+        assert_eq!(u2.op, UpdateOp::Put(k, 10), "last global writer wins");
+    }
+
+    #[test]
+    fn origin_version_blocks_remote_downgrade() {
+        // Core 0 publishes seq 1; core 1 publishes seq 2 for the same
+        // flow. When core 1's own log delivers core 0's older update,
+        // the guard must reject it: core 1's local write is newer.
+        let k = key(3);
+        let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
+        plane.publish(0, UpdateOp::Put(k, 1), &[false; 2]);
+        plane.publish(1, UpdateOp::Put(k, 2), &[false; 2]);
+        let taken = plane.take(1).unwrap();
+        assert!(
+            !taken.fresh,
+            "core 1 already holds seq 2 locally; seq 1 must not downgrade it"
+        );
+    }
+
+    #[test]
+    fn del_tombstone_blocks_resurrection() {
+        let k = key(4);
+        let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
+        plane.publish(0, UpdateOp::Put(k, 5), &[false; 2]); // seq 1
+        plane.publish(0, UpdateOp::Del(k), &[false; 2]); // seq 2
+                                                         // Core 1 replays only the Del first (drop the Put by taking it
+                                                         // as stale after the Del's version is recorded).
+        let put = plane.take(1).unwrap();
+        let del = plane.take(1).unwrap();
+        assert!(put.fresh && del.fresh);
+        // A re-delivered stale Put (lower seq than the tombstone) must
+        // not be admitted.
+        assert!(matches!(del.op, UpdateOp::Del(_)));
+        let mut replica = ScrReplica::new();
+        assert!(replica.admit(k, 2));
+        assert!(!replica.admit(k, 1), "tombstoned version blocks seq 1");
+    }
+
+    #[test]
+    fn truncate_discards_and_counts_a_dead_cores_log() {
+        let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
+        for i in 0..5 {
+            plane.publish(0, UpdateOp::Put(key(i), i), &[false; 2]);
+        }
+        assert_eq!(plane.pending(1), 5);
+        assert_eq!(plane.truncate(1), 5);
+        assert_eq!(plane.pending(1), 0);
+        assert_eq!(plane.truncate(1), 0, "idempotent");
+    }
+
+    #[test]
+    fn rescaled_plane_keeps_the_sequence_monotonic() {
+        let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
+        plane.publish(0, UpdateOp::Put(key(1), 1), &[false; 2]);
+        plane.publish(0, UpdateOp::Put(key(2), 2), &[false; 2]);
+        let next = plane.rescaled(4);
+        assert_eq!(next.num_cores(), 4);
+        assert_eq!(next.total_pending(), 0);
+        assert_eq!(
+            next.next_seq, plane.next_seq,
+            "epochs share one sequence space"
+        );
+    }
+
+    #[test]
+    fn shared_plane_counters_close_the_gap() {
+        let plane: SharedScrPlane<u32> = SharedScrPlane::new(3, 4);
+        let alive = [true; 3];
+        for i in 0..3 {
+            plane.publish(0, &UpdateOp::Put(key(i), i), &alive);
+        }
+        assert_eq!(plane.published(), 6, "two live peers, three ops");
+        assert_eq!(plane.occupancy_hwm(), 3);
+        let mut replica = ScrReplica::new();
+        let mut applied_fresh = 0;
+        while let Some(u) = plane.pop(1) {
+            if replica.admit(*u.op.key(), u.seq) {
+                applied_fresh += 1;
+            }
+        }
+        assert_eq!(applied_fresh, 3);
+        assert_eq!(plane.truncate(2), 3, "dead core's log truncates as drops");
+        assert_eq!(
+            plane.published(),
+            plane.applied() + plane.dropped(),
+            "the SCR conservation identity closes at drain"
+        );
+        assert!(plane.all_empty());
+        assert_eq!(plane.head_seq(), 3);
+    }
+
+    #[test]
+    fn shared_plane_overflow_counts_drops() {
+        let plane: SharedScrPlane<u32> = SharedScrPlane::new(2, 2);
+        let alive = [true; 2];
+        for i in 0..5 {
+            plane.publish(0, &UpdateOp::Put(key(i), i), &alive);
+        }
+        // Every attempted copy is published; the three that found the
+        // log full are also drops, so published == applied + dropped +
+        // pending holds mid-overload.
+        assert_eq!(plane.published(), 5);
+        assert_eq!(plane.dropped(), 3);
+        assert_eq!(plane.pending(1), 2);
+    }
+
+    #[test]
+    fn shared_plane_concurrent_publish_and_replay_conserve_updates() {
+        let plane: SharedScrPlane<u64> = SharedScrPlane::new(2, 1024);
+        let alive = [true; 2];
+        std::thread::scope(|s| {
+            let publisher = plane.clone();
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    publisher.publish(0, &UpdateOp::Put(key((i % 64) as u32), i), &alive);
+                }
+            });
+            let consumer = plane.clone();
+            s.spawn(move || {
+                let mut replica = ScrReplica::new();
+                let mut idle = 0;
+                while idle < 1_000 {
+                    match consumer.pop(1) {
+                        Some(u) => {
+                            idle = 0;
+                            replica.admit(*u.op.key(), u.seq);
+                        }
+                        None => {
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        });
+        // Whatever raced, every published copy is applied or dropped or
+        // still pending — and pending + applied + dropped == published.
+        let pending = plane.pending(1) as u64;
+        assert_eq!(
+            plane.published(),
+            plane.applied() + plane.dropped() + pending
+        );
+    }
+}

@@ -114,6 +114,34 @@ pub struct MiddleboxStats {
     pub forwarded: u64,
     /// Packets dropped by NF verdict.
     pub nf_drops: u64,
+    /// State-updates published onto peer log rings
+    /// ([`crate::config::DispatchMode::Scr`] only; one multicast of an
+    /// update to `n-1` peers counts `n-1` here).
+    #[serde(default)]
+    pub scr_published: u64,
+    /// Remote state-updates replayed into local replicas.
+    #[serde(default)]
+    pub scr_applied: u64,
+    /// State-updates dropped on log-ring overflow or truncated with a
+    /// dead core's log (SCR's analogue of `ring_drops` — accounted, so
+    /// the SCR conservation identity [`MiddleboxStats::scr_replay_gap`]
+    /// closes even under overload and crashes).
+    #[serde(default)]
+    pub scr_log_drops: u64,
+    /// Total cycles (simulator) / nanoseconds (threaded) spent replaying
+    /// remote state-updates — the CPU cost replication pays to avoid
+    /// redirection.
+    #[serde(default)]
+    pub scr_replay_cycles: u64,
+    /// High-water mark of any core's inbound state-update log occupancy.
+    #[serde(default)]
+    pub scr_log_occupancy_hwm: u64,
+    /// Replica-lag histogram: each replayed update records how many
+    /// global sequence numbers behind the log head it was when applied
+    /// (buckets per [`batch_bucket`], like `batch_hist`). Lag 1 means
+    /// the replica was fully caught up.
+    #[serde(default)]
+    pub scr_lag_hist: [u64; BATCH_HIST_BUCKETS],
     /// Per-core breakdown.
     pub per_core: Vec<CoreStats>,
 }
@@ -180,11 +208,30 @@ impl MiddleboxStats {
         )
     }
 
+    /// SCR conservation check: every published state-update is accounted
+    /// exactly once as applied or dropped — plus those still queued in a
+    /// log ring (returned as the remainder). Zero at drain.
+    pub fn scr_replay_gap(&self) -> u64 {
+        self.scr_published
+            .saturating_sub(self.scr_applied + self.scr_log_drops)
+    }
+
+    /// True if any SCR counter is live — the run used
+    /// [`crate::config::DispatchMode::Scr`] and moved at least one
+    /// state-update. Gates the `scr_*` block in [`MiddleboxStats::to_json`]
+    /// so pre-SCR telemetry documents stay byte-identical.
+    pub fn scr_active(&self) -> bool {
+        self.scr_published != 0 || self.scr_applied != 0 || self.scr_log_drops != 0
+    }
+
     /// Serialize the full telemetry block as a JSON object.
     ///
     /// Hand-rolled (every field is an integer, so there is nothing to
     /// escape); this is the telemetry block the experiment binaries embed
-    /// in their result JSONs, identical for both runtimes.
+    /// in their result JSONs, identical for both runtimes. The `scr_*`
+    /// fields appear only when [`MiddleboxStats::scr_active`], so Rss and
+    /// Sprayer documents (and their committed baselines) are unchanged by
+    /// the existence of the third mode.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(256 + 192 * self.per_core.len());
@@ -193,7 +240,7 @@ impl MiddleboxStats {
             "{{\"offered\":{},\"forwarded\":{},\"nf_drops\":{},\"nic_cap_drops\":{},\
              \"queue_drops\":{},\"ring_drops\":{},\"malformed_drops\":{},\
              \"lost_packets\":{},\"unaccounted\":{},\"redirects\":{},\
-             \"max_rx_occupancy\":{},\"max_ring_occupancy\":{},\"per_core\":[",
+             \"max_rx_occupancy\":{},\"max_ring_occupancy\":{},",
             self.offered,
             self.forwarded,
             self.nf_drops,
@@ -207,6 +254,23 @@ impl MiddleboxStats {
             self.max_rx_occupancy(),
             self.max_ring_occupancy(),
         );
+        if self.scr_active() {
+            let lag: Vec<String> = self.scr_lag_hist.iter().map(u64::to_string).collect();
+            let _ = write!(
+                s,
+                "\"scr_published\":{},\"scr_applied\":{},\"scr_log_drops\":{},\
+                 \"scr_replay_gap\":{},\"scr_replay_cycles\":{},\
+                 \"scr_log_occupancy_hwm\":{},\"scr_lag_hist\":[{}],",
+                self.scr_published,
+                self.scr_applied,
+                self.scr_log_drops,
+                self.scr_replay_gap(),
+                self.scr_replay_cycles,
+                self.scr_log_occupancy_hwm,
+                lag.join(","),
+            );
+        }
+        s.push_str("\"per_core\":[");
         for (i, c) in self.per_core.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -261,6 +325,35 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"malformed_drops\":6"), "{j}");
         assert!(j.contains("\"lost_packets\":4"), "{j}");
+    }
+
+    #[test]
+    fn scr_gap_closes_and_json_block_is_gated() {
+        let mut s = MiddleboxStats::new(2);
+        s.offered = 10;
+        s.forwarded = 10;
+        assert!(!s.scr_active());
+        assert!(
+            !s.to_json().contains("scr_"),
+            "non-SCR documents must not carry scr_* fields"
+        );
+        s.scr_published = 30;
+        s.scr_applied = 27;
+        s.scr_log_drops = 2;
+        assert!(s.scr_active());
+        assert_eq!(s.scr_replay_gap(), 1, "one update still queued");
+        s.scr_applied = 28;
+        assert_eq!(s.scr_replay_gap(), 0);
+        let j = s.to_json();
+        for key in [
+            "\"scr_published\":30",
+            "\"scr_applied\":28",
+            "\"scr_log_drops\":2",
+            "\"scr_replay_gap\":0",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

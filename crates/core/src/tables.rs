@@ -23,6 +23,7 @@
 //!   cheapest sound encoding of that discipline.)
 
 use crate::api::{FlowStateApi, InsertOutcome};
+use crate::config::DispatchMode;
 use crate::coremap::CoreMap;
 use crate::flowtable::FlowTable;
 use parking_lot::RwLock;
@@ -78,6 +79,21 @@ impl<S: Clone> LocalTables<S> {
         &self.map
     }
 
+    /// Apply one replicated state-update into `core`'s replica (the SCR
+    /// replay path). Bypasses the per-core capacity cap for the same
+    /// reason migration does: a write a peer already accepted must not
+    /// be shed on replay, or replicas would diverge.
+    pub fn apply_replica(&mut self, core: usize, op: &crate::scr::UpdateOp<S>) {
+        match op {
+            crate::scr::UpdateOp::Put(key, state) => {
+                self.tables[core].insert(*key, state.clone());
+            }
+            crate::scr::UpdateOp::Del(key) => {
+                self.tables[core].remove(key);
+            }
+        }
+    }
+
     /// Re-bucket every entry under `new_map` (an elastic reconfiguration
     /// epoch): entries whose designated core changed are handed to
     /// `on_move(key, state, from, to)` — where the runtime invokes the
@@ -91,6 +107,26 @@ impl<S: Clone> LocalTables<S> {
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> MigrationStats {
         let mut stats = MigrationStats::default();
+        if new_map.mode() == DispatchMode::Scr {
+            // Full replication: nothing migrates. The union of the old
+            // replicas (identical at the quiesced barrier — the runtime
+            // drains the update log first; the union covers any
+            // stragglers deterministically, later cores winning) is the
+            // snapshot every next-epoch core bootstraps from, joiners
+            // included. No freeze/adopt hooks run: no flow changes
+            // owner, because under SCR every core is an owner.
+            let old_tables = std::mem::take(&mut self.tables);
+            let mut snapshot: FlowTable<S> = FlowTable::new();
+            for table in old_tables {
+                for (key, state) in table {
+                    snapshot.insert(key, state);
+                }
+            }
+            stats.retained_flows = snapshot.len() as u64;
+            self.tables = (0..new_map.num_cores()).map(|_| snapshot.clone()).collect();
+            self.map = new_map;
+            return stats;
+        }
         let old_tables = std::mem::take(&mut self.tables);
         let mut new_tables: Vec<FlowTable<S>> =
             (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
@@ -129,6 +165,17 @@ impl<S: Clone> LocalTables<S> {
     ) -> FailoverStats {
         assert!(new_map.is_failed(failed), "new_map must exclude the core");
         let mut stats = FailoverStats::default();
+        if new_map.mode() == DispatchMode::Scr {
+            // The dead core held a *replica*, not a partition: every
+            // survivor already has the same state, so recovery drops the
+            // dead shard and moves nothing — zero flows lost, zero flows
+            // migrated, the asymmetry fig_chaos hard-asserts.
+            self.tables[failed] = FlowTable::new();
+            let representative = new_map.active_core_ids()[0];
+            stats.retained_flows = self.tables[representative].len() as u64;
+            self.map = new_map;
+            return stats;
+        }
         let old_tables = std::mem::take(&mut self.tables);
         let mut new_tables: Vec<FlowTable<S>> =
             (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
@@ -191,6 +238,12 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
     }
 
     fn designated_core(&self, key: &FlowKey) -> usize {
+        // Under SCR every core owns (a replica of) every flow, so the
+        // NF-visible designated core is always the local one: writes are
+        // legal everywhere and the update log does the propagating.
+        if self.tables.map.mode() == DispatchMode::Scr {
+            return self.core;
+        }
         self.tables.map.designated_for_key(key)
     }
 
@@ -226,6 +279,11 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
     }
 
     fn get_flow(&self, key: &FlowKey) -> Option<S> {
+        // SCR's payoff: the foreign read Sprayer routes to the
+        // designated core's table is a local replica read here.
+        if self.tables.map.mode() == DispatchMode::Scr {
+            return self.tables.tables[self.core].get(key).cloned();
+        }
         let designated = self.tables.map.designated_for_key(key);
         self.tables.tables[designated].get(key).cloned()
     }
@@ -299,6 +357,34 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         &self.inner.map
     }
 
+    /// Apply one replicated state-update into `core`'s replica (the SCR
+    /// replay path; see [`LocalTables::apply_replica`]). Takes the
+    /// core's write lock — only the owning worker calls this, so the
+    /// lock is never writer-contended, like every other local write.
+    pub fn apply_replica(&self, core: usize, op: &crate::scr::UpdateOp<S>) {
+        let mut table = self.inner.tables[core].write();
+        match op {
+            crate::scr::UpdateOp::Put(key, state) => {
+                table.insert(*key, state.clone());
+            }
+            crate::scr::UpdateOp::Del(key) => {
+                table.remove(key);
+            }
+        }
+    }
+
+    /// Drop a dead core's replica (the SCR half of threaded crash
+    /// recovery): every survivor holds the same state, so the shard is
+    /// simply cleared — zero flows lost, zero migrated. Returns the
+    /// number of entries discarded from the dead replica (diagnostic
+    /// only; they all survive elsewhere).
+    pub fn drop_replica(&self, core: usize) -> u64 {
+        let mut table = self.inner.tables[core].write();
+        let n = table.len() as u64;
+        *table = FlowTable::new();
+        n
+    }
+
     /// Build the next-epoch tables under `new_map`, draining this
     /// handle's entries into them (the threaded analogue of
     /// [`LocalTables::rescale`]; shared handles are immutable behind
@@ -311,6 +397,28 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> (SharedTables<S>, MigrationStats) {
         let mut stats = MigrationStats::default();
+        if new_map.mode() == DispatchMode::Scr {
+            // Full replication (see `LocalTables::rescale`): union the
+            // quiesced replicas into one snapshot and hand a clone to
+            // every next-epoch core. Nothing migrates; no hooks run.
+            let mut snapshot: FlowTable<S> = FlowTable::new();
+            for table in &self.inner.tables {
+                for (key, state) in table.write().drain() {
+                    snapshot.insert(key, state);
+                }
+            }
+            stats.retained_flows = snapshot.len() as u64;
+            let next = SharedTables {
+                inner: Arc::new(SharedInner {
+                    tables: (0..new_map.num_cores())
+                        .map(|_| RwLock::new(snapshot.clone()))
+                        .collect(),
+                    capacity: self.inner.capacity,
+                    map: new_map,
+                }),
+            };
+            return (next, stats);
+        }
         let mut new_tables: Vec<FlowTable<S>> =
             (0..new_map.num_cores()).map(|_| FlowTable::new()).collect();
         for (from, table) in self.inner.tables.iter().enumerate() {
@@ -353,6 +461,11 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
     }
 
     fn designated_core(&self, key: &FlowKey) -> usize {
+        // See `LocalCtx::designated_core`: under SCR every core is the
+        // owner of its full replica.
+        if self.tables.inner.map.mode() == DispatchMode::Scr {
+            return self.core;
+        }
         self.tables.inner.map.designated_for_key(key)
     }
 
@@ -388,6 +501,9 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
     }
 
     fn get_flow(&self, key: &FlowKey) -> Option<S> {
+        if self.tables.inner.map.mode() == DispatchMode::Scr {
+            return self.tables.inner.tables[self.core].read().get(key).cloned();
+        }
         let designated = self.tables.inner.map.designated_for_key(key);
         self.tables.inner.tables[designated]
             .read()
@@ -662,6 +778,102 @@ mod tests {
             stats.migrated_flows + stats.retained_flows + stats.flows_lost,
             u64::from(n)
         );
+    }
+
+    #[test]
+    fn scr_ctx_reads_and_owns_locally() {
+        let map = CoreMap::new(DispatchMode::Scr, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 16);
+        let k = key(1);
+        // Any core may write; the write is locally visible immediately
+        // and foreign replicas see it only after replay.
+        {
+            let mut ctx = tables.ctx(2);
+            assert_eq!(ctx.designated_core(&k), 2, "SCR: every core owns");
+            ctx.insert_local_flow(k, 42);
+            assert_eq!(ctx.get_flow(&k), Some(42), "get_flow is a local read");
+        }
+        assert_eq!(tables.ctx(0).get_flow(&k), None, "replica not yet replayed");
+        tables.apply_replica(0, &crate::scr::UpdateOp::Put(k, 42));
+        assert_eq!(tables.ctx(0).get_flow(&k), Some(42));
+        tables.apply_replica(0, &crate::scr::UpdateOp::Del(k));
+        assert_eq!(tables.ctx(0).get_flow(&k), None);
+    }
+
+    #[test]
+    fn scr_rescale_replicates_the_snapshot_to_every_core() {
+        let old_map = CoreMap::elastic(DispatchMode::Scr, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        // Converged replicas: the same 50 flows on both cores.
+        for i in 0..50u32 {
+            for core in 0..2 {
+                tables.ctx(core).insert_local_flow(key(i), i);
+            }
+        }
+        let mut hook_calls = 0u64;
+        let stats = tables.rescale(old_map.rescaled(4), &mut |_, _, _, _| hook_calls += 1);
+        assert_eq!(stats.migrated_flows, 0, "SCR rescale migrates nothing");
+        assert_eq!(stats.retained_flows, 50);
+        assert_eq!(hook_calls, 0);
+        for core in 0..4 {
+            assert_eq!(
+                tables.entries_on(core),
+                50,
+                "joiner bootstrapped a full replica"
+            );
+            assert_eq!(tables.ctx(core).get_flow(&key(7)), Some(7));
+        }
+    }
+
+    #[test]
+    fn scr_fail_core_loses_and_migrates_nothing() {
+        let old_map = CoreMap::elastic(DispatchMode::Scr, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        for i in 0..80u32 {
+            for core in 0..4 {
+                tables.ctx(core).insert_local_flow(key(i), i);
+            }
+        }
+        let stats = tables.fail_core(2, old_map.without_core(2), &mut |_, _, _, _| {
+            panic!("no migration hooks under SCR failover");
+        });
+        assert_eq!(stats.flows_lost, 0, "the dead shard was a replica");
+        assert_eq!(stats.migrated_flows, 0);
+        assert_eq!(stats.retained_flows, 80);
+        assert_eq!(tables.entries_on(2), 0);
+        for core in [0usize, 1, 3] {
+            assert_eq!(tables.ctx(core).get_flow(&key(11)), Some(11), "core {core}");
+        }
+    }
+
+    #[test]
+    fn shared_scr_semantics_match_local() {
+        let map = CoreMap::new(DispatchMode::Scr, 3);
+        let shared: SharedTables<u32> = SharedTables::new(map.clone(), 16);
+        let k = key(6);
+        let mut writer = shared.ctx(1);
+        assert_eq!(writer.designated_core(&k), 1);
+        writer.insert_local_flow(k, 9);
+        assert_eq!(shared.ctx(1).get_flow(&k), Some(9));
+        assert_eq!(shared.ctx(0).get_flow(&k), None, "not yet replayed");
+        shared.apply_replica(0, &crate::scr::UpdateOp::Put(k, 9));
+        assert_eq!(shared.ctx(0).get_flow(&k), Some(9));
+        assert_eq!(shared.drop_replica(1), 1);
+        assert_eq!(shared.ctx(1).get_flow(&k), None);
+        assert_eq!(
+            shared.ctx(0).get_flow(&k),
+            Some(9),
+            "survivor keeps the state"
+        );
+        // Shared SCR rescale replicates the union snapshot.
+        let (next, stats) = shared.rescaled(map.rescaled(2), &mut |_, _, _, _| {
+            panic!("no hooks under SCR")
+        });
+        assert_eq!(stats.migrated_flows, 0);
+        assert_eq!(stats.retained_flows, 1);
+        for core in 0..2 {
+            assert_eq!(next.ctx(core).get_flow(&k), Some(9));
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use sprayer::api::{FlowStateApi, InsertOutcome};
 use sprayer::config::DispatchMode;
 use sprayer::coremap::CoreMap;
 use sprayer::flowtable::FlowTable;
+use sprayer::scr::{ScrReplica, SharedScrPlane, UpdateOp};
 use sprayer::tables::{LocalTables, SharedTables};
 use sprayer_net::{FiveTuple, FlowKey};
 
@@ -417,5 +418,175 @@ proptest! {
                 shared.ctx(reader).get_flow(&key)
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Level 4: SCR replay determinism.
+// ---------------------------------------------------------------------
+
+const SCR_CORES: usize = 4;
+
+/// A write made by the NF on some (sprayed-to) core, or a slice of a
+/// ring-drain schedule. The schedule is what varies between runs in the
+/// threaded runtime: workers replay their inboxes at arbitrary points
+/// relative to each other's publishes.
+#[derive(Debug, Clone)]
+enum ScrOp {
+    /// `origin % SCR_CORES` writes `key(k) = v` locally and multicasts.
+    Put(u8, u8, u64),
+    /// `origin % SCR_CORES` removes `key(k)` locally and multicasts.
+    Del(u8, u8),
+    /// `core % SCR_CORES` replays at most `n` pending remote updates.
+    Drain(u8, u8),
+}
+
+fn arb_scr_op() -> impl Strategy<Value = ScrOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(c, k, v)| ScrOp::Put(c, k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(c, k)| ScrOp::Del(c, k)),
+        (any::<u8>(), any::<u8>()).prop_map(|(c, n)| ScrOp::Drain(c, n)),
+    ]
+}
+
+/// Replay `n` updates (all of them for `n == None`) from `core`'s inbox
+/// through its version guard into its full-replica table.
+fn scr_drain(
+    plane: &SharedScrPlane<u64>,
+    replicas: &mut [ScrReplica],
+    tables: &SharedTables<u64>,
+    core: usize,
+    n: Option<usize>,
+) {
+    let mut left = n.unwrap_or(usize::MAX);
+    while left > 0 {
+        let Some(update) = plane.pop(core) else {
+            break;
+        };
+        left -= 1;
+        if replicas[core].admit(*update.op.key(), update.seq) {
+            tables.apply_replica(core, &update.op);
+        }
+    }
+}
+
+proptest! {
+    /// The SCR correctness property (§2 of the replication design, the
+    /// paper's write-partition invariant turned on its head): under an
+    /// arbitrary interleaving of per-core writes and ring-drain
+    /// schedules, once every log drains, every core's replica holds
+    /// exactly the state the Sprayer path would hold on the designated
+    /// core — the sequential application of all writes — bit-identical
+    /// across cores.
+    #[test]
+    fn scr_replicas_converge_to_designated_core_state(
+        ops in vec(arb_scr_op(), 0..300),
+    ) {
+        let map = CoreMap::new(DispatchMode::Scr, SCR_CORES);
+        let tables: SharedTables<u64> = SharedTables::new(map, 1024);
+        // Capacity above the op count: overflow drops lose updates by
+        // design and are covered by the conservation property below.
+        let plane: SharedScrPlane<u64> = SharedScrPlane::new(SCR_CORES, 1024);
+        let mut replicas: Vec<ScrReplica> = (0..SCR_CORES).map(|_| ScrReplica::new()).collect();
+        let alive = [true; SCR_CORES];
+        let mut reference: BTreeMap<FlowKey, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                ScrOp::Put(c, k, v) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    let op = UpdateOp::Put(key(k), v);
+                    tables.apply_replica(core, &op);
+                    let seq = plane.publish(core, &op, &alive);
+                    replicas[core].note_local(key(k), seq);
+                    reference.insert(key(k), v);
+                }
+                ScrOp::Del(c, k) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    let op: UpdateOp<u64> = UpdateOp::Del(key(k));
+                    tables.apply_replica(core, &op);
+                    let seq = plane.publish(core, &op, &alive);
+                    replicas[core].note_local(key(k), seq);
+                    reference.remove(&key(k));
+                }
+                ScrOp::Drain(c, n) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    scr_drain(&plane, &mut replicas, &tables, core, Some(usize::from(n)));
+                }
+            }
+        }
+        // Quiesce: every core replays its whole inbox, in core order —
+        // any drain order must yield the same fixpoint.
+        for core in 0..SCR_CORES {
+            scr_drain(&plane, &mut replicas, &tables, core, None);
+            prop_assert_eq!(plane.pending(core), 0);
+        }
+        // Nothing dropped, and the conservation identity closes.
+        prop_assert_eq!(plane.dropped(), 0);
+        prop_assert_eq!(plane.published(), plane.applied());
+
+        // Bit-identical convergence: every core agrees with the
+        // sequential reference on the full key universe.
+        for k in 0..64u8 {
+            let key = key(k);
+            let want = reference.get(&key).copied();
+            for core in 0..SCR_CORES {
+                prop_assert_eq!(
+                    tables.ctx(core).get_local_flow(&key),
+                    want,
+                    "core {} diverged on key {}",
+                    core,
+                    k
+                );
+            }
+        }
+    }
+
+    /// Under a deliberately tiny log the multicast overflows and updates
+    /// are lost — replicas may go stale, but never silently: the
+    /// attempted-copy accounting (`published == applied + dropped` after
+    /// a full drain) holds for every capacity and schedule, which is
+    /// what the runtime's `scr_replay_gap() == 0` gate leans on.
+    #[test]
+    fn scr_log_overflow_is_always_accounted(
+        ops in vec(arb_scr_op(), 0..300),
+        capacity in 1usize..8,
+    ) {
+        let map = CoreMap::new(DispatchMode::Scr, SCR_CORES);
+        let tables: SharedTables<u64> = SharedTables::new(map, 1024);
+        let plane: SharedScrPlane<u64> = SharedScrPlane::new(SCR_CORES, capacity);
+        let mut replicas: Vec<ScrReplica> = (0..SCR_CORES).map(|_| ScrReplica::new()).collect();
+        let alive = [true; SCR_CORES];
+
+        for op in &ops {
+            match *op {
+                ScrOp::Put(c, k, v) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    let op = UpdateOp::Put(key(k), v);
+                    tables.apply_replica(core, &op);
+                    let seq = plane.publish(core, &op, &alive);
+                    replicas[core].note_local(key(k), seq);
+                }
+                ScrOp::Del(c, k) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    let op: UpdateOp<u64> = UpdateOp::Del(key(k));
+                    tables.apply_replica(core, &op);
+                    let seq = plane.publish(core, &op, &alive);
+                    replicas[core].note_local(key(k), seq);
+                }
+                ScrOp::Drain(c, n) => {
+                    let core = usize::from(c) % SCR_CORES;
+                    scr_drain(&plane, &mut replicas, &tables, core, Some(usize::from(n)));
+                }
+            }
+            // The identity is closed mid-run too: pending updates are the
+            // only difference between attempts and outcomes.
+            let pending: u64 = (0..SCR_CORES).map(|c| plane.pending(c) as u64).sum();
+            prop_assert_eq!(plane.published(), plane.applied() + plane.dropped() + pending);
+        }
+        for core in 0..SCR_CORES {
+            scr_drain(&plane, &mut replicas, &tables, core, None);
+        }
+        prop_assert_eq!(plane.published(), plane.applied() + plane.dropped());
     }
 }

@@ -27,11 +27,20 @@
 //!   blast radius in packets (dead-queue losses, rejected frames);
 //! * `recovery_timeline` — the full [`RecoveryReport::to_json`] array.
 
-use sprayer::{MiddleboxStats, ReconfigReport, RecoveryReport};
+use sprayer::{DispatchMode, MiddleboxStats, ReconfigReport, RecoveryReport};
 use sprayer_obs::MetricsRegistry;
 
-/// Write the standard elastic metric set for `reports` into `reg`.
-pub fn export_reconfig_telemetry(reg: &mut MetricsRegistry, reports: &[ReconfigReport]) {
+/// Write the standard elastic metric set for `reports` into `reg`,
+/// labelled with the dispatch mode that produced them. The label is part
+/// of the metric set (not left to the caller) so the three per-mode
+/// documents of a three-way figure never collide when they land side by
+/// side in `results/`.
+pub fn export_reconfig_telemetry(
+    reg: &mut MetricsRegistry,
+    mode: DispatchMode,
+    reports: &[ReconfigReport],
+) {
+    reg.set_str("reconfig_mode", &mode.to_string().to_ascii_lowercase());
     reg.set_u64("reconfig_events", reports.len() as u64);
     reg.set_u64(
         "reconfig_migrated_flows_total",
@@ -55,12 +64,16 @@ pub fn export_reconfig_telemetry(reg: &mut MetricsRegistry, reports: &[ReconfigR
 
 /// Write the standard fault/recovery metric set into `reg`:
 /// `recoveries` are the run's unplanned transitions, `stats` the final
-/// dataplane counters the faults left behind.
+/// dataplane counters the faults left behind. As with
+/// [`export_reconfig_telemetry`], the mode label travels inside the
+/// metric set so per-mode documents stay distinguishable in `results/`.
 pub fn export_fault_telemetry(
     reg: &mut MetricsRegistry,
+    mode: DispatchMode,
     recoveries: &[RecoveryReport],
     stats: &MiddleboxStats,
 ) {
+    reg.set_str("recovery_mode", &mode.to_string().to_ascii_lowercase());
     reg.set_u64("recovery_events", recoveries.len() as u64);
     reg.set_u64(
         "recovery_flows_migrated_total",
@@ -114,8 +127,17 @@ mod tests {
     #[test]
     fn export_totals_and_timeline_parse_back() {
         let mut reg = MetricsRegistry::new();
-        export_reconfig_telemetry(&mut reg, &[report(1, 4, 100), report(2, 6, 250)]);
+        export_reconfig_telemetry(
+            &mut reg,
+            DispatchMode::Sprayer,
+            &[report(1, 4, 100), report(2, 6, 250)],
+        );
         let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(
+            doc.get("reconfig_mode").unwrap().as_str(),
+            Some("sprayer"),
+            "the mode label must travel inside the metric set"
+        );
         assert_eq!(doc.get("reconfig_events").unwrap().as_u64(), Some(2));
         assert_eq!(
             doc.get("reconfig_migrated_flows_total").unwrap().as_u64(),
@@ -162,10 +184,12 @@ mod tests {
         };
         export_fault_telemetry(
             &mut reg,
+            DispatchMode::Scr,
             &[recovery(0, 6, 25_000), recovery(3, 2, 40_000)],
             &stats,
         );
         let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
+        assert_eq!(doc.get("recovery_mode").unwrap().as_str(), Some("scr"));
         assert_eq!(doc.get("recovery_events").unwrap().as_u64(), Some(2));
         assert_eq!(
             doc.get("recovery_flows_migrated_total").unwrap().as_u64(),
@@ -199,7 +223,7 @@ mod tests {
     #[test]
     fn empty_series_exports_zeros() {
         let mut reg = MetricsRegistry::new();
-        export_reconfig_telemetry(&mut reg, &[]);
+        export_reconfig_telemetry(&mut reg, DispatchMode::Rss, &[]);
         let (_, doc) = MetricsRegistry::parse_document(&reg.to_json()).unwrap();
         assert_eq!(doc.get("reconfig_events").unwrap().as_u64(), Some(0));
         assert_eq!(

@@ -17,7 +17,8 @@
 //! requires the per-packet state write.
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer_net::{Packet, TcpFlags};
+use sprayer::scr::UpdateOp;
+use sprayer_net::{FlowKey, Packet, TcpFlags};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -306,6 +307,43 @@ impl NetworkFunction for DpiNf {
         }
         self.flush(&acc);
     }
+
+    fn replicate_updates(
+        &self,
+        pkts: &[Packet],
+        conn: &[bool],
+        ctx: &dyn FlowStateApi<DpiFlow>,
+        out: &mut Vec<UpdateOp<DpiFlow>>,
+    ) {
+        // DPI is the write-per-packet NF SCR exists for: the automaton
+        // cursors advance on every scanned payload. Scans only run (and
+        // thus write) on the flow's designated core, so regular-packet
+        // keys ship from there alone — and only when the cursor exists
+        // (an unknown flow is scanned statelessly and writes nothing).
+        // Connection keys always ship: SYN inserts, FIN/RST removes.
+        let core = ctx.core_id();
+        let mut seen: Vec<FlowKey> = Vec::new();
+        for (pkt, &is_conn) in pkts.iter().zip(conn) {
+            let Some(key) = pkt.tuple().map(|t| t.key()) else {
+                continue;
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            if is_conn {
+                seen.push(key);
+                match ctx.get_local_flow(&key) {
+                    Some(state) => out.push(UpdateOp::Put(key, state)),
+                    None => out.push(UpdateOp::Del(key)),
+                }
+            } else if ctx.designated_core(&key) == core {
+                if let Some(state) = ctx.get_local_flow(&key) {
+                    seen.push(key);
+                    out.push(UpdateOp::Put(key, state));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -473,5 +511,33 @@ mod tests {
         let mut p = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"..attack..");
         dpi.regular_packets(&mut p, &mut tables.ctx(core));
         assert_eq!(dpi.matches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn replicate_ships_cursor_writes_from_designated_core_only() {
+        let (dpi, mut tables, map) = rss_harness();
+        let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
+        let core = map.designated_for_tuple(&t);
+
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        dpi.connection_packets(&mut syn, &mut tables.ctx(core));
+        let mut data = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"..att");
+        dpi.regular_packets(&mut data, &mut tables.ctx(core));
+
+        // On the designated core the advanced cursor ships (deduped
+        // against the SYN's identical key).
+        let pkts = [syn, data];
+        let mut ops = Vec::new();
+        dpi.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Put(key, _)] if *key == t.key()));
+
+        // A non-designated core never scans, so it ships nothing for the
+        // same regular packet.
+        let other = (core + 1) % 4;
+        let data2 = PacketBuilder::new().tcp(t, 6, 0, TcpFlags::ACK, b"ack..");
+        let pkts = [data2];
+        let mut ops = Vec::new();
+        dpi.replicate_updates(&pkts, &[false], &tables.ctx(other), &mut ops);
+        assert!(ops.is_empty());
     }
 }

@@ -7,7 +7,8 @@
 //! exactly the pattern that makes it Sprayer-friendly).
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer_net::{FiveTuple, Packet, Protocol, TcpFlags};
+use sprayer::scr::UpdateOp;
+use sprayer_net::{FiveTuple, FlowKey, Packet, Protocol, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Action of an ACL rule.
@@ -248,6 +249,37 @@ impl NetworkFunction for FirewallNf {
         }
     }
 
+    fn replicate_updates(
+        &self,
+        pkts: &[Packet],
+        conn: &[bool],
+        ctx: &dyn FlowStateApi<ConnContext>,
+        out: &mut Vec<UpdateOp<ConnContext>>,
+    ) {
+        // The connection context is written at flow start/end only
+        // (Table 1); `admit_data` is a pure lookup. A denied SYN writes
+        // nothing, and `get_local_flow` returning `None` for it ships a
+        // `Del` — harmless (peers have no entry either) and rare enough
+        // not to filter.
+        let mut seen: Vec<FlowKey> = Vec::new();
+        for (pkt, &is_conn) in pkts.iter().zip(conn) {
+            if !is_conn {
+                continue;
+            }
+            let Some(key) = pkt.tuple().map(|t| t.key()) else {
+                continue;
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            match ctx.get_local_flow(&key) {
+                Some(state) => out.push(UpdateOp::Put(key, state)),
+                None => out.push(UpdateOp::Del(key)),
+            }
+        }
+    }
+
     fn freeze_flow(&self, _key: &sprayer_net::FlowKey, state: &mut ConnContext) {
         // The context travels verbatim: the ACL decision is made once at
         // SYN time and must NOT be re-evaluated on the new core — a rule
@@ -476,5 +508,34 @@ mod tests {
         );
         assert!(AclRule::prefix_match((0x0a000001, 32), 0x0a000001));
         assert!(!AclRule::prefix_match((0x0a000001, 32), 0x0a000002));
+    }
+
+    #[test]
+    fn replicate_ships_conn_writes_and_skips_data_lookups() {
+        let (fw, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
+        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Forward);
+        let core = map.designated_for_tuple(&t);
+
+        // A conn packet whose context was written ships a Put; a pure
+        // data lookup on an unrelated flow ships nothing.
+        let syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        let data = PacketBuilder::new().tcp(FiveTuple::tcp(7, 7, 7, 443), 1, 0, TcpFlags::ACK, b"");
+        let pkts = [syn, data];
+        let mut ops = Vec::new();
+        fw.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Put(key, ctx)] if *key == t.key() && ctx.allowed));
+
+        // Full teardown (two FINs) ships a Del for the same key.
+        for rev in [false, true] {
+            let tt = if rev { t.reversed() } else { t };
+            let mut fin = PacketBuilder::new().tcp(tt, 5, 5, TcpFlags::FIN | TcpFlags::ACK, b"");
+            fw.connection_packets(&mut fin, &mut tables.ctx(core));
+        }
+        let fin = PacketBuilder::new().tcp(t, 5, 5, TcpFlags::FIN | TcpFlags::ACK, b"");
+        let pkts = [fin];
+        let mut ops = Vec::new();
+        fw.replicate_updates(&pkts, &[true], &tables.ctx(core), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
     }
 }

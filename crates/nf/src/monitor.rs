@@ -13,7 +13,8 @@
 //! atomic, and an `aggregate()` that folds the shards on demand.
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer_net::{Packet, TcpFlags};
+use sprayer::scr::UpdateOp;
+use sprayer_net::{FlowKey, Packet, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-flow connection context recorded at SYN time.
@@ -215,6 +216,37 @@ impl NetworkFunction for MonitorNf {
             s.connection_packets.fetch_add(conn_pkts, Ordering::Relaxed);
         }
     }
+
+    fn replicate_updates(
+        &self,
+        pkts: &[Packet],
+        conn: &[bool],
+        ctx: &dyn FlowStateApi<ConnRecord>,
+        out: &mut Vec<UpdateOp<ConnRecord>>,
+    ) {
+        // Per-flow records change only on the connection lifecycle (SYN
+        // insert, FIN count, FIN/RST removal); regular packets touch the
+        // loosely-consistent global shards, which need no replication.
+        // Shipping connection keys only keeps the SCR log proportional
+        // to connection churn rather than traffic volume.
+        let mut seen: Vec<FlowKey> = Vec::new();
+        for (pkt, &is_conn) in pkts.iter().zip(conn) {
+            if !is_conn {
+                continue;
+            }
+            let Some(key) = pkt.tuple().map(|t| t.key()) else {
+                continue;
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            match ctx.get_local_flow(&key) {
+                Some(state) => out.push(UpdateOp::Put(key, state)),
+                None => out.push(UpdateOp::Del(key)),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,5 +363,38 @@ mod tests {
             mon.connection_packets(&mut r, &mut tables.ctx(0)),
             Verdict::Forward
         );
+    }
+
+    #[test]
+    fn replicate_ships_connection_keys_only() {
+        let (mon, mut tables, map) = harness();
+        let t = FiveTuple::tcp(0x0a000001, 40_000, 0x0a000002, 80);
+        let other = FiveTuple::tcp(9, 9, 9, 9);
+        let core = map.designated_for_tuple(&t);
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        mon.connection_packets(&mut syn, &mut tables.ctx(core));
+        let mut data = PacketBuilder::new().tcp(other, 1, 0, TcpFlags::ACK, b"xy");
+        mon.regular_packets(&mut data, &mut tables.ctx(core));
+
+        let pkts = [syn, data];
+        let mut ops = Vec::new();
+        mon.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        // Only the SYN's key ships — the data packet wrote no flow state.
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            UpdateOp::Put(key, _) => {
+                assert_eq!(*key, t.key());
+                assert!(tables.ctx(core).get_local_flow(key).is_some());
+            }
+            UpdateOp::Del(_) => panic!("live flow must ship a Put"),
+        }
+
+        // After RST teardown the same key ships a Del.
+        let mut rst = PacketBuilder::new().tcp(t, 2, 0, TcpFlags::RST, b"");
+        mon.connection_packets(&mut rst, &mut tables.ctx(core));
+        let pkts = [rst];
+        let mut ops = Vec::new();
+        mon.replicate_updates(&pkts, &[true], &tables.ctx(core), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
     }
 }

@@ -29,7 +29,8 @@ use parking_lot::Mutex;
 use sprayer::api::{
     Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, Verdict,
 };
-use sprayer_net::{FiveTuple, Packet, TcpFlags};
+use sprayer::scr::UpdateOp;
+use sprayer_net::{FiveTuple, FlowKey, Packet, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-flow NAT state: which side the packet matches and how to rewrite.
@@ -345,6 +346,70 @@ impl NetworkFunction for NatNf {
         }
     }
 
+    fn replicate_updates(
+        &self,
+        pkts: &[Packet],
+        _conn: &[bool],
+        ctx: &dyn FlowStateApi<NatEntry>,
+        out: &mut Vec<UpdateOp<NatEntry>>,
+    ) {
+        // Both entries of a translation must travel together: the batch
+        // runs before this hook, so the packets carry *post-rewrite*
+        // tuples — a SYN that installed Outward+Inward now hashes to the
+        // Inward key alone, and a key-dedupe over the packets would ship
+        // half the pair. Reconstruct the other side from the entry, the
+        // same resolution `teardown` uses. After a teardown both entries
+        // are gone and only the arriving side's key is recoverable; its
+        // `Del` ships and the paired entry stays stale on peers until
+        // the port is reused (whose `Put` then overwrites it) — the
+        // bounded staleness §3.4 already permits for in-flight packets
+        // of a dead flow.
+        let mut keys: Vec<FlowKey> = Vec::with_capacity(pkts.len() * 2);
+        for pkt in pkts {
+            let Some(tuple) = pkt.tuple() else {
+                continue;
+            };
+            let key = tuple.key();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+            let paired = match ctx.get_local_flow(&key) {
+                Some(NatEntry::Outward {
+                    internal, external, ..
+                }) => {
+                    // This side is client ↔ server; the server is the
+                    // endpoint that is not the internal one.
+                    let server = if (tuple.src_addr, tuple.src_port) == internal {
+                        (tuple.dst_addr, tuple.dst_port)
+                    } else {
+                        (tuple.src_addr, tuple.src_port)
+                    };
+                    Some(FiveTuple::tcp(external.0, external.1, server.0, server.1).key())
+                }
+                Some(NatEntry::Inward { external, internal }) => {
+                    let server = if (tuple.src_addr, tuple.src_port) == external {
+                        (tuple.dst_addr, tuple.dst_port)
+                    } else {
+                        (tuple.src_addr, tuple.src_port)
+                    };
+                    Some(FiveTuple::tcp(internal.0, internal.1, server.0, server.1).key())
+                }
+                None => None,
+            };
+            if let Some(paired) = paired {
+                if !keys.contains(&paired) {
+                    keys.push(paired);
+                }
+            }
+        }
+        for key in keys {
+            match ctx.get_local_flow(&key) {
+                Some(state) => out.push(UpdateOp::Put(key, state)),
+                None => out.push(UpdateOp::Del(key)),
+            }
+        }
+    }
+
     fn freeze_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut NatEntry) {
         // NatEntry carries no core-local references — endpoints and FIN
         // counts travel as-is. The export is still accounted so the port
@@ -649,5 +714,67 @@ mod tests {
             ip.pseudo_header(),
             &reparsed.bytes()[l4..l4 + seg]
         ));
+    }
+
+    #[test]
+    fn replicate_ships_both_sides_of_the_translation() {
+        let mut h = Harness::new();
+        let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
+        h.run(&mut syn);
+        // The SYN left the batch rewritten: its tuple now hashes to the
+        // Inward (translated) key only.
+        let trans_key = syn.tuple().unwrap().key();
+        let orig_key = conn().key();
+        assert_ne!(trans_key, orig_key);
+        let core = h.map.designated_for_tuple(&conn());
+
+        let pkts = [syn];
+        let mut ops = Vec::new();
+        h.nat
+            .replicate_updates(&pkts, &[true], &h.tables.ctx(core), &mut ops);
+        assert_eq!(ops.len(), 2, "the paired entry must ship too: {ops:?}");
+        for key in [orig_key, trans_key] {
+            let op = ops
+                .iter()
+                .find(|op| *op.key() == key)
+                .expect("both sides shipped");
+            match op {
+                UpdateOp::Put(key, state) => {
+                    assert_eq!(h.tables.ctx(core).get_local_flow(key).as_ref(), Some(state));
+                }
+                UpdateOp::Del(_) => panic!("live translation must ship Puts"),
+            }
+        }
+
+        // An inbound data packet (rewritten back to the client) resolves
+        // to the Outward entry and still ships the pair.
+        let server = (SERVER, 443);
+        let reply = FiveTuple::tcp(server.0, server.1, NAT_IP, {
+            let NatEntry::Inward { external, .. } =
+                h.tables.ctx(core).get_local_flow(&trans_key).unwrap()
+            else {
+                panic!("translated key must hold the Inward entry");
+            };
+            external.1
+        });
+        let mut data = PacketBuilder::new().tcp(reply, 9, 2, TcpFlags::ACK, b"resp");
+        h.run(&mut data);
+        let pkts = [data];
+        let mut ops = Vec::new();
+        h.nat
+            .replicate_updates(&pkts, &[false], &h.tables.ctx(core), &mut ops);
+        assert_eq!(ops.len(), 2);
+        assert!(ops.iter().any(|op| *op.key() == orig_key));
+        assert!(ops.iter().any(|op| *op.key() == trans_key));
+
+        // Teardown removes both entries; only the arriving side's key is
+        // still derivable, and it ships as a Del.
+        let mut rst = PacketBuilder::new().tcp(conn(), 2, 2, TcpFlags::RST, b"");
+        h.run(&mut rst);
+        let pkts = [rst];
+        let mut ops = Vec::new();
+        h.nat
+            .replicate_updates(&pkts, &[true], &h.tables.ctx(core), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == orig_key));
     }
 }
