@@ -150,6 +150,23 @@ pub trait FlowStateApi<S: Clone> {
 
     /// Number of flows in the local table (diagnostics).
     fn local_len(&self) -> usize;
+
+    /// Keys this batch successfully wrote (inserted or modified) in the
+    /// local table. Maintained only under the SCR dispatch mode, where
+    /// [`NetworkFunction::replicate_updates`]'s default ships exactly
+    /// the batch's real mutations; empty everywhere else. The runtime
+    /// clears the log after each batch's replication hook runs.
+    fn written_keys(&self) -> &[FlowKey] {
+        &[]
+    }
+
+    /// Keys this batch successfully removed from the local table (see
+    /// [`Self::written_keys`]). A key can appear in both logs
+    /// (written then removed, or removed then re-inserted); the
+    /// post-batch table contents disambiguate.
+    fn removed_keys(&self) -> &[FlowKey] {
+        &[]
+    }
 }
 
 /// Scope of one piece of NF state (paper Table 1, "State Scope").
@@ -337,41 +354,76 @@ pub trait NetworkFunction: Send + Sync {
     /// state-updates the batch implies, which it multicasts to every
     /// peer's log ring for replay ([`crate::scr`]).
     ///
-    /// The default is batch-amortized and NF-agnostic: it dedupes the
-    /// batch's flow keys and reads back each key's post-batch local
-    /// state — present becomes [`crate::scr::UpdateOp::Put`] (value
-    /// shipping: peers converge to the writer's exact post-state),
-    /// absent becomes [`crate::scr::UpdateOp::Del`] (covers teardown;
-    /// also re-confirms absence for never-inserted flows, which peers
-    /// apply as a no-op). Always correct for NFs whose per-flow state
-    /// lives entirely in the flow table.
+    /// The default ships exactly what the batch *mutated*: under SCR
+    /// the flow-state backends log every successful local write and
+    /// removal ([`FlowStateApi::written_keys`] /
+    /// [`FlowStateApi::removed_keys`]), and each logged key's
+    /// post-batch local state becomes the op — present is
+    /// [`crate::scr::UpdateOp::Put`] (value shipping: peers converge
+    /// to the writer's exact post-state), absent is
+    /// [`crate::scr::UpdateOp::Del`] (the key was genuinely removed).
+    /// Keys the batch merely *read* never ship: emitting a `Del` for a
+    /// read miss would stamp a fresh global seq on "this flow does not
+    /// exist" and tombstone live state on every replica whenever a
+    /// sprayed data packet races ahead of its flow's SYN replay. This
+    /// covers secondary writes no packet-key scan would see — the
+    /// NAT's paired reverse-mapping entry, a DPI cursor write — for
+    /// free, because the log records the write itself.
     ///
-    /// NFs override it to ship less (skip flows the batch could not
-    /// have written) or more (the NAT's paired reverse-key entry, which
-    /// a key-dedupe over the batch's own packets would miss). An
-    /// override must uphold the replay contract: applying the emitted
-    /// ops to a converged replica must reproduce the local table's
-    /// post-batch contents for every key the batch touched.
+    /// NFs may still override it to compress what ships (delta
+    /// encodings, batching several flows into one op). An override
+    /// must uphold the replay contract: applying the emitted ops to a
+    /// converged replica must reproduce the local table's post-batch
+    /// contents for every key the batch wrote, and must never emit a
+    /// `Del` for a key the batch did not remove.
     fn replicate_updates(
         &self,
-        pkts: &[Packet],
+        _pkts: &[Packet],
         _conn: &[bool],
         ctx: &dyn FlowStateApi<Self::Flow>,
         out: &mut Vec<crate::scr::UpdateOp<Self::Flow>>,
     ) {
-        let mut seen: Vec<FlowKey> = Vec::with_capacity(pkts.len());
-        for pkt in pkts {
-            let Some(key) = pkt.tuple().map(|t| t.key()) else {
-                continue;
-            };
-            if seen.contains(&key) {
+        let written = ctx.written_keys();
+        let removed = ctx.removed_keys();
+        let mut seen: Vec<FlowKey> = Vec::with_capacity(written.len() + removed.len());
+        for key in written.iter().chain(removed) {
+            if seen.contains(key) {
                 continue;
             }
-            seen.push(key);
-            match ctx.get_local_flow(&key) {
-                Some(state) => out.push(crate::scr::UpdateOp::Put(key, state)),
-                None => out.push(crate::scr::UpdateOp::Del(key)),
+            seen.push(*key);
+            match ctx.get_local_flow(key) {
+                Some(state) => out.push(crate::scr::UpdateOp::Put(*key, state)),
+                None => out.push(crate::scr::UpdateOp::Del(*key)),
             }
+        }
+    }
+
+    /// Merge hook of the SCR replay path: how an incoming replicated
+    /// `Put` combines with the replica's current entry. Called for
+    /// every admitted `Put` — `newer = true` when the update
+    /// post-dates everything the replica has seen for the flow
+    /// ([`crate::scr::Admission::Fresh`]), `false` for a concurrent
+    /// older write ([`crate::scr::Admission::Concurrent`]).
+    ///
+    /// The default is exact last-writer-wins — store the newer value,
+    /// ignore the older — which is correct when each flow's state is
+    /// only ever written by one core at a time. NFs whose conn-state
+    /// transitions are read-modify-writes that can race on different
+    /// cores under SCR (the firewall's two-FIN teardown) override this
+    /// with a commutative merge (e.g. OR the per-direction FIN bits),
+    /// returning [`crate::scr::ReplicaMerge::Remove`] when the merged
+    /// state completes a teardown.
+    fn merge_replica(
+        &self,
+        _key: &FlowKey,
+        _existing: Option<&Self::Flow>,
+        incoming: &Self::Flow,
+        newer: bool,
+    ) -> crate::scr::ReplicaMerge<Self::Flow> {
+        if newer {
+            crate::scr::ReplicaMerge::Store(incoming.clone())
+        } else {
+            crate::scr::ReplicaMerge::Keep
         }
     }
 

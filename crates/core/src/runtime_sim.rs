@@ -19,7 +19,7 @@ use crate::config::{DispatchMode, MiddleboxConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::{ReconfigReport, RecoveryReport};
 use crate::engine::{self, Engine, PacketClass};
-use crate::scr::ScrPlane;
+use crate::scr::{self, ScrPlane};
 use crate::stats::{CoreStats, MiddleboxStats};
 use crate::tables::LocalTables;
 use sprayer_net::{FlowKey, Packet};
@@ -402,8 +402,30 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             applied += 1;
             self.stats.scr_applied += 1;
             self.stats.scr_lag_hist[sprayer_obs::batch_bucket(update.lag)] += 1;
-            if update.fresh {
-                self.tables.apply_replica(core, &update.op);
+            match (update.op, update.admission) {
+                (_, scr::Admission::Superseded) => {}
+                (op @ scr::UpdateOp::Del(_), _) => {
+                    // The guard only ever admits a Del as Fresh.
+                    self.tables.apply_replica(core, &op);
+                }
+                (scr::UpdateOp::Put(key, state), admission) => {
+                    // Admitted Puts route through the NF's merge hook
+                    // (default: exact LWW — store iff newer); a
+                    // merge-completed teardown removes the entry and
+                    // tombstones the updates that fed it.
+                    let newer = admission == scr::Admission::Fresh;
+                    let existing = self.tables.peek(core, &key);
+                    match self.nf.merge_replica(&key, existing, &state, newer) {
+                        scr::ReplicaMerge::Store(s) => {
+                            self.tables.apply_replica(core, &scr::UpdateOp::Put(key, s));
+                        }
+                        scr::ReplicaMerge::Keep => {}
+                        scr::ReplicaMerge::Remove => {
+                            self.tables.apply_replica(core, &scr::UpdateOp::Del(key));
+                            plane.note_defunct(core, &key);
+                        }
+                    }
+                }
             }
         }
         self.scr = Some(plane);
@@ -420,14 +442,20 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// [`Stage::Redirect`] — the ring-transfer budget SCR spends on
     /// state instead of descriptors — without extending the completed
     /// service's event time. A no-op outside SCR mode.
+    ///
+    /// A full *live* peer log is backpressure, not loss: before each
+    /// multicast the publisher drains any blocked live peer's log in
+    /// its stead ([`Self::scr_replay`], charged to the peer), so a
+    /// live peer never drops an update and `scr_log_drops` counts only
+    /// dead-core truncation.
     fn scr_publish(&mut self, core: usize, pkts: &[Packet], conn: &[bool]) {
-        let Some(mut plane) = self.scr.take() else {
+        let Some(plane) = self.scr.as_ref() else {
             return;
         };
         // Mirror of the scr_replay guard: a core retired by a
         // scale-down has no slot in the next-epoch plane.
-        if core >= plane.num_cores() {
-            self.scr = Some(plane);
+        let num_cores = plane.num_cores();
+        if core >= num_cores {
             return;
         }
         let mut ops = Vec::new();
@@ -435,19 +463,31 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let ctx = self.tables.ctx(core);
             self.nf.replicate_updates(pkts, conn, &ctx, &mut ops);
         }
+        // The batch's mutation log fed the hook; reset it either way so
+        // the next batch starts clean.
+        self.tables.clear_batch_log(core);
         let mut sent = 0u64;
         for op in ops {
+            for peer in 0..num_cores {
+                if peer == core || self.failed.get(peer).copied().unwrap_or(true) {
+                    continue;
+                }
+                let full = self.scr.as_ref().is_some_and(|p| p.is_full(peer));
+                if full {
+                    let cycles = self.scr_replay(peer);
+                    self.stats.per_core[peer].busy_cycles += cycles;
+                }
+            }
+            let Some(plane) = self.scr.as_mut() else {
+                return;
+            };
             let out = plane.publish(core, op, &self.failed);
             sent += out.sent;
-            // A full-log drop is still a published update that was lost:
-            // counting the attempt keeps `scr_replay_gap() == 0` closed
-            // under overload.
             self.stats.scr_published += out.sent + out.dropped;
             self.stats.scr_log_drops += out.dropped;
             self.stats.scr_log_occupancy_hwm =
                 self.stats.scr_log_occupancy_hwm.max(out.occupancy_hwm);
         }
-        self.scr = Some(plane);
         let cycles = sent * self.config.scr_publish_cycles;
         self.stats.per_core[core].busy_cycles += cycles;
         self.profile(core, Stage::Redirect, cycles);
@@ -2729,9 +2769,11 @@ mod tests {
         let mut mb = MiddleboxSim::new(config, TrackerNf);
         let t = flow(7);
         let mut now = Time::ZERO;
+        // No settling time between the SYN and its data: early data may
+        // race the SYN's replication to some cores (a stale-replica
+        // drop, which SCR permits), but a racing *read miss* must never
+        // ship a `Del` that tombstones the flow on the replicas.
         mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
-        // Let the SYN's state-update replicate before the data arrives.
-        mb.run_until(Time::from_ms(1));
         for i in 0u32..256 {
             now += Time::from_us(1);
             let p = PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i));
@@ -2740,8 +2782,7 @@ mod tests {
         mb.run_until(now + Time::from_ms(10));
         assert!(mb.is_idle());
         let s = mb.stats();
-        assert_eq!(s.forwarded, 257, "every packet reads its own replica");
-        assert_eq!(s.nf_drops, 0);
+        assert_eq!(s.forwarded + s.nf_drops, 257, "{s:?}");
         let redirects: u64 = s.per_core.iter().map(|c| c.redirected_out).sum();
         assert_eq!(redirects, 0, "SCR never redirects — not even the SYN");
         let active = s.per_core.iter().filter(|c| c.processed > 0).count();
@@ -2751,10 +2792,29 @@ mod tests {
         assert!(s.scr_published > 0, "state-updates actually shipped");
         assert!(s.scr_log_occupancy_hwm > 0);
         assert!(s.scr_lag_hist.iter().sum::<u64>() > 0);
-        // Every core converged to the full replica.
+        // Every core converged to the full replica — the regression the
+        // tracked mutation log fixes: a data packet's foreign-read miss
+        // used to multicast a higher-seq `Del` that outran the SYN's
+        // `Put` and killed the flow everywhere, permanently.
         for core in 0..8 {
             assert!(mb.tables().peek(core, &t.key()).is_some(), "core {core}");
         }
+        // With replication settled, a second wave forwards from every
+        // core — nothing was tombstoned.
+        let before = s.forwarded;
+        let mut now = mb.now() + Time::from_us(1);
+        for i in 0u32..64 {
+            let p = PacketBuilder::new().tcp(t, 300 + i, 0, TcpFlags::ACK, &payload(i));
+            mb.ingress(now, p);
+            now += Time::from_us(1);
+        }
+        mb.run_until(now + Time::from_ms(10));
+        assert!(mb.is_idle());
+        assert_eq!(
+            mb.stats().forwarded,
+            before + 64,
+            "settled replicas must all forward"
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ use crate::config::{DispatchMode, ObsConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::ReconfigReport;
 use crate::engine::{self, Engine, PacketClass};
-use crate::scr::{ScrReplica, SharedScrPlane, UpdateOp};
+use crate::scr::{Admission, ReplicaMerge, ScrReplica, SharedScrPlane, StateUpdate, UpdateOp};
 use crate::stats::{batch_bucket, CoreStats, MiddleboxStats, BATCH_HIST_BUCKETS};
 use crate::tables::{SharedCtx, SharedTables};
 use crossbeam::queue::ArrayQueue;
@@ -478,8 +478,6 @@ struct Worker<'a, NF: NetworkFunction> {
     /// True once this worker counted itself into
     /// [`WorkerShared::scr_done`] (exactly once per phase).
     scr_done_marked: bool,
-    /// Scratch liveness snapshot for [`SharedScrPlane::publish`].
-    scr_alive: Vec<bool>,
     /// Scratch update buffer for [`NetworkFunction::replicate_updates`].
     scr_ops: Vec<UpdateOp<NF::Flow>>,
 }
@@ -1218,7 +1216,6 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             scr_replica: shared.scr.is_some().then(ScrReplica::new),
             scr_lag_hist: [0; BATCH_HIST_BUCKETS],
             scr_done_marked: false,
-            scr_alive: Vec::new(),
             scr_ops: Vec::new(),
         }
     }
@@ -1457,8 +1454,12 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
 
     /// Replay every pending remote state-update into this core's full
     /// replica ([`DispatchMode::Scr`]): pop the inbound log, version-
-    /// guard each update through [`ScrReplica::admit`], and apply the
-    /// fresh ones into our own shard of the shared tables. Superseded
+    /// guard each update through [`ScrReplica::admit`], and interpret
+    /// the admission against the replica — a fresh `Del` removes, an
+    /// admitted `Put` routes through the NF's
+    /// [`NetworkFunction::merge_replica`] hook (default exact LWW;
+    /// commutative NFs fold concurrent writes in, and a merge-completed
+    /// teardown removes the entry and tombstones it). Superseded
     /// updates still count as applied — the conservation identity
     /// `scr_replay_gap() == 0` tracks log consumption, not writes.
     /// Profiled as classify work (replay is part of admission, exactly
@@ -1482,8 +1483,31 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             // simulator's at-consumption convention.
             let lag = (plane.head_seq() + 1).saturating_sub(update.seq);
             self.scr_lag_hist[batch_bucket(lag)] += 1;
-            if replica.admit(*update.op.key(), update.seq) {
-                shared.tables.apply_replica(self.id, &update.op);
+            let key = *update.op.key();
+            let is_del = matches!(update.op, UpdateOp::Del(_));
+            match (update.op, replica.admit(key, update.seq, is_del)) {
+                (_, Admission::Superseded) => {}
+                (op @ UpdateOp::Del(_), _) => {
+                    // The guard only ever admits a Del as Fresh.
+                    shared.tables.apply_replica(self.id, &op);
+                }
+                (UpdateOp::Put(key, state), admission) => {
+                    let newer = admission == Admission::Fresh;
+                    let existing = shared.tables.peek(self.id, &key);
+                    match self
+                        .nf
+                        .merge_replica(&key, existing.as_ref(), &state, newer)
+                    {
+                        ReplicaMerge::Store(s) => {
+                            shared.tables.apply_replica(self.id, &UpdateOp::Put(key, s));
+                        }
+                        ReplicaMerge::Keep => {}
+                        ReplicaMerge::Remove => {
+                            shared.tables.apply_replica(self.id, &UpdateOp::Del(key));
+                            replica.note_defunct(&key);
+                        }
+                    }
+                }
             }
         }
         self.scr_replica = Some(replica);
@@ -1493,11 +1517,17 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
 
     /// Extract and multicast the state updates of a completed batch
     /// ([`DispatchMode::Scr`]): ask the NF for the batch's update
-    /// records, publish each to every live peer's log, and note the
+    /// records, enqueue each onto every live peer's log, and note the
     /// assigned sequence numbers in our own version guard so a slower
     /// remote update can never downgrade a newer local write. Profiled
     /// as redirect work — the update log is SCR's replacement for
     /// redirection.
+    ///
+    /// A full live peer log is backpressure, not loss: the publisher
+    /// replays its *own* inbox (work-conserving — two mutually blocked
+    /// publishers each make room for the other, so this cannot
+    /// deadlock) and retries until the push lands. Only a peer that
+    /// dies mid-retry abandons the copy, as an accounted drop.
     fn scr_publish(&mut self, pkts: &[Packet], conn: &[bool]) {
         let shared = self.shared;
         let Some(plane) = shared.scr.as_ref() else {
@@ -1511,15 +1541,48 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         ops.clear();
         let nf = self.nf;
         nf.replicate_updates(pkts, conn, &self.ctx, &mut ops);
-        if !ops.is_empty() {
-            self.scr_alive.clear();
-            for d in &shared.dead {
-                self.scr_alive.push(!d.load(Ordering::SeqCst));
+        // The batch's mutation log fed the hook; reset it either way so
+        // the next batch starts clean.
+        self.ctx.clear_batch_log();
+        for op in &ops {
+            let seq = plane.assign_seq();
+            let is_del = matches!(op, UpdateOp::Del(_));
+            if let Some(replica) = self.scr_replica.as_mut() {
+                replica.note_local(*op.key(), seq, is_del);
             }
-            let replica = self.scr_replica.as_mut().expect("checked above");
-            for op in &ops {
-                let seq = plane.publish(self.id, op, &self.scr_alive);
-                replica.note_local(*op.key(), seq);
+            for peer in 0..plane.num_cores() {
+                if peer == self.id || shared.dead[peer].load(Ordering::SeqCst) {
+                    // A dead peer's log is dark, not leaking: the copy
+                    // was never owed to it.
+                    continue;
+                }
+                let mut update = StateUpdate {
+                    seq,
+                    origin: self.id,
+                    op: op.clone(),
+                };
+                loop {
+                    match plane.try_send(peer, update) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            if shared.dead[peer].load(Ordering::SeqCst) {
+                                // Died mid-retry with a full log: this
+                                // copy can never be replayed.
+                                plane.count_drop();
+                                break;
+                            }
+                            update = back;
+                            // Work-conserving backpressure: drain our
+                            // own inbox so a mutually blocked peer
+                            // publishing to us gets room, then retry.
+                            // (The replay time is profiled as classify
+                            // inside this redirect span; the overlap
+                            // only occurs under log-full pressure.)
+                            self.scr_replay();
+                            std::thread::yield_now();
+                        }
+                    }
+                }
             }
         }
         self.scr_ops = ops;
@@ -1840,8 +1903,10 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             self.record_death(panic_message(payload.as_ref()));
         }
         if completed > 0 && self.shared.scr.is_some() {
-            // Publish only the completed prefix: a mid-batch panic's
-            // unfinished packets made no writes to replicate.
+            // Publish the completed prefix. The mutation log may also
+            // carry writes from the packet that was in flight when a
+            // mid-batch panic hit; shipping them keeps peers converged
+            // with whatever this core's table actually holds.
             let pkts = std::mem::take(&mut self.scratch_pkts);
             let conn = std::mem::take(&mut self.scratch_conn);
             self.scr_publish(&pkts[..completed], &conn[..completed]);

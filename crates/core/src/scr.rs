@@ -19,18 +19,32 @@
 //! ## Replay ordering and convergence
 //!
 //! Updates carry a single global sequence number assigned at publish
-//! time, and every replica applies them under a per-flow *version
-//! guard*: an update is written only if its sequence number exceeds the
-//! flow's last-applied (or locally-published) version; stale updates
-//! are consumed and counted but not written. Removals leave the version
-//! behind as a tombstone, so a late `Put` cannot resurrect a deleted
-//! flow. Last-writer-wins by global sequence makes convergence
+//! time, and every replica runs them through a per-flow *version
+//! guard* holding `(last_seq, last_del_seq)`. The guard classifies
+//! each update ([`Admission`]):
+//!
+//! * **Fresh** — newer than anything the replica has seen for the
+//!   flow. A `Del` removes the entry (and records a tombstone seq so
+//!   older `Put`s cannot resurrect it); a `Put` is handed to the NF's
+//!   [`crate::api::NetworkFunction::merge_replica`] hook with
+//!   `newer = true` (default: store the incoming value — exact
+//!   last-writer-wins).
+//! * **Concurrent** — an older `Put` that is still newer than the last
+//!   removal. Plain LWW ignores it, but NFs whose per-flow state is a
+//!   read-modify-write (the firewall's per-direction FIN bits) merge
+//!   it commutatively instead, so concurrent writers on different
+//!   cores converge to the union rather than whichever value shipped
+//!   last.
+//! * **Superseded** — at or below the tombstone; consumed, counted,
+//!   never applied.
+//!
+//! With a commutative `merge_replica`, convergence is
 //! **order-independent**: however the per-core logs interleave or
-//! drain, every replica that has consumed the same update set holds the
-//! same table — the property the replay-determinism proptest in
+//! drain, every replica that has consumed the same update set holds
+//! the same table — the property the replay-determinism proptest in
 //! `crates/core/tests/` checks against the Sprayer ground truth.
 //!
-//! ## Accounting
+//! ## Accounting and backpressure
 //!
 //! The log is bounded like every other queue in the model. Three
 //! counters form SCR's own conservation identity, folded into the
@@ -40,10 +54,28 @@
 //! scr_published == scr_applied + scr_log_drops        (at drain)
 //! ```
 //!
-//! ([`crate::stats::MiddleboxStats::scr_replay_gap`]). Overflowing a
-//! live peer's log and truncating a dead core's log both count as
-//! `scr_log_drops` — nothing vanishes silently, even under overload or
+//! ([`crate::stats::MiddleboxStats::scr_replay_gap`]). A full *live*
+//! peer log is handled by backpressure, not loss: the simulator drains
+//! the blocked peer's log in its stead before publishing
+//! (`MiddleboxSim::scr_publish`), and a threaded publisher replays its
+//! *own* inbox and retries ([`SharedScrPlane::try_send`]) — work-
+//! conserving, and deadlock-free because two mutually-blocked
+//! publishers each make room for the other. `scr_log_drops` therefore
+//! counts only updates that can never be replayed: a dead core's
+//! truncated log, and copies abandoned because the peer died
+//! mid-retry. Nothing vanishes silently, even under overload or
 //! mid-run core crashes.
+//!
+//! ## Guard growth
+//!
+//! Version-guard entries deliberately outlive their flows: the `Del`
+//! tombstone is what blocks late stale `Put`s from resurrecting
+//! removed state, and there is no cheap global criterion for when
+//! every core has passed a tombstone. Guard memory therefore scales
+//! with *cumulative* flow count, unlike the capacity-bounded flow
+//! tables — an accepted modeling cost, documented in DESIGN.md
+//! (§SCR), that a production system would bound with epoch-based
+//! reclamation.
 
 use crate::flowtable::FlowTable;
 use crossbeam::queue::ArrayQueue;
@@ -99,18 +131,47 @@ pub struct PublishOutcome {
     pub occupancy_hwm: u64,
 }
 
+/// Version-guard classification of one replayed update (see the module
+/// docs): what the consumer should do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Newer than anything seen for the flow: a `Del` removes, a `Put`
+    /// goes to `merge_replica` with `newer = true`.
+    Fresh,
+    /// An older `Put` that still post-dates the last removal: goes to
+    /// `merge_replica` with `newer = false` (LWW keeps the existing
+    /// value; commutative NFs fold it in).
+    Concurrent,
+    /// At or below the flow's tombstone: consumed and counted, never
+    /// applied.
+    Superseded,
+}
+
+/// What [`crate::api::NetworkFunction::merge_replica`] tells the replay
+/// path to do with an incoming `Put` for a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaMerge<S> {
+    /// Write this value into the replica.
+    Store(S),
+    /// Leave the replica's current entry (or absence) untouched.
+    Keep,
+    /// Remove the flow — the merge itself completed a teardown (e.g.
+    /// the union of per-direction FIN bits). The replay path records a
+    /// tombstone so the updates that fed the merge cannot resurrect
+    /// the entry.
+    Remove,
+}
+
 /// One update consumed from a core's inbound log by
 /// [`ScrPlane::take`].
 #[derive(Debug)]
 pub struct TakenUpdate<S> {
-    /// The mutation (apply into the replica iff `fresh`).
+    /// The mutation.
     pub op: UpdateOp<S>,
     /// Core that wrote it.
     pub origin: usize,
-    /// False if the consumer's replica already holds a newer version of
-    /// this flow (the update is superseded; count it applied, write
-    /// nothing).
-    pub fresh: bool,
+    /// The version guard's verdict: how (whether) to apply `op`.
+    pub admission: Admission,
     /// Replica lag at consumption: how many sequence numbers behind the
     /// global head this update was when replayed. Feeds the
     /// `scr_lag_hist` buckets.
@@ -126,10 +187,10 @@ pub struct TakenUpdate<S> {
 #[derive(Debug)]
 pub struct ScrPlane<S> {
     inboxes: Vec<VecDeque<StateUpdate<S>>>,
-    /// Per-core flow→last-seen-version guard. An entry outlives its
-    /// flow (the `Del` tombstone), so late stale `Put`s cannot
-    /// resurrect removed state.
-    versions: Vec<FlowTable<u64>>,
+    /// Per-core version guards (one [`ScrReplica`] each). An entry
+    /// outlives its flow (the `Del` tombstone), so late stale `Put`s
+    /// cannot resurrect removed state.
+    versions: Vec<ScrReplica>,
     capacity: usize,
     /// Next sequence number to assign; `next_seq - 1` is the global
     /// head.
@@ -144,7 +205,7 @@ impl<S: Clone> ScrPlane<S> {
         assert!(num_cores >= 1 && capacity >= 1);
         ScrPlane {
             inboxes: (0..num_cores).map(|_| VecDeque::new()).collect(),
-            versions: (0..num_cores).map(|_| FlowTable::new()).collect(),
+            versions: (0..num_cores).map(|_| ScrReplica::new()).collect(),
             capacity,
             next_seq: 1,
         }
@@ -158,6 +219,13 @@ impl<S: Clone> ScrPlane<S> {
     /// Updates pending in `core`'s inbound log.
     pub fn pending(&self, core: usize) -> usize {
         self.inboxes[core].len()
+    }
+
+    /// True when `core`'s inbound log has no room for another update —
+    /// the simulator's backpressure trigger: the publisher drains the
+    /// blocked peer's log in its stead instead of dropping.
+    pub fn is_full(&self, core: usize) -> bool {
+        self.inboxes[core].len() >= self.capacity
     }
 
     /// Total updates pending across all logs.
@@ -174,7 +242,8 @@ impl<S: Clone> ScrPlane<S> {
     pub fn publish(&mut self, origin: usize, op: UpdateOp<S>, failed: &[bool]) -> PublishOutcome {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.versions[origin].insert(*op.key(), seq);
+        let is_del = matches!(op, UpdateOp::Del(_));
+        self.versions[origin].note_local(*op.key(), seq, is_del);
         let mut out = PublishOutcome::default();
         for peer in 0..self.inboxes.len() {
             if peer == origin || failed.get(peer).copied().unwrap_or(false) {
@@ -197,23 +266,28 @@ impl<S: Clone> ScrPlane<S> {
 
     /// Consume the next pending update from `core`'s log, running the
     /// version guard. The caller counts it applied either way and
-    /// writes the op into the replica only when `fresh`.
+    /// interprets `admission` (apply / merge / skip) against the
+    /// replica.
     pub fn take(&mut self, core: usize) -> Option<TakenUpdate<S>> {
         let update = self.inboxes[core].pop_front()?;
         let key = *update.op.key();
-        let fresh = match self.versions[core].get(&key) {
-            Some(&seen) if seen >= update.seq => false,
-            _ => {
-                self.versions[core].insert(key, update.seq);
-                true
-            }
-        };
+        let is_del = matches!(update.op, UpdateOp::Del(_));
+        let admission = self.versions[core].admit(key, update.seq, is_del);
         Some(TakenUpdate {
             lag: self.next_seq - update.seq,
             origin: update.origin,
-            fresh,
+            admission,
             op: update.op,
         })
+    }
+
+    /// Record a merge-derived removal in `core`'s version guard (the
+    /// replay path calls this when [`ReplicaMerge::Remove`] completes a
+    /// teardown): the flow's tombstone advances to its last-seen seq,
+    /// so the very updates whose merge removed the entry cannot
+    /// re-admit it on another core's log.
+    pub fn note_defunct(&mut self, core: usize, key: &FlowKey) {
+        self.versions[core].note_defunct(key);
     }
 
     /// Truncate a dead core's inbound log (the crash-recovery hook):
@@ -237,7 +311,7 @@ impl<S: Clone> ScrPlane<S> {
         assert!(num_cores >= 1);
         ScrPlane {
             inboxes: (0..num_cores).map(|_| VecDeque::new()).collect(),
-            versions: (0..num_cores).map(|_| FlowTable::new()).collect(),
+            versions: (0..num_cores).map(|_| ScrReplica::new()).collect(),
             capacity: self.capacity,
             next_seq: self.next_seq,
         }
@@ -310,38 +384,64 @@ impl<S> SharedScrPlane<S> {
         self.inner.inboxes.len()
     }
 
-    /// Multicast one update from `origin` to every peer in `alive`
-    /// (single-attempt; a full peer log counts a drop — the caller
-    /// decides whether to drain-and-retry first, see the threaded
-    /// runtime's work-conserving backpressure). Returns the assigned
+    /// Assign the next global sequence number (the first half of a
+    /// multicast — the caller stamps it on every peer copy and records
+    /// it in its own version guard before any [`Self::try_send`]).
+    pub fn assign_seq(&self) -> u64 {
+        self.inner.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueue one copy onto `peer`'s log. `Ok` counts it published;
+    /// a full log hands the update back **uncounted** so the caller
+    /// can apply backpressure — the threaded worker replays its *own*
+    /// inbox (making room for a mutually-blocked peer publishing to
+    /// it) and retries until the push lands or the peer dies. Only a
+    /// copy the caller abandons ([`Self::count_drop`]) or a truncated
+    /// dead log ever shows up in `dropped`.
+    pub fn try_send(&self, peer: usize, update: StateUpdate<S>) -> Result<(), StateUpdate<S>> {
+        let inbox = &self.inner.inboxes[peer];
+        match inbox.push(update) {
+            Ok(()) => {
+                self.inner.published.fetch_add(1, Ordering::Relaxed);
+                let depth = inbox.len() as u64;
+                self.inner.occupancy_hwm.fetch_max(depth, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(update) => Err(update),
+        }
+    }
+
+    /// Account one abandoned copy (the peer died mid-retry): it counts
+    /// as published *and* dropped, keeping
+    /// `published == applied + dropped + pending` closed.
+    pub fn count_drop(&self) {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Single-attempt multicast from `origin` to every peer in `alive`:
+    /// [`Self::assign_seq`] plus one [`Self::try_send`] per live peer,
+    /// a full log counting straight as a drop. This is the convenience
+    /// path for tests and models; the threaded runtime's
+    /// `Worker::scr_publish` uses the primitives directly so it can
+    /// drain-and-retry instead of dropping. Returns the assigned
     /// global sequence number for the origin's own version guard.
     pub fn publish(&self, origin: usize, op: &UpdateOp<S>, alive: &[bool]) -> u64
     where
         S: Clone,
     {
-        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
-        for (peer, inbox) in self.inner.inboxes.iter().enumerate() {
+        let seq = self.assign_seq();
+        for peer in 0..self.inner.inboxes.len() {
             if peer == origin || !alive.get(peer).copied().unwrap_or(false) {
                 continue;
             }
-            // Every attempted copy counts as published — a full-log
-            // drop is still a published update that was lost, which is
-            // what keeps `published == applied + dropped + pending` (and
-            // the stats-level replay-gap identity) closed under
-            // overload.
-            self.inner.published.fetch_add(1, Ordering::Relaxed);
-            match inbox.push(StateUpdate {
+            let update = StateUpdate {
                 seq,
                 origin,
                 op: op.clone(),
-            }) {
-                Ok(()) => {
-                    let depth = inbox.len() as u64;
-                    self.inner.occupancy_hwm.fetch_max(depth, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    self.inner.dropped.fetch_add(1, Ordering::Relaxed);
-                }
+            };
+            if self.try_send(peer, update).is_err() {
+                self.count_drop();
             }
         }
         seq
@@ -406,12 +506,17 @@ impl<S> SharedScrPlane<S> {
     }
 }
 
-/// One worker's private half of the threaded replay plane: the per-flow
-/// version guard for its replica. Owned by the worker thread; never
-/// shared.
+/// One core's per-flow version guard: `(last_seq, last_del_seq)` per
+/// flow, classifying replayed updates into [`Admission`] classes. In
+/// the threaded runtime each worker owns one privately; the simulator's
+/// [`ScrPlane`] keeps one per core.
+///
+/// Entries outlive their flows (the `last_del_seq` tombstone is what
+/// blocks resurrection), so the guard grows with cumulative flow count
+/// — see the module docs ("Guard growth") for why that is accepted.
 #[derive(Debug, Default)]
 pub struct ScrReplica {
-    versions: FlowTable<u64>,
+    versions: FlowTable<(u64, u64)>,
 }
 
 impl ScrReplica {
@@ -421,19 +526,38 @@ impl ScrReplica {
     }
 
     /// Record a version this core just wrote locally (its own publish).
-    pub fn note_local(&mut self, key: FlowKey, seq: u64) {
-        self.versions.insert(key, seq);
+    pub fn note_local(&mut self, key: FlowKey, seq: u64, is_del: bool) {
+        let last_del = if is_del {
+            seq
+        } else {
+            self.versions.get(&key).map_or(0, |v| v.1)
+        };
+        self.versions.insert(key, (seq, last_del));
     }
 
-    /// Version-guard a remote update: true if it must be applied to the
-    /// replica (and records it), false if superseded.
-    pub fn admit(&mut self, key: FlowKey, seq: u64) -> bool {
-        match self.versions.get(&key) {
-            Some(&seen) if seen >= seq => false,
-            _ => {
-                self.versions.insert(key, seq);
-                true
-            }
+    /// Version-guard a remote update (see [`Admission`]): `Fresh`
+    /// advances the guard; `Concurrent` is an older `Put` still newer
+    /// than the flow's last removal (merge material); `Superseded` is
+    /// tombstoned history.
+    pub fn admit(&mut self, key: FlowKey, seq: u64, is_del: bool) -> Admission {
+        let (last_seq, last_del) = self.versions.get(&key).copied().unwrap_or((0, 0));
+        if seq > last_seq {
+            let del = if is_del { seq } else { last_del };
+            self.versions.insert(key, (seq, del));
+            Admission::Fresh
+        } else if !is_del && seq > last_del {
+            Admission::Concurrent
+        } else {
+            Admission::Superseded
+        }
+    }
+
+    /// Advance the flow's tombstone to its last-seen seq — called when
+    /// a [`ReplicaMerge::Remove`] completes a teardown, so the updates
+    /// that fed the merge read as `Superseded` from then on.
+    pub fn note_defunct(&mut self, key: &FlowKey) {
+        if let Some(v) = self.versions.get_mut(key) {
+            v.1 = v.0;
         }
     }
 }
@@ -486,34 +610,39 @@ mod tests {
         a.publish(1, UpdateOp::Put(k, 20), &[false; 3]); // seq 2
         let t1 = a.take(2).unwrap();
         let t2 = a.take(2).unwrap();
-        assert!(t1.fresh && t1.lag >= 1);
-        assert!(t2.fresh, "newer seq supersedes");
+        assert!(t1.admission == Admission::Fresh && t1.lag >= 1);
+        assert_eq!(t2.admission, Admission::Fresh, "newer seq supersedes");
         assert_eq!(t2.op, UpdateOp::Put(k, 20));
 
-        // Reversed arrival (origin 1 first): the stale seq-1 update is
-        // consumed but not admitted.
+        // Reversed arrival (origin 1 first): both are fresh in the
+        // FIFO per-core log, and the last global writer wins.
         let mut b: ScrPlane<u32> = ScrPlane::new(3, 8);
         b.publish(1, UpdateOp::Put(k, 20), &[false; 3]); // seq 1
         b.publish(0, UpdateOp::Put(k, 10), &[false; 3]); // seq 2
         let u1 = b.take(2).unwrap();
         let u2 = b.take(2).unwrap();
-        assert!(u1.fresh && u2.fresh, "FIFO per-core log is in seq order");
+        assert!(
+            u1.admission == Admission::Fresh && u2.admission == Admission::Fresh,
+            "FIFO per-core log is in seq order"
+        );
         assert_eq!(u2.op, UpdateOp::Put(k, 10), "last global writer wins");
     }
 
     #[test]
-    fn origin_version_blocks_remote_downgrade() {
+    fn origin_version_classifies_remote_downgrade_as_concurrent() {
         // Core 0 publishes seq 1; core 1 publishes seq 2 for the same
         // flow. When core 1's own log delivers core 0's older update,
-        // the guard must reject it: core 1's local write is newer.
+        // the guard classifies it Concurrent: LWW NFs keep their newer
+        // local write, commutative NFs fold the older one in.
         let k = key(3);
         let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
         plane.publish(0, UpdateOp::Put(k, 1), &[false; 2]);
         plane.publish(1, UpdateOp::Put(k, 2), &[false; 2]);
         let taken = plane.take(1).unwrap();
-        assert!(
-            !taken.fresh,
-            "core 1 already holds seq 2 locally; seq 1 must not downgrade it"
+        assert_eq!(
+            taken.admission,
+            Admission::Concurrent,
+            "core 1 already holds seq 2 locally; seq 1 must not overwrite it"
         );
     }
 
@@ -523,17 +652,54 @@ mod tests {
         let mut plane: ScrPlane<u32> = ScrPlane::new(2, 8);
         plane.publish(0, UpdateOp::Put(k, 5), &[false; 2]); // seq 1
         plane.publish(0, UpdateOp::Del(k), &[false; 2]); // seq 2
-                                                         // Core 1 replays only the Del first (drop the Put by taking it
-                                                         // as stale after the Del's version is recorded).
         let put = plane.take(1).unwrap();
         let del = plane.take(1).unwrap();
-        assert!(put.fresh && del.fresh);
-        // A re-delivered stale Put (lower seq than the tombstone) must
-        // not be admitted.
+        assert_eq!(put.admission, Admission::Fresh);
+        assert_eq!(del.admission, Admission::Fresh);
         assert!(matches!(del.op, UpdateOp::Del(_)));
+        // A re-delivered stale Put (lower seq than the tombstone) must
+        // read as Superseded, not Concurrent: the removal post-dates it.
         let mut replica = ScrReplica::new();
-        assert!(replica.admit(k, 2));
-        assert!(!replica.admit(k, 1), "tombstoned version blocks seq 1");
+        assert_eq!(replica.admit(k, 2, true), Admission::Fresh);
+        assert_eq!(
+            replica.admit(k, 1, false),
+            Admission::Superseded,
+            "tombstoned version blocks seq 1"
+        );
+    }
+
+    #[test]
+    fn concurrent_put_is_merge_material_until_defunct() {
+        let k = key(7);
+        let mut replica = ScrReplica::new();
+        // Two concurrent writers: seq 4 lands first, seq 3 after.
+        assert_eq!(replica.admit(k, 4, false), Admission::Fresh);
+        assert_eq!(
+            replica.admit(k, 3, false),
+            Admission::Concurrent,
+            "older Put newer than any removal merges, not drops"
+        );
+        // A merge-derived removal advances the tombstone to the last
+        // seen seq: both feeding updates now read Superseded.
+        replica.note_defunct(&k);
+        assert_eq!(replica.admit(k, 3, false), Admission::Superseded);
+        assert_eq!(replica.admit(k, 4, false), Admission::Superseded);
+        // A genuinely newer write may still recreate the flow.
+        assert_eq!(replica.admit(k, 5, false), Admission::Fresh);
+    }
+
+    #[test]
+    fn note_local_del_tombstones_for_later_admits() {
+        let k = key(8);
+        let mut replica = ScrReplica::new();
+        replica.note_local(k, 2, false);
+        replica.note_local(k, 5, true); // local teardown
+        assert_eq!(
+            replica.admit(k, 4, false),
+            Admission::Superseded,
+            "straggler Put below the local Del must not resurrect"
+        );
+        assert_eq!(replica.admit(k, 6, false), Admission::Fresh);
     }
 
     #[test]
@@ -574,7 +740,8 @@ mod tests {
         let mut replica = ScrReplica::new();
         let mut applied_fresh = 0;
         while let Some(u) = plane.pop(1) {
-            if replica.admit(*u.op.key(), u.seq) {
+            let is_del = matches!(u.op, UpdateOp::Del(_));
+            if replica.admit(*u.op.key(), u.seq, is_del) == Admission::Fresh {
                 applied_fresh += 1;
             }
         }
@@ -605,6 +772,45 @@ mod tests {
     }
 
     #[test]
+    fn try_send_hands_back_uncounted_on_full_log() {
+        let plane: SharedScrPlane<u32> = SharedScrPlane::new(2, 1);
+        let seq = plane.assign_seq();
+        let update = StateUpdate {
+            seq,
+            origin: 0,
+            op: UpdateOp::Put(key(1), 1),
+        };
+        assert!(plane.try_send(1, update).is_ok());
+        let seq2 = plane.assign_seq();
+        let back = plane
+            .try_send(
+                1,
+                StateUpdate {
+                    seq: seq2,
+                    origin: 0,
+                    op: UpdateOp::Put(key(2), 2),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(back.seq, seq2, "full log hands the update back");
+        assert_eq!(plane.published(), 1, "a refused push is not published");
+        assert_eq!(plane.dropped(), 0);
+        // Backpressure: drain, then the retry lands.
+        assert!(plane.pop(1).is_some());
+        assert!(plane.try_send(1, back).is_ok());
+        assert_eq!(plane.published(), 2);
+        // Abandoning a copy (peer died mid-retry) counts both sides.
+        plane.count_drop();
+        assert_eq!(plane.published(), 3);
+        assert_eq!(plane.dropped(), 1);
+        let pending = plane.pending(1) as u64;
+        assert_eq!(
+            plane.published(),
+            plane.applied() + plane.dropped() + pending
+        );
+    }
+
+    #[test]
     fn shared_plane_concurrent_publish_and_replay_conserve_updates() {
         let plane: SharedScrPlane<u64> = SharedScrPlane::new(2, 1024);
         let alive = [true; 2];
@@ -623,7 +829,8 @@ mod tests {
                     match consumer.pop(1) {
                         Some(u) => {
                             idle = 0;
-                            replica.admit(*u.op.key(), u.seq);
+                            let is_del = matches!(u.op, UpdateOp::Del(_));
+                            replica.admit(*u.op.key(), u.seq, is_del);
                         }
                         None => {
                             idle += 1;

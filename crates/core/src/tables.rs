@@ -34,23 +34,48 @@ use std::sync::Arc;
 // Single-threaded backend (simulator).
 // ---------------------------------------------------------------------
 
+/// Record a key in a per-batch mutation log, deduping (batches are a
+/// few dozen packets; a linear scan beats hashing at that size).
+fn record_key(log: &mut Vec<FlowKey>, key: FlowKey) {
+    if !log.contains(&key) {
+        log.push(key);
+    }
+}
+
 /// All cores' flow tables, owned by the single-threaded simulator.
 #[derive(Debug)]
 pub struct LocalTables<S> {
     tables: Vec<FlowTable<S>>,
     capacity: usize,
     map: CoreMap,
+    /// Per-core per-batch mutation logs (SCR only; see
+    /// [`crate::api::FlowStateApi::written_keys`]): keys successfully
+    /// written / removed since the runtime last called
+    /// [`LocalTables::clear_batch_log`]. Replay (`apply_replica`) and
+    /// epoch transitions never record — only the NF's own handler
+    /// writes ship.
+    written: Vec<Vec<FlowKey>>,
+    removed: Vec<Vec<FlowKey>>,
 }
 
 impl<S: Clone> LocalTables<S> {
     /// Tables for every core under the given mapping.
     pub fn new(map: CoreMap, capacity: usize) -> Self {
-        let tables = (0..map.num_cores()).map(|_| FlowTable::new()).collect();
+        let n = map.num_cores();
         LocalTables {
-            tables,
+            tables: (0..n).map(|_| FlowTable::new()).collect(),
             capacity,
             map,
+            written: vec![Vec::new(); n],
+            removed: vec![Vec::new(); n],
         }
+    }
+
+    /// Reset `core`'s per-batch mutation log — called by the runtime
+    /// right after the batch's `replicate_updates` hook consumed it.
+    pub fn clear_batch_log(&mut self, core: usize) {
+        self.written[core].clear();
+        self.removed[core].clear();
     }
 
     /// A handler context bound to `core`.
@@ -124,6 +149,7 @@ impl<S: Clone> LocalTables<S> {
             }
             stats.retained_flows = snapshot.len() as u64;
             self.tables = (0..new_map.num_cores()).map(|_| snapshot.clone()).collect();
+            self.reset_batch_logs(new_map.num_cores());
             self.map = new_map;
             return stats;
         }
@@ -143,8 +169,16 @@ impl<S: Clone> LocalTables<S> {
             }
         }
         self.tables = new_tables;
+        self.reset_batch_logs(new_map.num_cores());
         self.map = new_map;
         stats
+    }
+
+    /// Fresh (empty) per-batch logs for an epoch transition — batches
+    /// never span a barrier, so nothing can be pending in them.
+    fn reset_batch_logs(&mut self, num_cores: usize) {
+        self.written = vec![Vec::new(); num_cores];
+        self.removed = vec![Vec::new(); num_cores];
     }
 }
 
@@ -173,6 +207,7 @@ impl<S: Clone> LocalTables<S> {
             self.tables[failed] = FlowTable::new();
             let representative = new_map.active_core_ids()[0];
             stats.retained_flows = self.tables[representative].len() as u64;
+            self.reset_batch_logs(new_map.num_cores());
             self.map = new_map;
             return stats;
         }
@@ -196,6 +231,7 @@ impl<S: Clone> LocalTables<S> {
             }
         }
         self.tables = new_tables;
+        self.reset_batch_logs(new_map.num_cores());
         self.map = new_map;
         stats
     }
@@ -249,7 +285,7 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
 
     fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
         let table = &mut self.tables.tables[self.core];
-        if table.contains_key(&key) {
+        let outcome = if table.contains_key(&key) {
             table.insert(key, state);
             InsertOutcome::Replaced
         } else if table.len() >= self.tables.capacity {
@@ -257,17 +293,28 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
         } else {
             table.insert(key, state);
             InsertOutcome::Inserted
+        };
+        if outcome != InsertOutcome::TableFull && self.tables.map.mode() == DispatchMode::Scr {
+            record_key(&mut self.tables.written[self.core], key);
         }
+        outcome
     }
 
     fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
-        self.tables.tables[self.core].remove(key)
+        let removed = self.tables.tables[self.core].remove(key);
+        if removed.is_some() && self.tables.map.mode() == DispatchMode::Scr {
+            record_key(&mut self.tables.removed[self.core], *key);
+        }
+        removed
     }
 
     fn modify_local_flow(&mut self, key: &FlowKey, f: &mut dyn FnMut(&mut S)) -> bool {
         match self.tables.tables[self.core].get_mut(key) {
             Some(state) => {
                 f(state);
+                if self.tables.map.mode() == DispatchMode::Scr {
+                    record_key(&mut self.tables.written[self.core], *key);
+                }
                 true
             }
             None => false,
@@ -290,6 +337,14 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
 
     fn local_len(&self) -> usize {
         self.tables.tables[self.core].len()
+    }
+
+    fn written_keys(&self) -> &[FlowKey] {
+        &self.tables.written[self.core]
+    }
+
+    fn removed_keys(&self) -> &[FlowKey] {
+        &self.tables.removed[self.core]
     }
 }
 
@@ -339,7 +394,15 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         SharedCtx {
             tables: self.clone(),
             core,
+            written: Vec::new(),
+            removed: Vec::new(),
         }
+    }
+
+    /// Direct read of one core's table (the SCR replay path's merge
+    /// input; clones the value like every other read).
+    pub fn peek(&self, core: usize, key: &FlowKey) -> Option<S> {
+        self.inner.tables[core].read().get(key).cloned()
     }
 
     /// Entries across all tables.
@@ -449,6 +512,20 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
 pub struct SharedCtx<S> {
     tables: SharedTables<S>,
     core: usize,
+    /// Per-batch mutation logs (SCR only) — each worker owns its ctx
+    /// for the whole run, so the logs live here rather than in the
+    /// shared tables. See [`LocalTables`]'s equivalents.
+    written: Vec<FlowKey>,
+    removed: Vec<FlowKey>,
+}
+
+impl<S> SharedCtx<S> {
+    /// Reset the per-batch mutation log — called by the worker right
+    /// after `replicate_updates` consumed it.
+    pub fn clear_batch_log(&mut self) {
+        self.written.clear();
+        self.removed.clear();
+    }
 }
 
 impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
@@ -471,7 +548,7 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
 
     fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
         let mut table = self.tables.inner.tables[self.core].write();
-        if table.contains_key(&key) {
+        let outcome = if table.contains_key(&key) {
             table.insert(key, state);
             InsertOutcome::Replaced
         } else if table.len() >= self.tables.inner.capacity {
@@ -479,21 +556,35 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
         } else {
             table.insert(key, state);
             InsertOutcome::Inserted
+        };
+        drop(table);
+        if outcome != InsertOutcome::TableFull && self.tables.inner.map.mode() == DispatchMode::Scr
+        {
+            record_key(&mut self.written, key);
         }
+        outcome
     }
 
     fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
-        self.tables.inner.tables[self.core].write().remove(key)
+        let removed = self.tables.inner.tables[self.core].write().remove(key);
+        if removed.is_some() && self.tables.inner.map.mode() == DispatchMode::Scr {
+            record_key(&mut self.removed, *key);
+        }
+        removed
     }
 
     fn modify_local_flow(&mut self, key: &FlowKey, f: &mut dyn FnMut(&mut S)) -> bool {
-        match self.tables.inner.tables[self.core].write().get_mut(key) {
+        let hit = match self.tables.inner.tables[self.core].write().get_mut(key) {
             Some(state) => {
                 f(state);
                 true
             }
             None => false,
+        };
+        if hit && self.tables.inner.map.mode() == DispatchMode::Scr {
+            record_key(&mut self.written, *key);
         }
+        hit
     }
 
     fn get_local_flow(&self, key: &FlowKey) -> Option<S> {
@@ -513,6 +604,14 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
 
     fn local_len(&self) -> usize {
         self.tables.inner.tables[self.core].read().len()
+    }
+
+    fn written_keys(&self) -> &[FlowKey] {
+        &self.written
+    }
+
+    fn removed_keys(&self) -> &[FlowKey] {
+        &self.removed
     }
 }
 
@@ -874,6 +973,65 @@ mod tests {
         for core in 0..2 {
             assert_eq!(next.ctx(core).get_flow(&k), Some(9));
         }
+    }
+
+    #[test]
+    fn scr_batch_log_records_only_real_mutations() {
+        let map = CoreMap::new(DispatchMode::Scr, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 2);
+        {
+            let mut ctx = tables.ctx(0);
+            assert_eq!(ctx.insert_local_flow(key(1), 1), InsertOutcome::Inserted);
+            assert_eq!(ctx.insert_local_flow(key(2), 2), InsertOutcome::Inserted);
+            assert_eq!(ctx.insert_local_flow(key(3), 3), InsertOutcome::TableFull);
+            assert_eq!(ctx.get_flow(&key(9)), None, "read miss is not a write");
+            assert!(ctx.modify_local_flow(&key(1), &mut |v| *v += 1));
+            assert!(!ctx.modify_local_flow(&key(9), &mut |_| {}));
+            assert_eq!(ctx.remove_local_flow(&key(2)), Some(2));
+            assert_eq!(ctx.remove_local_flow(&key(9)), None);
+            // Logged: the two live inserts (deduped with the modify)
+            // and the one real removal. The TableFull insert, the read
+            // miss, and the missed modify/remove never appear.
+            assert_eq!(ctx.written_keys(), &[key(1), key(2)]);
+            assert_eq!(ctx.removed_keys(), &[key(2)]);
+        }
+        // Replay writes are not local mutations and must not ship back.
+        tables.apply_replica(0, &crate::scr::UpdateOp::Put(key(7), 7));
+        assert_eq!(tables.ctx(0).written_keys(), &[key(1), key(2)]);
+        tables.clear_batch_log(0);
+        let ctx = tables.ctx(0);
+        assert!(ctx.written_keys().is_empty());
+        assert!(ctx.removed_keys().is_empty());
+    }
+
+    #[test]
+    fn non_scr_modes_keep_batch_logs_empty() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 8);
+        let mut ctx = tables.ctx(0);
+        ctx.insert_local_flow(key(1), 1);
+        ctx.modify_local_flow(&key(1), &mut |v| *v += 1);
+        ctx.remove_local_flow(&key(1));
+        assert!(ctx.written_keys().is_empty());
+        assert!(ctx.removed_keys().is_empty());
+    }
+
+    #[test]
+    fn shared_scr_batch_log_matches_local() {
+        let map = CoreMap::new(DispatchMode::Scr, 2);
+        let shared: SharedTables<u32> = SharedTables::new(map, 8);
+        let mut ctx = shared.ctx(1);
+        ctx.insert_local_flow(key(1), 1);
+        ctx.modify_local_flow(&key(1), &mut |v| *v += 1);
+        ctx.insert_local_flow(key(2), 2);
+        ctx.remove_local_flow(&key(2));
+        assert_eq!(ctx.written_keys(), &[key(1), key(2)]);
+        assert_eq!(ctx.removed_keys(), &[key(2)]);
+        ctx.clear_batch_log();
+        assert!(ctx.written_keys().is_empty());
+        assert!(ctx.removed_keys().is_empty());
+        assert_eq!(shared.peek(1, &key(1)), Some(2));
+        assert_eq!(shared.peek(0, &key(1)), None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use sprayer::api::{FlowStateApi, InsertOutcome};
 use sprayer::config::DispatchMode;
 use sprayer::coremap::CoreMap;
 use sprayer::flowtable::FlowTable;
-use sprayer::scr::{ScrReplica, SharedScrPlane, UpdateOp};
+use sprayer::scr::{Admission, ScrReplica, SharedScrPlane, UpdateOp};
 use sprayer::tables::{LocalTables, SharedTables};
 use sprayer_net::{FiveTuple, FlowKey};
 
@@ -450,7 +450,10 @@ fn arb_scr_op() -> impl Strategy<Value = ScrOp> {
 }
 
 /// Replay `n` updates (all of them for `n == None`) from `core`'s inbox
-/// through its version guard into its full-replica table.
+/// through its version guard into its full-replica table. The model NF
+/// is plain LWW, so only `Fresh` admissions write (`Concurrent` keeps
+/// the newer existing value, matching the runtimes' default
+/// `merge_replica`).
 fn scr_drain(
     plane: &SharedScrPlane<u64>,
     replicas: &mut [ScrReplica],
@@ -464,7 +467,8 @@ fn scr_drain(
             break;
         };
         left -= 1;
-        if replicas[core].admit(*update.op.key(), update.seq) {
+        let is_del = matches!(update.op, UpdateOp::Del(_));
+        if replicas[core].admit(*update.op.key(), update.seq, is_del) == Admission::Fresh {
             tables.apply_replica(core, &update.op);
         }
     }
@@ -498,7 +502,7 @@ proptest! {
                     let op = UpdateOp::Put(key(k), v);
                     tables.apply_replica(core, &op);
                     let seq = plane.publish(core, &op, &alive);
-                    replicas[core].note_local(key(k), seq);
+                    replicas[core].note_local(key(k), seq, false);
                     reference.insert(key(k), v);
                 }
                 ScrOp::Del(c, k) => {
@@ -506,7 +510,7 @@ proptest! {
                     let op: UpdateOp<u64> = UpdateOp::Del(key(k));
                     tables.apply_replica(core, &op);
                     let seq = plane.publish(core, &op, &alive);
-                    replicas[core].note_local(key(k), seq);
+                    replicas[core].note_local(key(k), seq, true);
                     reference.remove(&key(k));
                 }
                 ScrOp::Drain(c, n) => {
@@ -565,14 +569,14 @@ proptest! {
                     let op = UpdateOp::Put(key(k), v);
                     tables.apply_replica(core, &op);
                     let seq = plane.publish(core, &op, &alive);
-                    replicas[core].note_local(key(k), seq);
+                    replicas[core].note_local(key(k), seq, false);
                 }
                 ScrOp::Del(c, k) => {
                     let core = usize::from(c) % SCR_CORES;
                     let op: UpdateOp<u64> = UpdateOp::Del(key(k));
                     tables.apply_replica(core, &op);
                     let seq = plane.publish(core, &op, &alive);
-                    replicas[core].note_local(key(k), seq);
+                    replicas[core].note_local(key(k), seq, true);
                 }
                 ScrOp::Drain(c, n) => {
                     let core = usize::from(c) % SCR_CORES;

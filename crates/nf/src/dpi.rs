@@ -17,8 +17,7 @@
 //! requires the per-packet state write.
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer::scr::UpdateOp;
-use sprayer_net::{FlowKey, Packet, TcpFlags};
+use sprayer_net::{Packet, TcpFlags};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -308,42 +307,12 @@ impl NetworkFunction for DpiNf {
         self.flush(&acc);
     }
 
-    fn replicate_updates(
-        &self,
-        pkts: &[Packet],
-        conn: &[bool],
-        ctx: &dyn FlowStateApi<DpiFlow>,
-        out: &mut Vec<UpdateOp<DpiFlow>>,
-    ) {
-        // DPI is the write-per-packet NF SCR exists for: the automaton
-        // cursors advance on every scanned payload. Scans only run (and
-        // thus write) on the flow's designated core, so regular-packet
-        // keys ship from there alone — and only when the cursor exists
-        // (an unknown flow is scanned statelessly and writes nothing).
-        // Connection keys always ship: SYN inserts, FIN/RST removes.
-        let core = ctx.core_id();
-        let mut seen: Vec<FlowKey> = Vec::new();
-        for (pkt, &is_conn) in pkts.iter().zip(conn) {
-            let Some(key) = pkt.tuple().map(|t| t.key()) else {
-                continue;
-            };
-            if seen.contains(&key) {
-                continue;
-            }
-            if is_conn {
-                seen.push(key);
-                match ctx.get_local_flow(&key) {
-                    Some(state) => out.push(UpdateOp::Put(key, state)),
-                    None => out.push(UpdateOp::Del(key)),
-                }
-            } else if ctx.designated_core(&key) == core {
-                if let Some(state) = ctx.get_local_flow(&key) {
-                    seen.push(key);
-                    out.push(UpdateOp::Put(key, state));
-                }
-            }
-        }
-    }
+    // `replicate_updates` stays at the tracked default. DPI is the
+    // write-per-packet NF SCR exists for: the automaton cursors advance
+    // on every scanned payload, and every cursor advance is a
+    // `modify_local_flow` the batch mutation log records — so scanned
+    // keys ship exactly from the cores that wrote them. An unknown flow
+    // is scanned statelessly (no table write) and ships nothing.
 }
 
 #[cfg(test)]
@@ -351,6 +320,7 @@ mod tests {
     use super::*;
     use sprayer::config::DispatchMode;
     use sprayer::coremap::CoreMap;
+    use sprayer::scr::UpdateOp;
     use sprayer::tables::LocalTables;
     use sprayer_net::{FiveTuple, PacketBuilder};
 
@@ -514,30 +484,32 @@ mod tests {
     }
 
     #[test]
-    fn replicate_ships_cursor_writes_from_designated_core_only() {
-        let (dpi, mut tables, map) = rss_harness();
+    fn replicate_ships_cursor_writes_only() {
+        // Under SCR every core scans against its local replica; the
+        // tracked default ships a key exactly when the scan advanced a
+        // cursor (a table write), never for stateless scans.
+        let dpi = DpiNf::new(&["attack"]);
+        let map = CoreMap::new(DispatchMode::Scr, 4);
+        let mut tables: LocalTables<DpiFlow> = LocalTables::new(map, 1024);
         let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
-        let core = map.designated_for_tuple(&t);
 
+        // Core 0 holds the flow (SYN inserted locally): the data scan
+        // advances the cursor, and the SYN's insert and the scan's
+        // modify dedupe to one Put.
         let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
-        dpi.connection_packets(&mut syn, &mut tables.ctx(core));
+        dpi.connection_packets(&mut syn, &mut tables.ctx(0));
         let mut data = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"..att");
-        dpi.regular_packets(&mut data, &mut tables.ctx(core));
-
-        // On the designated core the advanced cursor ships (deduped
-        // against the SYN's identical key).
-        let pkts = [syn, data];
+        dpi.regular_packets(&mut data, &mut tables.ctx(0));
         let mut ops = Vec::new();
-        dpi.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        dpi.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         assert!(matches!(&ops[..], [UpdateOp::Put(key, _)] if *key == t.key()));
 
-        // A non-designated core never scans, so it ships nothing for the
-        // same regular packet.
-        let other = (core + 1) % 4;
-        let data2 = PacketBuilder::new().tcp(t, 6, 0, TcpFlags::ACK, b"ack..");
-        let pkts = [data2];
+        // Core 1 has no replica of the flow yet: the same packet is
+        // scanned statelessly, writes nothing, and ships nothing.
+        let mut data2 = PacketBuilder::new().tcp(t, 6, 0, TcpFlags::ACK, b"ack..");
+        dpi.regular_packets(&mut data2, &mut tables.ctx(1));
         let mut ops = Vec::new();
-        dpi.replicate_updates(&pkts, &[false], &tables.ctx(other), &mut ops);
-        assert!(ops.is_empty());
+        dpi.replicate_updates(&[], &[], &tables.ctx(1), &mut ops);
+        assert!(ops.is_empty(), "stateless scan must not ship: {ops:?}");
     }
 }

@@ -7,7 +7,7 @@
 //! exactly the pattern that makes it Sprayer-friendly).
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer::scr::UpdateOp;
+use sprayer::scr::ReplicaMerge;
 use sprayer_net::{FiveTuple, FlowKey, Packet, Protocol, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -77,8 +77,25 @@ impl AclRule {
 pub struct ConnContext {
     /// The connection passed the ACL at SYN time.
     pub allowed: bool,
-    /// FINs observed (context removed at 2 or on RST).
+    /// FIN directions observed, as a bitmask: bit 0 set when the
+    /// canonical `lo` endpoint sent its FIN, bit 1 for `hi`. The
+    /// context is removed at `0b11` (both directions closed) or on
+    /// RST. A bitmask rather than a counter so replica merges are a
+    /// commutative union — two half-closes racing through different
+    /// cores under SCR cannot erase each other the way lost
+    /// increments under last-writer-wins would.
     pub fins: u8,
+}
+
+/// Which half of the connection sent this directed packet: bit 0 for
+/// the canonical `lo` endpoint, bit 1 for `hi` (shared with the
+/// monitor, whose FIN bookkeeping has the same merge requirement).
+pub(crate) fn fin_direction_bit(t: &FiveTuple, key: &FlowKey) -> u8 {
+    if (t.src_addr, t.src_port) == key.lo {
+        0b01
+    } else {
+        0b10
+    }
 }
 
 /// The firewall NF.
@@ -170,16 +187,17 @@ impl NetworkFunction for FirewallNf {
             return Verdict::Drop;
         }
         if flags.contains(TcpFlags::FIN) {
+            let bit = fin_direction_bit(&tuple, &key);
             let mut fins = 0;
             let known = ctx.modify_local_flow(&key, &mut |c| {
-                c.fins += 1;
+                c.fins |= bit;
                 fins = c.fins;
             });
             if !known {
                 self.stray_drops.fetch_add(1, Ordering::Relaxed);
                 return Verdict::Drop;
             }
-            if fins >= 2 {
+            if fins == 0b11 {
                 ctx.remove_local_flow(&key);
             }
             return Verdict::Forward;
@@ -249,34 +267,29 @@ impl NetworkFunction for FirewallNf {
         }
     }
 
-    fn replicate_updates(
+    fn merge_replica(
         &self,
-        pkts: &[Packet],
-        conn: &[bool],
-        ctx: &dyn FlowStateApi<ConnContext>,
-        out: &mut Vec<UpdateOp<ConnContext>>,
-    ) {
-        // The connection context is written at flow start/end only
-        // (Table 1); `admit_data` is a pure lookup. A denied SYN writes
-        // nothing, and `get_local_flow` returning `None` for it ships a
-        // `Del` — harmless (peers have no entry either) and rare enough
-        // not to filter.
-        let mut seen: Vec<FlowKey> = Vec::new();
-        for (pkt, &is_conn) in pkts.iter().zip(conn) {
-            if !is_conn {
-                continue;
-            }
-            let Some(key) = pkt.tuple().map(|t| t.key()) else {
-                continue;
-            };
-            if seen.contains(&key) {
-                continue;
-            }
-            seen.push(key);
-            match ctx.get_local_flow(&key) {
-                Some(state) => out.push(UpdateOp::Put(key, state)),
-                None => out.push(UpdateOp::Del(key)),
-            }
+        _key: &FlowKey,
+        existing: Option<&ConnContext>,
+        incoming: &ConnContext,
+        _newer: bool,
+    ) -> ReplicaMerge<ConnContext> {
+        // FIN bits are a monotone set: union them regardless of which
+        // update is newer, so half-closes racing through different
+        // cores converge instead of losing one direction to
+        // last-writer-wins. `allowed` is written once at SYN time and
+        // never changes, so the incoming copy is authoritative.
+        let fins = existing.map_or(0, |c| c.fins) | incoming.fins;
+        if fins == 0b11 {
+            // Both directions closed: the origin of whichever update
+            // completed the pair removed the context locally; finish
+            // the teardown here too.
+            ReplicaMerge::Remove
+        } else {
+            ReplicaMerge::Store(ConnContext {
+                allowed: incoming.allowed,
+                fins,
+            })
         }
     }
 
@@ -287,7 +300,7 @@ impl NetworkFunction for FirewallNf {
         // which real firewalls guarantee against. Only a context that is
         // mid-teardown is worth flagging; it migrates too (the remaining
         // FIN may arrive after the rescale).
-        debug_assert!(state.fins <= 2);
+        debug_assert!(state.fins <= 0b11);
     }
 
     fn adopt_flow(&self, _key: &sprayer_net::FlowKey, _state: &mut ConnContext, _new_core: usize) {
@@ -300,6 +313,7 @@ mod tests {
     use super::*;
     use sprayer::config::DispatchMode;
     use sprayer::coremap::CoreMap;
+    use sprayer::scr::UpdateOp;
     use sprayer::tables::LocalTables;
     use sprayer_net::PacketBuilder;
 
@@ -511,31 +525,99 @@ mod tests {
     }
 
     #[test]
-    fn replicate_ships_conn_writes_and_skips_data_lookups() {
+    fn replicate_ships_tracked_writes_and_skips_data_lookups() {
+        // Under SCR the batch mutation log drives the default
+        // `replicate_updates`: only keys the batch actually wrote or
+        // removed ship — reads (data lookups, denied SYNs, stray
+        // drops) must not, or a missing local entry would multicast a
+        // `Del` that tombstones the flow on every replica.
+        let acl = vec![AclRule::allow_dst_port(443)];
+        let fw = FirewallNf::new(acl);
+        let map = CoreMap::new(DispatchMode::Scr, 4);
+        let mut tables: LocalTables<ConnContext> = LocalTables::new(map, 1024);
+        let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
+
+        let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
+        assert_eq!(
+            fw.connection_packets(&mut syn, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
+        // A data lookup on a flow this core never saw, and a denied
+        // SYN: both read-only, neither may ship.
+        let mut data =
+            PacketBuilder::new().tcp(FiveTuple::tcp(7, 7, 7, 443), 1, 0, TcpFlags::ACK, b"x");
+        assert_eq!(
+            fw.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
+        let mut denied =
+            PacketBuilder::new().tcp(FiveTuple::tcp(8, 8, 8, 22), 0, 0, TcpFlags::SYN, b"");
+        assert_eq!(
+            fw.connection_packets(&mut denied, &mut tables.ctx(0)),
+            Verdict::Drop
+        );
+        let mut ops = Vec::new();
+        fw.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Put(key, c)] if *key == t.key() && c.allowed));
+        tables.clear_batch_log(0);
+
+        // Full teardown (one FIN per direction) ships a Del.
+        for tt in [t, t.reversed()] {
+            let mut fin = PacketBuilder::new().tcp(tt, 5, 5, TcpFlags::FIN | TcpFlags::ACK, b"");
+            fw.connection_packets(&mut fin, &mut tables.ctx(0));
+        }
+        let mut ops = Vec::new();
+        fw.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
+        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
+    }
+
+    #[test]
+    fn merge_unions_fin_directions() {
+        let fw = FirewallNf::new(vec![]);
+        let k = FiveTuple::tcp(1, 2, 3, 443).key();
+        let lo_closed = ConnContext {
+            allowed: true,
+            fins: 0b01,
+        };
+        let hi_closed = ConnContext {
+            allowed: true,
+            fins: 0b10,
+        };
+        // Opposite half-closes complete the teardown no matter which
+        // update the version guard calls newer.
+        for newer in [true, false] {
+            assert_eq!(
+                fw.merge_replica(&k, Some(&lo_closed), &hi_closed, newer),
+                ReplicaMerge::Remove
+            );
+        }
+        // A duplicate of the same direction keeps the flow half-open.
+        assert_eq!(
+            fw.merge_replica(&k, Some(&lo_closed), &lo_closed, false),
+            ReplicaMerge::Store(lo_closed)
+        );
+        // First sight of a flow stores the incoming context verbatim.
+        assert_eq!(
+            fw.merge_replica(&k, None, &hi_closed, true),
+            ReplicaMerge::Store(hi_closed)
+        );
+    }
+
+    #[test]
+    fn same_direction_fin_retransmit_does_not_close() {
         let (fw, mut tables, map) = harness();
         let t = FiveTuple::tcp(0xc0a8_0101, 50_000, 0x5db8_d822, 443);
-        assert_eq!(open(&fw, &mut tables, &map, t), Verdict::Forward);
+        open(&fw, &mut tables, &map, t);
         let core = map.designated_for_tuple(&t);
-
-        // A conn packet whose context was written ships a Put; a pure
-        // data lookup on an unrelated flow ships nothing.
-        let syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
-        let data = PacketBuilder::new().tcp(FiveTuple::tcp(7, 7, 7, 443), 1, 0, TcpFlags::ACK, b"");
-        let pkts = [syn, data];
-        let mut ops = Vec::new();
-        fw.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
-        assert!(matches!(&ops[..], [UpdateOp::Put(key, ctx)] if *key == t.key() && ctx.allowed));
-
-        // Full teardown (two FINs) ships a Del for the same key.
-        for rev in [false, true] {
-            let tt = if rev { t.reversed() } else { t };
-            let mut fin = PacketBuilder::new().tcp(tt, 5, 5, TcpFlags::FIN | TcpFlags::ACK, b"");
-            fw.connection_packets(&mut fin, &mut tables.ctx(core));
+        // Two FINs from the same endpoint (a retransmit) are one
+        // direction, not a closed connection.
+        for seq in [5, 6] {
+            let mut fin = PacketBuilder::new().tcp(t, seq, 1, TcpFlags::FIN | TcpFlags::ACK, b"");
+            assert_eq!(
+                fw.connection_packets(&mut fin, &mut tables.ctx(core)),
+                Verdict::Forward
+            );
         }
-        let fin = PacketBuilder::new().tcp(t, 5, 5, TcpFlags::FIN | TcpFlags::ACK, b"");
-        let pkts = [fin];
-        let mut ops = Vec::new();
-        fw.replicate_updates(&pkts, &[true], &tables.ctx(core), &mut ops);
-        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
+        assert_eq!(tables.entries_on(core), 1, "context must survive");
     }
 }

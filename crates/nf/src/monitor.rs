@@ -12,8 +12,9 @@
 //! per-core shards updated without synchronization beyond a relaxed
 //! atomic, and an `aggregate()` that folds the shards on demand.
 
+use crate::firewall::fin_direction_bit;
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer::scr::UpdateOp;
+use sprayer::scr::ReplicaMerge;
 use sprayer_net::{FlowKey, Packet, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,7 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ConnRecord {
     /// Canonical initiator endpoint.
     pub initiator: (u32, u16),
-    /// FINs seen.
+    /// FIN directions seen, as a bitmask: bit 0 for the canonical `lo`
+    /// endpoint, bit 1 for `hi`. A bitmask so SCR replica merges union
+    /// commutatively instead of losing increments (see
+    /// [`crate::firewall::ConnContext::fins`]).
     pub fins: u8,
 }
 
@@ -133,12 +137,13 @@ impl MonitorNf {
                 self.closed.fetch_add(1, Ordering::Relaxed);
             }
         } else if flags.contains(TcpFlags::FIN) {
+            let bit = fin_direction_bit(&tuple, &key);
             let mut fins = 0;
             ctx.modify_local_flow(&key, &mut |r| {
-                r.fins += 1;
+                r.fins |= bit;
                 fins = r.fins;
             });
-            if fins >= 2 && ctx.remove_local_flow(&key).is_some() {
+            if fins == 0b11 && ctx.remove_local_flow(&key).is_some() {
                 self.closed.fetch_add(1, Ordering::Relaxed);
             }
         } else if flags.contains(TcpFlags::SYN) && ctx.get_local_flow(&key).is_none() {
@@ -217,34 +222,30 @@ impl NetworkFunction for MonitorNf {
         }
     }
 
-    fn replicate_updates(
+    fn merge_replica(
         &self,
-        pkts: &[Packet],
-        conn: &[bool],
-        ctx: &dyn FlowStateApi<ConnRecord>,
-        out: &mut Vec<UpdateOp<ConnRecord>>,
-    ) {
-        // Per-flow records change only on the connection lifecycle (SYN
-        // insert, FIN count, FIN/RST removal); regular packets touch the
-        // loosely-consistent global shards, which need no replication.
-        // Shipping connection keys only keeps the SCR log proportional
-        // to connection churn rather than traffic volume.
-        let mut seen: Vec<FlowKey> = Vec::new();
-        for (pkt, &is_conn) in pkts.iter().zip(conn) {
-            if !is_conn {
-                continue;
-            }
-            let Some(key) = pkt.tuple().map(|t| t.key()) else {
-                continue;
-            };
-            if seen.contains(&key) {
-                continue;
-            }
-            seen.push(key);
-            match ctx.get_local_flow(&key) {
-                Some(state) => out.push(UpdateOp::Put(key, state)),
-                None => out.push(UpdateOp::Del(key)),
-            }
+        _key: &FlowKey,
+        existing: Option<&ConnRecord>,
+        incoming: &ConnRecord,
+        _newer: bool,
+    ) -> ReplicaMerge<ConnRecord> {
+        // Union the per-direction FIN bits (monotone set, commutative);
+        // `initiator` is written once at SYN time, so the incoming copy
+        // is authoritative. When the union completes the close, finish
+        // the teardown here. The `connections_closed` counter stays
+        // handler-driven: a close completed only by merging two
+        // half-closes that landed on different cores is not counted —
+        // an accepted undercount, matching the loosely-consistent
+        // statistics contract of §3.4 (the counter is telemetry, not
+        // forwarding state).
+        let fins = existing.map_or(0, |r| r.fins) | incoming.fins;
+        if fins == 0b11 {
+            ReplicaMerge::Remove
+        } else {
+            ReplicaMerge::Store(ConnRecord {
+                initiator: incoming.initiator,
+                fins,
+            })
         }
     }
 }
@@ -254,6 +255,7 @@ mod tests {
     use super::*;
     use sprayer::config::DispatchMode;
     use sprayer::coremap::CoreMap;
+    use sprayer::scr::UpdateOp;
     use sprayer::tables::LocalTables;
     use sprayer_net::{FiveTuple, PacketBuilder};
 
@@ -367,34 +369,60 @@ mod tests {
 
     #[test]
     fn replicate_ships_connection_keys_only() {
-        let (mon, mut tables, map) = harness();
+        // Under SCR the tracked default ships only the batch's real
+        // mutations: the SYN's insert, never the regular packets that
+        // only bump the loosely-consistent shards.
+        let mon = MonitorNf::new(4);
+        let map = CoreMap::new(DispatchMode::Scr, 4);
+        let mut tables: LocalTables<ConnRecord> = LocalTables::new(map, 1024);
         let t = FiveTuple::tcp(0x0a000001, 40_000, 0x0a000002, 80);
         let other = FiveTuple::tcp(9, 9, 9, 9);
-        let core = map.designated_for_tuple(&t);
         let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
-        mon.connection_packets(&mut syn, &mut tables.ctx(core));
+        mon.connection_packets(&mut syn, &mut tables.ctx(0));
         let mut data = PacketBuilder::new().tcp(other, 1, 0, TcpFlags::ACK, b"xy");
-        mon.regular_packets(&mut data, &mut tables.ctx(core));
+        mon.regular_packets(&mut data, &mut tables.ctx(0));
 
-        let pkts = [syn, data];
         let mut ops = Vec::new();
-        mon.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        mon.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         // Only the SYN's key ships — the data packet wrote no flow state.
         assert_eq!(ops.len(), 1);
         match &ops[0] {
             UpdateOp::Put(key, _) => {
                 assert_eq!(*key, t.key());
-                assert!(tables.ctx(core).get_local_flow(key).is_some());
+                assert!(tables.ctx(0).get_local_flow(key).is_some());
             }
             UpdateOp::Del(_) => panic!("live flow must ship a Put"),
         }
+        tables.clear_batch_log(0);
 
         // After RST teardown the same key ships a Del.
         let mut rst = PacketBuilder::new().tcp(t, 2, 0, TcpFlags::RST, b"");
-        mon.connection_packets(&mut rst, &mut tables.ctx(core));
-        let pkts = [rst];
+        mon.connection_packets(&mut rst, &mut tables.ctx(0));
         let mut ops = Vec::new();
-        mon.replicate_updates(&pkts, &[true], &tables.ctx(core), &mut ops);
+        mon.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
+    }
+
+    #[test]
+    fn merge_unions_fin_directions_and_completes_close() {
+        let mon = MonitorNf::new(2);
+        let t = FiveTuple::tcp(0x0a000001, 40_000, 0x0a000002, 80);
+        let k = t.key();
+        let half = |fins| ConnRecord {
+            initiator: (0x0a000001, 40_000),
+            fins,
+        };
+        assert_eq!(
+            mon.merge_replica(&k, Some(&half(0b01)), &half(0b10), false),
+            ReplicaMerge::Remove
+        );
+        assert_eq!(
+            mon.merge_replica(&k, Some(&half(0b01)), &half(0b01), true),
+            ReplicaMerge::Store(half(0b01))
+        );
+        assert_eq!(
+            mon.merge_replica(&k, None, &half(0b10), true),
+            ReplicaMerge::Store(half(0b10))
+        );
     }
 }

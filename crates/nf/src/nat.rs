@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use sprayer::api::{
     Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, Verdict,
 };
-use sprayer::scr::UpdateOp;
+use sprayer::scr::ReplicaMerge;
 use sprayer_net::{FiveTuple, FlowKey, Packet, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,7 +43,13 @@ pub enum NatEntry {
         internal: (u32, u16),
         /// The external (NAT) endpoint replacing it.
         external: (u32, u16),
-        /// FINs seen (0, 1, 2); entry pair is removed at 2 or on RST.
+        /// FIN directions seen, as a bitmask: bit 0 when the FIN
+        /// resolved through this Outward entry (the client side), bit 1
+        /// when it resolved through the paired Inward entry (the server
+        /// side). The pair is removed at `0b11` or on RST. A bitmask so
+        /// SCR replica merges union the two directions commutatively —
+        /// FINs landing on different cores cannot lose each other to
+        /// last-writer-wins and leak the translation.
         fins: u8,
     },
     /// Keyed by the translated (server ↔ NAT-external) connection:
@@ -152,8 +158,25 @@ impl NatNf {
         };
         ctx.remove_local_flow(&orig_key);
         ctx.remove_local_flow(&trans_key);
-        self.pool.lock().push(external.1);
-        self.stats.teardowns.fetch_add(1, Ordering::Relaxed);
+        // Under SCR two cores can each observe the completed FIN pair
+        // (one via its own FIN, one via a merged replica) and both run
+        // teardown; guard the push so the port returns to the pool only
+        // once. (A port re-allocated between the two frees would still
+        // slip through the guard — an accepted race: the deterministic
+        // sim serializes teardowns, and in the threaded runtime the
+        // window is a replication round-trip.)
+        let freed = {
+            let mut pool = self.pool.lock();
+            if pool.contains(&external.1) {
+                false
+            } else {
+                pool.push(external.1);
+                true
+            }
+        };
+        if freed {
+            self.stats.teardowns.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The per-packet translation fast path, with the miss counter
@@ -231,31 +254,35 @@ impl NetworkFunction for NatNf {
             return Verdict::Forward;
         }
         if flags.contains(TcpFlags::FIN) {
-            // Count FINs on the Outward entry; translate the packet like a
+            // Record the FIN's direction on the Outward entry (which
+            // side it resolved through); translate the packet like a
             // regular one afterwards.
             let mut fin_count = 0;
-            let key = match ctx.get_flow(&tuple.key()) {
-                Some(NatEntry::Outward { .. }) => Some(tuple.key()),
+            let (key, bit) = match ctx.get_flow(&tuple.key()) {
+                Some(NatEntry::Outward { .. }) => (Some(tuple.key()), 0b01),
                 Some(NatEntry::Inward { external, internal }) => {
                     let server = if (tuple.src_addr, tuple.src_port) == external {
                         (tuple.dst_addr, tuple.dst_port)
                     } else {
                         (tuple.src_addr, tuple.src_port)
                     };
-                    Some(FiveTuple::tcp(internal.0, internal.1, server.0, server.1).key())
+                    (
+                        Some(FiveTuple::tcp(internal.0, internal.1, server.0, server.1).key()),
+                        0b10,
+                    )
                 }
-                None => None,
+                None => (None, 0),
             };
             if let Some(key) = key {
                 ctx.modify_local_flow(&key, &mut |e| {
                     if let NatEntry::Outward { fins, .. } = e {
-                        *fins += 1;
+                        *fins |= bit;
                         fin_count = *fins;
                     }
                 });
             }
             let verdict = self.regular_packets(pkt, ctx);
-            if fin_count >= 2 {
+            if fin_count == 0b11 {
                 self.teardown(&tuple, ctx);
             }
             return verdict;
@@ -346,67 +373,43 @@ impl NetworkFunction for NatNf {
         }
     }
 
-    fn replicate_updates(
+    fn merge_replica(
         &self,
-        pkts: &[Packet],
-        _conn: &[bool],
-        ctx: &dyn FlowStateApi<NatEntry>,
-        out: &mut Vec<UpdateOp<NatEntry>>,
-    ) {
-        // Both entries of a translation must travel together: the batch
-        // runs before this hook, so the packets carry *post-rewrite*
-        // tuples — a SYN that installed Outward+Inward now hashes to the
-        // Inward key alone, and a key-dedupe over the packets would ship
-        // half the pair. Reconstruct the other side from the entry, the
-        // same resolution `teardown` uses. After a teardown both entries
-        // are gone and only the arriving side's key is recoverable; its
-        // `Del` ships and the paired entry stays stale on peers until
-        // the port is reused (whose `Put` then overwrites it) — the
-        // bounded staleness §3.4 already permits for in-flight packets
-        // of a dead flow.
-        let mut keys: Vec<FlowKey> = Vec::with_capacity(pkts.len() * 2);
-        for pkt in pkts {
-            let Some(tuple) = pkt.tuple() else {
-                continue;
-            };
-            let key = tuple.key();
-            if !keys.contains(&key) {
-                keys.push(key);
-            }
-            let paired = match ctx.get_local_flow(&key) {
-                Some(NatEntry::Outward {
-                    internal, external, ..
-                }) => {
-                    // This side is client ↔ server; the server is the
-                    // endpoint that is not the internal one.
-                    let server = if (tuple.src_addr, tuple.src_port) == internal {
-                        (tuple.dst_addr, tuple.dst_port)
-                    } else {
-                        (tuple.src_addr, tuple.src_port)
-                    };
-                    Some(FiveTuple::tcp(external.0, external.1, server.0, server.1).key())
-                }
-                Some(NatEntry::Inward { external, internal }) => {
-                    let server = if (tuple.src_addr, tuple.src_port) == external {
-                        (tuple.dst_addr, tuple.dst_port)
-                    } else {
-                        (tuple.src_addr, tuple.src_port)
-                    };
-                    Some(FiveTuple::tcp(internal.0, internal.1, server.0, server.1).key())
-                }
-                None => None,
-            };
-            if let Some(paired) = paired {
-                if !keys.contains(&paired) {
-                    keys.push(paired);
-                }
-            }
+        _key: &FlowKey,
+        existing: Option<&NatEntry>,
+        incoming: &NatEntry,
+        newer: bool,
+    ) -> ReplicaMerge<NatEntry> {
+        // Union the per-direction FIN bits of Outward entries (monotone
+        // set, commutative); the translation endpoints are written once
+        // at SYN time. Never `Remove` here: the port pool is global
+        // state only the packet-handling teardown path may touch, so a
+        // replica whose union completes the close keeps the entry until
+        // either the origin's teardown ships the `Del`s or a FIN
+        // retransmit / RST lands locally and finishes the job (the
+        // guarded pool push makes that teardown idempotent).
+        if let (
+            Some(NatEntry::Outward {
+                fins: existing_fins,
+                ..
+            }),
+            NatEntry::Outward {
+                internal,
+                external,
+                fins,
+            },
+        ) = (existing, incoming)
+        {
+            return ReplicaMerge::Store(NatEntry::Outward {
+                internal: *internal,
+                external: *external,
+                fins: existing_fins | fins,
+            });
         }
-        for key in keys {
-            match ctx.get_local_flow(&key) {
-                Some(state) => out.push(UpdateOp::Put(key, state)),
-                None => out.push(UpdateOp::Del(key)),
-            }
+        if newer {
+            ReplicaMerge::Store(incoming.clone())
+        } else {
+            ReplicaMerge::Keep
         }
     }
 
@@ -434,6 +437,7 @@ mod tests {
     use super::*;
     use sprayer::config::DispatchMode;
     use sprayer::coremap::CoreMap;
+    use sprayer::scr::UpdateOp;
     use sprayer::tables::LocalTables;
     use sprayer_net::PacketBuilder;
 
@@ -718,20 +722,26 @@ mod tests {
 
     #[test]
     fn replicate_ships_both_sides_of_the_translation() {
-        let mut h = Harness::new();
+        // Tracked replication under SCR: the SYN installs both entries
+        // → two Puts; a pure data read ships nothing; teardown removes
+        // both entries → two Dels (the paired entry must not stay live
+        // on peers).
+        let map = CoreMap::new(DispatchMode::Scr, 8);
+        let mut tables: LocalTables<NatEntry> = LocalTables::new(map, 1024);
+        let nat = NatNf::new(NAT_IP, 10_000..10_128);
         let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
-        h.run(&mut syn);
-        // The SYN left the batch rewritten: its tuple now hashes to the
-        // Inward (translated) key only.
+        assert_eq!(
+            nat.connection_packets(&mut syn, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
+        // The SYN left the handler rewritten: its tuple now hashes to
+        // the Inward (translated) key only.
         let trans_key = syn.tuple().unwrap().key();
         let orig_key = conn().key();
         assert_ne!(trans_key, orig_key);
-        let core = h.map.designated_for_tuple(&conn());
 
-        let pkts = [syn];
         let mut ops = Vec::new();
-        h.nat
-            .replicate_updates(&pkts, &[true], &h.tables.ctx(core), &mut ops);
+        nat.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         assert_eq!(ops.len(), 2, "the paired entry must ship too: {ops:?}");
         for key in [orig_key, trans_key] {
             let op = ops
@@ -740,41 +750,87 @@ mod tests {
                 .expect("both sides shipped");
             match op {
                 UpdateOp::Put(key, state) => {
-                    assert_eq!(h.tables.ctx(core).get_local_flow(key).as_ref(), Some(state));
+                    assert_eq!(tables.ctx(0).get_local_flow(key).as_ref(), Some(state));
                 }
                 UpdateOp::Del(_) => panic!("live translation must ship Puts"),
             }
         }
+        tables.clear_batch_log(0);
 
-        // An inbound data packet (rewritten back to the client) resolves
-        // to the Outward entry and still ships the pair.
-        let server = (SERVER, 443);
-        let reply = FiveTuple::tcp(server.0, server.1, NAT_IP, {
-            let NatEntry::Inward { external, .. } =
-                h.tables.ctx(core).get_local_flow(&trans_key).unwrap()
-            else {
-                panic!("translated key must hold the Inward entry");
-            };
-            external.1
-        });
-        let mut data = PacketBuilder::new().tcp(reply, 9, 2, TcpFlags::ACK, b"resp");
-        h.run(&mut data);
-        let pkts = [data];
+        // A data packet only reads the translation — nothing ships.
+        let mut data = PacketBuilder::new().tcp(conn(), 1, 1, TcpFlags::ACK, b"req");
+        assert_eq!(
+            nat.regular_packets(&mut data, &mut tables.ctx(0)),
+            Verdict::Forward
+        );
         let mut ops = Vec::new();
-        h.nat
-            .replicate_updates(&pkts, &[false], &h.tables.ctx(core), &mut ops);
-        assert_eq!(ops.len(), 2);
-        assert!(ops.iter().any(|op| *op.key() == orig_key));
-        assert!(ops.iter().any(|op| *op.key() == trans_key));
+        nat.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
+        assert!(ops.is_empty(), "reads must not ship: {ops:?}");
 
-        // Teardown removes both entries; only the arriving side's key is
-        // still derivable, and it ships as a Del.
+        // Teardown removes both entries and ships a Del for each.
         let mut rst = PacketBuilder::new().tcp(conn(), 2, 2, TcpFlags::RST, b"");
-        h.run(&mut rst);
-        let pkts = [rst];
+        nat.connection_packets(&mut rst, &mut tables.ctx(0));
         let mut ops = Vec::new();
-        h.nat
-            .replicate_updates(&pkts, &[true], &h.tables.ctx(core), &mut ops);
-        assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == orig_key));
+        nat.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
+        assert_eq!(ops.len(), 2, "teardown must ship both Dels: {ops:?}");
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, UpdateOp::Del(k) if *k == orig_key)));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, UpdateOp::Del(k) if *k == trans_key)));
+    }
+
+    #[test]
+    fn merge_unions_outward_fins_and_never_removes() {
+        let nat = NatNf::new(NAT_IP, 10_000..10_001);
+        let k = conn().key();
+        let mk = |fins| NatEntry::Outward {
+            internal: (CLIENT, 40_000),
+            external: (NAT_IP, 10_000),
+            fins,
+        };
+        // Opposite half-closes union; the entry survives the merge (the
+        // teardown path owns the pool) no matter which copy is newer.
+        for newer in [true, false] {
+            assert_eq!(
+                nat.merge_replica(&k, Some(&mk(0b01)), &mk(0b10), newer),
+                ReplicaMerge::Store(mk(0b11))
+            );
+        }
+        // Non-Outward pairs fall back to last-writer-wins.
+        let inw = NatEntry::Inward {
+            external: (NAT_IP, 10_000),
+            internal: (CLIENT, 40_000),
+        };
+        assert_eq!(
+            nat.merge_replica(&k, Some(&mk(0b01)), &inw, true),
+            ReplicaMerge::Store(inw.clone())
+        );
+        assert_eq!(
+            nat.merge_replica(&k, Some(&mk(0b01)), &inw, false),
+            ReplicaMerge::Keep
+        );
+    }
+
+    #[test]
+    fn duplicate_teardown_cannot_double_free_a_port() {
+        let mut h = Harness::new();
+        let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
+        h.run(&mut syn);
+        let port = syn.tuple().unwrap().src_port;
+        assert_eq!(h.nat.pool_len(), 127);
+        // A peer that saw the same completed FIN pair already returned
+        // the port (under SCR teardown can run on two cores for one
+        // connection); the local teardown's push must be a no-op.
+        h.nat.pool.lock().push(port);
+        let mut rst = PacketBuilder::new().tcp(conn(), 2, 0, TcpFlags::RST, b"");
+        h.run(&mut rst);
+        assert_eq!(h.nat.pool_len(), 128);
+        assert_eq!(
+            h.nat.pool.lock().iter().filter(|p| **p == port).count(),
+            1,
+            "the guarded push must not duplicate the port"
+        );
     }
 }

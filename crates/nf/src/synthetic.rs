@@ -15,8 +15,7 @@
 //!   cycles, pinned against compiler elision via `std::hint::black_box`.
 
 use sprayer::api::{Access, FlowStateApi, NetworkFunction, NfDescriptor, Scope, Verdict};
-use sprayer::scr::UpdateOp;
-use sprayer_net::{FlowKey, Packet, TcpFlags};
+use sprayer_net::{Packet, TcpFlags};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-flow state: a counter the NF reads on every packet.
@@ -130,36 +129,12 @@ impl NetworkFunction for SyntheticNf {
             .fetch_add(pkts.len() as u64, Ordering::Relaxed);
     }
 
-    fn replicate_updates(
-        &self,
-        pkts: &[Packet],
-        conn: &[bool],
-        ctx: &dyn FlowStateApi<SynFlow>,
-        out: &mut Vec<UpdateOp<SynFlow>>,
-    ) {
-        // Only `lifecycle` writes the table (SYN insert, FIN/RST
-        // remove); the per-packet body reads, rewrites the header, and
-        // spins. Replicating connection keys only is what makes the
-        // synthetic NF's SCR log cost scale with flow arrival rate — the
-        // knob the paper's evaluation sweeps.
-        let mut seen: Vec<FlowKey> = Vec::new();
-        for (pkt, &is_conn) in pkts.iter().zip(conn) {
-            if !is_conn {
-                continue;
-            }
-            let Some(key) = pkt.tuple().map(|t| t.key()) else {
-                continue;
-            };
-            if seen.contains(&key) {
-                continue;
-            }
-            seen.push(key);
-            match ctx.get_local_flow(&key) {
-                Some(state) => out.push(UpdateOp::Put(key, state)),
-                None => out.push(UpdateOp::Del(key)),
-            }
-        }
-    }
+    // `replicate_updates` stays at the tracked default: only `lifecycle`
+    // writes the table (SYN insert, FIN/RST remove), so the batch
+    // mutation log ships connection keys alone — the per-packet body
+    // reads, rewrites the header, and spins, and reads never ship. That
+    // keeps the synthetic NF's SCR log cost scaling with flow arrival
+    // rate — the knob the paper's evaluation sweeps.
 }
 
 impl SyntheticNf {
@@ -217,6 +192,7 @@ mod tests {
     use super::*;
     use sprayer::config::DispatchMode;
     use sprayer::coremap::CoreMap;
+    use sprayer::scr::UpdateOp;
     use sprayer::tables::LocalTables;
     use sprayer_net::{FiveTuple, PacketBuilder};
 
@@ -320,28 +296,28 @@ mod tests {
 
     #[test]
     fn replicate_ships_lifecycle_writes_only() {
+        // Under SCR the tracked default ships the SYN's insert and the
+        // FIN's removal; the per-packet body (lookup + TTL + spin)
+        // writes no flow state and ships nothing.
         let nf = SyntheticNf::for_simulator();
-        let map = CoreMap::new(DispatchMode::Sprayer, 4);
-        let mut tables = LocalTables::new(map.clone(), 64);
+        let map = CoreMap::new(DispatchMode::Scr, 4);
+        let mut tables = LocalTables::new(map, 64);
         let t = FiveTuple::tcp(0x0a000001, 4000, 0x0a000002, 80);
-        let core = map.designated_for_tuple(&t);
 
         let mut syn = PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"");
-        nf.connection_packets(&mut syn, &mut tables.ctx(core));
+        nf.connection_packets(&mut syn, &mut tables.ctx(0));
         let mut data = PacketBuilder::new().tcp(t, 1, 0, TcpFlags::ACK, b"");
-        nf.regular_packets(&mut data, &mut tables.ctx(core));
+        nf.regular_packets(&mut data, &mut tables.ctx(0));
 
-        // The data packet's key dedupes against the SYN's: one Put.
-        let pkts = [syn, data];
         let mut ops = Vec::new();
-        nf.replicate_updates(&pkts, &[true, false], &tables.ctx(core), &mut ops);
+        nf.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         assert!(matches!(&ops[..], [UpdateOp::Put(key, _)] if *key == t.key()));
+        tables.clear_batch_log(0);
 
         let mut fin = PacketBuilder::new().tcp(t, 2, 0, TcpFlags::FIN, b"");
-        nf.connection_packets(&mut fin, &mut tables.ctx(core));
-        let pkts = [fin];
+        nf.connection_packets(&mut fin, &mut tables.ctx(0));
         let mut ops = Vec::new();
-        nf.replicate_updates(&pkts, &[true], &tables.ctx(core), &mut ops);
+        nf.replicate_updates(&[], &[], &tables.ctx(0), &mut ops);
         assert!(matches!(&ops[..], [UpdateOp::Del(key)] if *key == t.key()));
     }
 }

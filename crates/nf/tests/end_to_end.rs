@@ -178,6 +178,84 @@ fn firewall_polices_identically_in_both_modes() {
 }
 
 #[test]
+fn firewall_concurrent_fins_converge_under_scr() {
+    // Under SCR the two FINs of a connection land on arbitrary (usually
+    // different) cores. The per-direction FIN bitmask must union
+    // commutatively through the replica merge so every core converges
+    // to "connection closed" — a lost increment under plain
+    // last-writer-wins would leak the context on every replica.
+    let acl = vec![AclRule::allow_dst_port(443)];
+    let config = MiddleboxConfig::paper_testbed_with_cycles(DispatchMode::Scr, 500);
+    let num_cores = config.num_cores;
+    let mut mb = MiddleboxSim::new(config, FirewallNf::new(acl));
+    let flows = 16u32;
+    let tuples: Vec<FiveTuple> = (0..flows)
+        .map(|i| FiveTuple::tcp(0x0a00_0000 + i, 50_000, SERVER, 443))
+        .collect();
+
+    let mut now = Time::ZERO;
+    for t in &tuples {
+        now += Time::from_us(5);
+        mb.ingress(now, PacketBuilder::new().tcp(*t, 0, 0, TcpFlags::SYN, b""));
+    }
+    // Let the SYNs' updates replicate: every core holds every context.
+    mb.run_until(now + Time::from_ms(5));
+    assert!(mb.is_idle());
+    assert_eq!(
+        mb.tables().total_entries(),
+        flows as usize * num_cores,
+        "full replication before the close"
+    );
+
+    // Close every connection with back-to-back FINs from both sides —
+    // no settling time between the pair, so they race.
+    now = mb.now();
+    for t in &tuples {
+        now += Time::from_us(1);
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(*t, 9, 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        );
+        now += Time::from_us(1);
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(t.reversed(), 9, 10, TcpFlags::FIN | TcpFlags::ACK, b""),
+        );
+    }
+    mb.run_until(now + Time::from_ms(10));
+    assert!(mb.is_idle());
+    let s = mb.stats();
+    assert_eq!(s.scr_replay_gap(), 0, "the update plane drains at rest");
+    assert_eq!(s.unaccounted(), 0, "{s:?}");
+    assert_eq!(
+        mb.tables().total_entries(),
+        0,
+        "every replica must converge to the closed state"
+    );
+
+    // The contexts are really gone: post-close data strays on any core.
+    let before = mb
+        .nf()
+        .stray_drops
+        .load(std::sync::atomic::Ordering::Relaxed);
+    now = mb.now();
+    for (i, t) in tuples.iter().enumerate() {
+        now += Time::from_us(1);
+        mb.ingress(
+            now,
+            PacketBuilder::new().tcp(*t, 20, 11, TcpFlags::ACK, &payload(i as u32)),
+        );
+    }
+    mb.run_until(now + Time::from_ms(5));
+    assert_eq!(
+        mb.nf()
+            .stray_drops
+            .load(std::sync::atomic::Ordering::Relaxed),
+        before + u64::from(flows)
+    );
+}
+
+#[test]
 fn load_balancer_keeps_flow_affinity_under_spraying() {
     let backends = vec![
         Backend {
