@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! live_top [--secs N] [--refresh-ms N] [--workers N] [--cycles N]
-//!          [--mode rss|sprayer|scr] [--elastic] [--health] [--plain]
+//!          [--mode rss|sprayer|scr] [--elastic] [--health] [--tail]
+//!          [--mem] [--plain]
 //! ```
 //!
 //! `--elastic` drives each iteration through an online scale-up and
@@ -34,6 +35,11 @@
 //! completions crossed the rolling-p99 threshold and which pipeline
 //! span (queue wait, classify, redirect transit, NF, TX) their time
 //! sat in.
+//!
+//! `--mem` turns the flow-table lifecycle on (idle aging + LRU
+//! backstop) and switches the workload to 256 round-rotating flows: a
+//! memory pane joins the frame with per-core table occupancy, the
+//! occupancy high-water mark, and the lifecycle eviction rate.
 //!
 //! `--plain` (or a non-TTY stdout) prints frames sequentially instead
 //! of redrawing in place — usable in CI logs.
@@ -59,6 +65,7 @@ struct Args {
     elastic: bool,
     health: bool,
     tail: bool,
+    mem: bool,
     plain: bool,
 }
 
@@ -72,6 +79,7 @@ fn parse_args() -> Args {
         elastic: false,
         health: false,
         tail: false,
+        mem: false,
         plain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -88,13 +96,14 @@ fn parse_args() -> Args {
             "--elastic" => args.elastic = true,
             "--health" => args.health = true,
             "--tail" => args.tail = true,
+            "--mem" => args.mem = true,
             "--plain" => args.plain = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: live_top [--secs N] [--refresh-ms N] [--workers N] \
                      [--cycles N] [--mode rss|sprayer|scr] [--elastic] [--health] \
-                     [--tail] [--plain]"
+                     [--tail] [--mem] [--plain]"
                 );
                 std::process::exit(1);
             }
@@ -103,17 +112,25 @@ fn parse_args() -> Args {
     args
 }
 
-/// One driver iteration's workload: a SYN then a burst of payload ACKs
-/// on a single flow — the shape where spraying's balance is visible.
-fn phases(burst: u32, round: u64) -> Vec<Vec<Packet>> {
-    let t = FiveTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 443);
+/// One driver iteration's workload: SYNs then a burst of payload ACKs —
+/// a single flow by default (the shape where spraying's balance is
+/// visible), or `flows` round-rotating flows under `--mem` so the table
+/// occupancy and eviction counters actually move.
+fn phases(burst: u32, round: u64, flows: u32) -> Vec<Vec<Packet>> {
+    let flows = flows.max(1);
+    let tuple = |f: u32| {
+        let fid = (round as u32).wrapping_mul(flows).wrapping_add(f) % 8192;
+        FiveTuple::tcp(0x0a00_0001 + fid, 40_000, 0xc0a8_0001, 443)
+    };
     let mut data = Vec::with_capacity(burst as usize);
     for i in 0..burst {
         let payload = splitmix64(round << 32 | u64::from(i)).to_be_bytes();
-        data.push(PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload));
+        data.push(PacketBuilder::new().tcp(tuple(i % flows), i, 0, TcpFlags::ACK, &payload));
     }
     vec![
-        vec![PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b"")],
+        (0..flows)
+            .map(|f| PacketBuilder::new().tcp(tuple(f), 0, 0, TcpFlags::SYN, b""))
+            .collect(),
         data,
     ]
 }
@@ -143,6 +160,11 @@ fn main() {
             ..config.obs
         };
     }
+    if args.mem {
+        // Idle aging + LRU backstop so the memory pane has a lifecycle
+        // to watch; the rotating multi-flow workload feeds it.
+        config.lifecycle = sprayer::config::LifecycleConfig::bounded(50_000);
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let runs = Arc::new(AtomicU64::new(0));
@@ -157,6 +179,7 @@ fn main() {
         let tail_acc = tail_acc.clone();
         let cycles = args.cycles;
         let (low, elastic) = (args.workers, args.elastic);
+        let flows = if args.mem { 256 } else { 1 };
         std::thread::spawn(move || {
             let nf = SyntheticNf::spinning(cycles);
             let rules = SloRules::default();
@@ -166,8 +189,10 @@ fn main() {
                     // One scale-up + scale-down cycle per iteration:
                     // low workers for the SYN, 2x for the first burst,
                     // back to low for the second.
-                    let mut a = phases(20_000, round << 1);
-                    let b = phases(20_000, (round << 1) | 1).pop().expect("burst");
+                    let mut a = phases(20_000, round << 1, flows);
+                    let b = phases(20_000, (round << 1) | 1, flows)
+                        .pop()
+                        .expect("burst");
                     let plan = vec![
                         (low, std::mem::take(&mut a[0])),
                         (high, std::mem::take(&mut a[1])),
@@ -182,7 +207,7 @@ fn main() {
                     events.drain(..overflow);
                     out
                 } else {
-                    ThreadedMiddlebox::run(&config, &nf, phases(20_000, round))
+                    ThreadedMiddlebox::run(&config, &nf, phases(20_000, round, flows))
                 };
                 assert_eq!(out.stats.unaccounted(), 0);
                 if let Some(health) = &out.health {
@@ -254,6 +279,7 @@ fn main() {
             stages: prev_stages.as_deref().zip(cur_stages.as_deref()),
             tail: held_tail.as_ref(),
             alerts: &held_alerts,
+            mem: args.mem,
         });
         if !plain && frame_lines > 0 {
             // Move the cursor back up over the previous frame and clear

@@ -162,6 +162,18 @@ pub fn rule_for(metric: &str) -> Option<GateRule> {
         "fault_packets_lost_total" | "fault_malformed_drops_total" => {
             rule(Direction::LowerIsBetter, 0.10, 16.0)
         }
+        // Flow-lifecycle memory (fig_soak): the bounded-memory claim,
+        // enforced with zero upward slack — the table occupancy
+        // high-water mark is exact in the deterministic simulator, so
+        // any rise means the lifecycle (FIN reclaim, idle aging, LRU
+        // backstop) lost ground. It also rides inside every
+        // lifecycle-enabled `telemetry` block, gating it wherever it
+        // appears.
+        "table_occupancy_hwm" => rule(Direction::LowerIsBetter, 0.0, 0.0),
+        // The soak baselines hold this at zero: steady churn must be
+        // contained by FIN reclaim and idle aging alone — the first
+        // capacity eviction means the table outgrew its policy.
+        "lru_evicted" => rule(Direction::LowerIsBetter, 0.0, 0.0),
         _ => None,
     }
 }
@@ -423,6 +435,8 @@ mod tests {
             "scr_flows_lost",
             "scr_replay_gap",
             "scr_replay_cycles_per_packet",
+            "table_occupancy_hwm",
+            "lru_evicted",
         ] {
             assert!(rule_for(gated).is_some(), "{gated}");
         }
@@ -478,6 +492,25 @@ mod tests {
             "scr_log_drops",
             "scr_replay_cycles",
             "scr_log_occupancy_hwm",
+            // Flow-lifecycle companions (fig_soak): the reason counters
+            // describe where entries went — they trade off against each
+            // other (a FIN lost in a crash window turns into an idle
+            // expiry), so only the high-water mark and the LRU count
+            // gate. The timeline entries (occupancy/fin/idle/...) are
+            // trajectory data.
+            "flows_created",
+            "fin_reclaimed",
+            "idle_expired",
+            "replica_dels",
+            "flows_dropped",
+            "flow_unaccounted",
+            "table_live",
+            "flows_spawned",
+            "flows_completed",
+            "flows_suppressed",
+            "steady_occupancy_mean",
+            "steady_occupancy_drift",
+            "jain_steady",
         ] {
             assert!(rule_for(context).is_none(), "{context}");
         }

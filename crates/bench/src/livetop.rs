@@ -63,6 +63,9 @@ pub struct Frame<'a> {
     pub tail: Option<&'a TailReport>,
     /// Most recent SLO alerts, oldest first.
     pub alerts: &'a [Alert],
+    /// Render the flow-table memory pane (`--mem`): per-core occupancy,
+    /// high-water, and eviction rate from the live table slots.
+    pub mem: bool,
 }
 
 /// Render one frame.
@@ -114,6 +117,9 @@ pub fn render(f: &Frame) -> String {
         f.runs,
         f.elapsed,
     );
+    if f.mem {
+        out.push_str(&mem_pane(f.prev, f.cur, f.dt));
+    }
     if let Some((prev, cur)) = f.stages {
         out.push_str(&stage_line(prev, cur));
     }
@@ -153,6 +159,30 @@ pub fn render(f: &Frame) -> String {
             a.detail
         );
     }
+    out
+}
+
+/// The memory pane: total flow-table occupancy against its high-water
+/// mark, the eviction rate over the poll window, and the per-core
+/// occupancy spread — the live view of the bounded-memory lifecycle.
+fn mem_pane(prev: &[LiveCore], cur: &[LiveCore], dt: f64) -> String {
+    use std::fmt::Write as _;
+    let occ: u64 = cur.iter().map(|c| c.table_occupancy).sum();
+    let hwm: u64 = cur.iter().map(|c| c.table_hwm).sum();
+    let ev_rate: f64 = cur
+        .iter()
+        .zip(prev)
+        .map(|(c, p)| c.evicted.saturating_sub(p.evicted) as f64)
+        .sum::<f64>()
+        / dt;
+    let mut out = format!("mem: occ {occ} / hwm {hwm} | evict/s {ev_rate:.0} | per-core [");
+    for (i, c) in cur.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{}", c.table_occupancy);
+    }
+    out.push_str("]\n");
     out
 }
 
@@ -221,6 +251,9 @@ mod tests {
             redirected_out: 0,
             busy_ns,
             queue_depth: 0,
+            table_occupancy: 0,
+            table_hwm: 0,
+            evicted: 0,
         }
     }
 
@@ -235,6 +268,7 @@ mod tests {
             stages: None,
             tail: None,
             alerts: &[],
+            mem: false,
         }
     }
 
@@ -358,6 +392,35 @@ mod tests {
             "{out}"
         );
         assert!(!out.contains("dominant"), "{out}");
+    }
+
+    #[test]
+    fn mem_pane_shows_occupancy_hwm_and_eviction_rate() {
+        let mut p0 = core(0, 0);
+        p0.evicted = 100;
+        let mut p1 = core(0, 0);
+        p1.evicted = 50;
+        let mut c0 = core(10, 0);
+        c0.table_occupancy = 30;
+        c0.table_hwm = 64;
+        c0.evicted = 150;
+        let mut c1 = core(10, 0);
+        c1.table_occupancy = 12;
+        c1.table_hwm = 40;
+        c1.evicted = 75;
+        let prev = vec![p0, p1];
+        let cur = vec![c0, c1];
+        let mut f = frame(&prev, &cur);
+        // Pane off by default: no mem line.
+        assert!(!render(&f).contains("mem:"));
+        f.mem = true;
+        let out = render(&f);
+        // Occupancy 42 of high-water 104; (150-100)+(75-50)=75 evictions
+        // over dt=1s; per-core spread listed in core order.
+        assert!(
+            out.contains("mem: occ 42 / hwm 104 | evict/s 75 | per-core [30 12]"),
+            "{out}"
+        );
     }
 
     #[test]

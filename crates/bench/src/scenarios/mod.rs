@@ -5,5 +5,6 @@ pub mod elastic;
 pub mod health;
 pub mod latency;
 pub mod rate;
+pub mod soak;
 pub mod tail;
 pub mod tcp;

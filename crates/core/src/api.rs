@@ -92,6 +92,22 @@ impl VerdictSink {
     }
 }
 
+/// Why the lifecycle layer evicted a flow entry (the argument to
+/// [`NetworkFunction::evict_flow`]).
+///
+/// NF-initiated teardowns (FIN/RST handling calling
+/// [`FlowStateApi::remove_local_flow`]) do **not** fire the hook — the
+/// NF removed the entry itself and releases its resources inline; the
+/// runtime only counts those removals (`fin_reclaimed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictReason {
+    /// The entry's idle timeout elapsed without a write-touch.
+    Idle,
+    /// The bounded-memory LRU backstop reclaimed the entry to admit a
+    /// new flow at capacity.
+    Capacity,
+}
+
 /// Result of [`FlowStateApi::insert_local_flow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
@@ -426,6 +442,20 @@ pub trait NetworkFunction: Send + Sync {
             crate::scr::ReplicaMerge::Keep
         }
     }
+
+    /// Eviction hook of the flow lifecycle layer: called once per entry
+    /// the runtime reclaims — idle-timeout expiry or the LRU capacity
+    /// backstop ([`EvictReason`]) — with the evicted state, after the
+    /// entry has left the table. NFs that hold external resources per
+    /// flow release them here: the NAT returns the flow's translated
+    /// port to the pool, the DPI drops the flow's scan cursor. The hook
+    /// runs on the core that owned the entry; under SCR the matching
+    /// `Del` has already been logged for replication, and replicas
+    /// applying that `Del` do *not* re-fire the hook (resources are
+    /// owned once, by the evicting core). Must be idempotent against
+    /// duplicate eviction of the same logical flow (e.g. an idle expiry
+    /// racing a replicated teardown). Default: no-op.
+    fn evict_flow(&self, _key: &FlowKey, _state: &mut Self::Flow, _reason: EvictReason) {}
 
     /// Export hook of the flow-state migration protocol: called once per
     /// flow, on the flow's *old* designated core, just before the entry

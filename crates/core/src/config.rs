@@ -349,6 +349,71 @@ fn default_scr_log_capacity() -> usize {
     8192
 }
 
+/// Default [`MiddleboxConfig::lifecycle`]: disabled — tables behave
+/// exactly as before the lifecycle layer existed (seed-compatible).
+fn default_lifecycle() -> LifecycleConfig {
+    LifecycleConfig::disabled()
+}
+
+/// Flow-state lifecycle knobs: idle-timeout aging and the
+/// bounded-memory LRU backstop (see [`crate::tables`]).
+///
+/// Disabled by default: with `idle_timeout_us = None` and
+/// `lru_backstop = false` the tables grow until the configured capacity
+/// and reject further inserts ([`crate::api::InsertOutcome::TableFull`])
+/// — the pre-lifecycle behavior, byte-identical telemetry included.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Evict entries not write-touched for this long (runtime-native
+    /// microseconds: simulated µs in the simulator, wall µs in the
+    /// threaded runtime). `None` disables idle aging.
+    pub idle_timeout_us: Option<u64>,
+    /// How often the runtime sweeps each core's table for idle entries.
+    pub sweep_interval_us: u64,
+    /// At capacity, evict the approximate-LRU entry to admit the new
+    /// flow instead of returning `TableFull`.
+    pub lru_backstop: bool,
+}
+
+impl LifecycleConfig {
+    /// Default sweep cadence: 1 ms — coarse enough to be invisible in
+    /// the cycle budget, fine enough that idle reclaim lag stays a few
+    /// sweep periods.
+    pub const DEFAULT_SWEEP_INTERVAL_US: u64 = 1_000;
+
+    /// Lifecycle off: unbounded-until-capacity tables, `TableFull` on
+    /// overflow (the seed behavior).
+    pub fn disabled() -> Self {
+        LifecycleConfig {
+            idle_timeout_us: None,
+            sweep_interval_us: Self::DEFAULT_SWEEP_INTERVAL_US,
+            lru_backstop: false,
+        }
+    }
+
+    /// Bounded-memory production shape: idle aging at `idle_timeout_us`
+    /// plus the LRU capacity backstop.
+    pub fn bounded(idle_timeout_us: u64) -> Self {
+        LifecycleConfig {
+            idle_timeout_us: Some(idle_timeout_us),
+            sweep_interval_us: Self::DEFAULT_SWEEP_INTERVAL_US,
+            lru_backstop: true,
+        }
+    }
+
+    /// True when any reclaim path is active (gates the lifecycle stats
+    /// block and the runtime's sweep scheduling).
+    pub fn enabled(&self) -> bool {
+        self.idle_timeout_us.is_some() || self.lru_backstop
+    }
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig::disabled()
+    }
+}
+
 /// Parameters of the simulated middlebox server.
 ///
 /// Defaults reproduce the paper's testbed (§5): 8 worker cores on a
@@ -430,6 +495,10 @@ pub struct MiddleboxConfig {
     /// Observability switches (tracing, latency histograms). Off by
     /// default; zero-cost when off.
     pub obs: ObsConfig,
+    /// Flow-state lifecycle: idle-timeout aging and the bounded-memory
+    /// LRU backstop. Disabled by default (seed behavior).
+    #[serde(default = "default_lifecycle")]
+    pub lifecycle: LifecycleConfig,
 }
 
 impl MiddleboxConfig {
@@ -460,6 +529,7 @@ impl MiddleboxConfig {
             scr_log_capacity: default_scr_log_capacity(),
             link: LinkSpeed::TEN_GBE,
             obs: ObsConfig::disabled(),
+            lifecycle: default_lifecycle(),
         }
     }
 

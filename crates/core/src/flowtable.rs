@@ -24,11 +24,34 @@
 //! flow-table capacity the paper's NF configs specify is enforced above
 //! this layer by [`crate::tables`], which rejects inserts past the
 //! configured flow budget.
+//!
+//! # Flow lifecycle support
+//!
+//! Every live slot carries a *touch stamp*: the table's lazy clock
+//! value at the entry's last write (insert, replace, or
+//! [`FlowTable::get_mut`]). The runtime advances the clock with
+//! [`FlowTable::set_clock`] before dispatching a batch — one store, no
+//! per-packet time syscall — and the stamps feed two reclaim paths:
+//!
+//! * [`FlowTable::collect_idle`] — keys whose stamp is at or below a
+//!   deadline (idle-timeout aging);
+//! * [`FlowTable::lru_victim`] — an approximate-LRU victim chosen by a
+//!   deterministic clock-hand sample of [`LRU_PROBES`] live slots
+//!   (ties break toward the lower stamp, then the lower slot index),
+//!   so the bounded-memory backstop costs O(probes), not O(table).
+//!
+//! Reads deliberately do *not* touch: under spraying, foreign cores
+//! read a designated core's table without write access, so only writes
+//! can stamp — and a flow that is read but never written is, for state
+//! purposes, idle.
 
 use sprayer_net::FlowKey;
 
 /// Minimum slot-array size (power of two).
 const MIN_SLOTS: usize = 16;
+
+/// Live slots sampled per [`FlowTable::lru_victim`] call.
+const LRU_PROBES: usize = 16;
 
 #[derive(Debug, Clone)]
 enum Slot<S> {
@@ -37,8 +60,8 @@ enum Slot<S> {
     /// Previously occupied: probe chains continue through it, inserts
     /// may reuse it.
     Tombstone,
-    /// A live entry, stored inline.
-    Full(FlowKey, S),
+    /// A live entry, stored inline, with its last write-touch stamp.
+    Full(FlowKey, S, u64),
 }
 
 /// A linear-probing open-addressing hash table keyed by [`FlowKey`],
@@ -49,6 +72,11 @@ pub struct FlowTable<S> {
     mask: u64,
     len: usize,
     tombstones: usize,
+    /// Lazy clock: stamps applied to write-touched entries. Advanced by
+    /// the runtime ([`FlowTable::set_clock`]), never by the table.
+    clock: u64,
+    /// Clock hand for the LRU victim sampler (wraps over slot indices).
+    hand: usize,
 }
 
 impl<S> Default for FlowTable<S> {
@@ -80,7 +108,20 @@ impl<S> FlowTable<S> {
             mask: (slots - 1) as u64,
             len: 0,
             tombstones: 0,
+            clock: 0,
+            hand: 0,
         }
+    }
+
+    /// Advance the lazy clock: subsequent write-touches stamp `now`.
+    /// Monotone by contract (an older value is ignored).
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = self.clock.max(now);
+    }
+
+    /// The lazy clock's current value.
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// Live entries.
@@ -104,7 +145,7 @@ impl<S> FlowTable<S> {
         loop {
             match &self.slots[i] {
                 Slot::Empty => return None,
-                Slot::Full(k, _) if k == key => return Some(i),
+                Slot::Full(k, _, _) if k == key => return Some(i),
                 _ => i = (i + 1) & self.mask as usize,
             }
         }
@@ -114,18 +155,34 @@ impl<S> FlowTable<S> {
     pub fn get(&self, key: &FlowKey) -> Option<&S> {
         match self.find(key) {
             Some(i) => match &self.slots[i] {
-                Slot::Full(_, s) => Some(s),
+                Slot::Full(_, s, _) => Some(s),
                 _ => unreachable!("find returns Full slots"),
             },
             None => None,
         }
     }
 
-    /// Mutable reference to `key`'s state.
+    /// Mutable reference to `key`'s state. A write-touch: the entry's
+    /// stamp advances to the current clock.
     pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut S> {
+        let clock = self.clock;
         match self.find(key) {
             Some(i) => match &mut self.slots[i] {
-                Slot::Full(_, s) => Some(s),
+                Slot::Full(_, s, stamp) => {
+                    *stamp = clock;
+                    Some(s)
+                }
+                _ => unreachable!("find returns Full slots"),
+            },
+            None => None,
+        }
+    }
+
+    /// The clock value at `key`'s last write-touch.
+    pub fn last_touch(&self, key: &FlowKey) -> Option<u64> {
+        match self.find(key) {
+            Some(i) => match &self.slots[i] {
+                Slot::Full(_, _, stamp) => Some(*stamp),
                 _ => unreachable!("find returns Full slots"),
             },
             None => None,
@@ -149,7 +206,8 @@ impl<S> FlowTable<S> {
         let mut first_tombstone: Option<usize> = None;
         loop {
             match &mut self.slots[i] {
-                Slot::Full(k, s) if *k == key => {
+                Slot::Full(k, s, stamp) if *k == key => {
+                    *stamp = self.clock;
                     return Some(std::mem::replace(s, state));
                 }
                 Slot::Full(..) => {}
@@ -166,7 +224,7 @@ impl<S> FlowTable<S> {
                         }
                         None => i,
                     };
-                    self.slots[target] = Slot::Full(key, state);
+                    self.slots[target] = Slot::Full(key, state, self.clock);
                     self.len += 1;
                     return None;
                 }
@@ -179,13 +237,56 @@ impl<S> FlowTable<S> {
     pub fn remove(&mut self, key: &FlowKey) -> Option<S> {
         let i = self.find(key)?;
         match std::mem::replace(&mut self.slots[i], Slot::Tombstone) {
-            Slot::Full(_, s) => {
+            Slot::Full(_, s, _) => {
                 self.len -= 1;
                 self.tombstones += 1;
                 Some(s)
             }
             _ => unreachable!("find returns Full slots"),
         }
+    }
+
+    /// Keys whose last write-touch is at or below `deadline`, in slot
+    /// order (deterministic). The idle-timeout sweep: the caller
+    /// computes `deadline = clock - timeout` and removes the survivors
+    /// it actually wants gone.
+    pub fn collect_idle(&self, deadline: u64) -> Vec<FlowKey> {
+        self.slots
+            .iter()
+            .filter_map(|slot| match slot {
+                Slot::Full(k, _, stamp) if *stamp <= deadline => Some(*k),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Approximate-LRU victim: deterministically sample up to
+    /// [`LRU_PROBES`] live slots from the clock hand and return the key
+    /// with the oldest stamp (ties break toward the lower slot index).
+    /// Advances the hand so repeated calls cycle the whole table.
+    pub fn lru_victim(&mut self) -> Option<FlowKey> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.slots.len();
+        let mut best: Option<(u64, usize, FlowKey)> = None;
+        let mut sampled = 0usize;
+        let mut scanned = 0usize;
+        let mut i = self.hand % n;
+        while sampled < LRU_PROBES && scanned < n {
+            if let Slot::Full(k, _, stamp) = &self.slots[i] {
+                sampled += 1;
+                let candidate = (*stamp, i, *k);
+                best = match best {
+                    Some(b) if (b.0, b.1) <= (candidate.0, candidate.1) => Some(b),
+                    _ => Some(candidate),
+                };
+            }
+            i = (i + 1) % n;
+            scanned += 1;
+        }
+        self.hand = i;
+        best.map(|(_, _, k)| k)
     }
 
     /// Double the slot array (or compact tombstones away) and rehash.
@@ -203,13 +304,14 @@ impl<S> FlowTable<S> {
         );
         self.mask = (new_slots - 1) as u64;
         self.tombstones = 0;
+        self.hand = 0;
         for slot in old {
-            if let Slot::Full(key, state) = slot {
+            if let Slot::Full(key, state, stamp) = slot {
                 let mut i = (key.stable_hash() & self.mask) as usize;
                 while !matches!(self.slots[i], Slot::Empty) {
                     i = (i + 1) & self.mask as usize;
                 }
-                self.slots[i] = Slot::Full(key, state);
+                self.slots[i] = Slot::Full(key, state, stamp);
             }
         }
     }
@@ -218,7 +320,7 @@ impl<S> FlowTable<S> {
     /// operation history, independent of process or machine.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &S)> {
         self.slots.iter().filter_map(|slot| match slot {
-            Slot::Full(k, s) => Some((k, s)),
+            Slot::Full(k, s, _) => Some((k, s)),
             _ => None,
         })
     }
@@ -253,7 +355,7 @@ impl<S> Iterator for IntoIter<S> {
 
     fn next(&mut self) -> Option<(FlowKey, S)> {
         for slot in self.slots.by_ref() {
-            if let Slot::Full(k, s) = slot {
+            if let Slot::Full(k, s, _) = slot {
                 return Some((k, s));
             }
         }
@@ -395,5 +497,92 @@ mod tests {
     fn capacity_hint_presizes() {
         let t: FlowTable<u32> = FlowTable::with_capacity_hint(1000);
         assert!(t.slot_count() >= 1024 + 512, "hint must leave probe slack");
+    }
+
+    #[test]
+    fn write_touches_stamp_the_clock_and_reads_do_not() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        t.insert(key(1), 1);
+        assert_eq!(t.last_touch(&key(1)), Some(0));
+        t.set_clock(10);
+        assert_eq!(t.get(&key(1)), Some(&1), "read…");
+        assert_eq!(t.last_touch(&key(1)), Some(0), "…does not touch");
+        *t.get_mut(&key(1)).unwrap() += 1;
+        assert_eq!(t.last_touch(&key(1)), Some(10), "get_mut touches");
+        t.set_clock(20);
+        t.insert(key(1), 5);
+        assert_eq!(t.last_touch(&key(1)), Some(20), "replace touches");
+        t.set_clock(5);
+        assert_eq!(t.clock(), 20, "the clock never runs backwards");
+    }
+
+    #[test]
+    fn collect_idle_finds_exactly_the_expired_entries() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for i in 0..8u32 {
+            t.set_clock(u64::from(i) * 10);
+            t.insert(key(i), i);
+        }
+        // deadline 30: entries stamped 0,10,20,30 are idle.
+        let idle = t.collect_idle(30);
+        assert_eq!(idle.len(), 4);
+        for k in &idle {
+            assert!(t.last_touch(k).unwrap() <= 30);
+        }
+        // A touch rescues an entry from the next sweep.
+        t.set_clock(100);
+        *t.get_mut(&key(0)).unwrap() = 99;
+        assert!(!t.collect_idle(30).contains(&key(0)));
+    }
+
+    #[test]
+    fn lru_victim_prefers_the_oldest_stamp_and_cycles() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for i in 0..8u32 {
+            t.set_clock(u64::from(i) * 10);
+            t.insert(key(i), i);
+        }
+        // Repeated victim+remove drains the table oldest-first within
+        // each sample window; with 8 entries and 16 probes the sample
+        // covers the whole table, so eviction order is exact LRU.
+        let mut order = Vec::new();
+        while let Some(victim) = t.lru_victim() {
+            order.push(t.last_touch(&victim).unwrap());
+            t.remove(&victim);
+        }
+        assert_eq!(order.len(), 8);
+        assert!(order.windows(2).all(|w| w[0] <= w[1]), "stamps {order:?}");
+        assert!(t.lru_victim().is_none(), "empty table has no victim");
+    }
+
+    #[test]
+    fn lru_victim_is_deterministic() {
+        let build = || {
+            let mut t: FlowTable<u32> = FlowTable::new();
+            for i in 0..200u32 {
+                t.set_clock(u64::from(i));
+                t.insert(key(i), i);
+            }
+            let mut picks = Vec::new();
+            for _ in 0..20 {
+                let v = t.lru_victim().unwrap();
+                picks.push(v);
+                t.remove(&v);
+            }
+            picks
+        };
+        assert_eq!(build(), build(), "identical histories pick identically");
+    }
+
+    #[test]
+    fn grow_preserves_stamps() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        for i in 0..1000u32 {
+            t.set_clock(u64::from(i));
+            t.insert(key(i), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(t.last_touch(&key(i)), Some(u64::from(i)), "key {i}");
+        }
     }
 }

@@ -165,6 +165,9 @@ pub struct MiddleboxSim<NF: NetworkFunction> {
     /// Cores pause until this instant after a reconfiguration (the
     /// quiesce-and-migrate downtime). `Time::ZERO` = not frozen.
     frozen_until: Time,
+    /// Next idle-sweep instant for the flow-lifecycle aging pass;
+    /// `None` when no idle timeout is configured (zero cost).
+    next_sweep: Option<Time>,
     /// One report per completed [`MiddleboxSim::reconfigure`] call.
     reconfigs: Vec<ReconfigReport>,
     /// Per-core crash flags ([`MiddleboxSim::inject_core_failure`]); a
@@ -261,7 +264,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         } else {
             CoreMap::new(designated_mode, config.num_cores)
         };
-        let tables = LocalTables::new(coremap.clone(), nf_config.flow_table_capacity);
+        let mut tables = LocalTables::new(coremap.clone(), nf_config.flow_table_capacity);
+        tables.set_lifecycle(config.lifecycle);
         let cores = (0..config.num_cores)
             .map(|_| CoreSim {
                 rx: BoundedFifo::new(config.queue_capacity),
@@ -276,7 +280,8 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         // elided entirely.
         let scr = (config.mode == DispatchMode::Scr && !nf_config.stateless)
             .then(|| ScrPlane::new(config.num_cores, config.scr_log_capacity));
-        let stats = MiddleboxStats::new(config.num_cores);
+        let mut stats = MiddleboxStats::new(config.num_cores);
+        stats.lifecycle_enabled = config.lifecycle.enabled();
         let tracer = config.obs.trace.then(|| SimTracer {
             ring: TraceRing::new(config.obs.trace_ring_capacity * config.num_cores),
             seq: 0,
@@ -336,6 +341,10 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             tail,
             flight,
             frozen_until: Time::ZERO,
+            next_sweep: config
+                .lifecycle
+                .idle_timeout_us
+                .map(|_| Time::from_us(config.lifecycle.sweep_interval_us.max(1))),
             reconfigs: Vec::new(),
             failed: vec![false; config.num_cores],
             fail_time: vec![None; config.num_cores],
@@ -508,6 +517,77 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let cycles = self.scr_replay(core);
             self.stats.per_core[core].busy_cycles += cycles;
         }
+    }
+
+    /// Run the NF's [`NetworkFunction::evict_flow`] hook on every entry
+    /// the lifecycle layer staged on `core` (the hook cannot run inside
+    /// the table context — it needs the NF), then, under SCR, publish
+    /// any eviction `Del`s still sitting in the mutation log so the
+    /// victims disappear from every replica.
+    fn run_eviction_hooks(&mut self, core: usize) {
+        // Per-core runtime structures never shrink on scale-down, but
+        // the tables' do — cores past the current epoch have no table.
+        if core >= self.tables.map().num_cores() {
+            return;
+        }
+        let evicted = self.tables.take_evictions(core);
+        if evicted.is_empty() {
+            return;
+        }
+        for (key, mut state, reason) in evicted {
+            self.nf.evict_flow(&key, &mut state, reason);
+        }
+        if self.scr.is_some() {
+            self.scr_publish(core, &[], &[]);
+        }
+    }
+
+    /// Lifecycle aging pass: when an idle timeout is configured and the
+    /// sweep interval has elapsed, sweep every live core's table for
+    /// expired entries and run the eviction hooks. Runs between events
+    /// (from [`MiddleboxSim::advance_until`]), so it never interleaves
+    /// with a batch's mutation log.
+    fn maybe_sweep(&mut self, now: Time) {
+        let Some(due) = self.next_sweep else {
+            return;
+        };
+        if now < due {
+            return;
+        }
+        let interval = Time::from_us(self.config.lifecycle.sweep_interval_us.max(1));
+        let mut next = due;
+        while next <= now {
+            next += interval;
+        }
+        self.next_sweep = Some(next);
+        let now_us = now.as_ps() / SIM_TICKS_PER_US;
+        // Bound by the tables' core count: runtime per-core structures
+        // never shrink on scale-down, the tables' do.
+        for core in 0..self.tables.map().num_cores().min(self.cores.len()) {
+            if self.failed[core] {
+                continue;
+            }
+            self.tables.sweep_idle(core, now_us);
+            self.run_eviction_hooks(core);
+        }
+        self.sync_lifecycle();
+    }
+
+    /// Copy the table layer's cumulative lifecycle counters into the
+    /// stats block and advance the residency high-water mark. Called at
+    /// sync points (end of [`MiddleboxSim::advance_until`] and after
+    /// every control-plane transition), so `stats()` always reflects
+    /// the tables.
+    fn sync_lifecycle(&mut self) {
+        let c = self.tables.counters();
+        self.stats.flows_created = c.created;
+        self.stats.fin_reclaimed = c.fin_reclaimed;
+        self.stats.idle_expired = c.idle_expired;
+        self.stats.lru_evicted = c.lru_evicted;
+        self.stats.replica_dels = c.replica_dels;
+        self.stats.flows_dropped = c.dropped;
+        self.stats.table_live = self.tables.total_entries() as u64;
+        self.stats.table_occupancy_hwm = self.stats.table_occupancy_hwm.max(self.stats.table_live);
     }
 
     /// Record a flight-recorder event on `core` at simulated time `ts`.
@@ -860,15 +940,27 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             let Reverse((t, _, core)) = self.heap.pop().expect("peeked");
             self.now = self.now.max(t);
             self.complete(core, t);
+            // Aging runs between events, at event granularity: each
+            // completion checks whether a sweep came due.
+            self.maybe_sweep(self.now);
         }
         self.now = self.now.max(deadline);
         // At rest (no events left), idle cores poll their SCR logs:
         // replicas converge and the replay gap closes whenever the
         // plane drains — the `scr_replay_gap() == 0` acceptance
         // condition holds at every quiet point, not just at shutdown.
+        // Drain BEFORE the deadline sweep: a Put still queued in an
+        // idle replica's log would otherwise materialize after the
+        // last sweep and survive until the next advance. Then drain
+        // again so the sweep's eviction Dels land on every replica.
         if self.heap.is_empty() {
             self.scr_drain_live();
         }
+        self.maybe_sweep(self.now);
+        if self.heap.is_empty() {
+            self.scr_drain_live();
+        }
+        self.sync_lifecycle();
     }
 
     /// Run standalone until the internal queue empties or `deadline`.
@@ -1093,6 +1185,10 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                         ring_dq,
                     )
                 });
+                // Advance the lazy lifecycle clock so this batch's
+                // writes carry fresh touch stamps (write-touch aging).
+                self.tables
+                    .touch_clock(core, now.as_ps() / SIM_TICKS_PER_US);
                 // One invocation path with the threaded runtime: the
                 // engine's batch call, here with the event's single
                 // packet (each service completion is one event).
@@ -1107,9 +1203,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                 let verdict = self.sink.verdicts()[0];
                 // SCR publish-after-dispatch: whatever state the batch
                 // wrote ships to every peer's log before the next job.
+                // An LRU-backstop victim's Del is in this batch's
+                // mutation log, so it ships here too.
                 if self.scr.is_some() {
                     self.scr_publish(core, std::slice::from_ref(&pkt), &[is_conn]);
                 }
+                // Victims the batch's inserts evicted (LRU backstop):
+                // their Dels just shipped; run the NF's hook.
+                self.run_eviction_hooks(core);
                 engine::account(&mut self.stats.per_core[core], is_conn, via_ring);
                 let sojourn = now.saturating_sub(arrival);
                 self.latency_us.add(sojourn.as_us_f64());
@@ -1179,6 +1280,9 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
                     }
                     Verdict::Drop => self.stats.nf_drops += 1,
                 }
+                // Residency high-water must see the post-batch peak,
+                // not just the quiet points advance_until syncs at.
+                self.sync_lifecycle();
             }
         }
         self.kick(core, now);
@@ -1209,10 +1313,22 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
     /// sampling, not tracing.
     pub fn reconfigure(&mut self, at: Time, new_cores: usize) -> ReconfigReport {
         assert!(new_cores >= 1, "cannot scale to zero cores");
+        // A failed core whose recovery already ran (it is failed-over in
+        // the core map) is merely *absent* — the rescale re-provisions
+        // the deployment and reinstates it, exactly as
+        // [`CoreMap::rescaled`] starting all-healthy implies. A failed
+        // core the watchdog has NOT yet detected is a corpse, and
+        // rescaling over it would silently resurrect it: still rejected.
         assert!(
-            self.failed.iter().all(|f| !f),
+            (0..self.failed.len()).all(|c| !self.failed[c] || self.coremap.is_failed(c)),
             "recover failed cores before a planned rescale"
         );
+        for c in 0..self.failed.len() {
+            if self.failed[c] {
+                self.failed[c] = false;
+                self.fail_time[c] = None;
+            }
+        }
         self.advance_until(at);
         let now = self.now;
         let from_cores = self.coremap.num_cores();
@@ -1239,6 +1355,11 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         // rescale branch builds is the *converged* state and joining
         // cores bootstrap from snapshot + fully-drained log tail.
         self.scr_drain_live();
+        // Flush staged lifecycle evictions too — the rescale resets the
+        // staging queues, and the hooks must run against the old epoch.
+        for core in 0..self.cores.len() {
+            self.run_eviction_hooks(core);
+        }
 
         // Remap: next core-map epoch + NIC reprogram for the new queue
         // count.
@@ -1343,6 +1464,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             },
         );
         self.reconfigs.push(report);
+        self.sync_lifecycle();
         report
     }
 
@@ -1458,6 +1580,14 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
         if let Some(plane) = self.scr.as_mut() {
             self.stats.scr_log_drops += plane.truncate(failed_core);
         }
+        // Flush staged lifecycle evictions against the old epoch (the
+        // failover resets the staging queues; a failed core cannot have
+        // any — sweeps skip it and its last batch drained its own).
+        for core in 0..self.cores.len() {
+            if !self.failed[core] {
+                self.run_eviction_hooks(core);
+            }
+        }
 
         // Remap over the survivors and reprogram the NIC to their queue
         // count; `queue_map` translates the shrunken queue space back to
@@ -1528,6 +1658,7 @@ impl<NF: NetworkFunction> MiddleboxSim<NF> {
             },
         );
         self.recoveries.push(report);
+        self.sync_lifecycle();
         report
     }
 }
@@ -1579,6 +1710,179 @@ mod tests {
 
     fn cfg(mode: DispatchMode, cycles: u64) -> MiddleboxConfig {
         MiddleboxConfig::paper_testbed_with_cycles(mode, cycles)
+    }
+
+    /// Test NF with a bounded flow table that counts its `evict_flow`
+    /// hook invocations by reason.
+    struct EvictNf {
+        capacity: usize,
+        idle: std::sync::atomic::AtomicU64,
+        lru: std::sync::atomic::AtomicU64,
+    }
+    impl EvictNf {
+        fn with_capacity(capacity: usize) -> Self {
+            EvictNf {
+                capacity,
+                idle: std::sync::atomic::AtomicU64::new(0),
+                lru: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+        fn hook_counts(&self) -> (u64, u64) {
+            (
+                self.idle.load(std::sync::atomic::Ordering::Relaxed),
+                self.lru.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        }
+    }
+    impl NetworkFunction for EvictNf {
+        type Flow = usize;
+        fn descriptor(&self) -> NfDescriptor {
+            NfDescriptor::named("evict")
+        }
+        fn config(&self) -> NfConfig {
+            NfConfig {
+                flow_table_capacity: self.capacity,
+                ..NfConfig::default()
+            }
+        }
+        fn connection_packets(
+            &self,
+            pkt: &mut Packet,
+            ctx: &mut dyn FlowStateApi<usize>,
+        ) -> Verdict {
+            if let Some(t) = pkt.tuple() {
+                let core = ctx.core_id();
+                ctx.insert_local_flow(t.key(), core);
+            }
+            Verdict::Forward
+        }
+        fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<usize>) -> Verdict {
+            if let Some(t) = pkt.tuple() {
+                ctx.modify_local_flow(&t.key(), &mut |_| {});
+            }
+            Verdict::Forward
+        }
+        fn evict_flow(&self, _key: &FlowKey, _state: &mut usize, reason: crate::api::EvictReason) {
+            use std::sync::atomic::Ordering;
+            match reason {
+                crate::api::EvictReason::Idle => self.idle.fetch_add(1, Ordering::Relaxed),
+                crate::api::EvictReason::Capacity => self.lru.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    #[test]
+    fn idle_flows_expire_with_hooks_and_conservation_in_every_mode() {
+        for mode in DispatchMode::ALL {
+            let mut config = cfg(mode, 1_000);
+            config.lifecycle = crate::config::LifecycleConfig {
+                idle_timeout_us: Some(200),
+                sweep_interval_us: 50,
+                lru_backstop: false,
+            };
+            let mut mb = MiddleboxSim::new(config, EvictNf::with_capacity(1 << 10));
+            let mut now = Time::ZERO;
+            for i in 0..24u32 {
+                now += Time::from_us(2);
+                let t = flow(i);
+                mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+            }
+            // Long quiet horizon: every flow passes the idle deadline
+            // and the periodic sweep reclaims it.
+            mb.run_until(now + Time::from_ms(5));
+            let s = mb.stats();
+            assert!(s.lifecycle_enabled, "{mode:?}");
+            assert_eq!(s.table_live, 0, "{mode:?}: all flows must idle out");
+            assert_eq!(mb.tables().total_entries(), 0, "{mode:?}");
+            assert_eq!(s.idle_expired, 24, "{mode:?}: one expiry per flow");
+            assert_eq!(s.flow_unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.scr_replay_gap(), 0, "{mode:?}");
+            let (idle_hooks, lru_hooks) = mb.nf().hook_counts();
+            assert_eq!(idle_hooks, 24, "{mode:?}: hook fires once per expiry");
+            assert_eq!(lru_hooks, 0, "{mode:?}");
+            if mode == DispatchMode::Scr {
+                // The sweeping owner ships a Del to all 7 replicas.
+                assert_eq!(s.replica_dels, 24 * 7, "{mode:?}");
+            }
+            // High-water reflects the warm phase, not the drained end.
+            assert!(s.table_occupancy_hwm >= 24, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn lru_backstop_bounds_table_memory_under_flow_overload() {
+        for mode in DispatchMode::ALL {
+            let mut config = cfg(mode, 1_000);
+            // No idle timeout: only the capacity backstop reclaims.
+            config.lifecycle = crate::config::LifecycleConfig {
+                idle_timeout_us: None,
+                sweep_interval_us: 1_000,
+                lru_backstop: true,
+            };
+            let capacity = 4usize;
+            let mut mb = MiddleboxSim::new(config, EvictNf::with_capacity(capacity));
+            let mut now = Time::ZERO;
+            let n = 96u32;
+            for i in 0..n {
+                now += Time::from_us(2);
+                let t = flow(i);
+                mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+            }
+            mb.run_until(now + Time::from_ms(5));
+            let s = mb.stats();
+            let bound = (capacity * 8) as u64;
+            assert!(
+                s.table_live <= bound,
+                "{mode:?}: live {} exceeds the {bound} backstop bound",
+                s.table_live
+            );
+            assert!(
+                s.table_occupancy_hwm <= bound,
+                "{mode:?}: hwm {} exceeds the {bound} backstop bound",
+                s.table_occupancy_hwm
+            );
+            assert!(s.lru_evicted > 0, "{mode:?}: overload must evict");
+            assert_eq!(s.forwarded, u64::from(n), "{mode:?}: no insert sheds");
+            assert_eq!(s.flow_unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.scr_replay_gap(), 0, "{mode:?}");
+            let (_, lru_hooks) = mb.nf().hook_counts();
+            assert_eq!(lru_hooks, s.lru_evicted, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_survives_crash_and_rescale_with_identity_intact() {
+        for mode in DispatchMode::ALL {
+            let mut config = cfg(mode, 1_000);
+            config.num_cores = 4;
+            config.lifecycle = crate::config::LifecycleConfig {
+                idle_timeout_us: Some(300),
+                sweep_interval_us: 50,
+                lru_backstop: true,
+            };
+            let mut mb = MiddleboxSim::new_elastic(config, EvictNf::with_capacity(1 << 10));
+            let mut now = Time::ZERO;
+            for i in 0..32u32 {
+                now += Time::from_us(2);
+                let t = flow(i);
+                mb.ingress(now, PacketBuilder::new().tcp(t, 0, 0, TcpFlags::SYN, b""));
+            }
+            mb.run_until(now + Time::from_us(50));
+            mb.reconfigure(mb.now() + Time::from_us(10), 3);
+            mb.run_until(mb.now() + Time::from_us(100));
+            mb.inject_core_failure(mb.now() + Time::from_us(1), 1);
+            mb.recover(mb.now() + Time::from_us(50), 1);
+            mb.run_until(mb.now() + Time::from_ms(5));
+            let s = mb.stats();
+            assert_eq!(
+                s.table_live, 0,
+                "{mode:?}: survivors' flows idle out after the chaos"
+            );
+            assert_eq!(s.flow_unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.scr_replay_gap(), 0, "{mode:?}");
+            assert!(s.flows_dropped > 0, "{mode:?}: epoch transitions drain");
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@
 //! threads, no async runtime.
 
 use crate::api::{NetworkFunction, Verdict, VerdictSink};
-use crate::config::{DispatchMode, ObsConfig};
+use crate::config::{DispatchMode, LifecycleConfig, ObsConfig};
 use crate::coremap::CoreMap;
 use crate::elastic::ReconfigReport;
 use crate::engine::{self, Engine, PacketClass};
@@ -154,6 +154,12 @@ pub struct ThreadedConfig {
     /// counters (internal slots are allocated if [`ThreadedConfig::live`]
     /// is `None`). `None` (the default) spawns no watchdog.
     pub watchdog_deadline_ns: Option<u64>,
+    /// Flow-lifecycle policy: idle-timeout aging plus the bounded-memory
+    /// LRU backstop. Disabled by default — entries then live until the
+    /// NF removes them. The lifecycle clock is the wall clock in
+    /// microseconds since the run anchor; sweeps run between batches on
+    /// each worker's own thread, never concurrently with its NF calls.
+    pub lifecycle: LifecycleConfig,
 }
 
 /// One injected worker fault, modelled on the failures the paper's
@@ -211,6 +217,7 @@ impl ThreadedConfig {
             profile_live: None,
             fault: None,
             watchdog_deadline_ns: None,
+            lifecycle: LifecycleConfig::disabled(),
         }
     }
 }
@@ -480,6 +487,19 @@ struct Worker<'a, NF: NetworkFunction> {
     scr_done_marked: bool,
     /// Scratch update buffer for [`NetworkFunction::replicate_updates`].
     scr_ops: Vec<UpdateOp<NF::Flow>>,
+    /// True when any lifecycle policy is on (idle aging or the LRU
+    /// backstop) — gates the per-iteration clock touch.
+    lifecycle_on: bool,
+    /// Next idle-sweep deadline, µs of wall clock since the run anchor.
+    /// `None` when no idle timeout is configured (sweeps disabled).
+    next_sweep_us: Option<u64>,
+    /// Highest shared-table total occupancy this worker observed
+    /// (sampled at its own sweeps and batch ends); max-folded into
+    /// [`MiddleboxStats::table_occupancy_hwm`] at join.
+    table_hwm: u64,
+    /// Evicted entries whose NF hook this worker has fired — the
+    /// running total the live memory pane polls.
+    evictions_hooked: u64,
 }
 
 impl<NF: NetworkFunction> Engine for Worker<'_, NF> {
@@ -522,6 +542,7 @@ struct WorkerResult {
     flight: Option<FlightRing>,
     tail: Option<TailReport>,
     scr_lag_hist: [u64; BATCH_HIST_BUCKETS],
+    table_hwm: u64,
 }
 
 /// Drain a dead worker's queues, counting every stranded descriptor as
@@ -639,7 +660,11 @@ impl ThreadedMiddlebox {
         } else {
             CoreMap::new(config.mode, first_workers)
         };
-        let mut tables = SharedTables::new(coremap.clone(), nf_config.flow_table_capacity);
+        let mut tables = SharedTables::with_lifecycle(
+            coremap.clone(),
+            nf_config.flow_table_capacity,
+            config.lifecycle,
+        );
         let nic_config_for = |queues: usize| match config.mode {
             DispatchMode::Rss => NicConfig::rss(queues),
             // No rate cap here: wall-clock timing is not modeled. SCR
@@ -655,6 +680,7 @@ impl ThreadedMiddlebox {
         let mut fault_pending = config.fault;
 
         let mut stats = MiddleboxStats::new(num_workers);
+        stats.lifecycle_enabled = config.lifecycle.enabled();
         let mut outcome = ThreadedOutcome {
             forwarded: Vec::new(),
             nf_drops: 0,
@@ -735,6 +761,10 @@ impl ThreadedMiddlebox {
                 // synchronization — quiesce → remap → migrate → resume.
                 let transition = Instant::now();
                 let at_ns = anchor.elapsed().as_nanos() as u64;
+                // Pre-migration occupancy is a high-water candidate the
+                // workers' own sampling can miss (they have joined).
+                stats.table_occupancy_hwm =
+                    stats.table_occupancy_hwm.max(tables.total_entries() as u64);
                 let new_map = coremap.rescaled(phase_workers);
                 let (new_tables, migration) =
                     tables.rescaled(new_map.clone(), &mut |key, state, _from, to| {
@@ -1010,6 +1040,7 @@ impl ThreadedMiddlebox {
                 outcome.forwarded.extend(r.out);
                 stats.per_core[worker].merge(&r.stats);
                 stats.per_core[worker].observe_rx_depth(rx_hwm[worker]);
+                stats.table_occupancy_hwm = stats.table_occupancy_hwm.max(r.table_hwm);
                 for (bucket, n) in stats.scr_lag_hist.iter_mut().zip(r.scr_lag_hist) {
                     *bucket += n;
                 }
@@ -1036,6 +1067,19 @@ impl ThreadedMiddlebox {
                 }
             }
         }
+        // Lifecycle counters are cumulative on the shared tables (they
+        // survive `rescaled` epoch transitions with the flow-entry
+        // conservation identity rebalanced), so the final snapshot is
+        // the run's total.
+        let lc = tables.counters();
+        stats.flows_created = lc.created;
+        stats.fin_reclaimed = lc.fin_reclaimed;
+        stats.idle_expired = lc.idle_expired;
+        stats.lru_evicted = lc.lru_evicted;
+        stats.replica_dels = lc.replica_dels;
+        stats.flows_dropped = lc.dropped;
+        stats.table_live = tables.total_entries() as u64;
+        stats.table_occupancy_hwm = stats.table_occupancy_hwm.max(stats.table_live);
         outcome.redirects = stats.redirects();
         outcome.trace = ingress_ring.map(|ir| {
             let mut rings = worker_rings;
@@ -1217,6 +1261,13 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             scr_lag_hist: [0; BATCH_HIST_BUCKETS],
             scr_done_marked: false,
             scr_ops: Vec::new(),
+            lifecycle_on: shared.tables.lifecycle_config().enabled(),
+            next_sweep_us: {
+                let lc = shared.tables.lifecycle_config();
+                lc.idle_timeout_us.map(|_| lc.sweep_interval_us.max(1))
+            },
+            table_hwm: 0,
+            evictions_hooked: 0,
         }
     }
 
@@ -1300,6 +1351,14 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         }
         if let Some(live) = self.shared.live.as_deref() {
             live.add(self.id, &d);
+            // The memory pane's view: own-core occupancy gauge (one
+            // read-lock on our own table) and the running hook-confirmed
+            // eviction total.
+            live.table(
+                self.id,
+                self.shared.tables.entries_on(self.id) as u64,
+                self.evictions_hooked,
+            );
         }
     }
 
@@ -1393,12 +1452,28 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
                 self.zombie_drain();
                 break;
             }
+            // Advance the lifecycle clock before touching state so the
+            // batch's writes carry fresh stamps — recency feeds both
+            // idle aging and LRU victim choice (one uncontended write
+            // lock on our own table; skipped when the lifecycle is off).
+            if self.lifecycle_on {
+                self.ctx.touch_clock(self.now_ns() / 1_000);
+            }
             // SCR replay before new work — the same replay-before-
             // service ordering the simulator enforces per dequeue.
             let mut did_work = self.scr_replay() > 0;
             // Ring (connection) work first, as in §3.3.
             did_work |= self.drain_ring();
             did_work |= self.drain_rx();
+            // Lifecycle housekeeping between batches: fire hooks for
+            // LRU victims the drains staged (their Dels shipped with
+            // the batch), then age idle entries. Sweeps stop once this
+            // worker enters the SCR shutdown epilogue — a Del published
+            // after the peers quiesced could strand in their logs.
+            self.run_eviction_hooks();
+            if !self.scr_done_marked {
+                self.maybe_sweep();
+            }
 
             if !did_work {
                 // Shutdown: nothing can appear in any ring once all rx
@@ -1449,6 +1524,7 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
             flight: self.flight,
             tail: self.tail.map(|t| t.report()),
             scr_lag_hist: self.scr_lag_hist,
+            table_hwm: self.table_hwm,
         }
     }
 
@@ -1587,6 +1663,64 @@ impl<'a, NF: NetworkFunction> Worker<'a, NF> {
         }
         self.scr_ops = ops;
         self.prof_span(Stage::Redirect, r0);
+    }
+
+    /// Run the NF's [`NetworkFunction::evict_flow`] hook on every
+    /// eviction this worker staged (LRU victims at insert, idle-sweep
+    /// reclaims). Runs between batches on the worker's own thread, so
+    /// the hook never races the NF's packet path. Under SCR the
+    /// victims' Dels were already recorded into the batch mutation log
+    /// and shipped by the surrounding `scr_publish`; replicas applying
+    /// those Dels do not re-fire the hook.
+    fn run_eviction_hooks(&mut self) {
+        let evicted = self.ctx.take_evictions();
+        if evicted.is_empty() {
+            return;
+        }
+        self.evictions_hooked += evicted.len() as u64;
+        for (key, mut state, reason) in evicted {
+            self.nf.evict_flow(&key, &mut state, reason);
+        }
+        // Eviction time is when the table is at its fullest — sample
+        // the occupancy high-water here (and at sweeps).
+        self.table_hwm = self
+            .table_hwm
+            .max(self.shared.tables.total_entries() as u64);
+    }
+
+    /// Idle-timeout aging on the wall clock: once the sweep deadline
+    /// passes, advance this core's lifecycle clock, reclaim its expired
+    /// entries (owner-sharded under SCR — see
+    /// [`SharedCtx::sweep_idle`]), multicast the eviction Dels, and fire
+    /// the NF hooks. A no-op (one branch) when no idle timeout is
+    /// configured.
+    fn maybe_sweep(&mut self) {
+        let Some(due) = self.next_sweep_us else {
+            return;
+        };
+        let now_us = self.now_ns() / 1_000;
+        if now_us < due {
+            return;
+        }
+        let interval = self
+            .shared
+            .tables
+            .lifecycle_config()
+            .sweep_interval_us
+            .max(1);
+        let mut next = due;
+        while next <= now_us {
+            next += interval;
+        }
+        self.next_sweep_us = Some(next);
+        self.table_hwm = self
+            .table_hwm
+            .max(self.shared.tables.total_entries() as u64);
+        self.ctx.sweep_idle(now_us);
+        if self.shared.scr.is_some() {
+            self.scr_publish(&[], &[]);
+        }
+        self.run_eviction_hooks();
     }
 
     /// Fire an injected [`ThreadedFault::Stall`] once its packet
@@ -2359,6 +2493,143 @@ mod tests {
             out.stats.max_rx_occupancy() > 0,
             "rx occupancy high-water mark must be observed"
         );
+    }
+
+    /// Capacity-limited tracker with eviction-hook counters, for the
+    /// lifecycle wiring tests. Regular packets of unknown flows burn a
+    /// deterministic ~200 ns so a filler phase reliably spans several
+    /// sweep intervals of wall clock.
+    struct CappedNf {
+        capacity: usize,
+        idle: AtomicU64,
+        lru: AtomicU64,
+    }
+    impl CappedNf {
+        fn new(capacity: usize) -> Self {
+            CappedNf {
+                capacity,
+                idle: AtomicU64::new(0),
+                lru: AtomicU64::new(0),
+            }
+        }
+    }
+    impl NetworkFunction for CappedNf {
+        type Flow = u32;
+        fn descriptor(&self) -> NfDescriptor {
+            NfDescriptor::named("capped")
+        }
+        fn config(&self) -> crate::api::NfConfig {
+            crate::api::NfConfig {
+                flow_table_capacity: self.capacity,
+                ..crate::api::NfConfig::default()
+            }
+        }
+        fn connection_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<u32>) -> Verdict {
+            if let Some(t) = pkt.tuple() {
+                ctx.insert_local_flow(t.key(), 1);
+            }
+            Verdict::Forward
+        }
+        fn regular_packets(&self, pkt: &mut Packet, ctx: &mut dyn FlowStateApi<u32>) -> Verdict {
+            match pkt.tuple().and_then(|t| ctx.get_flow(&t.key())) {
+                Some(_) => Verdict::Forward,
+                None => {
+                    let t0 = Instant::now();
+                    while t0.elapsed() < Duration::from_nanos(200) {
+                        std::hint::spin_loop();
+                    }
+                    Verdict::Drop
+                }
+            }
+        }
+        fn evict_flow(&self, _key: &FlowKey, _state: &mut u32, reason: crate::api::EvictReason) {
+            match reason {
+                crate::api::EvictReason::Idle => self.idle.fetch_add(1, Ordering::SeqCst),
+                crate::api::EvictReason::Capacity => self.lru.fetch_add(1, Ordering::SeqCst),
+            };
+        }
+    }
+
+    /// Regular packets from flows nobody installed: pure worker load.
+    fn filler_phase(count: u32) -> Vec<Packet> {
+        (0..count)
+            .map(|i| {
+                let t = FiveTuple::tcp(0xac100000 + (i % 512), 50000, 0xc0a80001, 80);
+                PacketBuilder::new().tcp(t, i, 0, TcpFlags::ACK, &payload(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_backstop_bounds_threaded_table_memory() {
+        for mode in DispatchMode::ALL {
+            let nf = CappedNf::new(8);
+            let mut config = ThreadedConfig::new(mode, 4);
+            config.lifecycle = LifecycleConfig {
+                idle_timeout_us: None,
+                sweep_interval_us: 1_000,
+                lru_backstop: true,
+            };
+            let out = ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(64)]);
+            let s = &out.stats;
+            assert!(s.lifecycle_enabled, "{mode:?}");
+            assert_eq!(s.forwarded, 64, "{mode:?}: SYNs always forward");
+            assert!(s.lru_evicted > 0, "{mode:?}: overload must shed: {s:?}");
+            assert_eq!(
+                nf.lru.load(Ordering::SeqCst),
+                s.lru_evicted,
+                "{mode:?}: one hook per LRU victim"
+            );
+            assert_eq!(nf.idle.load(Ordering::SeqCst), 0, "{mode:?}");
+            // Each of the 4 owner tables is capped at 8; SCR replicas
+            // additionally mirror every peer's survivors.
+            let bound = if mode == DispatchMode::Scr {
+                8 * 4 * 4
+            } else {
+                8 * 4
+            };
+            assert!(
+                s.table_live <= bound,
+                "{mode:?}: live {} exceeds bound {bound}",
+                s.table_live
+            );
+            assert!(s.table_occupancy_hwm >= s.table_live, "{mode:?}");
+            assert_eq!(s.flow_unaccounted(), 0, "{mode:?}: {s:?}");
+            assert_eq!(s.unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.scr_replay_gap(), 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn idle_flows_expire_on_the_wall_clock_in_every_mode() {
+        for mode in DispatchMode::ALL {
+            let nf = CappedNf::new(1024);
+            let mut config = ThreadedConfig::new(mode, 4);
+            config.lifecycle = LifecycleConfig {
+                idle_timeout_us: Some(200),
+                sweep_interval_us: 100,
+                lru_backstop: false,
+            };
+            // 24 flows installed up front, then a filler phase whose
+            // spin-per-packet guarantees multiple sweep intervals pass
+            // while every worker keeps polling.
+            let out =
+                ThreadedMiddlebox::run(&config, &nf, vec![syn_phase(24), filler_phase(30_000)]);
+            let s = &out.stats;
+            assert!(s.lifecycle_enabled, "{mode:?}");
+            assert_eq!(s.idle_expired, 24, "{mode:?}: every flow idles out: {s:?}");
+            assert_eq!(s.table_live, 0, "{mode:?}: tables must drain: {s:?}");
+            assert_eq!(nf.idle.load(Ordering::SeqCst), 24, "{mode:?}");
+            assert_eq!(nf.lru.load(Ordering::SeqCst), 0, "{mode:?}");
+            assert!(s.table_occupancy_hwm >= 24, "{mode:?}: {s:?}");
+            assert_eq!(s.flow_unaccounted(), 0, "{mode:?}: {s:?}");
+            assert_eq!(s.unaccounted(), 0, "{mode:?}");
+            assert_eq!(s.scr_replay_gap(), 0, "{mode:?}");
+            if mode == DispatchMode::Scr {
+                // Each owner-side reclaim ships a Del to 3 replicas.
+                assert_eq!(s.replica_dels, 24 * 3, "{mode:?}: {s:?}");
+            }
+        }
     }
 
     #[test]

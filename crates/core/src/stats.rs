@@ -142,6 +142,41 @@ pub struct MiddleboxStats {
     /// the replica was fully caught up.
     #[serde(default)]
     pub scr_lag_hist: [u64; BATCH_HIST_BUCKETS],
+    /// True when a flow-lifecycle policy (idle aging / LRU backstop)
+    /// was configured for the run. Gates the flow-lifecycle block in
+    /// [`MiddleboxStats::to_json`] so pre-lifecycle telemetry documents
+    /// stay byte-identical (an explicit flag, not counters-nonzero:
+    /// `fin_reclaimed` is live in old runs too, via NAT teardown).
+    #[serde(default)]
+    pub lifecycle_enabled: bool,
+    /// Table entries materialized: NF inserts that landed, SCR replica
+    /// `Put`s creating an entry, and epoch-transition re-materialization
+    /// (see [`crate::tables::LifecycleCounters`]).
+    #[serde(default)]
+    pub flows_created: u64,
+    /// Entries removed by the NF itself (FIN/RST-driven teardown).
+    #[serde(default)]
+    pub fin_reclaimed: u64,
+    /// Entries reclaimed by the idle-timeout sweep.
+    #[serde(default)]
+    pub idle_expired: u64,
+    /// Entries evicted by the bounded-memory LRU backstop.
+    #[serde(default)]
+    pub lru_evicted: u64,
+    /// Entries removed by applying a replicated SCR `Del`.
+    #[serde(default)]
+    pub replica_dels: u64,
+    /// Entries drained at epoch transitions or discarded by crashes.
+    #[serde(default)]
+    pub flows_dropped: u64,
+    /// Entries currently resident across all tables (sampled at the
+    /// last stats sync).
+    #[serde(default)]
+    pub table_live: u64,
+    /// High-water mark of total table residency — the bounded-memory
+    /// claim is `table_occupancy_hwm` flattening out after warm-up.
+    #[serde(default)]
+    pub table_occupancy_hwm: u64,
     /// Per-core breakdown.
     pub per_core: Vec<CoreStats>,
 }
@@ -216,6 +251,26 @@ impl MiddleboxStats {
             .saturating_sub(self.scr_applied + self.scr_log_drops)
     }
 
+    /// Flow-entry conservation check, the table-residency analogue of
+    /// [`MiddleboxStats::unaccounted`]: every entry ever created is
+    /// still live or attributed to exactly one removal reason. Signed
+    /// because a bug can miscount in either direction; zero when sound.
+    pub fn flow_unaccounted(&self) -> i64 {
+        self.flows_created as i64
+            - self.table_live as i64
+            - self.fin_reclaimed as i64
+            - self.idle_expired as i64
+            - self.lru_evicted as i64
+            - self.replica_dels as i64
+            - self.flows_dropped as i64
+    }
+
+    /// Total lifecycle evictions (everything reclaimed by policy rather
+    /// than by the NF or an epoch transition).
+    pub fn evictions(&self) -> u64 {
+        self.idle_expired + self.lru_evicted
+    }
+
     /// True if any SCR counter is live — the run used
     /// [`crate::config::DispatchMode::Scr`] and moved at least one
     /// state-update. Gates the `scr_*` block in [`MiddleboxStats::to_json`]
@@ -231,7 +286,9 @@ impl MiddleboxStats {
     /// in their result JSONs, identical for both runtimes. The `scr_*`
     /// fields appear only when [`MiddleboxStats::scr_active`], so Rss and
     /// Sprayer documents (and their committed baselines) are unchanged by
-    /// the existence of the third mode.
+    /// the existence of the third mode; likewise the flow-lifecycle block
+    /// appears only when the run configured a lifecycle policy
+    /// (`lifecycle_enabled`), so pre-lifecycle documents are unchanged.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(256 + 192 * self.per_core.len());
@@ -254,6 +311,23 @@ impl MiddleboxStats {
             self.max_rx_occupancy(),
             self.max_ring_occupancy(),
         );
+        if self.lifecycle_enabled {
+            let _ = write!(
+                s,
+                "\"flows_created\":{},\"fin_reclaimed\":{},\"idle_expired\":{},\
+                 \"lru_evicted\":{},\"replica_dels\":{},\"flows_dropped\":{},\
+                 \"flow_unaccounted\":{},\"table_live\":{},\"table_occupancy_hwm\":{},",
+                self.flows_created,
+                self.fin_reclaimed,
+                self.idle_expired,
+                self.lru_evicted,
+                self.replica_dels,
+                self.flows_dropped,
+                self.flow_unaccounted(),
+                self.table_live,
+                self.table_occupancy_hwm,
+            );
+        }
         if self.scr_active() {
             let lag: Vec<String> = self.scr_lag_hist.iter().map(u64::to_string).collect();
             let _ = write!(
@@ -354,6 +428,48 @@ mod tests {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn flow_lifecycle_block_is_gated_and_identity_closes() {
+        let mut s = MiddleboxStats::new(2);
+        s.offered = 10;
+        s.forwarded = 10;
+        // NAT teardown keeps fin_reclaimed live even in pre-lifecycle
+        // runs — the JSON block must key off the explicit flag, not off
+        // counters being nonzero.
+        s.flows_created = 5;
+        s.fin_reclaimed = 5;
+        assert!(
+            !s.to_json().contains("flows_created"),
+            "lifecycle block must stay out of pre-lifecycle documents"
+        );
+        s.lifecycle_enabled = true;
+        s.flows_created = 10;
+        s.idle_expired = 2;
+        s.lru_evicted = 1;
+        s.table_live = 2;
+        s.table_occupancy_hwm = 6;
+        assert_eq!(s.flow_unaccounted(), 0);
+        assert_eq!(s.evictions(), 3);
+        let j = s.to_json();
+        for key in [
+            "\"flows_created\":10",
+            "\"fin_reclaimed\":5",
+            "\"idle_expired\":2",
+            "\"lru_evicted\":1",
+            "\"replica_dels\":0",
+            "\"flows_dropped\":0",
+            "\"flow_unaccounted\":0",
+            "\"table_live\":2",
+            "\"table_occupancy_hwm\":6",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Miscounts surface signed.
+        s.table_live = 3;
+        assert_eq!(s.flow_unaccounted(), -1);
     }
 
     #[test]

@@ -22,13 +22,122 @@
 //!   any lock; in `#![forbid(unsafe_code)]` Rust the RwLock is the
 //!   cheapest sound encoding of that discipline.)
 
-use crate::api::{FlowStateApi, InsertOutcome};
-use crate::config::DispatchMode;
+use crate::api::{EvictReason, FlowStateApi, InsertOutcome};
+use crate::config::{DispatchMode, LifecycleConfig};
 use crate::coremap::CoreMap;
 use crate::flowtable::FlowTable;
 use parking_lot::RwLock;
 use sprayer_net::FlowKey;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Flow-entry conservation.
+// ---------------------------------------------------------------------
+
+/// Cumulative flow-entry lifecycle counters, maintained by both table
+/// backends so that every physical table-entry creation and removal is
+/// attributed to exactly one cause. The conservation identity
+/// [`LifecycleCounters::unaccounted`] checks (mirroring the packet-level
+/// `MiddleboxStats::unaccounted`):
+///
+/// ```text
+/// created == live + fin_reclaimed + idle_expired + lru_evicted
+///                 + replica_dels + dropped
+/// ```
+///
+/// Creations: NF inserts that landed (`Inserted`, including
+/// LRU-backstop admissions), SCR replica `Put`s that materialized a new
+/// entry, and epoch transitions re-materializing entries in next-epoch
+/// tables. Removals: NF-initiated teardown (`fin_reclaimed` — FIN/RST
+/// handling calls `remove_local_flow`), idle-timeout sweeps
+/// (`idle_expired`), capacity evictions (`lru_evicted`), SCR replica
+/// `Del`s (`replica_dels`), and everything an epoch transition drained
+/// or a crash discarded (`dropped`). Epoch transitions (rescale /
+/// failover) balance by charging every pre-epoch entry to `dropped` and
+/// every post-epoch entry to `created`, so the identity holds across
+/// arbitrary re-bucketing, replica unions, and dead-shard discards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleCounters {
+    /// Table entries materialized (NF inserts, replica Puts, epoch
+    /// re-materializations).
+    pub created: u64,
+    /// Entries removed by the NF itself (FIN/RST-driven teardown).
+    pub fin_reclaimed: u64,
+    /// Entries reclaimed by the idle-timeout sweep.
+    pub idle_expired: u64,
+    /// Entries evicted by the bounded-memory LRU backstop.
+    pub lru_evicted: u64,
+    /// Entries removed by applying a replicated SCR `Del`.
+    pub replica_dels: u64,
+    /// Entries drained at epoch transitions or discarded by crashes.
+    pub dropped: u64,
+}
+
+impl LifecycleCounters {
+    /// Conservation residue given the current live entry count; zero
+    /// iff every creation and removal was attributed.
+    pub fn unaccounted(&self, live: u64) -> i64 {
+        self.created as i64
+            - live as i64
+            - self.fin_reclaimed as i64
+            - self.idle_expired as i64
+            - self.lru_evicted as i64
+            - self.replica_dels as i64
+            - self.dropped as i64
+    }
+}
+
+/// Atomic mirror of [`LifecycleCounters`] for the thread-shared
+/// backend (relaxed ordering: these are statistics, and each counter is
+/// only ever incremented — the snapshot is read at quiesced points).
+#[derive(Debug, Default)]
+struct SharedCounters {
+    created: AtomicU64,
+    fin_reclaimed: AtomicU64,
+    idle_expired: AtomicU64,
+    lru_evicted: AtomicU64,
+    replica_dels: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SharedCounters {
+    fn preload(c: LifecycleCounters) -> Self {
+        SharedCounters {
+            created: AtomicU64::new(c.created),
+            fin_reclaimed: AtomicU64::new(c.fin_reclaimed),
+            idle_expired: AtomicU64::new(c.idle_expired),
+            lru_evicted: AtomicU64::new(c.lru_evicted),
+            replica_dels: AtomicU64::new(c.replica_dels),
+            dropped: AtomicU64::new(c.dropped),
+        }
+    }
+
+    fn snapshot(&self) -> LifecycleCounters {
+        LifecycleCounters {
+            created: self.created.load(Ordering::Relaxed),
+            fin_reclaimed: self.fin_reclaimed.load(Ordering::Relaxed),
+            idle_expired: self.idle_expired.load(Ordering::Relaxed),
+            lru_evicted: self.lru_evicted.load(Ordering::Relaxed),
+            replica_dels: self.replica_dels.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A flow entry evicted by the lifecycle layer, queued for the owning
+/// core's [`crate::api::NetworkFunction::evict_flow`] hook. The hook
+/// cannot run inside the table context (the context has no NF handle),
+/// so evictions are staged per-core and drained by the runtime.
+pub type PendingEviction<S> = (FlowKey, S, EvictReason);
 
 // ---------------------------------------------------------------------
 // Single-threaded backend (simulator).
@@ -56,6 +165,14 @@ pub struct LocalTables<S> {
     /// writes ship.
     written: Vec<Vec<FlowKey>>,
     removed: Vec<Vec<FlowKey>>,
+    /// Flow-lifecycle policy (idle aging / LRU backstop); disabled by
+    /// default so pre-lifecycle behavior (hard `TableFull`) persists.
+    lifecycle: LifecycleConfig,
+    /// Cumulative conservation counters (see [`LifecycleCounters`]).
+    counters: LifecycleCounters,
+    /// Per-core evicted entries awaiting their `evict_flow` hook; the
+    /// runtime drains these via [`LocalTables::take_evictions`].
+    pending: Vec<Vec<PendingEviction<S>>>,
 }
 
 impl<S: Clone> LocalTables<S> {
@@ -68,7 +185,68 @@ impl<S: Clone> LocalTables<S> {
             map,
             written: vec![Vec::new(); n],
             removed: vec![Vec::new(); n],
+            lifecycle: LifecycleConfig::disabled(),
+            counters: LifecycleCounters::default(),
+            pending: (0..n).map(|_| Vec::new()).collect(),
         }
+    }
+
+    /// Install the flow-lifecycle policy (idle timeout / LRU backstop).
+    pub fn set_lifecycle(&mut self, cfg: LifecycleConfig) {
+        self.lifecycle = cfg;
+    }
+
+    /// The installed flow-lifecycle policy.
+    pub fn lifecycle_config(&self) -> LifecycleConfig {
+        self.lifecycle
+    }
+
+    /// Snapshot of the cumulative flow-entry conservation counters.
+    pub fn counters(&self) -> LifecycleCounters {
+        self.counters
+    }
+
+    /// Advance `core`'s lazy lifecycle clock to `now_us` (monotone max;
+    /// the runtime calls this before dispatching a batch so that the
+    /// batch's writes carry fresh touch stamps).
+    pub fn touch_clock(&mut self, core: usize, now_us: u64) {
+        self.tables[core].set_clock(now_us);
+    }
+
+    /// Reclaim every entry on `core` idle for at least the configured
+    /// timeout. Under SCR exactly one core sweeps each key (the key's
+    /// rendezvous-designated core) and ships the `Del` through the
+    /// mutation log; the other replicas wait for the replicated `Del`,
+    /// keeping the tables bit-convergent. Evicted entries are staged
+    /// for the `evict_flow` hook ([`LocalTables::take_evictions`]).
+    pub fn sweep_idle(&mut self, core: usize, now_us: u64) {
+        let Some(timeout) = self.lifecycle.idle_timeout_us else {
+            return;
+        };
+        self.tables[core].set_clock(now_us);
+        let Some(deadline) = now_us.checked_sub(timeout) else {
+            return;
+        };
+        let scr = self.map.mode() == DispatchMode::Scr;
+        for key in self.tables[core].collect_idle(deadline) {
+            if scr && self.map.designated_for_key(&key) != core {
+                continue; // a peer owns this key's sweep; its Del will arrive
+            }
+            if let Some(state) = self.tables[core].remove(&key) {
+                self.counters.idle_expired += 1;
+                if scr {
+                    record_key(&mut self.removed[core], key);
+                }
+                self.pending[core].push((key, state, EvictReason::Idle));
+            }
+        }
+    }
+
+    /// Drain `core`'s staged evictions so the runtime can run the NF's
+    /// `evict_flow` hook on each (the entries have already left the
+    /// table and been counted by reason).
+    pub fn take_evictions(&mut self, core: usize) -> Vec<PendingEviction<S>> {
+        std::mem::take(&mut self.pending[core])
     }
 
     /// Reset `core`'s per-batch mutation log — called by the runtime
@@ -111,10 +289,15 @@ impl<S: Clone> LocalTables<S> {
     pub fn apply_replica(&mut self, core: usize, op: &crate::scr::UpdateOp<S>) {
         match op {
             crate::scr::UpdateOp::Put(key, state) => {
+                if !self.tables[core].contains_key(key) {
+                    self.counters.created += 1;
+                }
                 self.tables[core].insert(*key, state.clone());
             }
             crate::scr::UpdateOp::Del(key) => {
-                self.tables[core].remove(key);
+                if self.tables[core].remove(key).is_some() {
+                    self.counters.replica_dels += 1;
+                }
             }
         }
     }
@@ -131,6 +314,11 @@ impl<S: Clone> LocalTables<S> {
         new_map: CoreMap,
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> MigrationStats {
+        // Epoch balancing: every pre-epoch entry is drained (`dropped`),
+        // every post-epoch entry re-materialized (`created`), keeping
+        // the conservation identity valid across re-bucketing, SCR
+        // replica unions, and joiner bootstraps alike.
+        self.counters.dropped += self.total_entries() as u64;
         let mut stats = MigrationStats::default();
         if new_map.mode() == DispatchMode::Scr {
             // Full replication: nothing migrates. The union of the old
@@ -149,6 +337,7 @@ impl<S: Clone> LocalTables<S> {
             }
             stats.retained_flows = snapshot.len() as u64;
             self.tables = (0..new_map.num_cores()).map(|_| snapshot.clone()).collect();
+            self.counters.created += self.total_entries() as u64;
             self.reset_batch_logs(new_map.num_cores());
             self.map = new_map;
             return stats;
@@ -169,16 +358,20 @@ impl<S: Clone> LocalTables<S> {
             }
         }
         self.tables = new_tables;
+        self.counters.created += self.total_entries() as u64;
         self.reset_batch_logs(new_map.num_cores());
         self.map = new_map;
         stats
     }
 
     /// Fresh (empty) per-batch logs for an epoch transition — batches
-    /// never span a barrier, so nothing can be pending in them.
+    /// never span a barrier, so nothing can be pending in them. The
+    /// staged-eviction queues are resized alongside (the runtime drains
+    /// them before any epoch transition, so nothing is lost).
     fn reset_batch_logs(&mut self, num_cores: usize) {
         self.written = vec![Vec::new(); num_cores];
         self.removed = vec![Vec::new(); num_cores];
+        self.pending = (0..num_cores).map(|_| Vec::new()).collect();
     }
 }
 
@@ -198,6 +391,10 @@ impl<S: Clone> LocalTables<S> {
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> FailoverStats {
         assert!(new_map.is_failed(failed), "new_map must exclude the core");
+        // Same epoch balancing as `rescale`: charge everything that
+        // existed to `dropped` and everything re-materialized to
+        // `created` (the dead shard's entries thus net out as dropped).
+        self.counters.dropped += self.total_entries() as u64;
         let mut stats = FailoverStats::default();
         if new_map.mode() == DispatchMode::Scr {
             // The dead core held a *replica*, not a partition: every
@@ -207,6 +404,7 @@ impl<S: Clone> LocalTables<S> {
             self.tables[failed] = FlowTable::new();
             let representative = new_map.active_core_ids()[0];
             stats.retained_flows = self.tables[representative].len() as u64;
+            self.counters.created += self.total_entries() as u64;
             self.reset_batch_logs(new_map.num_cores());
             self.map = new_map;
             return stats;
@@ -231,6 +429,7 @@ impl<S: Clone> LocalTables<S> {
             }
         }
         self.tables = new_tables;
+        self.counters.created += self.total_entries() as u64;
         self.reset_batch_logs(new_map.num_cores());
         self.map = new_map;
         stats
@@ -284,26 +483,58 @@ impl<S: Clone> FlowStateApi<S> for LocalCtx<'_, S> {
     }
 
     fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
-        let table = &mut self.tables.tables[self.core];
-        let outcome = if table.contains_key(&key) {
-            table.insert(key, state);
+        let core = self.core;
+        let scr = self.tables.map.mode() == DispatchMode::Scr;
+        let outcome = if self.tables.tables[core].contains_key(&key) {
+            self.tables.tables[core].insert(key, state);
             InsertOutcome::Replaced
-        } else if table.len() >= self.tables.capacity {
-            InsertOutcome::TableFull
+        } else if self.tables.tables[core].len() >= self.tables.capacity {
+            // Bounded-memory backstop: with `lru_backstop` on, a full
+            // table evicts its approximately-least-recently-written
+            // entry to admit the newcomer instead of shedding it. The
+            // victim is staged for the `evict_flow` hook and, under
+            // SCR, its `Del` ships with this batch's mutation log.
+            match self
+                .tables
+                .lifecycle
+                .lru_backstop
+                .then(|| self.tables.tables[core].lru_victim())
+                .flatten()
+            {
+                Some(victim) => {
+                    if let Some(old) = self.tables.tables[core].remove(&victim) {
+                        self.tables.counters.lru_evicted += 1;
+                        if scr {
+                            record_key(&mut self.tables.removed[core], victim);
+                        }
+                        self.tables.pending[core].push((victim, old, EvictReason::Capacity));
+                    }
+                    self.tables.tables[core].insert(key, state);
+                    self.tables.counters.created += 1;
+                    InsertOutcome::Inserted
+                }
+                None => InsertOutcome::TableFull,
+            }
         } else {
-            table.insert(key, state);
+            self.tables.tables[core].insert(key, state);
+            self.tables.counters.created += 1;
             InsertOutcome::Inserted
         };
-        if outcome != InsertOutcome::TableFull && self.tables.map.mode() == DispatchMode::Scr {
-            record_key(&mut self.tables.written[self.core], key);
+        if outcome != InsertOutcome::TableFull && scr {
+            record_key(&mut self.tables.written[core], key);
         }
         outcome
     }
 
     fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
         let removed = self.tables.tables[self.core].remove(key);
-        if removed.is_some() && self.tables.map.mode() == DispatchMode::Scr {
-            record_key(&mut self.tables.removed[self.core], *key);
+        if removed.is_some() {
+            // NF-initiated teardown (FIN/RST handling is the only caller
+            // in-tree) — attributed separately from lifecycle evictions.
+            self.tables.counters.fin_reclaimed += 1;
+            if self.tables.map.mode() == DispatchMode::Scr {
+                record_key(&mut self.tables.removed[self.core], *key);
+            }
         }
         removed
     }
@@ -357,6 +588,12 @@ struct SharedInner<S> {
     tables: Vec<RwLock<FlowTable<S>>>,
     capacity: usize,
     map: CoreMap,
+    /// Flow-lifecycle policy; fixed at construction (workers read it on
+    /// every insert, so it must not need a lock).
+    lifecycle: LifecycleConfig,
+    /// Cumulative conservation counters (see [`LifecycleCounters`]);
+    /// atomics because every worker increments them.
+    counters: SharedCounters,
 }
 
 /// Thread-shared flow tables; clone handles freely across workers.
@@ -374,8 +611,16 @@ impl<S> Clone for SharedTables<S> {
 }
 
 impl<S: Clone + Send + Sync> SharedTables<S> {
-    /// Tables for every core under the given mapping.
+    /// Tables for every core under the given mapping (lifecycle
+    /// disabled — the pre-lifecycle hard-`TableFull` behavior).
     pub fn new(map: CoreMap, capacity: usize) -> Self {
+        Self::with_lifecycle(map, capacity, LifecycleConfig::disabled())
+    }
+
+    /// Tables with a flow-lifecycle policy installed. The policy is
+    /// fixed for the generation; [`SharedTables::rescaled`] propagates
+    /// it (and the cumulative counters) to the next epoch.
+    pub fn with_lifecycle(map: CoreMap, capacity: usize, lifecycle: LifecycleConfig) -> Self {
         let tables = (0..map.num_cores())
             .map(|_| RwLock::new(FlowTable::new()))
             .collect();
@@ -384,6 +629,8 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
                 tables,
                 capacity,
                 map,
+                lifecycle,
+                counters: SharedCounters::default(),
             }),
         }
     }
@@ -396,7 +643,18 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
             core,
             written: Vec::new(),
             removed: Vec::new(),
+            pending: Vec::new(),
         }
+    }
+
+    /// The installed flow-lifecycle policy.
+    pub fn lifecycle_config(&self) -> LifecycleConfig {
+        self.inner.lifecycle
+    }
+
+    /// Snapshot of the cumulative flow-entry conservation counters.
+    pub fn counters(&self) -> LifecycleCounters {
+        self.inner.counters.snapshot()
     }
 
     /// Direct read of one core's table (the SCR replay path's merge
@@ -428,10 +686,15 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         let mut table = self.inner.tables[core].write();
         match op {
             crate::scr::UpdateOp::Put(key, state) => {
+                if !table.contains_key(key) {
+                    SharedCounters::bump(&self.inner.counters.created);
+                }
                 table.insert(*key, state.clone());
             }
             crate::scr::UpdateOp::Del(key) => {
-                table.remove(key);
+                if table.remove(key).is_some() {
+                    SharedCounters::bump(&self.inner.counters.replica_dels);
+                }
             }
         }
     }
@@ -445,6 +708,7 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         let mut table = self.inner.tables[core].write();
         let n = table.len() as u64;
         *table = FlowTable::new();
+        SharedCounters::add(&self.inner.counters.dropped, n);
         n
     }
 
@@ -459,6 +723,12 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
         new_map: CoreMap,
         on_move: &mut dyn FnMut(&FlowKey, &mut S, usize, usize),
     ) -> (SharedTables<S>, MigrationStats) {
+        // Same epoch balancing as `LocalTables::rescale`: pre-epoch
+        // entries charge `dropped`, post-epoch entries charge `created`.
+        // The next generation inherits the cumulative counters (the old
+        // handle's Arc dies with the epoch).
+        let mut carried = self.inner.counters.snapshot();
+        carried.dropped += self.total_entries() as u64;
         let mut stats = MigrationStats::default();
         if new_map.mode() == DispatchMode::Scr {
             // Full replication (see `LocalTables::rescale`): union the
@@ -471,6 +741,7 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
                 }
             }
             stats.retained_flows = snapshot.len() as u64;
+            carried.created += snapshot.len() as u64 * new_map.num_cores() as u64;
             let next = SharedTables {
                 inner: Arc::new(SharedInner {
                     tables: (0..new_map.num_cores())
@@ -478,6 +749,8 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
                         .collect(),
                     capacity: self.inner.capacity,
                     map: new_map,
+                    lifecycle: self.inner.lifecycle,
+                    counters: SharedCounters::preload(carried),
                 }),
             };
             return (next, stats);
@@ -496,11 +769,14 @@ impl<S: Clone + Send + Sync> SharedTables<S> {
                 new_tables[to].insert(key, state);
             }
         }
+        carried.created += new_tables.iter().map(|t| t.len() as u64).sum::<u64>();
         let next = SharedTables {
             inner: Arc::new(SharedInner {
                 tables: new_tables.into_iter().map(RwLock::new).collect(),
                 capacity: self.inner.capacity,
                 map: new_map,
+                lifecycle: self.inner.lifecycle,
+                counters: SharedCounters::preload(carried),
             }),
         };
         (next, stats)
@@ -517,6 +793,9 @@ pub struct SharedCtx<S> {
     /// shared tables. See [`LocalTables`]'s equivalents.
     written: Vec<FlowKey>,
     removed: Vec<FlowKey>,
+    /// Evicted entries awaiting this worker's `evict_flow` hook calls
+    /// (see [`LocalTables::take_evictions`]).
+    pending: Vec<PendingEviction<S>>,
 }
 
 impl<S> SharedCtx<S> {
@@ -525,6 +804,49 @@ impl<S> SharedCtx<S> {
     pub fn clear_batch_log(&mut self) {
         self.written.clear();
         self.removed.clear();
+    }
+
+    /// Drain the staged evictions so the worker can run the NF's
+    /// `evict_flow` hook on each.
+    pub fn take_evictions(&mut self) -> Vec<PendingEviction<S>> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+impl<S: Clone + Send + Sync> SharedCtx<S> {
+    /// Advance this core's lazy lifecycle clock to `now_us` (monotone
+    /// max) so subsequent writes carry fresh touch stamps.
+    pub fn touch_clock(&mut self, now_us: u64) {
+        self.tables.inner.tables[self.core]
+            .write()
+            .set_clock(now_us);
+    }
+
+    /// Reclaim every local entry idle for at least the configured
+    /// timeout (see [`LocalTables::sweep_idle`] for the SCR
+    /// one-sweeper-per-key sharding).
+    pub fn sweep_idle(&mut self, now_us: u64) {
+        let Some(timeout) = self.tables.inner.lifecycle.idle_timeout_us else {
+            return;
+        };
+        let scr = self.tables.inner.map.mode() == DispatchMode::Scr;
+        let mut table = self.tables.inner.tables[self.core].write();
+        table.set_clock(now_us);
+        let Some(deadline) = now_us.checked_sub(timeout) else {
+            return;
+        };
+        for key in table.collect_idle(deadline) {
+            if scr && self.tables.inner.map.designated_for_key(&key) != self.core {
+                continue; // a peer owns this key's sweep; its Del will arrive
+            }
+            if let Some(state) = table.remove(&key) {
+                SharedCounters::bump(&self.tables.inner.counters.idle_expired);
+                if scr {
+                    record_key(&mut self.removed, key);
+                }
+                self.pending.push((key, state, EvictReason::Idle));
+            }
+        }
     }
 }
 
@@ -547,19 +869,42 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
     }
 
     fn insert_local_flow(&mut self, key: FlowKey, state: S) -> InsertOutcome {
+        let scr = self.tables.inner.map.mode() == DispatchMode::Scr;
         let mut table = self.tables.inner.tables[self.core].write();
         let outcome = if table.contains_key(&key) {
             table.insert(key, state);
             InsertOutcome::Replaced
         } else if table.len() >= self.tables.inner.capacity {
-            InsertOutcome::TableFull
+            // Bounded-memory LRU backstop — see `LocalCtx`'s twin.
+            match self
+                .tables
+                .inner
+                .lifecycle
+                .lru_backstop
+                .then(|| table.lru_victim())
+                .flatten()
+            {
+                Some(victim) => {
+                    if let Some(old) = table.remove(&victim) {
+                        SharedCounters::bump(&self.tables.inner.counters.lru_evicted);
+                        if scr {
+                            record_key(&mut self.removed, victim);
+                        }
+                        self.pending.push((victim, old, EvictReason::Capacity));
+                    }
+                    table.insert(key, state);
+                    SharedCounters::bump(&self.tables.inner.counters.created);
+                    InsertOutcome::Inserted
+                }
+                None => InsertOutcome::TableFull,
+            }
         } else {
             table.insert(key, state);
+            SharedCounters::bump(&self.tables.inner.counters.created);
             InsertOutcome::Inserted
         };
         drop(table);
-        if outcome != InsertOutcome::TableFull && self.tables.inner.map.mode() == DispatchMode::Scr
-        {
+        if outcome != InsertOutcome::TableFull && scr {
             record_key(&mut self.written, key);
         }
         outcome
@@ -567,8 +912,11 @@ impl<S: Clone + Send + Sync> FlowStateApi<S> for SharedCtx<S> {
 
     fn remove_local_flow(&mut self, key: &FlowKey) -> Option<S> {
         let removed = self.tables.inner.tables[self.core].write().remove(key);
-        if removed.is_some() && self.tables.inner.map.mode() == DispatchMode::Scr {
-            record_key(&mut self.removed, *key);
+        if removed.is_some() {
+            SharedCounters::bump(&self.tables.inner.counters.fin_reclaimed);
+            if self.tables.inner.map.mode() == DispatchMode::Scr {
+                record_key(&mut self.removed, *key);
+            }
         }
         removed
     }
@@ -1032,6 +1380,181 @@ mod tests {
         assert!(ctx.removed_keys().is_empty());
         assert_eq!(shared.peek(1, &key(1)), Some(2));
         assert_eq!(shared.peek(0, &key(1)), None);
+    }
+
+    fn bounded(idle_us: u64) -> LifecycleConfig {
+        LifecycleConfig::bounded(idle_us)
+    }
+
+    #[test]
+    fn lru_backstop_evicts_the_coldest_entry_to_admit_a_newcomer() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 1);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 2);
+        tables.set_lifecycle(bounded(1_000));
+        tables.touch_clock(0, 10);
+        tables.ctx(0).insert_local_flow(key(1), 1);
+        tables.touch_clock(0, 20);
+        tables.ctx(0).insert_local_flow(key(2), 2);
+        tables.touch_clock(0, 30);
+        // Full table: the third insert evicts key(1) (coldest stamp).
+        assert_eq!(
+            tables.ctx(0).insert_local_flow(key(3), 3),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(tables.ctx(0).get_local_flow(&key(1)), None);
+        assert_eq!(tables.ctx(0).get_local_flow(&key(3)), Some(3));
+        assert_eq!(tables.entries_on(0), 2);
+        let c = tables.counters();
+        assert_eq!(c.created, 3);
+        assert_eq!(c.lru_evicted, 1);
+        assert_eq!(
+            tables.take_evictions(0),
+            vec![(key(1), 1, EvictReason::Capacity)]
+        );
+        assert!(tables.take_evictions(0).is_empty(), "drained");
+        assert_eq!(c.unaccounted(tables.total_entries() as u64), 0);
+    }
+
+    #[test]
+    fn without_the_backstop_a_full_table_still_sheds() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 1);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 1);
+        tables.ctx(0).insert_local_flow(key(1), 1);
+        assert_eq!(
+            tables.ctx(0).insert_local_flow(key(2), 2),
+            InsertOutcome::TableFull
+        );
+        assert_eq!(tables.counters().lru_evicted, 0);
+    }
+
+    #[test]
+    fn idle_sweep_reclaims_exactly_the_expired_entries() {
+        let map = CoreMap::new(DispatchMode::Sprayer, 1);
+        let mut tables: LocalTables<u32> = LocalTables::new(map, 16);
+        tables.set_lifecycle(bounded(100));
+        tables.touch_clock(0, 0);
+        tables.ctx(0).insert_local_flow(key(1), 1);
+        tables.touch_clock(0, 80);
+        tables.ctx(0).insert_local_flow(key(2), 2);
+        // At t=120 only key(1) (stamp 0) has been idle >= 100 µs.
+        tables.sweep_idle(0, 120);
+        assert_eq!(tables.ctx(0).get_local_flow(&key(1)), None);
+        assert_eq!(tables.ctx(0).get_local_flow(&key(2)), Some(2));
+        assert_eq!(tables.counters().idle_expired, 1);
+        assert_eq!(
+            tables.take_evictions(0),
+            vec![(key(1), 1, EvictReason::Idle)]
+        );
+        // A write-touch refreshes the stamp and defers expiry.
+        tables.touch_clock(0, 150);
+        tables.ctx(0).modify_local_flow(&key(2), &mut |v| *v += 1);
+        tables.sweep_idle(0, 200);
+        assert_eq!(tables.ctx(0).get_local_flow(&key(2)), Some(3), "refreshed");
+        tables.sweep_idle(0, 260);
+        assert_eq!(tables.ctx(0).get_local_flow(&key(2)), None, "expired");
+        assert_eq!(
+            tables.counters().unaccounted(tables.total_entries() as u64),
+            0
+        );
+    }
+
+    #[test]
+    fn scr_idle_sweep_is_owner_sharded_and_ships_dels() {
+        let map = CoreMap::new(DispatchMode::Scr, 2);
+        let mut tables: LocalTables<u32> = LocalTables::new(map.clone(), 16);
+        tables.set_lifecycle(bounded(100));
+        let k = key(4);
+        let owner = map.designated_for_key(&k);
+        let peer = 1 - owner;
+        // Converged replicas: the entry is on both cores.
+        for core in 0..2 {
+            tables.touch_clock(core, 0);
+            tables.ctx(core).insert_local_flow(k, 7);
+        }
+        tables.clear_batch_log(owner);
+        tables.clear_batch_log(peer);
+        // Both cores sweep, but only the key's rendezvous owner
+        // reclaims it — the peer waits for the replicated Del.
+        tables.sweep_idle(peer, 500);
+        assert_eq!(tables.ctx(peer).get_local_flow(&k), Some(7), "peer defers");
+        assert!(tables.ctx(peer).removed_keys().is_empty());
+        tables.sweep_idle(owner, 500);
+        assert_eq!(tables.ctx(owner).get_local_flow(&k), None);
+        assert_eq!(tables.ctx(owner).removed_keys(), &[k], "Del ships");
+        assert_eq!(tables.counters().idle_expired, 1);
+        // The replicated Del converges the peer.
+        tables.apply_replica(peer, &crate::scr::UpdateOp::Del(k));
+        assert_eq!(tables.ctx(peer).get_local_flow(&k), None);
+        assert_eq!(tables.counters().replica_dels, 1);
+        assert_eq!(
+            tables.counters().unaccounted(tables.total_entries() as u64),
+            0
+        );
+    }
+
+    #[test]
+    fn conservation_identity_survives_epoch_transitions() {
+        let old_map = CoreMap::elastic(DispatchMode::Sprayer, 4);
+        let mut tables: LocalTables<u32> = LocalTables::new(old_map.clone(), 1 << 10);
+        for i in 0..100u32 {
+            let k = key(i);
+            let d = old_map.designated_for_key(&k);
+            tables.ctx(d).insert_local_flow(k, i);
+        }
+        tables.ctx(0).remove_local_flow(&key(0));
+        let live = tables.total_entries() as u64;
+        assert_eq!(tables.counters().unaccounted(live), 0);
+        let new_map = old_map.rescaled(2);
+        tables.rescale(new_map.clone(), &mut |_, _, _, _| {});
+        assert_eq!(
+            tables.counters().unaccounted(tables.total_entries() as u64),
+            0
+        );
+        let failed_map = new_map.without_core(1);
+        tables.fail_core(1, failed_map, &mut |_, _, _, _| {});
+        assert_eq!(
+            tables.counters().unaccounted(tables.total_entries() as u64),
+            0
+        );
+    }
+
+    #[test]
+    fn shared_lifecycle_matches_local_semantics() {
+        let map = CoreMap::new(DispatchMode::Scr, 2);
+        let shared: SharedTables<u32> = SharedTables::with_lifecycle(map.clone(), 2, bounded(100));
+        let mut ctx = shared.ctx(0);
+        ctx.touch_clock(10);
+        ctx.insert_local_flow(key(1), 1);
+        ctx.touch_clock(20);
+        ctx.insert_local_flow(key(2), 2);
+        ctx.clear_batch_log();
+        ctx.touch_clock(30);
+        assert_eq!(ctx.insert_local_flow(key(3), 3), InsertOutcome::Inserted);
+        assert_eq!(ctx.get_local_flow(&key(1)), None, "LRU evicted");
+        assert_eq!(ctx.removed_keys(), &[key(1)], "eviction Del ships");
+        assert_eq!(
+            ctx.take_evictions(),
+            vec![(key(1), 1, EvictReason::Capacity)]
+        );
+        // Idle sweep through the worker's ctx, owner-sharding included.
+        let owned_here: Vec<FlowKey> = [key(2), key(3)]
+            .into_iter()
+            .filter(|k| map.designated_for_key(k) == 0)
+            .collect();
+        ctx.sweep_idle(1_000);
+        for k in &owned_here {
+            assert_eq!(ctx.get_local_flow(k), None, "owned key swept");
+        }
+        let c = shared.counters();
+        assert_eq!(c.lru_evicted, 1);
+        assert_eq!(c.idle_expired, owned_here.len() as u64);
+        assert_eq!(c.unaccounted(shared.total_entries() as u64), 0);
+        // Counters carry across a rescale generation.
+        let (next, _) = shared.rescaled(map.rescaled(4), &mut |_, _, _, _| {});
+        let c2 = next.counters();
+        assert_eq!(c2.lru_evicted, 1);
+        assert_eq!(c2.unaccounted(next.total_entries() as u64), 0);
+        assert_eq!(next.lifecycle_config(), bounded(100));
     }
 
     #[test]

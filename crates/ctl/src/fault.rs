@@ -170,6 +170,15 @@ impl FaultPlan {
         self
     }
 
+    /// Append a stall at simulated time `at`.
+    pub fn stall_at_time(mut self, at: Time, core: usize, duration: Time) -> Self {
+        self.events.push(FaultEvent {
+            trigger: Trigger::AtTime(at),
+            kind: FaultKind::StallCore { core, duration },
+        });
+        self
+    }
+
     /// Append an adversarial burst after `packets` offered packets.
     pub fn adversarial_at_packet(
         mut self,

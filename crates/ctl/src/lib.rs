@@ -40,10 +40,12 @@ pub mod chaos;
 pub mod controller;
 pub mod fault;
 pub mod plan;
+pub mod soak;
 pub mod telemetry;
 
 pub use chaos::ChaosController;
 pub use controller::ElasticController;
 pub use fault::{AdversarialProfile, FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use plan::{PlanError, ReconfigEvent, ReconfigPlan, Trigger};
+pub use soak::{SoakController, SoakPlan, SoakPlanError};
 pub use telemetry::{export_fault_telemetry, export_reconfig_telemetry};

@@ -141,6 +141,10 @@ pub struct DpiNf {
     /// Payload bytes that could NOT be scanned because the packet was
     /// processed away from the flow's designated core (spray mode).
     pub unscanned_bytes: AtomicU64,
+    /// Flow cursors discarded by the table's eviction hook (idle aging
+    /// or the LRU backstop): a pattern split across the eviction point
+    /// will be missed, so the detection gap is counted, not silent.
+    pub evicted_cursors: AtomicU64,
     /// Drop flows on match (IPS mode) instead of just counting (IDS mode).
     pub drop_on_match: bool,
 }
@@ -153,6 +157,7 @@ impl DpiNf {
             matches: AtomicU64::new(0),
             scanned_bytes: AtomicU64::new(0),
             unscanned_bytes: AtomicU64::new(0),
+            evicted_cursors: AtomicU64::new(0),
             drop_on_match: false,
         }
     }
@@ -313,6 +318,19 @@ impl NetworkFunction for DpiNf {
     // `modify_local_flow` the batch mutation log records — so scanned
     // keys ship exactly from the cores that wrote them. An unknown flow
     // is scanned statelessly (no table write) and ships nothing.
+
+    fn evict_flow(
+        &self,
+        _key: &sprayer_net::FlowKey,
+        _state: &mut DpiFlow,
+        _reason: sprayer::api::EvictReason,
+    ) {
+        // Cursors hold no external resources — dropping them is the
+        // whole cleanup. Count it: a mid-pattern cursor discarded here
+        // is a real detection gap (the flow rescans from the automaton
+        // root if it speaks again), and silent gaps are how an IDS rots.
+        self.evicted_cursors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

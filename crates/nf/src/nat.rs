@@ -27,7 +27,7 @@
 
 use parking_lot::Mutex;
 use sprayer::api::{
-    Access, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, Verdict,
+    Access, EvictReason, FlowStateApi, InsertOutcome, NetworkFunction, NfDescriptor, Scope, Verdict,
 };
 use sprayer::scr::ReplicaMerge;
 use sprayer_net::{FiveTuple, FlowKey, Packet, TcpFlags};
@@ -83,6 +83,11 @@ pub struct NatStats {
     /// teardown path returns ports to the pool by looking the entry up,
     /// which only works if migration never loses one.
     pub adopted: AtomicU64,
+    /// External ports returned to the pool by the table's eviction hook
+    /// (idle aging or the LRU backstop) rather than by a FIN/RST
+    /// teardown — translations the lifecycle reclaimed from under a
+    /// silent or abandoned connection.
+    pub ports_reclaimed: AtomicU64,
 }
 
 /// Source NAT over a single external IP.
@@ -430,6 +435,26 @@ impl NetworkFunction for NatNf {
         // new designated core.
         self.stats.adopted.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn evict_flow(&self, _key: &FlowKey, state: &mut NatEntry, _reason: EvictReason) {
+        // The Outward entry owns the external port: return it to the
+        // pool when the lifecycle reclaims the entry, or the translation
+        // leaks the port forever. The push reuses the teardown guard so
+        // a duplicate eviction (SCR's accepted replication races, or an
+        // eviction racing a FIN teardown) cannot double-free. The paired
+        // Inward entry is left to its own idle expiry — evicting it
+        // frees nothing, deliberately: only the Outward owner may
+        // release the port, so the pair's two evictions release exactly
+        // once.
+        let NatEntry::Outward { external, .. } = state else {
+            return;
+        };
+        let mut pool = self.pool.lock();
+        if !pool.contains(&external.1) {
+            pool.push(external.1);
+            self.stats.ports_reclaimed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +580,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn eviction_hook_reclaims_the_port_exactly_once() {
+        let mut h = Harness::new();
+        let mut syn = PacketBuilder::new().tcp(conn(), 0, 0, TcpFlags::SYN, b"");
+        h.run(&mut syn);
+        let ext_port = syn.tuple().unwrap().src_port;
+        assert_eq!(h.nat.pool_len(), 127);
+
+        // The lifecycle reclaims both entries of the pair (order
+        // mirrors an idle sweep: the Outward entry first).
+        let orig_key = conn().key();
+        let trans_key = FiveTuple::tcp(NAT_IP, ext_port, SERVER, 443).key();
+        let core = h.map.designated_for_key(&orig_key);
+        let mut ctx = h.tables.ctx(core);
+        let mut outward = ctx.remove_local_flow(&orig_key).expect("outward entry");
+        h.nat.evict_flow(&orig_key, &mut outward, EvictReason::Idle);
+        assert_eq!(h.nat.pool_len(), 128, "outward eviction frees the port");
+        assert_eq!(h.nat.stats.ports_reclaimed.load(Ordering::Relaxed), 1);
+
+        // A duplicate eviction of the same entry (replication race)
+        // must not double-free...
+        h.nat
+            .evict_flow(&orig_key, &mut outward.clone(), EvictReason::Capacity);
+        assert_eq!(h.nat.pool_len(), 128);
+        assert_eq!(h.nat.stats.ports_reclaimed.load(Ordering::Relaxed), 1);
+
+        // ...and the orphaned Inward pair frees nothing either.
+        let inward_core = h.map.designated_for_key(&trans_key);
+        let mut ctx = h.tables.ctx(inward_core);
+        if let Some(mut inward) = ctx.remove_local_flow(&trans_key) {
+            h.nat.evict_flow(&trans_key, &mut inward, EvictReason::Idle);
+        }
+        assert_eq!(h.nat.pool_len(), 128);
+        assert_eq!(
+            h.nat.pool.lock().iter().filter(|p| **p == ext_port).count(),
+            1,
+            "the port must appear in the pool exactly once"
+        );
     }
 
     #[test]

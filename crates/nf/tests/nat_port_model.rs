@@ -1,0 +1,297 @@
+//! Model-based test for NAT external-port conservation under the flow
+//! lifecycle.
+//!
+//! The NAT's port pool is the one piece of global state a flow-table
+//! eviction must release (via `evict_flow`) — and the one place a
+//! duplicate delivery could corrupt: a port freed twice serves two
+//! flows at once. The realizable duplicate orderings are
+//!
+//! * an idle/backstop eviction whose hook fires twice (SCR ships the
+//!   eviction `Del` to every replica; two cores can stage it before the
+//!   first hook's effect replicates);
+//! * an eviction racing a FIN/RST teardown for the same flow (the
+//!   teardown frees inline, then the already-staged hook fires on the
+//!   removed state).
+//!
+//! Against arbitrary interleavings of connection setup, FIN pairs,
+//! RSTs from either side, pair evictions (with duplicate hook
+//! delivery), and teardown-then-stale-hook races — over a pool small
+//! enough that exhaustion and immediate reuse are routine — the pool
+//! must conserve ports exactly: `pool_len + live translations ==
+//! pool size` after every operation, no port handed to two flows, and
+//! `ports_reclaimed` counting each lifecycle free exactly once.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sprayer::api::{EvictReason, FlowStateApi, NetworkFunction, Verdict};
+use sprayer::config::DispatchMode;
+use sprayer::coremap::CoreMap;
+use sprayer::tables::LocalTables;
+use sprayer_net::{FiveTuple, PacketBuilder, TcpFlags};
+use sprayer_nf::nat::NatEntry;
+use sprayer_nf::NatNf;
+use std::sync::atomic::Ordering;
+
+const CORES: usize = 4;
+const FLOWS: u8 = 10;
+const CLIENT: u32 = 0x0a00_0001; // 10.0.0.1
+const SERVER: u32 = 0x5db8_d822; // 93.184.216.34
+const NAT_IP: u32 = 0xc633_640a; // 198.51.100.10
+/// Fewer ports than flows: exhaustion and freed-port reuse both happen
+/// constantly, so a double-free would quickly hand one port to two
+/// flows and break the conservation count.
+const POOL: u16 = 8;
+
+fn client_tuple(f: u8) -> FiveTuple {
+    let f = f % FLOWS;
+    FiveTuple::tcp(CLIENT + u32::from(f), 40_000 + u16::from(f), SERVER, 443)
+}
+
+fn server_tuple(ext_port: u16) -> FiveTuple {
+    FiveTuple::tcp(SERVER, 443, NAT_IP, ext_port)
+}
+
+#[derive(Debug, Clone)]
+enum NatOp {
+    /// SYN from the client (retransmits translate as regular packets).
+    Open(u8),
+    /// FIN from the client side.
+    FinClient(u8),
+    /// FIN from the server side (addresses the external endpoint).
+    FinServer(u8),
+    /// RST from the client side.
+    RstClient(u8),
+    /// RST from the server side.
+    RstServer(u8),
+    /// Lifecycle reclaim of the translation pair, sweep order (Outward
+    /// then Inward). `true` delivers the Outward hook twice — the SCR
+    /// duplicate-eviction race.
+    EvictPair(u8, bool),
+    /// The eviction-racing-teardown ordering: an RST teardown frees the
+    /// port inline, then the staged hooks fire on the stale states.
+    TeardownThenStaleEvict(u8),
+}
+
+fn arb_nat_op() -> impl Strategy<Value = NatOp> {
+    prop_oneof![
+        any::<u8>().prop_map(NatOp::Open),
+        any::<u8>().prop_map(NatOp::FinClient),
+        any::<u8>().prop_map(NatOp::FinServer),
+        any::<u8>().prop_map(NatOp::RstClient),
+        any::<u8>().prop_map(NatOp::RstServer),
+        (any::<u8>(), any::<bool>()).prop_map(|(f, dup)| NatOp::EvictPair(f, dup)),
+        any::<u8>().prop_map(NatOp::TeardownThenStaleEvict),
+    ]
+}
+
+struct Fixture {
+    nat: NatNf,
+    tables: LocalTables<NatEntry>,
+    map: CoreMap,
+    /// Live translations: flow → (external port, FIN direction bits).
+    open: BTreeMap<u8, (u16, u8)>,
+    /// Lifecycle frees the fixture has performed (must equal the NF's
+    /// `ports_reclaimed` counter at all times).
+    reclaims: u64,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let map = CoreMap::new(DispatchMode::Sprayer, CORES);
+        Fixture {
+            nat: NatNf::new(NAT_IP, 50_000..50_000 + POOL),
+            tables: LocalTables::new(map.clone(), 1024),
+            map,
+            open: BTreeMap::new(),
+            reclaims: 0,
+        }
+    }
+
+    /// Run a connection packet on its designated core, as the runtime
+    /// routes it. `select_port` pins the translated tuple to the same
+    /// core, so both directions of a flow land on one core.
+    fn conn(&mut self, tuple: FiveTuple, flags: TcpFlags) -> Verdict {
+        let core = self.map.designated_for_tuple(&tuple);
+        let mut pkt = PacketBuilder::new().tcp(tuple, 0, 0, flags, b"");
+        let mut ctx = self.tables.ctx(core);
+        self.nat.connection_packets(&mut pkt, &mut ctx)
+    }
+
+    /// Remove the pair from the table (what a sweep or the backstop
+    /// does) and return the states for hook delivery.
+    fn reclaim_pair(&mut self, f: u8, port: u16) -> (Option<NatEntry>, Option<NatEntry>) {
+        let orig_key = client_tuple(f).key();
+        let trans_key = server_tuple(port).key();
+        let core = self.map.designated_for_key(&orig_key);
+        let mut ctx = self.tables.ctx(core);
+        let outward = ctx.remove_local_flow(&orig_key);
+        let inward = ctx.remove_local_flow(&trans_key);
+        (outward, inward)
+    }
+
+    fn check(&self) -> Result<(), TestCaseError> {
+        // Port conservation: every port is either free or owned by
+        // exactly one live translation — a double-free would push
+        // `pool_len` past `POOL - open`, a leak would leave it short.
+        prop_assert_eq!(
+            self.nat.pool_len() + self.open.len(),
+            usize::from(POOL),
+            "pool out of balance: {} free + {} open",
+            self.nat.pool_len(),
+            self.open.len()
+        );
+        prop_assert_eq!(
+            self.nat.stats.ports_reclaimed.load(Ordering::Relaxed),
+            self.reclaims,
+            "a duplicate eviction slipped past the reclaim guard"
+        );
+        Ok(())
+    }
+}
+
+proptest! {
+    /// The satellite property: across arbitrary interleavings of
+    /// setup, teardown, eviction, and every realizable duplicate
+    /// ordering, the port pool conserves exactly — duplicate eviction
+    /// of a NAT entry cannot double-free its port.
+    #[test]
+    fn nat_port_pool_conserves_under_eviction_races(ops in vec(arb_nat_op(), 0..200)) {
+        let mut fx = Fixture::new();
+
+        for op in &ops {
+            match *op {
+                NatOp::Open(f) => {
+                    let f = f % FLOWS;
+                    let already_open = fx.open.contains_key(&f);
+                    let tuple = client_tuple(f);
+                    let core = fx.map.designated_for_tuple(&tuple);
+                    let mut pkt = PacketBuilder::new().tcp(tuple, 0, 0, TcpFlags::SYN, b"");
+                    let verdict = {
+                        let mut ctx = fx.tables.ctx(core);
+                        fx.nat.connection_packets(&mut pkt, &mut ctx)
+                    };
+                    if already_open {
+                        // Retransmitted SYN: translates, allocates nothing.
+                        prop_assert_eq!(verdict, Verdict::Forward);
+                    } else if verdict == Verdict::Forward {
+                        let port = pkt.tuple().unwrap().src_port;
+                        // The pool may never hand a port to two flows.
+                        prop_assert!(
+                            !fx.open.values().any(|(p, _)| *p == port),
+                            "port {} double-allocated",
+                            port
+                        );
+                        fx.open.insert(f, (port, 0));
+                    }
+                    // Drop == pool exhausted (or no core-preserving
+                    // port): no state change.
+                }
+                NatOp::FinClient(f) => {
+                    let f = f % FLOWS;
+                    fx.conn(client_tuple(f), TcpFlags::FIN | TcpFlags::ACK);
+                    if let Some((port, fins)) = fx.open.get(&f).copied() {
+                        let fins = fins | 0b01;
+                        if fins == 0b11 {
+                            fx.open.remove(&f);
+                            let _ = port;
+                        } else {
+                            fx.open.insert(f, (port, fins));
+                        }
+                    }
+                }
+                NatOp::FinServer(f) => {
+                    let f = f % FLOWS;
+                    // The server addresses the external endpoint; only
+                    // meaningful when a translation (or its lingering
+                    // Inward half) exists.
+                    if let Some((port, fins)) = fx.open.get(&f).copied() {
+                        fx.conn(server_tuple(port), TcpFlags::FIN | TcpFlags::ACK);
+                        let fins = fins | 0b10;
+                        if fins == 0b11 {
+                            fx.open.remove(&f);
+                        } else {
+                            fx.open.insert(f, (port, fins));
+                        }
+                    }
+                }
+                NatOp::RstClient(f) => {
+                    let f = f % FLOWS;
+                    fx.conn(client_tuple(f), TcpFlags::RST);
+                    fx.open.remove(&f);
+                }
+                NatOp::RstServer(f) => {
+                    let f = f % FLOWS;
+                    if let Some((port, _)) = fx.open.get(&f).copied() {
+                        fx.conn(server_tuple(port), TcpFlags::RST);
+                        fx.open.remove(&f);
+                    }
+                }
+                NatOp::EvictPair(f, dup) => {
+                    let f = f % FLOWS;
+                    let Some((port, _)) = fx.open.get(&f).copied() else {
+                        continue;
+                    };
+                    let (outward, inward) = fx.reclaim_pair(f, port);
+                    let orig_key = client_tuple(f).key();
+                    let trans_key = server_tuple(port).key();
+                    if let Some(mut state) = outward {
+                        // First delivery frees the port…
+                        fx.nat.evict_flow(&orig_key, &mut state.clone(), EvictReason::Idle);
+                        fx.reclaims += 1;
+                        if dup {
+                            // …the duplicate must hit the guard.
+                            fx.nat.evict_flow(&orig_key, &mut state, EvictReason::Capacity);
+                        }
+                    }
+                    if let Some(mut state) = inward {
+                        // The Inward half deliberately frees nothing.
+                        fx.nat.evict_flow(&trans_key, &mut state, EvictReason::Idle);
+                    }
+                    fx.open.remove(&f);
+                }
+                NatOp::TeardownThenStaleEvict(f) => {
+                    let f = f % FLOWS;
+                    let Some((port, _)) = fx.open.get(&f).copied() else {
+                        continue;
+                    };
+                    // Peek the states the sweep would have staged…
+                    let orig_key = client_tuple(f).key();
+                    let trans_key = server_tuple(port).key();
+                    let core = fx.map.designated_for_key(&orig_key);
+                    let staged_out = fx.tables.peek(core, &orig_key).cloned();
+                    let staged_in = fx.tables.peek(core, &trans_key).cloned();
+                    // …the RST teardown wins the race and frees inline…
+                    fx.conn(client_tuple(f), TcpFlags::RST);
+                    fx.open.remove(&f);
+                    // …then the stale hooks fire and must free nothing.
+                    if let Some(mut state) = staged_out {
+                        fx.nat.evict_flow(&orig_key, &mut state, EvictReason::Idle);
+                    }
+                    if let Some(mut state) = staged_in {
+                        fx.nat.evict_flow(&trans_key, &mut state, EvictReason::Idle);
+                    }
+                }
+            }
+            fx.check()?;
+        }
+
+        // Drain: evict everything still open; the pool must end full.
+        let still_open: Vec<(u8, u16)> =
+            fx.open.iter().map(|(f, (p, _))| (*f, *p)).collect();
+        for (f, port) in still_open {
+            let (outward, inward) = fx.reclaim_pair(f, port);
+            if let Some(mut state) = outward {
+                fx.nat.evict_flow(&client_tuple(f).key(), &mut state, EvictReason::Idle);
+                fx.reclaims += 1;
+            }
+            if let Some(mut state) = inward {
+                fx.nat.evict_flow(&server_tuple(port).key(), &mut state, EvictReason::Idle);
+            }
+            fx.open.remove(&f);
+        }
+        fx.check()?;
+        prop_assert_eq!(fx.nat.pool_len(), usize::from(POOL));
+    }
+}

@@ -243,7 +243,7 @@ fn write_core_series(out: &mut String, series: &TimeSeries) {
 }
 
 /// Number of [`AtomicU64`] slots [`LiveSlots`] keeps per core.
-pub const LIVE_FIELDS: usize = 8;
+pub const LIVE_FIELDS: usize = 11;
 
 /// One core's counters in a [`LiveSlots`] snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -264,6 +264,14 @@ pub struct LiveCore {
     pub busy_ns: u64,
     /// Last observed rx-queue depth (gauge, not a counter).
     pub queue_depth: u64,
+    /// Last observed flow-table entry count on this core (gauge).
+    pub table_occupancy: u64,
+    /// High-water mark of `table_occupancy` over the run (gauge,
+    /// monotone).
+    pub table_hwm: u64,
+    /// Flow entries this core's lifecycle evicted so far (counter:
+    /// idle expiries + LRU backstop victims, hook-confirmed).
+    pub evicted: u64,
 }
 
 /// Lock-free per-core counter slots for live observation of a threaded
@@ -308,6 +316,21 @@ impl LiveSlots {
         s[7].store(delta.rx_occupancy_hwm, Ordering::Relaxed);
     }
 
+    /// Publish `core`'s flow-table memory view: current entry count
+    /// (gauge), its running high-water mark, and the cumulative
+    /// lifecycle eviction count. Separate from [`LiveSlots::add`]
+    /// because these are not batch deltas — occupancy is a gauge and
+    /// `evicted` is a worker-owned running total.
+    #[inline]
+    pub fn table(&self, core: usize, occupancy: u64, evicted: u64) {
+        let Some(s) = self.slots.get(core) else {
+            return;
+        };
+        s[8].store(occupancy, Ordering::Relaxed);
+        s[9].fetch_max(occupancy, Ordering::Relaxed);
+        s[10].store(evicted, Ordering::Relaxed);
+    }
+
     /// Read all cores' counters (relaxed loads — approximately
     /// consistent, which is all a live view needs).
     pub fn snapshot(&self) -> Vec<LiveCore> {
@@ -322,6 +345,9 @@ impl LiveSlots {
                 redirected_out: s[5].load(Ordering::Relaxed),
                 busy_ns: s[6].load(Ordering::Relaxed),
                 queue_depth: s[7].load(Ordering::Relaxed),
+                table_occupancy: s[8].load(Ordering::Relaxed),
+                table_hwm: s[9].load(Ordering::Relaxed),
+                evicted: s[10].load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -439,5 +465,17 @@ mod tests {
         assert_eq!(snap[0].busy_ns, 1400);
         assert_eq!(snap[0].queue_depth, 3);
         assert_eq!(snap[1].processed, 5);
+    }
+
+    #[test]
+    fn table_slots_track_gauge_hwm_and_evictions() {
+        let slots = LiveSlots::new(1);
+        slots.table(0, 100, 2);
+        slots.table(0, 40, 7);
+        slots.table(9, 999, 999); // out of range: ignored
+        let snap = slots.snapshot();
+        assert_eq!(snap[0].table_occupancy, 40, "occupancy is a gauge");
+        assert_eq!(snap[0].table_hwm, 100, "hwm latches the peak");
+        assert_eq!(snap[0].evicted, 7, "evicted is the latest total");
     }
 }

@@ -11,6 +11,10 @@
 //!   statistics the paper extracts from the MAWI samplepoint-F trace
 //!   (§2): heavy-tailed flow sizes ("elephants and mice", >75 % of bytes
 //!   in >10 MB flows) and low short-timescale concurrency;
+//! * [`stream`] — the bounded-memory streaming variant of [`trace`]:
+//!   heavy-tailed TCP flow churn (SYN → data → FIN lifecycles) as an
+//!   iterator holding only the active flow set, for soaks whose horizon
+//!   would make a materialized event list unaffordable;
 //! * [`concurrency`] — the §2 analysis: distinct flows per 150 µs window,
 //!   over all flows or only large ones;
 //! * [`cdf`] — empirical CDF helper used by the figure generators.
@@ -22,10 +26,12 @@ pub mod adversarial;
 pub mod cdf;
 pub mod concurrency;
 pub mod moongen;
+pub mod stream;
 pub mod trace;
 
 pub use adversarial::{craft_tcp_with_checksum, Adversary};
 pub use cdf::Cdf;
 pub use concurrency::{concurrent_flows, ConcurrencyStats};
 pub use moongen::MoonGen;
+pub use stream::{ChurnConfig, ChurnGen};
 pub use trace::{SyntheticTrace, TraceConfig};

@@ -1,0 +1,394 @@
+//! Streaming heavy-tailed flow churn for long-horizon soaks.
+//!
+//! [`SyntheticTrace`](crate::trace::SyntheticTrace) materializes every
+//! flow record and packet event up front — fine for the §2 analysis
+//! over a 30 s capture, hopeless for a soak that offers hours of churn:
+//! the event `Vec` alone would dwarf the dataplane under test. This
+//! module is the bounded-memory alternative: [`ChurnGen`] is an
+//! `Iterator<Item = (Time, Packet)>` holding only the *active* flow set
+//! (a fixed-capacity slot arena plus a binary heap of next-packet
+//! times), so memory is `O(max_active_flows)` no matter how long the
+//! horizon runs.
+//!
+//! Each flow is a complete TCP lifecycle the flow table under test can
+//! track end to end: a SYN at spawn, data segments at the flow's pace,
+//! and a final FIN — so FIN-driven reclaim sees well-formed teardowns,
+//! while flows truncated by the horizon simply stop mid-stream and
+//! exercise idle aging instead. Flow sizes are the usual elephants-and-
+//! mice mixture (log-normal mice, a bounded-Pareto elephant minority),
+//! scaled to packet counts a packet-granular simulation can afford.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::trace::TraceConfig;
+use serde::{Deserialize, Serialize};
+use sprayer_net::{FiveTuple, Packet, PacketBuilder, TcpFlags};
+use sprayer_sim::{SimRng, Time};
+
+/// Parameters for a streaming churn source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Churn horizon: no flow spawns at or after this instant, and the
+    /// stream ends once every packet before it has been emitted.
+    pub horizon: Time,
+    /// Flow arrivals per second (Poisson).
+    pub flows_per_sec: f64,
+    /// Median *data* segments in a mouse flow (log-normal).
+    pub mouse_pkts_median: f64,
+    /// Log-normal sigma of mouse sizes (natural-log units).
+    pub mouse_sigma: f64,
+    /// Fraction of spawns that are elephants.
+    pub elephant_fraction: f64,
+    /// Minimum elephant data segments (Pareto scale).
+    pub elephant_pkts_min: f64,
+    /// Pareto shape for elephant sizes.
+    pub elephant_alpha: f64,
+    /// Elephant size cap in data segments.
+    pub elephant_pkts_cap: f64,
+    /// Median inter-segment gap within one flow (log-normal, sigma 0.5).
+    pub median_gap: Time,
+    /// Hard bound on concurrently active flows — the memory bound.
+    /// Arrivals while the arena is full are suppressed (counted, not
+    /// queued: queuing them would be the unbounded buffer this type
+    /// exists to avoid).
+    pub max_active_flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A soak-calibrated default: the same elephants-and-mice *shape*
+    /// as [`TraceConfig::mawi_like`] with sizes rescaled from bytes to
+    /// simulable packet counts, and enough arrival rate that the active
+    /// set turns over hundreds of times across the horizon.
+    pub fn soak(horizon: Time, seed: u64) -> Self {
+        ChurnConfig {
+            horizon,
+            flows_per_sec: 2_000.0,
+            mouse_pkts_median: 6.0,
+            mouse_sigma: 1.2,
+            elephant_fraction: 0.01,
+            elephant_pkts_min: 200.0,
+            elephant_alpha: 1.2,
+            elephant_pkts_cap: 5_000.0,
+            median_gap: Time::from_us(40),
+            max_active_flows: 512,
+            seed,
+        }
+    }
+
+    /// Borrow the mixture calibration of a materializing [`TraceConfig`]
+    /// (shape parameters only — sizes stay in packets).
+    pub fn with_tail_shape(mut self, trace: &TraceConfig) -> Self {
+        self.mouse_sigma = trace.mouse_sigma;
+        self.elephant_alpha = trace.elephant_alpha;
+        self
+    }
+}
+
+/// One live flow in the arena.
+#[derive(Debug, Clone, Copy)]
+struct ActiveFlow {
+    tuple: FiveTuple,
+    /// Unique spawn index — payload entropy and heap tie-break.
+    id: u64,
+    /// Data segments still to send (the FIN follows the last one).
+    remaining: u64,
+    /// Next sequence number (SYN consumed 0).
+    seq: u32,
+    /// Inter-segment gap.
+    gap: Time,
+}
+
+/// Heap entry: next event time, spawn id (deterministic tie-break),
+/// arena slot.
+type Pending = Reverse<(Time, u64, usize)>;
+
+/// A bounded-memory streaming packet source: heavy-tailed TCP flow
+/// churn as an iterator of `(arrival, packet)` in time order.
+pub struct ChurnGen {
+    config: ChurnConfig,
+    rng: SimRng,
+    slots: Vec<Option<ActiveFlow>>,
+    free: Vec<usize>,
+    heap: BinaryHeap<Pending>,
+    /// Next Poisson arrival, `None` once past the horizon.
+    next_arrival: Option<Time>,
+    builder: PacketBuilder,
+    spawned: u64,
+    completed: u64,
+    suppressed: u64,
+}
+
+fn lognormal(rng: &mut SimRng, median: f64, sigma: f64) -> f64 {
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+fn pareto(rng: &mut SimRng, xm: f64, alpha: f64, cap: f64) -> f64 {
+    let u = 1.0 - rng.next_f64();
+    (xm / u.powf(1.0 / alpha)).min(cap)
+}
+
+impl ChurnGen {
+    /// A churn stream over `config`.
+    pub fn new(config: ChurnConfig) -> Self {
+        assert!(config.max_active_flows >= 1, "need at least one flow slot");
+        assert!(config.flows_per_sec > 0.0, "need a positive arrival rate");
+        let mut rng = SimRng::seed_from(config.seed);
+        let first = Self::arrival_after(&mut rng, Time::ZERO, &config);
+        let slots = (0..config.max_active_flows).map(|_| None).collect();
+        let free = (0..config.max_active_flows).rev().collect();
+        ChurnGen {
+            config,
+            rng,
+            slots,
+            free,
+            heap: BinaryHeap::new(),
+            next_arrival: first,
+            builder: PacketBuilder::new(),
+            spawned: 0,
+            completed: 0,
+            suppressed: 0,
+        }
+    }
+
+    fn arrival_after(rng: &mut SimRng, t: Time, config: &ChurnConfig) -> Option<Time> {
+        let dt = rng.exponential(1.0 / config.flows_per_sec);
+        let next = t + Time::from_ps((dt * 1e12) as u64);
+        (next < config.horizon).then_some(next)
+    }
+
+    /// Flows spawned so far.
+    pub fn spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Flows that sent their FIN.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Arrivals suppressed because the active set was full.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Currently active flows (the memory bound in action).
+    pub fn active(&self) -> usize {
+        self.config.max_active_flows - self.free.len()
+    }
+
+    /// Distinct five-tuple for spawn `id` — injective over any window
+    /// narrower than 2^16 concurrent ports per source address, far
+    /// beyond `max_active_flows`.
+    fn tuple_for(id: u64) -> FiveTuple {
+        let sport = 1_024 + (id % 60_000) as u16;
+        let host = (id / 60_000) as u32;
+        FiveTuple::tcp(0x0a10_0000 + host, sport, 0xc0a8_0001, 443)
+    }
+
+    /// Admit the arrival at `at`: claim a slot, schedule its SYN.
+    fn spawn_flow(&mut self, at: Time) {
+        let Some(slot) = self.free.pop() else {
+            self.suppressed += 1;
+            return;
+        };
+        let c = &self.config;
+        let data_pkts = if self.rng.next_f64() < c.elephant_fraction {
+            pareto(
+                &mut self.rng,
+                c.elephant_pkts_min,
+                c.elephant_alpha,
+                c.elephant_pkts_cap,
+            )
+        } else {
+            lognormal(&mut self.rng, c.mouse_pkts_median, c.mouse_sigma)
+        }
+        .max(1.0) as u64;
+        let gap = lognormal(&mut self.rng, self.config.median_gap.as_ps() as f64, 0.5);
+        let id = self.spawned;
+        self.spawned += 1;
+        self.slots[slot] = Some(ActiveFlow {
+            tuple: Self::tuple_for(id),
+            id,
+            remaining: data_pkts,
+            seq: 0,
+            gap: Time::from_ps((gap.max(1.0)) as u64),
+        });
+        self.heap.push(Reverse((at, id, slot)));
+    }
+
+    /// Emit the due packet for `slot` and reschedule or retire the flow.
+    fn emit(&mut self, at: Time, slot: usize) -> (Time, Packet) {
+        let flow = self.slots[slot].as_mut().expect("heap points at live slot");
+        let payload = sprayer_net::flow::splitmix64(flow.id ^ u64::from(flow.seq)).to_be_bytes();
+        let pkt = if flow.seq == 0 {
+            self.builder.tcp(flow.tuple, 0, 0, TcpFlags::SYN, b"")
+        } else if flow.remaining == 0 {
+            self.builder
+                .tcp(flow.tuple, flow.seq, 1, TcpFlags::FIN | TcpFlags::ACK, b"")
+        } else {
+            self.builder
+                .tcp(flow.tuple, flow.seq, 1, TcpFlags::ACK, &payload)
+        };
+        let done = flow.seq > 0 && flow.remaining == 0;
+        if done {
+            self.slots[slot] = None;
+            self.free.push(slot);
+            self.completed += 1;
+        } else {
+            if flow.seq > 0 {
+                flow.remaining -= 1;
+            }
+            flow.seq += 1;
+            let next = at + flow.gap;
+            let id = flow.id;
+            // Flows keep draining past the horizon so every admitted
+            // flow that has time to finish tears down cleanly; only
+            // *spawns* stop at the horizon.
+            self.heap.push(Reverse((next, id, slot)));
+        }
+        (at, pkt)
+    }
+}
+
+impl Iterator for ChurnGen {
+    type Item = (Time, Packet);
+
+    fn next(&mut self) -> Option<(Time, Packet)> {
+        loop {
+            // Admit every arrival due before the next flow packet, so
+            // the merged stream stays time-sorted.
+            let next_pkt = self.heap.peek().map(|Reverse((t, _, _))| *t);
+            match (self.next_arrival, next_pkt) {
+                (Some(arr), pkt) if pkt.is_none_or(|p| arr <= p) => {
+                    self.next_arrival = Self::arrival_after(&mut self.rng, arr, &self.config);
+                    self.spawn_flow(arr);
+                    // A suppressed spawn emits nothing; loop for the
+                    // next event either way.
+                    continue;
+                }
+                (_, Some(_)) => {
+                    let Reverse((t, _, slot)) = self.heap.pop().expect("peeked");
+                    return Some(self.emit(t, slot));
+                }
+                // An arrival with no queued packet always took the
+                // first arm, so no next_pkt here means no arrival left.
+                (_, None) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> ChurnConfig {
+        let mut c = ChurnConfig::soak(Time::from_ms(100), seed);
+        c.flows_per_sec = 20_000.0;
+        c.max_active_flows = 64;
+        c
+    }
+
+    #[test]
+    fn stream_is_time_sorted_and_bounded_memory() {
+        let mut gen = ChurnGen::new(quick_config(1));
+        let mut last = Time::ZERO;
+        let mut n = 0u64;
+        let mut peak_active = 0;
+        while let Some((t, _)) = gen.next() {
+            assert!(t >= last, "stream must be time-sorted");
+            last = t;
+            n += 1;
+            peak_active = peak_active.max(gen.active());
+            assert!(gen.active() <= 64, "active set must stay bounded");
+        }
+        assert!(n > 1_000, "a 100 ms churn at 20k flows/s is busy, got {n}");
+        assert!(
+            gen.spawned() + gen.suppressed() > 64,
+            "arrivals must overflow the arena at this rate"
+        );
+        assert!(peak_active > 8, "the arena should actually fill");
+    }
+
+    #[test]
+    fn flows_are_complete_tcp_lifecycles() {
+        let mut gen = ChurnGen::new(quick_config(2));
+        let mut syns = 0u64;
+        let mut fins = 0u64;
+        for (_, pkt) in gen.by_ref() {
+            let flags = pkt.meta().tcp_flags.expect("all packets are TCP");
+            if flags.contains(TcpFlags::SYN) {
+                syns += 1;
+            }
+            if flags.contains(TcpFlags::FIN) {
+                fins += 1;
+            }
+        }
+        assert_eq!(syns, gen.spawned(), "every admitted flow opens with SYN");
+        assert_eq!(fins, gen.completed(), "every finished flow closes with FIN");
+        assert!(
+            gen.completed() >= gen.spawned() / 2,
+            "most flows should finish: {} of {}",
+            gen.completed(),
+            gen.spawned()
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let sig = |seed: u64| -> Vec<(Time, u16)> {
+            ChurnGen::new(quick_config(seed))
+                .map(|(t, p)| (t, p.meta().tcp_checksum.expect("tcp")))
+                .collect()
+        };
+        let a = sig(7);
+        let b = sig(7);
+        assert_eq!(a, b);
+        let c = sig(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        // Spawn sizes straight from the samplers: with a 1 % elephant
+        // share the max should dwarf the median.
+        let mut c = quick_config(3);
+        c.horizon = Time::from_ms(400);
+        c.elephant_fraction = 0.05;
+        let mut gen = ChurnGen::new(c);
+        let mut per_flow: std::collections::HashMap<FiveTuple, u64> =
+            std::collections::HashMap::new();
+        for (_, pkt) in gen.by_ref() {
+            *per_flow.entry(pkt.tuple().expect("tcp")).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u64> = per_flow.into_values().collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(
+            max >= median * 10,
+            "elephants should dwarf mice: median {median}, max {max}"
+        );
+    }
+
+    #[test]
+    fn concurrent_flows_never_share_a_tuple() {
+        let gen = ChurnGen::new(quick_config(4));
+        let mut open: std::collections::HashSet<FiveTuple> = std::collections::HashSet::new();
+        for (_, pkt) in gen {
+            let flags = pkt.meta().tcp_flags.expect("tcp");
+            let tuple = pkt.tuple().expect("tcp");
+            if flags.contains(TcpFlags::SYN) {
+                assert!(open.insert(tuple), "tuple reused while active: {tuple:?}");
+            } else if flags.contains(TcpFlags::FIN) {
+                open.remove(&tuple);
+            }
+        }
+    }
+}
